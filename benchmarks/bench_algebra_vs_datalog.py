@@ -1,0 +1,66 @@
+"""THM71 — the sequence relational algebra is equivalent to nonrecursive Sequence Datalog.
+
+The benchmark compiles nonrecursive programs to the algebra (via the Lemma 7.2
+normal form), checks both formalisms give identical answers, translates the
+algebra expression back into Datalog, and times all three evaluation routes.
+"""
+
+from repro.algebra import algebra_to_datalog, compile_to_algebra, evaluate_algebra
+from repro.engine import evaluate_program
+from repro.queries import get_query
+from repro.workloads import random_string_instance
+
+
+class TestTheorem71BlackNeighbours:
+    def setup_method(self):
+        self.query = get_query("black_neighbours")
+        self.program = self.query.program()
+        self.expression = compile_to_algebra(self.program, "S")
+
+    def test_datalog_evaluation(self, benchmark, coloured_graphs):
+        results = benchmark(
+            lambda: [evaluate_program(self.program, instance).relation("S")
+                     for instance in coloured_graphs]
+        )
+        assert len(results) == len(coloured_graphs)
+
+    def test_algebra_evaluation_agrees(self, benchmark, coloured_graphs):
+        algebra_results = benchmark(
+            lambda: [evaluate_algebra(self.expression, instance) for instance in coloured_graphs]
+        )
+        datalog_results = [
+            evaluate_program(self.program, instance).relation("S") for instance in coloured_graphs
+        ]
+        assert algebra_results == datalog_results
+        print()
+        print(f"Theorem 7.1: algebra plan with {self.expression.size()} operators computes the "
+              f"same answers as the Datalog program on {len(coloured_graphs)} graph instances")
+
+    def test_round_trip_back_to_datalog(self, benchmark, coloured_graphs):
+        back = algebra_to_datalog(self.expression, "S")
+        results = benchmark(
+            lambda: [evaluate_program(back, instance).relation("S") for instance in coloured_graphs]
+        )
+        expected = [
+            evaluate_program(self.program, instance).relation("S") for instance in coloured_graphs
+        ]
+        assert results == expected
+
+
+class TestTheorem71WithEquations:
+    def test_only_as_compiles_through_equation_elimination(self, benchmark):
+        query = get_query("only_as_equation")
+        expression = compile_to_algebra(query.program(), "S")
+        instances = [random_string_instance(paths=5, max_length=4, seed=seed) for seed in range(3)]
+        algebra_results = benchmark(
+            lambda: [evaluate_algebra(expression, instance) for instance in instances]
+        )
+        datalog_results = [
+            evaluate_program(query.program(), instance).relation("S") for instance in instances
+        ]
+        assert algebra_results == datalog_results
+
+    def test_compilation_time(self, benchmark):
+        query = get_query("black_neighbours")
+        expression = benchmark(compile_to_algebra, query.program(), "S")
+        assert expression.arity == 1

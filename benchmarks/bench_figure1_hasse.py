@@ -1,0 +1,30 @@
+"""FIG1 — regenerate Figure 1: the Hasse diagram of the sixteen {E,I,N,R} fragments.
+
+The paper's claim: the sixteen fragments collapse into eleven equivalence
+classes, ordered as drawn in Figure 1.  The benchmark recomputes the diagram
+from the Theorem 6.1 characterisation and asserts it matches the published
+classes and cover edges exactly.
+"""
+
+from repro.fragments import (
+    EXPECTED_FIGURE1_CLASSES,
+    EXPECTED_FIGURE1_COVER_EDGES,
+    build_hasse_diagram,
+    core_fragments,
+    equivalence_classes,
+)
+
+
+def test_figure1_hasse_diagram(benchmark):
+    diagram = benchmark(build_hasse_diagram)
+    assert diagram.class_count == 11
+    assert diagram.class_letter_sets() == EXPECTED_FIGURE1_CLASSES
+    assert diagram.cover_edges() == EXPECTED_FIGURE1_COVER_EDGES
+    assert diagram.matches_figure1()
+    print()
+    print(diagram.to_text())
+
+
+def test_figure1_equivalence_classes_only(benchmark):
+    classes = benchmark(equivalence_classes, core_fragments())
+    assert len(classes) == 11

@@ -1,0 +1,32 @@
+"""FIG2 — regenerate Figure 2: the pig-pug search DAG for $x·⟨@y·$z⟩·@w = $u·$v·$u.
+
+The paper's claim: the search tree for this equation has exactly four
+successful branches, whose composed substitutions are the four symbolic
+solutions of Example 4.8.
+"""
+
+from repro.parser import parse_expression
+from repro.syntax import Equation
+from repro.unification import build_search_tree, is_symbolic_solution, solve_equation
+
+FIGURE2_EQUATION = Equation(
+    parse_expression("$x.<@y.$z>.@w"), parse_expression("$u.$v.$u")
+)
+
+
+def test_figure2_search_tree(benchmark):
+    tree = benchmark(build_search_tree, FIGURE2_EQUATION)
+    assert tree.successful_branch_count() == 4
+    solutions = tree.solutions()
+    assert all(is_symbolic_solution(solution, FIGURE2_EQUATION) for solution in solutions)
+    print()
+    print(f"search tree: {tree.node_count} nodes, depth {tree.depth()}, 4 successful branches")
+    for solution in solutions:
+        print("  symbolic solution:", solution)
+
+
+def test_figure2_with_empty_assignments(benchmark):
+    solutions = benchmark(solve_equation, FIGURE2_EQUATION)
+    assert solutions.complete
+    assert solutions.verify()
+    assert len(solutions) >= 4

@@ -1,0 +1,109 @@
+"""THM53 / THM55 / THM57 — the primitivity (inexpressibility) results, empirically.
+
+Inexpressibility cannot be demonstrated by running a program, so each
+benchmark measures the quantity the corresponding proof bounds and reports the
+separation the paper predicts:
+
+* Theorem 5.3 (recursion): nonrecursive programs obey the linear output bound
+  of Lemma 5.1, while the squaring query grows quadratically.
+* Theorem 5.5 (intermediate predicates with negation): on two-bounded
+  instances the black-neighbours query is computed through the classical
+  encoding of Lemma 5.4, and needs its two-stratum {I, N} program.
+* Theorem 5.7 (equations without intermediate predicates): the only-a's query
+  is answered by the {E} program uniformly in n, whereas any {N}-program's
+  positive body components impose a constant length threshold (Lemma 5.8).
+"""
+
+from repro.analysis import (
+    all_a_threshold,
+    classical_encoding,
+    frozen_instance,
+    lemma51_linear_bound,
+    measure_output_growth,
+)
+from repro.engine import evaluate_rule
+from repro.model import Path
+from repro.queries import get_query
+from repro.workloads import all_as_instance, random_two_bounded_instance
+
+
+class TestTheorem53RecursionPrimitive:
+    SIZES = [1, 2, 3, 4, 5]
+
+    def test_squaring_query_grows_quadratically(self, benchmark):
+        query = get_query("squaring").make_query()
+        points = benchmark(measure_output_growth, query, all_as_instance, self.SIZES)
+        assert [point.max_output_length for point in points] == [n * n for n in self.SIZES]
+        print()
+        print("Theorem 5.3 / Proposition 5.2 (output length on R(a^n)):")
+        for point in points:
+            print(f"   n = {point.input_length}:  squaring output length = {point.max_output_length}")
+
+    def test_nonrecursive_queries_respect_lemma51(self, benchmark):
+        query = get_query("only_as_equation")
+        bound = lemma51_linear_bound(query.program())
+        points = benchmark(
+            measure_output_growth, query.make_query(), all_as_instance, self.SIZES
+        )
+        assert all(point.max_output_length <= bound.value(point.input_length) for point in points)
+        print()
+        print(f"Lemma 5.1 bound for the nonrecursive only-a's program: "
+              f"{bound.slope}·x + {bound.intercept}; every measured output respects it")
+
+
+class TestTheorem55IntermediatePrimitive:
+    def test_black_neighbours_on_two_bounded_instances(self, benchmark, coloured_graphs):
+        query = get_query("black_neighbours")
+
+        def run_all():
+            return [query.run(instance) for instance in coloured_graphs]
+
+        answers = benchmark(run_all)
+        for instance, answer in zip(coloured_graphs, answers):
+            assert answer == query.run_reference(instance)
+        assert query.fragment().letters == "IN"
+        print()
+        print("Theorem 5.5: the black-neighbours query needs two strata ({I, N}); "
+              "its program agrees with the classical-graph reference on all instances")
+
+    def test_lemma54_classical_encoding(self, benchmark):
+        instances = [random_two_bounded_instance(seed=seed) for seed in range(5)]
+        encoded = benchmark(lambda: [classical_encoding(instance) for instance in instances])
+        assert all(image.is_classical() for image in encoded)
+        print()
+        print("Lemma 5.4: two-bounded instances round-trip through the classical encoding")
+
+
+class TestTheorem57EquationsPrimitive:
+    def test_only_as_is_uniform_in_n_with_equations(self, benchmark):
+        query = get_query("only_as_equation").make_query()
+        sizes = [1, 5, 10, 20]
+
+        def run_family():
+            return [query.answer(all_as_instance(n)) for n in sizes]
+
+        answers = benchmark(run_family)
+        assert all(Path(("a",) * n) in answer for n, answer in zip(sizes, answers))
+        print()
+        print("Theorem 5.7: the {E} program answers only-a's for every n "
+              f"(checked n ∈ {sizes})")
+
+    def test_lemma58_freezing_threshold(self, benchmark):
+        """A program without E and I can only check all-a's up to a fixed length."""
+        from repro.parser import parse_program
+
+        bounded_program = parse_program("A :- R(a).\nA :- R(a.a).\nA :- R(a.a.a).")
+        threshold = all_a_threshold(bounded_program)
+        assert threshold == 3
+
+        def frozen_all():
+            return [frozen_instance(rule) for rule in bounded_program.rules()]
+
+        frozen = benchmark(frozen_all)
+        for item in frozen:
+            assert evaluate_rule(item.rule, item.instance)
+        beyond = get_query("only_as_equation").make_query().answer(all_as_instance(threshold + 1))
+        assert Path(("a",) * (threshold + 1)) in beyond
+        print()
+        print(f"Lemma 5.8: the {{N}}-style program is blind beyond length {threshold}, "
+              f"while the equation program still accepts a^{threshold + 1}")

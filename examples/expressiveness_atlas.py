@@ -1,0 +1,45 @@
+"""The expressiveness atlas: Figure 1, Theorem 6.1 decisions, and witness queries.
+
+Run with ``python examples/expressiveness_atlas.py``.
+"""
+
+from repro.fragments import (
+    build_hasse_diagram,
+    core_fragments,
+    decide_subsumption,
+    witnesses_for,
+)
+from repro.queries import get_query
+
+
+def main() -> None:
+    diagram = build_hasse_diagram()
+    print(diagram.to_text())
+    print(
+        f"\n{diagram.class_count} equivalence classes "
+        f"({'matches' if diagram.matches_figure1() else 'DOES NOT match'} Figure 1 of the paper)\n"
+    )
+
+    # A few interesting decisions, with their justification chains / witnesses.
+    interesting_pairs = [("EIN", "IN"), ("I", "E"), ("E", "NR"), ("IN", "ENR"), ("R", "EIN")]
+    for first, second in interesting_pairs:
+        print(decide_subsumption(first, second).explanation())
+        for witness in witnesses_for(first, second):
+            query = get_query(witness.query_name)
+            print(f"    witness program ({witness.paper_reference}):")
+            for line in query.program_text.strip().splitlines():
+                print("       ", line.strip())
+        print()
+
+    # Every program in the canonical query registry, placed in the diagram.
+    print("canonical queries and their equivalence classes:")
+    from repro.queries import CANONICAL_QUERIES
+
+    for name, query in sorted(CANONICAL_QUERIES.items()):
+        fragment = query.fragment()
+        representative = diagram.representative_of(fragment.reduced())
+        print(f"  {name:24s} {fragment!s:18s} → class {{{','.join(representative) or '∅'}}}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""JSON restructuring with sequence databases (Introduction of the paper).
+
+A JSON object ``Sales`` mapping items to per-year volumes is naturally viewed
+as a set of length-3 paths ``item·year·volume``.  Regrouping the object by
+year instead of by item is then just a swap of the first two elements of
+every path; deep-equality of two JSON objects is equality of the path sets.
+
+Run with ``python examples/json_restructuring.py``.
+"""
+
+from repro import Instance, ProgramQuery, parse_program
+from repro.model import Path
+from repro.queries import get_query
+from repro.workloads import sales_instance
+
+
+def show(title: str, paths) -> None:
+    print(title)
+    for path in sorted(str(p) for p in paths):
+        print("   ", path)
+
+
+def main() -> None:
+    sales = sales_instance(items=3, years=2, seed=1)
+    show("Sales (by item):", sales.paths("Sales"))
+
+    regroup = get_query("json_regroup")
+    by_year = regroup.run(sales)
+    show("\nSales regrouped (by year):", by_year)
+    assert by_year == regroup.run_reference(sales)
+
+    # Deep equality of two JSON objects = equality of their path sets.  The
+    # boolean query below checks one inclusion with negation; running it in
+    # both directions decides deep-equality.
+    inclusion = ProgramQuery(
+        parse_program("Missing($p) :- A($p), not B($p).\nNotIncluded :- Missing($p)."),
+        {"A": 1, "B": 1},
+        "NotIncluded",
+    )
+
+    def deep_equal(first, second) -> bool:
+        forward = Instance()
+        for path in first.paths("Sales"):
+            forward.add("A", path)
+        for path in second.paths("Sales"):
+            forward.add("B", path)
+        backward = Instance()
+        for path in second.paths("Sales"):
+            backward.add("A", path)
+        for path in first.paths("Sales"):
+            backward.add("B", path)
+        return not inclusion.boolean(forward) and not inclusion.boolean(backward)
+
+    same = sales_instance(items=3, years=2, seed=1)
+    different = sales_instance(items=3, years=2, seed=2)
+    print("\ndeep-equal to an identical object:  ", deep_equal(sales, same))
+    print("deep-equal to a different object:   ", deep_equal(sales, different))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — an executable reproduction of "Expressiveness within Sequence Datalog" (PODS 2021).
+
+The package provides:
+
+* a data model for sequence databases (:mod:`repro.model`);
+* the abstract and concrete syntax of Sequence Datalog (:mod:`repro.syntax`,
+  :mod:`repro.parser`);
+* a stratified evaluation engine with associative path matching
+  (:mod:`repro.engine`);
+* associative unification for path expressions (:mod:`repro.unification`);
+* the feature/fragment machinery and the Figure 1 Hasse diagram
+  (:mod:`repro.fragments`);
+* every program transformation of Section 4 (:mod:`repro.transform`);
+* the sequence relational algebra of Section 7 (:mod:`repro.algebra`);
+* canonical queries, workload generators, and analysis drivers used by the
+  benchmark harness (:mod:`repro.queries`, :mod:`repro.workloads`,
+  :mod:`repro.analysis`).
+"""
+
+from repro.engine import DEFAULT_LIMITS, EvaluationLimits, ProgramQuery, evaluate_program
+from repro.model import Fact, Instance, Packed, Path, Schema, pack, path, unary_instance
+from repro.parser import parse_program, parse_rule, unparse_program
+from repro.syntax import Program, Rule, Stratum
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_LIMITS",
+    "EvaluationLimits",
+    "Fact",
+    "Instance",
+    "Packed",
+    "Path",
+    "Program",
+    "ProgramQuery",
+    "Rule",
+    "Schema",
+    "Stratum",
+    "__version__",
+    "evaluate_program",
+    "pack",
+    "parse_program",
+    "parse_rule",
+    "path",
+    "unary_instance",
+    "unparse_program",
+]

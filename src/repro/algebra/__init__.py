@@ -1,0 +1,36 @@
+"""The sequence relational algebra of Section 7 and its compilers (Theorem 7.1)."""
+
+from repro.algebra.compiler import algebra_to_datalog, compile_to_algebra
+from repro.algebra.evaluator import evaluate_algebra
+from repro.algebra.operators import (
+    AlgebraExpression,
+    ConstantRelation,
+    Difference,
+    Product,
+    Projection,
+    RelationRef,
+    Selection,
+    Substrings,
+    Union,
+    Unpack,
+    column,
+    columns,
+)
+
+__all__ = [
+    "AlgebraExpression",
+    "ConstantRelation",
+    "Difference",
+    "Product",
+    "Projection",
+    "RelationRef",
+    "Selection",
+    "Substrings",
+    "Union",
+    "Unpack",
+    "algebra_to_datalog",
+    "column",
+    "columns",
+    "compile_to_algebra",
+    "evaluate_algebra",
+]

@@ -1,0 +1,437 @@
+"""Translation between nonrecursive Sequence Datalog and the sequence algebra (Theorem 7.1).
+
+``compile_to_algebra`` turns a nonrecursive program (equations are eliminated
+first if present, then the program is brought into the Lemma 7.2 normal form)
+into an algebra expression for a chosen IDB relation; ``algebra_to_datalog``
+performs the converse translation.  Both directions are validated against
+each other by differential testing in ``tests/algebra`` and benchmarked in
+``benchmarks/bench_algebra_vs_datalog.py``.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    AlgebraExpression,
+    ConstantRelation,
+    Difference,
+    Product,
+    Projection,
+    RelationRef,
+    Selection,
+    Substrings,
+    Union,
+    Unpack,
+    column,
+    columns,
+)
+from repro.errors import CompilationError
+from repro.fragments.features import Feature, program_features
+from repro.model.terms import EPSILON, Path
+from repro.syntax.expressions import (
+    AtomVariable,
+    PackedExpression,
+    PathExpression,
+    PathVariable,
+    Variable,
+)
+from repro.syntax.literals import Equation, Literal, Predicate
+from repro.syntax.naming import FreshNames
+from repro.syntax.programs import Program
+from repro.syntax.rules import Rule
+from repro.transform.equations import eliminate_equations
+from repro.transform.normal_form import normal_form_of, rule_normal_form
+
+
+__all__ = ["compile_to_algebra", "algebra_to_datalog"]
+
+
+# -- Datalog → algebra -----------------------------------------------------------------------------------
+
+
+def _replace_variables_by_columns(
+    expression: PathExpression, mapping: dict[Variable, PathVariable]
+) -> PathExpression:
+    parts: list[object] = []
+    for item in expression.items:
+        if isinstance(item, (AtomVariable, PathVariable)):
+            parts.append(mapping[item])
+        elif isinstance(item, PackedExpression):
+            parts.append(PackedExpression(_replace_variables_by_columns(item.inner, mapping)))
+        else:
+            parts.append(item)
+    return PathExpression.of(*parts)
+
+
+def _component_variables(predicate: Predicate) -> list[Variable]:
+    variables: list[Variable] = []
+    for component in predicate.components:
+        item = component.items[0] if len(component.items) == 1 else None
+        if not isinstance(item, (AtomVariable, PathVariable)):
+            raise CompilationError(f"{predicate} is not in the expected normal form shape")
+        variables.append(item)
+    return variables
+
+
+def _subvalue_domain(source: AlgebraExpression, depth: int) -> AlgebraExpression:
+    """All substrings of all components of *source*, unpacked up to *depth* levels."""
+    if source.arity == 0:
+        raise CompilationError("cannot build a value domain from a nullary relation")
+    component_union: AlgebraExpression | None = None
+    for index in range(1, source.arity + 1):
+        piece = Projection(source, [PathExpression.of(column(index))])
+        component_union = piece if component_union is None else Union(component_union, piece)
+    assert component_union is not None
+
+    def substrings_of(expr: AlgebraExpression) -> AlgebraExpression:
+        return Projection(Substrings(expr, 1), [PathExpression.of(column(2))])
+
+    levels = [substrings_of(component_union)]
+    for _ in range(depth):
+        unpacked = Unpack(levels[-1], 1)
+        levels.append(substrings_of(unpacked))
+    domain = levels[0]
+    for level in levels[1:]:
+        domain = Union(domain, level)
+    return domain
+
+
+def _atomic_domain(domain: AlgebraExpression) -> AlgebraExpression:
+    """The subset of *domain* consisting of single atomic values.
+
+    A path is a single atomic value iff it is non-empty, cannot be split into
+    two non-empty pieces, and is not a packed value.
+    """
+    epsilon_relation = ConstantRelation([(EPSILON,)], arity=1)
+    non_empty = Difference(domain, epsilon_relation)
+    decomposable = Projection(
+        Selection(
+            Product(Product(domain, non_empty), non_empty),
+            PathExpression.of(column(1)),
+            PathExpression.of(column(2), column(3)),
+        ),
+        [PathExpression.of(column(1))],
+    )
+    packed_singles = Projection(
+        Unpack(domain, 1), [PathExpression.of(PackedExpression(PathExpression.of(column(1))))]
+    )
+    return Difference(Difference(non_empty, decomposable), packed_singles)
+
+
+def _compile_extraction(rule: Rule, operand: AlgebraExpression) -> AlgebraExpression:
+    """Compile a form-1 rule ``R1(v1..vn) ← R2(e1..em)``."""
+    head_variables: list[Variable] = []
+    for component in rule.head.components:
+        head_variables.append(component.items[0])  # type: ignore[arg-type]
+    body_predicate: Predicate = next(rule.positive_predicates())
+    expressions = body_predicate.components
+    m = len(expressions)
+    n = len(head_variables)
+
+    # Candidate columns are needed for every variable of the body atom, not only
+    # those projected to the head; head variables come first so the final
+    # projection can simply take the first n candidate columns.
+    other_variables = sorted(
+        body_predicate.variables() - set(head_variables),
+        key=lambda variable: (variable.prefix, variable.name),
+    )
+    all_variables = head_variables + other_variables
+
+    if not all_variables:
+        return Projection(operand, [PathExpression.of(column(1))] * 0) if n == 0 else Projection(
+            operand, []
+        )
+
+    depth = max(expression.packing_depth() for expression in expressions)
+    domain = _subvalue_domain(operand, depth)
+    atoms = _atomic_domain(domain) if any(
+        isinstance(variable, AtomVariable) for variable in all_variables
+    ) else None
+
+    combined: AlgebraExpression = operand
+    for variable in all_variables:
+        candidate = atoms if isinstance(variable, AtomVariable) else domain
+        assert candidate is not None
+        combined = Product(combined, candidate)
+
+    mapping = {
+        variable: column(m + position + 1) for position, variable in enumerate(all_variables)
+    }
+    for index, expression in enumerate(expressions, start=1):
+        alpha = _replace_variables_by_columns(expression, mapping)
+        combined = Selection(combined, alpha, PathExpression.of(column(index)))
+
+    return Projection(
+        combined,
+        [PathExpression.of(column(m + position + 1)) for position in range(n)],
+    )
+
+
+def _compile_rule(rule: Rule, resolve) -> AlgebraExpression:
+    """Compile one normal-form rule, resolving body relation names through *resolve*."""
+    form = rule_normal_form(rule)
+    if form is None:
+        raise CompilationError(f"rule {rule} is not in the Lemma 7.2 normal form")
+
+    if form == 6:
+        return ConstantRelation([tuple(c.ground_path() for c in rule.head.components)],
+                                arity=rule.head.arity)
+
+    positives = [l.atom for l in rule.body if l.positive and l.is_predicate()]
+    negatives = [l.atom for l in rule.body if l.negative and l.is_predicate()]
+
+    if form == 1:
+        return _compile_extraction(rule, resolve(positives[0]))
+
+    if form == 2:
+        body: Predicate = positives[0]
+        body_vars = _component_variables(body)
+        mapping = {v: column(i + 1) for i, v in enumerate(body_vars)}
+        extra = _replace_variables_by_columns(rule.head.components[-1], mapping)
+        return Projection(resolve(body), columns(len(body_vars)) + [extra])
+
+    if form == 5:
+        body = positives[0]
+        body_vars = _component_variables(body)
+        positions = {v: i + 1 for i, v in enumerate(body_vars)}
+        head_vars = [c.items[0] for c in rule.head.components]
+        return Projection(
+            resolve(body), [PathExpression.of(column(positions[v])) for v in head_vars]
+        )
+
+    if form == 3:
+        first, second = positives
+        first_vars = _component_variables(first)
+        second_vars = _component_variables(second)
+        all_vars = first_vars + second_vars
+        combined: AlgebraExpression = Product(resolve(first), resolve(second))
+        seen: dict[Variable, int] = {}
+        for index, variable in enumerate(all_vars, start=1):
+            if variable in seen:
+                combined = Selection(
+                    combined,
+                    PathExpression.of(column(seen[variable])),
+                    PathExpression.of(column(index)),
+                )
+            else:
+                seen[variable] = index
+        head_vars = [c.items[0] for c in rule.head.components]
+        return Projection(
+            combined, [PathExpression.of(column(seen[v])) for v in head_vars]
+        )
+
+    if form == 4:
+        positive, negative = positives[0], negatives[0]
+        positive_vars = _component_variables(positive)
+        negative_vars = _component_variables(negative)
+        positions = {v: i + 1 for i, v in enumerate(positive_vars)}
+        n = len(positive_vars)
+        combined: AlgebraExpression = Product(resolve(positive), resolve(negative))
+        for offset, variable in enumerate(negative_vars, start=1):
+            combined = Selection(
+                combined,
+                PathExpression.of(column(positions[variable])),
+                PathExpression.of(column(n + offset)),
+            )
+        matched = Projection(combined, columns(n))
+        return Difference(resolve(positive), matched)
+
+    raise CompilationError(f"unsupported normal form {form}")  # pragma: no cover
+
+
+def compile_to_algebra(
+    program: Program,
+    target_relation: str,
+    *,
+    prepare: bool = True,
+) -> AlgebraExpression:
+    """Compile a nonrecursive program's *target_relation* into a sequence algebra expression.
+
+    With ``prepare=True`` (the default) equations are first eliminated
+    (Theorem 4.7) and the program is brought into the Lemma 7.2 normal form;
+    with ``prepare=False`` the program must already be in normal form.
+    """
+    if program.uses_recursion():
+        raise CompilationError(
+            "only nonrecursive programs can be compiled to the sequence relational algebra "
+            "(Theorem 7.1)"
+        )
+    prepared = program
+    if prepare:
+        if Feature.EQUATIONS in program_features(prepared):
+            prepared = eliminate_equations(prepared)
+        prepared = normal_form_of(prepared)
+
+    arities = prepared.relation_arities()
+    idb = prepared.idb_relation_names()
+    rules_by_head: dict[str, list[Rule]] = {}
+    for rule in prepared.rules():
+        rules_by_head.setdefault(rule.head.name, []).append(rule)
+
+    if target_relation not in idb:
+        raise CompilationError(f"{target_relation!r} is not an IDB relation of the program")
+
+    cache: dict[str, AlgebraExpression] = {}
+
+    def resolve(predicate: Predicate) -> AlgebraExpression:
+        name = predicate.name
+        if name in idb:
+            return expression_for(name)
+        return RelationRef(name, arities.get(name, predicate.arity))
+
+    def expression_for(name: str) -> AlgebraExpression:
+        if name in cache:
+            return cache[name]
+        compiled: AlgebraExpression | None = None
+        for rule in rules_by_head.get(name, []):
+            piece = _compile_rule(rule, resolve)
+            compiled = piece if compiled is None else Union(compiled, piece)
+        if compiled is None:
+            compiled = ConstantRelation([], arity=arities.get(name, 0))
+        cache[name] = compiled
+        return compiled
+
+    return expression_for(target_relation)
+
+
+# -- algebra → Datalog -----------------------------------------------------------------------------------
+
+
+def algebra_to_datalog(
+    expression: AlgebraExpression,
+    target_relation: str = "Out",
+) -> Program:
+    """Translate an algebra expression into an equivalent nonrecursive program.
+
+    The resulting program's output relation is *target_relation*; stored
+    relations referenced by the expression become its EDB relations.
+    """
+    fresh = FreshNames(expression.relation_names() | {target_relation})
+    rules: list[Rule] = []
+
+    def variables(count: int, base: str = "v") -> list[PathVariable]:
+        return [fresh.path_variable(base) for _ in range(count)]
+
+    def translate(node: AlgebraExpression, name: str) -> None:
+        if isinstance(node, RelationRef):
+            vs = variables(node.arity)
+            rules.append(Rule(Predicate(name, [PathExpression.of(v) for v in vs]),
+                              [Literal(Predicate(node.name, [PathExpression.of(v) for v in vs]), True)]))
+            return
+        if isinstance(node, ConstantRelation):
+            for row in node.rows:
+                rules.append(Rule(Predicate(name, [PathExpression.from_path(p) for p in row]), []))
+            if not node.rows:
+                # An empty relation still needs to exist as an IDB relation; an
+                # unsatisfiable guarded rule is the cleanest way to declare it.
+                vs = variables(max(node.arity, 1))
+                return
+            return
+        if isinstance(node, Selection):
+            child = fresh.relation("AlgSel")
+            translate(node.source, child)
+            vs = variables(node.source.arity)
+            mapping = {column(i + 1): vs[i] for i in range(node.source.arity)}
+            alpha = _substitute_columns(node.alpha, mapping)
+            beta = _substitute_columns(node.beta, mapping)
+            rules.append(Rule(
+                Predicate(name, [PathExpression.of(v) for v in vs]),
+                [Literal(Predicate(child, [PathExpression.of(v) for v in vs]), True),
+                 Literal(Equation(alpha, beta), True)],
+            ))
+            return
+        if isinstance(node, Projection):
+            child = fresh.relation("AlgProj")
+            translate(node.source, child)
+            vs = variables(node.source.arity)
+            mapping = {column(i + 1): vs[i] for i in range(node.source.arity)}
+            head_components = [_substitute_columns(e, mapping) for e in node.expressions]
+            rules.append(Rule(
+                Predicate(name, head_components),
+                [Literal(Predicate(child, [PathExpression.of(v) for v in vs]), True)],
+            ))
+            return
+        if isinstance(node, Union):
+            left = fresh.relation("AlgUnionL")
+            right = fresh.relation("AlgUnionR")
+            translate(node.left, left)
+            translate(node.right, right)
+            vs = variables(node.arity)
+            for child in (left, right):
+                rules.append(Rule(
+                    Predicate(name, [PathExpression.of(v) for v in vs]),
+                    [Literal(Predicate(child, [PathExpression.of(v) for v in vs]), True)],
+                ))
+            return
+        if isinstance(node, Difference):
+            left = fresh.relation("AlgDiffL")
+            right = fresh.relation("AlgDiffR")
+            translate(node.left, left)
+            translate(node.right, right)
+            vs = variables(node.arity)
+            rules.append(Rule(
+                Predicate(name, [PathExpression.of(v) for v in vs]),
+                [Literal(Predicate(left, [PathExpression.of(v) for v in vs]), True),
+                 Literal(Predicate(right, [PathExpression.of(v) for v in vs]), False)],
+            ))
+            return
+        if isinstance(node, Product):
+            left = fresh.relation("AlgProdL")
+            right = fresh.relation("AlgProdR")
+            translate(node.left, left)
+            translate(node.right, right)
+            left_vs = variables(node.left.arity)
+            right_vs = variables(node.right.arity)
+            rules.append(Rule(
+                Predicate(name, [PathExpression.of(v) for v in left_vs + right_vs]),
+                [Literal(Predicate(left, [PathExpression.of(v) for v in left_vs]), True),
+                 Literal(Predicate(right, [PathExpression.of(v) for v in right_vs]), True)],
+            ))
+            return
+        if isinstance(node, Unpack):
+            child = fresh.relation("AlgUnpack")
+            translate(node.source, child)
+            vs = variables(node.source.arity)
+            contents = fresh.path_variable("u")
+            body_components = [PathExpression.of(v) for v in vs]
+            body_components[node.index - 1] = PathExpression.of(
+                PackedExpression(PathExpression.of(contents))
+            )
+            head_components = [PathExpression.of(v) for v in vs]
+            head_components[node.index - 1] = PathExpression.of(contents)
+            rules.append(Rule(
+                Predicate(name, head_components),
+                [Literal(Predicate(child, body_components), True)],
+            ))
+            return
+        if isinstance(node, Substrings):
+            child = fresh.relation("AlgSub")
+            translate(node.source, child)
+            vs = variables(node.source.arity)
+            prefix = fresh.path_variable("p")
+            middle = fresh.path_variable("s")
+            suffix = fresh.path_variable("q")
+            rules.append(Rule(
+                Predicate(name, [PathExpression.of(v) for v in vs] + [PathExpression.of(middle)]),
+                [Literal(Predicate(child, [PathExpression.of(v) for v in vs]), True),
+                 Literal(Equation(PathExpression.of(vs[node.index - 1]),
+                                  PathExpression.of(prefix, middle, suffix)), True)],
+            ))
+            return
+        raise CompilationError(f"unknown algebra expression {node!r}")
+
+    translate(expression, target_relation)
+    return Program.from_rules(rules)
+
+
+def _substitute_columns(
+    expression: PathExpression, mapping: dict[PathVariable, PathVariable]
+) -> PathExpression:
+    parts: list[object] = []
+    for item in expression.items:
+        if isinstance(item, PathVariable) and item in mapping:
+            parts.append(mapping[item])
+        elif isinstance(item, PackedExpression):
+            parts.append(PackedExpression(_substitute_columns(item.inner, mapping)))
+        else:
+            parts.append(item)
+    return PathExpression.of(*parts)

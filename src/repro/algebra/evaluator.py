@@ -1,0 +1,102 @@
+"""Evaluation of sequence relational algebra expressions against instances."""
+
+from __future__ import annotations
+
+from repro.algebra.operators import (
+    AlgebraExpression,
+    ConstantRelation,
+    Difference,
+    Product,
+    Projection,
+    RelationRef,
+    Selection,
+    Substrings,
+    Union,
+    Unpack,
+)
+from repro.engine.valuation import Valuation
+from repro.errors import AlgebraError
+from repro.model.instance import Instance
+from repro.model.terms import Packed, Path
+from repro.syntax.expressions import PathVariable
+
+__all__ = ["evaluate_algebra"]
+
+
+def _tuple_valuation(row: tuple[Path, ...]) -> Valuation:
+    """View a tuple as the valuation mapping ``$i`` to its i-th component."""
+    return Valuation({PathVariable(str(index + 1)): value for index, value in enumerate(row)})
+
+
+def evaluate_algebra(expression: AlgebraExpression, instance: Instance) -> frozenset[tuple[Path, ...]]:
+    """Evaluate *expression* on *instance*, returning a set of tuples of paths."""
+    if isinstance(expression, RelationRef):
+        rows = instance.relation(expression.name)
+        for row in rows:
+            if len(row) != expression.arity:
+                raise AlgebraError(
+                    f"relation {expression.name!r} holds tuples of arity {len(row)}, "
+                    f"but the expression declares arity {expression.arity}"
+                )
+        return rows
+
+    if isinstance(expression, ConstantRelation):
+        return expression.rows
+
+    if isinstance(expression, Selection):
+        source = evaluate_algebra(expression.source, instance)
+        kept = set()
+        for row in source:
+            valuation = _tuple_valuation(row)
+            if valuation.apply_to_expression(expression.alpha) == valuation.apply_to_expression(
+                expression.beta
+            ):
+                kept.add(row)
+        return frozenset(kept)
+
+    if isinstance(expression, Projection):
+        source = evaluate_algebra(expression.source, instance)
+        projected = set()
+        for row in source:
+            valuation = _tuple_valuation(row)
+            projected.add(
+                tuple(valuation.apply_to_expression(alpha) for alpha in expression.expressions)
+            )
+        return frozenset(projected)
+
+    if isinstance(expression, Union):
+        return evaluate_algebra(expression.left, instance) | evaluate_algebra(
+            expression.right, instance
+        )
+
+    if isinstance(expression, Difference):
+        return evaluate_algebra(expression.left, instance) - evaluate_algebra(
+            expression.right, instance
+        )
+
+    if isinstance(expression, Product):
+        left = evaluate_algebra(expression.left, instance)
+        right = evaluate_algebra(expression.right, instance)
+        return frozenset(l + r for l in left for r in right)
+
+    if isinstance(expression, Unpack):
+        source = evaluate_algebra(expression.source, instance)
+        unpacked = set()
+        index = expression.index - 1
+        for row in source:
+            value = row[index]
+            if len(value) == 1 and isinstance(value.elements[0], Packed):
+                contents = value.elements[0].contents
+                unpacked.add(row[:index] + (contents,) + row[index + 1:])
+        return frozenset(unpacked)
+
+    if isinstance(expression, Substrings):
+        source = evaluate_algebra(expression.source, instance)
+        extended = set()
+        index = expression.index - 1
+        for row in source:
+            for substring in row[index].substrings():
+                extended.add(row + (substring,))
+        return frozenset(extended)
+
+    raise AlgebraError(f"unknown algebra expression {expression!r}")

@@ -1,0 +1,281 @@
+"""The sequence relational algebra (Section 7): operator expression trees.
+
+The classical relational algebra (projection, equality selection, union,
+difference, cartesian product) is extended to sequence databases by
+
+* generalising selection and projection to *path expressions* over the column
+  variables ``$1, …, $n``;
+* adding an ``UNPACK_i`` operator extracting the contents of packed values;
+* adding a ``SUB_i`` operator appending a column with every substring of
+  column ``i``.
+
+Expressions are immutable trees; their arity is statically computable; they
+are evaluated against instances by :mod:`repro.algebra.evaluator` and are
+inter-translatable with nonrecursive Sequence Datalog by
+:mod:`repro.algebra.compiler` (Theorem 7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import AlgebraError
+from repro.model.terms import Path
+from repro.syntax.expressions import PathExpression, PathVariable, Variable
+
+__all__ = [
+    "AlgebraExpression",
+    "RelationRef",
+    "ConstantRelation",
+    "Selection",
+    "Projection",
+    "Union",
+    "Difference",
+    "Product",
+    "Unpack",
+    "Substrings",
+    "column",
+    "columns",
+]
+
+
+def column(index: int) -> PathVariable:
+    """The column variable ``$index`` (1-based), used in selections and projections."""
+    if index < 1:
+        raise AlgebraError("column indices are 1-based")
+    return PathVariable(str(index))
+
+
+def columns(count: int) -> list[PathExpression]:
+    """The identity projection list ``[$1, …, $count]``."""
+    return [PathExpression.of(column(index)) for index in range(1, count + 1)]
+
+
+def _check_column_variables(expression: PathExpression, arity: int, context: str) -> None:
+    for variable in expression.variables():
+        if not isinstance(variable, PathVariable) or not variable.name.isdigit():
+            raise AlgebraError(
+                f"{context} may only use the column variables $1..${arity}, found {variable}"
+            )
+        index = int(variable.name)
+        if not 1 <= index <= arity:
+            raise AlgebraError(
+                f"{context} refers to column {index}, but the input has arity {arity}"
+            )
+
+
+class AlgebraExpression:
+    """Base class of sequence relational algebra expressions."""
+
+    #: The arity of the relation denoted by this expression.
+    arity: int
+
+    def children(self) -> tuple["AlgebraExpression", ...]:
+        """Sub-expressions, for generic traversals."""
+        return ()
+
+    def relation_names(self) -> frozenset[str]:
+        """All relation names referenced by the expression."""
+        names: set[str] = set()
+        stack: list[AlgebraExpression] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, RelationRef):
+                names.add(node.name)
+            stack.extend(node.children())
+        return frozenset(names)
+
+    def size(self) -> int:
+        """Number of operator nodes in the expression."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def depth(self) -> int:
+        """Height of the expression tree."""
+        children = self.children()
+        return 1 + (max(child.depth() for child in children) if children else 0)
+
+    # Convenience combinators -------------------------------------------------------------
+
+    def select(self, alpha: PathExpression, beta: PathExpression) -> "Selection":
+        """``σ_{alpha = beta}(self)``"""
+        return Selection(self, alpha, beta)
+
+    def project(self, expressions: Sequence[PathExpression]) -> "Projection":
+        """``π_{expressions}(self)``"""
+        return Projection(self, expressions)
+
+    def union(self, other: "AlgebraExpression") -> "Union":
+        """``self ∪ other``"""
+        return Union(self, other)
+
+    def difference(self, other: "AlgebraExpression") -> "Difference":
+        """``self − other``"""
+        return Difference(self, other)
+
+    def product(self, other: "AlgebraExpression") -> "Product":
+        """``self × other``"""
+        return Product(self, other)
+
+    def unpack(self, index: int) -> "Unpack":
+        """``UNPACK_index(self)``"""
+        return Unpack(self, index)
+
+    def substrings(self, index: int) -> "Substrings":
+        """``SUB_index(self)``"""
+        return Substrings(self, index)
+
+
+class RelationRef(AlgebraExpression):
+    """A reference to a stored relation."""
+
+    def __init__(self, name: str, arity: int):
+        if arity < 0:
+            raise AlgebraError("arity must be non-negative")
+        self.name = name
+        self.arity = arity
+
+    def __repr__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class ConstantRelation(AlgebraExpression):
+    """A constant relation given by an explicit set of tuples of paths."""
+
+    def __init__(self, tuples: Iterable[tuple[Path, ...]], arity: int | None = None):
+        rows = {tuple(row) for row in tuples}
+        arities = {len(row) for row in rows}
+        if len(arities) > 1:
+            raise AlgebraError("all tuples of a constant relation must have the same arity")
+        if arity is None:
+            if not rows:
+                raise AlgebraError("the arity of an empty constant relation must be given")
+            arity = arities.pop()
+        elif arities and arities.pop() != arity:
+            raise AlgebraError("constant relation tuples do not match the declared arity")
+        self.rows = frozenset(rows)
+        self.arity = arity
+
+    def __repr__(self) -> str:
+        return f"Const({len(self.rows)} tuples, arity {self.arity})"
+
+
+class Selection(AlgebraExpression):
+    """Generalised selection ``σ_{α=β}(E)`` with path expressions over ``$1..$n``."""
+
+    def __init__(self, source: AlgebraExpression, alpha: PathExpression, beta: PathExpression):
+        _check_column_variables(alpha, source.arity, "a selection condition")
+        _check_column_variables(beta, source.arity, "a selection condition")
+        self.source = source
+        self.alpha = alpha
+        self.beta = beta
+        self.arity = source.arity
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.source,)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.alpha} = {self.beta}]({self.source!r})"
+
+
+class Projection(AlgebraExpression):
+    """Generalised projection ``π_{α1,…,αp}(E)``."""
+
+    def __init__(self, source: AlgebraExpression, expressions: Sequence[PathExpression]):
+        expressions = tuple(
+            expression if isinstance(expression, PathExpression) else PathExpression.of(expression)
+            for expression in expressions
+        )
+        for expression in expressions:
+            _check_column_variables(expression, source.arity, "a projection expression")
+        self.source = source
+        self.expressions = expressions
+        self.arity = len(expressions)
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.source,)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(e) for e in self.expressions)
+        return f"π[{inner}]({self.source!r})"
+
+
+class _Binary(AlgebraExpression):
+    symbol = "?"
+
+    def __init__(self, left: AlgebraExpression, right: AlgebraExpression):
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class Union(_Binary):
+    """Set union of two relations of the same arity."""
+
+    symbol = "∪"
+
+    def __init__(self, left: AlgebraExpression, right: AlgebraExpression):
+        if left.arity != right.arity:
+            raise AlgebraError("union requires equal arities")
+        super().__init__(left, right)
+        self.arity = left.arity
+
+
+class Difference(_Binary):
+    """Set difference of two relations of the same arity."""
+
+    symbol = "−"
+
+    def __init__(self, left: AlgebraExpression, right: AlgebraExpression):
+        if left.arity != right.arity:
+            raise AlgebraError("difference requires equal arities")
+        super().__init__(left, right)
+        self.arity = left.arity
+
+
+class Product(_Binary):
+    """Cartesian product; the right operand's columns follow the left's."""
+
+    symbol = "×"
+
+    def __init__(self, left: AlgebraExpression, right: AlgebraExpression):
+        super().__init__(left, right)
+        self.arity = left.arity + right.arity
+
+
+class Unpack(AlgebraExpression):
+    """``UNPACK_i(E)``: keep tuples whose i-th column is a packed value, unwrapping it."""
+
+    def __init__(self, source: AlgebraExpression, index: int):
+        if not 1 <= index <= source.arity:
+            raise AlgebraError(f"UNPACK index {index} out of range for arity {source.arity}")
+        self.source = source
+        self.index = index
+        self.arity = source.arity
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.source,)
+
+    def __repr__(self) -> str:
+        return f"UNPACK_{self.index}({self.source!r})"
+
+
+class Substrings(AlgebraExpression):
+    """``SUB_i(E)``: append a column ranging over the substrings of column ``i``."""
+
+    def __init__(self, source: AlgebraExpression, index: int):
+        if not 1 <= index <= source.arity:
+            raise AlgebraError(f"SUB index {index} out of range for arity {source.arity}")
+        self.source = source
+        self.index = index
+        self.arity = source.arity + 1
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.source,)
+
+    def __repr__(self) -> str:
+        return f"SUB_{self.index}({self.source!r})"

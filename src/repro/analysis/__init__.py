@@ -1,0 +1,27 @@
+"""Analysis drivers for the primitivity (inexpressibility) experiments of Section 5."""
+
+from repro.analysis.growth import (
+    GrowthPoint,
+    LinearBound,
+    lemma51_linear_bound,
+    measure_output_growth,
+)
+from repro.analysis.separation import (
+    all_a_threshold,
+    classical_encoding,
+    decode_classical,
+    frozen_instance,
+    is_two_bounded,
+)
+
+__all__ = [
+    "GrowthPoint",
+    "LinearBound",
+    "all_a_threshold",
+    "classical_encoding",
+    "decode_classical",
+    "frozen_instance",
+    "is_two_bounded",
+    "lemma51_linear_bound",
+    "measure_output_growth",
+]

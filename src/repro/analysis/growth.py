@@ -1,0 +1,94 @@
+"""Output-growth analysis (Lemma 5.1, Proposition 5.2, Theorem 5.3).
+
+Lemma 5.1: for a query computed by a *nonrecursive* program, the length of
+every output path is bounded by a linear function ``a·x + b`` of the maximal
+input path length ``x``, where ``a`` and ``b`` can be read off the head
+expressions of the (folded) program.  The squaring query outputs paths of
+length ``n²`` on input ``a^n`` and therefore cannot be nonrecursive — this is
+the measurable core of the primitivity of recursion, and the quantity the
+``bench_primitivity_recursion`` benchmark plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.engine.query import ProgramQuery
+from repro.model.instance import Instance
+from repro.syntax.expressions import PathVariable
+from repro.syntax.programs import Program
+
+__all__ = ["LinearBound", "lemma51_linear_bound", "GrowthPoint", "measure_output_growth"]
+
+
+@dataclass(frozen=True)
+class LinearBound:
+    """The coefficients of the Lemma 5.1 bound ``a·x + b``."""
+
+    slope: int
+    intercept: int
+
+    def value(self, input_length: int) -> int:
+        """Evaluate the bound at *input_length*."""
+        return self.slope * input_length + self.intercept
+
+    def admits(self, input_length: int, output_length: int) -> bool:
+        """Return ``True`` if an output of *output_length* respects the bound."""
+        return output_length <= self.value(input_length)
+
+
+def lemma51_linear_bound(program: Program) -> LinearBound:
+    """Compute the per-rule linear bound of Lemma 5.1 for the heads of *program*.
+
+    For the i-th rule, let ``a_i`` be the number of path-variable occurrences
+    in its head and ``b_i`` the number of other items (constants, atomic
+    variables, packed sub-expressions); the bound uses the maxima over all
+    rules.  (For nonrecursive programs this bounds a *single* rule
+    application; applied to a folded, intermediate-predicate-free program it
+    bounds the whole query, which is how Lemma 5.1 uses it.)
+    """
+    slope = 0
+    intercept = 0
+    for rule in program.rules():
+        for component in rule.head.components:
+            path_variable_occurrences = sum(
+                1 for item in component.items if isinstance(item, PathVariable)
+            )
+            other_items = len(component.items) - path_variable_occurrences
+            slope = max(slope, path_variable_occurrences)
+            intercept = max(intercept, other_items)
+    return LinearBound(slope=slope, intercept=intercept)
+
+
+@dataclass(frozen=True)
+class GrowthPoint:
+    """One measurement of output growth for a given input size."""
+
+    input_length: int
+    max_output_length: int
+    output_paths: int
+
+
+def measure_output_growth(
+    query: ProgramQuery,
+    instance_family: Callable[[int], Instance],
+    sizes: Sequence[int],
+    *,
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+) -> list[GrowthPoint]:
+    """Run *query* on ``instance_family(n)`` for each size and record output lengths."""
+    points = []
+    for size in sizes:
+        instance = instance_family(size)
+        answers = query.answer(instance)
+        longest = max((len(path) for path in answers), default=0)
+        points.append(
+            GrowthPoint(
+                input_length=instance.max_path_length(),
+                max_output_length=longest,
+                output_paths=len(answers),
+            )
+        )
+    return points

@@ -1,0 +1,144 @@
+"""Empirical counterparts of the inexpressibility arguments of Section 5.
+
+These helpers do not (and cannot) prove inexpressibility by running code;
+they reproduce the *measurable structure* of each proof:
+
+* **Two-bounded encoding** (Lemma 5.4): two-bounded sequence instances are
+  encoded as classical instances over relations ``R1``/``R2``, the reduction
+  that transfers classical Datalog lower bounds (the black-neighbours query)
+  to Sequence Datalog.
+* **Freezing** (Lemma 5.8): the frozen instance of a rule, obtained by
+  reading the positive body predicates as facts with variables turned into
+  fresh atomic values; the proof observes that a program without E and I can
+  only accept an all-a's path if some rule literally contains ``R(a^ℓ)``, so
+  its behaviour is fixed beyond a program-dependent length threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransformationError
+from repro.model.instance import Instance
+from repro.model.terms import Path
+from repro.syntax.expressions import PackedExpression, PathExpression, Variable
+from repro.syntax.programs import Program
+from repro.syntax.rules import Rule
+
+__all__ = [
+    "is_two_bounded",
+    "classical_encoding",
+    "decode_classical",
+    "frozen_instance",
+    "all_a_threshold",
+]
+
+
+# -- Lemma 5.4: two-bounded instances and their classical encodings -----------------------------------------
+
+
+def is_two_bounded(instance: Instance) -> bool:
+    """Return ``True`` if only paths of length one or two occur in the instance."""
+    return all(
+        1 <= len(path) <= 2 for fact in instance.facts() for path in fact.paths
+    )
+
+
+def classical_encoding(instance: Instance) -> Instance:
+    """Encode a two-bounded monadic instance classically (Lemma 5.4).
+
+    Each unary relation ``R`` becomes ``R1`` (the length-one paths, as unary
+    facts) and ``R2`` (the length-two paths, as binary facts).
+    """
+    if not is_two_bounded(instance):
+        raise TransformationError("the classical encoding is defined for two-bounded instances")
+    encoded = Instance()
+    for fact in instance.facts():
+        if fact.arity != 1:
+            raise TransformationError("the classical encoding is defined for monadic instances")
+        path = fact.paths[0]
+        if len(path) == 1:
+            encoded.add(f"{fact.relation}1", Path((path.elements[0],)))
+        else:
+            encoded.add(f"{fact.relation}2", Path((path.elements[0],)), Path((path.elements[1],)))
+    return encoded
+
+
+def decode_classical(instance: Instance) -> Instance:
+    """Invert :func:`classical_encoding`."""
+    decoded = Instance()
+    for fact in instance.facts():
+        if fact.relation.endswith("1") and fact.arity == 1:
+            decoded.add(fact.relation[:-1], fact.paths[0])
+        elif fact.relation.endswith("2") and fact.arity == 2:
+            decoded.add(
+                fact.relation[:-1],
+                Path(fact.paths[0].elements + fact.paths[1].elements),
+            )
+        else:
+            raise TransformationError(f"{fact} is not part of a classical encoding")
+    return decoded
+
+
+# -- Lemma 5.8: freezing ---------------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FrozenRule:
+    """A rule together with its frozen instance and frozen-variable names."""
+
+    rule: Rule
+    instance: Instance
+    frozen_names: dict[Variable, str]
+
+
+def _freeze_expression(expression: PathExpression, names: dict[Variable, str]) -> Path:
+    values = []
+    for item in expression.items:
+        if isinstance(item, str):
+            values.append(item)
+        elif isinstance(item, PackedExpression):
+            raise TransformationError("freezing is defined for packing-free rules")
+        else:
+            values.append(names[item])
+    return Path(values)
+
+
+def frozen_instance(rule: Rule, *, prefix: str = "frozen_") -> FrozenRule:
+    """Freeze the positive body predicates of *rule* into an instance (Lemma 5.8).
+
+    Every variable is replaced by a fresh atomic value distinct from the
+    atomic values occurring in the rule; the resulting facts form an instance
+    on which the rule fires (unless it is unsatisfiable).
+    """
+    names: dict[Variable, str] = {}
+    for index, variable in enumerate(
+        sorted(rule.variables(), key=lambda v: (v.prefix, v.name))
+    ):
+        names[variable] = f"{prefix}{index}_{variable.name}"
+    instance = Instance()
+    for predicate in rule.positive_predicates():
+        instance.add(
+            predicate.name,
+            *(_freeze_expression(component, names) for component in predicate.components),
+        )
+    return FrozenRule(rule=rule, instance=instance, frozen_names=names)
+
+
+def all_a_threshold(program: Program, letter: str = "a") -> int:
+    """The length threshold used in the proof of Lemma 5.8.
+
+    For a program without equations and intermediate predicates, the boolean
+    "is there a path consisting only of a's" query can only be answered
+    positively if some rule contains a positive body predicate whose component
+    is a constant run ``a^ℓ``; the proof picks an input ``R(a^n)`` with ``n``
+    strictly larger than every such ``ℓ`` (and larger than any body component
+    could match after freezing).  This helper returns the maximum number of
+    items of any positive body component, which bounds every such ``ℓ``.
+    """
+    threshold = 0
+    for rule in program.rules():
+        for predicate in rule.positive_predicates():
+            for component in predicate.components:
+                threshold = max(threshold, len(component.items))
+    return threshold

@@ -1,0 +1,37 @@
+"""Evaluation engine: matching, rule evaluation, stratified fixpoints, queries."""
+
+from repro.engine.evaluation import (
+    RuleEvaluator,
+    evaluate_rule,
+    plan_body_order,
+    satisfying_valuations,
+)
+from repro.engine.fixpoint import (
+    EvaluationStatistics,
+    Strategy,
+    evaluate_program,
+    evaluate_stratum,
+)
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.engine.match import match_components, match_expression, match_fact
+from repro.engine.query import ProgramQuery, QueryResult
+from repro.engine.valuation import Valuation
+
+__all__ = [
+    "DEFAULT_LIMITS",
+    "EvaluationLimits",
+    "EvaluationStatistics",
+    "ProgramQuery",
+    "QueryResult",
+    "RuleEvaluator",
+    "Strategy",
+    "Valuation",
+    "evaluate_program",
+    "evaluate_rule",
+    "evaluate_stratum",
+    "match_components",
+    "match_expression",
+    "match_fact",
+    "plan_body_order",
+    "satisfying_valuations",
+]

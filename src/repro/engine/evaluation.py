@@ -1,0 +1,230 @@
+"""Evaluation of a single rule against an instance (Section 2.3).
+
+``I, ν ⊨ L`` is defined as expected: a positive predicate is satisfied when
+the fact ``ν(L)`` is in ``I``; an equation when both sides denote the same
+path; a negated atom when the atom is not satisfied.  A rule fires for every
+valuation satisfying its body, producing the head fact.
+
+The evaluator enumerates the satisfying valuations of a body by processing
+its literals in a *join order*:
+
+1. positive predicates, matched against the facts of the instance (binding
+   variables by associative matching);
+2. positive equations, each processed once one of its sides is fully bound —
+   the bound side is evaluated to a path and the other side is matched
+   against it (this is exactly how "limited" variables become bound);
+3. negated literals, checked last (safety guarantees their variables are
+   bound by then).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.engine.match import match_expression, match_fact
+from repro.engine.valuation import Valuation
+from repro.errors import EvaluationError, UnsafeRuleError
+from repro.model.instance import Fact, Instance
+from repro.syntax.literals import Equation, Literal, Predicate
+from repro.syntax.rules import Rule
+
+__all__ = ["plan_body_order", "satisfying_valuations", "evaluate_rule", "RuleEvaluator"]
+
+
+def plan_body_order(rule: Rule) -> list[Literal]:
+    """Return the rule's body literals in a safe-to-evaluate order.
+
+    Positive predicates come first (smaller number of variables first, a
+    cheap join-ordering heuristic), then positive equations in an order in
+    which each has at least one side bound when reached, then all negated
+    literals.  Raises :class:`UnsafeRuleError` if no such order exists,
+    which for safe rules cannot happen.
+    """
+    positive_predicates = [
+        literal for literal in rule.body if literal.positive and literal.is_predicate()
+    ]
+    positive_equations = [
+        literal for literal in rule.body if literal.positive and literal.is_equation()
+    ]
+    negatives = [literal for literal in rule.body if literal.negative]
+
+    positive_predicates.sort(key=lambda literal: len(literal.variables()))
+
+    bound: set = set()
+    for literal in positive_predicates:
+        bound.update(literal.variables())
+
+    ordered_equations: list[Literal] = []
+    pending = list(positive_equations)
+    while pending:
+        progressed = False
+        for literal in list(pending):
+            equation: Equation = literal.atom  # type: ignore[assignment]
+            left_bound = equation.lhs.variables() <= bound
+            right_bound = equation.rhs.variables() <= bound
+            if left_bound or right_bound:
+                ordered_equations.append(literal)
+                bound.update(equation.variables())
+                pending.remove(literal)
+                progressed = True
+        if not progressed:
+            raise UnsafeRuleError(
+                f"cannot order the equations of rule {rule}: no side becomes fully bound"
+            )
+
+    return positive_predicates + ordered_equations + negatives
+
+
+def _extend_with_predicate(
+    valuations: Iterable[Valuation],
+    predicate: Predicate,
+    instance: Instance,
+    limits: EvaluationLimits,
+) -> Iterator[Valuation]:
+    rows = instance.relation(predicate.name)
+    count = 0
+    for valuation in valuations:
+        for row in rows:
+            fact = Fact(predicate.name, row)
+            for extended in match_fact(predicate, fact, valuation):
+                count += 1
+                limits.check_derivations(count)
+                yield extended
+
+
+def _extend_with_equation(
+    valuations: Iterable[Valuation],
+    equation: Equation,
+    limits: EvaluationLimits,
+) -> Iterator[Valuation]:
+    count = 0
+    for valuation in valuations:
+        left_ready = valuation.can_evaluate(equation.lhs)
+        right_ready = valuation.can_evaluate(equation.rhs)
+        if left_ready and right_ready:
+            if valuation.apply_to_expression(equation.lhs) == valuation.apply_to_expression(
+                equation.rhs
+            ):
+                count += 1
+                limits.check_derivations(count)
+                yield valuation
+            continue
+        if left_ready:
+            target = valuation.apply_to_expression(equation.lhs)
+            other = equation.rhs
+        elif right_ready:
+            target = valuation.apply_to_expression(equation.rhs)
+            other = equation.lhs
+        else:
+            raise EvaluationError(
+                f"equation {equation} reached with neither side bound; the rule is unsafe"
+            )
+        for extended in match_expression(other, target, valuation):
+            count += 1
+            limits.check_derivations(count)
+            yield extended
+
+
+def _filter_negative(
+    valuations: Iterable[Valuation],
+    literal: Literal,
+    instance: Instance,
+) -> Iterator[Valuation]:
+    """Keep only the valuations under which the negated literal is satisfied."""
+    for valuation in valuations:
+        if _check_negative(literal, valuation, instance):
+            yield valuation
+
+
+def _check_negative(literal: Literal, valuation: Valuation, instance: Instance) -> bool:
+    atom = literal.atom
+    if isinstance(atom, Predicate):
+        fact = valuation.apply_to_predicate(atom)
+        return fact not in instance
+    if isinstance(atom, Equation):
+        lhs = valuation.apply_to_expression(atom.lhs)
+        rhs = valuation.apply_to_expression(atom.rhs)
+        return lhs != rhs
+    raise EvaluationError(f"unexpected negated atom {atom!r}")  # pragma: no cover
+
+
+def satisfying_valuations(
+    rule: Rule,
+    instance: Instance,
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+    *,
+    order: Sequence[Literal] | None = None,
+    frontier: "dict[int, Instance] | None" = None,
+) -> Iterator[Valuation]:
+    """Yield the valuations (restricted to the rule's variables) satisfying the body.
+
+    When *frontier* is given it maps positions in *order* to an alternative
+    instance to use for the positive predicate at that position; this is how
+    the semi-naive strategy restricts one body atom to the newly derived facts.
+    """
+    plan = list(order) if order is not None else plan_body_order(rule)
+    valuations: Iterable[Valuation] = [Valuation.EMPTY]
+
+    for position, literal in enumerate(plan):
+        if literal.positive and literal.is_predicate():
+            source = instance
+            if frontier is not None and position in frontier:
+                source = frontier[position]
+            valuations = _extend_with_predicate(
+                valuations, literal.atom, source, limits  # type: ignore[arg-type]
+            )
+        elif literal.positive and literal.is_equation():
+            valuations = _extend_with_equation(valuations, literal.atom, limits)  # type: ignore[arg-type]
+        else:
+            # Negative literals filter the stream of candidate valuations.
+            valuations = _filter_negative(valuations, literal, instance)
+
+    yield from valuations
+
+
+def evaluate_rule(
+    rule: Rule,
+    instance: Instance,
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+    *,
+    frontier: "dict[int, Instance] | None" = None,
+    order: Sequence[Literal] | None = None,
+) -> set[Fact]:
+    """Return the head facts derivable from *instance* by a single application of *rule*."""
+    derived: set[Fact] = set()
+    for valuation in satisfying_valuations(
+        rule, instance, limits, order=order, frontier=frontier
+    ):
+        fact = valuation.apply_to_predicate(rule.head)
+        for path in fact.paths:
+            limits.check_path_length(len(path))
+        derived.add(fact)
+    return derived
+
+
+class RuleEvaluator:
+    """Pre-plans a rule's join order and evaluates it repeatedly.
+
+    Fixpoint computation evaluates the same rules many times; planning the
+    body order once per rule keeps the inner loop lean.
+    """
+
+    def __init__(self, rule: Rule, limits: EvaluationLimits = DEFAULT_LIMITS):
+        self.rule = rule
+        self.limits = limits
+        self.order = plan_body_order(rule)
+        #: Positions (in the planned order) of positive body predicates, by relation name.
+        self.predicate_positions: dict[str, list[int]] = {}
+        for position, literal in enumerate(self.order):
+            if literal.positive and literal.is_predicate():
+                name = literal.atom.name  # type: ignore[union-attr]
+                self.predicate_positions.setdefault(name, []).append(position)
+
+    def derive(
+        self, instance: Instance, frontier: "dict[int, Instance] | None" = None
+    ) -> set[Fact]:
+        """Evaluate the rule once against *instance* (optionally delta-restricted)."""
+        return evaluate_rule(
+            self.rule, instance, self.limits, frontier=frontier, order=self.order
+        )

@@ -1,0 +1,165 @@
+"""Stratified fixpoint evaluation of Sequence Datalog programs (Section 2.3).
+
+The semantics of a program is defined stratum by stratum: each stratum is a
+semipositive program applied to the result of the preceding strata; the
+result of a semipositive program ``P`` on an instance ``I`` is the smallest
+instance containing ``I`` and satisfying all rules of ``P``.
+
+Two fixpoint strategies are provided:
+
+* ``naive`` — every rule is re-evaluated against the full instance until no
+  new fact is derived;
+* ``seminaive`` — after the first round, rules with positive IDB body
+  predicates are only re-evaluated with at least one of those predicates
+  restricted to the facts newly derived in the previous round.
+
+Both strategies produce the same result; the benchmark
+``benchmarks/bench_engine_scaling.py`` compares their cost (an ablation of an
+implementation design choice, not a paper experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal as TypingLiteral
+
+from repro.engine.evaluation import RuleEvaluator
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.errors import EvaluationError
+from repro.model.instance import Instance
+from repro.syntax.programs import Program, Stratum
+
+__all__ = ["EvaluationStatistics", "evaluate_stratum", "evaluate_program", "Strategy"]
+
+Strategy = TypingLiteral["naive", "seminaive"]
+
+
+@dataclass
+class EvaluationStatistics:
+    """Counters accumulated while evaluating a program."""
+
+    iterations: int = 0
+    rule_applications: int = 0
+    facts_derived: int = 0
+    per_stratum_iterations: list[int] = field(default_factory=list)
+
+    def merge_stratum(self, iterations: int) -> None:
+        """Record the iteration count of one stratum."""
+        self.per_stratum_iterations.append(iterations)
+        self.iterations += iterations
+
+
+def _apply_rules_naive(
+    evaluators: list[RuleEvaluator],
+    instance: Instance,
+    statistics: EvaluationStatistics,
+) -> set:
+    new_facts = set()
+    for evaluator in evaluators:
+        statistics.rule_applications += 1
+        for fact in evaluator.derive(instance):
+            if fact not in instance:
+                new_facts.add(fact)
+    return new_facts
+
+
+def _apply_rules_seminaive(
+    evaluators: list[RuleEvaluator],
+    instance: Instance,
+    delta: Instance,
+    statistics: EvaluationStatistics,
+) -> set:
+    """Evaluate each rule requiring at least one IDB body atom to match the delta."""
+    delta_names = delta.relation_names
+    new_facts = set()
+    for evaluator in evaluators:
+        positions = [
+            position
+            for name, spots in evaluator.predicate_positions.items()
+            if name in delta_names
+            for position in spots
+        ]
+        if not positions:
+            # No body predicate can match a new fact, so this rule cannot
+            # derive anything new this round.
+            continue
+        for position in positions:
+            statistics.rule_applications += 1
+            for fact in evaluator.derive(instance, frontier={position: delta}):
+                if fact not in instance:
+                    new_facts.add(fact)
+    return new_facts
+
+
+def evaluate_stratum(
+    stratum: Stratum,
+    instance: Instance,
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+    *,
+    strategy: Strategy = "seminaive",
+    statistics: EvaluationStatistics | None = None,
+) -> Instance:
+    """Compute the fixpoint of one stratum, returning the enlarged instance.
+
+    The input *instance* is not modified.
+    """
+    if statistics is None:
+        statistics = EvaluationStatistics()
+    current = instance.copy()
+    for rule in stratum:
+        current.ensure_relation(rule.head.name)
+
+    evaluators = [RuleEvaluator(rule, limits) for rule in stratum]
+
+    iterations = 0
+    # First round: all rules against the full instance.
+    iterations += 1
+    limits.check_iterations(iterations)
+    delta_facts = _apply_rules_naive(evaluators, current, statistics)
+    for fact in delta_facts:
+        current.add_fact(fact)
+    statistics.facts_derived += len(delta_facts)
+    limits.check_fact_count(current.fact_count())
+
+    while delta_facts:
+        iterations += 1
+        limits.check_iterations(iterations)
+        if strategy == "seminaive":
+            delta = Instance(delta_facts)
+            new_facts = _apply_rules_seminaive(evaluators, current, delta, statistics)
+        elif strategy == "naive":
+            new_facts = _apply_rules_naive(evaluators, current, statistics)
+        else:
+            raise EvaluationError(f"unknown evaluation strategy {strategy!r}")
+        for fact in new_facts:
+            current.add_fact(fact)
+        statistics.facts_derived += len(new_facts)
+        limits.check_fact_count(current.fact_count())
+        delta_facts = new_facts
+
+    statistics.merge_stratum(iterations)
+    return current
+
+
+def evaluate_program(
+    program: Program,
+    instance: Instance,
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+    *,
+    strategy: Strategy = "seminaive",
+    statistics: EvaluationStatistics | None = None,
+) -> Instance:
+    """Evaluate *program* on *instance*, returning EDB plus all IDB relations.
+
+    The strata are applied in order, each as a semipositive program over the
+    result of the preceding ones (Section 2.3).  If any stratum exceeds the
+    limits, :class:`~repro.errors.EvaluationBudgetExceeded` propagates.
+    """
+    current = instance.copy()
+    for stratum in program.strata:
+        current = evaluate_stratum(
+            stratum, current, limits, strategy=strategy, statistics=statistics
+        )
+    for name in program.idb_relation_names():
+        current.ensure_relation(name)
+    return current

@@ -1,0 +1,75 @@
+"""Resource limits for fixpoint evaluation.
+
+Sequence Datalog programs need not terminate (Example 2.3 of the paper shows
+a two-rule program that never does).  The paper only considers programs that
+always terminate, but an executable engine must defend itself: evaluation is
+parameterised by an :class:`EvaluationLimits` object, and breaching any limit
+raises :class:`~repro.errors.EvaluationBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EvaluationBudgetExceeded
+
+__all__ = ["EvaluationLimits", "DEFAULT_LIMITS"]
+
+
+@dataclass(frozen=True)
+class EvaluationLimits:
+    """Limits enforced while computing a stratum's fixpoint.
+
+    Attributes:
+        max_iterations: maximum number of naive/semi-naive iterations per stratum.
+        max_facts: maximum total number of facts the instance may grow to.
+        max_path_length: maximum length of any derived path (``None`` = unlimited).
+        max_derivations_per_rule: cap on valuations explored for a single rule in
+            a single iteration (``None`` = unlimited); guards against explosive
+            associative matching.
+    """
+
+    max_iterations: int = 10_000
+    max_facts: int = 1_000_000
+    max_path_length: int | None = 10_000
+    max_derivations_per_rule: int | None = None
+
+    def check_iterations(self, iterations: int) -> None:
+        """Raise if the iteration budget is exhausted."""
+        if iterations > self.max_iterations:
+            raise EvaluationBudgetExceeded(
+                f"fixpoint did not converge within {self.max_iterations} iterations "
+                f"(the program may not terminate on this instance)",
+                limit_name="max_iterations",
+            )
+
+    def check_fact_count(self, count: int) -> None:
+        """Raise if the instance has grown beyond the fact budget."""
+        if count > self.max_facts:
+            raise EvaluationBudgetExceeded(
+                f"instance grew beyond {self.max_facts} facts "
+                f"(the program may not terminate on this instance)",
+                limit_name="max_facts",
+            )
+
+    def check_path_length(self, length: int) -> None:
+        """Raise if a derived path exceeds the length budget."""
+        if self.max_path_length is not None and length > self.max_path_length:
+            raise EvaluationBudgetExceeded(
+                f"derived a path of length {length}, exceeding the limit of "
+                f"{self.max_path_length}",
+                limit_name="max_path_length",
+            )
+
+    def check_derivations(self, count: int) -> None:
+        """Raise if a single rule explored too many valuations in one iteration."""
+        if self.max_derivations_per_rule is not None and count > self.max_derivations_per_rule:
+            raise EvaluationBudgetExceeded(
+                f"a single rule produced more than {self.max_derivations_per_rule} "
+                f"candidate valuations in one iteration",
+                limit_name="max_derivations_per_rule",
+            )
+
+
+#: Default limits, suitable for the paper's examples and the test workloads.
+DEFAULT_LIMITS = EvaluationLimits()

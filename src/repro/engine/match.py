@@ -1,0 +1,151 @@
+"""Associative matching of path expressions against concrete paths.
+
+This is the computational heart of Sequence Datalog evaluation: given a path
+expression ``e``, a concrete path ``p``, and a partial valuation ``ν``, the
+matcher enumerates every extension of ``ν`` under which ``e`` denotes ``p``.
+
+Because concatenation is associative, an unbound path variable may absorb any
+number of elements; the matcher therefore enumerates splits, pruned by a
+lower bound on the length still required by the remainder of the expression.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.engine.valuation import Valuation
+from repro.model.instance import Fact
+from repro.model.terms import Packed, Path, Value, is_atomic_value
+from repro.syntax.expressions import (
+    AtomVariable,
+    Item,
+    PackedExpression,
+    PathExpression,
+    PathVariable,
+)
+from repro.syntax.literals import Predicate
+
+__all__ = ["match_expression", "match_components", "match_fact"]
+
+
+def match_expression(
+    expression: PathExpression,
+    path: Path,
+    valuation: Valuation = Valuation.EMPTY,
+) -> Iterator[Valuation]:
+    """Yield every extension of *valuation* making *expression* denote *path*."""
+    yield from _match_items(expression.items, path.elements, 0, 0, valuation)
+
+
+def match_components(
+    expressions: Sequence[PathExpression],
+    paths: Sequence[Path],
+    valuation: Valuation = Valuation.EMPTY,
+) -> Iterator[Valuation]:
+    """Match a tuple of expressions component-wise against a tuple of paths."""
+    if len(expressions) != len(paths):
+        return
+    if not expressions:
+        yield valuation
+        return
+
+    def recurse(index: int, current: Valuation) -> Iterator[Valuation]:
+        if index == len(expressions):
+            yield current
+            return
+        for extended in match_expression(expressions[index], paths[index], current):
+            yield from recurse(index + 1, extended)
+
+    yield from recurse(0, valuation)
+
+
+def match_fact(
+    predicate: Predicate,
+    fact: Fact,
+    valuation: Valuation = Valuation.EMPTY,
+) -> Iterator[Valuation]:
+    """Match a body predicate against a fact of the same relation name."""
+    if predicate.name != fact.relation or predicate.arity != fact.arity:
+        return
+    yield from match_components(predicate.components, fact.paths, valuation)
+
+
+# -- internal recursive matcher -------------------------------------------------------------------
+
+
+def _min_remaining_length(items: Sequence[Item], start: int) -> int:
+    """Lower bound on the number of path elements the items from *start* require."""
+    total = 0
+    for index in range(start, len(items)):
+        if not isinstance(items[index], PathVariable):
+            total += 1
+    return total
+
+
+def _match_items(
+    items: Sequence[Item],
+    values: Sequence[Value],
+    item_index: int,
+    value_index: int,
+    valuation: Valuation,
+) -> Iterator[Valuation]:
+    if item_index == len(items):
+        if value_index == len(values):
+            yield valuation
+        return
+
+    item = items[item_index]
+    remaining = len(values) - value_index
+
+    if isinstance(item, str):
+        if remaining >= 1 and values[value_index] == item:
+            yield from _match_items(items, values, item_index + 1, value_index + 1, valuation)
+        return
+
+    if isinstance(item, AtomVariable):
+        if remaining < 1:
+            return
+        value = values[value_index]
+        if not is_atomic_value(value):
+            return
+        bound = valuation.get(item)
+        if bound is not None:
+            if bound != value:
+                return
+            extended = valuation
+        else:
+            extended = valuation.bind(item, value)
+        yield from _match_items(items, values, item_index + 1, value_index + 1, extended)
+        return
+
+    if isinstance(item, PackedExpression):
+        if remaining < 1:
+            return
+        value = values[value_index]
+        if not isinstance(value, Packed):
+            return
+        for inner in _match_items(
+            item.inner.items, value.contents.elements, 0, 0, valuation
+        ):
+            yield from _match_items(items, values, item_index + 1, value_index + 1, inner)
+        return
+
+    if isinstance(item, PathVariable):
+        bound = valuation.get(item)
+        if bound is not None:
+            segment: tuple[Value, ...] = bound.elements  # type: ignore[union-attr]
+            end = value_index + len(segment)
+            if end <= len(values) and tuple(values[value_index:end]) == segment:
+                yield from _match_items(items, values, item_index + 1, end, valuation)
+            return
+        # Unbound: try every admissible split, leaving at least enough elements
+        # for the rest of the expression.
+        tail_minimum = _min_remaining_length(items, item_index + 1)
+        longest = len(values) - tail_minimum
+        for end in range(value_index, longest + 1):
+            segment_path = Path(values[value_index:end])
+            extended = valuation.bind(item, segment_path)
+            yield from _match_items(items, values, item_index + 1, end, extended)
+        return
+
+    raise TypeError(f"unexpected path expression item {item!r}")  # pragma: no cover

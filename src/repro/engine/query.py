@@ -1,0 +1,147 @@
+"""Queries: the baseline class of flat unary queries (Section 3.1).
+
+A *query* from a monadic schema ``Γ`` to an output relation ``S ∉ Γ`` of
+arity at most one is a total mapping from flat instances over ``Γ`` to flat
+instances over ``{S}``.  A program *computes* such a query when it is over
+``Γ``, terminates on every flat instance, has ``S`` among its IDB relations,
+and produces exactly the query's answer in ``S``.
+
+:class:`ProgramQuery` packages a program with its input schema and output
+relation and offers convenient evaluation entry points.  It is the unit the
+fragment-expressiveness machinery (Section 3) reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.engine.fixpoint import EvaluationStatistics, Strategy, evaluate_program
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.errors import EvaluationError, ModelError
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.model.terms import Path
+from repro.syntax.programs import Program
+
+__all__ = ["ProgramQuery", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The result of running a :class:`ProgramQuery` on an instance."""
+
+    output: Instance
+    full_instance: Instance
+    statistics: EvaluationStatistics
+
+    def paths(self, relation: str | None = None) -> frozenset[Path]:
+        """The set of output paths (for a unary output relation)."""
+        names = list(self.output.relation_names)
+        name = relation if relation is not None else (names[0] if names else None)
+        if name is None:
+            return frozenset()
+        return self.output.paths(name)
+
+    def boolean(self) -> bool:
+        """For a nullary output relation: whether the empty tuple was derived."""
+        return bool(self.output)
+
+
+class ProgramQuery:
+    """A Sequence Datalog program viewed as a query from a schema to one relation."""
+
+    def __init__(
+        self,
+        program: Program,
+        input_schema: "Schema | dict[str, int]",
+        output_relation: str,
+        *,
+        limits: EvaluationLimits = DEFAULT_LIMITS,
+        strategy: Strategy = "seminaive",
+        name: str | None = None,
+        require_monadic: bool = True,
+    ):
+        self.program = program
+        self.input_schema = input_schema if isinstance(input_schema, Schema) else Schema(input_schema)
+        self.output_relation = output_relation
+        self.limits = limits
+        self.strategy: Strategy = strategy
+        self.name = name or output_relation
+        self._validate(require_monadic)
+
+    def _validate(self, require_monadic: bool) -> None:
+        if require_monadic and not self.input_schema.is_monadic():
+            raise EvaluationError(
+                f"the baseline queries of Section 3.1 use monadic input schemas; "
+                f"got {self.input_schema!r} (pass require_monadic=False to override)"
+            )
+        if not self.program.is_over(self.input_schema):
+            raise EvaluationError(
+                f"the program is not over the input schema {self.input_schema!r}: "
+                f"EDB = {sorted(self.program.edb_relation_names())}, "
+                f"IDB = {sorted(self.program.idb_relation_names())}"
+            )
+        if self.output_relation not in self.program.idb_relation_names():
+            raise EvaluationError(
+                f"output relation {self.output_relation!r} is not an IDB relation of the program"
+            )
+        if self.output_relation in self.input_schema:
+            raise EvaluationError(
+                f"output relation {self.output_relation!r} must not belong to the input schema"
+            )
+        arity = self.program.relation_arities().get(self.output_relation, 1)
+        if require_monadic and arity > 1:
+            raise EvaluationError(
+                f"output relation {self.output_relation!r} has arity {arity}; "
+                f"queries return relations of arity at most one"
+            )
+
+    # -- evaluation -------------------------------------------------------------------------------
+
+    def run(self, instance: Instance, *, check_flat: bool = True) -> QueryResult:
+        """Run the query on *instance* and return the full :class:`QueryResult`."""
+        if check_flat and not instance.is_flat():
+            raise ModelError("queries are defined on flat instances (no packed values)")
+        unknown = instance.relation_names - self.input_schema.relation_names
+        if unknown:
+            raise EvaluationError(
+                f"instance uses relations {sorted(unknown)} outside the input schema"
+            )
+        statistics = EvaluationStatistics()
+        full = evaluate_program(
+            self.program,
+            instance,
+            self.limits,
+            strategy=self.strategy,
+            statistics=statistics,
+        )
+        output = full.restricted([self.output_relation])
+        output.ensure_relation(self.output_relation)
+        return QueryResult(output=output, full_instance=full, statistics=statistics)
+
+    def answer(self, instance: Instance) -> frozenset[Path]:
+        """Run the query and return the set of output paths (unary output)."""
+        return self.run(instance).paths(self.output_relation)
+
+    def boolean(self, instance: Instance) -> bool:
+        """Run the query and interpret the (nullary) output relation as a boolean."""
+        return self.run(instance).boolean()
+
+    def answers_on(self, instances: Iterable[Instance]) -> list[frozenset[Path]]:
+        """Run the query on several instances."""
+        return [self.answer(instance) for instance in instances]
+
+    # -- introspection ----------------------------------------------------------------------------
+
+    def features(self):
+        """Return the set of features used by the underlying program (Section 3)."""
+        from repro.fragments.features import program_features
+
+        return program_features(self.program)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProgramQuery(name={self.name!r}, output={self.output_relation!r}, "
+            f"schema={self.input_schema!r})"
+        )

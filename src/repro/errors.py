@@ -1,0 +1,83 @@
+"""Exception hierarchy for the Sequence Datalog reproduction library.
+
+All library-specific errors derive from :class:`SequenceDatalogError` so that
+callers can catch everything raised by this package with a single handler
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class SequenceDatalogError(Exception):
+    """Base class of all errors raised by the :mod:`repro` package."""
+
+
+class ModelError(SequenceDatalogError):
+    """Raised for invalid values, paths, facts, schemas, or instances."""
+
+
+class SyntaxSemanticError(SequenceDatalogError):
+    """Raised for structurally invalid programs (bad arity use, etc.)."""
+
+
+class UnsafeRuleError(SyntaxSemanticError):
+    """Raised when a rule is not safe (contains non-limited variables)."""
+
+
+class StratificationError(SyntaxSemanticError):
+    """Raised when a program cannot be stratified, or violates its strata."""
+
+
+class ParseError(SequenceDatalogError):
+    """Raised when textual Sequence Datalog input cannot be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class EvaluationError(SequenceDatalogError):
+    """Raised for runtime evaluation failures."""
+
+
+class EvaluationBudgetExceeded(EvaluationError):
+    """Raised when a fixpoint computation exceeds its resource limits.
+
+    Sequence Datalog programs need not terminate (Example 2.3 in the paper);
+    the engine therefore enforces explicit limits and reports their breach
+    with this exception rather than looping forever.
+    """
+
+    def __init__(self, message: str, *, limit_name: str | None = None):
+        super().__init__(message)
+        self.limit_name = limit_name
+
+
+class TransformationError(SequenceDatalogError):
+    """Raised when a program transformation's preconditions are violated."""
+
+
+class UnificationError(SequenceDatalogError):
+    """Raised for invalid inputs to the associative unification engine."""
+
+
+class UnificationBudgetExceeded(UnificationError):
+    """Raised when the pig-pug search exceeds its node budget.
+
+    For equations that are not one-sided nonlinear the procedure may not
+    terminate (footnote 3 of the paper); a budget keeps the search finite.
+    """
+
+
+class AlgebraError(SequenceDatalogError):
+    """Raised for invalid sequence relational algebra expressions."""
+
+
+class CompilationError(SequenceDatalogError):
+    """Raised when a program cannot be compiled to the sequence algebra."""

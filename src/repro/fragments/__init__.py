@@ -1,0 +1,67 @@
+"""Features, fragments, subsumption (Theorem 6.1), and the Figure 1 Hasse diagram."""
+
+from repro.fragments.features import Feature, describe_features, program_features
+from repro.fragments.fragment import (
+    ALL_FEATURES,
+    CORE_FEATURES,
+    Fragment,
+    all_fragments,
+    core_fragments,
+    program_belongs_to,
+    program_fragment,
+)
+from repro.fragments.hasse import (
+    EXPECTED_FIGURE1_CLASSES,
+    EXPECTED_FIGURE1_COVER_EDGES,
+    HasseDiagram,
+    build_hasse_diagram,
+    class_label,
+)
+from repro.fragments.subsumption import (
+    SUBSUMPTION_CONDITIONS,
+    JustificationStep,
+    SubsumptionDecision,
+    are_equivalent,
+    decide_subsumption,
+    equivalence_classes,
+    is_subsumed,
+    separating_witness_name,
+    violated_conditions,
+)
+from repro.fragments.witnesses import (
+    PRIMITIVITY_WITNESSES,
+    PrimitivityWitness,
+    witness_for_conditions,
+    witnesses_for,
+)
+
+__all__ = [
+    "ALL_FEATURES",
+    "CORE_FEATURES",
+    "EXPECTED_FIGURE1_CLASSES",
+    "EXPECTED_FIGURE1_COVER_EDGES",
+    "Feature",
+    "Fragment",
+    "HasseDiagram",
+    "JustificationStep",
+    "PRIMITIVITY_WITNESSES",
+    "PrimitivityWitness",
+    "SUBSUMPTION_CONDITIONS",
+    "SubsumptionDecision",
+    "all_fragments",
+    "are_equivalent",
+    "build_hasse_diagram",
+    "class_label",
+    "core_fragments",
+    "decide_subsumption",
+    "describe_features",
+    "equivalence_classes",
+    "is_subsumed",
+    "program_belongs_to",
+    "program_features",
+    "program_fragment",
+    "separating_witness_name",
+    "violated_conditions",
+    "witness_for_conditions",
+    "witnesses_for",
+]

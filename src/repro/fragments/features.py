@@ -1,0 +1,97 @@
+"""The six language features of Section 3 and their detection in programs.
+
+A program *uses*
+
+* **Arity (A)** if it contains a predicate of arity greater than one;
+* **Recursion (R)** if its dependency graph has a cycle;
+* **Equations (E)** if some rule contains an equation;
+* **Negation (N)** if some rule contains a negated atom;
+* **Packing (P)** if a path expression of the form ``⟨e⟩`` occurs in some rule;
+* **Intermediate predicates (I)** if it involves at least two different IDB
+  relation names.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+from repro.syntax.programs import Program
+from repro.syntax.rules import Rule
+
+__all__ = ["Feature", "program_features", "rule_local_features", "describe_features"]
+
+
+class Feature(str, Enum):
+    """One of the six features studied by the paper."""
+
+    ARITY = "A"
+    EQUATIONS = "E"
+    INTERMEDIATE = "I"
+    NEGATION = "N"
+    PACKING = "P"
+    RECURSION = "R"
+
+    @property
+    def letter(self) -> str:
+        """The single-letter name used in the paper."""
+        return self.value
+
+    @property
+    def description(self) -> str:
+        """A one-line description of the feature."""
+        return _DESCRIPTIONS[self]
+
+    @staticmethod
+    def from_letter(letter: str) -> "Feature":
+        """Return the feature named by a single letter (case-insensitive)."""
+        return Feature(letter.upper())
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_DESCRIPTIONS = {
+    Feature.ARITY: "uses a predicate of arity greater than one",
+    Feature.EQUATIONS: "uses an equation between path expressions",
+    Feature.INTERMEDIATE: "uses at least two different IDB relation names",
+    Feature.NEGATION: "uses a negated atom",
+    Feature.PACKING: "uses a packed path expression ⟨e⟩",
+    Feature.RECURSION: "has a cycle in its dependency graph",
+}
+
+
+def rule_local_features(rule: Rule) -> frozenset[Feature]:
+    """Return the features detectable by looking at a single rule.
+
+    Recursion and intermediate predicates are program-level properties and are
+    never reported here.
+    """
+    found: set[Feature] = set()
+    if rule.max_arity() > 1:
+        found.add(Feature.ARITY)
+    if rule.has_equation():
+        found.add(Feature.EQUATIONS)
+    if rule.has_negation():
+        found.add(Feature.NEGATION)
+    if rule.has_packing():
+        found.add(Feature.PACKING)
+    return frozenset(found)
+
+
+def program_features(program: Program) -> frozenset[Feature]:
+    """Return the exact set of features used by *program* (Section 3)."""
+    found: set[Feature] = set()
+    for rule in program.rules():
+        found.update(rule_local_features(rule))
+    if len(program.idb_relation_names()) >= 2:
+        found.add(Feature.INTERMEDIATE)
+    if program.uses_recursion():
+        found.add(Feature.RECURSION)
+    return frozenset(found)
+
+
+def describe_features(features: Iterable[Feature]) -> str:
+    """Render a feature set in the paper's ``{E, I, N, R}`` notation."""
+    letters = sorted(feature.letter for feature in features)
+    return "{" + ", ".join(letters) + "}"

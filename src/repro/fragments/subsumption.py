@@ -1,0 +1,266 @@
+"""The subsumption relation among fragments (Theorem 6.1 and Figure 3).
+
+Theorem 6.1 characterises ``F1 ≤ F2`` (every query computable in fragment
+``F1`` is computable in ``F2``) by five conditions:
+
+1. ``N ∈ F1 ⇒ N ∈ F2``;
+2. ``R ∈ F1 ⇒ R ∈ F2``;
+3. ``E ∈ F1 ⇒ (E ∈ F2 ∨ I ∈ F2)``;
+4. ``(I ∈ F1 ∧ R ∉ F1 ∧ N ∉ F1) ⇒ (I ∈ F2 ∨ E ∈ F2)``;
+5. ``(I ∈ F1 ∧ (R ∈ F1 ∨ N ∈ F1)) ⇒ I ∈ F2``.
+
+This module provides both the plain five-condition test and a *decision
+procedure with justification*, mirroring Figure 3: when subsumption holds it
+returns a chain of fragments connected by trivially-valid steps (set
+inclusion, Theorem 4.7, Theorem 4.16); when it fails it names the violated
+condition and the witness query from Section 5 that separates the fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable
+
+from repro.fragments.features import Feature
+from repro.fragments.fragment import CORE_FEATURES, Fragment, all_fragments, core_fragments
+
+__all__ = [
+    "SUBSUMPTION_CONDITIONS",
+    "violated_conditions",
+    "is_subsumed",
+    "are_equivalent",
+    "JustificationStep",
+    "SubsumptionDecision",
+    "decide_subsumption",
+    "equivalence_classes",
+    "separating_witness_name",
+]
+
+_E = Feature.EQUATIONS
+_I = Feature.INTERMEDIATE
+_N = Feature.NEGATION
+_R = Feature.RECURSION
+
+
+#: Human-readable statements of the five conditions of Theorem 6.1.
+SUBSUMPTION_CONDITIONS = {
+    1: "N ∈ F1 ⇒ N ∈ F2",
+    2: "R ∈ F1 ⇒ R ∈ F2",
+    3: "E ∈ F1 ⇒ (E ∈ F2 ∨ I ∈ F2)",
+    4: "(I ∈ F1 ∧ R ∉ F1 ∧ N ∉ F1) ⇒ (I ∈ F2 ∨ E ∈ F2)",
+    5: "(I ∈ F1 ∧ (R ∈ F1 ∨ N ∈ F1)) ⇒ I ∈ F2",
+}
+
+
+def violated_conditions(first: "Fragment | str", second: "Fragment | str") -> list[int]:
+    """Return the numbers of the Theorem 6.1 conditions violated by ``F1 ≤ F2``."""
+    f1 = first if isinstance(first, Fragment) else Fragment(first)
+    f2 = second if isinstance(second, Fragment) else Fragment(second)
+    violated = []
+    if _N in f1 and _N not in f2:
+        violated.append(1)
+    if _R in f1 and _R not in f2:
+        violated.append(2)
+    if _E in f1 and not (_E in f2 or _I in f2):
+        violated.append(3)
+    if (_I in f1 and _R not in f1 and _N not in f1) and not (_I in f2 or _E in f2):
+        violated.append(4)
+    if (_I in f1 and (_R in f1 or _N in f1)) and _I not in f2:
+        violated.append(5)
+    return violated
+
+
+def is_subsumed(first: "Fragment | str", second: "Fragment | str") -> bool:
+    """Return ``True`` iff ``F1 ≤ F2`` according to Theorem 6.1."""
+    return not violated_conditions(first, second)
+
+
+def are_equivalent(first: "Fragment | str", second: "Fragment | str") -> bool:
+    """Return ``True`` iff the two fragments have the same expressive power."""
+    return is_subsumed(first, second) and is_subsumed(second, first)
+
+
+# -- decision procedure with justification (Figure 3) ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JustificationStep:
+    """One link ``smaller ≤ larger`` in a justification chain."""
+
+    smaller: Fragment
+    larger: Fragment
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.smaller} ≤ {self.larger}   [{self.reason}]"
+
+
+@dataclass(frozen=True)
+class SubsumptionDecision:
+    """The outcome of deciding ``F1 ≤ F2`` with an explanation.
+
+    When ``subsumed`` is true, ``chain`` is a list of steps whose composition
+    shows ``F̂1 ≤ F̂2`` (reduced fragments, arity and packing stripped per
+    Theorems 4.2 and 4.15).  When false, ``violated`` lists the failing
+    conditions and ``witness`` names the separating query of Section 5.
+    """
+
+    first: Fragment
+    second: Fragment
+    subsumed: bool
+    chain: tuple[JustificationStep, ...] = ()
+    violated: tuple[int, ...] = ()
+    witness: str | None = None
+
+    def explanation(self) -> str:
+        """A human-readable multi-line explanation of the decision."""
+        header = f"{self.first} ≤ {self.second}: {'YES' if self.subsumed else 'NO'}"
+        if self.subsumed:
+            lines = [header] + ["  " + str(step) for step in self.chain]
+        else:
+            conditions = ", ".join(
+                f"({number}) {SUBSUMPTION_CONDITIONS[number]}" for number in self.violated
+            )
+            lines = [header, f"  violated condition(s): {conditions}"]
+            if self.witness:
+                lines.append(f"  separating witness query: {self.witness}")
+        return "\n".join(lines)
+
+
+def separating_witness_name(violated: Iterable[int]) -> str:
+    """Name the Section 5 witness query separating fragments for a violated condition."""
+    numbers = list(violated)
+    if 1 in numbers:
+        return "set-difference (non-monotone) query — negation is primitive (Section 6, item 1)"
+    if 2 in numbers:
+        return "squaring query a^n ↦ a^(n²) — recursion is primitive (Theorem 5.3)"
+    if 5 in numbers:
+        return (
+            "black-neighbours query (Theorem 5.5) / squaring query (Theorem 5.6) — "
+            "intermediate predicates are primitive in the presence of N or R"
+        )
+    if 3 in numbers or 4 in numbers:
+        return "only-a's query — equations are primitive in the absence of I (Theorem 5.7)"
+    return "no witness needed"
+
+
+def _chain(steps: list[tuple[Fragment, Fragment, str]]) -> tuple[JustificationStep, ...]:
+    return tuple(JustificationStep(smaller, larger, reason) for smaller, larger, reason in steps)
+
+
+def decide_subsumption(first: "Fragment | str", second: "Fragment | str") -> SubsumptionDecision:
+    """Decide ``F1 ≤ F2`` and justify the answer, following Figure 3.
+
+    The returned chain works on the reduced fragments ``F̂ = F − {A, P}``;
+    the first and last steps record the reduction (Theorems 4.2 and 4.15).
+    """
+    f1 = first if isinstance(first, Fragment) else Fragment(first)
+    f2 = second if isinstance(second, Fragment) else Fragment(second)
+    violated = violated_conditions(f1, f2)
+    if violated:
+        return SubsumptionDecision(
+            first=f1,
+            second=f2,
+            subsumed=False,
+            violated=tuple(violated),
+            witness=separating_witness_name(violated),
+        )
+
+    reduced1 = f1.reduced()
+    reduced2 = f2.reduced()
+    steps: list[tuple[Fragment, Fragment, str]] = []
+    if reduced1 != f1:
+        steps.append((f1, reduced1, "arity and packing are redundant (Theorems 4.2 and 4.15)"))
+
+    current = reduced1
+    if current <= reduced2:
+        # A program in F̂1 is already a program in F̂2.
+        if current != reduced2:
+            steps.append((current, reduced2, "set inclusion"))
+            current = reduced2
+    elif _N not in current and _R not in current:
+        # F̂1 ⊆ {E, I}; conditions 3 and 4 put E or I into F2.
+        target_ei = Fragment({_E, _I})
+        if current != target_ei:
+            steps.append((current, target_ei, "set inclusion"))
+            current = target_ei
+        if _E in reduced2:
+            step_target = Fragment({_E})
+            steps.append((current, step_target,
+                          "Theorem 4.16: fold away intermediate predicates (no N, no R)"))
+            current = step_target
+        else:
+            step_target = Fragment({_I})
+            steps.append((current, step_target,
+                          "Theorem 4.7: eliminate equations using intermediate predicates"))
+            current = step_target
+        if current != reduced2:
+            steps.append((current, reduced2, "set inclusion"))
+            current = reduced2
+    else:
+        # N or R in F̂1 and F̂1 ⊄ F̂2; conditions 1, 2, 5 force I ∈ F2 here.
+        enlarged = Fragment(set(current) | {_I})
+        if enlarged != current:
+            steps.append((current, enlarged, "set inclusion"))
+            current = enlarged
+        if _E in current:
+            dropped = current.without_feature(_E)
+            steps.append((current, dropped,
+                          "Theorem 4.7: eliminate equations using intermediate predicates"))
+            current = dropped
+        if current != reduced2:
+            steps.append((current, reduced2, "set inclusion"))
+            current = reduced2
+
+    if reduced2 != f2:
+        steps.append((reduced2, f2, "set inclusion (adding A or P back)"))
+
+    # Remove degenerate self-steps that can arise when F̂1 = F̂2.
+    cleaned = [(s, l, r) for (s, l, r) in steps if s != l]
+    decision = SubsumptionDecision(
+        first=f1, second=f2, subsumed=True, chain=_chain(cleaned)
+    )
+    _validate_chain(decision)
+    return decision
+
+
+def _validate_chain(decision: SubsumptionDecision) -> None:
+    """Internal sanity check: every chain step must itself satisfy Theorem 6.1."""
+    previous = decision.first
+    for step in decision.chain:
+        assert step.smaller == previous, "justification chain is not connected"
+        assert is_subsumed(step.smaller, step.larger), (
+            f"justification step {step} is not a valid subsumption"
+        )
+        previous = step.larger
+    if decision.chain:
+        assert previous == decision.second, "justification chain does not reach F2"
+
+
+# -- equivalence classes (used by the Figure 1 Hasse diagram) --------------------------------------------
+
+
+def equivalence_classes(
+    fragments: Iterable[Fragment] | None = None,
+) -> list[frozenset[Fragment]]:
+    """Group *fragments* (default: the 16 core fragments) into equivalence classes.
+
+    Two fragments are equivalent when each subsumes the other.  The classes
+    are returned sorted by the size of their smallest member and then
+    lexicographically, which gives a stable ordering for reporting.
+    """
+    pool = list(fragments) if fragments is not None else core_fragments()
+    remaining = list(pool)
+    classes: list[frozenset[Fragment]] = []
+    while remaining:
+        representative = remaining.pop(0)
+        members = {representative}
+        for other in list(remaining):
+            if are_equivalent(representative, other):
+                members.add(other)
+                remaining.remove(other)
+        classes.append(frozenset(members))
+    classes.sort(key=lambda group: (min(len(member) for member in group),
+                                    sorted(member.letters for member in group)))
+    return classes

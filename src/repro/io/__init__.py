@@ -1,0 +1,19 @@
+"""Plain-text persistence for instances and programs."""
+
+from repro.io.serialization import (
+    instance_from_text,
+    instance_to_text,
+    load_instance,
+    load_program,
+    save_instance,
+    save_program,
+)
+
+__all__ = [
+    "instance_from_text",
+    "instance_to_text",
+    "load_instance",
+    "load_program",
+    "save_instance",
+    "save_program",
+]

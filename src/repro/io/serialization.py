@@ -1,0 +1,65 @@
+"""Serialisation of instances and programs to text files.
+
+Programs already have a textual syntax (:mod:`repro.parser`); instances are
+stored as lists of fact rules in the same syntax, so a database plus its
+queries can live in plain, diff-able files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path as FilePath
+
+from repro.errors import ParseError
+from repro.model.instance import Instance
+from repro.parser.parser import parse_rules
+from repro.parser.unparser import unparse_instance, unparse_program
+from repro.syntax.programs import Program
+
+__all__ = [
+    "instance_to_text",
+    "instance_from_text",
+    "save_instance",
+    "load_instance",
+    "save_program",
+    "load_program",
+]
+
+
+def instance_to_text(instance: Instance) -> str:
+    """Render an instance as fact rules, one per line, sorted."""
+    return unparse_instance(instance)
+
+
+def instance_from_text(text: str) -> Instance:
+    """Parse an instance from fact-rule text (every rule must be a ground fact)."""
+    instance = Instance()
+    for rule in parse_rules(text):
+        if rule.body or not rule.head.is_ground():
+            raise ParseError(f"instance files may only contain ground facts, got {rule}")
+        instance.add(
+            rule.head.name,
+            *(component.ground_path() for component in rule.head.components),
+        )
+    return instance
+
+
+def save_instance(instance: Instance, path: "FilePath | str") -> None:
+    """Write an instance to a file."""
+    FilePath(path).write_text(instance_to_text(instance) + "\n", encoding="utf-8")
+
+
+def load_instance(path: "FilePath | str") -> Instance:
+    """Read an instance from a file."""
+    return instance_from_text(FilePath(path).read_text(encoding="utf-8"))
+
+
+def save_program(program: Program, path: "FilePath | str") -> None:
+    """Write a program to a file in the textual syntax."""
+    FilePath(path).write_text(unparse_program(program) + "\n", encoding="utf-8")
+
+
+def load_program(path: "FilePath | str") -> Program:
+    """Read a program from a file."""
+    from repro.parser.parser import parse_program
+
+    return parse_program(FilePath(path).read_text(encoding="utf-8"))

@@ -1,0 +1,74 @@
+"""Convenience constructors for paths, packed values, and instances.
+
+These helpers keep tests, examples, and benchmarks short:
+
+>>> from repro.model import path, pack, string_path
+>>> path("a", "b", pack(path("c", "d")))
+Path(['a', 'b', Packed(Path(['c', 'd']))])
+>>> string_path("abba")
+Path(['a', 'b', 'b', 'a'])
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.model.instance import Instance
+from repro.model.terms import Packed, Path, Value
+
+__all__ = ["path", "pack", "epsilon", "string_path", "word", "unary_instance", "graph_instance"]
+
+
+def path(*elements: "Value | Path") -> Path:
+    """Build a path from values and paths, concatenating left to right."""
+    return Path.of(*elements)
+
+
+def pack(*elements: "Value | Path") -> Packed:
+    """Build a packed value ``⟨e1·...·en⟩``."""
+    return Packed(Path.of(*elements))
+
+
+def epsilon() -> Path:
+    """Return the empty path ``ϵ``."""
+    return Path.empty()
+
+
+def string_path(text: str) -> Path:
+    """Build a flat path whose elements are the individual characters of *text*.
+
+    Useful for string-processing examples: ``string_path("abc")`` is ``a·b·c``.
+    """
+    return Path(tuple(text))
+
+
+#: Alias used by the string workloads: a "word" is a path of characters.
+word = string_path
+
+
+def unary_instance(relation: str, paths: Iterable["Path | Value | str"]) -> Instance:
+    """Build an instance with a single unary relation holding *paths*.
+
+    Plain strings of length greater than one are interpreted as words
+    (paths of characters), which matches the paper's string examples.
+    """
+    instance = Instance()
+    for item in paths:
+        if isinstance(item, str) and len(item) > 1:
+            instance.add(relation, string_path(item))
+        elif isinstance(item, str) and len(item) == 0:
+            instance.add(relation, Path.empty())
+        else:
+            instance.add(relation, item)
+    return instance
+
+
+def graph_instance(relation: str, edges: Iterable[tuple[str, str]]) -> Instance:
+    """Encode a directed graph as length-two paths, as in Section 5.1.1.
+
+    Each edge ``(a, b)`` becomes the fact ``relation(a·b)``.
+    """
+    instance = Instance()
+    for source, target in edges:
+        instance.add(relation, Path.of(source, target))
+    return instance

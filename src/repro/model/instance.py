@@ -1,0 +1,280 @@
+"""Facts and instances (Section 2.1 and 2.3).
+
+An *instance* of a schema assigns to each relation name a finite relation on
+paths.  Equivalently (and this is the view used by the semantics in Section
+2.3), an instance is a finite set of *facts* ``R(p1, ..., pn)`` where each
+``pi`` is a path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ModelError
+from repro.model.schema import Schema
+from repro.model.terms import Path, Value, as_path
+
+__all__ = ["Fact", "Instance"]
+
+
+class Fact:
+    """A fact ``R(p1, ..., pn)``: a relation name applied to a tuple of paths."""
+
+    __slots__ = ("_relation", "_paths", "_hash")
+
+    def __init__(self, relation: str, paths: Iterable["Path | Value"] = ()):
+        if not isinstance(relation, str) or not relation:
+            raise ModelError(f"relation names must be non-empty strings, got {relation!r}")
+        self._relation = relation
+        self._paths = tuple(as_path(path) for path in paths)
+        self._hash = hash((relation, self._paths))
+
+    @property
+    def relation(self) -> str:
+        """The relation name of this fact."""
+        return self._relation
+
+    @property
+    def paths(self) -> tuple[Path, ...]:
+        """The argument paths of this fact."""
+        return self._paths
+
+    @property
+    def arity(self) -> int:
+        """The number of arguments of this fact."""
+        return len(self._paths)
+
+    def is_flat(self) -> bool:
+        """Return ``True`` if none of the argument paths contains packing."""
+        return all(path.is_flat() for path in self._paths)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fact)
+            and self._relation == other._relation
+            and self._paths == other._paths
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Fact({self._relation!r}, {list(self._paths)!r})"
+
+    def __str__(self) -> str:
+        if not self._paths:
+            return self._relation
+        return f"{self._relation}({', '.join(str(path) for path in self._paths)})"
+
+
+class Instance:
+    """A finite set of facts, organised per relation name.
+
+    The class behaves like a mutable database: facts can be added and the
+    relations inspected.  Equality is extensional (same set of facts).
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, facts: "Iterable[Fact] | Mapping[str, Iterable[tuple]] | None" = None):
+        self._relations: dict[str, set[tuple[Path, ...]]] = {}
+        if facts is None:
+            return
+        if isinstance(facts, Mapping):
+            for relation, tuples in facts.items():
+                for row in tuples:
+                    self.add(relation, *_as_row(row))
+        else:
+            for fact in facts:
+                self.add_fact(fact)
+
+    # -- construction -------------------------------------------------------------
+
+    @staticmethod
+    def from_paths(relation: str, paths: Iterable["Path | Value"]) -> "Instance":
+        """Build a unary instance holding *paths* in relation *relation*."""
+        instance = Instance()
+        for path in paths:
+            instance.add(relation, path)
+        return instance
+
+    def add_fact(self, fact: Fact) -> None:
+        """Insert *fact* into the instance (idempotent)."""
+        self._check_arity(fact.relation, fact.arity)
+        self._relations.setdefault(fact.relation, set()).add(fact.paths)
+
+    def add(self, relation: str, *paths: "Path | Value") -> None:
+        """Insert the fact ``relation(paths...)`` into the instance."""
+        self.add_fact(Fact(relation, paths))
+
+    def discard_fact(self, fact: Fact) -> None:
+        """Remove *fact* if present."""
+        rows = self._relations.get(fact.relation)
+        if rows is not None:
+            rows.discard(fact.paths)
+            if not rows:
+                del self._relations[fact.relation]
+
+    def ensure_relation(self, relation: str) -> None:
+        """Make *relation* present (possibly empty) in this instance."""
+        self._relations.setdefault(relation, set())
+
+    def _check_arity(self, relation: str, arity: int) -> None:
+        rows = self._relations.get(relation)
+        if rows:
+            existing = len(next(iter(rows)))
+            if existing != arity:
+                raise ModelError(
+                    f"relation {relation!r} already holds tuples of arity {existing}; "
+                    f"cannot add a tuple of arity {arity}"
+                )
+
+    # -- access --------------------------------------------------------------------
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        """The relation names that occur in this instance."""
+        return frozenset(self._relations)
+
+    def relation(self, name: str) -> frozenset[tuple[Path, ...]]:
+        """Return the set of tuples stored for relation *name* (empty if absent)."""
+        return frozenset(self._relations.get(name, frozenset()))
+
+    def paths(self, name: str) -> frozenset[Path]:
+        """Return the set of paths of a unary (or nullary) relation *name*."""
+        rows = self._relations.get(name, set())
+        result = set()
+        for row in rows:
+            if len(row) != 1:
+                raise ModelError(f"relation {name!r} is not unary")
+            result.add(row[0])
+        return frozenset(result)
+
+    def contains(self, relation: str, *paths: "Path | Value") -> bool:
+        """Return ``True`` if the fact ``relation(paths...)`` is in the instance."""
+        row = tuple(as_path(path) for path in paths)
+        return row in self._relations.get(relation, set())
+
+    def facts(self) -> Iterator[Fact]:
+        """Iterate over all facts in the instance."""
+        for relation, rows in self._relations.items():
+            for row in rows:
+                yield Fact(relation, row)
+
+    def arity_of(self, relation: str) -> int | None:
+        """Return the arity of *relation* in this instance, or ``None`` if empty."""
+        rows = self._relations.get(relation)
+        if not rows:
+            return None
+        return len(next(iter(rows)))
+
+    def fact_count(self) -> int:
+        """Return the total number of facts."""
+        return sum(len(rows) for rows in self._relations.values())
+
+    def __len__(self) -> int:
+        return self.fact_count()
+
+    def __bool__(self) -> bool:
+        return any(self._relations.values())
+
+    def __contains__(self, fact: object) -> bool:
+        if not isinstance(fact, Fact):
+            return False
+        return fact.paths in self._relations.get(fact.relation, set())
+
+    # -- predicates -------------------------------------------------------------------
+
+    def is_flat(self) -> bool:
+        """Return ``True`` if no packed value occurs anywhere in the instance."""
+        return all(fact.is_flat() for fact in self.facts())
+
+    def is_classical(self) -> bool:
+        """Return ``True`` if every argument path is a single atomic value."""
+        return all(
+            path.is_atomic() for fact in self.facts() for path in fact.paths
+        )
+
+    def schema(self) -> Schema:
+        """Return the schema induced by this instance (arities of present relations)."""
+        arities = {}
+        for relation, rows in self._relations.items():
+            arities[relation] = len(next(iter(rows))) if rows else 0
+        return Schema(arities)
+
+    def max_path_length(self) -> int:
+        """Return the maximal length of a path in the instance (0 if empty)."""
+        return max((len(path) for fact in self.facts() for path in fact.paths), default=0)
+
+    def atoms(self) -> frozenset[str]:
+        """Return all atomic values occurring (at any depth) in the instance."""
+        found: set[str] = set()
+        for fact in self.facts():
+            for path in fact.paths:
+                found.update(path.atoms())
+        return frozenset(found)
+
+    # -- algebraic combinations ---------------------------------------------------------
+
+    def copy(self) -> "Instance":
+        """Return a deep-enough copy (facts are immutable, so sets are copied)."""
+        clone = Instance()
+        clone._relations = {name: set(rows) for name, rows in self._relations.items()}
+        return clone
+
+    def restricted(self, names: Iterable[str]) -> "Instance":
+        """Return the sub-instance containing only the relations in *names*."""
+        wanted = set(names)
+        clone = Instance()
+        clone._relations = {
+            name: set(rows) for name, rows in self._relations.items() if name in wanted
+        }
+        return clone
+
+    def union(self, other: "Instance") -> "Instance":
+        """Return the fact-wise union of the two instances."""
+        result = self.copy()
+        for fact in other.facts():
+            result.add_fact(fact)
+        return result
+
+    def update(self, other: "Instance") -> None:
+        """Add all facts of *other* into this instance."""
+        for fact in other.facts():
+            self.add_fact(fact)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Instance":
+        """Return a copy with relation names renamed according to *mapping*."""
+        clone = Instance()
+        for fact in self.facts():
+            clone.add(mapping.get(fact.relation, fact.relation), *fact.paths)
+        return clone
+
+    # -- equality and representation -----------------------------------------------------
+
+    def _canonical(self) -> frozenset[Fact]:
+        return frozenset(self.facts())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Instance) and self._canonical() == other._canonical()
+
+    def __hash__(self) -> int:
+        return hash(self._canonical())
+
+    def __repr__(self) -> str:
+        return f"Instance({sorted(str(fact) for fact in self.facts())})"
+
+    def __str__(self) -> str:
+        lines = sorted(str(fact) + "." for fact in self.facts())
+        return "\n".join(lines)
+
+
+def _as_row(row: object) -> tuple:
+    """Interpret *row* as a tuple of path-like arguments."""
+    if isinstance(row, tuple):
+        return row
+    if isinstance(row, (Path, str)):
+        return (row,)
+    if isinstance(row, list):
+        return tuple(row)
+    return (row,)

@@ -1,0 +1,100 @@
+"""Schemas: finite sets of relation names with associated arities (Section 2.1)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ModelError
+
+__all__ = ["Schema"]
+
+
+def _validate_relation_name(name: str) -> str:
+    if not isinstance(name, str) or not name:
+        raise ModelError(f"relation names must be non-empty strings, got {name!r}")
+    return name
+
+
+def _validate_arity(name: str, arity: int) -> int:
+    if not isinstance(arity, int) or arity < 0:
+        raise ModelError(f"arity of relation {name!r} must be a non-negative integer, got {arity!r}")
+    return arity
+
+
+class Schema(Mapping[str, int]):
+    """A finite mapping from relation names to arities.
+
+    A schema is *monadic* when every relation has arity zero or one; the
+    baseline queries of Section 3.1 are defined over monadic schemas.
+    """
+
+    __slots__ = ("_arities",)
+
+    def __init__(self, arities: Mapping[str, int] | Iterable[tuple[str, int]] = ()):
+        items = dict(arities)
+        self._arities = {
+            _validate_relation_name(name): _validate_arity(name, arity)
+            for name, arity in items.items()
+        }
+
+    # -- mapping protocol -------------------------------------------------------
+
+    def __getitem__(self, name: str) -> int:
+        return self._arities[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arities)
+
+    def __len__(self) -> int:
+        return len(self._arities)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._arities
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def relation_names(self) -> frozenset[str]:
+        """The set of relation names in this schema."""
+        return frozenset(self._arities)
+
+    def arity(self, name: str) -> int:
+        """Return the arity of *name*, raising :class:`ModelError` if unknown."""
+        try:
+            return self._arities[name]
+        except KeyError:
+            raise ModelError(f"relation {name!r} is not part of this schema") from None
+
+    def is_monadic(self) -> bool:
+        """Return ``True`` if every relation has arity zero or one."""
+        return all(arity <= 1 for arity in self._arities.values())
+
+    def extended(self, other: "Schema | Mapping[str, int]") -> "Schema":
+        """Return a new schema that adds *other*'s relations to this one.
+
+        Conflicting arities for the same name raise :class:`ModelError`.
+        """
+        merged = dict(self._arities)
+        for name, arity in dict(other).items():
+            if name in merged and merged[name] != arity:
+                raise ModelError(
+                    f"relation {name!r} has conflicting arities {merged[name]} and {arity}"
+                )
+            merged[name] = arity
+        return Schema(merged)
+
+    def restricted(self, names: Iterable[str]) -> "Schema":
+        """Return the sub-schema containing only *names* (which must exist)."""
+        return Schema({name: self.arity(name) for name in names})
+
+    # -- equality and representation ---------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._arities == other._arities
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._arities.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}/{arity}" for name, arity in sorted(self._arities.items()))
+        return f"Schema({{{inner}}})"

@@ -1,0 +1,35 @@
+"""Textual syntax: lexer, parser, and unparser for Sequence Datalog."""
+
+from repro.parser.lexer import Token, TokenKind, tokenize
+from repro.parser.parser import (
+    parse_expression,
+    parse_literal,
+    parse_program,
+    parse_rule,
+    parse_rules,
+)
+from repro.parser.unparser import (
+    format_path,
+    unparse_expression,
+    unparse_instance,
+    unparse_literal,
+    unparse_program,
+    unparse_rule,
+)
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "format_path",
+    "parse_expression",
+    "parse_literal",
+    "parse_program",
+    "parse_rule",
+    "parse_rules",
+    "tokenize",
+    "unparse_expression",
+    "unparse_instance",
+    "unparse_literal",
+    "unparse_program",
+    "unparse_rule",
+]

@@ -1,0 +1,276 @@
+"""Recursive-descent parser for textual Sequence Datalog programs.
+
+Grammar (informally)::
+
+    program   ::= (rule | "---")*
+    rule      ::= predicate [ ("←" | ":-" | "<-") body ] "."
+    body      ::= literal ("," literal)*
+    literal   ::= [negation] (predicate | equation)
+                |  expression ("=" | "!=") expression
+    predicate ::= NAME [ "(" expression ("," expression)* ")" ]
+    expression::= term (("·" | adjacent ".") term)*
+    term      ::= NAME | STRING | "$x" | "@x" | "<" expression ">" | "eps"
+
+A body item starting with a relation name is a predicate when the name is
+immediately followed by ``(`` or when it stands alone (a nullary predicate);
+otherwise the item is parsed as an equation between path expressions.
+
+Strata can be separated explicitly by a line of dashes (``---``).  Without
+explicit separators, :func:`parse_program` stratifies the rules automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ParseError
+from repro.parser.lexer import Token, TokenKind, tokenize
+from repro.syntax.expressions import (
+    AtomVariable,
+    PackedExpression,
+    PathExpression,
+    PathVariable,
+)
+from repro.syntax.literals import Equation, Literal, Predicate
+from repro.syntax.programs import Program, Stratum
+from repro.syntax.rules import Rule
+
+__all__ = ["parse_program", "parse_rule", "parse_rules", "parse_expression", "parse_literal"]
+
+
+class _Parser:
+    """Token-stream cursor with the recursive-descent productions."""
+
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- cursor helpers ----------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind != TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.kind} {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _check(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _accept(self, kind: str) -> Token | None:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def at_end(self) -> bool:
+        """Return ``True`` when only EOF remains."""
+        return self._check(TokenKind.EOF)
+
+    # -- productions --------------------------------------------------------------------
+
+    def parse_program_blocks(self) -> list[list[Rule]]:
+        """Parse the whole token stream into blocks of rules separated by ``---``."""
+        blocks: list[list[Rule]] = [[]]
+        explicit = False
+        while not self.at_end():
+            if self._accept(TokenKind.STRATUM_SEP):
+                explicit = True
+                blocks.append([])
+                continue
+            blocks[-1].append(self.parse_rule())
+        if not explicit:
+            return [block for block in blocks]
+        return blocks
+
+    def parse_rule(self) -> Rule:
+        """Parse one rule (fact rules have no body)."""
+        head = self.parse_predicate()
+        body: list[Literal] = []
+        if self._accept(TokenKind.ARROW):
+            if not self._check(TokenKind.END):
+                body.append(self.parse_literal())
+                while self._accept(TokenKind.COMMA):
+                    body.append(self.parse_literal())
+        self._expect(TokenKind.END)
+        return Rule(head, body)
+
+    def parse_literal(self) -> Literal:
+        """Parse one (possibly negated) body literal."""
+        if self._accept(TokenKind.NOT):
+            if self._accept(TokenKind.LPAR):
+                inner = self._parse_atom()
+                self._expect(TokenKind.RPAR)
+            else:
+                inner = self._parse_atom()
+            return Literal(inner, positive=False)
+        atom_or_literal = self._parse_atom(allow_nonequality=True)
+        if isinstance(atom_or_literal, Literal):
+            return atom_or_literal
+        return Literal(atom_or_literal, positive=True)
+
+    def _parse_atom(self, allow_nonequality: bool = False):
+        """Parse a predicate or an equation (optionally a nonequality)."""
+        token = self._peek()
+        if token.kind == TokenKind.NAME and self._peek(1).kind == TokenKind.LPAR:
+            return self.parse_predicate()
+        if token.kind == TokenKind.NAME and self._peek(1).kind in (
+            TokenKind.COMMA,
+            TokenKind.END,
+            TokenKind.RPAR,
+        ):
+            # A bare name followed by a separator is a nullary predicate.
+            self._advance()
+            return Predicate(token.text, ())
+        lhs = self.parse_expression()
+        if self._accept(TokenKind.EQ):
+            rhs = self.parse_expression()
+            return Equation(lhs, rhs)
+        if allow_nonequality and self._accept(TokenKind.NEQ):
+            rhs = self.parse_expression()
+            return Literal(Equation(lhs, rhs), positive=False)
+        if self._check(TokenKind.NEQ):
+            raise ParseError(
+                "a nonequality cannot itself be negated",
+                self._peek().line,
+                self._peek().column,
+            )
+        # A single bare name with nothing else is a nullary predicate.
+        if len(lhs.items) == 1 and isinstance(lhs.items[0], str):
+            return Predicate(lhs.items[0], ())
+        token = self._peek()
+        raise ParseError(
+            f"expected '=' or '!=' after path expression, found {token.kind}",
+            token.line,
+            token.column,
+        )
+
+    def parse_predicate(self) -> Predicate:
+        """Parse ``Name`` or ``Name(e1, ..., en)``."""
+        name_token = self._expect(TokenKind.NAME)
+        components: list[PathExpression] = []
+        if self._accept(TokenKind.LPAR):
+            if not self._check(TokenKind.RPAR):
+                components.append(self.parse_expression())
+                while self._accept(TokenKind.COMMA):
+                    components.append(self.parse_expression())
+            self._expect(TokenKind.RPAR)
+        return Predicate(name_token.text, components)
+
+    def parse_expression(self) -> PathExpression:
+        """Parse a concatenation of terms."""
+        items = [self._parse_term()]
+        while self._accept(TokenKind.CONCAT):
+            items.append(self._parse_term())
+        return PathExpression.of(*items)
+
+    def _parse_term(self) -> object:
+        token = self._peek()
+        if token.kind == TokenKind.NAME:
+            self._advance()
+            return token.text
+        if token.kind == TokenKind.STRING:
+            self._advance()
+            return token.text
+        if token.kind == TokenKind.PATH_VAR:
+            self._advance()
+            return PathVariable(token.text)
+        if token.kind == TokenKind.ATOM_VAR:
+            self._advance()
+            return AtomVariable(token.text)
+        if token.kind == TokenKind.EPSILON:
+            self._advance()
+            return PathExpression.empty()
+        if token.kind == TokenKind.LANGLE:
+            self._advance()
+            if self._accept(TokenKind.RANGLE):
+                return PackedExpression(PathExpression.empty())
+            inner = self.parse_expression()
+            self._expect(TokenKind.RANGLE)
+            return PackedExpression(inner)
+        raise ParseError(
+            f"expected a term, found {token.kind} {token.text!r}", token.line, token.column
+        )
+
+
+# -- public entry points ----------------------------------------------------------------------
+
+
+def parse_expression(text: str) -> PathExpression:
+    """Parse a single path expression, e.g. ``"a·$x·<@y>"``."""
+    parser = _Parser(tokenize(text))
+    expression = parser.parse_expression()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.line, token.column)
+    return expression
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse a single body literal, e.g. ``"not R($x·a)"`` or ``"a·$x = $x·a"``."""
+    parser = _Parser(tokenize(text))
+    literal = parser.parse_literal()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.line, token.column)
+    return literal
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule, e.g. ``"S($x) :- R($x), a·$x = $x·a."``."""
+    parser = _Parser(tokenize(text))
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"unexpected trailing input {token.text!r}", token.line, token.column)
+    return rule
+
+
+def parse_rules(text: str) -> list[Rule]:
+    """Parse a sequence of rules, ignoring stratum separators."""
+    parser = _Parser(tokenize(text))
+    blocks = parser.parse_program_blocks()
+    return [rule for block in blocks for rule in block]
+
+
+def parse_program(
+    text: str,
+    *,
+    stratification: str = "auto",
+    validate: bool = True,
+) -> Program:
+    """Parse a full program.
+
+    The *stratification* mode is one of:
+
+    * ``"auto"`` (default): if the text contains explicit ``---`` separators
+      they define the strata, otherwise the rules are stratified automatically;
+    * ``"single"``: all rules form a single stratum (must be semipositive);
+    * ``"explicit"``: only explicit separators are honoured (one stratum if none).
+    """
+    parser = _Parser(tokenize(text))
+    blocks = parser.parse_program_blocks()
+    has_separators = len(blocks) > 1
+
+    if stratification == "single":
+        rules = [rule for block in blocks for rule in block]
+        return Program.single_stratum(rules, validate=validate)
+    if stratification == "explicit" or (stratification == "auto" and has_separators):
+        return Program([Stratum(block, validate=validate) for block in blocks if block],
+                       validate=validate)
+    if stratification == "auto":
+        rules = [rule for block in blocks for rule in block]
+        return Program.from_rules(rules, validate=validate)
+    raise ParseError(f"unknown stratification mode {stratification!r}")

@@ -1,0 +1,419 @@
+"""The canonical queries used throughout the paper, as runnable programs.
+
+Every named query in the paper appears here with
+
+* the Sequence Datalog program from the paper (in textual syntax),
+* the input schema and output relation,
+* the fragment it belongs to, and
+* an independent *reference implementation* in plain Python, used by the
+  test-suite and benchmarks for differential testing.
+
+The queries:
+
+===================  =================  ==========================================
+name                 paper reference    description
+===================  =================  ==========================================
+only_as_equation     Example 3.1        paths consisting exclusively of ``a``'s ({E})
+only_as_air          Example 3.1        the same query in fragment {A, I, R}
+reversal             Example 4.3        reversals of the input paths ({A, I, R})
+reversal_no_arity    Example 4.3        reversal after arity elimination ({I, R})
+squaring             Theorem 5.3        ``a^n ↦ a^(n²)`` ({A, I, R})
+nfa_acceptance       Example 2.1        strings accepted by an NFA stored in the DB
+three_occurrences    Example 2.2        ≥3 occurrences of an S-string inside R-strings
+unequal_palindrome   Example 4.6        ``a1…an·bn…b1`` with ``ai ≠ bi`` ({A, E, I, N, R})
+reachability         Section 5.1.1      graph reachability a→b over length-2 paths
+black_neighbours     Section 5.2        nodes with only edges to black nodes ({I, N})
+set_difference       Section 6 item 1   ``R − Q`` (the non-monotone witness) ({N})
+json_regroup         Introduction       swap item/year in length-3 Sales paths ({})
+process_compliance   Introduction       logs where 'complete_order' is always
+                                        followed by 'receive_payment' ({A, E, I, N})
+===================  =================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.limits import EvaluationLimits
+from repro.engine.query import ProgramQuery
+from repro.fragments.fragment import Fragment, program_fragment
+from repro.model.instance import Instance
+from repro.model.schema import Schema
+from repro.model.terms import Path
+from repro.parser.parser import parse_program
+from repro.syntax.programs import Program
+
+__all__ = ["CanonicalQuery", "CANONICAL_QUERIES", "get_query", "query_names"]
+
+
+@dataclass(frozen=True)
+class CanonicalQuery:
+    """A named query from the paper, with program text and reference semantics."""
+
+    name: str
+    description: str
+    paper_reference: str
+    program_text: str
+    input_schema: dict[str, int]
+    output_relation: str
+    reference: Callable[[Instance], "frozenset[Path] | bool"]
+    boolean: bool = False
+    limits: EvaluationLimits = field(default_factory=EvaluationLimits)
+
+    def program(self) -> Program:
+        """Parse the program text."""
+        return parse_program(self.program_text)
+
+    def fragment(self) -> Fragment:
+        """The fragment the program belongs to (its exact feature set)."""
+        return program_fragment(self.program())
+
+    def make_query(self, **overrides) -> ProgramQuery:
+        """Build the executable :class:`ProgramQuery`."""
+        options = {
+            "limits": self.limits,
+            "name": self.name,
+            "require_monadic": Schema(self.input_schema).is_monadic(),
+        }
+        options.update(overrides)
+        return ProgramQuery(self.program(), self.input_schema, self.output_relation, **options)
+
+    def run(self, instance: Instance) -> "frozenset[Path] | bool":
+        """Run the program on *instance* (boolean queries return a bool)."""
+        query = self.make_query()
+        if self.boolean:
+            return query.boolean(instance)
+        return query.answer(instance)
+
+    def run_reference(self, instance: Instance) -> "frozenset[Path] | bool":
+        """Run the independent Python reference implementation."""
+        return self.reference(instance)
+
+    def agree_on(self, instance: Instance) -> bool:
+        """Return ``True`` when the program and the reference implementation agree."""
+        return self.run(instance) == self.run_reference(instance)
+
+
+# -- reference implementations -----------------------------------------------------------------------
+
+
+def _ref_only_as(instance: Instance) -> frozenset[Path]:
+    return frozenset(
+        path for path in instance.paths("R") if all(element == "a" for element in path)
+    )
+
+
+def _ref_reversal(instance: Instance) -> frozenset[Path]:
+    return frozenset(path.reversed() for path in instance.paths("R"))
+
+
+def _ref_squaring(instance: Instance) -> frozenset[Path]:
+    results = set()
+    for path in instance.paths("R"):
+        if all(element == "a" for element in path):
+            results.add(Path(("a",) * (len(path) ** 2)))
+    return frozenset(results)
+
+
+def _ref_nfa_acceptance(instance: Instance) -> frozenset[Path]:
+    initial = {path.elements[0] for path in instance.paths("N") if len(path) == 1}
+    final = {path.elements[0] for path in instance.paths("F") if len(path) == 1}
+    transitions: dict[tuple[object, object], set[object]] = {}
+    for row in instance.relation("D"):
+        source, label, target = (component.elements[0] for component in row)
+        transitions.setdefault((source, label), set()).add(target)
+    accepted = set()
+    for path in instance.paths("R"):
+        states = set(initial)
+        for element in path:
+            states = {
+                target
+                for state in states
+                for target in transitions.get((state, element), set())
+            }
+            if not states:
+                break
+        if states & final:
+            accepted.add(path)
+    return frozenset(accepted)
+
+
+def _ref_three_occurrences(instance: Instance) -> bool:
+    patterns = instance.paths("S")
+    occurrences = set()
+    for text in instance.paths("R"):
+        for pattern in patterns:
+            window = len(pattern)
+            for start in range(len(text) - window + 1):
+                if text.elements[start:start + window] == pattern.elements:
+                    occurrences.add((text, start, window))
+    return len(occurrences) >= 3
+
+
+def _ref_unequal_palindrome(instance: Instance) -> frozenset[Path]:
+    results = set()
+    for path in instance.paths("R"):
+        if len(path) % 2 != 0:
+            continue
+        half = len(path) // 2
+        first, second = path.elements[:half], path.elements[half:]
+        if all(first[i] != second[len(second) - 1 - i] for i in range(half)):
+            results.add(path)
+    return frozenset(results)
+
+
+def _ref_reachability(instance: Instance) -> bool:
+    edges = set()
+    for path in instance.paths("R"):
+        if len(path) == 2:
+            edges.add((path.elements[0], path.elements[1]))
+    reachable = {"a"}
+    changed = True
+    while changed:
+        changed = False
+        for source, target in edges:
+            if source in reachable and target not in reachable:
+                reachable.add(target)
+                changed = True
+    return "b" in reachable
+
+
+def _ref_black_neighbours(instance: Instance) -> frozenset[Path]:
+    black = {path.elements[0] for path in instance.paths("B") if len(path) == 1}
+    edges = [
+        (path.elements[0], path.elements[1])
+        for path in instance.paths("R")
+        if len(path) == 2
+    ]
+    sources = {source for source, _ in edges}
+    answer = set()
+    for node in sources:
+        if all(target in black for source, target in edges if source == node):
+            answer.add(Path((node,)))
+    return frozenset(answer)
+
+
+def _ref_set_difference(instance: Instance) -> frozenset[Path]:
+    return frozenset(instance.paths("R") - instance.paths("Q"))
+
+
+def _ref_json_regroup(instance: Instance) -> frozenset[Path]:
+    results = set()
+    for path in instance.paths("Sales"):
+        if len(path) == 3:
+            item, year, volume = path.elements
+            results.add(Path((year, item, volume)))
+    return frozenset(results)
+
+
+def _ref_process_compliance(instance: Instance) -> frozenset[Path]:
+    results = set()
+    for log in instance.paths("R"):
+        elements = log.elements
+        compliant = True
+        for position, event in enumerate(elements):
+            if event == "complete_order":
+                if "receive_payment" not in elements[position + 1:]:
+                    compliant = False
+                    break
+        if compliant:
+            results.add(log)
+    return frozenset(results)
+
+
+# -- the registry -------------------------------------------------------------------------------------
+
+
+CANONICAL_QUERIES: dict[str, CanonicalQuery] = {}
+
+
+def _register(query: CanonicalQuery) -> CanonicalQuery:
+    CANONICAL_QUERIES[query.name] = query
+    return query
+
+
+ONLY_AS_EQUATION = _register(CanonicalQuery(
+    name="only_as_equation",
+    description="paths from R that consist exclusively of a's, via the equation a·$x = $x·a",
+    paper_reference="Example 3.1 (fragment {E})",
+    program_text="S($x) :- R($x), a.$x = $x.a.",
+    input_schema={"R": 1},
+    output_relation="S",
+    reference=_ref_only_as,
+))
+
+ONLY_AS_AIR = _register(CanonicalQuery(
+    name="only_as_air",
+    description="paths from R that consist exclusively of a's, via recursion and a binary predicate",
+    paper_reference="Example 3.1 (fragment {A, I, R})",
+    program_text="""
+        T($x, $x) :- R($x).
+        T($x, $y) :- T($x, $y.a).
+        S($x) :- T($x, eps).
+    """,
+    input_schema={"R": 1},
+    output_relation="S",
+    reference=_ref_only_as,
+))
+
+REVERSAL = _register(CanonicalQuery(
+    name="reversal",
+    description="the reversals of the paths in R",
+    paper_reference="Example 4.3 (fragment {A, I, R})",
+    program_text="""
+        T($x, eps) :- R($x).
+        T($x, $y.@u) :- T($x.@u, $y).
+        S($x) :- T(eps, $x).
+    """,
+    input_schema={"R": 1},
+    output_relation="S",
+    reference=_ref_reversal,
+))
+
+REVERSAL_NO_ARITY = _register(CanonicalQuery(
+    name="reversal_no_arity",
+    description="reversal after applying the arity-elimination encoding of Lemma 4.1",
+    paper_reference="Example 4.3 (fragment {I, R})",
+    program_text="""
+        T($x.a.a.$x.b) :- R($x).
+        T($x.a.$y.@u.a.$x.b.$y.@u) :- T($x.@u.a.$y.a.$x.@u.b.$y).
+        S($x) :- T(a.$x.a.b.$x).
+    """,
+    input_schema={"R": 1},
+    output_relation="S",
+    reference=_ref_reversal,
+))
+
+SQUARING = _register(CanonicalQuery(
+    name="squaring",
+    description="for R(a^n), output a^(n²); the witness that recursion is primitive",
+    paper_reference="Theorem 5.3 (fragment {A, I, R})",
+    program_text="""
+        T(eps, $x, $x) :- R($x).
+        T($y.$x, $x, $z) :- T($y, $x, a.$z).
+        S($y) :- T($y, $x, eps).
+    """,
+    input_schema={"R": 1},
+    output_relation="S",
+    reference=_ref_squaring,
+    limits=EvaluationLimits(max_iterations=100_000, max_facts=5_000_000),
+))
+
+NFA_ACCEPTANCE = _register(CanonicalQuery(
+    name="nfa_acceptance",
+    description="strings from R accepted by the NFA stored in relations N, D, F",
+    paper_reference="Example 2.1 (fragment {A, I, R})",
+    program_text="""
+        S(@q.$x, eps) :- R($x), N(@q).
+        S(@q2.$y, $z.@a) :- S(@q1.@a.$y, $z), D(@q1, @a, @q2).
+        A($x) :- S(@q, $x), F(@q).
+    """,
+    input_schema={"R": 1, "N": 1, "D": 3, "F": 1},
+    output_relation="A",
+    reference=_ref_nfa_acceptance,
+))
+
+THREE_OCCURRENCES = _register(CanonicalQuery(
+    name="three_occurrences",
+    description="are there at least three different occurrences of an S-string inside R-strings?",
+    paper_reference="Example 2.2 (fragment {A, I, N, P})",
+    program_text="""
+        T($u.<$s>.$v) :- R($u.$s.$v), S($s).
+        A :- T($x), T($y), T($z), $x != $y, $x != $z, $y != $z.
+    """,
+    input_schema={"R": 1, "S": 1},
+    output_relation="A",
+    reference=_ref_three_occurrences,
+    boolean=True,
+))
+
+UNEQUAL_PALINDROME = _register(CanonicalQuery(
+    name="unequal_palindrome",
+    description="paths of the form a1…an·bn…b1 with ai ≠ bi for every i",
+    paper_reference="Example 4.6 (fragment {A, E, I, N, R})",
+    program_text="""
+        U($x, $x) :- R($x).
+        U($x, $y) :- U($x, @a.$y.@b), @a != @b.
+        S($x) :- U($x, eps).
+    """,
+    input_schema={"R": 1},
+    output_relation="S",
+    reference=_ref_unequal_palindrome,
+))
+
+REACHABILITY = _register(CanonicalQuery(
+    name="reachability",
+    description="is node b reachable from node a in the graph encoded as length-2 paths?",
+    paper_reference="Section 5.1.1 (fragment {I, R})",
+    program_text="""
+        T(@x.@y) :- R(@x.@y).
+        T(@x.@z) :- T(@x.@y), R(@y.@z).
+        S :- T(a.b).
+    """,
+    input_schema={"R": 1},
+    output_relation="S",
+    reference=_ref_reachability,
+    boolean=True,
+))
+
+BLACK_NEIGHBOURS = _register(CanonicalQuery(
+    name="black_neighbours",
+    description="nodes all of whose outgoing edges lead to black nodes",
+    paper_reference="Section 5.2 (fragment {I, N}); classical counterexample of Theorem 5.5",
+    program_text="""
+        W(@x) :- R(@x.@y), not B(@y).
+        S(@x) :- R(@x.@y), not W(@x).
+    """,
+    input_schema={"R": 1, "B": 1},
+    output_relation="S",
+    reference=_ref_black_neighbours,
+))
+
+SET_DIFFERENCE = _register(CanonicalQuery(
+    name="set_difference",
+    description="paths in R but not in Q (the simplest non-monotone query)",
+    paper_reference="Section 6, item 1 (fragment {N})",
+    program_text="S($x) :- R($x), not Q($x).",
+    input_schema={"R": 1, "Q": 1},
+    output_relation="S",
+    reference=_ref_set_difference,
+))
+
+JSON_REGROUP = _register(CanonicalQuery(
+    name="json_regroup",
+    description="regroup Sales item·year·volume paths into year·item·volume paths",
+    paper_reference="Introduction, JSON Schema application (fragment {})",
+    program_text="S(@year.@item.@volume) :- Sales(@item.@year.@volume).",
+    input_schema={"Sales": 1},
+    output_relation="S",
+    reference=_ref_json_regroup,
+))
+
+PROCESS_COMPLIANCE = _register(CanonicalQuery(
+    name="process_compliance",
+    description="event logs in which every 'complete_order' is eventually followed by 'receive_payment'",
+    paper_reference="Introduction, process-mining application (fragment {A, E, I, N})",
+    program_text="""
+        HasLater($x, $v) :- R($x), $x = $u.complete_order.$v, $v = $w.receive_payment.$t.
+        Viol($x) :- R($x), $x = $u.complete_order.$v, not HasLater($x, $v).
+        S($x) :- R($x), not Viol($x).
+    """,
+    input_schema={"R": 1},
+    output_relation="S",
+    reference=_ref_process_compliance,
+))
+
+
+def get_query(name: str) -> CanonicalQuery:
+    """Look up a canonical query by name."""
+    try:
+        return CANONICAL_QUERIES[name]
+    except KeyError:
+        known = ", ".join(sorted(CANONICAL_QUERIES))
+        raise KeyError(f"unknown canonical query {name!r}; known queries: {known}") from None
+
+
+def query_names() -> list[str]:
+    """The names of all canonical queries, sorted."""
+    return sorted(CANONICAL_QUERIES)

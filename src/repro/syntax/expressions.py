@@ -1,0 +1,345 @@
+"""Path expressions and variables (Section 2.2).
+
+Path expressions are defined like paths, but with variables added:
+
+1. every atomic value is a path expression;
+2. every variable (atomic ``@x`` or path ``$x``) is a path expression;
+3. if ``e`` is a path expression, then ``⟨e⟩`` is a path expression;
+4. every finite sequence of path expressions is a path expression.
+
+A :class:`PathExpression` stores a *flattened* tuple of items, so that
+concatenation is associative by construction, exactly as for paths.  The items
+are atomic constants (strings), :class:`AtomVariable`, :class:`PathVariable`,
+and :class:`PackedExpression` (a packed sub-expression).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from repro.errors import ModelError, SyntaxSemanticError
+from repro.model.terms import Packed, Path, is_atomic_value
+
+__all__ = [
+    "Variable",
+    "AtomVariable",
+    "PathVariable",
+    "PackedExpression",
+    "PathExpression",
+    "Item",
+    "atom_var",
+    "path_var",
+    "pexpr",
+    "packed",
+    "constant_expression",
+]
+
+
+class Variable:
+    """Base class of atomic and path variables."""
+
+    __slots__ = ("_name", "_hash")
+
+    #: Prefix used when rendering the variable ("@" or "$").
+    prefix = "?"
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise SyntaxSemanticError(f"variable names must be non-empty strings, got {name!r}")
+        self._name = name
+        self._hash = hash((type(self).__name__, name))
+
+    @property
+    def name(self) -> str:
+        """The bare name of the variable (without the ``@``/``$`` prefix)."""
+        return self._name
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._name == other._name  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._name!r})"
+
+    def __str__(self) -> str:
+        return f"{self.prefix}{self._name}"
+
+
+class AtomVariable(Variable):
+    """An atomic variable ``@x``, ranging over atomic values."""
+
+    __slots__ = ()
+    prefix = "@"
+
+
+class PathVariable(Variable):
+    """A path variable ``$x``, ranging over (possibly empty) paths."""
+
+    __slots__ = ()
+    prefix = "$"
+
+
+class PackedExpression:
+    """A packed path expression ``⟨e⟩``."""
+
+    __slots__ = ("_inner", "_hash")
+
+    def __init__(self, inner: "PathExpression | Item | Iterable[Item]" = ()):
+        self._inner = PathExpression.of(inner)
+        self._hash = hash(("PackedExpression", self._inner))
+
+    @property
+    def inner(self) -> "PathExpression":
+        """The expression inside the packing brackets."""
+        return self._inner
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PackedExpression) and self._inner == other._inner
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"PackedExpression({self._inner!r})"
+
+    def __str__(self) -> str:
+        return f"<{self._inner}>"
+
+
+#: The kinds of item a flattened path expression may contain.
+Item = Union[str, AtomVariable, PathVariable, PackedExpression]
+
+
+def _is_item(obj: object) -> bool:
+    return is_atomic_value(obj) or isinstance(obj, (AtomVariable, PathVariable, PackedExpression))
+
+
+class PathExpression:
+    """A flattened sequence of constants, variables, and packed sub-expressions."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[Item] = ()):
+        flattened = tuple(items)
+        for item in flattened:
+            if not _is_item(item):
+                raise SyntaxSemanticError(
+                    f"path expression items must be constants, variables, or packed "
+                    f"expressions, got {item!r}"
+                )
+        self._items = flattened
+        self._hash = hash(("PathExpression", flattened))
+
+    # -- construction -------------------------------------------------------------
+
+    @staticmethod
+    def of(*parts: "PathExpression | Item | Path | Packed | Iterable") -> "PathExpression":
+        """Build a path expression from parts, flattening concatenation.
+
+        Accepts constants (strings), variables, packed expressions, other path
+        expressions, concrete :class:`Path`/:class:`Packed` values (converted
+        to constant expressions), and iterables of any of these.
+        """
+        items: list[Item] = []
+        for part in parts:
+            items.extend(_as_items(part))
+        return PathExpression(items)
+
+    @staticmethod
+    def empty() -> "PathExpression":
+        """The empty path expression (denoting ``ϵ``)."""
+        return EMPTY_EXPRESSION
+
+    @staticmethod
+    def from_path(path: Path) -> "PathExpression":
+        """Return the constant expression denoting *path*."""
+        return PathExpression(tuple(_value_to_item(value) for value in path))
+
+    # -- sequence protocol -----------------------------------------------------------
+
+    @property
+    def items(self) -> tuple[Item, ...]:
+        """The flattened items of this expression."""
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def __getitem__(self, index: "int | slice") -> "Item | PathExpression":
+        if isinstance(index, slice):
+            return PathExpression(self._items[index])
+        return self._items[index]
+
+    def __add__(self, other: "PathExpression | Item | Path | Packed") -> "PathExpression":
+        return PathExpression.of(self, other)
+
+    def __radd__(self, other: "Item | Path | Packed") -> "PathExpression":
+        return PathExpression.of(other, self)
+
+    # -- inspection ---------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Return ``True`` for the empty expression."""
+        return not self._items
+
+    def variables(self) -> frozenset[Variable]:
+        """Return all variables occurring in the expression, at any depth."""
+        found: set[Variable] = set()
+        for item in self._items:
+            if isinstance(item, Variable):
+                found.add(item)
+            elif isinstance(item, PackedExpression):
+                found.update(item.inner.variables())
+        return frozenset(found)
+
+    def variable_occurrences(self) -> list[Variable]:
+        """Return variables in occurrence order, with repetitions."""
+        occurrences: list[Variable] = []
+        for item in self._items:
+            if isinstance(item, Variable):
+                occurrences.append(item)
+            elif isinstance(item, PackedExpression):
+                occurrences.extend(item.inner.variable_occurrences())
+        return occurrences
+
+    def path_variables(self) -> frozenset[PathVariable]:
+        """Return the path variables of the expression."""
+        return frozenset(v for v in self.variables() if isinstance(v, PathVariable))
+
+    def atom_variables(self) -> frozenset[AtomVariable]:
+        """Return the atomic variables of the expression."""
+        return frozenset(v for v in self.variables() if isinstance(v, AtomVariable))
+
+    def constants(self) -> frozenset[str]:
+        """Return the atomic constants occurring in the expression, at any depth."""
+        found: set[str] = set()
+        for item in self._items:
+            if isinstance(item, str):
+                found.add(item)
+            elif isinstance(item, PackedExpression):
+                found.update(item.inner.constants())
+        return frozenset(found)
+
+    def has_packing(self) -> bool:
+        """Return ``True`` if a packed sub-expression occurs anywhere."""
+        return any(isinstance(item, PackedExpression) for item in self._items)
+
+    def packing_depth(self) -> int:
+        """Return the maximum nesting depth of packing in the expression."""
+        depth = 0
+        for item in self._items:
+            if isinstance(item, PackedExpression):
+                depth = max(depth, 1 + item.inner.packing_depth())
+        return depth
+
+    def is_ground(self) -> bool:
+        """Return ``True`` if the expression contains no variables."""
+        return not self.variables()
+
+    def ground_path(self) -> Path:
+        """Return the path denoted by this expression, which must be ground."""
+        values = []
+        for item in self._items:
+            if isinstance(item, str):
+                values.append(item)
+            elif isinstance(item, PackedExpression):
+                values.append(Packed(item.inner.ground_path()))
+            else:
+                raise ModelError(f"expression {self} is not ground (contains {item})")
+        return Path(values)
+
+    def min_length(self) -> int:
+        """A lower bound on the length of any path this expression can denote.
+
+        Constants, atomic variables, and packed sub-expressions each contribute
+        one element; path variables may denote the empty path and contribute 0.
+        """
+        return sum(0 if isinstance(item, PathVariable) else 1 for item in self._items)
+
+    def length_is_fixed(self) -> bool:
+        """Return ``True`` if every valuation gives this expression the same length."""
+        return all(not isinstance(item, PathVariable) for item in self._items)
+
+    # -- equality and rendering -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PathExpression) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"PathExpression({list(self._items)!r})"
+
+    def __str__(self) -> str:
+        if not self._items:
+            return "ϵ"
+        return "·".join(_item_str(item) for item in self._items)
+
+
+EMPTY_EXPRESSION = PathExpression(())
+
+
+def _item_str(item: Item) -> str:
+    return str(item)
+
+
+def _value_to_item(value: "str | Packed") -> Item:
+    if isinstance(value, Packed):
+        return PackedExpression(PathExpression.from_path(value.contents))
+    return value
+
+
+def _as_items(part: object) -> list[Item]:
+    """Flatten *part* into a list of expression items."""
+    if isinstance(part, PathExpression):
+        return list(part.items)
+    if isinstance(part, (AtomVariable, PathVariable, PackedExpression)):
+        return [part]
+    if is_atomic_value(part):
+        return [part]  # type: ignore[list-item]
+    if isinstance(part, Packed):
+        return [_value_to_item(part)]
+    if isinstance(part, Path):
+        return [_value_to_item(value) for value in part]
+    if isinstance(part, str):
+        raise SyntaxSemanticError("constants in path expressions must be non-empty strings")
+    if isinstance(part, Iterable):
+        items: list[Item] = []
+        for sub in part:
+            items.extend(_as_items(sub))
+        return items
+    raise SyntaxSemanticError(f"cannot interpret {part!r} as part of a path expression")
+
+
+# -- public convenience constructors ----------------------------------------------------------
+
+
+def atom_var(name: str) -> AtomVariable:
+    """Return the atomic variable ``@name``."""
+    return AtomVariable(name)
+
+
+def path_var(name: str) -> PathVariable:
+    """Return the path variable ``$name``."""
+    return PathVariable(name)
+
+
+def pexpr(*parts: "PathExpression | Item | Path | Packed | Iterable") -> PathExpression:
+    """Build a path expression, flattening concatenation (alias of ``PathExpression.of``)."""
+    return PathExpression.of(*parts)
+
+
+def packed(*parts: "PathExpression | Item | Path | Packed | Iterable") -> PackedExpression:
+    """Build a packed expression ``⟨e1·...·en⟩``."""
+    return PackedExpression(PathExpression.of(*parts))
+
+
+def constant_expression(path: Path) -> PathExpression:
+    """Return the ground expression denoting *path*."""
+    return PathExpression.from_path(path)

@@ -1,0 +1,283 @@
+"""Predicates, equations, atoms, and literals (Section 2.2).
+
+* A *predicate* is ``P(e1, ..., en)`` with ``P`` a relation name of arity
+  ``n`` and each ``ei`` a path expression.
+* An *equation* is ``e1 = e2`` between two path expressions.
+* An *atom* is a predicate or an equation; a *literal* is an atom or a
+  negated atom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.errors import SyntaxSemanticError
+from repro.syntax.expressions import PathExpression, Variable
+from repro.syntax.substitution import Substitution
+
+__all__ = [
+    "Predicate",
+    "Equation",
+    "Atom",
+    "Literal",
+    "pred",
+    "eq",
+    "pos",
+    "neg",
+]
+
+
+class Predicate:
+    """A predicate ``P(e1, ..., en)``."""
+
+    __slots__ = ("_name", "_components", "_hash")
+
+    def __init__(self, name: str, components: Iterable[object] = ()):
+        if not isinstance(name, str) or not name:
+            raise SyntaxSemanticError(f"relation names must be non-empty strings, got {name!r}")
+        self._name = name
+        self._components = tuple(
+            component if isinstance(component, PathExpression) else PathExpression.of(component)
+            for component in components
+        )
+        self._hash = hash((name, self._components))
+
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self._name
+
+    @property
+    def components(self) -> tuple[PathExpression, ...]:
+        """The argument path expressions."""
+        return self._components
+
+    @property
+    def arity(self) -> int:
+        """The number of arguments."""
+        return len(self._components)
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables occurring in the predicate."""
+        found: set[Variable] = set()
+        for component in self._components:
+            found.update(component.variables())
+        return frozenset(found)
+
+    def has_packing(self) -> bool:
+        """Return ``True`` if packing occurs in any component."""
+        return any(component.has_packing() for component in self._components)
+
+    def is_ground(self) -> bool:
+        """Return ``True`` if no component contains a variable."""
+        return not self.variables()
+
+    def substitute(self, substitution: Substitution) -> "Predicate":
+        """Apply *substitution* to every component."""
+        return Predicate(
+            self._name,
+            tuple(substitution.apply_to_expression(component) for component in self._components),
+        )
+
+    def renamed(self, name: str) -> "Predicate":
+        """Return the same predicate with a different relation name."""
+        return Predicate(name, self._components)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Predicate)
+            and self._name == other._name
+            and self._components == other._components
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Predicate({self._name!r}, {list(self._components)!r})"
+
+    def __str__(self) -> str:
+        if not self._components:
+            return self._name
+        return f"{self._name}({', '.join(str(component) for component in self._components)})"
+
+
+class Equation:
+    """An equation ``e1 = e2`` between path expressions."""
+
+    __slots__ = ("_lhs", "_rhs", "_hash")
+
+    def __init__(self, lhs: object, rhs: object):
+        self._lhs = lhs if isinstance(lhs, PathExpression) else PathExpression.of(lhs)
+        self._rhs = rhs if isinstance(rhs, PathExpression) else PathExpression.of(rhs)
+        self._hash = hash(("Equation", self._lhs, self._rhs))
+
+    @property
+    def lhs(self) -> PathExpression:
+        """The left-hand side."""
+        return self._lhs
+
+    @property
+    def rhs(self) -> PathExpression:
+        """The right-hand side."""
+        return self._rhs
+
+    @property
+    def sides(self) -> tuple[PathExpression, PathExpression]:
+        """Both sides as a pair."""
+        return (self._lhs, self._rhs)
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables occurring on either side."""
+        return self._lhs.variables() | self._rhs.variables()
+
+    def has_packing(self) -> bool:
+        """Return ``True`` if packing occurs on either side."""
+        return self._lhs.has_packing() or self._rhs.has_packing()
+
+    def is_ground(self) -> bool:
+        """Return ``True`` if neither side contains a variable."""
+        return self._lhs.is_ground() and self._rhs.is_ground()
+
+    def swapped(self) -> "Equation":
+        """Return the equation with its sides exchanged."""
+        return Equation(self._rhs, self._lhs)
+
+    def substitute(self, substitution: Substitution) -> "Equation":
+        """Apply *substitution* to both sides."""
+        return Equation(
+            substitution.apply_to_expression(self._lhs),
+            substitution.apply_to_expression(self._rhs),
+        )
+
+    def is_one_sided_nonlinear(self) -> bool:
+        """Return ``True`` if every variable occurring more than once occurs on one side only.
+
+        This is the class of word equations for which the pig-pug procedure is
+        guaranteed to terminate (Section 4.3.1).
+        """
+        from collections import Counter
+
+        left = Counter(self._lhs.variable_occurrences())
+        right = Counter(self._rhs.variable_occurrences())
+        for variable in set(left) | set(right):
+            total = left[variable] + right[variable]
+            if total > 1 and left[variable] and right[variable]:
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Equation)
+            and self._lhs == other._lhs
+            and self._rhs == other._rhs
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Equation({self._lhs!r}, {self._rhs!r})"
+
+    def __str__(self) -> str:
+        return f"{self._lhs} = {self._rhs}"
+
+
+#: Atoms are predicates or equations.
+Atom = Union[Predicate, Equation]
+
+
+class Literal:
+    """A positive or negated atom."""
+
+    __slots__ = ("_atom", "_positive", "_hash")
+
+    def __init__(self, atom: Atom, positive: bool = True):
+        if not isinstance(atom, (Predicate, Equation)):
+            raise SyntaxSemanticError(f"literals must wrap a predicate or equation, got {atom!r}")
+        self._atom = atom
+        self._positive = bool(positive)
+        self._hash = hash((atom, self._positive))
+
+    @property
+    def atom(self) -> Atom:
+        """The underlying atom."""
+        return self._atom
+
+    @property
+    def positive(self) -> bool:
+        """``True`` for a positive literal, ``False`` for a negated one."""
+        return self._positive
+
+    @property
+    def negative(self) -> bool:
+        """``True`` for a negated literal."""
+        return not self._positive
+
+    def is_predicate(self) -> bool:
+        """Return ``True`` if the atom is a predicate."""
+        return isinstance(self._atom, Predicate)
+
+    def is_equation(self) -> bool:
+        """Return ``True`` if the atom is an equation."""
+        return isinstance(self._atom, Equation)
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables in the atom."""
+        return self._atom.variables()
+
+    def has_packing(self) -> bool:
+        """Return ``True`` if packing occurs in the atom."""
+        return self._atom.has_packing()
+
+    def substitute(self, substitution: Substitution) -> "Literal":
+        """Apply *substitution* to the atom, keeping the sign."""
+        return Literal(self._atom.substitute(substitution), self._positive)
+
+    def negated(self) -> "Literal":
+        """Return the literal with the opposite sign."""
+        return Literal(self._atom, not self._positive)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Literal)
+            and self._atom == other._atom
+            and self._positive == other._positive
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        sign = "" if self._positive else "¬"
+        return f"Literal({sign}{self._atom})"
+
+    def __str__(self) -> str:
+        if self._positive:
+            return str(self._atom)
+        if isinstance(self._atom, Equation):
+            return f"{self._atom.lhs} ≠ {self._atom.rhs}"
+        return f"¬{self._atom}"
+
+
+# -- convenience constructors --------------------------------------------------------------
+
+
+def pred(name: str, *components: object) -> Predicate:
+    """Build the predicate ``name(components...)``."""
+    return Predicate(name, components)
+
+
+def eq(lhs: object, rhs: object) -> Equation:
+    """Build the equation ``lhs = rhs``."""
+    return Equation(lhs, rhs)
+
+
+def pos(atom: Atom) -> Literal:
+    """Wrap *atom* as a positive literal."""
+    return Literal(atom, True)
+
+
+def neg(atom: Atom) -> Literal:
+    """Wrap *atom* as a negated literal."""
+    return Literal(atom, False)

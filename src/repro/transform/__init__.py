@@ -1,0 +1,92 @@
+"""Program transformations realising the redundancy results of Section 4."""
+
+from repro.transform.arity import (
+    eliminate_arity,
+    encode_components,
+    encode_path_tuple,
+    pair_encode_expressions,
+    pair_encode_paths,
+)
+from repro.transform.base import (
+    TransformationReport,
+    count_literals,
+    programs_agree_on,
+    relation_outputs_equal,
+)
+from repro.transform.doubling import (
+    DEFAULT_DELIMITERS,
+    decode_packed_path,
+    double_path,
+    doubling_program,
+    encode_packed_path,
+    is_doubled,
+    undouble_path,
+    undoubling_program,
+)
+from repro.transform.equations import (
+    eliminate_equations,
+    eliminate_negated_equations,
+    eliminate_positive_equations,
+)
+from repro.transform.folding import eliminate_intermediate_predicates, unfold_relation
+from repro.transform.normal_form import NORMAL_FORMS, normal_form_of, rule_normal_form
+from repro.transform.packing import eliminate_packing, flatten_rule, purify_rule
+from repro.transform.pipeline import RewriteResult, RewriteStep, rewrite_into_fragment
+from repro.transform.purity import (
+    FULLY_IMPURE,
+    HALF_PURE,
+    PURE,
+    classify_equation,
+    pure_variables,
+    source_variables,
+)
+from repro.transform.structures import (
+    PackingStructure,
+    components,
+    packing_structure,
+    structure_and_components,
+)
+
+__all__ = [
+    "DEFAULT_DELIMITERS",
+    "FULLY_IMPURE",
+    "HALF_PURE",
+    "NORMAL_FORMS",
+    "PURE",
+    "PackingStructure",
+    "RewriteResult",
+    "RewriteStep",
+    "TransformationReport",
+    "classify_equation",
+    "components",
+    "count_literals",
+    "decode_packed_path",
+    "double_path",
+    "doubling_program",
+    "eliminate_arity",
+    "eliminate_equations",
+    "eliminate_intermediate_predicates",
+    "eliminate_negated_equations",
+    "eliminate_packing",
+    "eliminate_positive_equations",
+    "encode_components",
+    "encode_packed_path",
+    "encode_path_tuple",
+    "flatten_rule",
+    "is_doubled",
+    "normal_form_of",
+    "pair_encode_expressions",
+    "pair_encode_paths",
+    "packing_structure",
+    "programs_agree_on",
+    "pure_variables",
+    "purify_rule",
+    "relation_outputs_equal",
+    "rewrite_into_fragment",
+    "rule_normal_form",
+    "source_variables",
+    "structure_and_components",
+    "undouble_path",
+    "undoubling_program",
+    "unfold_relation",
+]

@@ -1,0 +1,126 @@
+"""Arity elimination (Lemma 4.1, Theorem 4.2, Example 4.3).
+
+Lemma 4.1: for two distinct atomic values ``a`` and ``b`` and any paths,
+``(s1, s2) = (s1', s2')`` iff ``s1·a·s2·a·s1·b·s2 = s1'·a·s2'·a·s1'·b·s2'``.
+The encoding is injective, commutes with valuations, and uses no feature
+beyond concatenation, so every IDB predicate of arity above one can be
+collapsed to a unary predicate by repeatedly pairing components.  Applying
+it to all rules of a program yields an equivalent program without the A
+feature (on programs whose EDB relations are already monadic).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformationError
+from repro.fragments.features import Feature, program_features
+from repro.model.terms import Path
+from repro.syntax.expressions import PathExpression
+from repro.syntax.literals import Equation, Literal, Predicate
+from repro.syntax.programs import Program, Stratum
+from repro.syntax.rules import Rule
+
+__all__ = ["pair_encode_paths", "pair_encode_expressions", "encode_components", "eliminate_arity"]
+
+#: The two distinct atomic values used by the encoding (any two work; the paper uses a and b).
+DEFAULT_SEPARATORS = ("a", "b")
+
+
+def pair_encode_paths(first: Path, second: Path, separators: tuple[str, str] = DEFAULT_SEPARATORS) -> Path:
+    """Encode a pair of paths as the single path of Lemma 4.1."""
+    a, b = separators
+    if a == b:
+        raise TransformationError("the two separator values of Lemma 4.1 must be distinct")
+    return Path.of(first, a, second, a, first, b, second)
+
+
+def pair_encode_expressions(
+    first: PathExpression,
+    second: PathExpression,
+    separators: tuple[str, str] = DEFAULT_SEPARATORS,
+) -> PathExpression:
+    """Encode a pair of path expressions (the expression-level version of Lemma 4.1)."""
+    a, b = separators
+    if a == b:
+        raise TransformationError("the two separator values of Lemma 4.1 must be distinct")
+    return PathExpression.of(first, a, second, a, first, b, second)
+
+
+def encode_components(
+    components: tuple[PathExpression, ...],
+    separators: tuple[str, str] = DEFAULT_SEPARATORS,
+) -> PathExpression:
+    """Collapse an n-tuple of expressions into one expression by repeated pairing.
+
+    The encoding folds from the right: ``enc(e1, ..., en) = pair(e1, enc(e2, ..., en))``.
+    """
+    if not components:
+        raise TransformationError("cannot encode an empty component tuple")
+    if len(components) == 1:
+        return components[0]
+    rest = encode_components(components[1:], separators)
+    return pair_encode_expressions(components[0], rest, separators)
+
+
+def encode_path_tuple(paths: tuple[Path, ...], separators: tuple[str, str] = DEFAULT_SEPARATORS) -> Path:
+    """Collapse an n-tuple of concrete paths the same way (used by tests)."""
+    if not paths:
+        raise TransformationError("cannot encode an empty path tuple")
+    if len(paths) == 1:
+        return paths[0]
+    return pair_encode_paths(paths[0], encode_path_tuple(paths[1:], separators), separators)
+
+
+def _encode_predicate(
+    predicate: Predicate,
+    idb_to_encode: frozenset[str],
+    separators: tuple[str, str],
+) -> Predicate:
+    if predicate.name not in idb_to_encode or predicate.arity <= 1:
+        return predicate
+    return Predicate(predicate.name, (encode_components(predicate.components, separators),))
+
+
+def _encode_rule(rule: Rule, idb_to_encode: frozenset[str], separators: tuple[str, str]) -> Rule:
+    head = _encode_predicate(rule.head, idb_to_encode, separators)
+    body = []
+    for literal in rule.body:
+        atom = literal.atom
+        if isinstance(atom, Predicate):
+            atom = _encode_predicate(atom, idb_to_encode, separators)
+        body.append(Literal(atom, literal.positive))
+    return Rule(head, body)
+
+
+def eliminate_arity(
+    program: Program,
+    *,
+    separators: tuple[str, str] = DEFAULT_SEPARATORS,
+) -> Program:
+    """Rewrite *program* so that no IDB predicate has arity above one (Theorem 4.2).
+
+    EDB relations are not re-encoded (the baseline queries have monadic input
+    schemas); if an EDB relation of arity above one is used, the transformation
+    refuses, because the input data would need re-encoding too.
+    """
+    arities = program.relation_arities()
+    offending = [
+        name for name in program.edb_relation_names() if arities.get(name, 0) > 1
+    ]
+    if offending:
+        raise TransformationError(
+            f"cannot eliminate arity: EDB relations {sorted(offending)} have arity above one; "
+            f"arity elimination applies to programs over monadic schemas (Section 3.1)"
+        )
+    idb_to_encode = frozenset(
+        name for name in program.idb_relation_names() if arities.get(name, 0) > 1
+    )
+    if not idb_to_encode:
+        return program
+    transformed = Program(
+        [Stratum([_encode_rule(rule, idb_to_encode, separators) for rule in stratum])
+         for stratum in program.strata]
+    )
+    remaining = program_features(transformed)
+    if Feature.ARITY in remaining:
+        raise TransformationError("arity elimination failed to remove the A feature")
+    return transformed

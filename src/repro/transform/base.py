@@ -1,0 +1,87 @@
+"""Shared helpers for the Section 4 program transformations.
+
+Every transformation in this package is a pure function ``Program → Program``
+(plus parameters).  They share a few utilities: equivalence checking by
+differential evaluation (used heavily by the tests and benchmarks), and small
+rule-rewriting helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.engine.fixpoint import evaluate_program
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.model.instance import Instance
+from repro.syntax.literals import Equation, Literal, Predicate
+from repro.syntax.programs import Program
+from repro.syntax.rules import Rule
+
+__all__ = [
+    "TransformationReport",
+    "relation_outputs_equal",
+    "programs_agree_on",
+    "count_literals",
+]
+
+
+@dataclass(frozen=True)
+class TransformationReport:
+    """Size statistics comparing a program before and after a transformation."""
+
+    rules_before: int
+    rules_after: int
+    strata_before: int
+    strata_after: int
+    literals_before: int
+    literals_after: int
+
+    @staticmethod
+    def compare(before: Program, after: Program) -> "TransformationReport":
+        """Build a report from the two programs."""
+        return TransformationReport(
+            rules_before=before.rule_count(),
+            rules_after=after.rule_count(),
+            strata_before=len(before.strata),
+            strata_after=len(after.strata),
+            literals_before=count_literals(before),
+            literals_after=count_literals(after),
+        )
+
+
+def count_literals(program: Program) -> int:
+    """Total number of body literals in the program."""
+    return sum(len(rule.body) for rule in program.rules())
+
+
+def relation_outputs_equal(
+    first: Program,
+    second: Program,
+    instance: Instance,
+    relations: Iterable[str],
+    *,
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+) -> bool:
+    """Evaluate both programs on *instance* and compare the given output relations."""
+    result_first = evaluate_program(first, instance, limits)
+    result_second = evaluate_program(second, instance, limits)
+    return all(
+        result_first.relation(name) == result_second.relation(name) for name in relations
+    )
+
+
+def programs_agree_on(
+    first: Program,
+    second: Program,
+    instances: Sequence[Instance],
+    relations: Iterable[str],
+    *,
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+) -> bool:
+    """Differential test: do the programs agree on every instance?"""
+    wanted = list(relations)
+    return all(
+        relation_outputs_equal(first, second, instance, wanted, limits=limits)
+        for instance in instances
+    )

@@ -1,0 +1,172 @@
+"""The doubling encoding used to make packing redundant under recursion (Theorem 4.15).
+
+The proof of Theorem 4.15 adapts the flat–flat theorem of J-Logic: the input
+is preprocessed by *doubling* every path (``k1·k2·…·kn`` becomes
+``k1·k1·k2·k2·…·kn·kn``), the program is rewritten to work on doubled data
+where packing is simulated by single (non-doubled) occurrences of reserved
+delimiter values, and the output is *undoubled* at the end.  The paper spells
+out the doubling and undoubling programs explicitly (they avoid negation by
+using arity, which is harmless because arity is redundant); this module
+provides
+
+* those two programs, verbatim (:func:`doubling_program`,
+  :func:`undoubling_program`);
+* the corresponding data-level operations (:func:`double_path`,
+  :func:`undouble_path`);
+* the simulated-delimiter encoding of packed paths into flat doubled paths
+  (:func:`encode_packed_path`, :func:`decode_packed_path`), whose round-trip
+  property is what makes the simulation work.
+
+The full automatic rewriting of an arbitrary *recursive* program with packing
+is the J-Logic construction the paper cites; it is out of scope here (see
+DESIGN.md), but the nonrecursive case is fully handled by
+:mod:`repro.transform.packing`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformationError
+from repro.model.terms import Packed, Path, Value
+from repro.parser.parser import parse_rules
+from repro.syntax.programs import Program, Stratum
+
+__all__ = [
+    "double_path",
+    "undouble_path",
+    "is_doubled",
+    "doubling_program",
+    "undoubling_program",
+    "encode_packed_path",
+    "decode_packed_path",
+    "DEFAULT_DELIMITERS",
+]
+
+#: Reserved opening/closing delimiter values used to simulate packing.
+DEFAULT_DELIMITERS = ("open!", "close!")
+
+
+def double_path(path: Path) -> Path:
+    """Return the doubled version ``k1·k1·k2·k2·…·kn·kn`` of a flat path."""
+    if not path.is_flat():
+        raise TransformationError("only flat paths can be doubled; encode packing first")
+    doubled: list[Value] = []
+    for value in path:
+        doubled.append(value)
+        doubled.append(value)
+    return Path(doubled)
+
+
+def undouble_path(path: Path) -> Path:
+    """Invert :func:`double_path`, raising if *path* is not a doubled path."""
+    if len(path) % 2 != 0:
+        raise TransformationError(f"{path} is not a doubled path (odd length)")
+    values: list[Value] = []
+    elements = path.elements
+    for index in range(0, len(elements), 2):
+        if elements[index] != elements[index + 1]:
+            raise TransformationError(f"{path} is not a doubled path (mismatch at {index})")
+        values.append(elements[index])
+    return Path(values)
+
+
+def is_doubled(path: Path) -> bool:
+    """Return ``True`` if *path* is the doubling of some flat path."""
+    elements = path.elements
+    return len(elements) % 2 == 0 and all(
+        elements[index] == elements[index + 1] for index in range(0, len(elements), 2)
+    )
+
+
+def doubling_program(source: str = "R", target: str = "Rd", helper: str = "DblT") -> Program:
+    """The paper's program doubling an EDB relation (proof of Theorem 4.15).
+
+    ::
+
+        T(ϵ, $x)        ← R($x).
+        T($x·@y·@y, $z) ← T($x, @y·$z).
+        R'($x)          ← T($x, ϵ).
+    """
+    text = f"""
+        {helper}(eps, $x) :- {source}($x).
+        {helper}($x.@y.@y, $z) :- {helper}($x, @y.$z).
+        {target}($x) :- {helper}($x, eps).
+    """
+    return Program.single_stratum(parse_rules(text))
+
+
+def undoubling_program(source: str = "Sd", target: str = "S", helper: str = "UndT") -> Program:
+    """The paper's program undoubling a doubled relation (proof of Theorem 4.15).
+
+    ::
+
+        T($x, ϵ)        ← S'($x).
+        T($x, @y·$z)    ← T($x·@y·@y, $z).
+        S($x)           ← T(ϵ, $x).
+    """
+    text = f"""
+        {helper}($x, eps) :- {source}($x).
+        {helper}($x, @y.$z) :- {helper}($x.@y.@y, $z).
+        {target}($x) :- {helper}(eps, $x).
+    """
+    return Program.single_stratum(parse_rules(text))
+
+
+def encode_packed_path(path: Path, delimiters: tuple[str, str] = DEFAULT_DELIMITERS) -> Path:
+    """Encode a (possibly packed) path as a flat *doubled* path with simulated delimiters.
+
+    Every atomic value is doubled; a packed value ``⟨p⟩`` becomes a single
+    (non-doubled) opening delimiter, the encoding of ``p``, and a single
+    closing delimiter.  Because genuine data occurs doubled and delimiters
+    occur singly, the encoding is unambiguous and invertible
+    (:func:`decode_packed_path`).
+    """
+    open_symbol, close_symbol = delimiters
+    if open_symbol == close_symbol:
+        raise TransformationError("the two packing delimiters must be distinct")
+    encoded: list[Value] = []
+
+    def encode(current: Path) -> None:
+        for value in current:
+            if isinstance(value, Packed):
+                encoded.append(open_symbol)
+                encode(value.contents)
+                encoded.append(close_symbol)
+            else:
+                encoded.append(value)
+                encoded.append(value)
+
+    encode(path)
+    return Path(encoded)
+
+
+def decode_packed_path(path: Path, delimiters: tuple[str, str] = DEFAULT_DELIMITERS) -> Path:
+    """Invert :func:`encode_packed_path`."""
+    open_symbol, close_symbol = delimiters
+    elements = path.elements
+    position = 0
+
+    def decode() -> list[Value]:
+        nonlocal position
+        values: list[Value] = []
+        while position < len(elements):
+            value = elements[position]
+            if value == close_symbol:
+                return values
+            if value == open_symbol:
+                position += 1
+                inner = decode()
+                if position >= len(elements) or elements[position] != close_symbol:
+                    raise TransformationError(f"{path} has an unterminated simulated packing")
+                position += 1
+                values.append(Packed(Path(inner)))
+                continue
+            if position + 1 >= len(elements) or elements[position + 1] != value:
+                raise TransformationError(f"{path} is not a delimiter-encoded doubled path")
+            values.append(value)
+            position += 2
+        return values
+
+    decoded = decode()
+    if position != len(elements):
+        raise TransformationError(f"{path} has an unmatched closing delimiter")
+    return Path(decoded)

@@ -1,0 +1,390 @@
+"""The six-form normal form for nonrecursive, equation-free programs (Lemma 7.2).
+
+Every nonrecursive Sequence Datalog program without equations can be rewritten
+so that each rule has one of six shapes:
+
+1. ``R1(v1,…,vn) ← R2(e1,…,em)``              (extraction)
+2. ``R1(v1,…,vn,e) ← R2(v1,…,vn)``            (generalised projection / computation)
+3. ``R1(v1,…,vn) ← R2(x1,…,xk), R3(y1,…,yl)`` (join)
+4. ``R1(v1,…,vn) ← R2(v1,…,vn), ¬R3(v'1,…,v'm)`` (difference)
+5. ``R1(v'1,…,v'm) ← R2(v1,…,vn)``            (projection / column reordering)
+6. ``R(p) ←``                                  (constant relation)
+
+with the side conditions listed in the paper (head variables distinct, path
+variables only in forms 2–6, …).  The conversion follows the paper's
+four-step procedure and is the front end of the Datalog → sequence relational
+algebra compiler (Theorem 7.1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformationError
+from repro.syntax.expressions import (
+    AtomVariable,
+    PathExpression,
+    PathVariable,
+    Variable,
+)
+from repro.syntax.literals import Equation, Literal, Predicate
+from repro.syntax.naming import FreshNames
+from repro.syntax.programs import Program, Stratum
+from repro.syntax.rules import Rule
+from repro.syntax.substitution import Substitution
+
+__all__ = ["NORMAL_FORMS", "rule_normal_form", "is_in_normal_form", "normal_form_of"]
+
+#: Short descriptions of the six normal forms of Lemma 7.2.
+NORMAL_FORMS = {
+    1: "extraction: R1(v1..vn) ← R2(e1..em)",
+    2: "generalised projection: R1(v1..vn, e) ← R2(v1..vn)",
+    3: "join: R1(v1..vn) ← R2(x1..xk), R3(y1..yl)",
+    4: "difference: R1(v1..vn) ← R2(v1..vn), ¬R3(v'1..v'm)",
+    5: "projection: R1(v'1..v'm) ← R2(v1..vn)",
+    6: "constant: R(p) ←",
+}
+
+
+def _head_variable_components(rule: Rule) -> list[Variable] | None:
+    """Return the head components as a list of variables, or None if they are not all variables."""
+    variables: list[Variable] = []
+    for component in rule.head.components:
+        if len(component.items) == 1 and isinstance(component.items[0], Variable):
+            variables.append(component.items[0])
+        else:
+            return None
+    return variables
+
+
+def _distinct_path_variable_components(predicate: Predicate) -> list[PathVariable] | None:
+    variables: list[PathVariable] = []
+    for component in predicate.components:
+        if len(component.items) == 1 and isinstance(component.items[0], PathVariable):
+            variables.append(component.items[0])
+        else:
+            return None
+    if len(set(variables)) != len(variables):
+        return None
+    return variables
+
+
+def rule_normal_form(rule: Rule) -> int | None:
+    """Return the (lowest) normal form number *rule* matches, or ``None``."""
+    positives = [l for l in rule.body if l.positive and l.is_predicate()]
+    negatives = [l for l in rule.body if l.negative and l.is_predicate()]
+    equations = [l for l in rule.body if l.is_equation()]
+    if equations:
+        return None
+
+    head_vars = _head_variable_components(rule)
+
+    # Form 6: constant relation.
+    if not rule.body and rule.head.is_ground():
+        return 6
+
+    if len(positives) == 1 and not negatives:
+        body_predicate: Predicate = positives[0].atom  # type: ignore[assignment]
+        body_vars = _distinct_path_variable_components(body_predicate)
+
+        # Form 1: head components are distinct variables, body arbitrary expressions.
+        if head_vars is not None and len(set(head_vars)) == len(head_vars):
+            if set(head_vars) <= body_predicate.variables():
+                form1 = True
+            else:
+                form1 = False
+        else:
+            form1 = False
+
+        if body_vars is not None:
+            # Form 2: head = body variables in order plus one extra expression.
+            if (
+                len(rule.head.components) == len(body_vars) + 1
+                and list(rule.head.components[:-1])
+                == [PathExpression.of(v) for v in body_vars]
+            ):
+                return 2
+            # Form 5: head variables drawn from the body variables, distinct path variables.
+            if (
+                head_vars is not None
+                and all(isinstance(v, PathVariable) for v in head_vars)
+                and len(set(head_vars)) == len(head_vars)
+                and set(head_vars) <= set(body_vars)
+            ):
+                return 5
+        if form1:
+            return 1
+        return None
+
+    # Form 3: join of two positive predicates over path variables.
+    if len(positives) == 2 and not negatives and head_vars is not None:
+        first: Predicate = positives[0].atom  # type: ignore[assignment]
+        second: Predicate = positives[1].atom  # type: ignore[assignment]
+        first_vars = _all_path_variable_components(first)
+        second_vars = _all_path_variable_components(second)
+        if first_vars is None or second_vars is None:
+            return None
+        if not all(isinstance(v, PathVariable) for v in head_vars):
+            return None
+        if len(set(head_vars)) != len(head_vars):
+            return None
+        if set(head_vars) <= set(first_vars) | set(second_vars):
+            return 3
+        return None
+
+    # Form 4: one positive predicate carrying the head variables plus one negated predicate.
+    if len(positives) == 1 and len(negatives) == 1 and head_vars is not None:
+        positive: Predicate = positives[0].atom  # type: ignore[assignment]
+        negative: Predicate = negatives[0].atom  # type: ignore[assignment]
+        positive_vars = _distinct_path_variable_components(positive)
+        negative_vars = _distinct_path_variable_components(negative)
+        if positive_vars is None or negative_vars is None:
+            return None
+        if list(rule.head.components) != [PathExpression.of(v) for v in positive_vars]:
+            return None
+        if set(negative_vars) <= set(positive_vars):
+            return 4
+        return None
+
+    return None
+
+
+def _all_path_variable_components(predicate: Predicate) -> list[PathVariable] | None:
+    """Like :func:`_distinct_path_variable_components` but repetitions are allowed."""
+    variables: list[PathVariable] = []
+    for component in predicate.components:
+        if len(component.items) == 1 and isinstance(component.items[0], PathVariable):
+            variables.append(component.items[0])
+        else:
+            return None
+    return variables
+
+
+def is_in_normal_form(program: Program) -> bool:
+    """Return ``True`` if every rule of the program matches one of the six forms."""
+    return all(rule_normal_form(rule) is not None for rule in program.rules())
+
+
+# -- conversion (the four steps of the paper's proof) -------------------------------------------------------
+
+
+def _convert_rule(rule: Rule, fresh: FreshNames, constant: str = "a") -> list[Rule]:
+    """Convert one rule into normal-form rules (added rules share its stratum)."""
+    if rule_normal_form(rule) is not None:
+        return [rule]
+    if any(literal.is_equation() for literal in rule.body):
+        raise TransformationError(
+            f"rule {rule} uses equations; eliminate them first (Theorem 4.7) before "
+            f"normal-form conversion (Lemma 7.2)"
+        )
+
+    produced: list[Rule] = []
+
+    # Atomic variables of the original rule are replaced by path variables in the
+    # main rule (forms 2-6 only allow path variables).  This is sound because the
+    # extraction relations only ever store atomic values in those columns.
+    atom_variable_map: dict[Variable, PathVariable] = {}
+
+    def as_path_variable(variable: Variable) -> PathVariable:
+        if isinstance(variable, PathVariable):
+            return variable
+        mapped = atom_variable_map.get(variable)
+        if mapped is None:
+            mapped = fresh.path_variable(variable.name)
+            atom_variable_map[variable] = mapped
+        return mapped
+
+    def replace_atom_variables(expression: PathExpression) -> PathExpression:
+        from repro.syntax.expressions import PackedExpression
+
+        parts: list[object] = []
+        for item in expression.items:
+            if isinstance(item, AtomVariable):
+                parts.append(as_path_variable(item))
+            elif isinstance(item, PackedExpression):
+                parts.append(PackedExpression(replace_atom_variables(item.inner)))
+            else:
+                parts.append(item)
+        return PathExpression.of(*parts)
+
+    # Step 1.1: one extraction rule per positive body atom.
+    positive_atoms: list[Predicate] = []  # calls in the main rule, path variables only
+    for literal in rule.body:
+        if not (literal.positive and literal.is_predicate()):
+            continue
+        atom: Predicate = literal.atom  # type: ignore[assignment]
+        atom_variables = sorted(atom.variables(), key=lambda v: (v.prefix, v.name))
+        if atom_variables:
+            extraction_name = fresh.relation("H")
+            produced.append(
+                Rule(
+                    Predicate(extraction_name, tuple(PathExpression.of(v) for v in atom_variables)),
+                    [Literal(atom, True)],
+                )
+            )
+            call_variables = tuple(
+                PathExpression.of(as_path_variable(variable)) for variable in atom_variables
+            )
+            positive_atoms.append(Predicate(extraction_name, call_variables))
+        else:
+            guard_name = fresh.relation("Hg")
+            unary_name = fresh.relation("Hu")
+            produced.append(Rule(Predicate(guard_name, ()), [Literal(atom, True)]))
+            produced.append(
+                Rule(Predicate(unary_name, (PathExpression.of(constant),)),
+                     [Literal(Predicate(guard_name, ()), True)])
+            )
+            guard_variable = fresh.path_variable("g")
+            positive_atoms.append(Predicate(unary_name, (PathExpression.of(guard_variable),)))
+
+    # Step 1.2: ensure there is at least one positive atom, then join pairwise.
+    if not positive_atoms:
+        constant_name = fresh.relation("K")
+        produced.append(Rule(Predicate(constant_name, (PathExpression.of(constant),)), []))
+        guard_variable = fresh.path_variable("g")
+        positive_atoms.append(Predicate(constant_name, (PathExpression.of(guard_variable),)))
+
+    def join(atoms: list[Predicate]) -> Predicate:
+        while len(atoms) > 1:
+            first, second = atoms[0], atoms[1]
+            merged_variables = sorted(
+                {item.items[0] for item in first.components}  # type: ignore[union-attr]
+                | {item.items[0] for item in second.components},  # type: ignore[union-attr]
+                key=lambda v: (v.prefix, v.name),
+            )
+            join_name = fresh.relation("J")
+            joined = Predicate(
+                join_name, tuple(PathExpression.of(v) for v in merged_variables)
+            )
+            produced.append(Rule(joined, [Literal(first, True), Literal(second, True)]))
+            atoms = [joined] + atoms[2:]
+        return atoms[0]
+
+    base_atom = join(positive_atoms)
+    base_variables = [component.items[0] for component in base_atom.components]
+
+    # Step 2: one auxiliary relation per negated literal, then join them.
+    negated_literals = [literal for literal in rule.body if literal.negative]
+    pending_negation_rules: list[tuple[Predicate, Predicate, Predicate]] = []
+    if negated_literals:
+        filtered_atoms: list[Predicate] = []
+        for literal in negated_literals:
+            negation_name = fresh.relation("HN")
+            filtered = Predicate(
+                negation_name, tuple(PathExpression.of(v) for v in base_variables)
+            )
+            negated_atom: Predicate = literal.atom  # type: ignore[assignment]
+            rewritten_negated = Predicate(
+                negated_atom.name,
+                tuple(replace_atom_variables(component) for component in negated_atom.components),
+            )
+            pending_negation_rules.append((filtered, base_atom, rewritten_negated))
+            filtered_atoms.append(filtered)
+        base_atom = join(filtered_atoms)
+        base_variables = [component.items[0] for component in base_atom.components]
+
+    # Step 3: normalise the pending HN(v) ← H(v), ¬N(e1..em) rules.
+    for filtered, source_atom, negated_atom in pending_negation_rules:
+        source_variables = [component.items[0] for component in source_atom.components]
+        produced.extend(
+            _expression_chain_then(
+                filtered, source_atom, source_variables, list(negated_atom.components),
+                negated_atom.name, fresh, negate=True,
+            )
+        )
+
+    # Step 4: generate the final head expressions from the single positive atom.
+    head_components = [
+        replace_atom_variables(component) for component in rule.head.components
+    ]
+    produced.extend(
+        _expression_chain_then(
+            rule.head.renamed(rule.head.name), base_atom, base_variables, head_components,
+            None, fresh, negate=False,
+        )
+    )
+    return produced
+
+
+def _expression_chain_then(
+    target: Predicate,
+    source_atom: Predicate,
+    source_variables: list[Variable],
+    expressions: list[PathExpression],
+    negated_relation: str | None,
+    fresh: FreshNames,
+    *,
+    negate: bool,
+) -> list[Rule]:
+    """Steps 3 and 4 of the proof: build expressions one per form-2 rule, then finish.
+
+    Builds a chain ``N1(v⃗, e1) ← S(v⃗)``, ``Ni(v⃗, v'1..v'i-1, ei) ← Ni-1(...)``;
+    then either (``negate=True``) a form-4 rule negating ``negated_relation`` on the
+    computed columns followed by a form-5 projection to *target*, or
+    (``negate=False``) a form-5 projection of the computed columns to *target*.
+    """
+    produced: list[Rule] = []
+    current_atom = source_atom
+    current_variables: list[Variable] = list(source_variables)
+    computed: list[PathVariable] = []
+
+    for expression in expressions:
+        chain_name = fresh.relation("C")
+        head = Predicate(
+            chain_name,
+            tuple(PathExpression.of(v) for v in current_variables)
+            + (expression,),
+        )
+        produced.append(Rule(head, [Literal(current_atom, True)]))
+        new_variable = fresh.path_variable("c")
+        computed.append(new_variable)
+        current_variables = current_variables + [new_variable]
+        current_atom = Predicate(
+            chain_name, tuple(PathExpression.of(v) for v in current_variables)
+        )
+
+    if negate:
+        assert negated_relation is not None
+        filter_name = fresh.relation("FN")
+        filter_atom = Predicate(
+            filter_name, tuple(PathExpression.of(v) for v in current_variables)
+        )
+        produced.append(
+            Rule(
+                filter_atom,
+                [
+                    Literal(current_atom, True),
+                    Literal(
+                        Predicate(
+                            negated_relation, tuple(PathExpression.of(v) for v in computed)
+                        ),
+                        False,
+                    ),
+                ],
+            )
+        )
+        produced.append(Rule(target, [Literal(filter_atom, True)]))
+    else:
+        projected = Predicate(
+            target.name, tuple(PathExpression.of(v) for v in computed)
+        )
+        produced.append(Rule(projected, [Literal(current_atom, True)]))
+    return produced
+
+
+def normal_form_of(program: Program, *, constant: str = "a") -> Program:
+    """Convert a nonrecursive, equation-free program into Lemma 7.2 normal form."""
+    if program.uses_recursion():
+        raise TransformationError("the normal form of Lemma 7.2 applies to nonrecursive programs")
+    fresh = FreshNames.for_program(program)
+    strata = []
+    for stratum in program.strata:
+        rules: list[Rule] = []
+        for rule in stratum:
+            rules.extend(_convert_rule(rule, fresh, constant))
+        strata.append(Stratum(rules))
+    result = Program(strata)
+    if not is_in_normal_form(result):
+        offenders = [str(rule) for rule in result.rules() if rule_normal_form(rule) is None]
+        raise TransformationError(
+            "normal-form conversion left rules outside the six forms: " + "; ".join(offenders)
+        )
+    return result

@@ -1,0 +1,122 @@
+"""Feature-targeted transformation pipelines.
+
+The redundancy results of Section 4 compose: given a program and a target
+fragment, :func:`rewrite_into_fragment` applies the corresponding
+transformations (in an order that respects their preconditions) to produce an
+equivalent program inside the target fragment, whenever Theorem 6.1 says this
+is possible for the program's own fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TransformationError
+from repro.fragments.features import Feature, program_features
+from repro.fragments.fragment import Fragment, program_fragment
+from repro.fragments.subsumption import is_subsumed
+from repro.syntax.programs import Program
+from repro.transform.arity import eliminate_arity
+from repro.transform.equations import eliminate_equations
+from repro.transform.folding import eliminate_intermediate_predicates
+from repro.transform.packing import eliminate_packing
+
+__all__ = ["RewriteStep", "RewriteResult", "rewrite_into_fragment"]
+
+
+@dataclass(frozen=True)
+class RewriteStep:
+    """One applied transformation, for reporting."""
+
+    name: str
+    theorem: str
+    rules_before: int
+    rules_after: int
+
+
+@dataclass
+class RewriteResult:
+    """The outcome of a feature-elimination pipeline."""
+
+    program: Program
+    steps: list[RewriteStep] = field(default_factory=list)
+
+    def fragment(self) -> Fragment:
+        """The fragment of the rewritten program."""
+        return program_fragment(self.program)
+
+
+def _record(result: RewriteResult, name: str, theorem: str, before: Program, after: Program) -> None:
+    result.steps.append(
+        RewriteStep(
+            name=name,
+            theorem=theorem,
+            rules_before=before.rule_count(),
+            rules_after=after.rule_count(),
+        )
+    )
+    result.program = after
+
+
+def rewrite_into_fragment(
+    program: Program,
+    target: "Fragment | str",
+    *,
+    output_relation: str | None = None,
+) -> RewriteResult:
+    """Rewrite *program* into the *target* fragment using the Section 4 transformations.
+
+    Only the redundancy results are available as rewriters, so the request is
+    honoured exactly when ``fragment(program) ≤ target`` holds by Theorem 6.1
+    *and* the necessary transformation exists: eliminating A (Theorem 4.2),
+    P (Lemma 4.13, nonrecursive only), E (Theorem 4.7), and I (Theorem 4.16,
+    which needs *output_relation*).  Otherwise :class:`TransformationError`
+    explains which step is impossible.
+    """
+    goal = target if isinstance(target, Fragment) else Fragment(target)
+    source = program_fragment(program)
+    if not is_subsumed(source, goal):
+        raise TransformationError(
+            f"no equivalent program exists: {source} is not subsumed by {goal} (Theorem 6.1)"
+        )
+
+    result = RewriteResult(program=program)
+
+    def current_features() -> frozenset[Feature]:
+        return program_features(result.program)
+
+    # Packing first (its nonrecursive eliminator may introduce arity-like auxiliaries
+    # only through fresh relations, and works best before other rewrites multiply rules).
+    if Feature.PACKING in current_features() and Feature.PACKING not in goal:
+        before = result.program
+        after = eliminate_packing(before)
+        _record(result, "eliminate_packing", "Lemma 4.13 / Theorem 4.15", before, after)
+
+    # Equations need intermediate predicates to be eliminable.
+    if Feature.EQUATIONS in current_features() and Feature.EQUATIONS not in goal:
+        before = result.program
+        after = eliminate_equations(before)
+        _record(result, "eliminate_equations", "Theorem 4.7 (Lemma 4.5)", before, after)
+
+    # Intermediate predicates are folded away using equations (no N, no R).
+    if Feature.INTERMEDIATE in current_features() and Feature.INTERMEDIATE not in goal:
+        if output_relation is None:
+            raise TransformationError(
+                "eliminating intermediate predicates requires the output relation name"
+            )
+        before = result.program
+        after = eliminate_intermediate_predicates(before, output_relation)
+        _record(result, "eliminate_intermediate_predicates", "Theorem 4.16", before, after)
+
+    # Arity last: earlier steps may have introduced higher-arity auxiliaries.
+    if Feature.ARITY in current_features() and Feature.ARITY not in goal:
+        before = result.program
+        after = eliminate_arity(before)
+        _record(result, "eliminate_arity", "Theorem 4.2", before, after)
+
+    achieved = program_fragment(result.program)
+    if not achieved <= goal:
+        raise TransformationError(
+            f"pipeline finished in fragment {achieved}, which is not inside the target {goal}"
+        )
+    return result

@@ -1,0 +1,84 @@
+"""Pure variables and pure equations (Section 4.3.3).
+
+On flat input instances, a variable occurring in a positive predicate over a
+relation known to hold only flat values can never be bound to a value
+containing packing; such variables are *source* variables.  Purity propagates
+through positive equations: if all variables of one side are pure and that
+side has no packing, the variables of the other side are pure as well.
+
+Positive equations are classified accordingly:
+
+* *pure* equations involve only pure variables;
+* *half-pure* equations have one side all-pure and at least one impure
+  variable on the other side;
+* *fully impure* equations have impure variables on both sides.
+
+A safe rule with at least one impure variable always has a half-pure
+equation, which is what drives the elimination of impure variables by
+associative unification (Lemma 4.10, implemented in
+:mod:`repro.transform.packing`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.syntax.expressions import AtomVariable, Variable
+from repro.syntax.literals import Equation
+from repro.syntax.rules import Rule
+
+__all__ = [
+    "source_variables",
+    "pure_variables",
+    "classify_equation",
+    "PURE",
+    "HALF_PURE",
+    "FULLY_IMPURE",
+]
+
+PURE = "pure"
+HALF_PURE = "half-pure"
+FULLY_IMPURE = "fully-impure"
+
+
+def source_variables(rule: Rule, flat_relations: Iterable[str]) -> frozenset[Variable]:
+    """Variables occurring in a positive predicate over a flat (e.g. EDB) relation."""
+    flat = set(flat_relations)
+    found: set[Variable] = set()
+    for predicate in rule.positive_predicates():
+        if predicate.name in flat:
+            found.update(predicate.variables())
+    return frozenset(found)
+
+
+def pure_variables(rule: Rule, flat_relations: Iterable[str]) -> frozenset[Variable]:
+    """The pure variables of *rule*, given which relations hold only flat values.
+
+    Atomic variables are always pure: they range over atomic values, which
+    never contain packing.
+    """
+    pure: set[Variable] = set(source_variables(rule, flat_relations))
+    pure.update(variable for variable in rule.variables() if isinstance(variable, AtomVariable))
+    equations = list(rule.positive_equations())
+    changed = True
+    while changed:
+        changed = False
+        for equation in equations:
+            for known, other in ((equation.lhs, equation.rhs), (equation.rhs, equation.lhs)):
+                if known.has_packing():
+                    continue
+                if known.variables() <= pure and not other.variables() <= pure:
+                    pure.update(other.variables())
+                    changed = True
+    return frozenset(pure)
+
+
+def classify_equation(equation: Equation, pure: frozenset[Variable]) -> str:
+    """Classify a positive equation as pure, half-pure, or fully impure."""
+    left_pure = equation.lhs.variables() <= pure
+    right_pure = equation.rhs.variables() <= pure
+    if left_pure and right_pure:
+        return PURE
+    if left_pure or right_pure:
+        return HALF_PURE
+    return FULLY_IMPURE

@@ -1,0 +1,118 @@
+"""Packing structures and components of path expressions (Section 4.3.4).
+
+The packing structure ``δ(e)`` of a path expression records where packing
+brackets sit, abstracting everything else into stars:
+
+* ``δ(ϵ) = ∗`` and ``δ(a) = ∗`` for a variable or atomic value;
+* ``δ(⟨e⟩) = ∗·⟨δ(e)⟩·∗``;
+* ``δ(e1·e2) = δ(e1)·δ(e2)`` with consecutive stars merged.
+
+If ``δ(e)`` has ``n`` stars, ``e`` is obtained from it by replacing each star
+with a unique, possibly empty, packing-free subexpression — the *components*
+of ``e``.  Two pure expressions can only be equal on flat instances if they
+have the same packing structure, in which case the equation decomposes into
+the component equations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+from repro.errors import TransformationError
+from repro.syntax.expressions import PackedExpression, PathExpression
+
+__all__ = ["PackingStructure", "packing_structure", "components", "structure_and_components"]
+
+
+class PackingStructure:
+    """An alternation of stars and nested packed structures."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Sequence[Union[str, "PackingStructure"]]):
+        for item in items:
+            if item != "*" and not isinstance(item, PackingStructure):
+                raise TransformationError(f"invalid packing structure item {item!r}")
+        self._items = tuple(items)
+        self._hash = hash(("PackingStructure", self._items))
+
+    @property
+    def items(self) -> tuple[Union[str, "PackingStructure"], ...]:
+        """The alternating items (stars and nested structures)."""
+        return self._items
+
+    def star_count(self) -> int:
+        """The number of stars, i.e. the number of components."""
+        total = 0
+        for item in self._items:
+            total += 1 if item == "*" else item.star_count()
+        return total
+
+    def is_trivial(self) -> bool:
+        """``True`` for the structure of a packing-free expression (a single star)."""
+        return self._items == ("*",)
+
+    def rebuild(self, fillers: Sequence[PathExpression]) -> PathExpression:
+        """Reconstruct an expression by replacing the i-th star with ``fillers[i]``."""
+        if len(fillers) != self.star_count():
+            raise TransformationError(
+                f"structure has {self.star_count()} stars but {len(fillers)} fillers were given"
+            )
+        iterator = iter(fillers)
+        return self._rebuild(iterator)
+
+    def _rebuild(self, iterator: Iterator[PathExpression]) -> PathExpression:
+        parts: list[object] = []
+        for item in self._items:
+            if item == "*":
+                parts.append(next(iterator))
+            else:
+                parts.append(PackedExpression(item._rebuild(iterator)))
+        return PathExpression.of(*parts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PackingStructure) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"PackingStructure({self._items!r})"
+
+    def __str__(self) -> str:
+        parts = []
+        for item in self._items:
+            parts.append("∗" if item == "*" else f"⟨{item}⟩")
+        return "·".join(parts)
+
+
+def structure_and_components(
+    expression: PathExpression,
+) -> tuple[PackingStructure, list[PathExpression]]:
+    """Compute ``δ(expression)`` together with its components, in star order."""
+    items: list[Union[str, PackingStructure]] = []
+    comps: list[PathExpression] = []
+    segment: list[object] = []
+    for item in expression.items:
+        if isinstance(item, PackedExpression):
+            items.append("*")
+            comps.append(PathExpression.of(*segment))
+            segment = []
+            inner_structure, inner_components = structure_and_components(item.inner)
+            items.append(inner_structure)
+            comps.extend(inner_components)
+        else:
+            segment.append(item)
+    items.append("*")
+    comps.append(PathExpression.of(*segment))
+    return PackingStructure(items), comps
+
+
+def packing_structure(expression: PathExpression) -> PackingStructure:
+    """Compute the packing structure ``δ(expression)``."""
+    return structure_and_components(expression)[0]
+
+
+def components(expression: PathExpression) -> list[PathExpression]:
+    """Compute the components of *expression* (packing-free, one per star)."""
+    return structure_and_components(expression)[1]

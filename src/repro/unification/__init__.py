@@ -1,0 +1,30 @@
+"""Associative unification of path expressions (Section 4.3.1-4.3.2)."""
+
+from repro.unification.pigpug import (
+    DEFAULT_NODE_BUDGET,
+    build_search_tree,
+    rewrite_children,
+    solve_equation,
+)
+from repro.unification.search_tree import SearchNode, SearchTree
+from repro.unification.solutions import SolutionSet, is_symbolic_solution, solution_satisfies
+from repro.unification.word_equations import (
+    check_word_equation,
+    is_word_equation,
+    solve_word_equation,
+)
+
+__all__ = [
+    "DEFAULT_NODE_BUDGET",
+    "SearchNode",
+    "SearchTree",
+    "SolutionSet",
+    "build_search_tree",
+    "check_word_equation",
+    "is_symbolic_solution",
+    "is_word_equation",
+    "rewrite_children",
+    "solution_satisfies",
+    "solve_equation",
+    "solve_word_equation",
+]

@@ -1,0 +1,128 @@
+"""Symbolic solutions of equations between path expressions (Section 4.3.1).
+
+A *solution* of an equation ``e1 = e2`` over variables ``X`` is a valuation
+``ν`` on ``X`` with ``ν(e1) = ν(e2)``.  A *symbolic solution* is a variable
+substitution ``ρ`` (mapping variables to path expressions over ``X``) such
+that ``ρ(e1)`` and ``ρ(e2)`` are the same expression; it represents the set
+``[ρ] = {ν ∘ ρ | ν a valuation on X}``.  A set of symbolic solutions is
+*complete* when the union of the ``[ρ]`` is the full solution set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.engine.valuation import Valuation
+from repro.syntax.expressions import AtomVariable, PathExpression, PathVariable, Variable
+from repro.syntax.literals import Equation
+from repro.syntax.substitution import Substitution
+
+__all__ = ["SolutionSet", "is_symbolic_solution", "solution_satisfies"]
+
+
+def is_symbolic_solution(substitution: Substitution, equation: Equation) -> bool:
+    """Check that applying *substitution* makes both sides the same expression."""
+    return substitution.apply_to_expression(equation.lhs) == substitution.apply_to_expression(
+        equation.rhs
+    )
+
+
+def solution_satisfies(valuation: Valuation, equation: Equation) -> bool:
+    """Check that a ground valuation satisfies the equation."""
+    return valuation.apply_to_expression(equation.lhs) == valuation.apply_to_expression(
+        equation.rhs
+    )
+
+
+@dataclass
+class SolutionSet:
+    """A (possibly complete) set of symbolic solutions to one equation."""
+
+    equation: Equation
+    substitutions: list[Substitution] = field(default_factory=list)
+    complete: bool = True
+    #: Number of search nodes explored to produce this set.
+    nodes_explored: int = 0
+
+    def __iter__(self) -> Iterator[Substitution]:
+        return iter(self.substitutions)
+
+    def __len__(self) -> int:
+        return len(self.substitutions)
+
+    def is_unsatisfiable(self) -> bool:
+        """No symbolic solutions and the search was complete."""
+        return self.complete and not self.substitutions
+
+    def add(self, substitution: Substitution) -> None:
+        """Add a symbolic solution (deduplicated, restricted to the equation's variables)."""
+        restricted = substitution.restricted(self.equation.variables())
+        if restricted not in self.substitutions:
+            self.substitutions.append(restricted)
+
+    def verify(self) -> bool:
+        """Check soundness: every recorded substitution really is a symbolic solution."""
+        return all(
+            is_symbolic_solution(substitution, self.equation)
+            for substitution in self.substitutions
+        )
+
+    def ground_solutions(
+        self,
+        atoms: Iterable[str],
+        max_path_length: int = 2,
+    ) -> Iterator[Valuation]:
+        """Enumerate ground solutions by instantiating every symbolic solution.
+
+        Residual variables in the images are instantiated with every flat path
+        of length at most *max_path_length* over the alphabet *atoms* (atomic
+        variables only take single atoms).  This is used by the tests to
+        cross-check completeness against brute-force enumeration.
+        """
+        from itertools import product
+
+        from repro.model.terms import Path
+
+        alphabet = sorted(set(atoms))
+        flat_paths = [Path(())]
+        for length in range(1, max_path_length + 1):
+            flat_paths.extend(Path(word) for word in product(alphabet, repeat=length))
+
+        variables = sorted(self.equation.variables(), key=lambda v: (v.prefix, v.name))
+        seen: set[Valuation] = set()
+        for substitution in self.substitutions:
+            residual: set[Variable] = set()
+            for variable in variables:
+                image = substitution.get(variable)
+                if image is None:
+                    residual.add(variable)
+                else:
+                    residual.update(image.variables())
+            residual_list = sorted(residual, key=lambda v: (v.prefix, v.name))
+            choices = []
+            for variable in residual_list:
+                if isinstance(variable, AtomVariable):
+                    choices.append([Path((atom,)) for atom in alphabet])
+                else:
+                    choices.append(flat_paths)
+            for combination in product(*choices):
+                assignment = Valuation(dict(zip(residual_list, combination)))
+                bindings = {}
+                valid = True
+                for variable in variables:
+                    image = substitution.get(variable)
+                    if image is None:
+                        bindings[variable] = assignment.path_of(variable)
+                        continue
+                    value = assignment.apply_to_expression(image)
+                    if isinstance(variable, AtomVariable) and not value.is_atomic():
+                        valid = False
+                        break
+                    bindings[variable] = value
+                if not valid:
+                    continue
+                valuation = Valuation(bindings)
+                if valuation not in seen:
+                    seen.add(valuation)
+                    yield valuation

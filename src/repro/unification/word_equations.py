@@ -1,0 +1,57 @@
+"""Classical word equations as a special case (Section 4.3.1).
+
+A *word equation* is an equation between path expressions that contain no
+packing and no atomic variables: only constants and path variables.  The
+pig-pug procedure generates a complete set of symbolic solutions for any word
+equation, and is guaranteed to terminate on *one-sided nonlinear* equations —
+those in which every variable occurring more than once occurs on one side
+only (the example ``$x·a = a·$x`` is not of that form and indeed makes the
+procedure run forever, which is why a node budget exists).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnificationError
+from repro.syntax.expressions import PathVariable
+from repro.syntax.literals import Equation
+from repro.unification.pigpug import DEFAULT_NODE_BUDGET, solve_equation
+from repro.unification.solutions import SolutionSet
+
+__all__ = ["is_word_equation", "check_word_equation", "solve_word_equation"]
+
+
+def is_word_equation(equation: Equation) -> bool:
+    """Return ``True`` if both sides use only constants and path variables."""
+    for side in equation.sides:
+        if side.has_packing():
+            return False
+        for item in side.items:
+            if not isinstance(item, (str, PathVariable)):
+                return False
+    return True
+
+
+def check_word_equation(equation: Equation) -> None:
+    """Raise :class:`UnificationError` unless *equation* is a word equation."""
+    if not is_word_equation(equation):
+        raise UnificationError(
+            f"{equation} is not a word equation (it uses packing or atomic variables)"
+        )
+
+
+def solve_word_equation(
+    equation: Equation,
+    *,
+    allow_empty: bool = True,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    on_budget: str = "raise",
+) -> SolutionSet:
+    """Solve a word equation with the pig-pug procedure.
+
+    This is simply :func:`repro.unification.pigpug.solve_equation` restricted
+    to word equations, provided for parity with the paper's presentation.
+    """
+    check_word_equation(equation)
+    return solve_equation(
+        equation, allow_empty=allow_empty, node_budget=node_budget, on_budget=on_budget
+    )

@@ -1,0 +1,25 @@
+"""Deterministic workload generators used by the tests and benchmarks."""
+
+from repro.workloads.generators import (
+    all_as_instance,
+    random_event_log_instance,
+    random_graph_instance,
+    random_nfa_instance,
+    random_packed_instance,
+    random_string_instance,
+    random_two_bounded_instance,
+    random_word,
+    sales_instance,
+)
+
+__all__ = [
+    "all_as_instance",
+    "random_event_log_instance",
+    "random_graph_instance",
+    "random_nfa_instance",
+    "random_packed_instance",
+    "random_string_instance",
+    "random_two_bounded_instance",
+    "random_word",
+    "sales_instance",
+]

@@ -1,0 +1,216 @@
+"""Workload generators for tests and benchmarks.
+
+The paper has no experimental section, so these generators produce the
+instance families its proofs and examples talk about: sets of strings over a
+small alphabet, the ``R(a^n)`` families of the squaring argument, graphs
+encoded as length-two paths (Section 5.1.1), two-bounded instances
+(Lemma 5.4), NFAs stored in relations (Example 2.1), process-mining event
+logs, and nested JSON-like sales data (Introduction).
+
+All generators take an explicit ``seed`` and are deterministic, so benchmark
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.model.instance import Instance
+from repro.model.terms import Packed, Path
+
+__all__ = [
+    "random_word",
+    "random_string_instance",
+    "all_as_instance",
+    "random_graph_instance",
+    "random_two_bounded_instance",
+    "random_nfa_instance",
+    "random_event_log_instance",
+    "sales_instance",
+    "random_packed_instance",
+]
+
+
+def random_word(generator: random.Random, alphabet: Sequence[str], max_length: int) -> Path:
+    """A random flat path over *alphabet* of length between 0 and *max_length*."""
+    length = generator.randint(0, max_length)
+    return Path(tuple(generator.choice(alphabet) for _ in range(length)))
+
+
+def random_string_instance(
+    *,
+    relation: str = "R",
+    paths: int = 10,
+    alphabet: Sequence[str] = ("a", "b"),
+    max_length: int = 6,
+    seed: int = 0,
+) -> Instance:
+    """A unary relation of random words — the generic string workload."""
+    generator = random.Random(seed)
+    instance = Instance()
+    instance.ensure_relation(relation)
+    for _ in range(paths):
+        instance.add(relation, random_word(generator, alphabet, max_length))
+    return instance
+
+
+def all_as_instance(n: int, *, relation: str = "R", letter: str = "a") -> Instance:
+    """The singleton instance ``{R(a^n)}`` used by the squaring argument (Theorem 5.3)."""
+    return Instance.from_paths(relation, [Path((letter,) * n)])
+
+
+def random_graph_instance(
+    *,
+    relation: str = "R",
+    nodes: int = 6,
+    edges: int = 10,
+    seed: int = 0,
+    ensure_path: tuple[str, str] | None = None,
+) -> Instance:
+    """A directed graph encoded as length-two paths (Section 5.1.1).
+
+    Node names are ``a``, ``b``, ``n2`` … ``n{nodes-1}`` so that the
+    reachability query's endpoints exist.  When *ensure_path* is given, a
+    directed path between the two named nodes is added.
+    """
+    generator = random.Random(seed)
+    names = ["a", "b"] + [f"n{i}" for i in range(2, max(nodes, 2))]
+    instance = Instance()
+    instance.ensure_relation(relation)
+    for _ in range(edges):
+        source, target = generator.choice(names), generator.choice(names)
+        instance.add(relation, Path((source, target)))
+    if ensure_path is not None:
+        source, target = ensure_path
+        waypoints = [source] + generator.sample(names, k=min(2, len(names))) + [target]
+        for first, second in zip(waypoints, waypoints[1:]):
+            instance.add(relation, Path((first, second)))
+    return instance
+
+
+def random_two_bounded_instance(
+    *,
+    relations: Iterable[str] = ("R", "B"),
+    nodes: int = 5,
+    facts_per_relation: int = 6,
+    seed: int = 0,
+) -> Instance:
+    """A two-bounded instance: every path has length one or two (Lemma 5.4)."""
+    generator = random.Random(seed)
+    names = [f"n{i}" for i in range(nodes)]
+    instance = Instance()
+    for relation in relations:
+        instance.ensure_relation(relation)
+        for _ in range(facts_per_relation):
+            if generator.random() < 0.5:
+                instance.add(relation, Path((generator.choice(names),)))
+            else:
+                instance.add(relation, Path((generator.choice(names), generator.choice(names))))
+    return instance
+
+
+def random_nfa_instance(
+    *,
+    states: int = 3,
+    alphabet: Sequence[str] = ("a", "b"),
+    transitions: int = 6,
+    words: int = 8,
+    max_word_length: int = 6,
+    seed: int = 0,
+) -> Instance:
+    """An NFA stored in relations N, D, F plus a unary relation R of input words (Example 2.1)."""
+    generator = random.Random(seed)
+    state_names = [f"q{i}" for i in range(states)]
+    instance = Instance()
+    instance.add("N", state_names[0])
+    instance.add("F", state_names[-1])
+    for _ in range(transitions):
+        instance.add(
+            "D",
+            generator.choice(state_names),
+            generator.choice(list(alphabet)),
+            generator.choice(state_names),
+        )
+    instance.ensure_relation("R")
+    for _ in range(words):
+        instance.add("R", random_word(generator, alphabet, max_word_length))
+    return instance
+
+
+def random_event_log_instance(
+    *,
+    relation: str = "R",
+    logs: int = 8,
+    max_events: int = 8,
+    seed: int = 0,
+    compliance_rate: float = 0.6,
+) -> Instance:
+    """Process-mining event logs: each path is a trace of named events (Introduction)."""
+    generator = random.Random(seed)
+    filler_events = ["create_order", "ship", "invoice", "close_ticket"]
+    instance = Instance()
+    instance.ensure_relation(relation)
+    for _ in range(logs):
+        events: list[str] = []
+        length = generator.randint(1, max_events)
+        for _ in range(length):
+            events.append(generator.choice(filler_events))
+        if generator.random() < 0.8:
+            position = generator.randint(0, len(events))
+            events.insert(position, "complete_order")
+            if generator.random() < compliance_rate:
+                later = generator.randint(position + 1, len(events))
+                events.insert(later, "receive_payment")
+        instance.add(relation, Path(tuple(events)))
+    return instance
+
+
+def sales_instance(
+    *,
+    relation: str = "Sales",
+    items: int = 4,
+    years: int = 3,
+    seed: int = 0,
+) -> Instance:
+    """The Introduction's Sales object as item·year·volume paths."""
+    generator = random.Random(seed)
+    instance = Instance()
+    item_names = [f"item{i}" for i in range(items)]
+    year_names = [f"y{2020 + i}" for i in range(years)]
+    for item in item_names:
+        for year in year_names:
+            instance.add(relation, Path((item, year, str(generator.randint(1, 500)))))
+    return instance
+
+
+def random_packed_instance(
+    *,
+    relation: str = "R",
+    paths: int = 8,
+    alphabet: Sequence[str] = ("a", "b"),
+    max_length: int = 4,
+    max_depth: int = 2,
+    seed: int = 0,
+) -> Instance:
+    """A unary relation of paths that may contain nested packed values.
+
+    Used by tests of the doubling / delimiter encoding; note that the
+    baseline queries of the paper work on *flat* instances only.
+    """
+    generator = random.Random(seed)
+
+    def build(depth: int) -> Path:
+        values = []
+        for _ in range(generator.randint(0, max_length)):
+            if depth < max_depth and generator.random() < 0.3:
+                values.append(Packed(build(depth + 1)))
+            else:
+                values.append(generator.choice(alphabet))
+        return Path(tuple(values))
+
+    instance = Instance()
+    instance.ensure_relation(relation)
+    for _ in range(paths):
+        instance.add(relation, build(0))
+    return instance

@@ -1,0 +1,166 @@
+"""Tests for the sequence relational algebra and the Theorem 7.1 compilers."""
+
+import pytest
+
+from repro.algebra import (
+    ConstantRelation,
+    Difference,
+    Product,
+    Projection,
+    RelationRef,
+    Selection,
+    Substrings,
+    Union,
+    Unpack,
+    algebra_to_datalog,
+    column,
+    columns,
+    compile_to_algebra,
+    evaluate_algebra,
+)
+from repro.engine import evaluate_program
+from repro.errors import AlgebraError, CompilationError
+from repro.model import EPSILON, Instance, pack, path, unary_instance
+from repro.parser import parse_program
+from repro.queries import get_query
+from repro.syntax import PackedExpression, pexpr
+from repro.workloads import random_graph_instance, random_string_instance
+
+
+class TestOperators:
+    def test_arities_are_computed(self):
+        base = RelationRef("R", 2)
+        assert Product(base, base).arity == 4
+        assert Substrings(base, 1).arity == 3
+        assert Projection(base, columns(1)).arity == 1
+
+    def test_selection_checks_column_indices(self):
+        with pytest.raises(AlgebraError):
+            Selection(RelationRef("R", 1), pexpr(column(2)), pexpr(column(1)))
+
+    def test_union_requires_matching_arity(self):
+        with pytest.raises(AlgebraError):
+            Union(RelationRef("R", 1), RelationRef("S", 2))
+
+    def test_relation_names_and_size(self):
+        expression = Union(RelationRef("R", 1), Projection(RelationRef("S", 2), columns(1)))
+        assert expression.relation_names() == {"R", "S"}
+        assert expression.size() == 4
+
+
+class TestEvaluator:
+    def instance(self):
+        inst = Instance()
+        inst.add("R", path("a", "b", "a"))
+        inst.add("R", path("b"))
+        inst.add("P", path(pack("x", "y")), path("k"))
+        return inst
+
+    def test_selection_with_path_expressions(self):
+        palindromes = Selection(
+            RelationRef("R", 1), pexpr(column(1)), pexpr(column(1))
+        )
+        assert len(evaluate_algebra(palindromes, self.instance())) == 2
+
+    def test_generalised_projection_builds_new_paths(self):
+        doubled = Projection(RelationRef("R", 1), [pexpr(column(1), column(1))])
+        assert (path("b", "b"),) in evaluate_algebra(doubled, self.instance())
+
+    def test_projection_can_pack(self):
+        packed = Projection(RelationRef("R", 1), [pexpr(PackedExpression(pexpr(column(1))))])
+        assert (path(pack("b")),) in evaluate_algebra(packed, self.instance())
+
+    def test_unpack_keeps_only_packed_singletons(self):
+        unpacked = evaluate_algebra(Unpack(RelationRef("P", 2), 1), self.instance())
+        assert unpacked == {(path("x", "y"), path("k"))}
+        assert evaluate_algebra(Unpack(RelationRef("R", 1), 1), self.instance()) == frozenset()
+
+    def test_substrings_operator(self):
+        subs = evaluate_algebra(
+            Projection(Substrings(RelationRef("R", 1), 1), [pexpr(column(2))]), self.instance()
+        )
+        assert (EPSILON,) in subs
+        assert (path("a", "b"),) in subs
+
+    def test_product_difference_union(self):
+        inst = self.instance()
+        r = RelationRef("R", 1)
+        assert len(evaluate_algebra(Product(r, r), inst)) == 4
+        assert evaluate_algebra(Difference(r, r), inst) == frozenset()
+        assert len(evaluate_algebra(Union(r, ConstantRelation([(path("z"),)])), inst)) == 3
+
+
+class TestCompilerDatalogToAlgebra:
+    def test_black_neighbours_agrees(self):
+        query = get_query("black_neighbours")
+        expression = compile_to_algebra(query.program(), "S")
+        for seed in range(3):
+            instance = random_graph_instance(nodes=5, edges=7, seed=seed)
+            source = random_graph_instance(nodes=5, edges=3, seed=seed + 50)
+            for fact in source.facts():
+                instance.add("B", fact.paths[0][0:1])
+            datalog = evaluate_program(query.program(), instance).relation("S")
+            algebra = evaluate_algebra(expression, instance)
+            assert datalog == algebra
+
+    def test_equations_are_eliminated_before_compilation(self):
+        query = get_query("only_as_equation")
+        expression = compile_to_algebra(query.program(), "S")
+        for seed in range(3):
+            instance = random_string_instance(seed=seed, paths=5, max_length=4)
+            datalog = evaluate_program(query.program(), instance).relation("S")
+            assert evaluate_algebra(expression, instance) == datalog
+
+    def test_extraction_with_packing_uses_unpack(self):
+        program = parse_program("S($x) :- R(<$x>.$y).")
+        expression = compile_to_algebra(program, "S")
+        instance = Instance()
+        instance.add("R", path(pack("a", "b"), "c"))
+        instance.add("R", path("a"))
+        assert evaluate_algebra(expression, instance) == {(path("a", "b"),)}
+
+    def test_recursive_programs_are_rejected(self):
+        with pytest.raises(CompilationError):
+            compile_to_algebra(get_query("reversal").program(), "S")
+
+
+class TestCompilerAlgebraToDatalog:
+    def test_round_trip_substrings(self):
+        expression = Projection(Substrings(RelationRef("R", 1), 1), [pexpr(column(2))])
+        program = algebra_to_datalog(expression, "Out")
+        instance = unary_instance("R", ["abc", "a"])
+        assert evaluate_program(program, instance).relation("Out") == evaluate_algebra(
+            expression, instance
+        )
+
+    def test_round_trip_difference_and_product(self):
+        expression = Difference(
+            Projection(Product(RelationRef("R", 1), RelationRef("Q", 1)), columns(1)),
+            RelationRef("Q", 1),
+        )
+        program = algebra_to_datalog(expression, "Out")
+        instance = unary_instance("R", ["a", "b"])
+        instance.add("Q", path("b"))
+        assert evaluate_program(program, instance).relation("Out") == evaluate_algebra(
+            expression, instance
+        )
+
+    def test_round_trip_unpack(self):
+        expression = Unpack(RelationRef("P", 1), 1)
+        program = algebra_to_datalog(expression, "Out")
+        instance = Instance()
+        instance.add("P", path(pack("a", "b")))
+        instance.add("P", path("c"))
+        assert evaluate_program(program, instance).relation("Out") == evaluate_algebra(
+            expression, instance
+        )
+
+    def test_double_round_trip_preserves_semantics(self):
+        """Datalog → algebra → Datalog keeps the query's answers."""
+        query = get_query("black_neighbours")
+        expression = compile_to_algebra(query.program(), "S")
+        back = algebra_to_datalog(expression, "S")
+        instance = random_graph_instance(nodes=4, edges=6, seed=9)
+        instance.add("B", path("a"))
+        original = evaluate_program(query.program(), instance).relation("S")
+        assert evaluate_program(back, instance).relation("S") == original

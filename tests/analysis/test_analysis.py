@@ -1,0 +1,85 @@
+"""Tests for the Section 5 analysis helpers (growth bounds, encodings, freezing)."""
+
+import pytest
+
+from repro.analysis import (
+    all_a_threshold,
+    classical_encoding,
+    decode_classical,
+    frozen_instance,
+    is_two_bounded,
+    lemma51_linear_bound,
+    measure_output_growth,
+)
+from repro.errors import TransformationError
+from repro.model import Instance, path
+from repro.parser import parse_program, parse_rule
+from repro.queries import get_query
+from repro.workloads import all_as_instance, random_two_bounded_instance
+
+
+class TestLemma51Bound:
+    def test_bound_of_nonrecursive_single_rule_program(self):
+        program = parse_program("S($x.$x.a) :- R($x).")
+        bound = lemma51_linear_bound(program)
+        assert bound.slope == 2 and bound.intercept == 1
+        assert bound.admits(3, 7) and not bound.admits(3, 8)
+
+    def test_nonrecursive_queries_respect_their_bound(self):
+        query = get_query("json_regroup")
+        bound = lemma51_linear_bound(query.program())
+        points = measure_output_growth(
+            query.make_query(),
+            lambda n: _sales_of_size(n),
+            sizes=[1, 2, 3],
+        )
+        assert all(
+            point.max_output_length <= bound.value(point.input_length) for point in points
+        )
+
+    def test_squaring_query_exceeds_any_linear_bound(self):
+        """Proposition 5.2: the squaring query's output grows quadratically."""
+        query = get_query("squaring").make_query()
+        points = measure_output_growth(query, lambda n: all_as_instance(n), sizes=[1, 2, 3, 4])
+        assert [point.max_output_length for point in points] == [1, 4, 9, 16]
+
+
+def _sales_of_size(n):
+    instance = Instance()
+    for index in range(n):
+        instance.add("Sales", path(f"item{index}", "y2020", str(index)))
+    return instance
+
+
+class TestTwoBoundedEncoding:
+    def test_round_trip(self):
+        for seed in range(3):
+            instance = random_two_bounded_instance(seed=seed)
+            encoded = classical_encoding(instance)
+            assert encoded.is_classical()
+            assert decode_classical(encoded) == instance
+
+    def test_rejects_longer_paths(self):
+        instance = Instance()
+        instance.add("R", path("a", "b", "c"))
+        assert not is_two_bounded(instance)
+        with pytest.raises(TransformationError):
+            classical_encoding(instance)
+
+
+class TestFreezing:
+    def test_frozen_instance_makes_the_rule_fire(self):
+        from repro.engine import evaluate_rule
+
+        rule = parse_rule("S($x) :- R($x.a), Q($y).")
+        frozen = frozen_instance(rule)
+        assert evaluate_rule(rule, frozen.instance)
+
+    def test_frozen_values_are_fresh(self):
+        rule = parse_rule("S($x) :- R($x.a).")
+        frozen = frozen_instance(rule)
+        assert all(name.startswith("frozen_") for name in frozen.frozen_names.values())
+
+    def test_all_a_threshold_reads_longest_body_component(self):
+        program = parse_program("A :- R(a.a.a).\nA :- R(a.$x.b).")
+        assert all_a_threshold(program) == 3

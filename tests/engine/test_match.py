@@ -1,0 +1,89 @@
+"""Tests for associative matching of path expressions against paths."""
+
+from repro.engine import Valuation, match_expression, match_fact
+from repro.model import EPSILON, Fact, pack, path
+from repro.parser import parse_expression
+from repro.syntax import atom_var, path_var, pred, pexpr
+
+
+def bindings(expression_text, concrete):
+    """All matching valuations as dictionaries keyed by variable name."""
+    expression = parse_expression(expression_text)
+    return [
+        {str(variable): valuation.path_of(variable) for variable in valuation}
+        for valuation in match_expression(expression, concrete)
+    ]
+
+
+class TestConstantsAndAtomicVariables:
+    def test_exact_constant_match(self):
+        assert bindings("a.b", path("a", "b")) == [{}]
+        assert bindings("a.b", path("b", "a")) == []
+
+    def test_atomic_variable_binds_single_atom(self):
+        result = bindings("@x.b", path("a", "b"))
+        assert result == [{"@x": path("a")}]
+
+    def test_atomic_variable_rejects_packed_value(self):
+        assert bindings("@x", path(pack("a"))) == []
+
+    def test_repeated_atomic_variable_must_agree(self):
+        assert bindings("@x.@x", path("a", "a")) == [{"@x": path("a")}]
+        assert bindings("@x.@x", path("a", "b")) == []
+
+
+class TestPathVariables:
+    def test_path_variable_enumerates_splits(self):
+        result = bindings("$x.$y", path("a", "b"))
+        assert {(str(b["$x"]), str(b["$y"])) for b in result} == {
+            ("ϵ", "a·b"),
+            ("a", "b"),
+            ("a·b", "ϵ"),
+        }
+
+    def test_path_variable_can_be_empty(self):
+        assert bindings("$x", EPSILON) == [{"$x": EPSILON}]
+
+    def test_repeated_path_variable(self):
+        result = bindings("$x.$x", path("a", "b", "a", "b"))
+        assert [b["$x"] for b in result] == [path("a", "b")]
+        assert bindings("$x.$x", path("a", "b", "a")) == []
+
+    def test_constants_anchor_the_split(self):
+        result = bindings("$u.a.$v", path("b", "a", "c", "a"))
+        assert {(str(b["$u"]), str(b["$v"])) for b in result} == {("b", "c·a"), ("b·a·c", "ϵ")}
+
+    def test_only_as_equation_shape(self):
+        """The matching behind the equation a·$x = $x·a of Example 3.1."""
+        assert bindings("a.$x", path("a", "a", "a")) == [{"$x": path("a", "a")}]
+
+
+class TestPackingMatches:
+    def test_packed_value_matches_packed_expression(self):
+        result = bindings("<$x>.@y", path(pack("a", "b"), "c"))
+        assert result == [{"$x": path("a", "b"), "@y": path("c")}]
+
+    def test_packed_expression_requires_packed_value(self):
+        assert bindings("<$x>", path("a")) == []
+        assert bindings("$x", path(pack("a"))) == [{"$x": path(pack("a"))}]
+
+    def test_nested_packing(self):
+        result = bindings("<<@x>>", path(pack(pack("a"))))
+        assert result == [{"@x": path("a")}]
+
+
+class TestMatchWithPartialValuation:
+    def test_prebound_variable_filters_matches(self):
+        expression = parse_expression("$x.$y")
+        fixed = Valuation({path_var("x"): path("a")})
+        results = list(match_expression(expression, path("a", "b"), fixed))
+        assert len(results) == 1
+        assert results[0].path_of(path_var("y")) == path("b")
+
+    def test_match_fact_checks_relation_and_arity(self):
+        predicate = pred("R", pexpr(atom_var("q"), path_var("x")))
+        fact = Fact("R", [path("a", "b", "c")])
+        matches = list(match_fact(predicate, fact))
+        assert len(matches) == 1
+        other = Fact("S", [path("a")])
+        assert list(match_fact(predicate, other)) == []

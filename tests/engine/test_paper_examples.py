@@ -1,0 +1,117 @@
+"""End-to-end tests of the worked examples from the paper (Sections 2 and 3)."""
+
+import pytest
+
+from repro.model import Instance, Path, path, string_path, unary_instance
+from repro.queries import get_query
+from repro.workloads import random_nfa_instance, random_string_instance
+
+
+class TestExample21NFA:
+    """Example 2.1: NFA acceptance, stored as relations N, D, F."""
+
+    def test_strings_ending_in_b(self):
+        query = get_query("nfa_acceptance")
+        instance = Instance()
+        instance.add("N", "q0")
+        instance.add("F", "q1")
+        for source, label, target in [("q0", "a", "q0"), ("q0", "b", "q0"), ("q0", "b", "q1")]:
+            instance.add("D", source, label, target)
+        for word in ["ab", "ba", "b", "aab", "aa", ""]:
+            instance.add("R", string_path(word) if word else Path(()))
+        accepted = query.run(instance)
+        assert accepted == {string_path("ab"), string_path("aab"), string_path("b")}
+        assert accepted == query.run_reference(instance)
+
+    def test_random_nfa_agrees_with_subset_construction(self):
+        query = get_query("nfa_acceptance")
+        for seed in range(3):
+            instance = random_nfa_instance(seed=seed, words=6, max_word_length=5)
+            assert query.agree_on(instance)
+
+
+class TestExample22ThreeOccurrences:
+    """Example 2.2: packing and nonequalities count distinct substring occurrences."""
+
+    def test_three_versus_two_occurrences(self):
+        query = get_query("three_occurrences")
+        three = Instance()
+        three.add("S", string_path("ab"))
+        three.add("R", string_path("abxabyab"))
+        assert query.run(three) is True
+
+        two = Instance()
+        two.add("S", string_path("ab"))
+        two.add("R", string_path("abxab"))
+        assert query.run(two) is False
+
+    def test_occurrences_spread_over_multiple_strings(self):
+        query = get_query("three_occurrences")
+        spread = Instance()
+        spread.add("S", string_path("ab"))
+        spread.add("R", string_path("ab"))
+        spread.add("R", string_path("xaby"))
+        spread.add("R", string_path("zab"))
+        assert query.run(spread) is True
+
+
+class TestExample31OnlyAs:
+    """Example 3.1: the only-a's query in fragments {E} and {A, I, R}."""
+
+    @pytest.mark.parametrize("name", ["only_as_equation", "only_as_air"])
+    def test_both_programs_compute_the_query(self, name):
+        query = get_query(name)
+        instance = unary_instance("R", ["aaa", "aba", "a", "", "b"])
+        assert query.run(instance) == {string_path("aaa"), string_path("a"), Path(())}
+
+    def test_the_two_programs_are_equivalent_on_random_inputs(self):
+        equation_version = get_query("only_as_equation")
+        recursive_version = get_query("only_as_air")
+        for seed in range(5):
+            instance = random_string_instance(seed=seed, paths=8, max_length=5)
+            assert equation_version.run(instance) == recursive_version.run(instance)
+
+    def test_fragments_match_the_paper(self):
+        assert get_query("only_as_equation").fragment().letters == "E"
+        assert get_query("only_as_air").fragment().letters == "AIR"
+
+
+class TestExample23NonTermination:
+    def test_nonterminating_program_is_reported(self):
+        from repro.engine import EvaluationLimits, evaluate_program
+        from repro.errors import EvaluationBudgetExceeded
+        from repro.parser import parse_program
+
+        program = parse_program("T(a).\nT(a.$x) :- T($x).")
+        with pytest.raises(EvaluationBudgetExceeded):
+            evaluate_program(program, Instance(), EvaluationLimits(max_iterations=25))
+
+    def test_example_21_program_terminates(self):
+        """The NFA program is recursive but terminates on every instance."""
+        query = get_query("nfa_acceptance")
+        instance = random_nfa_instance(seed=1)
+        assert isinstance(query.run(instance), frozenset)
+
+
+class TestIntroductionApplications:
+    def test_json_regrouping_swaps_item_and_year(self):
+        query = get_query("json_regroup")
+        instance = Instance()
+        instance.add("Sales", path("shirt", "y2020", "100"))
+        instance.add("Sales", path("shirt", "y2021", "120"))
+        assert query.run(instance) == {
+            path("y2020", "shirt", "100"),
+            path("y2021", "shirt", "120"),
+        }
+
+    def test_process_mining_compliance(self):
+        query = get_query("process_compliance")
+        instance = Instance()
+        compliant = path("complete_order", "ship", "receive_payment")
+        violating = path("complete_order", "ship")
+        unrelated = path("ship", "receive_payment")
+        late = path("receive_payment", "complete_order")
+        for log in (compliant, violating, unrelated, late):
+            instance.add("R", log)
+        assert query.run(instance) == {compliant, unrelated}
+        assert query.run(instance) == query.run_reference(instance)

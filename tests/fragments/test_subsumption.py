@@ -1,0 +1,162 @@
+"""Tests for features, fragments, Theorem 6.1, and the Figure 1 Hasse diagram."""
+
+import pytest
+
+from repro.fragments import (
+    EXPECTED_FIGURE1_CLASSES,
+    EXPECTED_FIGURE1_COVER_EDGES,
+    Feature,
+    Fragment,
+    all_fragments,
+    are_equivalent,
+    build_hasse_diagram,
+    core_fragments,
+    decide_subsumption,
+    equivalence_classes,
+    is_subsumed,
+    program_features,
+    program_fragment,
+    violated_conditions,
+    witnesses_for,
+)
+from repro.parser import parse_program
+from repro.queries import CANONICAL_QUERIES, get_query
+
+
+class TestFeatureDetection:
+    def test_example_31_fragments(self):
+        assert get_query("only_as_equation").fragment() == Fragment("E")
+        assert get_query("only_as_air").fragment() == Fragment("AIR")
+
+    def test_example_22_uses_packing_negation_equations_intermediate(self):
+        assert get_query("three_occurrences").fragment() == Fragment("EINP")
+
+    def test_empty_fragment(self):
+        program = parse_program("S(@y.@x) :- Sales(@x.@y).")
+        assert program_features(program) == frozenset()
+
+    def test_intermediate_requires_two_idb_names(self):
+        single = parse_program("S($x) :- R($x).\nS($x.$x) :- R($x).")
+        assert Feature.INTERMEDIATE not in program_features(single)
+        double = parse_program("T($x) :- R($x).\nS($x) :- T($x).")
+        assert Feature.INTERMEDIATE in program_features(double)
+
+    def test_recursion_is_a_cycle_in_the_dependency_graph(self):
+        mutual = parse_program("P($x) :- R($x).\nP($x) :- Q($x.a).\nQ($x) :- P($x.b).\nS($x) :- P($x).")
+        assert Feature.RECURSION in program_features(mutual)
+
+
+class TestFragmentObjects:
+    def test_parsing_and_rendering(self):
+        assert Fragment("{E, I, N}") == Fragment("EIN")
+        assert Fragment("ein").letters == "EIN"
+        assert str(Fragment("RN")) == "{N, R}"
+
+    def test_reduced_strips_arity_and_packing(self):
+        assert Fragment("AEP").reduced() == Fragment("E")
+
+    def test_enumeration_sizes(self):
+        assert len(list(all_fragments())) == 64
+        assert len(core_fragments()) == 16
+
+
+class TestTheorem61:
+    def test_trivial_inclusion_implies_subsumption(self):
+        for fragment in core_fragments():
+            assert is_subsumed(fragment, fragment)
+            assert is_subsumed(Fragment(""), fragment)
+
+    def test_condition1_negation(self):
+        assert not is_subsumed("N", "EIR")
+        assert violated_conditions("N", "EIR") == [1]
+
+    def test_condition2_recursion(self):
+        assert not is_subsumed("R", "EIN")
+        assert violated_conditions("R", "EIN") == [2]
+
+    def test_condition3_equations(self):
+        assert not is_subsumed("E", "NR")
+        assert is_subsumed("E", "I")
+        assert is_subsumed("E", "EN")
+
+    def test_condition4_intermediate_without_negation_or_recursion(self):
+        assert not is_subsumed("I", "NR")
+        assert is_subsumed("I", "E")
+
+    def test_condition5_intermediate_with_negation_or_recursion(self):
+        assert not is_subsumed("IN", "EN")
+        assert not is_subsumed("IR", "ER")
+        assert is_subsumed("IN", "INR")
+
+    def test_paper_equivalences(self):
+        assert are_equivalent("E", "I") and are_equivalent("E", "EI")
+        assert are_equivalent("INR", "EINR")
+        assert are_equivalent("IN", "EIN")
+        assert are_equivalent("IR", "EIR")
+        assert not are_equivalent("EN", "IN")
+
+    def test_arity_and_packing_are_redundant_everywhere(self):
+        for fragment in ["", "E", "IN", "ENR", "EINR"]:
+            assert are_equivalent(Fragment(fragment), Fragment(fragment).union(Fragment("AP")))
+
+    def test_subsumption_is_a_preorder(self):
+        fragments = core_fragments()
+        for first in fragments:
+            for second in fragments:
+                for third in fragments:
+                    if is_subsumed(first, second) and is_subsumed(second, third):
+                        assert is_subsumed(first, third)
+
+
+class TestDecisionProcedure:
+    def test_positive_decisions_carry_valid_chains(self):
+        for first in core_fragments():
+            for second in core_fragments():
+                decision = decide_subsumption(first, second)
+                assert decision.subsumed == is_subsumed(first, second)
+                if decision.subsumed:
+                    assert "YES" in decision.explanation()
+                else:
+                    assert decision.violated
+                    assert decision.witness
+
+    def test_chain_uses_theorem_47_when_equations_are_dropped(self):
+        decision = decide_subsumption("EIN", "IN")
+        assert any("4.7" in step.reason for step in decision.chain)
+
+    def test_chain_uses_theorem_416_when_folding(self):
+        decision = decide_subsumption("I", "E")
+        assert any("4.16" in step.reason for step in decision.chain)
+
+    def test_witnesses_for_failing_pairs(self):
+        assert any(w.query_name == "squaring" for w in witnesses_for("R", "EIN"))
+        assert any(w.query_name == "only_as_equation" for w in witnesses_for("E", "NR"))
+        assert any(w.query_name == "black_neighbours" for w in witnesses_for("IN", "ENR"))
+        assert witnesses_for("E", "I") == []
+
+
+class TestFigure1:
+    def test_eleven_equivalence_classes(self):
+        assert len(equivalence_classes()) == 11
+
+    def test_diagram_matches_the_paper(self):
+        diagram = build_hasse_diagram()
+        assert diagram.class_count == 11
+        assert diagram.class_letter_sets() == EXPECTED_FIGURE1_CLASSES
+        assert diagram.cover_edges() == EXPECTED_FIGURE1_COVER_EDGES
+        assert diagram.matches_figure1()
+
+    def test_representatives_and_rendering(self):
+        diagram = build_hasse_diagram()
+        assert diagram.representative_of("EINR") == "INR"
+        assert diagram.representative_of("EI") == "E"
+        text = diagram.to_text()
+        assert "Hasse diagram" in text and "{I, N, R}" in text
+
+    def test_canonical_queries_fall_into_known_classes(self):
+        diagram = build_hasse_diagram()
+        for query in CANONICAL_QUERIES.values():
+            reduced = query.fragment().reduced()
+            assert diagram.representative_of(reduced) in {
+                "", "E", "N", "R", "EN", "ER", "NR", "IN", "IR", "ENR", "INR",
+            }

@@ -1,0 +1,81 @@
+"""Integration tests exercising the whole stack together."""
+
+import pytest
+
+from repro.algebra import algebra_to_datalog, compile_to_algebra, evaluate_algebra
+from repro.engine import ProgramQuery, evaluate_program
+from repro.fragments import build_hasse_diagram, decide_subsumption, program_fragment
+from repro.io import instance_from_text, instance_to_text, load_program, save_program
+from repro.model import Instance, path
+from repro.parser import parse_program, unparse_program
+from repro.queries import get_query
+from repro.transform import programs_agree_on, rewrite_into_fragment
+from repro.workloads import random_event_log_instance, random_string_instance
+
+
+def test_full_chain_equations_to_algebra(tmp_path):
+    """only-a's: parse → rewrite into {A, I} → normal form → algebra → evaluate, all agreeing."""
+    query = get_query("only_as_equation")
+    program = query.program()
+    instances = [random_string_instance(seed=seed, paths=5, max_length=4) for seed in range(3)]
+
+    rewritten = rewrite_into_fragment(program, "AIN").program
+    assert programs_agree_on(program, rewritten, instances, ["S"])
+
+    expression = compile_to_algebra(program, "S")
+    for instance in instances:
+        assert evaluate_algebra(expression, instance) == evaluate_program(
+            program, instance
+        ).relation("S")
+
+    back = algebra_to_datalog(expression, "S")
+    assert programs_agree_on(program, back, instances, ["S"])
+
+    # Persistence round trip.
+    target = tmp_path / "only_as.sdl"
+    save_program(rewritten, target)
+    assert load_program(target) == rewritten
+
+
+def test_process_mining_pipeline(tmp_path):
+    """The introduction's process-mining scenario, end to end with serialisation."""
+    query = get_query("process_compliance")
+    instance = random_event_log_instance(seed=5, logs=6, max_events=6)
+    answers = query.run(instance)
+    assert answers == query.run_reference(instance)
+
+    text = instance_to_text(instance)
+    assert instance_from_text(text) == instance
+
+    fragment = program_fragment(query.program())
+    decision = decide_subsumption(fragment, "EINR")
+    assert decision.subsumed
+
+
+def test_expressiveness_atlas_consistency():
+    """Figure 1, Theorem 6.1, and the witnesses must tell one consistent story."""
+    diagram = build_hasse_diagram()
+    assert diagram.matches_figure1()
+    squaring = get_query("squaring")
+    black = get_query("black_neighbours")
+    assert not decide_subsumption(squaring.fragment(), "AEINP").subsumed
+    assert not decide_subsumption(black.fragment(), "AENPR").subsumed
+    assert decide_subsumption(black.fragment(), "INR").subsumed
+
+
+def test_query_objects_reject_schema_mismatches():
+    program = parse_program("S($x) :- R($x).")
+    query = ProgramQuery(program, {"R": 1}, "S")
+    wrong = Instance()
+    wrong.add("X", path("a"))
+    with pytest.raises(Exception):
+        query.run(wrong)
+
+
+def test_unparse_parse_stability_across_the_registry():
+    for name in ("reversal", "black_neighbours", "unequal_palindrome"):
+        program = get_query(name).program()
+        assert parse_program(
+            unparse_program(program),
+            stratification="explicit" if len(program.strata) > 1 else "auto",
+        ) == program

@@ -1,0 +1,120 @@
+"""Unit tests for values, packed values, and paths (Section 2.1)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import EPSILON, Packed, Path, as_path, concat, pack, path
+
+
+class TestPathConstruction:
+    def test_empty_path_is_epsilon(self):
+        assert Path(()) == EPSILON
+        assert EPSILON.is_empty()
+        assert len(EPSILON) == 0
+
+    def test_path_of_flattens_nested_paths(self):
+        assert Path.of("a", Path.of("b", "c"), "d") == Path(("a", "b", "c", "d"))
+
+    def test_rejects_non_values(self):
+        with pytest.raises(ModelError):
+            Path(("a", 3))
+        with pytest.raises(ModelError):
+            Path(("",))
+
+    def test_packed_values_are_single_elements(self):
+        packed = Packed(Path.of("a", "b"))
+        sequence = Path.of("c", packed)
+        assert len(sequence) == 2
+        assert sequence[1] == packed
+
+    def test_string_is_single_atomic_value_not_characters(self):
+        assert as_path("abc") == Path(("abc",))
+
+
+class TestConcatenation:
+    def test_concatenation_is_associative(self):
+        left = (path("a") + path("b")) + path("c")
+        right = path("a") + (path("b") + path("c"))
+        assert left == right == Path(("a", "b", "c"))
+
+    def test_concat_with_values(self):
+        assert concat("a", pack("b"), "c") == Path(("a", Packed(Path(("b",))), "c"))
+
+    def test_epsilon_is_identity(self):
+        word = path("a", "b")
+        assert word + EPSILON == word
+        assert EPSILON + word == word
+
+    def test_repetition(self):
+        assert path("a") * 3 == Path(("a", "a", "a"))
+        assert path("a", "b") * 0 == EPSILON
+
+
+class TestPathPredicates:
+    def test_flatness(self):
+        assert path("a", "b").is_flat()
+        assert not path("a", pack("b")).is_flat()
+
+    def test_packing_depth(self):
+        assert path("a").packing_depth() == 0
+        assert path(pack("a")).packing_depth() == 1
+        assert path(pack(path(pack("a")))).packing_depth() == 2
+
+    def test_is_atomic(self):
+        assert path("a").is_atomic()
+        assert not path("a", "b").is_atomic()
+        assert not path(pack("a")).is_atomic()
+        assert not EPSILON.is_atomic()
+
+    def test_paper_example_path(self):
+        """c·⟨a·b·a⟩ is a path whose second element is a packed value."""
+        example = path("c", pack("a", "b", "a"))
+        assert len(example) == 2
+        assert isinstance(example[1], Packed)
+        assert example[1].contents == path("a", "b", "a")
+
+
+class TestDerivedPaths:
+    def test_substrings_of_abc(self):
+        substrings = set(path("a", "b", "c").substrings())
+        assert EPSILON in substrings
+        assert path("a", "b") in substrings
+        assert path("b", "c") in substrings
+        assert path("a", "c") not in substrings  # not contiguous
+        assert len(substrings) == 7
+
+    def test_prefixes_and_suffixes(self):
+        word = path("a", "b")
+        assert list(word.prefixes()) == [EPSILON, path("a"), word]
+        assert list(word.suffixes()) == [word, path("b"), EPSILON]
+
+    def test_is_substring_of(self):
+        assert path("b", "c").is_substring_of(path("a", "b", "c"))
+        assert EPSILON.is_substring_of(path("a"))
+        assert not path("c", "a").is_substring_of(path("a", "b", "c"))
+
+    def test_reversed(self):
+        assert path("a", "b", "c").reversed() == path("c", "b", "a")
+        assert EPSILON.reversed() == EPSILON
+
+    def test_atoms_traverses_packing(self):
+        assert set(path("a", pack("b", pack("c"))).atoms()) == {"a", "b", "c"}
+
+
+class TestEqualityAndHashing:
+    def test_structural_equality(self):
+        assert path("a", "b") == path("a", "b")
+        assert path("a", "b") != path("b", "a")
+        assert pack("a") == pack("a")
+        assert pack("a") != pack("b")
+
+    def test_packed_not_equal_to_contents(self):
+        assert path(pack("a")) != path("a")
+
+    def test_paths_usable_in_sets(self):
+        collection = {path("a"), path("a"), pack("a").contents}
+        assert len(collection) == 1
+
+    def test_str_rendering(self):
+        assert str(path("a", pack("b", "c"))) == "a·<b·c>"
+        assert str(EPSILON) == "ϵ"

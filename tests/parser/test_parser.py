@@ -1,0 +1,125 @@
+"""Tests for the lexer and parser of the textual syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.parser import (
+    TokenKind,
+    parse_expression,
+    parse_literal,
+    parse_program,
+    parse_rule,
+    tokenize,
+)
+from repro.syntax import PackedExpression, atom_var, eq, path_var, pexpr, pred
+
+
+class TestLexer:
+    def test_variables_and_names(self):
+        kinds = [token.kind for token in tokenize("S($x, @y) :- R(a).")]
+        assert TokenKind.PATH_VAR in kinds
+        assert TokenKind.ATOM_VAR in kinds
+        assert TokenKind.ARROW in kinds
+        assert kinds[-1] == TokenKind.EOF
+
+    def test_adjacent_dot_is_concatenation(self):
+        kinds = [token.kind for token in tokenize("a.$x")]
+        assert kinds[:3] == [TokenKind.NAME, TokenKind.CONCAT, TokenKind.PATH_VAR]
+
+    def test_dot_before_whitespace_ends_rule(self):
+        kinds = [token.kind for token in tokenize("R($x).\n")]
+        assert kinds[-2] == TokenKind.END
+
+    def test_comments_and_stratum_separator(self):
+        tokens = tokenize("% a comment\n---\nR(a).")
+        assert tokens[0].kind == TokenKind.STRATUM_SEP
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("R('abc).")
+
+    def test_negation_spellings(self):
+        for text in ("not R($x)", "!R($x)", "¬R($x)"):
+            kinds = [token.kind for token in tokenize(text)]
+            assert kinds[0] == TokenKind.NOT
+
+
+class TestExpressionParsing:
+    def test_concatenation_and_packing(self):
+        expression = parse_expression("a.$x.<@y.b>")
+        assert expression == pexpr("a", path_var("x"), PackedExpression(pexpr(atom_var("y"), "b")))
+
+    def test_unicode_forms(self):
+        assert parse_expression("a·$x") == parse_expression("a.$x")
+        assert parse_expression("⟨a⟩") == parse_expression("<a>")
+
+    def test_epsilon(self):
+        assert parse_expression("eps").is_empty()
+        assert parse_expression("ϵ").is_empty()
+
+    def test_quoted_constants(self):
+        expression = parse_expression("'complete order'.$x")
+        assert expression.items[0] == "complete order"
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a b")
+
+
+class TestLiteralAndRuleParsing:
+    def test_equation_literal(self):
+        literal = parse_literal("a.$x = $x.a")
+        assert literal.positive and literal.is_equation()
+        assert literal.atom == eq(pexpr("a", path_var("x")), pexpr(path_var("x"), "a"))
+
+    def test_nonequality_literal(self):
+        literal = parse_literal("$x != $y")
+        assert literal.negative and literal.is_equation()
+
+    def test_negated_predicate(self):
+        literal = parse_literal("not T($x, eps)")
+        assert literal.negative and literal.is_predicate()
+
+    def test_fact_rule(self):
+        fact = parse_rule("R(a.b).")
+        assert fact.is_fact()
+        assert fact.head == pred("R", pexpr("a", "b"))
+
+    def test_nullary_head_and_body(self):
+        boolean_rule = parse_rule("A :- T($x), F.")
+        assert boolean_rule.head.arity == 0
+        names = [literal.atom.name for literal in boolean_rule.body]
+        assert names == ["T", "F"]
+
+    def test_example_21_program_shape(self):
+        program = parse_program(
+            """
+            S(@q.$x, eps) :- R($x), N(@q).
+            S(@q2.$y, $z.@a) :- S(@q1.@a.$y, $z), D(@q1, @a, @q2).
+            A($x) :- S(@q, $x), F(@q).
+            """
+        )
+        assert program.rule_count() == 3
+        assert program.relation_arities()["D"] == 3
+        assert program.uses_recursion()
+
+    def test_missing_period_is_an_error(self):
+        with pytest.raises(ParseError):
+            parse_rule("S($x) :- R($x)")
+
+
+class TestStratificationModes:
+    TEXT = "W($x) :- R($x), not B($x).\nS($x) :- R($x), not W($x)."
+
+    def test_auto_mode_stratifies(self):
+        assert len(parse_program(self.TEXT).strata) == 2
+
+    def test_explicit_separators_respected(self):
+        program = parse_program("W($x) :- R($x), not B($x).\n---\nS($x) :- R($x), not W($x).")
+        assert len(program.strata) == 2
+
+    def test_single_mode_rejects_nonsemipositive(self):
+        from repro.errors import StratificationError
+
+        with pytest.raises(StratificationError):
+            parse_program(self.TEXT, stratification="single")

@@ -1,0 +1,32 @@
+"""Unparser round-trip tests: parse(unparse(p)) must reproduce the program."""
+
+import pytest
+
+from repro.model import Instance, pack, path
+from repro.parser import parse_program, unparse_instance, unparse_program, unparse_rule
+from repro.queries import CANONICAL_QUERIES
+from repro.io import instance_from_text
+
+
+@pytest.mark.parametrize("name", sorted(CANONICAL_QUERIES))
+def test_canonical_programs_roundtrip(name):
+    program = CANONICAL_QUERIES[name].program()
+    text = unparse_program(program)
+    assert parse_program(text, stratification="explicit" if len(program.strata) > 1 else "auto") == program
+
+
+def test_rule_rendering_is_parseable():
+    program = CANONICAL_QUERIES["three_occurrences"].program()
+    for rule in program.rules():
+        rendered = unparse_rule(rule)
+        reparsed = parse_program(rendered).rules()[0]
+        assert reparsed == rule
+
+
+def test_instance_roundtrip_with_packing_and_quoting():
+    instance = Instance()
+    instance.add("R", path("a", pack("b", "c")))
+    instance.add("Log", path("complete order", "receive payment"))
+    instance.add("A")
+    text = unparse_instance(instance)
+    assert instance_from_text(text) == instance

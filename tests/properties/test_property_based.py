@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Valuation, evaluate_program, match_expression
+from repro.model import EPSILON, Packed, Path
+from repro.queries import get_query
+from repro.syntax import Equation, PathVariable, pexpr
+from repro.transform import (
+    decode_packed_path,
+    double_path,
+    encode_packed_path,
+    pair_encode_paths,
+    undouble_path,
+)
+from repro.unification import solve_equation
+from repro.workloads import random_string_instance
+
+
+# -- strategies -------------------------------------------------------------------------------------
+
+atoms = st.sampled_from(["a", "b", "c"])
+flat_paths = st.lists(atoms, max_size=6).map(lambda items: Path(tuple(items)))
+
+
+def nested_paths(max_depth=2):
+    return st.recursive(
+        flat_paths,
+        lambda children: st.lists(
+            st.one_of(atoms, children.map(Packed)), max_size=4
+        ).map(lambda items: Path(tuple(items))),
+        max_leaves=6,
+    )
+
+
+# -- path algebra -----------------------------------------------------------------------------------
+
+
+@given(flat_paths, flat_paths, flat_paths)
+def test_concatenation_is_associative(first, second, third):
+    assert (first + second) + third == first + (second + third)
+
+
+@given(flat_paths)
+def test_epsilon_is_a_neutral_element(word):
+    assert word + EPSILON == word == EPSILON + word
+
+
+@given(flat_paths)
+def test_reversal_is_an_involution(word):
+    assert word.reversed().reversed() == word
+
+
+@given(flat_paths)
+def test_substrings_contain_prefixes_and_suffixes(word):
+    substrings = set(word.substrings())
+    assert set(word.prefixes()) <= substrings
+    assert set(word.suffixes()) <= substrings
+
+
+# -- the Lemma 4.1 pairing encoding -------------------------------------------------------------------
+
+
+@given(flat_paths, flat_paths, flat_paths, flat_paths)
+def test_lemma41_pair_encoding_is_injective(s1, s2, t1, t2):
+    if (s1, s2) != (t1, t2):
+        assert pair_encode_paths(s1, s2) != pair_encode_paths(t1, t2)
+    else:
+        assert pair_encode_paths(s1, s2) == pair_encode_paths(t1, t2)
+
+
+# -- doubling and delimiter encodings (Theorem 4.15) ----------------------------------------------------
+
+
+@given(flat_paths)
+def test_doubling_round_trip(word):
+    assert undouble_path(double_path(word)) == word
+
+
+@given(nested_paths())
+def test_delimiter_encoding_round_trip(tree):
+    encoded = encode_packed_path(tree)
+    assert encoded.is_flat()
+    assert decode_packed_path(encoded) == tree
+
+
+# -- associative matching ---------------------------------------------------------------------------------
+
+
+@given(flat_paths, flat_paths)
+def test_matching_enumerates_exactly_the_splits(prefix, suffix):
+    """$x·$y matches p exactly once per split point of p."""
+    word = prefix + suffix
+    expression = pexpr(PathVariable("x"), PathVariable("y"))
+    matches = list(match_expression(expression, word))
+    assert len(matches) == len(word) + 1
+    assert any(
+        m.path_of(PathVariable("x")) == prefix and m.path_of(PathVariable("y")) == suffix
+        for m in matches
+    )
+
+
+@given(nested_paths())
+def test_single_variable_matches_whole_path(value):
+    matches = list(match_expression(pexpr(PathVariable("x")), value))
+    assert len(matches) == 1
+    assert matches[0].path_of(PathVariable("x")) == value
+
+
+# -- unification soundness ----------------------------------------------------------------------------------
+
+
+@given(flat_paths, flat_paths)
+@settings(max_examples=30, deadline=None)
+def test_pigpug_solutions_are_sound_and_find_ground_instances(left_word, right_word):
+    """For ground-vs-variable equations, pig-pug finds exactly the match."""
+    equation = Equation(
+        pexpr(PathVariable("x"), *right_word.elements),
+        pexpr(*left_word.elements, PathVariable("y")),
+    )
+    solutions = solve_equation(equation, node_budget=5_000, on_budget="incomplete")
+    assert solutions.verify()
+
+
+# -- query semantics ------------------------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=20))
+@settings(max_examples=15, deadline=None)
+def test_only_as_agreement_between_fragments(seed):
+    instance = random_string_instance(paths=5, max_length=4, seed=seed)
+    assert get_query("only_as_equation").run(instance) == get_query("only_as_air").run(instance)
+
+
+@given(st.integers(min_value=0, max_value=20))
+@settings(max_examples=10, deadline=None)
+def test_monotonicity_of_positive_programs(seed):
+    """Programs without negation are monotone (Section 6, condition 1)."""
+    program = get_query("reversal").program()
+    smaller = random_string_instance(paths=3, max_length=3, seed=seed)
+    larger = smaller.union(random_string_instance(paths=3, max_length=3, seed=seed + 1000))
+    small_out = evaluate_program(program, smaller).relation("S")
+    large_out = evaluate_program(program, larger).relation("S")
+    assert small_out <= large_out

@@ -1,0 +1,113 @@
+"""Unit tests for path expressions, variables, and substitutions (Section 2.2)."""
+
+import pytest
+
+from repro.errors import ModelError, SyntaxSemanticError
+from repro.model import Path, pack, path
+from repro.syntax import (
+    AtomVariable,
+    PathVariable,
+    Substitution,
+    atom_var,
+    packed,
+    path_var,
+    pexpr,
+)
+
+
+class TestVariables:
+    def test_kinds_are_distinct(self):
+        assert atom_var("x") != path_var("x")
+        assert atom_var("x") == AtomVariable("x")
+        assert str(atom_var("q")) == "@q"
+        assert str(path_var("q")) == "$q"
+
+    def test_invalid_names(self):
+        with pytest.raises(SyntaxSemanticError):
+            PathVariable("")
+
+
+class TestPathExpressions:
+    def test_flattening(self):
+        expression = pexpr("a", pexpr(path_var("x"), "b"), "c")
+        assert len(expression) == 4
+        assert expression.items[1] == path_var("x")
+
+    def test_variables_and_constants(self):
+        expression = pexpr("a", path_var("x"), packed(atom_var("y"), "b"))
+        assert expression.variables() == {path_var("x"), atom_var("y")}
+        assert expression.path_variables() == {path_var("x")}
+        assert expression.atom_variables() == {atom_var("y")}
+        assert expression.constants() == {"a", "b"}
+
+    def test_variable_occurrences_preserve_repetition(self):
+        expression = pexpr(path_var("x"), "a", path_var("x"))
+        assert expression.variable_occurrences() == [path_var("x"), path_var("x")]
+
+    def test_ground_path_roundtrip(self):
+        concrete = path("a", pack("b", "c"))
+        expression = pexpr(concrete)
+        assert expression.is_ground()
+        assert expression.ground_path() == concrete
+
+    def test_ground_path_rejects_variables(self):
+        with pytest.raises(ModelError):
+            pexpr(path_var("x")).ground_path()
+
+    def test_packing_detection_and_depth(self):
+        assert not pexpr("a", path_var("x")).has_packing()
+        assert pexpr(packed("a")).has_packing()
+        assert pexpr(packed(packed("a"))).packing_depth() == 2
+
+    def test_min_length_and_fixed_length(self):
+        expression = pexpr("a", atom_var("u"), path_var("x"), packed("b"))
+        assert expression.min_length() == 3
+        assert not expression.length_is_fixed()
+        assert pexpr("a", atom_var("u")).length_is_fixed()
+
+    def test_concatenation_operator(self):
+        assert pexpr("a") + path_var("x") == pexpr("a", path_var("x"))
+        assert "a" + pexpr(path_var("x")) == pexpr("a", path_var("x"))
+
+    def test_rendering(self):
+        assert str(pexpr("a", path_var("x"), packed(atom_var("y")))) == "a·$x·<@y>"
+        assert str(pexpr()) == "ϵ"
+
+
+class TestSubstitution:
+    def test_apply_replaces_at_depth(self):
+        substitution = Substitution({path_var("x"): pexpr("a", path_var("y"))})
+        expression = pexpr(packed(path_var("x")), path_var("x"))
+        result = substitution(expression)
+        assert result == pexpr(packed("a", path_var("y")), "a", path_var("y"))
+
+    def test_atomic_variable_images_are_restricted(self):
+        Substitution({atom_var("x"): pexpr("a")})
+        Substitution({atom_var("x"): pexpr(atom_var("y"))})
+        with pytest.raises(SyntaxSemanticError):
+            Substitution({atom_var("x"): pexpr("a", "b")})
+        with pytest.raises(SyntaxSemanticError):
+            Substitution({atom_var("x"): pexpr(path_var("y"))})
+
+    def test_composition_order(self):
+        first = Substitution({path_var("x"): pexpr(path_var("y"), path_var("x"))})
+        second = Substitution({path_var("y"): pexpr("a")})
+        composed = second.compose(first)  # apply `first`, then `second`
+        assert composed(pexpr(path_var("x"))) == pexpr("a", path_var("x"))
+
+    def test_then_is_flipped_compose(self):
+        first = Substitution({path_var("x"): pexpr("a")})
+        second = Substitution({path_var("y"): pexpr(path_var("x"))})
+        assert second.then(first)(pexpr(path_var("y"))) == pexpr("a")
+
+    def test_restriction_and_extension(self):
+        substitution = Substitution({path_var("x"): pexpr("a"), path_var("y"): pexpr("b")})
+        restricted = substitution.restricted([path_var("x")])
+        assert restricted.domain == {path_var("x")}
+        extended = restricted.extended(path_var("z"), pexpr("c"))
+        assert extended[path_var("z")] == pexpr("c")
+
+    def test_classification(self):
+        assert Substitution({path_var("x"): pexpr(path_var("y"))}).is_renaming()
+        assert not Substitution({path_var("x"): pexpr("a", "b")}).is_renaming()
+        assert Substitution({path_var("x"): pexpr(packed("a"))}).introduces_packing()

@@ -1,0 +1,122 @@
+"""Unit tests for literals, rules, safety, and programs."""
+
+import pytest
+
+from repro.errors import StratificationError, SyntaxSemanticError, UnsafeRuleError
+from repro.parser import parse_program, parse_rule, parse_rules
+from repro.syntax import (
+    Equation,
+    Program,
+    Rule,
+    Stratum,
+    eq,
+    neg,
+    path_var,
+    pexpr,
+    pos,
+    pred,
+    rule,
+)
+
+
+class TestLiterals:
+    def test_predicate_properties(self):
+        predicate = pred("T", pexpr(path_var("x")), pexpr("a"))
+        assert predicate.arity == 2
+        assert predicate.variables() == {path_var("x")}
+        assert not predicate.is_ground()
+
+    def test_equation_sides_and_swap(self):
+        equation = eq(pexpr("a", path_var("x")), pexpr(path_var("x"), "a"))
+        assert equation.swapped() == eq(pexpr(path_var("x"), "a"), pexpr("a", path_var("x")))
+        assert equation.variables() == {path_var("x")}
+
+    def test_one_sided_nonlinearity(self):
+        assert not Equation(pexpr(path_var("x"), "a"), pexpr("a", path_var("x"))).is_one_sided_nonlinear()
+        assert Equation(pexpr(path_var("x"), path_var("x")), pexpr("a", path_var("y"))).is_one_sided_nonlinear()
+
+    def test_literal_negation(self):
+        literal = neg(pred("R", pexpr(path_var("x"))))
+        assert literal.negative
+        assert literal.negated().positive
+
+
+class TestRuleSafety:
+    def test_safe_rule_from_positive_predicate(self):
+        safe = parse_rule("S($x) :- R($x).")
+        assert safe.is_safe()
+
+    def test_unsafe_head_variable(self):
+        unsafe = Rule(pred("S", pexpr(path_var("x"))), [pos(pred("R", pexpr(path_var("y"))))])
+        assert not unsafe.is_safe()
+        with pytest.raises(UnsafeRuleError):
+            unsafe.check_safe()
+
+    def test_equation_limits_variables(self):
+        """Variables become limited through positive equations (Section 2.2)."""
+        limited = parse_rule("S($x) :- R($y), $x.a = $y.")
+        assert limited.is_safe()
+
+    def test_negated_equation_does_not_limit(self):
+        unsafe = Rule(
+            pred("S", pexpr(path_var("x"))),
+            [pos(pred("R", pexpr(path_var("y")))), neg(eq(pexpr(path_var("x")), pexpr(path_var("y"))))],
+        )
+        assert not unsafe.is_safe()
+
+    def test_chained_equations_limit_transitively(self):
+        chained = parse_rule("S($z) :- R($y), $x = $y.$y, $z = $x.a.")
+        assert chained.is_safe()
+
+    def test_rule_feature_probes(self):
+        probe = parse_rule("S($x) :- R($x), not Q($x), a.$x = $x.a.")
+        assert probe.has_negation()
+        assert probe.has_equation()
+        assert not probe.has_packing()
+        assert probe.max_arity() == 1
+
+
+class TestPrograms:
+    def test_idb_edb_split(self):
+        program = parse_program("T($x) :- R($x).\nS($x) :- T($x).")
+        assert program.idb_relation_names() == {"T", "S"}
+        assert program.edb_relation_names() == {"R"}
+
+    def test_arity_consistency_check(self):
+        with pytest.raises(SyntaxSemanticError):
+            Program.single_stratum(parse_rules("S($x) :- R($x).\nS($x,$y) :- R($x), R($y)."))
+
+    def test_recursion_detection(self):
+        recursive = parse_program("T($x) :- R($x).\nT(a.$x) :- T($x), G().")
+        assert recursive.uses_recursion()
+        assert recursive.recursive_relation_names() == {"T"}
+        nonrecursive = parse_program("T($x) :- R($x).\nS($x) :- T($x).")
+        assert not nonrecursive.uses_recursion()
+
+    def test_auto_stratification_orders_negation(self):
+        program = parse_program("W($x) :- R($x), not B($x).\nS($x) :- R($x), not W($x).")
+        assert len(program.strata) == 2
+        assert program.strata[0].head_relation_names() == {"W"}
+
+    def test_unstratifiable_program_rejected(self):
+        with pytest.raises(StratificationError):
+            parse_program("P($x) :- R($x), not Q($x).\nQ($x) :- R($x), not P($x).")
+
+    def test_explicit_strata_are_validated(self):
+        rules = parse_rules("S($x) :- R($x), not W($x).\nW($x) :- R($x), not B($x).")
+        with pytest.raises(StratificationError):
+            Program([Stratum([rules[0]]), Stratum([rules[1]])])
+
+    def test_semipositive(self):
+        program = parse_program("S($x) :- R($x), not Q($x).")
+        assert program.is_semipositive()
+        layered = parse_program("W($x) :- R($x), not B($x).\nS($x) :- R($x), not W($x).")
+        assert not layered.is_semipositive()
+
+    def test_is_over_schema(self):
+        from repro.model import Schema
+
+        program = parse_program("S($x) :- R($x).")
+        assert program.is_over(Schema({"R": 1}))
+        assert not program.is_over(Schema({"R": 1, "S": 1}))
+        assert not program.is_over(Schema({"Q": 1}))

@@ -1,0 +1,93 @@
+"""Tests for the Lemma 7.2 normal form."""
+
+import pytest
+
+from repro.errors import TransformationError
+from repro.model import Instance, Path, path
+from repro.parser import parse_program, parse_rule
+from repro.queries import get_query
+from repro.transform import normal_form_of, programs_agree_on, rule_normal_form
+from repro.transform.normal_form import NORMAL_FORMS, is_in_normal_form
+from repro.workloads import random_graph_instance, random_string_instance
+
+
+class TestRuleClassification:
+    @pytest.mark.parametrize(
+        "text, form",
+        [
+            ("H($x, @y) :- R($x.a.<@y>).", 1),
+            ("H($x, $y, $x.a.$y) :- G($x, $y).", 2),
+            ("J($x, $y, $z) :- G($x, $y), K($y, $z).", 3),
+            ("F($x, $y) :- G($x, $y), not N($y).", 4),
+            ("P($y) :- G($x, $y).", 5),
+            ("K(a.b).", 6),
+        ],
+    )
+    def test_each_form_is_recognised(self, text, form):
+        assert rule_normal_form(parse_rule(text)) == form
+
+    def test_rules_outside_the_forms(self):
+        assert rule_normal_form(parse_rule("S($x.$x) :- R($x), Q($x).")) is None
+        assert rule_normal_form(parse_rule("S($x) :- R($x), $x = a.")) is None
+
+    def test_descriptions_cover_all_forms(self):
+        assert set(NORMAL_FORMS) == {1, 2, 3, 4, 5, 6}
+
+
+class TestConversion:
+    def test_black_neighbours_conversion_preserves_semantics(self):
+        program = get_query("black_neighbours").program()
+        converted = normal_form_of(program)
+        assert is_in_normal_form(converted)
+        instances = []
+        for seed in range(3):
+            instance = random_graph_instance(nodes=4, edges=6, seed=seed)
+            instance.add("B", path("a"))
+            instances.append(instance)
+        assert programs_agree_on(program, converted, instances, ["S"])
+
+    def test_paper_general_example_from_lemma_72(self):
+        """The worked example used throughout the proof of Lemma 7.2."""
+        program = parse_program(
+            "T(a.b.c, @x.c.$y, $z.$z) :- P1($y.$y, $z.a, @u.d), P2($z.@x.c, d), "
+            "not N1(@x.$y.$z, a.@x), not N2(a.b, $y)."
+        )
+        converted = normal_form_of(program)
+        assert is_in_normal_form(converted)
+        instance = Instance()
+        instance.add("P1", path("c", "c"), path("c", "a"), path("b", "d"))
+        instance.add("P1", path("a", "b", "a", "b"), path("d", "a"), path("b", "d"))
+        instance.add("P2", path("d", "b", "c"), path("d"))
+        instance.add("P2", path("b", "d", "c"), path("d"))
+        instance.add("N2", path("a", "b"), path("c"))
+        assert programs_agree_on(program, converted, [instance], ["T"])
+
+    def test_boolean_rule_conversion(self):
+        program = parse_program("A :- R(a.$x), not Q($x).")
+        converted = normal_form_of(program)
+        assert is_in_normal_form(converted)
+        instance = Instance()
+        instance.add("R", path("a", "b"))
+        instance.add("Q", path("c"))
+        assert programs_agree_on(program, converted, [instance], ["A"])
+
+    def test_constant_only_rule(self):
+        program = parse_program("S(a.b) :- .") if False else parse_program("S(a.b).")
+        converted = normal_form_of(program)
+        assert is_in_normal_form(converted)
+
+    def test_equations_are_rejected(self):
+        program = get_query("only_as_equation").program()
+        with pytest.raises(TransformationError):
+            normal_form_of(program)
+
+    def test_recursion_is_rejected(self):
+        with pytest.raises(TransformationError):
+            normal_form_of(get_query("reversal").program())
+
+    def test_conversion_agrees_on_random_string_workloads(self):
+        program = parse_program("S($x.$y) :- R($x), R($y), not R($x.$y).")
+        converted = normal_form_of(program)
+        assert is_in_normal_form(converted)
+        instances = [random_string_instance(seed=seed, paths=4, max_length=3) for seed in range(3)]
+        assert programs_agree_on(program, converted, instances, ["S"])

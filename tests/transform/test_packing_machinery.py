@@ -1,0 +1,145 @@
+"""Tests for the packing-elimination machinery: purity, structures, doubling."""
+
+import pytest
+
+from repro.errors import TransformationError
+from repro.model import Packed, Path, pack, path
+from repro.parser import parse_expression, parse_rule
+from repro.syntax import path_var, pexpr
+from repro.transform import (
+    FULLY_IMPURE,
+    HALF_PURE,
+    PURE,
+    classify_equation,
+    components,
+    decode_packed_path,
+    double_path,
+    doubling_program,
+    encode_packed_path,
+    flatten_rule,
+    is_doubled,
+    packing_structure,
+    pure_variables,
+    purify_rule,
+    source_variables,
+    structure_and_components,
+    undouble_path,
+    undoubling_program,
+)
+from repro.engine import evaluate_program
+from repro.model import Instance, unary_instance
+
+
+class TestPurity:
+    def test_example_49_pure_rule(self):
+        rule = parse_rule("S($x) :- R($x, $y), <$x> = <$y>, a.$x = $z, $y = <$u>.")
+        pure = pure_variables(rule, {"R"})
+        assert {path_var("x"), path_var("y"), path_var("z")} <= pure
+        for equation in rule.positive_equations():
+            assert classify_equation(equation, pure) == PURE
+
+    def test_example_49_half_pure_rule(self):
+        rule = parse_rule("S($x) :- R($x, $y), <$y> = $z, <$x> = <$z>.")
+        pure = pure_variables(rule, {"R"})
+        assert path_var("z") not in pure
+        classifications = {
+            classify_equation(equation, pure) for equation in rule.positive_equations()
+        }
+        assert classifications == {HALF_PURE}
+
+    def test_example_49_fully_impure_equation(self):
+        rule = parse_rule("S($x) :- R($x, $y), <$t> = <$z>, $z = <$y>, $t = <$x>.")
+        pure = pure_variables(rule, {"R"})
+        target = next(
+            equation for equation in rule.positive_equations()
+            if equation.lhs == pexpr(parse_expression("<$t>").items[0])
+        )
+        assert classify_equation(target, pure) == FULLY_IMPURE
+
+    def test_source_variables_use_flat_relations_only(self):
+        rule = parse_rule("S($x) :- R($x), T($y), $y = $x.")
+        assert source_variables(rule, {"R"}) == {path_var("x")}
+
+    def test_purified_rules_have_only_pure_equations(self):
+        rule = parse_rule("S($x) :- R($x), <$x> = $z, $z = <$x>.")
+        for rewritten in purify_rule(rule, frozenset({"R"})):
+            pure = pure_variables(rewritten, {"R"})
+            for equation in rewritten.positive_equations():
+                assert classify_equation(equation, pure) == PURE
+
+
+class TestPackingStructures:
+    def test_example_411(self):
+        expression = parse_expression("@a.<<$x.$y>.$z>.<eps>")
+        structure, comps = structure_and_components(expression)
+        assert str(structure) == "∗·⟨∗·⟨∗⟩·∗⟩·∗·⟨∗⟩·∗"
+        assert structure.star_count() == 7
+        rendered = [str(component) for component in comps]
+        assert rendered == ["@a", "ϵ", "$x·$y", "$z", "ϵ", "ϵ", "ϵ"]
+
+    def test_flat_expression_has_trivial_structure(self):
+        structure = packing_structure(parse_expression("a.$x.b"))
+        assert structure.is_trivial()
+        assert components(parse_expression("a.$x.b")) == [parse_expression("a.$x.b")]
+
+    def test_rebuild_is_inverse_of_components(self):
+        expression = parse_expression("$u.<a.<$v>>.b")
+        structure, comps = structure_and_components(expression)
+        assert structure.rebuild(comps) == expression
+
+    def test_rebuild_checks_filler_count(self):
+        structure = packing_structure(parse_expression("<a>"))
+        with pytest.raises(TransformationError):
+            structure.rebuild([pexpr("a")])
+
+    def test_flatten_rule_splits_by_structure(self):
+        rule = parse_rule("S($x) :- R($x), R($y), <$x>.a = <$y>.a.")
+        flattened = flatten_rule(rule, frozenset({"R"}))
+        assert flattened
+        for rewritten in flattened:
+            assert not any(equation.has_packing() for equation in rewritten.positive_equations())
+
+    def test_flatten_drops_structurally_unsatisfiable_rules(self):
+        rule = parse_rule("S($x) :- R($x), R($y), <$x> = $y.a.")
+        assert flatten_rule(rule, frozenset({"R"})) == []
+
+
+class TestDoubling:
+    def test_double_and_undouble_paths(self):
+        word = path("a", "b", "c")
+        doubled = double_path(word)
+        assert doubled == path("a", "a", "b", "b", "c", "c")
+        assert is_doubled(doubled) and not is_doubled(word + path("a"))
+        assert undouble_path(doubled) == word
+
+    def test_undouble_rejects_malformed_paths(self):
+        with pytest.raises(TransformationError):
+            undouble_path(path("a", "b"))
+        with pytest.raises(TransformationError):
+            undouble_path(path("a"))
+
+    def test_doubling_program_matches_data_level_doubling(self):
+        program = doubling_program(source="R", target="Rd")
+        instance = unary_instance("R", ["abc", "a", ""])
+        result = evaluate_program(program, instance)
+        expected = {double_path(p) for p in instance.paths("R")}
+        assert result.paths("Rd") == expected
+
+    def test_undoubling_program_inverts_doubling_program(self):
+        instance = unary_instance("R", ["ab", ""])
+        doubled = evaluate_program(doubling_program("R", "Sd"), instance).restricted(["Sd"])
+        restored = evaluate_program(undoubling_program("Sd", "S"), doubled)
+        assert restored.paths("S") == instance.paths("R")
+
+    def test_simulated_delimiters_round_trip(self):
+        nested = path("a", pack("b", pack("c")), "d", pack())
+        encoded = encode_packed_path(nested)
+        assert encoded.is_flat()
+        assert decode_packed_path(encoded) == nested
+
+    def test_delimiter_decoding_rejects_corrupted_paths(self):
+        nested = path(pack("a"))
+        encoded = encode_packed_path(nested)
+        corrupted = Path(encoded.elements[:-1])
+        with pytest.raises(TransformationError):
+            decode_packed_path(corrupted)

@@ -1,0 +1,193 @@
+"""Differential tests for the Section 4 redundancy transformations."""
+
+import pytest
+
+from repro.errors import TransformationError
+from repro.fragments import Feature, program_features, program_fragment
+from repro.model import Instance, Path, path, string_path, unary_instance
+from repro.parser import parse_program
+from repro.queries import get_query
+from repro.transform import (
+    eliminate_arity,
+    eliminate_equations,
+    eliminate_intermediate_predicates,
+    eliminate_negated_equations,
+    eliminate_packing,
+    eliminate_positive_equations,
+    encode_path_tuple,
+    pair_encode_paths,
+    programs_agree_on,
+    rewrite_into_fragment,
+)
+from repro.workloads import random_string_instance
+
+
+@pytest.fixture
+def string_family():
+    return [random_string_instance(paths=6, max_length=4, seed=seed) for seed in range(4)]
+
+
+class TestArityElimination:
+    def test_lemma41_encoding_is_injective_on_samples(self):
+        pairs = [
+            (path("a"), path("b")),
+            (path("b"), path("a")),
+            (path(), path("a", "b")),
+            (path("a", "b"), path()),
+            (path("a", "b"), path("a", "b")),
+            (path("b", "a", "b"), path("a")),
+        ]
+        encodings = [pair_encode_paths(first, second) for first, second in pairs]
+        assert len(set(encodings)) == len(pairs)
+
+    def test_example_43_reversal(self, string_family):
+        program = get_query("reversal").program()
+        rewritten = eliminate_arity(program)
+        assert Feature.ARITY not in program_features(rewritten)
+        assert programs_agree_on(program, rewritten, string_family, ["S"])
+
+    def test_higher_arities_are_collapsed_recursively(self, string_family):
+        program = parse_program(
+            "T($x, $y, $x.$y) :- R($x), R($y).\nS($z) :- T($x, $y, $z)."
+        )
+        rewritten = eliminate_arity(program)
+        assert Feature.ARITY not in program_features(rewritten)
+        assert programs_agree_on(program, rewritten, string_family, ["S"])
+
+    def test_non_monadic_edb_is_rejected(self):
+        program = parse_program("S($x) :- D($x, $y).")
+        with pytest.raises(TransformationError):
+            eliminate_arity(program)
+
+    def test_tuple_encoding_matches_expression_encoding(self):
+        triple = (path("a"), Path(()), path("b", "a"))
+        assert len(encode_path_tuple(triple)) > sum(len(p) for p in triple)
+
+
+class TestEquationElimination:
+    def test_example_44_only_as(self, string_family):
+        program = get_query("only_as_equation").program()
+        rewritten = eliminate_positive_equations(program)
+        assert Feature.EQUATIONS not in program_features(rewritten)
+        assert programs_agree_on(program, rewritten, string_family, ["S"])
+
+    def test_example_46_negated_equations(self, string_family):
+        program = get_query("unequal_palindrome").program()
+        rewritten = eliminate_equations(program)
+        assert Feature.EQUATIONS not in program_features(rewritten)
+        assert programs_agree_on(program, rewritten, string_family, ["S"])
+
+    def test_negated_equation_inside_recursive_stratum_gets_a_shadow_stratum(self):
+        program = get_query("unequal_palindrome").program()
+        rewritten = eliminate_negated_equations(program)
+        assert len(rewritten.strata) > len(program.strata)
+        assert not any(
+            literal.negative and literal.is_equation()
+            for rule in rewritten.rules()
+            for literal in rule.body
+        )
+
+    def test_multiple_equations_in_one_rule(self, string_family):
+        program = parse_program("S($y) :- R($x), $x = a.$y, $y = $z.b, R($z.b).")
+        rewritten = eliminate_equations(program)
+        assert Feature.EQUATIONS not in program_features(rewritten)
+        assert programs_agree_on(program, rewritten, string_family, ["S"])
+
+    def test_mixed_positive_and_negated_equations(self, string_family):
+        program = parse_program("S($x) :- R($x), $x = $u.$v, $u != $v.")
+        rewritten = eliminate_equations(program)
+        assert Feature.EQUATIONS not in program_features(rewritten)
+        assert programs_agree_on(program, rewritten, string_family, ["S"])
+
+
+class TestPackingElimination:
+    def packed_instances(self):
+        instances = []
+        for seed, text in enumerate(["abxabyab", "abxab", "ababab", "ab", "ba"]):
+            instance = Instance()
+            instance.add("S", string_path("ab"))
+            instance.add("R", string_path(text))
+            instances.append(instance)
+        return instances
+
+    def test_example_214_three_occurrences(self):
+        program = get_query("three_occurrences").program()
+        rewritten = eliminate_packing(program)
+        assert Feature.PACKING not in program_features(rewritten)
+        # The paper's manual rewriting of Example 2.2 has 28 rules (Example 4.14).
+        assert rewritten.rule_count() == 28
+        assert programs_agree_on(program, rewritten, self.packed_instances(), ["A"])
+
+    def test_packing_as_temporary_marker(self, string_family):
+        program = parse_program(
+            """
+            Mark(<$u>.$v) :- R($u.$v), R($u).
+            S($u) :- Mark(<$u>.$v), R($v).
+            """
+        )
+        rewritten = eliminate_packing(program)
+        assert Feature.PACKING not in program_features(rewritten)
+        assert programs_agree_on(program, rewritten, string_family, ["S"])
+
+    def test_negated_packed_call(self, string_family):
+        program = parse_program(
+            """
+            Mark(<$u>.$v) :- R($u.$v), R($u).
+            S($x) :- R($x), not Mark(<$x>.eps).
+            """
+        )
+        rewritten = eliminate_packing(program)
+        assert Feature.PACKING not in program_features(rewritten)
+        assert programs_agree_on(program, rewritten, string_family, ["S"])
+
+    def test_recursive_programs_are_rejected(self):
+        program = parse_program("T(<$x>) :- R($x).\nT(<$x>.a) :- T($x).\nS($x) :- T($x).")
+        with pytest.raises(TransformationError):
+            eliminate_packing(program)
+
+
+class TestFolding:
+    def test_theorem_416_nonrecursive_positive_program(self, string_family):
+        program = parse_program(
+            """
+            T($x, $y) :- R($x.$y).
+            U($x) :- T($x, a.$z).
+            S($x.$x) :- U($x), T($y, $x).
+            """
+        )
+        folded = eliminate_intermediate_predicates(program, "S")
+        assert Feature.INTERMEDIATE not in program_features(folded)
+        assert Feature.EQUATIONS in program_features(folded)
+        assert programs_agree_on(program, folded, string_family, ["S"])
+
+    def test_recursion_is_rejected(self):
+        program = get_query("reversal").program()
+        with pytest.raises(TransformationError):
+            eliminate_intermediate_predicates(program, "S")
+
+    def test_negation_over_idb_is_rejected(self):
+        program = get_query("black_neighbours").program()
+        with pytest.raises(TransformationError):
+            eliminate_intermediate_predicates(program, "S")
+
+
+class TestPipeline:
+    def test_rewrite_equation_program_into_intermediate_fragment(self, string_family):
+        program = get_query("only_as_equation").program()
+        result = rewrite_into_fragment(program, "AIN")
+        assert result.fragment() <= program_fragment(program).union(
+            program_fragment(result.program)
+        )
+        assert programs_agree_on(program, result.program, string_family, ["S"])
+        assert [step.name for step in result.steps] == ["eliminate_equations"]
+
+    def test_rewrite_reversal_without_arity(self, string_family):
+        program = get_query("reversal").program()
+        result = rewrite_into_fragment(program, "IR")
+        assert result.fragment() == program_fragment(get_query("reversal_no_arity").program())
+        assert programs_agree_on(program, result.program, string_family, ["S"])
+
+    def test_impossible_targets_are_rejected(self):
+        program = get_query("squaring").program()
+        with pytest.raises(TransformationError):
+            rewrite_into_fragment(program, "EIN")

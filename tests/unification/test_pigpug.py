@@ -1,0 +1,134 @@
+"""Tests for the pig-pug procedure and its extension to path expressions (Section 4.3)."""
+
+import pytest
+
+from repro.errors import UnificationBudgetExceeded, UnificationError
+from repro.parser import parse_expression
+from repro.syntax import Equation, Substitution, path_var, pexpr
+from repro.unification import (
+    build_search_tree,
+    is_symbolic_solution,
+    is_word_equation,
+    solve_equation,
+    solve_word_equation,
+)
+
+
+def equation(left: str, right: str) -> Equation:
+    return Equation(parse_expression(left), parse_expression(right))
+
+
+class TestWordEquations:
+    def test_simple_split(self):
+        solutions = solve_word_equation(equation("$x.$y", "a.b"))
+        as_pairs = {
+            (str(s.get(path_var("x"), pexpr())), str(s.get(path_var("y"), pexpr())))
+            for s in solutions
+        }
+        assert as_pairs == {("a", "b"), ("ϵ", "a·b"), ("a·b", "ϵ")}
+        assert solutions.complete
+        assert solutions.verify()
+
+    def test_unsatisfiable_equation(self):
+        solutions = solve_word_equation(equation("a.$x", "b.$x"))
+        assert solutions.is_unsatisfiable()
+
+    def test_nonempty_semantics_excludes_empty_assignments(self):
+        tree = build_search_tree(equation("$x.$y", "a"))
+        assert tree.successful_branch_count() == 0  # both variables would need ϵ or a split
+        with_empty = solve_equation(equation("$x.$y", "a"), allow_empty=True)
+        assert len(with_empty) == 2
+
+    def test_budget_exceeded_on_non_one_sided_nonlinear(self):
+        """$x·a = a·$x has infinitely many solutions; the plain procedure diverges."""
+        with pytest.raises(UnificationBudgetExceeded):
+            build_search_tree(equation("$x.a", "a.$x"), node_budget=100)
+
+    def test_budget_can_return_incomplete(self):
+        solutions = solve_equation(
+            equation("$x.a", "a.$x"), node_budget=100, on_budget="incomplete"
+        )
+        assert not solutions.complete
+
+    def test_word_equation_check(self):
+        assert is_word_equation(equation("$x.a", "a.$x"))
+        assert not is_word_equation(equation("@x.a", "a.$x"))
+        with pytest.raises(UnificationError):
+            solve_word_equation(equation("<a>", "$x"))
+
+
+class TestPathExpressionExtension:
+    def test_atomic_variables_unify_pairwise(self):
+        solutions = solve_equation(equation("@x.b", "@y.b"), allow_empty=False)
+        assert len(solutions) == 1
+        assert list(solutions)[0][parse_expression("@x").items[0]] == pexpr(
+            parse_expression("@y").items[0]
+        )
+
+    def test_atomic_variable_never_matches_packing(self):
+        solutions = solve_equation(equation("@x", "<a>"))
+        assert solutions.is_unsatisfiable()
+
+    def test_packed_contents_unify_recursively(self):
+        solutions = solve_equation(equation("<$x.b>", "<a.$y>"))
+        assert solutions
+        assert solutions.verify()
+
+    def test_packing_blocks_constant(self):
+        assert solve_equation(equation("<a>", "a")).is_unsatisfiable()
+
+    def test_figure2_equation_has_four_successful_branches(self):
+        tree = build_search_tree(equation("$x.<@y.$z>.@w", "$u.$v.$u"))
+        assert tree.successful_branch_count() == 4
+
+    def test_figure2_solutions_match_example_48(self):
+        """The four symbolic solutions listed in Example 4.8."""
+        x, z, u, v = (path_var(n) for n in "xzuv")
+        at_y = parse_expression("@y").items[0]
+        at_w = parse_expression("@w").items[0]
+        packed = parse_expression("<@y.$z>").items[0]
+        tree = build_search_tree(equation("$x.<@y.$z>.@w", "$u.$v.$u"))
+        solutions = {
+            tuple(sorted((str(var), str(image)) for var, image in solution.items()))
+            for solution in tree.solutions()
+        }
+        expected_solutions = {
+            Substitution({x: pexpr(at_w), u: pexpr(at_w), v: pexpr(packed)}),
+            Substitution({x: pexpr(at_w, x), v: pexpr(x, packed), u: pexpr(at_w)}),
+            Substitution({x: pexpr(packed, at_w, v), u: pexpr(packed, at_w)}),
+            Substitution({x: pexpr(x, packed, at_w, v, x), u: pexpr(x, packed, at_w)}),
+        }
+        expected = {
+            tuple(sorted((str(var), str(image)) for var, image in solution.items()))
+            for solution in expected_solutions
+        }
+        assert solutions == expected
+
+    def test_every_symbolic_solution_is_sound(self):
+        eq = equation("$x.<@y.$z>.@w", "$u.$v.$u")
+        for solution in build_search_tree(eq).solutions():
+            assert is_symbolic_solution(solution, eq)
+
+
+class TestSearchTree:
+    def test_tree_structure_and_rendering(self):
+        tree = build_search_tree(equation("$x.a", "b.$y"))
+        assert tree.depth() >= 1
+        text = tree.render_text()
+        assert "=" in text
+        graph = tree.to_networkx()
+        assert graph.number_of_nodes() == tree.node_count
+
+    def test_ground_solution_enumeration_matches_brute_force(self):
+        eq = equation("$x.$y", "a.b.a")
+        solutions = solve_equation(eq)
+        ground = {
+            (valuation.path_of(path_var("x")), valuation.path_of(path_var("y")))
+            for valuation in solutions.ground_solutions(["a", "b"], max_path_length=3)
+        }
+        from repro.model import Path
+        word = ("a", "b", "a")
+        brute = {
+            (Path(word[:index]), Path(word[index:])) for index in range(len(word) + 1)
+        }
+        assert brute <= ground

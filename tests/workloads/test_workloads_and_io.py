@@ -1,0 +1,80 @@
+"""Tests for the workload generators and plain-text persistence."""
+
+from repro.io import instance_from_text, instance_to_text, load_instance, save_instance
+from repro.model import Instance, pack, path
+from repro.workloads import (
+    all_as_instance,
+    random_event_log_instance,
+    random_graph_instance,
+    random_nfa_instance,
+    random_packed_instance,
+    random_string_instance,
+    random_two_bounded_instance,
+    sales_instance,
+)
+
+
+class TestGenerators:
+    def test_generators_are_deterministic(self):
+        assert random_string_instance(seed=42) == random_string_instance(seed=42)
+        assert random_graph_instance(seed=7) == random_graph_instance(seed=7)
+        assert random_string_instance(seed=1) != random_string_instance(seed=2)
+
+    def test_string_instances_are_flat_and_unary(self):
+        instance = random_string_instance(paths=12, max_length=5, seed=3)
+        assert instance.is_flat()
+        assert instance.schema().is_monadic()
+
+    def test_all_as_instance(self):
+        instance = all_as_instance(4)
+        assert instance.paths("R") == frozenset({path("a", "a", "a", "a")})
+
+    def test_graph_instance_paths_have_length_two(self):
+        instance = random_graph_instance(seed=5, ensure_path=("a", "b"))
+        assert all(len(p) == 2 for p in instance.paths("R"))
+
+    def test_two_bounded_instance_is_two_bounded(self):
+        from repro.analysis import is_two_bounded
+
+        assert is_two_bounded(random_two_bounded_instance(seed=2))
+
+    def test_nfa_instance_has_all_relations(self):
+        instance = random_nfa_instance(seed=0)
+        assert {"N", "D", "F", "R"} <= instance.relation_names
+        assert instance.arity_of("D") == 3
+
+    def test_event_logs_mention_the_tracked_events(self):
+        instance = random_event_log_instance(seed=0, logs=20)
+        atoms = instance.atoms()
+        assert "complete_order" in atoms
+
+    def test_sales_instance_shape(self):
+        instance = sales_instance(items=2, years=2, seed=0)
+        assert all(len(p) == 3 for p in instance.paths("Sales"))
+        assert len(instance.paths("Sales")) == 4
+
+    def test_packed_instance_contains_packing(self):
+        instance = random_packed_instance(seed=1, paths=20, max_length=4)
+        assert not instance.is_flat()
+
+
+class TestSerialisation:
+    def test_text_round_trip_with_packing(self):
+        instance = Instance()
+        instance.add("R", path("a", pack("b", "c")))
+        instance.add("A")
+        assert instance_from_text(instance_to_text(instance)) == instance
+
+    def test_file_round_trip(self, tmp_path):
+        instance = random_string_instance(seed=9)
+        target = tmp_path / "instance.facts"
+        save_instance(instance, target)
+        assert load_instance(target) == instance
+
+    def test_non_fact_rules_are_rejected(self):
+        import pytest
+
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            instance_from_text("R($x) :- S($x).")
