@@ -1,4 +1,12 @@
-"""Evaluation of sequence relational algebra expressions against instances."""
+"""Evaluation of sequence relational algebra expressions against instances.
+
+The evaluator shares the storage substrate of the Datalog engine: a
+:class:`RelationRef` leaf reads the instance's cached zero-copy relation view
+(see :mod:`repro.storage`) instead of materialising a fresh copy, and the
+operator nodes build plain row sets that are frozen only once, at the top of
+the expression tree — so an ``n``-operator expression performs one snapshot
+rather than ``n``.
+"""
 
 from __future__ import annotations
 
@@ -30,21 +38,31 @@ def _tuple_valuation(row: tuple[Path, ...]) -> Valuation:
 
 def evaluate_algebra(expression: AlgebraExpression, instance: Instance) -> frozenset[tuple[Path, ...]]:
     """Evaluate *expression* on *instance*, returning a set of tuples of paths."""
+    result = _evaluate(expression, instance)
+    if isinstance(result, frozenset):
+        return result
+    return frozenset(result)
+
+
+def _evaluate(expression: AlgebraExpression, instance: Instance) -> "set | frozenset":
+    """Evaluate to a row set; leaves alias storage views, inner nodes stay mutable."""
     if isinstance(expression, RelationRef):
-        rows = instance.relation(expression.name)
-        for row in rows:
-            if len(row) != expression.arity:
-                raise AlgebraError(
-                    f"relation {expression.name!r} holds tuples of arity {len(row)}, "
-                    f"but the expression declares arity {expression.arity}"
-                )
-        return rows
+        storage = instance.storage(expression.name)
+        if storage is None:
+            return frozenset()
+        arity = storage.arity()
+        if arity is not None and arity != expression.arity:
+            raise AlgebraError(
+                f"relation {expression.name!r} holds tuples of arity {arity}, "
+                f"but the expression declares arity {expression.arity}"
+            )
+        return storage.view()
 
     if isinstance(expression, ConstantRelation):
         return expression.rows
 
     if isinstance(expression, Selection):
-        source = evaluate_algebra(expression.source, instance)
+        source = _evaluate(expression.source, instance)
         kept = set()
         for row in source:
             valuation = _tuple_valuation(row)
@@ -52,35 +70,31 @@ def evaluate_algebra(expression: AlgebraExpression, instance: Instance) -> froze
                 expression.beta
             ):
                 kept.add(row)
-        return frozenset(kept)
+        return kept
 
     if isinstance(expression, Projection):
-        source = evaluate_algebra(expression.source, instance)
+        source = _evaluate(expression.source, instance)
         projected = set()
         for row in source:
             valuation = _tuple_valuation(row)
             projected.add(
                 tuple(valuation.apply_to_expression(alpha) for alpha in expression.expressions)
             )
-        return frozenset(projected)
+        return projected
 
     if isinstance(expression, Union):
-        return evaluate_algebra(expression.left, instance) | evaluate_algebra(
-            expression.right, instance
-        )
+        return _evaluate(expression.left, instance) | _evaluate(expression.right, instance)
 
     if isinstance(expression, Difference):
-        return evaluate_algebra(expression.left, instance) - evaluate_algebra(
-            expression.right, instance
-        )
+        return _evaluate(expression.left, instance) - _evaluate(expression.right, instance)
 
     if isinstance(expression, Product):
-        left = evaluate_algebra(expression.left, instance)
-        right = evaluate_algebra(expression.right, instance)
-        return frozenset(l + r for l in left for r in right)
+        left = _evaluate(expression.left, instance)
+        right = _evaluate(expression.right, instance)
+        return {l + r for l in left for r in right}
 
     if isinstance(expression, Unpack):
-        source = evaluate_algebra(expression.source, instance)
+        source = _evaluate(expression.source, instance)
         unpacked = set()
         index = expression.index - 1
         for row in source:
@@ -88,15 +102,15 @@ def evaluate_algebra(expression: AlgebraExpression, instance: Instance) -> froze
             if len(value) == 1 and isinstance(value.elements[0], Packed):
                 contents = value.elements[0].contents
                 unpacked.add(row[:index] + (contents,) + row[index + 1:])
-        return frozenset(unpacked)
+        return unpacked
 
     if isinstance(expression, Substrings):
-        source = evaluate_algebra(expression.source, instance)
+        source = _evaluate(expression.source, instance)
         extended = set()
         index = expression.index - 1
         for row in source:
             for substring in row[index].substrings():
                 extended.add(row + (substring,))
-        return frozenset(extended)
+        return extended
 
     raise AlgebraError(f"unknown algebra expression {expression!r}")

@@ -1,9 +1,11 @@
 """Evaluation engine: matching, rule evaluation, stratified fixpoints, queries."""
 
 from repro.engine.evaluation import (
+    ExecutionMode,
     RuleEvaluator,
     evaluate_rule,
     plan_body_order,
+    plan_literal_sequence,
     satisfying_valuations,
 )
 from repro.engine.fixpoint import (
@@ -21,6 +23,7 @@ __all__ = [
     "DEFAULT_LIMITS",
     "EvaluationLimits",
     "EvaluationStatistics",
+    "ExecutionMode",
     "ProgramQuery",
     "QueryResult",
     "RuleEvaluator",
@@ -33,5 +36,6 @@ __all__ = [
     "match_expression",
     "match_fact",
     "plan_body_order",
+    "plan_literal_sequence",
     "satisfying_valuations",
 ]

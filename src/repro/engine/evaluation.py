@@ -6,40 +6,67 @@ path; a negated atom when the atom is not satisfied.  A rule fires for every
 valuation satisfying its body, producing the head fact.
 
 The evaluator enumerates the satisfying valuations of a body by processing
-its literals in a *join order*:
+its literals in a *join order*.  Two execution modes are supported:
 
-1. positive predicates, matched against the facts of the instance (binding
-   variables by associative matching);
-2. positive equations, each processed once one of its sides is fully bound —
-   the bound side is evaluated to a path and the other side is matched
-   against it (this is exactly how "limited" variables become bound);
-3. negated literals, checked last (safety guarantees their variables are
-   bound by then).
+* ``"scan"`` — the seed strategy: a static order (positive predicates first,
+  fewest variables first, then equations, then negations), each predicate
+  extended by scanning every row of its relation;
+* ``"indexed"`` — the default: a *bound-aware greedy planner* re-selects the
+  next literal at evaluation time from the variables already bound and the
+  live cardinalities of the relations involved, and each predicate extension
+  consults the storage layer's indexes (exact tuple, exact argument path,
+  ground first atom, fixed argument length — see :mod:`repro.storage`) to
+  prune the candidate rows before falling back to associative matching.
+
+Both modes enumerate exactly the same satisfying valuations; the indexed mode
+merely attempts far fewer row matches (the ``extension_attempts`` statistics
+counter makes the difference measurable, and
+``benchmarks/bench_join_planning.py`` records it).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
+from typing import Literal as TypingLiteral
 
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
-from repro.engine.match import match_expression, match_fact
+from repro.engine.match import match_components, match_expression
 from repro.engine.valuation import Valuation
 from repro.errors import EvaluationError, UnsafeRuleError
 from repro.model.instance import Fact, Instance
+from repro.storage import EMPTY_ROWS
+from repro.syntax.expressions import AtomVariable, PathExpression, PathVariable
 from repro.syntax.literals import Equation, Literal, Predicate
 from repro.syntax.rules import Rule
 
-__all__ = ["plan_body_order", "satisfying_valuations", "evaluate_rule", "RuleEvaluator"]
+__all__ = [
+    "ExecutionMode",
+    "plan_body_order",
+    "plan_literal_sequence",
+    "satisfying_valuations",
+    "evaluate_rule",
+    "RuleEvaluator",
+]
+
+#: How predicate extensions source their candidate rows: ``"indexed"`` prunes
+#: through the storage indexes under a bound-aware greedy plan; ``"scan"`` is
+#: the seed nested-loop strategy kept as an ablation baseline.
+ExecutionMode = TypingLiteral["indexed", "scan"]
 
 
 def plan_body_order(rule: Rule) -> list[Literal]:
-    """Return the rule's body literals in a safe-to-evaluate order.
+    """Return the rule's body literals in a safe-to-evaluate static order.
 
     Positive predicates come first (smaller number of variables first, a
     cheap join-ordering heuristic), then positive equations in an order in
     which each has at least one side bound when reached, then all negated
     literals.  Raises :class:`UnsafeRuleError` if no such order exists,
     which for safe rules cannot happen.
+
+    This is the seed planner; it remains the ``"scan"``-mode order and the
+    canonical *position space* that delta frontiers refer to.  The bound-aware
+    planner (:func:`plan_literal_sequence`) permutes these positions per
+    evaluation.
     """
     positive_predicates = [
         literal for literal in rule.body if literal.positive and literal.is_predicate()
@@ -76,18 +103,266 @@ def plan_body_order(rule: Rule) -> list[Literal]:
     return positive_predicates + ordered_equations + negatives
 
 
+# -- bound-aware greedy planning -------------------------------------------------------------------
+
+#: Selectivity factors for the index kind a predicate extension could use,
+#: given which of its arguments are determined by the variables bound so far.
+_SELECTIVITY_EXACT_ARGUMENT = 0.05
+_SELECTIVITY_FIRST_ATOM = 0.25
+#: Estimated cost of extending through an equation with one side bound: the
+#: bound side is evaluated and matched against the other, which enumerates at
+#: most O(path length) splits per valuation — cheap, but not free.
+_EQUATION_BINDER_COST = 2.0
+
+
+def _predicate_cost(
+    predicate: Predicate, source_size: int, bound: "set | frozenset"
+) -> float:
+    """Estimated candidate rows per valuation when extending through *predicate*."""
+    if source_size == 0:
+        return 0.0
+    exact = False
+    first_atom = False
+    for component in predicate.components:
+        if component.variables() <= bound:
+            exact = True
+            break
+        if _first_atom_is_determined(component, bound):
+            first_atom = True
+    if exact:
+        return max(1.0, source_size * _SELECTIVITY_EXACT_ARGUMENT)
+    if first_atom:
+        return max(1.0, source_size * _SELECTIVITY_FIRST_ATOM)
+    return float(source_size)
+
+
+def _first_atom_is_determined(component: PathExpression, bound: "set | frozenset") -> bool:
+    """Would the first or last atom of *component* be ground once *bound* is?"""
+    for items in (component.items, component.items[::-1]):
+        for item in items:
+            if isinstance(item, str):
+                return True
+            if isinstance(item, (AtomVariable, PathVariable)):
+                # A bound path variable may denote ϵ, in which case the *next*
+                # item determines the atom — still a usable prefix (or suffix)
+                # at plan time, so treat any bound variable as determining it.
+                if item in bound:
+                    return True
+                break
+            break  # a packed value can never match a ground atom
+    return False
+
+
+def plan_literal_sequence(
+    order: Sequence[Literal],
+    instance: Instance,
+    frontier: "dict[int, Instance] | None" = None,
+) -> list[int]:
+    """Greedily permute the positions of *order* by bound-variable coverage and cost.
+
+    Returns a permutation of ``range(len(order))``.  At every step, literals
+    whose variables are all bound act as free filters and are scheduled
+    immediately (this moves negations and ground equations as early as safety
+    allows); otherwise the cheapest extension is chosen among the positive
+    predicates — costed by the live cardinality of their relation (the delta
+    instance for frontier-restricted positions) discounted by the best index
+    the bound variables enable — and the equations with one bound side.
+    """
+    remaining = set(range(len(order)))
+    sequence: list[int] = []
+    bound: set = set()
+
+    variables = [literal.variables() for literal in order]
+
+    def source_size(position: int) -> int:
+        source = instance
+        if frontier is not None and position in frontier:
+            source = frontier[position]
+        predicate: Predicate = order[position].atom  # type: ignore[assignment]
+        storage = source.storage(predicate.name)
+        return len(storage) if storage is not None else 0
+
+    while remaining:
+        # 1. Free filters: every variable already bound.
+        filters = sorted(
+            position for position in remaining if variables[position] <= bound
+        )
+        if filters:
+            for position in filters:
+                sequence.append(position)
+                remaining.discard(position)
+            continue
+
+        # 2. Cheapest extension among predicates and one-side-bound equations.
+        best_position = -1
+        best_key: "tuple[float, int, int] | None" = None
+        for position in sorted(remaining):
+            literal = order[position]
+            if literal.positive and literal.is_predicate():
+                cost = _predicate_cost(literal.atom, source_size(position), bound)  # type: ignore[arg-type]
+            elif literal.positive and literal.is_equation():
+                equation: Equation = literal.atom  # type: ignore[assignment]
+                if not (
+                    equation.lhs.variables() <= bound or equation.rhs.variables() <= bound
+                ):
+                    continue
+                cost = _EQUATION_BINDER_COST
+            else:
+                continue  # negations never bind; they wait until fully bound
+            new_variables = len(variables[position] - bound)
+            key = (cost, new_variables, position)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_position = position
+        if best_position >= 0:
+            sequence.append(best_position)
+            remaining.discard(best_position)
+            bound.update(variables[best_position])
+            continue
+
+        # 3. Stuck: equations with no bound side are unsafe; negations with
+        # unbound variables are appended so evaluation reports the same
+        # runtime error the static order would.
+        if any(order[position].positive for position in remaining):
+            rule_text = ", ".join(str(order[position]) for position in sorted(remaining))
+            raise UnsafeRuleError(
+                f"cannot order the equations of the body [{rule_text}]: "
+                f"no side becomes fully bound"
+            )
+        sequence.extend(sorted(remaining))
+        remaining.clear()
+
+    return sequence
+
+
+# -- candidate row pruning -------------------------------------------------------------------------
+
+
+def _required_end_atom(
+    component: PathExpression, valuation: Valuation, end: int
+) -> "str | None":
+    """The atom every matching path must start (``end=0``) or finish (``end=-1``)
+    with, if determined by *valuation*."""
+    items = component.items if end == 0 else component.items[::-1]
+    for item in items:
+        if isinstance(item, str):
+            return item
+        if isinstance(item, AtomVariable):
+            value = valuation.get(item)
+            return value if isinstance(value, str) else None
+        if isinstance(item, PathVariable):
+            binding = valuation.get(item)
+            if binding is None:
+                return None
+            elements = binding.elements  # type: ignore[union-attr]
+            if not elements:
+                continue  # bound to ϵ: the adjacent item determines the atom
+            value = elements[end]
+            return value if isinstance(value, str) else None
+        return None  # packed sub-expression: no ground end atom
+    return None
+
+
+def _required_length(component: PathExpression, valuation: Valuation) -> "int | None":
+    """The exact length every matching path must have, if fixed under *valuation*."""
+    total = 0
+    for item in component.items:
+        if isinstance(item, PathVariable):
+            binding = valuation.get(item)
+            if binding is None:
+                return None
+            total += len(binding.elements)  # type: ignore[union-attr]
+        else:
+            total += 1  # constants, atomic variables, and packed items are width one
+    return total
+
+
+def _candidate_rows(predicate: Predicate, storage, valuation: Valuation):
+    """A superset of the rows that can match *predicate* under *valuation*.
+
+    Chooses the most selective applicable index: exact tuple membership when
+    every argument is bound, otherwise the smallest among the exact-path,
+    first-atom, and length buckets of any argument, falling back to the full
+    row set.  Soundness only needs the superset property — the associative
+    matcher remains the final arbiter.
+    """
+    components = predicate.components
+    if not components:
+        return storage.view()
+
+    domain = valuation.domain
+    targets: list = []
+    all_bound = True
+    for component in components:
+        if component.variables() <= domain:
+            targets.append(valuation.apply_to_expression(component))
+        else:
+            targets.append(None)
+            all_bound = False
+
+    if all_bound:
+        row = tuple(targets)
+        return (row,) if row in storage else EMPTY_ROWS
+
+    best = storage.view()
+    best_size = len(best)
+    for position, (component, target) in enumerate(zip(components, targets)):
+        if best_size <= 1:
+            return best  # no further index can prune a singleton bucket
+        if target is not None:
+            rows = storage.rows_with_path(position, target)
+            if len(rows) < best_size:
+                best, best_size = rows, len(rows)
+            continue
+        for end in (0, -1):
+            atom = _required_end_atom(component, valuation, end)
+            if atom is not None:
+                if end == 0:
+                    rows = storage.rows_with_first_atom(position, atom)
+                else:
+                    rows = storage.rows_with_last_atom(position, atom)
+                if len(rows) < best_size:
+                    best, best_size = rows, len(rows)
+        length = _required_length(component, valuation)
+        if length is not None:
+            rows = storage.rows_with_length(position, length)
+            if len(rows) < best_size:
+                best, best_size = rows, len(rows)
+    return best
+
+
+# -- extension steps -------------------------------------------------------------------------------
+
+
 def _extend_with_predicate(
     valuations: Iterable[Valuation],
     predicate: Predicate,
     instance: Instance,
     limits: EvaluationLimits,
+    execution: ExecutionMode,
+    statistics,
 ) -> Iterator[Valuation]:
-    rows = instance.relation(predicate.name)
+    storage = instance.storage(predicate.name)
+    if storage is None or not storage:
+        return
+    if storage.arity() != predicate.arity:
+        # No row of a homogeneous relation can match a predicate of another
+        # arity; the scan mode would discover this one failed match at a time.
+        return
+    components = predicate.components
+    indexed = execution == "indexed"
     count = 0
     for valuation in valuations:
-        for row in rows:
-            fact = Fact(predicate.name, row)
-            for extended in match_fact(predicate, fact, valuation):
+        if indexed:
+            candidates = _candidate_rows(predicate, storage, valuation)
+        else:
+            # The cached frozen view, not the live set: like the seed, lazy
+            # consumers may add derived facts while the generator is running.
+            candidates = storage.view()
+        if statistics is not None:
+            statistics.extension_attempts += len(candidates)
+        for row in candidates:
+            for extended in match_components(components, row, valuation):
                 count += 1
                 limits.check_derivations(count)
                 yield extended
@@ -156,23 +431,34 @@ def satisfying_valuations(
     *,
     order: Sequence[Literal] | None = None,
     frontier: "dict[int, Instance] | None" = None,
+    execution: ExecutionMode = "indexed",
+    statistics=None,
 ) -> Iterator[Valuation]:
     """Yield the valuations (restricted to the rule's variables) satisfying the body.
 
     When *frontier* is given it maps positions in *order* to an alternative
     instance to use for the positive predicate at that position; this is how
     the semi-naive strategy restricts one body atom to the newly derived facts.
+    Frontier positions always refer to the static order, regardless of the
+    execution mode's actual evaluation sequence.
     """
     plan = list(order) if order is not None else plan_body_order(rule)
-    valuations: Iterable[Valuation] = [Valuation.EMPTY]
+    if execution == "indexed":
+        sequence: Sequence[int] = plan_literal_sequence(plan, instance, frontier)
+    elif execution == "scan":
+        sequence = range(len(plan))
+    else:
+        raise EvaluationError(f"unknown execution mode {execution!r}")
+    valuations: Iterable[Valuation] = (Valuation.EMPTY,)
 
-    for position, literal in enumerate(plan):
+    for position in sequence:
+        literal = plan[position]
         if literal.positive and literal.is_predicate():
             source = instance
             if frontier is not None and position in frontier:
                 source = frontier[position]
             valuations = _extend_with_predicate(
-                valuations, literal.atom, source, limits  # type: ignore[arg-type]
+                valuations, literal.atom, source, limits, execution, statistics  # type: ignore[arg-type]
             )
         elif literal.positive and literal.is_equation():
             valuations = _extend_with_equation(valuations, literal.atom, limits)  # type: ignore[arg-type]
@@ -190,11 +476,19 @@ def evaluate_rule(
     *,
     frontier: "dict[int, Instance] | None" = None,
     order: Sequence[Literal] | None = None,
+    execution: ExecutionMode = "indexed",
+    statistics=None,
 ) -> set[Fact]:
     """Return the head facts derivable from *instance* by a single application of *rule*."""
     derived: set[Fact] = set()
     for valuation in satisfying_valuations(
-        rule, instance, limits, order=order, frontier=frontier
+        rule,
+        instance,
+        limits,
+        order=order,
+        frontier=frontier,
+        execution=execution,
+        statistics=statistics,
     ):
         fact = valuation.apply_to_predicate(rule.head)
         for path in fact.paths:
@@ -206,13 +500,22 @@ def evaluate_rule(
 class RuleEvaluator:
     """Pre-plans a rule's join order and evaluates it repeatedly.
 
-    Fixpoint computation evaluates the same rules many times; planning the
-    body order once per rule keeps the inner loop lean.
+    Fixpoint computation evaluates the same rules many times; the static body
+    order (the frontier position space) is planned once per rule, while the
+    indexed execution mode re-plans the evaluation sequence cheaply per call
+    from the live relation cardinalities.
     """
 
-    def __init__(self, rule: Rule, limits: EvaluationLimits = DEFAULT_LIMITS):
+    def __init__(
+        self,
+        rule: Rule,
+        limits: EvaluationLimits = DEFAULT_LIMITS,
+        *,
+        execution: ExecutionMode = "indexed",
+    ):
         self.rule = rule
         self.limits = limits
+        self.execution: ExecutionMode = execution
         self.order = plan_body_order(rule)
         #: Positions (in the planned order) of positive body predicates, by relation name.
         self.predicate_positions: dict[str, list[int]] = {}
@@ -220,11 +523,22 @@ class RuleEvaluator:
             if literal.positive and literal.is_predicate():
                 name = literal.atom.name  # type: ignore[union-attr]
                 self.predicate_positions.setdefault(name, []).append(position)
+        #: Relation names the body's positive predicates read from.
+        self.body_relation_names = frozenset(self.predicate_positions)
 
     def derive(
-        self, instance: Instance, frontier: "dict[int, Instance] | None" = None
+        self,
+        instance: Instance,
+        frontier: "dict[int, Instance] | None" = None,
+        statistics=None,
     ) -> set[Fact]:
         """Evaluate the rule once against *instance* (optionally delta-restricted)."""
         return evaluate_rule(
-            self.rule, instance, self.limits, frontier=frontier, order=self.order
+            self.rule,
+            instance,
+            self.limits,
+            frontier=frontier,
+            order=self.order,
+            execution=self.execution,
+            statistics=statistics,
         )

@@ -9,13 +9,19 @@ Two fixpoint strategies are provided:
 
 * ``naive`` — every rule is re-evaluated against the full instance until no
   new fact is derived;
-* ``seminaive`` — after the first round, rules with positive IDB body
-  predicates are only re-evaluated with at least one of those predicates
-  restricted to the facts newly derived in the previous round.
+* ``seminaive`` — after the first round, only rules whose body mentions a
+  relation that changed in the previous round are re-evaluated, each with at
+  least one of those body predicates restricted to the newly derived facts.
+  The delta is kept as one long-lived instance whose per-relation row sets
+  are swapped in place between rounds (no per-round instance rebuild).
 
-Both strategies produce the same result; the benchmark
-``benchmarks/bench_engine_scaling.py`` compares their cost (an ablation of an
-implementation design choice, not a paper experiment).
+Orthogonally, rule bodies run in one of two execution modes (see
+:mod:`repro.engine.evaluation`): ``"indexed"`` (bound-aware greedy planning
+over the storage layer's indexes, the default) or ``"scan"`` (the seed
+nested-loop strategy).  All four combinations produce the same result; the
+benchmarks ``benchmarks/bench_engine_scaling.py`` and
+``benchmarks/bench_join_planning.py`` compare their costs (ablations of
+implementation design choices, not paper experiments — see DESIGN.md).
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Literal as TypingLiteral
 
-from repro.engine.evaluation import RuleEvaluator
+from repro.engine.evaluation import ExecutionMode, RuleEvaluator
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.errors import EvaluationError
 from repro.model.instance import Instance
@@ -36,11 +42,23 @@ Strategy = TypingLiteral["naive", "seminaive"]
 
 @dataclass
 class EvaluationStatistics:
-    """Counters accumulated while evaluating a program."""
+    """Counters accumulated while evaluating a program.
+
+    ``rule_applications`` counts how many times a rule was evaluated in a
+    round (at most once per rule per round, for both strategies);
+    ``delta_restricted_applications`` additionally counts the per-delta-
+    position body evaluations of the semi-naive strategy, which may exceed
+    the rule count for rules with several IDB body predicates.
+    ``extension_attempts`` counts the candidate rows handed to the
+    associative matcher while extending valuations through body predicates —
+    the nested-loop work the indexed execution mode exists to avoid.
+    """
 
     iterations: int = 0
     rule_applications: int = 0
+    delta_restricted_applications: int = 0
     facts_derived: int = 0
+    extension_attempts: int = 0
     per_stratum_iterations: list[int] = field(default_factory=list)
 
     def merge_stratum(self, iterations: int) -> None:
@@ -57,7 +75,7 @@ def _apply_rules_naive(
     new_facts = set()
     for evaluator in evaluators:
         statistics.rule_applications += 1
-        for fact in evaluator.derive(instance):
+        for fact in evaluator.derive(instance, statistics=statistics):
             if fact not in instance:
                 new_facts.add(fact)
     return new_facts
@@ -67,27 +85,27 @@ def _apply_rules_seminaive(
     evaluators: list[RuleEvaluator],
     instance: Instance,
     delta: Instance,
+    changed: "set[str] | frozenset[str]",
     statistics: EvaluationStatistics,
 ) -> set:
-    """Evaluate each rule requiring at least one IDB body atom to match the delta."""
-    delta_names = delta.relation_names
+    """Evaluate each affected rule with one body atom restricted to the delta.
+
+    Rules whose bodies mention none of the *changed* relations are skipped
+    entirely: no new fact can satisfy any of their body atoms.
+    """
     new_facts = set()
     for evaluator in evaluators:
-        positions = [
-            position
-            for name, spots in evaluator.predicate_positions.items()
-            if name in delta_names
-            for position in spots
-        ]
-        if not positions:
-            # No body predicate can match a new fact, so this rule cannot
-            # derive anything new this round.
+        if not (evaluator.body_relation_names & changed):
             continue
-        for position in positions:
-            statistics.rule_applications += 1
-            for fact in evaluator.derive(instance, frontier={position: delta}):
-                if fact not in instance:
-                    new_facts.add(fact)
+        statistics.rule_applications += 1
+        for name in evaluator.predicate_positions.keys() & changed:
+            for position in evaluator.predicate_positions[name]:
+                statistics.delta_restricted_applications += 1
+                for fact in evaluator.derive(
+                    instance, frontier={position: delta}, statistics=statistics
+                ):
+                    if fact not in instance:
+                        new_facts.add(fact)
     return new_facts
 
 
@@ -97,6 +115,7 @@ def evaluate_stratum(
     limits: EvaluationLimits = DEFAULT_LIMITS,
     *,
     strategy: Strategy = "seminaive",
+    execution: ExecutionMode = "indexed",
     statistics: EvaluationStatistics | None = None,
 ) -> Instance:
     """Compute the fixpoint of one stratum, returning the enlarged instance.
@@ -109,7 +128,7 @@ def evaluate_stratum(
     for rule in stratum:
         current.ensure_relation(rule.head.name)
 
-    evaluators = [RuleEvaluator(rule, limits) for rule in stratum]
+    evaluators = [RuleEvaluator(rule, limits, execution=execution) for rule in stratum]
 
     iterations = 0
     # First round: all rules against the full instance.
@@ -121,12 +140,18 @@ def evaluate_stratum(
     statistics.facts_derived += len(delta_facts)
     limits.check_fact_count(current.fact_count())
 
+    # One delta instance lives across all rounds; its relation storages are
+    # refilled in place each round rather than rebuilt.
+    delta = Instance()
     while delta_facts:
         iterations += 1
         limits.check_iterations(iterations)
         if strategy == "seminaive":
-            delta = Instance(delta_facts)
-            new_facts = _apply_rules_seminaive(evaluators, current, delta, statistics)
+            delta.replace_with(delta_facts)
+            changed = {fact.relation for fact in delta_facts}
+            new_facts = _apply_rules_seminaive(
+                evaluators, current, delta, changed, statistics
+            )
         elif strategy == "naive":
             new_facts = _apply_rules_naive(evaluators, current, statistics)
         else:
@@ -147,6 +172,7 @@ def evaluate_program(
     limits: EvaluationLimits = DEFAULT_LIMITS,
     *,
     strategy: Strategy = "seminaive",
+    execution: ExecutionMode = "indexed",
     statistics: EvaluationStatistics | None = None,
 ) -> Instance:
     """Evaluate *program* on *instance*, returning EDB plus all IDB relations.
@@ -158,7 +184,12 @@ def evaluate_program(
     current = instance.copy()
     for stratum in program.strata:
         current = evaluate_stratum(
-            stratum, current, limits, strategy=strategy, statistics=statistics
+            stratum,
+            current,
+            limits,
+            strategy=strategy,
+            execution=execution,
+            statistics=statistics,
         )
     for name in program.idb_relation_names():
         current.ensure_relation(name)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.engine.evaluation import ExecutionMode
 from repro.engine.fixpoint import EvaluationStatistics, Strategy, evaluate_program
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.errors import EvaluationError, ModelError
@@ -59,6 +60,7 @@ class ProgramQuery:
         *,
         limits: EvaluationLimits = DEFAULT_LIMITS,
         strategy: Strategy = "seminaive",
+        execution: ExecutionMode = "indexed",
         name: str | None = None,
         require_monadic: bool = True,
     ):
@@ -67,6 +69,7 @@ class ProgramQuery:
         self.output_relation = output_relation
         self.limits = limits
         self.strategy: Strategy = strategy
+        self.execution: ExecutionMode = execution
         self.name = name or output_relation
         self._validate(require_monadic)
 
@@ -114,6 +117,7 @@ class ProgramQuery:
             instance,
             self.limits,
             strategy=self.strategy,
+            execution=self.execution,
             statistics=statistics,
         )
         output = full.restricted([self.output_relation])

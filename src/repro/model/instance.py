@@ -4,6 +4,13 @@ An *instance* of a schema assigns to each relation name a finite relation on
 paths.  Equivalently (and this is the view used by the semantics in Section
 2.3), an instance is a finite set of *facts* ``R(p1, ..., pn)`` where each
 ``pi`` is a path.
+
+Relations are stored as :class:`repro.storage.Relation` objects, which carry
+cached read views and lazy secondary indexes; :meth:`Instance.relation` and
+:meth:`Instance.paths` therefore return the *same* frozen snapshot on repeated
+calls between mutations instead of allocating a fresh copy per call, and the
+evaluation engine reaches the indexes through :meth:`Instance.storage`.
+Extensional equality (same set of facts) is unchanged.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Iterable, Iterator, Mapping
 from repro.errors import ModelError
 from repro.model.schema import Schema
 from repro.model.terms import Path, Value, as_path
+from repro.storage import EMPTY_ROWS, Relation
 
 __all__ = ["Fact", "Instance"]
 
@@ -77,7 +85,7 @@ class Instance:
     __slots__ = ("_relations",)
 
     def __init__(self, facts: "Iterable[Fact] | Mapping[str, Iterable[tuple]] | None" = None):
-        self._relations: dict[str, set[tuple[Path, ...]]] = {}
+        self._relations: dict[str, Relation] = {}
         if facts is None:
             return
         if isinstance(facts, Mapping):
@@ -100,8 +108,17 @@ class Instance:
 
     def add_fact(self, fact: Fact) -> None:
         """Insert *fact* into the instance (idempotent)."""
-        self._check_arity(fact.relation, fact.arity)
-        self._relations.setdefault(fact.relation, set()).add(fact.paths)
+        relation = self._relations.get(fact.relation)
+        if relation is None:
+            relation = self._relations[fact.relation] = Relation()
+        else:
+            existing = relation.arity()
+            if existing is not None and existing != fact.arity:
+                raise ModelError(
+                    f"relation {fact.relation!r} already holds tuples of arity {existing}; "
+                    f"cannot add a tuple of arity {fact.arity}"
+                )
+        relation.add(fact.paths)
 
     def add(self, relation: str, *paths: "Path | Value") -> None:
         """Insert the fact ``relation(paths...)`` into the instance."""
@@ -109,25 +126,37 @@ class Instance:
 
     def discard_fact(self, fact: Fact) -> None:
         """Remove *fact* if present."""
-        rows = self._relations.get(fact.relation)
-        if rows is not None:
-            rows.discard(fact.paths)
-            if not rows:
+        relation = self._relations.get(fact.relation)
+        if relation is not None:
+            relation.discard(fact.paths)
+            if not relation:
                 del self._relations[fact.relation]
 
     def ensure_relation(self, relation: str) -> None:
         """Make *relation* present (possibly empty) in this instance."""
-        self._relations.setdefault(relation, set())
+        if relation not in self._relations:
+            self._relations[relation] = Relation()
 
-    def _check_arity(self, relation: str, arity: int) -> None:
-        rows = self._relations.get(relation)
-        if rows:
-            existing = len(next(iter(rows)))
-            if existing != arity:
-                raise ModelError(
-                    f"relation {relation!r} already holds tuples of arity {existing}; "
-                    f"cannot add a tuple of arity {arity}"
-                )
+    def replace_with(self, facts: Iterable[Fact]) -> None:
+        """Replace the entire contents with *facts*, reusing relation storage.
+
+        This is the incremental-delta primitive of semi-naive evaluation: the
+        fixpoint loop keeps one delta instance alive across rounds and swaps
+        its per-relation row sets in place instead of building a fresh
+        :class:`Instance` (and re-validating every fact) each iteration.
+        """
+        grouped: dict[str, set[tuple[Path, ...]]] = {}
+        for fact in facts:
+            grouped.setdefault(fact.relation, set()).add(fact.paths)
+        for name in list(self._relations):
+            if name not in grouped:
+                del self._relations[name]
+        for name, rows in grouped.items():
+            relation = self._relations.get(name)
+            if relation is None:
+                self._relations[name] = Relation(rows)
+            else:
+                relation.set_rows(rows)
 
     # -- access --------------------------------------------------------------------
 
@@ -137,40 +166,49 @@ class Instance:
         return frozenset(self._relations)
 
     def relation(self, name: str) -> frozenset[tuple[Path, ...]]:
-        """Return the set of tuples stored for relation *name* (empty if absent)."""
-        return frozenset(self._relations.get(name, frozenset()))
+        """Return the set of tuples stored for relation *name* (empty if absent).
+
+        The returned frozenset is a cached snapshot: repeated calls between
+        mutations return the same object (no per-call copy).
+        """
+        relation = self._relations.get(name)
+        if relation is None:
+            return EMPTY_ROWS
+        return relation.view()
 
     def paths(self, name: str) -> frozenset[Path]:
         """Return the set of paths of a unary (or nullary) relation *name*."""
-        rows = self._relations.get(name, set())
-        result = set()
-        for row in rows:
-            if len(row) != 1:
-                raise ModelError(f"relation {name!r} is not unary")
-            result.add(row[0])
-        return frozenset(result)
+        relation = self._relations.get(name)
+        if relation is None:
+            return frozenset()
+        return relation.unary_view(name)
+
+    def storage(self, name: str) -> "Relation | None":
+        """Return the indexed :class:`~repro.storage.Relation` for *name*, if present."""
+        return self._relations.get(name)
 
     def contains(self, relation: str, *paths: "Path | Value") -> bool:
         """Return ``True`` if the fact ``relation(paths...)`` is in the instance."""
         row = tuple(as_path(path) for path in paths)
-        return row in self._relations.get(relation, set())
+        stored = self._relations.get(relation)
+        return stored is not None and row in stored
 
     def facts(self) -> Iterator[Fact]:
         """Iterate over all facts in the instance."""
-        for relation, rows in self._relations.items():
-            for row in rows:
+        for relation, stored in self._relations.items():
+            for row in stored.rows:
                 yield Fact(relation, row)
 
     def arity_of(self, relation: str) -> int | None:
         """Return the arity of *relation* in this instance, or ``None`` if empty."""
-        rows = self._relations.get(relation)
-        if not rows:
+        stored = self._relations.get(relation)
+        if stored is None:
             return None
-        return len(next(iter(rows)))
+        return stored.arity()
 
     def fact_count(self) -> int:
         """Return the total number of facts."""
-        return sum(len(rows) for rows in self._relations.values())
+        return sum(len(stored) for stored in self._relations.values())
 
     def __len__(self) -> int:
         return self.fact_count()
@@ -181,7 +219,8 @@ class Instance:
     def __contains__(self, fact: object) -> bool:
         if not isinstance(fact, Fact):
             return False
-        return fact.paths in self._relations.get(fact.relation, set())
+        stored = self._relations.get(fact.relation)
+        return stored is not None and fact.paths in stored
 
     # -- predicates -------------------------------------------------------------------
 
@@ -198,8 +237,8 @@ class Instance:
     def schema(self) -> Schema:
         """Return the schema induced by this instance (arities of present relations)."""
         arities = {}
-        for relation, rows in self._relations.items():
-            arities[relation] = len(next(iter(rows))) if rows else 0
+        for relation, stored in self._relations.items():
+            arities[relation] = stored.arity() or 0
         return Schema(arities)
 
     def max_path_length(self) -> int:
@@ -217,9 +256,9 @@ class Instance:
     # -- algebraic combinations ---------------------------------------------------------
 
     def copy(self) -> "Instance":
-        """Return a deep-enough copy (facts are immutable, so sets are copied)."""
+        """Return a deep-enough copy (facts are immutable, so row sets are copied)."""
         clone = Instance()
-        clone._relations = {name: set(rows) for name, rows in self._relations.items()}
+        clone._relations = {name: stored.copy() for name, stored in self._relations.items()}
         return clone
 
     def restricted(self, names: Iterable[str]) -> "Instance":
@@ -227,7 +266,7 @@ class Instance:
         wanted = set(names)
         clone = Instance()
         clone._relations = {
-            name: set(rows) for name, rows in self._relations.items() if name in wanted
+            name: stored.copy() for name, stored in self._relations.items() if name in wanted
         }
         return clone
 

@@ -1,0 +1,235 @@
+"""A single stored relation: a row set plus lazy secondary indexes.
+
+The evaluation semantics of the paper (Section 2.3) only ever needs set
+membership and iteration, and the seed implementation provided exactly that —
+at the price of re-allocating a fresh ``frozenset`` on every read and scanning
+every row on every join step.  :class:`Relation` keeps the same extensional
+contract while adding the machinery a join planner wants:
+
+* a **generation counter**, bumped on every mutation, which stamps all derived
+  structures so they can be invalidated lazily instead of eagerly;
+* a cached **read view** (:meth:`view`): repeated reads between mutations
+  return the *same* ``frozenset`` object, so hot loops pay for one snapshot
+  per generation instead of one per call;
+* three kinds of **lazy per-argument indexes**, built on first use and
+  dropped wholesale when the generation moves on:
+
+  - *exact path* (:meth:`rows_with_path`) — rows whose ``i``-th argument is a
+    given ground path; used when a join has fully bound an argument;
+  - *first atom* (:meth:`rows_with_first_atom`) — rows whose ``i``-th argument
+    starts with a given atomic value; used when a prefix of an argument is
+    ground (a constant, or a variable bound earlier in the join);
+  - *length* (:meth:`rows_with_length`) — rows whose ``i``-th argument has a
+    given length; used when every item of an argument expression has a known
+    width.
+
+Indexes never decide membership on their own: they only *prune* the candidate
+rows handed to the associative matcher, so a lookup is always sound as long
+as it is a superset of the matching rows (the unit tests in
+``tests/storage/`` check each index against the equivalent full scan).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import ModelError
+from repro.model.terms import Path
+
+__all__ = ["EMPTY_ROWS", "Relation"]
+
+#: The canonical empty row set, shared by all misses so lookups allocate nothing.
+EMPTY_ROWS: frozenset[tuple[Path, ...]] = frozenset()
+
+Row = "tuple[Path, ...]"
+
+
+class Relation:
+    """Rows of one relation, with cached views and lazy secondary indexes."""
+
+    __slots__ = (
+        "_rows",
+        "_generation",
+        "_view",
+        "_view_generation",
+        "_unary_view",
+        "_unary_view_generation",
+        "_index_generation",
+        "_by_path",
+        "_by_first_atom",
+        "_by_last_atom",
+        "_by_length",
+    )
+
+    def __init__(self, rows: "Iterable[tuple[Path, ...]] | None" = None):
+        self._rows: set[tuple[Path, ...]] = set(rows) if rows is not None else set()
+        self._generation = 0
+        self._view: frozenset[tuple[Path, ...]] | None = None
+        self._view_generation = -1
+        self._unary_view: frozenset[Path] | None = None
+        self._unary_view_generation = -1
+        self._index_generation = -1
+        self._by_path: dict[int, dict[Path, set]] = {}
+        self._by_first_atom: dict[int, dict[str, set]] = {}
+        self._by_last_atom: dict[int, dict[str, set]] = {}
+        self._by_length: dict[int, dict[int, set]] = {}
+
+    # -- mutation ----------------------------------------------------------------------
+
+    def add(self, row: "tuple[Path, ...]") -> bool:
+        """Insert *row*; return ``True`` if it was not present before."""
+        before = len(self._rows)
+        self._rows.add(row)
+        if len(self._rows) != before:
+            self._generation += 1
+            return True
+        return False
+
+    def discard(self, row: "tuple[Path, ...]") -> bool:
+        """Remove *row* if present; return ``True`` if it was removed."""
+        before = len(self._rows)
+        self._rows.discard(row)
+        if len(self._rows) != before:
+            self._generation += 1
+            return True
+        return False
+
+    def set_rows(self, rows: "Iterable[tuple[Path, ...]]") -> None:
+        """Replace the entire contents with *rows* (used by incremental deltas)."""
+        self._rows = set(rows)
+        self._generation += 1
+
+    def clear(self) -> None:
+        """Remove all rows."""
+        if self._rows:
+            self._rows = set()
+            self._generation += 1
+
+    # -- plain access ------------------------------------------------------------------
+
+    @property
+    def rows(self) -> set:
+        """The live row set.  Callers must treat it as read-only."""
+        return self._rows
+
+    @property
+    def generation(self) -> int:
+        """A counter bumped on every mutation; stamps views and indexes."""
+        return self._generation
+
+    def arity(self) -> "int | None":
+        """The arity of the stored rows, or ``None`` when empty."""
+        if not self._rows:
+            return None
+        return len(next(iter(self._rows)))
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __iter__(self) -> Iterator:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({len(self._rows)} rows, generation {self._generation})"
+
+    def copy(self) -> "Relation":
+        """Return a copy sharing no mutable state (indexes are not copied)."""
+        return Relation(self._rows)
+
+    # -- cached read views -------------------------------------------------------------
+
+    def view(self) -> frozenset:
+        """A frozen snapshot of the rows, cached until the next mutation.
+
+        Because the snapshot is immutable, callers holding a view across later
+        mutations keep a consistent picture of the relation as it was; callers
+        re-reading between mutations get the same object back with no copy.
+        """
+        if self._view_generation != self._generation:
+            self._view = frozenset(self._rows) if self._rows else EMPTY_ROWS
+            self._view_generation = self._generation
+        return self._view  # type: ignore[return-value]
+
+    def unary_view(self, label: str = "relation") -> frozenset:
+        """The cached set of paths of a unary relation (``row[0]`` of each row)."""
+        if self._unary_view_generation != self._generation:
+            paths = set()
+            for row in self._rows:
+                if len(row) != 1:
+                    raise ModelError(f"relation {label!r} is not unary")
+                paths.add(row[0])
+            self._unary_view = frozenset(paths)
+            self._unary_view_generation = self._generation
+        return self._unary_view  # type: ignore[return-value]
+
+    # -- lazy indexes ------------------------------------------------------------------
+
+    def _refresh_indexes(self) -> None:
+        if self._index_generation != self._generation:
+            self._by_path = {}
+            self._by_first_atom = {}
+            self._by_last_atom = {}
+            self._by_length = {}
+            self._index_generation = self._generation
+
+    def rows_with_path(self, position: int, path: Path) -> "set | frozenset":
+        """Rows whose argument at *position* equals the ground *path*."""
+        self._refresh_indexes()
+        index = self._by_path.get(position)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                index.setdefault(row[position], set()).add(row)
+            self._by_path[position] = index
+        return index.get(path, EMPTY_ROWS)
+
+    def rows_with_first_atom(self, position: int, atom: str) -> "set | frozenset":
+        """Rows whose argument at *position* starts with the atomic value *atom*.
+
+        Rows whose argument is empty or starts with a packed value are in no
+        bucket: they cannot match a pattern that begins with a ground atom.
+        """
+        self._refresh_indexes()
+        index = self._by_first_atom.get(position)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                elements = row[position].elements
+                if elements and isinstance(elements[0], str):
+                    index.setdefault(elements[0], set()).add(row)
+            self._by_first_atom[position] = index
+        return index.get(atom, EMPTY_ROWS)
+
+    def rows_with_last_atom(self, position: int, atom: str) -> "set | frozenset":
+        """Rows whose argument at *position* ends with the atomic value *atom*.
+
+        The mirror image of :meth:`rows_with_first_atom`, used when a *suffix*
+        of an argument pattern is ground (e.g. the second atom of an edge).
+        """
+        self._refresh_indexes()
+        index = self._by_last_atom.get(position)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                elements = row[position].elements
+                if elements and isinstance(elements[-1], str):
+                    index.setdefault(elements[-1], set()).add(row)
+            self._by_last_atom[position] = index
+        return index.get(atom, EMPTY_ROWS)
+
+    def rows_with_length(self, position: int, length: int) -> "set | frozenset":
+        """Rows whose argument at *position* has exactly *length* elements."""
+        self._refresh_indexes()
+        index = self._by_length.get(position)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                index.setdefault(len(row[position]), set()).add(row)
+            self._by_length[position] = index
+        return index.get(length, EMPTY_ROWS)

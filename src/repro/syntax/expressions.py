@@ -119,7 +119,7 @@ def _is_item(obj: object) -> bool:
 class PathExpression:
     """A flattened sequence of constants, variables, and packed sub-expressions."""
 
-    __slots__ = ("_items", "_hash")
+    __slots__ = ("_items", "_hash", "_variables")
 
     def __init__(self, items: Iterable[Item] = ()):
         flattened = tuple(items)
@@ -131,6 +131,7 @@ class PathExpression:
                 )
         self._items = flattened
         self._hash = hash(("PathExpression", flattened))
+        self._variables: frozenset[Variable] | None = None
 
     # -- construction -------------------------------------------------------------
 
@@ -188,14 +189,16 @@ class PathExpression:
         return not self._items
 
     def variables(self) -> frozenset[Variable]:
-        """Return all variables occurring in the expression, at any depth."""
-        found: set[Variable] = set()
-        for item in self._items:
-            if isinstance(item, Variable):
-                found.add(item)
-            elif isinstance(item, PackedExpression):
-                found.update(item.inner.variables())
-        return frozenset(found)
+        """Return all variables occurring in the expression, at any depth (cached)."""
+        if self._variables is None:
+            found: set[Variable] = set()
+            for item in self._items:
+                if isinstance(item, Variable):
+                    found.add(item)
+                elif isinstance(item, PackedExpression):
+                    found.update(item.inner.variables())
+            self._variables = frozenset(found)
+        return self._variables
 
     def variable_occurrences(self) -> list[Variable]:
         """Return variables in occurrence order, with repetitions."""

@@ -30,7 +30,7 @@ __all__ = [
 class Predicate:
     """A predicate ``P(e1, ..., en)``."""
 
-    __slots__ = ("_name", "_components", "_hash")
+    __slots__ = ("_name", "_components", "_hash", "_variables")
 
     def __init__(self, name: str, components: Iterable[object] = ()):
         if not isinstance(name, str) or not name:
@@ -41,6 +41,7 @@ class Predicate:
             for component in components
         )
         self._hash = hash((name, self._components))
+        self._variables: frozenset[Variable] | None = None
 
     @property
     def name(self) -> str:
@@ -58,11 +59,13 @@ class Predicate:
         return len(self._components)
 
     def variables(self) -> frozenset[Variable]:
-        """All variables occurring in the predicate."""
-        found: set[Variable] = set()
-        for component in self._components:
-            found.update(component.variables())
-        return frozenset(found)
+        """All variables occurring in the predicate (cached)."""
+        if self._variables is None:
+            found: set[Variable] = set()
+            for component in self._components:
+                found.update(component.variables())
+            self._variables = frozenset(found)
+        return self._variables
 
     def has_packing(self) -> bool:
         """Return ``True`` if packing occurs in any component."""

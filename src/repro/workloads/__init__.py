@@ -2,10 +2,12 @@
 
 from repro.workloads.generators import (
     all_as_instance,
+    layered_graph_instance,
     random_event_log_instance,
     random_graph_instance,
     random_nfa_instance,
     random_packed_instance,
+    random_positive_program,
     random_string_instance,
     random_two_bounded_instance,
     random_word,
@@ -14,10 +16,12 @@ from repro.workloads.generators import (
 
 __all__ = [
     "all_as_instance",
+    "layered_graph_instance",
     "random_event_log_instance",
     "random_graph_instance",
     "random_nfa_instance",
     "random_packed_instance",
+    "random_positive_program",
     "random_string_instance",
     "random_two_bounded_instance",
     "random_word",

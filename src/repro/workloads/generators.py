@@ -24,11 +24,13 @@ __all__ = [
     "random_string_instance",
     "all_as_instance",
     "random_graph_instance",
+    "layered_graph_instance",
     "random_two_bounded_instance",
     "random_nfa_instance",
     "random_event_log_instance",
     "sales_instance",
     "random_packed_instance",
+    "random_positive_program",
 ]
 
 
@@ -86,6 +88,41 @@ def random_graph_instance(
         waypoints = [source] + generator.sample(names, k=min(2, len(names))) + [target]
         for first, second in zip(waypoints, waypoints[1:]):
             instance.add(relation, Path((first, second)))
+    return instance
+
+
+def layered_graph_instance(
+    *,
+    relation: str = "R",
+    layers: int = 8,
+    width: int = 8,
+    edges_per_node: int = 2,
+    seed: int = 0,
+) -> Instance:
+    """A layered DAG encoded as length-two paths, for scaling benchmarks.
+
+    Nodes are arranged in *layers* columns of *width* rows; every node has
+    *edges_per_node* random edges into the next layer, so the transitive
+    closure is large (up to ``layers² · width²`` pairs) but guaranteed
+    finite and acyclic.  Node ``a`` sits in the first layer and ``b`` in the
+    last, with a guaranteed directed path between them, matching the
+    endpoints of the reachability query.
+    """
+    generator = random.Random(seed)
+    columns: list[list[str]] = [
+        [f"l{layer}n{node}" for node in range(width)] for layer in range(layers)
+    ]
+    columns[0][0] = "a"
+    columns[-1][0] = "b"
+    instance = Instance()
+    instance.ensure_relation(relation)
+    for source_layer, target_layer in zip(columns, columns[1:]):
+        for source in source_layer:
+            for _ in range(edges_per_node):
+                instance.add(relation, Path((source, generator.choice(target_layer))))
+    waypoints = ["a"] + [generator.choice(column) for column in columns[1:-1]] + ["b"]
+    for first, second in zip(waypoints, waypoints[1:]):
+        instance.add(relation, Path((first, second)))
     return instance
 
 
@@ -182,6 +219,50 @@ def sales_instance(
         for year in year_names:
             instance.add(relation, Path((item, year, str(generator.randint(1, 500)))))
     return instance
+
+
+def random_positive_program(
+    *,
+    relation: str = "R",
+    derived: int = 4,
+    alphabet: Sequence[str] = ("a", "b"),
+    seed: int = 0,
+):
+    """A random positive (negation-free) program over a unary EDB *relation*.
+
+    The program defines a chain of IDB relations ``S0 … S{derived-1}`` plus
+    an output relation ``S``; every rule draws its body predicates from the
+    EDB and *strictly earlier* IDB relations, except for self-recursive rules
+    that strip an atom from their own relation — so every program terminates
+    on every instance.  Used by the property-based tests to check that all
+    fixpoint strategies and execution modes agree on arbitrary programs.
+    """
+    from repro.parser.parser import parse_program
+
+    generator = random.Random(seed)
+    lines: list[str] = [f"S0($x) :- {relation}($x)."]
+    for index in range(1, derived):
+        head = f"S{index}"
+        sources = [relation] + [f"S{j}" for j in range(index)]
+        shape = generator.randrange(5)
+        first = generator.choice(sources)
+        letter = generator.choice(list(alphabet))
+        if shape == 0:
+            lines.append(f"{head}($x) :- {first}($x).")
+        elif shape == 1:
+            lines.append(f"{head}($x) :- {first}({letter}.$x).")
+        elif shape == 2:
+            lines.append(f"{head}($x) :- {first}($x.{letter}).")
+        elif shape == 3:
+            # Concatenate the EDB with an earlier IDB (keeps sizes bounded by
+            # |EDB| per chain step, unlike squaring an IDB against itself).
+            lines.append(f"{head}($x.$y) :- {relation}($x), {first}($y.{letter}).")
+        else:
+            # A shrinking self-recursion on top of a copied base relation.
+            lines.append(f"{head}($x) :- {first}($x).")
+            lines.append(f"{head}($x) :- {head}({letter}.$x).")
+    lines.append(f"S($x) :- S{derived - 1}($x).")
+    return parse_program("\n".join(lines))
 
 
 def random_packed_instance(

@@ -1,0 +1,127 @@
+"""Tests for the bound-aware greedy join planner and indexed extension."""
+
+import pytest
+
+from repro.engine import (
+    EvaluationStatistics,
+    evaluate_program,
+    evaluate_rule,
+    plan_body_order,
+    plan_literal_sequence,
+)
+from repro.errors import UnsafeRuleError
+from repro.model import Instance, path, unary_instance
+from repro.parser import parse_program, parse_rule
+from repro.workloads import random_graph_instance, random_nfa_instance
+
+
+def plan_of(rule_text, instance, frontier=None):
+    rule = parse_rule(rule_text)
+    order = plan_body_order(rule)
+    sequence = plan_literal_sequence(order, instance, frontier)
+    return [order[position] for position in sequence], order, sequence
+
+
+class TestGreedyPlanner:
+    def test_sequence_is_a_permutation(self):
+        instance = unary_instance("R", ["a"])
+        instance.add("Q", path("b"))
+        _, order, sequence = plan_of("S($x.$y) :- R($x), Q($y), not R($x.$y).", instance)
+        assert sorted(sequence) == list(range(len(order)))
+
+    def test_smaller_relation_is_scheduled_first(self):
+        instance = unary_instance("R", [f"r{i}" for i in range(20)])
+        instance.add("Q", path("q"))
+        literals, _, _ = plan_of("S($x.$y) :- R($x), Q($y).", instance)
+        assert literals[0].atom.name == "Q"
+
+    def test_negation_runs_as_soon_as_its_variables_are_bound(self):
+        instance = unary_instance("R", ["a", "b"])
+        instance.add("Q", path("a"))
+        for i in range(6):
+            instance.add("T", path(f"t{i}"))
+        literals, _, _ = plan_of("S($x.$y) :- R($x), not Q($x), T($y).", instance)
+        names = [literal.atom.name for literal in literals]
+        # not Q($x) filters immediately after R binds $x, before T multiplies.
+        assert names.index("Q") == names.index("R") + 1
+        assert names.index("Q") < names.index("T")
+
+    def test_equation_filter_runs_before_further_joins(self):
+        instance = unary_instance("R", ["aa", "ab"])
+        for i in range(6):
+            instance.add("T", path(f"t{i}"))
+        literals, _, _ = plan_of("S($x.$y) :- R($x), $x = a.a, T($y).", instance)
+        assert literals[1].is_equation()
+
+    def test_frontier_cardinality_informs_the_plan(self):
+        rule = parse_rule("T(@x.@z) :- T(@x.@y), R(@y.@z).")
+        order = plan_body_order(rule)
+        instance = Instance()
+        for i in range(50):
+            instance.add("T", path(f"n{i}", f"n{i + 1}"))
+            instance.add("R", path(f"n{i}", f"n{i + 1}"))
+        delta = Instance()
+        delta.add("T", path("n0", "n1"))
+        position = next(
+            index for index, literal in enumerate(order) if literal.atom.name == "T"
+        )
+        sequence = plan_literal_sequence(order, instance, {position: delta})
+        # The single-row delta is far cheaper than the 50-row scan of R.
+        assert sequence[0] == position
+
+    def test_unsafe_equation_still_raises(self):
+        rule = parse_rule("S($x) :- R($y), $x.b = a.$z.")
+        order = [literal for literal in rule.body]
+        with pytest.raises(UnsafeRuleError):
+            plan_literal_sequence(order, unary_instance("R", ["a"]))
+
+
+class TestIndexedExtensionAgreesWithScan:
+    """Index-pruned evaluation must derive exactly the scan-mode facts."""
+
+    CASES = [
+        # (rule, instance builder) covering ground, variable, and mixed arguments.
+        ("S($x) :- R($x).", lambda: unary_instance("R", ["ab", "ba", ""])),
+        ("S :- R(a.b).", lambda: unary_instance("R", ["ab", "ba"])),
+        ("S($x) :- R(a.$x).", lambda: unary_instance("R", ["ab", "ba", "a"])),
+        ("S($x) :- R($x.b).", lambda: unary_instance("R", ["ab", "ba", "b"])),
+        ("S(@x.@y) :- R(@x.@y).", lambda: unary_instance("R", ["ab", "ba", "abc"])),
+        ("S($x.$y) :- R($x), Q($y).", lambda: _two_relations()),
+        ("S($x) :- R($x), Q($x).", lambda: _two_relations()),
+        ("S($x) :- R($x), not Q($x).", lambda: _two_relations()),
+        ("S($y) :- R($x), $x = a.$y, Q($y).", lambda: _two_relations()),
+    ]
+
+    @pytest.mark.parametrize("rule_text,builder", CASES)
+    def test_same_facts(self, rule_text, builder):
+        rule = parse_rule(rule_text)
+        instance = builder()
+        scan = evaluate_rule(rule, instance, execution="scan")
+        indexed = evaluate_rule(rule, instance, execution="indexed")
+        assert scan == indexed
+
+    def test_indexed_mode_attempts_fewer_extensions(self):
+        program = parse_program("T(@x.@y) :- R(@x.@y).\nT(@x.@z) :- T(@x.@y), R(@y.@z).")
+        instance = random_graph_instance(nodes=30, edges=60, seed=7)
+        scan_stats = EvaluationStatistics()
+        indexed_stats = EvaluationStatistics()
+        scan = evaluate_program(program, instance, execution="scan", statistics=scan_stats)
+        indexed = evaluate_program(
+            program, instance, execution="indexed", statistics=indexed_stats
+        )
+        assert scan == indexed
+        assert indexed_stats.extension_attempts * 3 <= scan_stats.extension_attempts
+
+    def test_multi_arity_predicates_use_per_argument_indexes(self):
+        instance = random_nfa_instance(seed=5, words=12, max_word_length=5, states=3)
+        rule = parse_rule("E(@q1, @a, @q2) :- D(@q1, @a, @q2), F(@q2).")
+        scan = evaluate_rule(rule, instance, execution="scan")
+        indexed = evaluate_rule(rule, instance, execution="indexed")
+        assert scan == indexed
+
+
+def _two_relations():
+    instance = unary_instance("R", ["ab", "a", "b"])
+    for word in ("ab", "b", "c"):
+        instance.add("Q", path(*word) if word else path())
+    return instance

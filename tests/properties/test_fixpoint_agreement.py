@@ -1,0 +1,86 @@
+"""Property-based agreement of fixpoint strategies and execution modes.
+
+The engine offers four ways to compute the same semantics (Section 2.3):
+{naive, semi-naive} fixpoint strategies × {scan, indexed} execution modes.
+These tests drive all four over random programs and random workload instances
+(from :mod:`repro.workloads.generators`) and require extensionally identical
+results — the key safety net under the storage/planner refactor.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import EvaluationStatistics, evaluate_program
+from repro.queries import get_query
+from repro.workloads import (
+    random_graph_instance,
+    random_nfa_instance,
+    random_positive_program,
+    random_string_instance,
+)
+
+STRATEGIES = ("naive", "seminaive")
+EXECUTIONS = ("scan", "indexed")
+
+
+def all_variants(program, instance):
+    results = []
+    for strategy in STRATEGIES:
+        for execution in EXECUTIONS:
+            results.append(
+                evaluate_program(program, instance, strategy=strategy, execution=execution)
+            )
+    return results
+
+
+@given(program_seed=st.integers(0, 50), instance_seed=st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_random_positive_programs_agree(program_seed, instance_seed):
+    program = random_positive_program(seed=program_seed)
+    instance = random_string_instance(paths=5, max_length=4, seed=instance_seed)
+    first, *rest = all_variants(program, instance)
+    assert all(result == first for result in rest)
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=15, deadline=None)
+def test_reachability_agrees_on_random_graphs(seed):
+    program = get_query("reachability").program()
+    instance = random_graph_instance(nodes=8, edges=14, seed=seed)
+    first, *rest = all_variants(program, instance)
+    assert all(result == first for result in rest)
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_nfa_acceptance_agrees_on_random_nfas(seed):
+    program = get_query("nfa_acceptance").program()
+    instance = random_nfa_instance(seed=seed, words=6, max_word_length=4)
+    first, *rest = all_variants(program, instance)
+    assert all(result == first for result in rest)
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_negation_agrees_on_random_graphs(seed):
+    """Stratified negation: black_neighbours mixes joins, negation, and strata."""
+    program = get_query("black_neighbours").program()
+    instance = random_graph_instance(nodes=6, edges=10, seed=seed)
+    colours = random_graph_instance(nodes=6, edges=4, seed=seed + 1000)
+    for fact in colours.facts():
+        instance.add("B", fact.paths[0][0:1])
+    first, *rest = all_variants(program, instance)
+    assert all(result == first for result in rest)
+
+
+@given(seed=st.integers(0, 30))
+@settings(max_examples=10, deadline=None)
+def test_indexed_extension_attempts_never_exceed_scan(seed):
+    """Index pruning yields a subset of the scan candidates, never more."""
+    program = get_query("reachability").program()
+    instance = random_graph_instance(nodes=10, edges=25, seed=seed)
+    scan_stats = EvaluationStatistics()
+    indexed_stats = EvaluationStatistics()
+    scan = evaluate_program(program, instance, execution="scan", statistics=scan_stats)
+    indexed = evaluate_program(program, instance, execution="indexed", statistics=indexed_stats)
+    assert scan == indexed
+    assert indexed_stats.extension_attempts <= scan_stats.extension_attempts

@@ -1,0 +1,144 @@
+"""Unit tests for the indexed relation storage layer."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import Instance, Path, path
+from repro.storage import Relation
+
+
+def rows_of(*paths_per_row):
+    return {tuple(Path(elements) for elements in row) for row in paths_per_row}
+
+
+@pytest.fixture
+def edges():
+    """A binary relation of (source-path, target-path) rows with mixed shapes."""
+    relation = Relation()
+    for row in rows_of(
+        (("a", "b"), ("x",)),
+        (("a", "c"), ("y",)),
+        (("b", "c"), ("x",)),
+        (("c",), ("x",)),
+        ((), ("z",)),
+    ):
+        relation.add(row)
+    return relation
+
+
+class TestIndexesAgreeWithFullScans:
+    def test_exact_path_index(self, edges):
+        for position in (0, 1):
+            seen_keys = {row[position] for row in edges.rows}
+            for key in seen_keys | {path("q", "q")}:
+                expected = {row for row in edges.rows if row[position] == key}
+                assert set(edges.rows_with_path(position, key)) == expected
+
+    def test_first_atom_index(self, edges):
+        for position in (0, 1):
+            for atom in ("a", "b", "c", "x", "z", "missing"):
+                expected = {
+                    row
+                    for row in edges.rows
+                    if row[position].elements and row[position].elements[0] == atom
+                }
+                assert set(edges.rows_with_first_atom(position, atom)) == expected
+
+    def test_last_atom_index(self, edges):
+        for position in (0, 1):
+            for atom in ("a", "b", "c", "x", "z", "missing"):
+                expected = {
+                    row
+                    for row in edges.rows
+                    if row[position].elements and row[position].elements[-1] == atom
+                }
+                assert set(edges.rows_with_last_atom(position, atom)) == expected
+
+    def test_length_index(self, edges):
+        for position in (0, 1):
+            for length in (0, 1, 2, 3):
+                expected = {row for row in edges.rows if len(row[position]) == length}
+                assert set(edges.rows_with_length(position, length)) == expected
+
+    def test_indexes_refresh_after_mutation(self, edges):
+        assert len(edges.rows_with_first_atom(0, "a")) == 2
+        new_row = (path("a", "z"), path("w"))
+        edges.add(new_row)
+        assert new_row in edges.rows_with_first_atom(0, "a")
+        edges.discard(new_row)
+        assert new_row not in edges.rows_with_first_atom(0, "a")
+
+
+class TestViews:
+    def test_view_is_cached_between_mutations(self, edges):
+        first = edges.view()
+        assert edges.view() is first
+        edges.add((path("q"), path("q")))
+        second = edges.view()
+        assert second is not first
+        assert len(second) == len(first) + 1
+        # The old snapshot is unchanged: callers keep a consistent picture.
+        assert len(first) == 5
+
+    def test_adding_an_existing_row_keeps_the_cache(self, edges):
+        row = next(iter(edges.rows))
+        first = edges.view()
+        assert edges.add(row) is False
+        assert edges.view() is first
+
+    def test_unary_view(self):
+        relation = Relation()
+        relation.add((path("a", "b"),))
+        relation.add((path("c"),))
+        assert relation.unary_view() == {path("a", "b"), path("c")}
+
+    def test_unary_view_rejects_binary_rows(self, edges):
+        with pytest.raises(ModelError):
+            edges.unary_view("E")
+
+    def test_set_rows_and_clear(self, edges):
+        edges.set_rows({(path("a"), path("b"))})
+        assert len(edges) == 1
+        edges.clear()
+        assert not edges
+        assert edges.view() == frozenset()
+
+
+class TestInstanceIntegration:
+    def test_relation_view_is_cached(self):
+        instance = Instance()
+        instance.add("R", path("a"))
+        first = instance.relation("R")
+        assert instance.relation("R") is first
+        instance.add("R", path("b"))
+        assert instance.relation("R") is not first
+        assert instance.relation("R") == {(path("a"),), (path("b"),)}
+
+    def test_paths_view_is_cached(self):
+        instance = Instance()
+        instance.add("R", path("a"))
+        first = instance.paths("R")
+        assert instance.paths("R") is first
+
+    def test_storage_exposes_indexes(self):
+        instance = Instance()
+        instance.add("R", path("a", "b"))
+        instance.add("R", path("b", "c"))
+        storage = instance.storage("R")
+        assert storage is not None
+        assert set(storage.rows_with_first_atom(0, "a")) == {(path("a", "b"),)}
+        assert instance.storage("missing") is None
+
+    def test_replace_with_reuses_relation_storage(self):
+        from repro.model import Fact
+
+        instance = Instance()
+        instance.add("T", path("a"))
+        before = instance.storage("T")
+        instance.replace_with([Fact("T", [path("b")]), Fact("U", [path("c")])])
+        assert instance.storage("T") is before
+        assert instance.paths("T") == {path("b")}
+        assert instance.paths("U") == {path("c")}
+        instance.replace_with([Fact("U", [path("d")])])
+        assert instance.storage("T") is None
+        assert instance.paths("U") == {path("d")}
