@@ -17,7 +17,13 @@ The package provides:
   :mod:`repro.analysis`).
 """
 
-from repro.engine import DEFAULT_LIMITS, EvaluationLimits, ProgramQuery, evaluate_program
+from repro.engine import (
+    DEFAULT_LIMITS,
+    EvaluationLimits,
+    ProgramQuery,
+    QuerySession,
+    evaluate_program,
+)
 from repro.model import Fact, Instance, Packed, Path, Schema, pack, path, unary_instance
 from repro.parser import parse_program, parse_rule, unparse_program
 from repro.syntax import Program, Rule, Stratum
@@ -33,6 +39,7 @@ __all__ = [
     "Path",
     "Program",
     "ProgramQuery",
+    "QuerySession",
     "Rule",
     "Schema",
     "Stratum",

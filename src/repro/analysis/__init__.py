@@ -1,5 +1,14 @@
-"""Analysis drivers for the primitivity (inexpressibility) experiments of Section 5."""
+"""Program analyses: primitivity experiments (Section 5) and binding patterns."""
 
+from repro.analysis.adornment import (
+    AdornedProgram,
+    AdornedRule,
+    Adornment,
+    adorn_program,
+    adorn_rule,
+    adornment_from_binding,
+    sips_order,
+)
 from repro.analysis.growth import (
     GrowthPoint,
     LinearBound,
@@ -15,9 +24,16 @@ from repro.analysis.separation import (
 )
 
 __all__ = [
+    "AdornedProgram",
+    "AdornedRule",
+    "Adornment",
     "GrowthPoint",
     "LinearBound",
+    "adorn_program",
+    "adorn_rule",
+    "adornment_from_binding",
     "all_a_threshold",
+    "sips_order",
     "classical_encoding",
     "decode_classical",
     "frozen_instance",

@@ -10,13 +10,14 @@ from repro.engine.evaluation import (
 )
 from repro.engine.fixpoint import (
     EvaluationStatistics,
+    ProgramEvaluators,
     Strategy,
     evaluate_program,
     evaluate_stratum,
 )
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.match import match_components, match_expression, match_fact
-from repro.engine.query import ProgramQuery, QueryResult
+from repro.engine.query import ProgramQuery, QueryMode, QueryResult, QuerySession
 from repro.engine.valuation import Valuation
 
 __all__ = [
@@ -24,8 +25,11 @@ __all__ = [
     "EvaluationLimits",
     "EvaluationStatistics",
     "ExecutionMode",
+    "ProgramEvaluators",
     "ProgramQuery",
+    "QueryMode",
     "QueryResult",
+    "QuerySession",
     "RuleEvaluator",
     "Strategy",
     "Valuation",

@@ -432,6 +432,7 @@ def satisfying_valuations(
     order: Sequence[Literal] | None = None,
     frontier: "dict[int, Instance] | None" = None,
     execution: ExecutionMode = "indexed",
+    sequence: "Sequence[int] | None" = None,
     statistics=None,
 ) -> Iterator[Valuation]:
     """Yield the valuations (restricted to the rule's variables) satisfying the body.
@@ -441,10 +442,16 @@ def satisfying_valuations(
     the semi-naive strategy restricts one body atom to the newly derived facts.
     Frontier positions always refer to the static order, regardless of the
     execution mode's actual evaluation sequence.
+
+    A precomputed *sequence* (a permutation of the order's positions, e.g. a
+    cached plan from :class:`RuleEvaluator`) skips the per-call greedy
+    planning of the indexed mode.
     """
     plan = list(order) if order is not None else plan_body_order(rule)
-    if execution == "indexed":
-        sequence: Sequence[int] = plan_literal_sequence(plan, instance, frontier)
+    if sequence is not None:
+        pass  # a compiled plan: trust the caller's permutation
+    elif execution == "indexed":
+        sequence = plan_literal_sequence(plan, instance, frontier)
     elif execution == "scan":
         sequence = range(len(plan))
     else:
@@ -477,6 +484,7 @@ def evaluate_rule(
     frontier: "dict[int, Instance] | None" = None,
     order: Sequence[Literal] | None = None,
     execution: ExecutionMode = "indexed",
+    sequence: "Sequence[int] | None" = None,
     statistics=None,
 ) -> set[Fact]:
     """Return the head facts derivable from *instance* by a single application of *rule*."""
@@ -488,6 +496,7 @@ def evaluate_rule(
         order=order,
         frontier=frontier,
         execution=execution,
+        sequence=sequence,
         statistics=statistics,
     ):
         fact = valuation.apply_to_predicate(rule.head)
@@ -501,9 +510,13 @@ class RuleEvaluator:
     """Pre-plans a rule's join order and evaluates it repeatedly.
 
     Fixpoint computation evaluates the same rules many times; the static body
-    order (the frontier position space) is planned once per rule, while the
-    indexed execution mode re-plans the evaluation sequence cheaply per call
-    from the live relation cardinalities.
+    order (the frontier position space) is planned once per rule, and the
+    indexed execution mode's greedy evaluation sequence is *compiled*: cached
+    per delta position (the frontier key) and reused until the cardinality
+    regime of the relations involved changes.  The planner's choices depend
+    only on the relative sizes of the source relations, so a plan stays good
+    while every source remains in the same power-of-two size bucket; crossing
+    a bucket boundary invalidates the cached plan and triggers a replan.
     """
 
     def __init__(
@@ -525,6 +538,48 @@ class RuleEvaluator:
                 self.predicate_positions.setdefault(name, []).append(position)
         #: Relation names the body's positive predicates read from.
         self.body_relation_names = frozenset(self.predicate_positions)
+        #: All positive-predicate positions, for the cardinality signature.
+        self._predicate_order_positions = tuple(
+            position
+            for positions in self.predicate_positions.values()
+            for position in sorted(positions)
+        )
+        #: frontier key → (cardinality signature, compiled evaluation sequence).
+        self._plans: dict[tuple[int, ...], tuple[tuple[int, ...], tuple[int, ...]]] = {}
+
+    def _cardinality_signature(
+        self, instance: Instance, frontier: "dict[int, Instance] | None"
+    ) -> tuple[int, ...]:
+        """Power-of-two size buckets of every body predicate's source relation."""
+        signature = []
+        for position in self._predicate_order_positions:
+            source = instance
+            if frontier is not None and position in frontier:
+                source = frontier[position]
+            storage = source.storage(self.order[position].atom.name)  # type: ignore[union-attr]
+            size = len(storage) if storage is not None else 0
+            signature.append(size.bit_length())
+        return tuple(signature)
+
+    def compiled_sequence(
+        self,
+        instance: Instance,
+        frontier: "dict[int, Instance] | None" = None,
+        statistics=None,
+    ) -> tuple[int, ...]:
+        """The (cached) indexed-mode evaluation sequence for this call shape."""
+        key = tuple(sorted(frontier)) if frontier else ()
+        signature = self._cardinality_signature(instance, frontier)
+        cached = self._plans.get(key)
+        if cached is not None and cached[0] == signature:
+            if statistics is not None:
+                statistics.plan_cache_hits += 1
+            return cached[1]
+        sequence = tuple(plan_literal_sequence(self.order, instance, frontier))
+        self._plans[key] = (signature, sequence)
+        if statistics is not None:
+            statistics.plans_compiled += 1
+        return sequence
 
     def derive(
         self,
@@ -533,6 +588,9 @@ class RuleEvaluator:
         statistics=None,
     ) -> set[Fact]:
         """Evaluate the rule once against *instance* (optionally delta-restricted)."""
+        sequence = None
+        if self.execution == "indexed":
+            sequence = self.compiled_sequence(instance, frontier, statistics)
         return evaluate_rule(
             self.rule,
             instance,
@@ -540,5 +598,6 @@ class RuleEvaluator:
             frontier=frontier,
             order=self.order,
             execution=self.execution,
+            sequence=sequence,
             statistics=statistics,
         )

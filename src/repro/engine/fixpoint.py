@@ -27,15 +27,22 @@ implementation design choices, not paper experiments — see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal as TypingLiteral
+from typing import Iterable, Literal as TypingLiteral
 
 from repro.engine.evaluation import ExecutionMode, RuleEvaluator
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.errors import EvaluationError
-from repro.model.instance import Instance
+from repro.model.instance import Fact, Instance
 from repro.syntax.programs import Program, Stratum
+from repro.syntax.rules import Rule
 
-__all__ = ["EvaluationStatistics", "evaluate_stratum", "evaluate_program", "Strategy"]
+__all__ = [
+    "EvaluationStatistics",
+    "ProgramEvaluators",
+    "evaluate_stratum",
+    "evaluate_program",
+    "Strategy",
+]
 
 Strategy = TypingLiteral["naive", "seminaive"]
 
@@ -52,6 +59,9 @@ class EvaluationStatistics:
     ``extension_attempts`` counts the candidate rows handed to the
     associative matcher while extending valuations through body predicates —
     the nested-loop work the indexed execution mode exists to avoid.
+    ``plans_compiled`` and ``plan_cache_hits`` split the indexed mode's body
+    evaluations into those that ran the greedy planner and those that reused
+    a compiled plan (see :class:`~repro.engine.evaluation.RuleEvaluator`).
     """
 
     iterations: int = 0
@@ -59,12 +69,46 @@ class EvaluationStatistics:
     delta_restricted_applications: int = 0
     facts_derived: int = 0
     extension_attempts: int = 0
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
     per_stratum_iterations: list[int] = field(default_factory=list)
 
     def merge_stratum(self, iterations: int) -> None:
         """Record the iteration count of one stratum."""
         self.per_stratum_iterations.append(iterations)
         self.iterations += iterations
+
+
+class ProgramEvaluators:
+    """A cache of :class:`RuleEvaluator` objects, keyed by rule.
+
+    Rule evaluators carry compiled join plans; reusing them across strata,
+    rounds, and — through :class:`~repro.engine.query.QuerySession` —
+    repeated queries keeps the planner out of the evaluation inner loop.
+    """
+
+    def __init__(
+        self,
+        limits: EvaluationLimits = DEFAULT_LIMITS,
+        *,
+        execution: ExecutionMode = "indexed",
+    ):
+        self.limits = limits
+        self.execution: ExecutionMode = execution
+        self._evaluators: dict[Rule, RuleEvaluator] = {}
+
+    def evaluator(self, rule: Rule) -> RuleEvaluator:
+        """The cached evaluator for *rule* (built on first use)."""
+        found = self._evaluators.get(rule)
+        if found is None:
+            found = self._evaluators[rule] = RuleEvaluator(
+                rule, self.limits, execution=self.execution
+            )
+        return found
+
+    def for_stratum(self, stratum: Stratum) -> list[RuleEvaluator]:
+        """Evaluators for every rule of *stratum*, in order."""
+        return [self.evaluator(rule) for rule in stratum]
 
 
 def _apply_rules_naive(
@@ -117,24 +161,42 @@ def evaluate_stratum(
     strategy: Strategy = "seminaive",
     execution: ExecutionMode = "indexed",
     statistics: EvaluationStatistics | None = None,
+    evaluators: ProgramEvaluators | None = None,
+    copy: bool = True,
 ) -> Instance:
     """Compute the fixpoint of one stratum, returning the enlarged instance.
 
-    The input *instance* is not modified.
+    The input *instance* is not modified unless ``copy=False``, which lets
+    :func:`evaluate_program` grow one working copy across chained strata
+    instead of re-copying the ever-larger instance per stratum.  A shared
+    :class:`ProgramEvaluators` carries compiled rule plans across calls.
     """
     if statistics is None:
         statistics = EvaluationStatistics()
-    current = instance.copy()
+    current = instance.copy() if copy else instance
     for rule in stratum:
         current.ensure_relation(rule.head.name)
 
-    evaluators = [RuleEvaluator(rule, limits, execution=execution) for rule in stratum]
+    if evaluators is not None:
+        # The evaluators carry their own limits/execution; a caller passing a
+        # conflicting configuration would silently get the cache's one.
+        if evaluators.execution != execution or evaluators.limits != limits:
+            raise EvaluationError(
+                f"the supplied ProgramEvaluators were built for "
+                f"execution={evaluators.execution!r} with limits {evaluators.limits}, "
+                f"but this call asks for execution={execution!r} with limits {limits}"
+            )
+        stratum_evaluators = evaluators.for_stratum(stratum)
+    else:
+        stratum_evaluators = [
+            RuleEvaluator(rule, limits, execution=execution) for rule in stratum
+        ]
 
     iterations = 0
     # First round: all rules against the full instance.
     iterations += 1
     limits.check_iterations(iterations)
-    delta_facts = _apply_rules_naive(evaluators, current, statistics)
+    delta_facts = _apply_rules_naive(stratum_evaluators, current, statistics)
     for fact in delta_facts:
         current.add_fact(fact)
     statistics.facts_derived += len(delta_facts)
@@ -150,10 +212,10 @@ def evaluate_stratum(
             delta.replace_with(delta_facts)
             changed = {fact.relation for fact in delta_facts}
             new_facts = _apply_rules_seminaive(
-                evaluators, current, delta, changed, statistics
+                stratum_evaluators, current, delta, changed, statistics
             )
         elif strategy == "naive":
-            new_facts = _apply_rules_naive(evaluators, current, statistics)
+            new_facts = _apply_rules_naive(stratum_evaluators, current, statistics)
         else:
             raise EvaluationError(f"unknown evaluation strategy {strategy!r}")
         for fact in new_facts:
@@ -174,14 +236,29 @@ def evaluate_program(
     strategy: Strategy = "seminaive",
     execution: ExecutionMode = "indexed",
     statistics: EvaluationStatistics | None = None,
+    seed_facts: "Iterable[Fact] | None" = None,
+    evaluators: ProgramEvaluators | None = None,
 ) -> Instance:
     """Evaluate *program* on *instance*, returning EDB plus all IDB relations.
 
     The strata are applied in order, each as a semipositive program over the
-    result of the preceding ones (Section 2.3).  If any stratum exceeds the
-    limits, :class:`~repro.errors.EvaluationBudgetExceeded` propagates.
+    result of the preceding ones (Section 2.3).  The input instance is copied
+    exactly once; the working copy then grows in place through the chained
+    strata.  If any stratum exceeds the limits,
+    :class:`~repro.errors.EvaluationBudgetExceeded` propagates.
+
+    *seed_facts* are injected into the working copy before the first stratum
+    — this is how goal-directed evaluation plants the magic fact describing
+    the query's bindings (see :mod:`repro.transform.magic`).  *evaluators*
+    optionally shares compiled rule plans across calls (repeated queries over
+    the same program reuse both the static orders and the greedy sequences).
     """
     current = instance.copy()
+    if seed_facts is not None:
+        for fact in seed_facts:
+            current.add_fact(fact)
+    if evaluators is None:
+        evaluators = ProgramEvaluators(limits, execution=execution)
     for stratum in program.strata:
         current = evaluate_stratum(
             stratum,
@@ -190,6 +267,8 @@ def evaluate_program(
             strategy=strategy,
             execution=execution,
             statistics=statistics,
+            evaluators=evaluators,
+            copy=False,
         )
     for name in program.idb_relation_names():
         current.ensure_relation(name)

@@ -9,37 +9,98 @@ and produces exactly the query's answer in ``S``.
 :class:`ProgramQuery` packages a program with its input schema and output
 relation and offers convenient evaluation entry points.  It is the unit the
 fragment-expressiveness machinery (Section 3) reasons about.
+
+Two evaluation modes are supported:
+
+* ``mode="full"`` — the semantics-defining baseline: materialise the whole
+  program fixpoint, then restrict to the output relation (filtered by the
+  query *binding*, if one is given);
+* ``mode="goal"`` — goal-directed: the binding induces an adornment of the
+  output relation, the program is magic-set rewritten
+  (:func:`repro.transform.magic.magic_rewrite`), and the rewritten program is
+  evaluated with the binding seeded into the magic relation, deriving only
+  the facts the query actually demands.  When the rewriting is unsupported
+  (negation on demanded relations, expanding magic recursion) or the
+  goal-directed run exceeds the evaluation limits, the query transparently
+  falls back to full evaluation and records the reason on the result.
+
+Both modes return identical answers by construction; the goal mode merely
+avoids work (`benchmarks/bench_magic_sets.py` measures how much).
+
+:class:`QuerySession` pins an instance and reuses the compiled artifacts —
+magic rewritings per adornment and rule evaluators with their compiled join
+plans — across repeated queries, which is the intended entry point for
+query-heavy serving workloads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+from typing import Literal as TypingLiteral
 
 from repro.engine.evaluation import ExecutionMode
-from repro.engine.fixpoint import EvaluationStatistics, Strategy, evaluate_program
+from repro.engine.fixpoint import (
+    EvaluationStatistics,
+    ProgramEvaluators,
+    Strategy,
+    evaluate_program,
+)
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
-from repro.errors import EvaluationError, ModelError
-from repro.model.instance import Instance
+from repro.errors import (
+    EvaluationBudgetExceeded,
+    EvaluationError,
+    MagicSetUnsupportedError,
+    ModelError,
+)
+from repro.model.instance import Fact, Instance
 from repro.model.schema import Schema
-from repro.model.terms import Path
+from repro.model.terms import Path, as_path
 from repro.syntax.programs import Program
 
-__all__ = ["ProgramQuery", "QueryResult"]
+__all__ = ["ProgramQuery", "QueryResult", "QuerySession", "QueryMode"]
+
+QueryMode = TypingLiteral["full", "goal"]
+
+#: A query binding: concrete paths for some output argument positions.
+Binding = dict[int, Path]
 
 
 @dataclass(frozen=True)
 class QueryResult:
-    """The result of running a :class:`ProgramQuery` on an instance."""
+    """The result of running a :class:`ProgramQuery` on an instance.
+
+    ``mode`` records how the answer was actually computed: ``"goal"`` when
+    the magic-set pipeline ran, ``"full"`` otherwise.  When a goal-directed
+    run was requested but had to fall back, ``fallback_reason`` says why.
+    """
 
     output: Instance
     full_instance: Instance
     statistics: EvaluationStatistics
+    output_relation: "str | None" = None
+    binding: "Binding | None" = None
+    mode: QueryMode = "full"
+    fallback_reason: "str | None" = None
 
     def paths(self, relation: str | None = None) -> frozenset[Path]:
-        """The set of output paths (for a unary output relation)."""
-        names = list(self.output.relation_names)
-        name = relation if relation is not None else (names[0] if names else None)
+        """The set of output paths (for a unary output relation).
+
+        Defaults to the query's output relation; an explicit *relation* reads
+        another one.  Results that do not know their output relation (built
+        by hand) fall back to the single present relation, and raise
+        :class:`EvaluationError` instead of picking arbitrarily when several
+        are present.
+        """
+        name = relation if relation is not None else self.output_relation
+        if name is None:
+            names = sorted(self.output.relation_names)
+            if len(names) > 1:
+                raise EvaluationError(
+                    f"result holds several relations {names}; pass relation=... "
+                    f"to disambiguate"
+                )
+            name = names[0] if names else None
         if name is None:
             return frozenset()
         return self.output.paths(name)
@@ -47,6 +108,49 @@ class QueryResult:
     def boolean(self) -> bool:
         """For a nullary output relation: whether the empty tuple was derived."""
         return bool(self.output)
+
+
+def _normalise_binding(
+    binding: "Mapping[int, object] | None", arity: int, relation: str
+) -> Binding:
+    """Coerce binding values to paths and validate the positions."""
+    if not binding:
+        return {}
+    normalised: Binding = {}
+    for position, value in binding.items():
+        if not isinstance(position, int) or not 0 <= position < arity:
+            raise EvaluationError(
+                f"binding position {position!r} is outside the argument range of "
+                f"{relation!r} (arity {arity})"
+            )
+        normalised[position] = as_path(value)
+    return normalised
+
+
+def _restrict_output(full: Instance, relation: str, binding: Binding) -> Instance:
+    """The output sub-instance: the relation's rows that match the binding.
+
+    Bound positions are looked up through the storage layer's exact-argument
+    index (the smallest bucket), so a selective binding never scans the whole
+    output relation.
+    """
+    if not binding:
+        output = full.restricted([relation])
+        output.ensure_relation(relation)
+        return output
+    output = Instance()
+    output.ensure_relation(relation)
+    storage = full.storage(relation)
+    if storage is None or not storage:
+        return output
+    rows = min(
+        (storage.rows_with_path(position, value) for position, value in binding.items()),
+        key=len,
+    )
+    for row in rows:
+        if all(row[position] == value for position, value in binding.items()):
+            output.add_fact(Fact(relation, row))
+    return output
 
 
 class ProgramQuery:
@@ -61,6 +165,7 @@ class ProgramQuery:
         limits: EvaluationLimits = DEFAULT_LIMITS,
         strategy: Strategy = "seminaive",
         execution: ExecutionMode = "indexed",
+        mode: QueryMode = "full",
         name: str | None = None,
         require_monadic: bool = True,
     ):
@@ -70,8 +175,15 @@ class ProgramQuery:
         self.limits = limits
         self.strategy: Strategy = strategy
         self.execution: ExecutionMode = execution
+        if mode not in ("full", "goal"):
+            raise EvaluationError(f"unknown query mode {mode!r}; use 'full' or 'goal'")
+        self.mode: QueryMode = mode
         self.name = name or output_relation
         self._validate(require_monadic)
+        self.output_arity: int = self.program.relation_arities()[output_relation]
+        #: Per-adornment magic rewritings (or the reason they are unavailable),
+        #: keyed by the tuple of bound positions.  Shared by every session.
+        self._goal_programs: dict[tuple[int, ...], "object"] = {}
 
     def _validate(self, require_monadic: bool) -> None:
         if require_monadic and not self.input_schema.is_monadic():
@@ -100,37 +212,74 @@ class ProgramQuery:
                 f"queries return relations of arity at most one"
             )
 
+    # -- goal compilation -------------------------------------------------------------------------
+
+    def goal_program(self, binding: "Mapping[int, object] | None" = None):
+        """The magic-set rewriting for *binding*'s adornment, or ``None`` + reason.
+
+        Returns ``(MagicProgram | None, reason | None)``; the rewriting is
+        computed once per adornment and cached on the query.
+        """
+        normalised = _normalise_binding(binding, self.output_arity, self.output_relation)
+        return self._goal_program_for_key(tuple(sorted(normalised)))
+
+    def _goal_program_for_key(self, key: tuple[int, ...]):
+        """As :meth:`goal_program`, keyed by already-validated bound positions."""
+        # Imported lazily: repro.transform depends on the engine package.
+        from repro.analysis.adornment import Adornment
+        from repro.transform.magic import magic_rewrite
+
+        cached = self._goal_programs.get(key)
+        if cached is None:
+            try:
+                cached = magic_rewrite(
+                    self.program,
+                    self.output_relation,
+                    Adornment.from_positions(self.output_arity, key),
+                )
+            except MagicSetUnsupportedError as error:
+                cached = str(error)
+            self._goal_programs[key] = cached
+        if isinstance(cached, str):
+            return None, cached
+        return cached, None
+
     # -- evaluation -------------------------------------------------------------------------------
 
-    def run(self, instance: Instance, *, check_flat: bool = True) -> QueryResult:
+    def session(self, instance: Instance, *, check_flat: bool = True) -> "QuerySession":
+        """Open a :class:`QuerySession` for repeated queries over *instance*."""
+        return QuerySession(self, instance, check_flat=check_flat)
+
+    def run(
+        self,
+        instance: Instance,
+        *,
+        binding: "Mapping[int, object] | None" = None,
+        mode: "QueryMode | None" = None,
+        check_flat: bool = True,
+    ) -> QueryResult:
         """Run the query on *instance* and return the full :class:`QueryResult`."""
-        if check_flat and not instance.is_flat():
-            raise ModelError("queries are defined on flat instances (no packed values)")
-        unknown = instance.relation_names - self.input_schema.relation_names
-        if unknown:
-            raise EvaluationError(
-                f"instance uses relations {sorted(unknown)} outside the input schema"
-            )
-        statistics = EvaluationStatistics()
-        full = evaluate_program(
-            self.program,
-            instance,
-            self.limits,
-            strategy=self.strategy,
-            execution=self.execution,
-            statistics=statistics,
-        )
-        output = full.restricted([self.output_relation])
-        output.ensure_relation(self.output_relation)
-        return QueryResult(output=output, full_instance=full, statistics=statistics)
+        return self.session(instance, check_flat=check_flat).run(binding=binding, mode=mode)
 
-    def answer(self, instance: Instance) -> frozenset[Path]:
+    def answer(
+        self,
+        instance: Instance,
+        *,
+        binding: "Mapping[int, object] | None" = None,
+        mode: "QueryMode | None" = None,
+    ) -> frozenset[Path]:
         """Run the query and return the set of output paths (unary output)."""
-        return self.run(instance).paths(self.output_relation)
+        return self.run(instance, binding=binding, mode=mode).paths(self.output_relation)
 
-    def boolean(self, instance: Instance) -> bool:
+    def boolean(
+        self,
+        instance: Instance,
+        *,
+        binding: "Mapping[int, object] | None" = None,
+        mode: "QueryMode | None" = None,
+    ) -> bool:
         """Run the query and interpret the (nullary) output relation as a boolean."""
-        return self.run(instance).boolean()
+        return self.run(instance, binding=binding, mode=mode).boolean()
 
     def answers_on(self, instances: Iterable[Instance]) -> list[frozenset[Path]]:
         """Run the query on several instances."""
@@ -147,5 +296,126 @@ class ProgramQuery:
     def __repr__(self) -> str:
         return (
             f"ProgramQuery(name={self.name!r}, output={self.output_relation!r}, "
-            f"schema={self.input_schema!r})"
+            f"schema={self.input_schema!r}, mode={self.mode!r})"
         )
+
+
+class QuerySession:
+    """Repeated (possibly goal-directed) queries over one pinned instance.
+
+    The session validates the instance once, then caches the evaluation
+    machinery that is worth keeping warm between queries: one
+    :class:`ProgramEvaluators` per evaluated program (the full program and
+    each magic rewriting), whose rule evaluators hold the compiled join
+    plans.  Evaluation itself always works on a copy, so the pinned instance
+    is never modified; if the caller mutates it between queries, the compiled
+    plans re-validate themselves against the new relation cardinalities.
+    """
+
+    def __init__(self, query: ProgramQuery, instance: Instance, *, check_flat: bool = True):
+        if check_flat and not instance.is_flat():
+            raise ModelError("queries are defined on flat instances (no packed values)")
+        unknown = instance.relation_names - query.input_schema.relation_names
+        if unknown:
+            raise EvaluationError(
+                f"instance uses relations {sorted(unknown)} outside the input schema"
+            )
+        self.query = query
+        self.instance = instance
+        self._evaluators: dict[int, ProgramEvaluators] = {}
+
+    def _evaluators_for(self, program: Program) -> ProgramEvaluators:
+        found = self._evaluators.get(id(program))
+        if found is None:
+            found = self._evaluators[id(program)] = ProgramEvaluators(
+                self.query.limits, execution=self.query.execution
+            )
+        return found
+
+    def _evaluate(
+        self,
+        program: Program,
+        statistics: EvaluationStatistics,
+        seed_facts: "Iterable[Fact] | None" = None,
+    ) -> Instance:
+        return evaluate_program(
+            program,
+            self.instance,
+            self.query.limits,
+            strategy=self.query.strategy,
+            execution=self.query.execution,
+            statistics=statistics,
+            seed_facts=seed_facts,
+            evaluators=self._evaluators_for(program),
+        )
+
+    def run(
+        self,
+        *,
+        binding: "Mapping[int, object] | None" = None,
+        mode: "QueryMode | None" = None,
+    ) -> QueryResult:
+        """Run the query against the session's instance."""
+        query = self.query
+        wanted_mode: QueryMode = mode if mode is not None else query.mode
+        if wanted_mode not in ("full", "goal"):
+            raise EvaluationError(f"unknown query mode {wanted_mode!r}; use 'full' or 'goal'")
+        normalised = _normalise_binding(binding, query.output_arity, query.output_relation)
+
+        fallback_reason: "str | None" = None
+        if wanted_mode == "goal":
+            compiled, fallback_reason = query._goal_program_for_key(tuple(sorted(normalised)))
+            if compiled is not None:
+                statistics = EvaluationStatistics()
+                try:
+                    full = self._evaluate(
+                        compiled.program,
+                        statistics,
+                        seed_facts=(compiled.seed_fact(normalised),),
+                    )
+                except EvaluationBudgetExceeded as error:
+                    fallback_reason = (
+                        f"goal-directed evaluation exceeded the limits ({error}); "
+                        f"fell back to full evaluation"
+                    )
+                else:
+                    output = _restrict_output(full, query.output_relation, normalised)
+                    return QueryResult(
+                        output=output,
+                        full_instance=full,
+                        statistics=statistics,
+                        output_relation=query.output_relation,
+                        binding=normalised,
+                        mode="goal",
+                    )
+
+        statistics = EvaluationStatistics()
+        full = self._evaluate(query.program, statistics)
+        output = _restrict_output(full, query.output_relation, normalised)
+        return QueryResult(
+            output=output,
+            full_instance=full,
+            statistics=statistics,
+            output_relation=query.output_relation,
+            binding=normalised,
+            mode="full",
+            fallback_reason=fallback_reason,
+        )
+
+    def answer(
+        self,
+        *,
+        binding: "Mapping[int, object] | None" = None,
+        mode: "QueryMode | None" = None,
+    ) -> frozenset[Path]:
+        """Run against the pinned instance and return the output paths."""
+        return self.run(binding=binding, mode=mode).paths(self.query.output_relation)
+
+    def boolean(
+        self,
+        *,
+        binding: "Mapping[int, object] | None" = None,
+        mode: "QueryMode | None" = None,
+    ) -> bool:
+        """Run against the pinned instance and read the nullary output as a boolean."""
+        return self.run(binding=binding, mode=mode).boolean()

@@ -63,6 +63,16 @@ class TransformationError(SequenceDatalogError):
     """Raised when a program transformation's preconditions are violated."""
 
 
+class MagicSetUnsupportedError(TransformationError):
+    """Raised when the magic-set rewriting would be unsound or non-terminating.
+
+    Goal-directed evaluation must fall back to full evaluation in these cases
+    (negation on derived relations, or recursive magic predicates that could
+    grow paths without bound); the message records the reason so the query
+    layer can report why the fallback happened.
+    """
+
+
 class UnificationError(SequenceDatalogError):
     """Raised for invalid inputs to the associative unification engine."""
 

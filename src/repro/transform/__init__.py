@@ -29,6 +29,7 @@ from repro.transform.equations import (
     eliminate_positive_equations,
 )
 from repro.transform.folding import eliminate_intermediate_predicates, unfold_relation
+from repro.transform.magic import MagicProgram, magic_rewrite
 from repro.transform.normal_form import NORMAL_FORMS, normal_form_of, rule_normal_form
 from repro.transform.packing import eliminate_packing, flatten_rule, purify_rule
 from repro.transform.pipeline import RewriteResult, RewriteStep, rewrite_into_fragment
@@ -51,6 +52,7 @@ __all__ = [
     "DEFAULT_DELIMITERS",
     "FULLY_IMPURE",
     "HALF_PURE",
+    "MagicProgram",
     "NORMAL_FORMS",
     "PURE",
     "PackingStructure",
@@ -74,6 +76,7 @@ __all__ = [
     "encode_path_tuple",
     "flatten_rule",
     "is_doubled",
+    "magic_rewrite",
     "normal_form_of",
     "pair_encode_expressions",
     "pair_encode_paths",

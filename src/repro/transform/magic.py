@@ -1,0 +1,293 @@
+"""Magic-set rewriting: compile a query goal into a demand-driven program.
+
+Given a program, its output relation, and an :class:`~repro.analysis.adornment.Adornment`
+describing which output arguments the query binds, :func:`magic_rewrite`
+produces an equivalent *goal-directed* program: every demanded relation gets
+an adorned copy guarded by a *magic* predicate that holds exactly the bound
+argument tuples the query (transitively) asks for.  Evaluated bottom-up with
+the query's own bindings seeded into the magic relation, the rewritten
+program derives only the facts relevant to the goal — the classic magic-set
+construction, generalised to path-expression arguments.
+
+For each analysed rule ``p(t̄) ← L₁, …, Lₙ`` with head adornment ``a`` (body
+in SIPS order, see :mod:`repro.analysis.adornment`):
+
+* the *guarded rule* ``pᵃ(t̄) ← magic_pᵃ(t̄_bound), L₁', …, Lₙ'`` where each
+  positive IDB body atom is renamed to its adorned copy;
+* for every positive IDB body atom ``q(ū)`` with adornment ``b`` at position
+  ``i``, the *magic rule*
+  ``magic_qᵇ(ū_bound) ← magic_pᵃ(t̄_bound), L₁', …, Lᵢ₋₁'``;
+* one *bridge rule* copies the adorned output back to the original output
+  relation name, so the query layer reads answers from the same relation in
+  both modes.
+
+The rewriting refuses (raising :class:`MagicSetUnsupportedError`) when it
+would be unsound or non-terminating:
+
+* **Negation on demanded derived relations.**  A negated IDB atom needs its
+  relation *completely* evaluated; restricting it to the demanded slice would
+  silently change answers across negation strata.  Detected and reported —
+  the query layer falls back to full evaluation.
+* **Expanding magic recursion.**  Sequence Datalog paths come from an
+  infinite domain, so a magic predicate that *extends* paths around a
+  recursive call (``magic_T(a·$x) ← magic_T($x)``) enumerates unboundedly
+  many subgoals even when bottom-up evaluation terminates.  A magic rule on a
+  cycle of the magic dependency graph must therefore pass each bound argument
+  either unchanged (a bare path variable of the guard), or built only from
+  variables bound by positive non-magic body atoms (whose values come from
+  the finite relations), closed under equations.  Anything else is reported
+  as unsupported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.analysis.adornment import Adornment, AdornedRule, adorn_program
+from repro.errors import EvaluationError, MagicSetUnsupportedError
+from repro.model.instance import Fact
+from repro.model.terms import Path, as_path
+from repro.syntax.expressions import PathVariable, Variable
+from repro.syntax.literals import Literal, Predicate, pos
+from repro.syntax.naming import FreshNames
+from repro.syntax.programs import Program
+from repro.syntax.rules import Rule
+from repro.transform.base import TransformationReport
+
+__all__ = ["MagicProgram", "magic_rewrite"]
+
+
+@dataclass(frozen=True)
+class MagicProgram:
+    """The output of :func:`magic_rewrite`, ready for seeded evaluation."""
+
+    program: Program
+    output_relation: str
+    adorned_output_relation: str
+    magic_seed_relation: str
+    adornment: Adornment
+    report: TransformationReport
+
+    def seed_fact(self, binding: "Mapping[int, Path | str] | None" = None) -> Fact:
+        """The magic fact that launches the query for *binding*.
+
+        *binding* maps the bound output positions (exactly those of the
+        adornment) to concrete paths.
+        """
+        binding = dict(binding or {})
+        if set(binding) != set(self.adornment.bound_positions):
+            raise EvaluationError(
+                f"binding positions {sorted(binding)} do not match the bound positions "
+                f"{list(self.adornment.bound_positions)} of adornment {self.adornment}"
+            )
+        return Fact(
+            self.magic_seed_relation,
+            tuple(as_path(binding[position]) for position in self.adornment.bound_positions),
+        )
+
+
+def _adorned_suffix(adornment: Adornment) -> str:
+    # Nullary relations have an empty b/f string; "g" (goal) keeps the name readable.
+    return adornment.suffix() or "g"
+
+
+def _guard(predicate: Predicate, adornment: Adornment, magic_name: str) -> Literal:
+    return pos(
+        Predicate(
+            magic_name,
+            tuple(predicate.components[position] for position in adornment.bound_positions),
+        )
+    )
+
+
+def _renamed_body(
+    entry: AdornedRule, adorned_names: "dict[tuple[str, Adornment], str]"
+) -> list[Literal]:
+    renamed: list[Literal] = []
+    for literal, adornment in zip(entry.order, entry.body_adornments):
+        if adornment is None:
+            renamed.append(literal)
+        else:
+            predicate: Predicate = literal.atom  # type: ignore[assignment]
+            renamed.append(
+                Literal(predicate.renamed(adorned_names[(predicate.name, adornment)]), True)
+            )
+    return renamed
+
+
+def _finitely_bound_variables(prefix: Sequence[Literal]) -> frozenset[Variable]:
+    """Variables whose values are drawn from relations, closed under equations.
+
+    A variable bound by a positive predicate of *prefix* ranges over the
+    (finite) paths stored in that relation; an equation with one finitely
+    bound side decomposes a finite value set, so the other side's variables
+    are finitely bound too.
+    """
+    bound: set[Variable] = set()
+    for literal in prefix:
+        if literal.positive and literal.is_predicate():
+            bound.update(literal.variables())
+    changed = True
+    while changed:
+        changed = False
+        for literal in prefix:
+            if not (literal.positive and literal.is_equation()):
+                continue
+            equation = literal.atom
+            for side, other in ((equation.lhs, equation.rhs), (equation.rhs, equation.lhs)):  # type: ignore[union-attr]
+                if side.variables() <= bound and not other.variables() <= bound:
+                    bound.update(other.variables())
+                    changed = True
+    return frozenset(bound)
+
+
+def _expanding_component(
+    head: Predicate, guard: Predicate, prefix: Sequence[Literal]
+) -> "object | None":
+    """Return a head component that could grow along magic recursion, if any.
+
+    Safe components either take all their path variables from finitely bound
+    sources, or pass one of the guard's path variables through unchanged
+    (values then stay within sub-paths of the incoming subgoal).
+    """
+    finitely_bound = _finitely_bound_variables(prefix)
+    guard_variables = guard.variables()
+    for component in head.components:
+        path_variables = {
+            variable
+            for variable in component.variables()
+            if isinstance(variable, PathVariable)
+        }
+        if path_variables <= finitely_bound:
+            continue
+        if (
+            len(component.items) == 1
+            and isinstance(component.items[0], PathVariable)
+            and component.items[0] in guard_variables
+        ):
+            continue
+        return component
+    return None
+
+
+def _check_termination(
+    magic_rules: "list[tuple[Rule, str, str, Predicate, list[Literal]]]",
+) -> None:
+    """Reject magic rules that could expand path values along a recursion cycle."""
+    graph = nx.DiGraph()
+    for _, guard_name, head_name, _, _ in magic_rules:
+        graph.add_edge(guard_name, head_name)
+    component_of: dict[str, int] = {}
+    for index, component in enumerate(nx.strongly_connected_components(graph)):
+        for node in component:
+            component_of[node] = index
+
+    for rule, guard_name, head_name, guard, prefix in magic_rules:
+        # An edge inside one strongly connected component lies on a cycle
+        # (including self-loops); only those can fire unboundedly often.
+        if component_of[guard_name] != component_of[head_name]:
+            continue
+        expanding = _expanding_component(rule.head, guard, prefix)
+        if expanding is not None:
+            raise MagicSetUnsupportedError(
+                f"magic predicate {head_name!r} is recursive and its argument "
+                f"{expanding} can grow paths without bound (rule: {rule}); "
+                f"goal-directed evaluation might not terminate where full "
+                f"evaluation does"
+            )
+
+
+def magic_rewrite(
+    program: Program,
+    output_relation: str,
+    adornment: "Adornment | str",
+) -> MagicProgram:
+    """Rewrite *program* for goal-directed evaluation of ``output_relation^adornment``.
+
+    Raises :class:`MagicSetUnsupportedError` when the rewriting would be
+    unsound (negation on demanded IDB relations) or could destroy termination
+    (expanding magic recursion); callers are expected to fall back to full
+    evaluation in that case.
+    """
+    if isinstance(adornment, str):
+        adornment = Adornment.from_string(adornment)
+    adorned = adorn_program(program, output_relation, adornment)
+    idb = program.idb_relation_names()
+
+    for entry in adorned.reachable_rules():
+        for literal in entry.order:
+            if literal.negative and literal.is_predicate() and literal.atom.name in idb:  # type: ignore[union-attr]
+                raise MagicSetUnsupportedError(
+                    f"rule {entry.rule} negates the derived relation "
+                    f"{literal.atom.name!r}; goal-directed rewriting across "  # type: ignore[union-attr]
+                    f"negation strata would be unsound"
+                )
+
+    fresh = FreshNames.for_program(program)
+    adorned_names: dict[tuple[str, Adornment], str] = {}
+    magic_names: dict[tuple[str, Adornment], str] = {}
+    for key in adorned.rules:
+        name, key_adornment = key
+        adorned_names[key] = fresh.relation(f"{name}_{_adorned_suffix(key_adornment)}")
+        magic_names[key] = fresh.relation(f"Magic_{name}_{_adorned_suffix(key_adornment)}")
+
+    rewritten: list[Rule] = []
+    magic_rules: list[tuple[Rule, str, str, Predicate, list[Literal]]] = []
+    for key, entries in adorned.rules.items():
+        guard_name = magic_names[key]
+        for entry in entries:
+            guard = _guard(entry.rule.head, entry.head_adornment, guard_name)
+            body = _renamed_body(entry, adorned_names)
+            rewritten.append(
+                Rule(
+                    entry.rule.head.renamed(adorned_names[key]),
+                    (guard,) + tuple(body),
+                )
+            )
+            for position, (literal, body_adornment) in enumerate(
+                zip(entry.order, entry.body_adornments)
+            ):
+                if body_adornment is None:
+                    continue
+                callee: Predicate = literal.atom  # type: ignore[assignment]
+                callee_key = (callee.name, body_adornment)
+                magic_head = Predicate(
+                    magic_names[callee_key],
+                    tuple(
+                        callee.components[index]
+                        for index in body_adornment.bound_positions
+                    ),
+                )
+                prefix = list(entry.order[:position])
+                magic_rules.append(
+                    (
+                        Rule(magic_head, (guard,) + tuple(body[:position])),
+                        guard_name,
+                        magic_names[callee_key],
+                        guard.atom,  # type: ignore[arg-type]
+                        prefix,
+                    )
+                )
+
+    _check_termination(magic_rules)
+
+    output_key = (output_relation, adornment)
+    bridge_variables = fresh.path_variables(adornment.arity)
+    bridge = Rule(
+        Predicate(output_relation, tuple(bridge_variables)),
+        (pos(Predicate(adorned_names[output_key], tuple(bridge_variables))),),
+    )
+
+    all_rules = rewritten + [rule for rule, *_ in magic_rules] + [bridge]
+    result = Program.from_rules(all_rules)
+    return MagicProgram(
+        program=result,
+        output_relation=output_relation,
+        adorned_output_relation=adorned_names[output_key],
+        magic_seed_relation=magic_names[output_key],
+        adornment=adornment,
+        report=TransformationReport.compare(program, result),
+    )

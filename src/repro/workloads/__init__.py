@@ -2,6 +2,7 @@
 
 from repro.workloads.generators import (
     all_as_instance,
+    as_edge_pairs,
     layered_graph_instance,
     random_event_log_instance,
     random_graph_instance,
@@ -16,6 +17,7 @@ from repro.workloads.generators import (
 
 __all__ = [
     "all_as_instance",
+    "as_edge_pairs",
     "layered_graph_instance",
     "random_event_log_instance",
     "random_graph_instance",

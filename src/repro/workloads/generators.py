@@ -25,6 +25,7 @@ __all__ = [
     "all_as_instance",
     "random_graph_instance",
     "layered_graph_instance",
+    "as_edge_pairs",
     "random_two_bounded_instance",
     "random_nfa_instance",
     "random_event_log_instance",
@@ -124,6 +125,22 @@ def layered_graph_instance(
     for first, second in zip(waypoints, waypoints[1:]):
         instance.add(relation, Path((first, second)))
     return instance
+
+
+def as_edge_pairs(instance: Instance, *, relation: str = "R", output: str = "E") -> Instance:
+    """Re-encode a graph of length-two paths as a binary relation of node pairs.
+
+    The graph workloads store an edge ``x → y`` as the unary fact ``R(x·y)``
+    (Section 5.1.1).  The binary encoding ``E(x, y)`` exposes the source and
+    target as separate argument positions, which is what the goal-directed
+    query benchmarks bind (e.g. all nodes reachable *from a given source*).
+    """
+    result = Instance()
+    result.ensure_relation(output)
+    for path in instance.paths(relation):
+        if len(path) == 2:
+            result.add(output, path[0:1], path[1:2])
+    return result
 
 
 def random_two_bounded_instance(

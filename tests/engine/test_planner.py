@@ -76,6 +76,62 @@ class TestGreedyPlanner:
             plan_literal_sequence(order, unary_instance("R", ["a"]))
 
 
+class TestPlannerFailurePaths:
+    """The planner's error branches: unbindable equations and stuck negations."""
+
+    def test_equation_with_no_bindable_side_raises_unsafe(self):
+        # Neither side of $x.a = $y.b ever becomes fully bound: no positive
+        # predicate mentions $x or $y.
+        from repro.syntax.expressions import path_var
+        from repro.syntax.literals import eq, pos
+
+        order = [pos(eq((path_var("x"), "a"), (path_var("y"), "b")))]
+        with pytest.raises(UnsafeRuleError, match="no side becomes fully bound"):
+            plan_literal_sequence(order, Instance())
+
+    def test_static_order_raises_for_unbindable_equations_too(self):
+        from repro.syntax.expressions import path_var
+        from repro.syntax.literals import eq, pos, pred
+        from repro.syntax.rules import Rule
+
+        rule = Rule(
+            pred("S", path_var("x")),
+            [pos(eq((path_var("x"), "a"), (path_var("y"), "b")))],
+        )
+        with pytest.raises(UnsafeRuleError, match="no side becomes fully bound"):
+            plan_body_order(rule)
+
+    def test_negations_with_unbound_variables_are_appended_not_raised(self):
+        # The fallback branch: only negations remain and their variables are
+        # unbound.  The planner must append them (preserving the positions)
+        # rather than raise, so evaluation reports the runtime error the
+        # static order would.
+        from repro.syntax.expressions import path_var
+        from repro.syntax.literals import neg, pred
+
+        order = [neg(pred("Q", path_var("x"))), neg(pred("P", path_var("y")))]
+        sequence = plan_literal_sequence(order, Instance())
+        assert sorted(sequence) == [0, 1]
+
+    def test_unbound_negation_fails_at_evaluation_time(self):
+        from repro.errors import EvaluationError
+        from repro.syntax.literals import neg, pred, pos
+        from repro.syntax.expressions import path_var
+        from repro.syntax.rules import Rule
+
+        # Unsafe on purpose (bypasses Stratum validation): ¬Q($y) is reached
+        # with $y unbound in both execution modes.
+        rule = Rule(
+            pred("S", path_var("x")),
+            [pos(pred("R", path_var("x"))), neg(pred("Q", path_var("y")))],
+        )
+        instance = unary_instance("R", ["a"])
+        instance.add("Q", path("b"))
+        for execution in ("scan", "indexed"):
+            with pytest.raises(EvaluationError, match="not defined"):
+                evaluate_rule(rule, instance, execution=execution)
+
+
 class TestIndexedExtensionAgreesWithScan:
     """Index-pruned evaluation must derive exactly the scan-mode facts."""
 

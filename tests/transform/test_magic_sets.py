@@ -1,0 +1,131 @@
+"""Tests for the magic-set rewriting (goal-directed program compilation)."""
+
+import pytest
+
+from repro.analysis import Adornment
+from repro.engine import evaluate_program
+from repro.errors import EvaluationError, MagicSetUnsupportedError
+from repro.model import path
+from repro.parser import parse_program
+from repro.queries import get_query
+from repro.transform import magic_rewrite
+from repro.workloads import as_edge_pairs, random_graph_instance
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+
+def reachable_from(instance, source):
+    """Reference: transitive closure restricted to *source*."""
+    edges = {(row[0], row[1]) for row in instance.relation("E")}
+    reached = set()
+    frontier = {target for start, target in edges if start == path(source)}
+    while frontier:
+        reached |= frontier
+        frontier = {
+            target for start, target in edges if start in frontier
+        } - reached
+    return reached
+
+
+class TestRewriteShape:
+    def test_guarded_rules_and_seed(self):
+        rewritten = magic_rewrite(parse_program(REACHABILITY_PAIRS), "T", "bf")
+        assert rewritten.magic_seed_relation.startswith("Magic_T")
+        assert rewritten.output_relation == "T"
+        # Every adorned rule is guarded by its magic predicate.
+        for rule in rewritten.program.rules():
+            if rule.head.name == rewritten.adorned_output_relation:
+                names = {literal.atom.name for literal in rule.body if literal.is_predicate()}
+                assert rewritten.magic_seed_relation in names
+        seed = rewritten.seed_fact({0: "a"})
+        assert seed.relation == rewritten.magic_seed_relation
+        assert seed.paths == (path("a"),)
+
+    def test_seed_fact_validates_binding_positions(self):
+        rewritten = magic_rewrite(parse_program(REACHABILITY_PAIRS), "T", "bf")
+        with pytest.raises(EvaluationError):
+            rewritten.seed_fact({1: "a"})
+        with pytest.raises(EvaluationError):
+            rewritten.seed_fact({})
+
+    def test_report_counts_rules(self):
+        rewritten = magic_rewrite(parse_program(REACHABILITY_PAIRS), "T", "bf")
+        assert rewritten.report.rules_before == 2
+        assert rewritten.report.rules_after > 2
+
+
+class TestRewriteSemantics:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_seeded_evaluation_matches_reference(self, seed):
+        program = parse_program(REACHABILITY_PAIRS)
+        instance = as_edge_pairs(random_graph_instance(nodes=9, edges=20, seed=seed))
+        rewritten = magic_rewrite(program, "T", "bf")
+        result = evaluate_program(
+            rewritten.program, instance, seed_facts=[rewritten.seed_fact({0: "a"})]
+        )
+        answers = {row[1] for row in result.relation("T") if row[0] == path("a")}
+        assert answers == reachable_from(instance, "a")
+
+    def test_goal_directed_derives_fewer_facts(self):
+        from repro.engine import EvaluationStatistics
+
+        program = parse_program(REACHABILITY_PAIRS)
+        instance = as_edge_pairs(random_graph_instance(nodes=12, edges=24, seed=2))
+        full_statistics = EvaluationStatistics()
+        evaluate_program(program, instance, statistics=full_statistics)
+        rewritten = magic_rewrite(program, "T", "bf")
+        goal_statistics = EvaluationStatistics()
+        evaluate_program(
+            rewritten.program,
+            instance,
+            seed_facts=[rewritten.seed_fact({0: "a"})],
+            statistics=goal_statistics,
+        )
+        assert goal_statistics.facts_derived < full_statistics.facts_derived
+
+    def test_all_free_rewriting_keeps_answers(self):
+        query = get_query("reachability")
+        program = query.program()
+        instance = random_graph_instance(nodes=8, edges=16, seed=4, ensure_path=("a", "b"))
+        rewritten = magic_rewrite(program, "S", Adornment.all_free(0))
+        full = evaluate_program(program, instance)
+        goal = evaluate_program(
+            rewritten.program, instance, seed_facts=[rewritten.seed_fact()]
+        )
+        assert goal.relation("S") == full.relation("S")
+
+
+class TestUnsupportedCases:
+    def test_negation_on_derived_relation_is_refused(self):
+        program = get_query("black_neighbours").program()
+        with pytest.raises(MagicSetUnsupportedError, match="negates the derived relation"):
+            magic_rewrite(program, "S", "f")
+
+    def test_negation_on_edb_is_supported(self):
+        program = get_query("set_difference").program()
+        rewritten = magic_rewrite(program, "S", "b")
+        from repro.model import unary_instance
+
+        instance = unary_instance("R", ["ab", "ba"])
+        instance.add("Q", path(*"ba"))
+        result = evaluate_program(
+            rewritten.program, instance, seed_facts=[rewritten.seed_fact({0: path(*"ab")})]
+        )
+        assert result.paths("S") == {path(*"ab")}
+
+    def test_expanding_magic_recursion_is_refused(self):
+        program = get_query("only_as_air").program()
+        with pytest.raises(MagicSetUnsupportedError, match="grow paths without bound"):
+            magic_rewrite(program, "S", "b")
+
+    def test_unreachable_negation_does_not_block_rewriting(self):
+        # The negated IDB relation W is not demanded by the goal S.
+        program = parse_program(
+            "W($x) :- R($x), not A($x).\nA($x) :- R($x.a).\nS($x) :- R($x)."
+        )
+        rewritten = magic_rewrite(program, "S", "f")
+        names = {rule.head.name for rule in rewritten.program.rules()}
+        assert not any(name.startswith("W_") for name in names)
