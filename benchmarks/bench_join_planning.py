@@ -69,7 +69,7 @@ def test_layered_graph_indexed_scaling(benchmark):
     assert result.contains("S")
 
 
-def test_indexed_planning_prunes_at_least_3x():
+def test_indexed_planning_prunes_at_least_3x(bench_report):
     """The acceptance bar: ≥3× fewer valuation extensions, identical fixpoints."""
     print()
     for name, (program, instance) in {
@@ -89,6 +89,14 @@ def test_indexed_planning_prunes_at_least_3x():
         assert scan == indexed
         assert indexed_stats.extension_attempts * 3 <= scan_stats.extension_attempts
         ratio = scan_stats.extension_attempts / max(1, indexed_stats.extension_attempts)
+        bench_report(
+            f"join_planning_{name}",
+            scan_seconds=scan_seconds,
+            indexed_seconds=indexed_seconds,
+            extension_attempts=indexed_stats.extension_attempts,
+            scan_extension_attempts=scan_stats.extension_attempts,
+            plan_cache_hits=indexed_stats.plan_cache_hits,
+        )
         print(
             f"{name}: extension attempts scan = {scan_stats.extension_attempts}, "
             f"indexed = {indexed_stats.extension_attempts} ({ratio:.1f}× fewer); "

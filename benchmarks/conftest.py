@@ -5,13 +5,73 @@ per-experiment index in DESIGN.md and the measured outcomes in
 EXPERIMENTS.md).  Each module both *checks* the qualitative claim (the
 "shape" of the result) with assertions and *times* the computation with
 pytest-benchmark.
+
+Running with ``--json`` additionally writes one machine-readable
+``BENCH_<name>.json`` file per recorded benchmark (wall time and the
+relevant engine counters — ``extension_attempts``, ``plan_cache_hits``, …)
+into the repository root, so the performance trajectory can be tracked
+across commits; CI uploads these as workflow artifacts.  Benchmarks opt in
+by taking the ``bench_report`` fixture and calling it with a name and the
+fields to persist.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.workloads import random_graph_instance, random_string_instance
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store_true",
+        default=False,
+        help="write machine-readable BENCH_<name>.json result files into the repo root",
+    )
+
+
+class BenchmarkReporter:
+    """Collects named result records and writes them as ``BENCH_<name>.json``."""
+
+    def __init__(self, root: Path, enabled: bool):
+        self.root = root
+        self.enabled = enabled
+        self.results: dict[str, dict] = {}
+
+    def record(self, name: str, **fields) -> None:
+        """Merge *fields* into the record for benchmark *name*."""
+        self.results.setdefault(name, {}).update(fields)
+
+    def flush(self) -> list[Path]:
+        if not self.enabled:
+            return []
+        written = []
+        for name, fields in sorted(self.results.items()):
+            target = self.root / f"BENCH_{name}.json"
+            target.write_text(json.dumps(fields, indent=2, sort_keys=True) + "\n")
+            written.append(target)
+        return written
+
+
+@pytest.fixture(scope="session")
+def bench_report(request):
+    """A callable ``(name, **fields)`` recording machine-readable results.
+
+    Records accumulate across the whole pytest session (several tests may
+    contribute fields to one benchmark name) and are flushed to
+    ``BENCH_<name>.json`` files at session end when ``--json`` was passed;
+    without the flag the recorder is a cheap no-op sink.
+    """
+    reporter = BenchmarkReporter(
+        Path(str(request.config.rootpath)), request.config.getoption("--json")
+    )
+    yield reporter.record
+    for target in reporter.flush():
+        print(f"wrote {target}")
 
 
 @pytest.fixture

@@ -14,10 +14,18 @@ from repro.engine.fixpoint import (
     Strategy,
     evaluate_program,
     evaluate_stratum,
+    propagate_delta,
 )
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.engine.maintenance import MaintainedFixpoint, MaintenanceResult
 from repro.engine.match import match_components, match_expression, match_fact
-from repro.engine.query import ProgramQuery, QueryMode, QueryResult, QuerySession
+from repro.engine.query import (
+    ProgramQuery,
+    QueryMode,
+    QueryResult,
+    QuerySession,
+    UpdateResult,
+)
 from repro.engine.valuation import Valuation
 
 __all__ = [
@@ -25,6 +33,8 @@ __all__ = [
     "EvaluationLimits",
     "EvaluationStatistics",
     "ExecutionMode",
+    "MaintainedFixpoint",
+    "MaintenanceResult",
     "ProgramEvaluators",
     "ProgramQuery",
     "QueryMode",
@@ -32,6 +42,7 @@ __all__ = [
     "QuerySession",
     "RuleEvaluator",
     "Strategy",
+    "UpdateResult",
     "Valuation",
     "evaluate_program",
     "evaluate_rule",
@@ -41,5 +52,6 @@ __all__ = [
     "match_fact",
     "plan_body_order",
     "plan_literal_sequence",
+    "propagate_delta",
     "satisfying_valuations",
 ]

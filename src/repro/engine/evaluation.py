@@ -157,6 +157,8 @@ def plan_literal_sequence(
     order: Sequence[Literal],
     instance: Instance,
     frontier: "dict[int, Instance] | None" = None,
+    *,
+    bound: "Iterable | None" = None,
 ) -> list[int]:
     """Greedily permute the positions of *order* by bound-variable coverage and cost.
 
@@ -167,10 +169,14 @@ def plan_literal_sequence(
     predicates — costed by the live cardinality of their relation (the delta
     instance for frontier-restricted positions) discounted by the best index
     the bound variables enable — and the equations with one bound side.
+
+    *bound* names variables that are already bound before the body runs
+    (head-bound rederivation probes seed the join with partial valuations);
+    the plan then schedules the literals those bindings make selective first.
     """
     remaining = set(range(len(order)))
     sequence: list[int] = []
-    bound: set = set()
+    bound = set(bound) if bound is not None else set()
 
     variables = [literal.variables() for literal in order]
 
@@ -434,6 +440,7 @@ def satisfying_valuations(
     execution: ExecutionMode = "indexed",
     sequence: "Sequence[int] | None" = None,
     statistics=None,
+    initial_valuations: "Iterable[Valuation] | None" = None,
 ) -> Iterator[Valuation]:
     """Yield the valuations (restricted to the rule's variables) satisfying the body.
 
@@ -446,6 +453,12 @@ def satisfying_valuations(
     A precomputed *sequence* (a permutation of the order's positions, e.g. a
     cached plan from :class:`RuleEvaluator`) skips the per-call greedy
     planning of the indexed mode.
+
+    *initial_valuations* seeds the join with partial valuations instead of
+    the empty one — rederivation during delete–rederive maintenance uses
+    this to ask "does this *particular* head fact still have a derivation?"
+    with the head variables pre-bound, turning the body evaluation into an
+    index-backed membership probe.
     """
     plan = list(order) if order is not None else plan_body_order(rule)
     if sequence is not None:
@@ -456,7 +469,11 @@ def satisfying_valuations(
         sequence = range(len(plan))
     else:
         raise EvaluationError(f"unknown execution mode {execution!r}")
-    valuations: Iterable[Valuation] = (Valuation.EMPTY,)
+    valuations: Iterable[Valuation]
+    if initial_valuations is None:
+        valuations = (Valuation.EMPTY,)
+    else:
+        valuations = initial_valuations
 
     for position in sequence:
         literal = plan[position]
@@ -536,8 +553,23 @@ class RuleEvaluator:
             if literal.positive and literal.is_predicate():
                 name = literal.atom.name  # type: ignore[union-attr]
                 self.predicate_positions.setdefault(name, []).append(position)
+        #: All positive-predicate ``(position, relation name)`` pairs in static
+        #: order — the position space delta frontiers and the telescoped
+        #: maintenance joins index into.
+        self.positions_in_order: tuple[tuple[int, str], ...] = tuple(
+            (position, literal.atom.name)  # type: ignore[union-attr]
+            for position, literal in enumerate(self.order)
+            if literal.positive and literal.is_predicate()
+        )
         #: Relation names the body's positive predicates read from.
         self.body_relation_names = frozenset(self.predicate_positions)
+        #: Relation names the body reads under negation (maintenance refuses
+        #: to propagate deltas through these).
+        negated: set[str] = set()
+        for literal in self.order:
+            if literal.negative and literal.is_predicate():
+                negated.add(literal.atom.name)  # type: ignore[union-attr]
+        self.negated_relation_names = frozenset(negated)
         #: All positive-predicate positions, for the cardinality signature.
         self._predicate_order_positions = tuple(
             position
@@ -581,6 +613,55 @@ class RuleEvaluator:
             statistics.plans_compiled += 1
         return sequence
 
+    def derivations(
+        self,
+        instance: Instance,
+        frontier: "dict[int, Instance] | None" = None,
+        statistics=None,
+        *,
+        initial_valuations: "Iterable[Valuation] | None" = None,
+    ) -> "Iterator[tuple[Fact, Valuation]]":
+        """Yield every ``(head fact, satisfying valuation)`` derivation.
+
+        Unlike :meth:`derive` this does not collapse derivations into a fact
+        set: counting-based maintenance needs each distinct body valuation as
+        one unit of support for its head fact.  *initial_valuations* seeds
+        the join with pre-bound valuations (see
+        :func:`satisfying_valuations`); the join is then planned per call
+        around those bindings — the compiled cache only knows unbound starts,
+        and a head-bound probe that ignored its bindings would degenerate
+        into a scan of the first body relation.
+        """
+        sequence = None
+        if self.execution == "indexed":
+            if initial_valuations is None:
+                sequence = self.compiled_sequence(instance, frontier, statistics)
+            else:
+                initial_valuations = tuple(initial_valuations)
+                seed_domain: set = set()
+                for valuation in initial_valuations:
+                    seed_domain |= valuation.domain
+                sequence = plan_literal_sequence(
+                    self.order, instance, frontier, bound=seed_domain
+                )
+                if statistics is not None:
+                    statistics.plans_compiled += 1
+        for valuation in satisfying_valuations(
+            self.rule,
+            instance,
+            self.limits,
+            order=self.order,
+            frontier=frontier,
+            execution=self.execution,
+            sequence=sequence,
+            statistics=statistics,
+            initial_valuations=initial_valuations,
+        ):
+            fact = valuation.apply_to_predicate(self.rule.head)
+            for path in fact.paths:
+                self.limits.check_path_length(len(path))
+            yield fact, valuation
+
     def derive(
         self,
         instance: Instance,
@@ -588,16 +669,4 @@ class RuleEvaluator:
         statistics=None,
     ) -> set[Fact]:
         """Evaluate the rule once against *instance* (optionally delta-restricted)."""
-        sequence = None
-        if self.execution == "indexed":
-            sequence = self.compiled_sequence(instance, frontier, statistics)
-        return evaluate_rule(
-            self.rule,
-            instance,
-            self.limits,
-            frontier=frontier,
-            order=self.order,
-            execution=self.execution,
-            sequence=sequence,
-            statistics=statistics,
-        )
+        return {fact for fact, _ in self.derivations(instance, frontier, statistics)}

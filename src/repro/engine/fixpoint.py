@@ -41,6 +41,7 @@ __all__ = [
     "ProgramEvaluators",
     "evaluate_stratum",
     "evaluate_program",
+    "propagate_delta",
     "Strategy",
 ]
 
@@ -62,6 +63,15 @@ class EvaluationStatistics:
     ``plans_compiled`` and ``plan_cache_hits`` split the indexed mode's body
     evaluations into those that ran the greedy planner and those that reused
     a compiled plan (see :class:`~repro.engine.evaluation.RuleEvaluator`).
+
+    The maintenance counters belong to incremental view maintenance
+    (:mod:`repro.engine.maintenance`): ``maintenance_rounds`` counts the
+    delta-propagation rounds run across the counting, overdeletion,
+    rederivation, and insertion phases; ``rederivation_attempts`` the
+    head-bound body probes of the delete–rederive step; and
+    ``facts_retracted`` the facts that net-disappeared from a maintained
+    materialization (EDB retractions plus derived facts that lost their last
+    support).
     """
 
     iterations: int = 0
@@ -71,6 +81,9 @@ class EvaluationStatistics:
     extension_attempts: int = 0
     plans_compiled: int = 0
     plan_cache_hits: int = 0
+    maintenance_rounds: int = 0
+    rederivation_attempts: int = 0
+    facts_retracted: int = 0
     per_stratum_iterations: list[int] = field(default_factory=list)
 
     def merge_stratum(self, iterations: int) -> None:
@@ -153,6 +166,60 @@ def _apply_rules_seminaive(
     return new_facts
 
 
+def propagate_delta(
+    evaluators: list[RuleEvaluator],
+    current: Instance,
+    delta_facts: "set[Fact]",
+    limits: EvaluationLimits = DEFAULT_LIMITS,
+    statistics: "EvaluationStatistics | None" = None,
+    *,
+    strategy: Strategy = "seminaive",
+    iterations_before: int = 0,
+    collect: bool = False,
+) -> tuple[int, set]:
+    """Close *current* under *evaluators*, starting from already-applied deltas.
+
+    This is the semi-naive core shared by full evaluation
+    (:func:`evaluate_stratum` calls it after its first naive round) and
+    incremental maintenance (the insertion phase seeds it with the update's
+    added facts).  *delta_facts* must already be present in *current*; the
+    loop repeatedly evaluates the rules whose bodies mention the delta's
+    relations, restricted to the delta, until no new fact is derived.
+
+    Returns ``(rounds run, facts added)`` — the added set is only
+    accumulated when *collect* is true (maintenance needs it; the full-
+    evaluation hot path should not pay an extra union per round).
+    *iterations_before* offsets the iteration-budget check so a caller that
+    already ran rounds against the same budget keeps one coherent count.
+    """
+    if statistics is None:
+        statistics = EvaluationStatistics()
+    iterations = iterations_before
+    added: set = set()
+    # One delta instance lives across all rounds; its relation storages are
+    # refilled in place each round rather than rebuilt.
+    delta = Instance()
+    while delta_facts:
+        iterations += 1
+        limits.check_iterations(iterations)
+        if strategy == "seminaive":
+            delta.replace_with(delta_facts)
+            changed = {fact.relation for fact in delta_facts}
+            new_facts = _apply_rules_seminaive(evaluators, current, delta, changed, statistics)
+        elif strategy == "naive":
+            new_facts = _apply_rules_naive(evaluators, current, statistics)
+        else:
+            raise EvaluationError(f"unknown evaluation strategy {strategy!r}")
+        for fact in new_facts:
+            current.add_fact(fact)
+        statistics.facts_derived += len(new_facts)
+        limits.check_fact_count(current.fact_count())
+        if collect:
+            added |= new_facts
+        delta_facts = new_facts
+    return iterations - iterations_before, added
+
+
 def evaluate_stratum(
     stratum: Stratum,
     instance: Instance,
@@ -192,9 +259,11 @@ def evaluate_stratum(
             RuleEvaluator(rule, limits, execution=execution) for rule in stratum
         ]
 
-    iterations = 0
+    if strategy not in ("naive", "seminaive"):
+        raise EvaluationError(f"unknown evaluation strategy {strategy!r}")
+
     # First round: all rules against the full instance.
-    iterations += 1
+    iterations = 1
     limits.check_iterations(iterations)
     delta_facts = _apply_rules_naive(stratum_evaluators, current, statistics)
     for fact in delta_facts:
@@ -202,29 +271,16 @@ def evaluate_stratum(
     statistics.facts_derived += len(delta_facts)
     limits.check_fact_count(current.fact_count())
 
-    # One delta instance lives across all rounds; its relation storages are
-    # refilled in place each round rather than rebuilt.
-    delta = Instance()
-    while delta_facts:
-        iterations += 1
-        limits.check_iterations(iterations)
-        if strategy == "seminaive":
-            delta.replace_with(delta_facts)
-            changed = {fact.relation for fact in delta_facts}
-            new_facts = _apply_rules_seminaive(
-                stratum_evaluators, current, delta, changed, statistics
-            )
-        elif strategy == "naive":
-            new_facts = _apply_rules_naive(stratum_evaluators, current, statistics)
-        else:
-            raise EvaluationError(f"unknown evaluation strategy {strategy!r}")
-        for fact in new_facts:
-            current.add_fact(fact)
-        statistics.facts_derived += len(new_facts)
-        limits.check_fact_count(current.fact_count())
-        delta_facts = new_facts
-
-    statistics.merge_stratum(iterations)
+    rounds, _ = propagate_delta(
+        stratum_evaluators,
+        current,
+        delta_facts,
+        limits,
+        statistics,
+        strategy=strategy,
+        iterations_before=iterations,
+    )
+    statistics.merge_stratum(iterations + rounds)
     return current
 
 

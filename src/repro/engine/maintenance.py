@@ -1,0 +1,643 @@
+"""Incremental view maintenance of stratified fixpoints.
+
+A serving workload rarely re-asks a query over a fresh database: it asks the
+same query over a database that drifted by a handful of facts.  This module
+keeps a program's materialized fixpoint — the result of
+:func:`~repro.engine.fixpoint.evaluate_program` — *maintained* under such
+drifts instead of recomputing it:
+
+* **Counting** (non-recursive strata): every derived fact carries the number
+  of distinct ``(rule, body valuation)`` derivations supporting it.  An
+  update changes the counts by the telescoped delta joins
+  ``new⁽<i⁾ ⊗ Δi ⊗ old⁽>i⁾`` (one term per body position over a changed
+  relation), which enumerate each gained and lost derivation exactly once;
+  a fact appears when its count leaves zero and disappears when it returns
+  there.
+* **Delete–rederive** (recursive strata): deletions are first *over-deleted*
+  (everything derivable through a deleted fact, to a fixpoint, evaluated
+  against the old state), then every over-deleted fact gets a chance to
+  *rederive* itself from the surviving facts (a head-bound body probe via
+  :meth:`~repro.engine.evaluation.RuleEvaluator.derivations`), and finally
+  insertions propagate through the ordinary semi-naive core
+  (:func:`~repro.engine.fixpoint.propagate_delta`) shared with full
+  evaluation.
+
+Both algorithms propagate *positive* deltas only; an update that could reach
+a relation used under negation is refused upfront with
+:class:`~repro.errors.MaintenanceUnsupportedError` (before any state is
+touched), and the query layer falls back to re-evaluation with the recorded
+reason — the same contract goal-directed evaluation uses for unsupported
+magic rewritings.  The property tests in
+``tests/properties/test_maintenance_agreement.py`` assert that a maintained
+materialization stays extensionally identical to a from-scratch fixpoint
+across strategy × execution combinations, including retractions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.engine.evaluation import ExecutionMode, RuleEvaluator
+from repro.engine.fixpoint import (
+    EvaluationStatistics,
+    ProgramEvaluators,
+    Strategy,
+    evaluate_stratum,
+    propagate_delta,
+)
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.errors import EvaluationError, MaintenanceUnsupportedError
+from repro.model.instance import Fact, Instance
+from repro.syntax.programs import Program, Stratum
+
+__all__ = ["MaintainedFixpoint", "MaintenanceResult"]
+
+
+class MaintenanceResult:
+    """The net effect one :meth:`MaintainedFixpoint.update` had.
+
+    ``added`` and ``removed`` are the facts (EDB and derived alike) that
+    appeared in / disappeared from the materialization; ``statistics``
+    accumulates the evaluation counters of the maintenance run.
+    """
+
+    __slots__ = ("added", "removed", "statistics")
+
+    def __init__(
+        self,
+        added: frozenset[Fact],
+        removed: frozenset[Fact],
+        statistics: EvaluationStatistics,
+    ):
+        self.added = added
+        self.removed = removed
+        self.statistics = statistics
+
+    def __repr__(self) -> str:
+        return f"MaintenanceResult(+{len(self.added)}, -{len(self.removed)})"
+
+
+class _StratumState:
+    """Per-stratum maintenance state.
+
+    ``counts`` (counting strata only) maps each derived fact to its number
+    of distinct ``(rule, body valuation)`` derivations.  ``pinned`` holds
+    facts of this stratum's head relations that were already present in the
+    *input* instance: they are axioms, never retracted by maintenance.
+    """
+
+    __slots__ = ("recursive", "counts", "pinned")
+
+    def __init__(self, recursive: bool, pinned: frozenset[Fact]):
+        self.recursive = recursive
+        self.counts: "dict[Fact, int] | None" = None if recursive else {}
+        self.pinned = pinned
+
+
+class _ChangeSet:
+    """The update's running per-relation delta, threaded through the strata.
+
+    Keeps three overlay instances the telescoped joins and overdeletion use
+    as frontier sources: the added rows, the removed rows, and the *old*
+    rows (pre-update state) of every changed relation.
+    """
+
+    __slots__ = ("names", "added", "removed", "added_overlay", "removed_overlay", "old_overlay")
+
+    def __init__(self) -> None:
+        self.names: set[str] = set()
+        self.added: dict[str, set] = {}
+        self.removed: dict[str, set] = {}
+        self.added_overlay = Instance()
+        self.removed_overlay = Instance()
+        self.old_overlay = Instance()
+
+    def record(
+        self,
+        name: str,
+        added_rows: "set | frozenset",
+        removed_rows: "set | frozenset",
+        old_rows: "Iterable | None",
+    ) -> None:
+        """Register *name* as changed; *old_rows* may be ``None`` when no
+        later consumer will read the old state (final stratum)."""
+        if not added_rows and not removed_rows:
+            return
+        self.names.add(name)
+        self.added[name] = set(added_rows)
+        self.removed[name] = set(removed_rows)
+        self.added_overlay.set_relation_rows(name, added_rows)
+        self.removed_overlay.set_relation_rows(name, removed_rows)
+        if old_rows is not None:
+            self.old_overlay.set_relation_rows(name, old_rows)
+
+    def facts(self, source: dict, wanted: "frozenset[str] | set[str]") -> set[Fact]:
+        """The added/removed facts whose relation is in *wanted*."""
+        return {
+            Fact(name, row)
+            for name in self.names & set(wanted)
+            for row in source.get(name, ())
+        }
+
+
+class MaintainedFixpoint:
+    """A materialized program fixpoint that can be updated in place.
+
+    Built by :meth:`evaluate` (which shares the semi-naive core and the
+    compiled-plan cache with :func:`~repro.engine.fixpoint.evaluate_program`)
+    and advanced by :meth:`update`.  After an update, :attr:`materialized`
+    is extensionally identical to re-evaluating the program on the updated
+    base instance.  If an update raises, the state may be partially applied
+    and the fixpoint marks itself stale; further updates are refused and the
+    owner must rebuild from scratch.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        materialized: Instance,
+        states: list[_StratumState],
+        limits: EvaluationLimits,
+        strategy: Strategy,
+        execution: ExecutionMode,
+        evaluators: ProgramEvaluators,
+    ):
+        self.program = program
+        self.materialized = materialized
+        self.limits = limits
+        self.strategy: Strategy = strategy
+        self.execution: ExecutionMode = execution
+        self.evaluators = evaluators
+        self._states = states
+        self._idb = program.idb_relation_names()
+        self._valid = True
+
+    # -- construction ------------------------------------------------------------------
+
+    @classmethod
+    def evaluate(
+        cls,
+        program: Program,
+        instance: Instance,
+        limits: EvaluationLimits = DEFAULT_LIMITS,
+        *,
+        strategy: Strategy = "seminaive",
+        execution: ExecutionMode = "indexed",
+        statistics: "EvaluationStatistics | None" = None,
+        evaluators: "ProgramEvaluators | None" = None,
+    ) -> "MaintainedFixpoint":
+        """Materialize *program* over a copy of *instance*, with support state.
+
+        Equivalent to :func:`~repro.engine.fixpoint.evaluate_program` on the
+        same inputs, but non-recursive strata are evaluated *counting* —
+        each derivation enumerated once and tallied — so later updates can
+        maintain them exactly.  Raises
+        :class:`~repro.errors.MaintenanceUnsupportedError` (before doing any
+        work) for programs whose strata the maintainer cannot own, e.g. a
+        relation defined in several strata.
+        """
+        if statistics is None:
+            statistics = EvaluationStatistics()
+        if evaluators is None:
+            evaluators = ProgramEvaluators(limits, execution=execution)
+        seen_heads: set[str] = set()
+        for stratum in program.strata:
+            heads = stratum.head_relation_names()
+            overlap = heads & seen_heads
+            if overlap:
+                raise MaintenanceUnsupportedError(
+                    f"relation(s) {sorted(overlap)} are defined in several strata; "
+                    f"maintenance needs every relation owned by exactly one stratum"
+                )
+            seen_heads |= heads
+
+        current = instance.copy()
+        states: list[_StratumState] = []
+        for stratum in program.strata:
+            recursive = bool(stratum.head_relation_names() & stratum.body_relation_names())
+            pinned = frozenset(
+                Fact(name, row)
+                for name in stratum.head_relation_names()
+                for row in current.relation(name)
+            )
+            state = _StratumState(recursive, pinned)
+            if recursive:
+                evaluate_stratum(
+                    stratum,
+                    current,
+                    limits,
+                    strategy=strategy,
+                    execution=execution,
+                    statistics=statistics,
+                    evaluators=evaluators,
+                    copy=False,
+                )
+            else:
+                cls._evaluate_counting_stratum(
+                    stratum, current, state, limits, statistics, evaluators
+                )
+            states.append(state)
+        for name in program.idb_relation_names():
+            current.ensure_relation(name)
+        return cls(program, current, states, limits, strategy, execution, evaluators)
+
+    @staticmethod
+    def _evaluate_counting_stratum(
+        stratum: Stratum,
+        current: Instance,
+        state: _StratumState,
+        limits: EvaluationLimits,
+        statistics: EvaluationStatistics,
+        evaluators: ProgramEvaluators,
+    ) -> None:
+        """One counting pass over a non-recursive stratum.
+
+        No head relation is read by any body in the stratum, so a single
+        round reaches the fixpoint; the derived facts are buffered and
+        applied after the enumeration so the read views stay stable.
+        """
+        for rule in stratum:
+            current.ensure_relation(rule.head.name)
+        limits.check_iterations(1)
+        counts = state.counts
+        assert counts is not None
+        derived: list[Fact] = []
+        for evaluator in evaluators.for_stratum(stratum):
+            statistics.rule_applications += 1
+            seen: set = set()
+            for fact, valuation in evaluator.derivations(current, statistics=statistics):
+                if valuation in seen:
+                    continue
+                seen.add(valuation)
+                counts[fact] = counts.get(fact, 0) + 1
+                derived.append(fact)
+        new_facts = 0
+        for fact in derived:
+            if fact not in current:
+                current.add_fact(fact)
+                new_facts += 1
+        statistics.facts_derived += new_facts
+        limits.check_fact_count(current.fact_count())
+        statistics.merge_stratum(1)
+
+    # -- updates -----------------------------------------------------------------------
+
+    def update(
+        self,
+        additions: Iterable[Fact] = (),
+        retractions: Iterable[Fact] = (),
+        *,
+        statistics: "EvaluationStatistics | None" = None,
+    ) -> MaintenanceResult:
+        """Apply an EDB delta and maintain every derived relation.
+
+        *additions* and *retractions* must target EDB relations (relations
+        the program does not define); updating a derived relation directly
+        is a caller error.  Raises
+        :class:`~repro.errors.MaintenanceUnsupportedError` — before touching
+        any state — when the update could reach a relation used under
+        negation, which counting and delete–rederive cannot cover.
+        """
+        if not self._valid:
+            raise EvaluationError(
+                "this maintained fixpoint is stale (a previous update failed midway); "
+                "rebuild it with MaintainedFixpoint.evaluate"
+            )
+        if statistics is None:
+            statistics = EvaluationStatistics()
+        additions = list(additions)
+        retractions = list(retractions)
+        for fact in (*additions, *retractions):
+            if fact.relation in self._idb:
+                raise EvaluationError(
+                    f"cannot update relation {fact.relation!r}: it is derived by the "
+                    f"program; update the EDB relations it depends on instead"
+                )
+
+        # Net EDB delta against the current materialization.  Additions win
+        # over retractions of the same fact (retract-then-add nets out).
+        added_set = set(additions)
+        added_facts = {fact for fact in added_set if fact not in self.materialized}
+        removed_facts = {
+            fact
+            for fact in retractions
+            if fact not in added_set and fact in self.materialized
+        }
+        result_added: set[Fact] = set(added_facts)
+        result_removed: set[Fact] = set(removed_facts)
+        touched = {fact.relation for fact in added_facts | removed_facts}
+        self._check_supported(touched)
+        if not touched:
+            return MaintenanceResult(frozenset(), frozenset(), statistics)
+
+        # From here on the materialization mutates; any failure leaves it
+        # inconsistent with the support state, so poison the fixpoint.
+        try:
+            changes = _ChangeSet()
+            for name in touched:
+                added_rows = {f.paths for f in added_facts if f.relation == name}
+                removed_rows = {f.paths for f in removed_facts if f.relation == name}
+                storage = self.materialized.storage(name)
+                old_rows = set(storage.rows) if storage is not None else set()
+                for fact in removed_facts:
+                    if fact.relation == name:
+                        self.materialized.discard_fact(fact, keep_empty=True)
+                for fact in added_facts:
+                    if fact.relation == name:
+                        self.materialized.add_fact(fact)
+                changes.record(name, added_rows, removed_rows, old_rows)
+            statistics.facts_retracted += len(removed_facts)
+
+            for index, (stratum, state) in enumerate(zip(self.program.strata, self._states)):
+                last = index == len(self.program.strata) - 1
+                if not (changes.names & stratum.body_relation_names()):
+                    continue
+                if state.recursive:
+                    net_added, net_removed = self._maintain_dred_stratum(
+                        stratum, state, changes, statistics
+                    )
+                else:
+                    net_added, net_removed = self._maintain_counting_stratum(
+                        stratum, state, changes, statistics
+                    )
+                statistics.facts_retracted += len(net_removed)
+                result_added |= net_added
+                result_removed |= net_removed
+                self._commit_stratum_changes(changes, net_added, net_removed, last)
+            self.limits.check_fact_count(self.materialized.fact_count())
+        except Exception:
+            self._valid = False
+            raise
+        return MaintenanceResult(frozenset(result_added), frozenset(result_removed), statistics)
+
+    def _check_supported(self, touched: "set[str]") -> None:
+        """Refuse updates that could flow into a negated relation.
+
+        The check is conservative: it closes the touched relations under
+        "some rule reads a (possibly) changed relation", then requires that
+        no stratum negates anything in the closure.  Running it upfront
+        keeps :meth:`update` atomic — unsupported updates fail before any
+        state changes.
+        """
+        possibly = set(touched)
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.program.rules():
+                head = rule.head.name
+                if head not in possibly and rule.body_relation_names() & possibly:
+                    possibly.add(head)
+                    changed = True
+        for index, stratum in enumerate(self.program.strata):
+            negated = stratum.negated_relation_names() & possibly
+            if negated:
+                raise MaintenanceUnsupportedError(
+                    f"the update may change relation(s) {sorted(negated)}, which "
+                    f"stratum {index} uses under negation; counting and "
+                    f"delete-rederive maintenance only propagate positive deltas"
+                )
+
+    def _commit_stratum_changes(
+        self,
+        changes: _ChangeSet,
+        net_added: "set[Fact]",
+        net_removed: "set[Fact]",
+        last: bool,
+    ) -> None:
+        """Fold a stratum's net changes into the running change set."""
+        by_name: dict[str, tuple[set, set]] = {}
+        for fact in net_added:
+            by_name.setdefault(fact.relation, (set(), set()))[0].add(fact.paths)
+        for fact in net_removed:
+            by_name.setdefault(fact.relation, (set(), set()))[1].add(fact.paths)
+        for name, (added_rows, removed_rows) in by_name.items():
+            old_rows = None
+            if not last:
+                # Old state for later strata: current rows minus what this
+                # update added, plus what it removed.
+                storage = self.materialized.storage(name)
+                current_rows = set(storage.rows) if storage is not None else set()
+                old_rows = (current_rows - added_rows) | removed_rows
+            changes.record(name, added_rows, removed_rows, old_rows)
+
+    # -- counting maintenance ----------------------------------------------------------
+
+    def _maintain_counting_stratum(
+        self,
+        stratum: Stratum,
+        state: _StratumState,
+        changes: _ChangeSet,
+        statistics: EvaluationStatistics,
+    ) -> tuple[set, set]:
+        """Adjust derivation counts by the telescoped delta joins.
+
+        For a body with positive-predicate positions ``p1 < … < pn`` the
+        change in satisfying valuations factors as
+        ``Σ_i new(<i) ⊗ (added_i − removed_i) ⊗ old(>i)``: positions before
+        the pivot read the already-updated materialization, the pivot reads
+        the delta, and positions after it read the pre-update overlay.
+        Every gained (lost) derivation is enumerated at exactly one pivot —
+        the last changed position it uses.
+        """
+        statistics.maintenance_rounds += 1
+        counts = state.counts
+        assert counts is not None
+        delta_counts: dict[Fact, int] = {}
+        for evaluator in self.evaluators.for_stratum(stratum):
+            if not (evaluator.body_relation_names & changes.names):
+                continue
+            statistics.rule_applications += 1
+            positions = evaluator.positions_in_order
+            for pivot_index, (pivot, name) in enumerate(positions):
+                if name not in changes.names:
+                    continue
+                overrides = {
+                    position: changes.old_overlay
+                    for position, later_name in positions[pivot_index + 1 :]
+                    if later_name in changes.names
+                }
+                for overlay, sign in (
+                    (changes.added_overlay, 1),
+                    (changes.removed_overlay, -1),
+                ):
+                    rows = overlay.relation(name)
+                    if not rows:
+                        continue
+                    statistics.delta_restricted_applications += 1
+                    frontier = {pivot: overlay, **overrides}
+                    seen: set = set()
+                    for fact, valuation in evaluator.derivations(
+                        self.materialized, frontier=frontier, statistics=statistics
+                    ):
+                        if valuation in seen:
+                            continue
+                        seen.add(valuation)
+                        delta_counts[fact] = delta_counts.get(fact, 0) + sign
+
+        net_added: set[Fact] = set()
+        net_removed: set[Fact] = set()
+        for fact, change in delta_counts.items():
+            if change == 0:
+                continue
+            before = counts.get(fact, 0)
+            after = before + change
+            if after < 0:
+                raise EvaluationError(
+                    f"maintenance drove the support count of {fact} below zero; "
+                    f"the counting state is corrupt"
+                )
+            if after:
+                counts[fact] = after
+            else:
+                counts.pop(fact, None)
+            pinned = fact in state.pinned
+            present_before = pinned or before > 0
+            present_after = pinned or after > 0
+            if present_after and not present_before:
+                self.materialized.add_fact(fact)
+                net_added.add(fact)
+            elif present_before and not present_after:
+                self.materialized.discard_fact(fact, keep_empty=True)
+                net_removed.add(fact)
+        statistics.facts_derived += len(net_added)
+        return net_added, net_removed
+
+    # -- delete-rederive maintenance ---------------------------------------------------
+
+    def _maintain_dred_stratum(
+        self,
+        stratum: Stratum,
+        state: _StratumState,
+        changes: _ChangeSet,
+        statistics: EvaluationStatistics,
+    ) -> tuple[set, set]:
+        """Classic DRed: over-delete, rederive survivors, propagate insertions."""
+        evaluators = self.evaluators.for_stratum(stratum)
+        head_names = stratum.head_relation_names()
+        overdeleted = self._overdelete(evaluators, head_names, state, changes, statistics)
+        for fact in overdeleted:
+            self.materialized.discard_fact(fact, keep_empty=True)
+        rederived = self._rederive(evaluators, overdeleted, statistics)
+
+        # One semi-naive propagation finishes both halves of the update: the
+        # rederived facts re-support other over-deleted facts (whose one-shot
+        # probe may have run before their support came back) and the update's
+        # added facts derive genuinely new ones.
+        seeds = changes.facts(changes.added, stratum.body_relation_names()) | rederived
+        rounds, inserted = propagate_delta(
+            evaluators,
+            self.materialized,
+            seeds,
+            self.limits,
+            statistics,
+            strategy="seminaive",
+            collect=True,
+        )
+        statistics.maintenance_rounds += rounds
+
+        net_added = inserted - overdeleted
+        net_removed = {fact for fact in overdeleted if fact not in self.materialized}
+        return net_added, net_removed
+
+    def _overdelete(
+        self,
+        evaluators: list[RuleEvaluator],
+        head_names: frozenset[str],
+        state: _StratumState,
+        changes: _ChangeSet,
+        statistics: EvaluationStatistics,
+    ) -> set[Fact]:
+        """Everything derivable through a deleted fact, to a fixpoint.
+
+        Evaluation runs against the *old* database: the stratum's own facts
+        are still physically present, and positions over earlier-changed
+        relations are overlaid with their pre-update rows.
+        """
+        overdeleted: set[Fact] = set()
+        frontier_facts = changes.facts(
+            changes.removed, {name for ev in evaluators for name in ev.body_relation_names}
+        )
+        frontier_instance = Instance()
+        rounds = 0
+        while frontier_facts:
+            rounds += 1
+            self.limits.check_iterations(rounds)
+            statistics.maintenance_rounds += 1
+            frontier_instance.replace_with(frontier_facts)
+            frontier_names = {fact.relation for fact in frontier_facts}
+            new_deleted: set[Fact] = set()
+            for evaluator in evaluators:
+                if not (evaluator.body_relation_names & frontier_names):
+                    continue
+                statistics.rule_applications += 1
+                positions = evaluator.positions_in_order
+                for pivot, name in positions:
+                    if name not in frontier_names:
+                        continue
+                    overrides = {
+                        position: changes.old_overlay
+                        for position, other in positions
+                        if position != pivot and other in changes.names
+                    }
+                    statistics.delta_restricted_applications += 1
+                    frontier = {pivot: frontier_instance, **overrides}
+                    for fact in evaluator.derive(
+                        self.materialized, frontier=frontier, statistics=statistics
+                    ):
+                        if (
+                            fact.relation in head_names
+                            and fact not in overdeleted
+                            and fact not in state.pinned
+                            and fact in self.materialized
+                        ):
+                            new_deleted.add(fact)
+            overdeleted |= new_deleted
+            frontier_facts = new_deleted
+        return overdeleted
+
+    def _rederive(
+        self,
+        evaluators: list[RuleEvaluator],
+        overdeleted: set[Fact],
+        statistics: EvaluationStatistics,
+    ) -> set[Fact]:
+        """Probe every over-deleted fact once for an alternative derivation.
+
+        Each attempt binds the head to the candidate fact and probes the
+        body against the current (post-deletion) state; a success re-adds
+        the fact immediately.  One sweep is enough: facts whose support only
+        comes back through a *later* rederivation are recovered by the
+        semi-naive propagation that follows (the rederived facts seed it),
+        so the sweep stays linear in the over-deletion instead of quadratic.
+        """
+        from repro.engine.match import match_fact
+
+        if not overdeleted:
+            return set()
+        statistics.maintenance_rounds += 1
+        by_head: dict[str, list[RuleEvaluator]] = {}
+        for evaluator in evaluators:
+            by_head.setdefault(evaluator.rule.head.name, []).append(evaluator)
+        rederived: set[Fact] = set()
+        for fact in overdeleted:
+            for evaluator in by_head.get(fact.relation, ()):
+                statistics.rederivation_attempts += 1
+                initial = list(match_fact(evaluator.rule.head, fact))
+                if not initial:
+                    continue
+                derivation = next(
+                    iter(
+                        evaluator.derivations(
+                            self.materialized,
+                            initial_valuations=initial,
+                            statistics=statistics,
+                        )
+                    ),
+                    None,
+                )
+                if derivation is not None:
+                    self.materialized.add_fact(fact)
+                    rederived.add(fact)
+                    break
+        statistics.facts_derived += len(rederived)
+        return rederived

@@ -30,7 +30,18 @@ avoids work (`benchmarks/bench_magic_sets.py` measures how much).
 :class:`QuerySession` pins an instance and reuses the compiled artifacts —
 magic rewritings per adornment and rule evaluators with their compiled join
 plans — across repeated queries, which is the intended entry point for
-query-heavy serving workloads.
+query-heavy serving workloads.  The session additionally *memoizes the full
+fixpoint as a maintained materialization*
+(:class:`~repro.engine.maintenance.MaintainedFixpoint`): repeated full-mode
+queries — and binding-only changes in goal mode, once a full run happened —
+are answered from the materialization without re-evaluating anything
+(``QueryResult.served_by == "maintained"``), and :meth:`QuerySession.update`
+applies fact-level additions/retractions to both the pinned instance and the
+materialization incrementally (counting / delete–rederive, see
+:mod:`repro.engine.maintenance`).  Out-of-band mutations of the pinned
+instance are absorbed through the storage layer's change logs when possible;
+updates maintenance cannot cover fall back to re-evaluation with a recorded
+reason, mirroring the goal-mode fallback contract.
 """
 
 from __future__ import annotations
@@ -47,6 +58,7 @@ from repro.engine.fixpoint import (
     evaluate_program,
 )
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.engine.maintenance import MaintainedFixpoint
 from repro.errors import (
     EvaluationBudgetExceeded,
     EvaluationError,
@@ -58,9 +70,15 @@ from repro.model.schema import Schema
 from repro.model.terms import Path, as_path
 from repro.syntax.programs import Program
 
-__all__ = ["ProgramQuery", "QueryResult", "QuerySession", "QueryMode"]
+__all__ = ["ProgramQuery", "QueryResult", "QuerySession", "QueryMode", "ServedBy", "UpdateResult"]
 
 QueryMode = TypingLiteral["full", "goal"]
+
+#: How a query answer was produced: ``"full"`` — a from-scratch fixpoint was
+#: evaluated for this call; ``"maintained"`` — the answer was read off the
+#: session's maintained materialization with no (or only incremental)
+#: evaluation; ``"goal"`` — the magic-set pipeline derived the demanded slice.
+ServedBy = TypingLiteral["full", "maintained", "goal"]
 
 #: A query binding: concrete paths for some output argument positions.
 Binding = dict[int, Path]
@@ -73,6 +91,10 @@ class QueryResult:
     ``mode`` records how the answer was actually computed: ``"goal"`` when
     the magic-set pipeline ran, ``"full"`` otherwise.  When a goal-directed
     run was requested but had to fall back, ``fallback_reason`` says why.
+    ``served_by`` additionally distinguishes, within full-mode answers,
+    whether a fixpoint was evaluated for this call (``"full"``) or the
+    answer was read off a session's maintained materialization
+    (``"maintained"``).
     """
 
     output: Instance
@@ -82,6 +104,7 @@ class QueryResult:
     binding: "Binding | None" = None
     mode: QueryMode = "full"
     fallback_reason: "str | None" = None
+    served_by: ServedBy = "full"
 
     def paths(self, relation: str | None = None) -> frozenset[Path]:
         """The set of output paths (for a unary output relation).
@@ -89,16 +112,18 @@ class QueryResult:
         Defaults to the query's output relation; an explicit *relation* reads
         another one.  Results that do not know their output relation (built
         by hand) fall back to the single present relation, and raise
-        :class:`EvaluationError` instead of picking arbitrarily when several
-        are present.
+        :class:`EvaluationError` — naming every candidate — instead of
+        picking arbitrarily when several are present.
         """
         name = relation if relation is not None else self.output_relation
         if name is None:
             names = sorted(self.output.relation_names)
             if len(names) > 1:
+                candidates = ", ".join(repr(candidate) for candidate in names)
                 raise EvaluationError(
-                    f"result holds several relations {names}; pass relation=... "
-                    f"to disambiguate"
+                    f"result holds several relations and does not know which one is "
+                    f"the output; pass relation=... to disambiguate between the "
+                    f"candidates {candidates}"
                 )
             name = names[0] if names else None
         if name is None:
@@ -246,9 +271,11 @@ class ProgramQuery:
 
     # -- evaluation -------------------------------------------------------------------------------
 
-    def session(self, instance: Instance, *, check_flat: bool = True) -> "QuerySession":
+    def session(
+        self, instance: Instance, *, check_flat: bool = True, memoize: bool = True
+    ) -> "QuerySession":
         """Open a :class:`QuerySession` for repeated queries over *instance*."""
-        return QuerySession(self, instance, check_flat=check_flat)
+        return QuerySession(self, instance, check_flat=check_flat, memoize=memoize)
 
     def run(
         self,
@@ -258,8 +285,14 @@ class ProgramQuery:
         mode: "QueryMode | None" = None,
         check_flat: bool = True,
     ) -> QueryResult:
-        """Run the query on *instance* and return the full :class:`QueryResult`."""
-        return self.session(instance, check_flat=check_flat).run(binding=binding, mode=mode)
+        """Run the query on *instance* and return the full :class:`QueryResult`.
+
+        One-shot runs use a throwaway, non-memoizing session: building the
+        maintenance support state would be pure overhead for a single query.
+        """
+        return self.session(instance, check_flat=check_flat, memoize=False).run(
+            binding=binding, mode=mode
+        )
 
     def answer(
         self,
@@ -300,6 +333,25 @@ class ProgramQuery:
         )
 
 
+@dataclass(frozen=True)
+class UpdateResult:
+    """The outcome of one :meth:`QuerySession.update`.
+
+    ``added`` / ``removed`` are the *effective* EDB changes (no-op additions
+    and retractions net out, see :class:`~repro.model.instance.DeltaResult`).
+    ``maintained`` says whether the session's materialized fixpoint was
+    updated incrementally; when it is ``False`` and ``fallback_reason`` is
+    set, maintenance could not cover the update (or broke its budget) and the
+    next query will re-evaluate from scratch for that recorded reason.
+    """
+
+    added: frozenset[Fact]
+    removed: frozenset[Fact]
+    maintained: bool
+    fallback_reason: "str | None"
+    statistics: EvaluationStatistics
+
+
 class QuerySession:
     """Repeated (possibly goal-directed) queries over one pinned instance.
 
@@ -307,12 +359,31 @@ class QuerySession:
     machinery that is worth keeping warm between queries: one
     :class:`ProgramEvaluators` per evaluated program (the full program and
     each magic rewriting), whose rule evaluators hold the compiled join
-    plans.  Evaluation itself always works on a copy, so the pinned instance
-    is never modified; if the caller mutates it between queries, the compiled
-    plans re-validate themselves against the new relation cardinalities.
+    plans, and — once a full-mode evaluation has happened — the full
+    fixpoint itself as a :class:`~repro.engine.maintenance.MaintainedFixpoint`.
+
+    Later full-mode queries (any binding) are answered from that
+    materialization without re-evaluating; goal-mode queries use it too when
+    it is available, since reading a maintained materialization beats even a
+    magic-set run.  :meth:`update` mutates the pinned instance through a
+    transactional :class:`~repro.model.instance.InstanceDelta` and maintains
+    the materialization incrementally.  Out-of-band mutations of the pinned
+    instance are detected through the storage generations and absorbed via
+    the relations' change logs when possible; anything maintenance cannot
+    cover falls back to re-evaluation with a recorded reason.
+
+    Results served from the materialization share their ``full_instance``
+    with the session; treat it as read-only.
     """
 
-    def __init__(self, query: ProgramQuery, instance: Instance, *, check_flat: bool = True):
+    def __init__(
+        self,
+        query: ProgramQuery,
+        instance: Instance,
+        *,
+        check_flat: bool = True,
+        memoize: bool = True,
+    ):
         if check_flat and not instance.is_flat():
             raise ModelError("queries are defined on flat instances (no packed values)")
         unknown = instance.relation_names - query.input_schema.relation_names
@@ -322,7 +393,17 @@ class QuerySession:
             )
         self.query = query
         self.instance = instance
+        #: When ``False`` (one-shot queries), full-mode runs evaluate plainly
+        #: instead of building and memoizing maintenance support state.
+        self._memoize = memoize
         self._evaluators: dict[int, ProgramEvaluators] = {}
+        self._maintained: "MaintainedFixpoint | None" = None
+        #: Relation name → (storage object, generation) at the moment the
+        #: materialization was last in sync with the pinned instance.
+        self._basis: "dict[str, tuple[object, int]]" = {}
+        #: Why the last update (or out-of-band change) could not be
+        #: maintained incrementally, if it could not.
+        self.last_maintenance_fallback: "str | None" = None
 
     def _evaluators_for(self, program: Program) -> ProgramEvaluators:
         found = self._evaluators.get(id(program))
@@ -349,6 +430,175 @@ class QuerySession:
             evaluators=self._evaluators_for(program),
         )
 
+    # -- maintained materialization ----------------------------------------------------
+
+    def _sync_basis(self) -> None:
+        self._basis = {}
+        for name in self.instance.relation_names:
+            storage = self.instance.storage(name)
+            if storage is not None:
+                self._basis[name] = (storage, storage.watch())
+
+    def _pending_out_of_band_delta(self) -> "tuple[list[Fact], list[Fact]]":
+        """EDB changes made to the pinned instance behind the session's back.
+
+        Returns ``(additions, retractions)``, both empty when the instance is
+        untouched.  The drift is always reconstructible: the change logs
+        answer cheaply when they can, and otherwise the materialization still
+        holds every relation's old rows, so a full diff recovers the delta.
+        """
+        assert self._maintained is not None
+        additions: list[Fact] = []
+        retractions: list[Fact] = []
+        materialized = self._maintained.materialized
+        names_now = self.instance.relation_names
+        for name in names_now:
+            storage = self.instance.storage(name)
+            entry = self._basis.get(name)
+            if entry is not None and entry[0] is storage and entry[1] == storage.generation:
+                continue
+            old_rows = materialized.relation(name)
+            changes = None
+            if entry is not None and entry[0] is storage:
+                changes = storage.changes_since(entry[1])
+            if changes is None:
+                # Log unavailable (overflow, wholesale rewrite, or a brand-new
+                # relation object): diff against the materialized old state.
+                new_rows = storage.view()
+                changes = (new_rows - old_rows, old_rows - new_rows)
+            added_rows, removed_rows = changes
+            additions.extend(Fact(name, row) for row in added_rows)
+            retractions.extend(Fact(name, row) for row in removed_rows)
+        for name in self._basis.keys() - names_now:
+            # The relation vanished out-of-band; its old rows are still in
+            # the materialization.
+            retractions.extend(Fact(name, row) for row in materialized.relation(name))
+        return additions, retractions
+
+    def _materialization(
+        self, statistics: EvaluationStatistics
+    ) -> "tuple[MaintainedFixpoint, ServedBy]":
+        """The maintained full fixpoint, synced with the pinned instance.
+
+        Brings the memoized materialization up to date (absorbing out-of-band
+        instance mutations incrementally when the change logs allow),
+        rebuilding it from scratch when maintenance cannot cover the drift.
+        The second component says how the caller's answer was produced.
+        """
+        if not self._memoize:
+            return self._plain_materialization(statistics), "full"
+        if self._maintained is not None:
+            additions, retractions = self._pending_out_of_band_delta()
+            if not additions and not retractions:
+                # Re-sync even on netted-out drift, so stale marks do not keep
+                # re-folding an ever-growing change log on every query.
+                self._sync_basis()
+                return self._maintained, "maintained"
+            try:
+                self._maintained.update(additions, retractions, statistics=statistics)
+            except EvaluationError as error:
+                self.last_maintenance_fallback = str(error)
+                self._maintained = None
+            else:
+                self._sync_basis()
+                return self._maintained, "maintained"
+        try:
+            maintained = MaintainedFixpoint.evaluate(
+                self.query.program,
+                self.instance,
+                self.query.limits,
+                strategy=self.query.strategy,
+                execution=self.query.execution,
+                statistics=statistics,
+                evaluators=self._evaluators_for(self.query.program),
+            )
+        except EvaluationError as error:
+            if isinstance(error, EvaluationBudgetExceeded):
+                raise
+            # The program cannot be maintained (e.g. a relation defined in
+            # several strata): evaluate plainly and serve without a memo.
+            self.last_maintenance_fallback = str(error)
+            return self._plain_materialization(statistics), "full"
+        self._maintained = maintained
+        self._sync_basis()
+        return maintained, "full"
+
+    def _plain_materialization(self, statistics: EvaluationStatistics) -> MaintainedFixpoint:
+        """A one-shot full evaluation wrapped for serving, with no memo state."""
+        full = self._evaluate(self.query.program, statistics)
+        return MaintainedFixpoint(
+            self.query.program,
+            full,
+            [],
+            self.query.limits,
+            self.query.strategy,
+            self.query.execution,
+            self._evaluators_for(self.query.program),
+        )
+
+    # -- updates -----------------------------------------------------------------------
+
+    def update(
+        self,
+        additions: Iterable[Fact] = (),
+        retractions: Iterable[Fact] = (),
+    ) -> UpdateResult:
+        """Apply an EDB delta to the pinned instance and maintain the fixpoint.
+
+        The delta is applied atomically through
+        :meth:`~repro.model.instance.Instance.begin_delta`; if a materialized
+        fixpoint exists it is maintained incrementally (counting for
+        non-recursive strata, delete–rederive for recursive ones).  Updates
+        maintenance cannot cover — negation over changed relations, budget
+        breaches — drop the materialization and record the reason; the next
+        query transparently re-evaluates from scratch.
+        """
+        # Out-of-band drift must be measured before the delta mutates the
+        # instance, and absorbed as its own maintenance step before the
+        # in-band changes — otherwise the basis sync below would bury it.
+        out_of_band: "tuple[list[Fact], list[Fact]]" = ([], [])
+        if self._maintained is not None:
+            out_of_band = self._pending_out_of_band_delta()
+        delta = self.instance.begin_delta()
+        for verb, facts in (("add", additions), ("retract", retractions)):
+            for fact in facts:
+                if fact.relation not in self.query.input_schema:
+                    raise EvaluationError(
+                        f"cannot {verb} facts of relation {fact.relation!r}: it is "
+                        f"outside the input schema {self.query.input_schema!r}"
+                    )
+                if verb == "add":
+                    delta.add_fact(fact)
+                else:
+                    delta.retract_fact(fact)
+        applied = delta.apply()
+
+        statistics = EvaluationStatistics()
+        maintained = False
+        reason: "str | None" = None
+        if self._maintained is not None:
+            try:
+                if out_of_band[0] or out_of_band[1]:
+                    self._maintained.update(*out_of_band, statistics=statistics)
+                self._maintained.update(applied.added, applied.removed, statistics=statistics)
+            except EvaluationError as error:
+                reason = str(error)
+                self._maintained = None
+                self._basis = {}
+            else:
+                maintained = True
+                self._sync_basis()
+        self.last_maintenance_fallback = reason
+        return UpdateResult(
+            added=applied.added,
+            removed=applied.removed,
+            maintained=maintained,
+            fallback_reason=reason,
+            statistics=statistics,
+        )
+
+    # -- queries -----------------------------------------------------------------------
+
     def run(
         self,
         *,
@@ -364,6 +614,11 @@ class QuerySession:
 
         fallback_reason: "str | None" = None
         if wanted_mode == "goal":
+            if self._maintained is not None:
+                # A maintained full materialization is already warm: reading
+                # it beats even a goal-directed run.  Goal-only sessions never
+                # enter here, so the magic pipeline below stays their path.
+                return self._serve_from_materialization(normalised)
             compiled, fallback_reason = query._goal_program_for_key(tuple(sorted(normalised)))
             if compiled is not None:
                 statistics = EvaluationStatistics()
@@ -387,19 +642,29 @@ class QuerySession:
                         output_relation=query.output_relation,
                         binding=normalised,
                         mode="goal",
+                        served_by="goal",
                     )
 
+        return self._serve_from_materialization(normalised, fallback_reason=fallback_reason)
+
+    def _serve_from_materialization(
+        self, normalised: Binding, *, fallback_reason: "str | None" = None
+    ) -> QueryResult:
+        """Answer a full-mode query from the (synced) materialization."""
         statistics = EvaluationStatistics()
-        full = self._evaluate(query.program, statistics)
-        output = _restrict_output(full, query.output_relation, normalised)
+        maintained, served_by = self._materialization(statistics)
+        output = _restrict_output(
+            maintained.materialized, self.query.output_relation, normalised
+        )
         return QueryResult(
             output=output,
-            full_instance=full,
+            full_instance=maintained.materialized,
             statistics=statistics,
-            output_relation=query.output_relation,
+            output_relation=self.query.output_relation,
             binding=normalised,
             mode="full",
             fallback_reason=fallback_reason,
+            served_by=served_by,
         )
 
     def answer(

@@ -59,6 +59,18 @@ class EvaluationBudgetExceeded(EvaluationError):
         self.limit_name = limit_name
 
 
+class MaintenanceUnsupportedError(EvaluationError):
+    """Raised when incremental maintenance cannot soundly cover an update.
+
+    Counting and delete–rederive maintenance handle positive delta
+    propagation; updates that reach a relation used under negation (or
+    programs whose strata the maintainer cannot own, e.g. a relation defined
+    in several strata) must be answered by re-evaluating from scratch.  The
+    message records the reason so the query layer can report why the
+    fallback happened, mirroring the goal-mode fallback contract.
+    """
+
+
 class TransformationError(SequenceDatalogError):
     """Raised when a program transformation's preconditions are violated."""
 

@@ -15,6 +15,7 @@ Extensional equality (same set of facts) is unchanged.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import ModelError
@@ -22,7 +23,7 @@ from repro.model.schema import Schema
 from repro.model.terms import Path, Value, as_path
 from repro.storage import EMPTY_ROWS, Relation
 
-__all__ = ["Fact", "Instance"]
+__all__ = ["DeltaResult", "Fact", "Instance", "InstanceDelta"]
 
 
 class Fact:
@@ -124,18 +125,48 @@ class Instance:
         """Insert the fact ``relation(paths...)`` into the instance."""
         self.add_fact(Fact(relation, paths))
 
-    def discard_fact(self, fact: Fact) -> None:
-        """Remove *fact* if present."""
+    def discard_fact(self, fact: Fact, *, keep_empty: bool = False) -> None:
+        """Remove *fact* if present.
+
+        By default a relation whose last row is removed disappears from the
+        instance entirely; ``keep_empty=True`` keeps it present (but empty),
+        which preserves its storage object — and with it the generation
+        counter and change log that serving sessions key their cached views
+        on.
+        """
         relation = self._relations.get(fact.relation)
         if relation is not None:
             relation.discard(fact.paths)
-            if not relation:
+            if not relation and not keep_empty:
                 del self._relations[fact.relation]
 
     def ensure_relation(self, relation: str) -> None:
         """Make *relation* present (possibly empty) in this instance."""
         if relation not in self._relations:
             self._relations[relation] = Relation()
+
+    def set_relation_rows(self, name: str, rows: "Iterable[tuple[Path, ...]]") -> None:
+        """Create or wholesale-replace the rows of relation *name*.
+
+        Rows are taken as-is (no per-fact validation); this is the overlay
+        primitive of incremental maintenance, which rebuilds small transient
+        instances (deltas, old-state overlays) from already-validated rows.
+        """
+        relation = self._relations.get(name)
+        if relation is None:
+            self._relations[name] = Relation(rows)
+        else:
+            relation.set_rows(rows)
+
+    def begin_delta(self) -> "InstanceDelta":
+        """Open a transactional batch of additions and retractions.
+
+        The returned :class:`InstanceDelta` buffers mutations and applies
+        them atomically on :meth:`InstanceDelta.apply`: all validation runs
+        before the first row is touched, so a rejected delta leaves the
+        instance exactly as it was.
+        """
+        return InstanceDelta(self)
 
     def replace_with(self, facts: Iterable[Fact]) -> None:
         """Replace the entire contents with *facts*, reusing relation storage.
@@ -306,6 +337,119 @@ class Instance:
     def __str__(self) -> str:
         lines = sorted(str(fact) + "." for fact in self.facts())
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DeltaResult:
+    """The *effective* changes an applied :class:`InstanceDelta` made.
+
+    ``added`` holds the facts that were genuinely absent before the delta
+    and are present after it; ``removed`` the facts that were present and no
+    longer are.  Additions of already-present facts, retractions of absent
+    facts, and retract-then-add of the same fact all net out to nothing —
+    exactly the delta an incremental view maintainer needs to propagate.
+    """
+
+    added: frozenset[Fact] = field(default_factory=frozenset)
+    removed: frozenset[Fact] = field(default_factory=frozenset)
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+
+class InstanceDelta:
+    """A transactional batch of additions and retractions against one instance.
+
+    Mutations are buffered until :meth:`apply`, which validates the whole
+    batch (arity coherence of the additions against the post-retraction
+    state) before touching any row, applies retractions first and additions
+    second, and returns the net :class:`DeltaResult`.  Relations emptied by
+    retractions stay present (see ``keep_empty`` on
+    :meth:`Instance.discard_fact`) so serving-session caches keyed on their
+    storage survive.  A delta can be applied at most once.
+    """
+
+    __slots__ = ("_instance", "_additions", "_retractions", "_applied")
+
+    def __init__(self, instance: Instance):
+        self._instance = instance
+        self._additions: set[Fact] = set()
+        self._retractions: set[Fact] = set()
+        self._applied = False
+
+    # -- buffering ------------------------------------------------------------------
+
+    def add_fact(self, fact: Fact) -> "InstanceDelta":
+        """Buffer the insertion of *fact*; returns ``self`` for chaining."""
+        self._additions.add(fact)
+        return self
+
+    def add(self, relation: str, *paths: "Path | Value") -> "InstanceDelta":
+        """Buffer the insertion of ``relation(paths...)``."""
+        return self.add_fact(Fact(relation, paths))
+
+    def retract_fact(self, fact: Fact) -> "InstanceDelta":
+        """Buffer the removal of *fact*; returns ``self`` for chaining."""
+        self._retractions.add(fact)
+        return self
+
+    def retract(self, relation: str, *paths: "Path | Value") -> "InstanceDelta":
+        """Buffer the removal of ``relation(paths...)``."""
+        return self.retract_fact(Fact(relation, paths))
+
+    def __len__(self) -> int:
+        return len(self._additions) + len(self._retractions)
+
+    # -- validation and application --------------------------------------------------
+
+    def _validate(self) -> None:
+        by_relation: dict[str, set[Fact]] = {}
+        for fact in self._additions:
+            by_relation.setdefault(fact.relation, set()).add(fact)
+        retracted_rows: dict[str, int] = {}
+        for fact in self._retractions:
+            if self._instance.contains(fact.relation, *fact.paths):
+                retracted_rows[fact.relation] = retracted_rows.get(fact.relation, 0) + 1
+        for name, facts in by_relation.items():
+            arities = {fact.arity for fact in facts}
+            if len(arities) > 1:
+                raise ModelError(
+                    f"delta adds tuples of arities {sorted(arities)} to relation {name!r}"
+                )
+            arity = arities.pop()
+            storage = self._instance.storage(name)
+            if storage is None:
+                continue
+            existing = storage.arity()
+            if existing is None or existing == arity:
+                continue
+            # The relation currently holds rows of another arity; the delta is
+            # only coherent if it retracts all of them first.
+            if len(storage) - retracted_rows.get(name, 0) > 0:
+                raise ModelError(
+                    f"relation {name!r} holds tuples of arity {existing}; "
+                    f"cannot add a tuple of arity {arity}"
+                )
+
+    def apply(self) -> DeltaResult:
+        """Atomically apply the buffered changes; return the net delta."""
+        if self._applied:
+            raise ModelError("this delta has already been applied")
+        self._validate()
+        self._applied = True
+        removed: set[Fact] = set()
+        added: set[Fact] = set()
+        for fact in self._retractions:
+            if fact in self._additions:
+                continue  # retract-then-add of the same fact nets out
+            if fact in self._instance:
+                self._instance.discard_fact(fact, keep_empty=True)
+                removed.add(fact)
+        for fact in self._additions:
+            if fact not in self._instance:
+                self._instance.add_fact(fact)
+                added.add(fact)
+        return DeltaResult(added=frozenset(added), removed=frozenset(removed))
 
 
 def _as_row(row: object) -> tuple:

@@ -27,6 +27,16 @@ Indexes never decide membership on their own: they only *prune* the candidate
 rows handed to the associative matcher, so a lookup is always sound as long
 as it is a superset of the matching rows (the unit tests in
 ``tests/storage/`` check each index against the equivalent full scan).
+
+For incremental view maintenance the relation can additionally keep a
+**change log**: :meth:`watch` starts recording every effective ``add`` /
+``discard`` (stamped with the generation it produced), and
+:meth:`changes_since` folds the log into the net ``(added, removed)`` row
+sets between a past generation and now.  Logging is opt-in so the hot
+fixpoint loops (whose delta relations are rewritten wholesale every round)
+pay nothing; wholesale rewrites (:meth:`set_rows`, :meth:`clear`) and log
+overflow simply advance the *floor* below which changes are unknown, making
+:meth:`changes_since` answer ``None`` — "recompute instead".
 """
 
 from __future__ import annotations
@@ -59,7 +69,14 @@ class Relation:
         "_by_first_atom",
         "_by_last_atom",
         "_by_length",
+        "_log",
+        "_log_floor",
     )
+
+    #: Maximum number of change-log entries kept before the log gives up and
+    #: advances its floor (past that many row changes, recomputing downstream
+    #: views from scratch is the better deal anyway).
+    LOG_LIMIT = 8192
 
     def __init__(self, rows: "Iterable[tuple[Path, ...]] | None" = None):
         self._rows: set[tuple[Path, ...]] = set(rows) if rows is not None else set()
@@ -73,6 +90,8 @@ class Relation:
         self._by_first_atom: dict[int, dict[str, set]] = {}
         self._by_last_atom: dict[int, dict[str, set]] = {}
         self._by_length: dict[int, dict[int, set]] = {}
+        self._log: "list[tuple[int, tuple[Path, ...], bool]] | None" = None
+        self._log_floor = 0
 
     # -- mutation ----------------------------------------------------------------------
 
@@ -82,6 +101,8 @@ class Relation:
         self._rows.add(row)
         if len(self._rows) != before:
             self._generation += 1
+            if self._log is not None:
+                self._record(row, True)
             return True
         return False
 
@@ -91,19 +112,80 @@ class Relation:
         self._rows.discard(row)
         if len(self._rows) != before:
             self._generation += 1
+            if self._log is not None:
+                self._record(row, False)
             return True
         return False
 
     def set_rows(self, rows: "Iterable[tuple[Path, ...]]") -> None:
-        """Replace the entire contents with *rows* (used by incremental deltas)."""
+        """Replace the entire contents with *rows* (used by incremental deltas).
+
+        A wholesale rewrite is not diffed: the change log (if any) is voided
+        up to the new generation, so :meth:`changes_since` over the rewrite
+        reports "unknown" rather than a wrong delta.
+        """
         self._rows = set(rows)
         self._generation += 1
+        if self._log is not None:
+            self._log.clear()
+            self._log_floor = self._generation
 
     def clear(self) -> None:
         """Remove all rows."""
         if self._rows:
             self._rows = set()
             self._generation += 1
+            if self._log is not None:
+                self._log.clear()
+                self._log_floor = self._generation
+
+    # -- change log --------------------------------------------------------------------
+
+    def watch(self) -> int:
+        """Start logging row changes (idempotent) and return the current generation.
+
+        The returned generation is the *mark* to later hand to
+        :meth:`changes_since`.  Logging stays enabled for the lifetime of the
+        relation; copies made with :meth:`copy` do not inherit it.
+        """
+        if self._log is None:
+            self._log = []
+            self._log_floor = self._generation
+        return self._generation
+
+    def _record(self, row: "tuple[Path, ...]", added: bool) -> None:
+        self._log.append((self._generation, row, added))  # type: ignore[union-attr]
+        if len(self._log) > self.LOG_LIMIT:  # type: ignore[arg-type]
+            self._log.clear()  # type: ignore[union-attr]
+            self._log_floor = self._generation
+
+    def changes_since(self, generation: int) -> "tuple[frozenset, frozenset] | None":
+        """Net ``(added, removed)`` row sets since *generation*, or ``None``.
+
+        ``None`` means the log cannot answer (logging was not enabled at that
+        generation, a wholesale rewrite happened, or the log overflowed) and
+        the caller should fall back to a full diff or recomputation.  Because
+        only *effective* mutations are logged, a row's operations since any
+        mark strictly alternate, so its net change is determined by its first
+        and last logged operation alone.
+        """
+        if generation == self._generation:
+            return (EMPTY_ROWS, EMPTY_ROWS)
+        if self._log is None or generation < self._log_floor:
+            return None
+        first: dict[tuple[Path, ...], bool] = {}
+        last: dict[tuple[Path, ...], bool] = {}
+        for entry_generation, row, added in self._log:
+            if entry_generation <= generation:
+                continue
+            if row not in first:
+                first[row] = added
+            last[row] = added
+        added_rows = frozenset(row for row, was_add in last.items() if was_add and first[row])
+        removed_rows = frozenset(
+            row for row, was_add in last.items() if not was_add and not first[row]
+        )
+        return (added_rows, removed_rows)
 
     # -- plain access ------------------------------------------------------------------
 
@@ -139,7 +221,7 @@ class Relation:
         return f"Relation({len(self._rows)} rows, generation {self._generation})"
 
     def copy(self) -> "Relation":
-        """Return a copy sharing no mutable state (indexes are not copied)."""
+        """Return a copy sharing no mutable state (indexes and change log are not copied)."""
         return Relation(self._rows)
 
     # -- cached read views -------------------------------------------------------------

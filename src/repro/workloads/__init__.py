@@ -13,6 +13,7 @@ from repro.workloads.generators import (
     random_two_bounded_instance,
     random_word,
     sales_instance,
+    update_stream,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "random_two_bounded_instance",
     "random_word",
     "sales_instance",
+    "update_stream",
 ]

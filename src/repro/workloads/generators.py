@@ -14,9 +14,9 @@ runs are reproducible.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
-from repro.model.instance import Instance
+from repro.model.instance import Fact, Instance
 from repro.model.terms import Packed, Path
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "sales_instance",
     "random_packed_instance",
     "random_positive_program",
+    "update_stream",
 ]
 
 
@@ -280,6 +281,56 @@ def random_positive_program(
             lines.append(f"{head}($x) :- {head}({letter}.$x).")
     lines.append(f"S($x) :- S{derived - 1}($x).")
     return parse_program("\n".join(lines))
+
+
+def update_stream(
+    instance: Instance,
+    *,
+    relation: str = "R",
+    steps: int = 10,
+    additions_per_step: int = 1,
+    retractions_per_step: int = 1,
+    seed: int = 0,
+) -> Iterator[tuple[list[Fact], list[Fact]]]:
+    """A deterministic stream of small per-step ``(additions, retractions)``.
+
+    This is the serving-workload shape incremental maintenance targets: each
+    step retracts facts that are *currently* present (tracking the stream's
+    own prior effects, so a fact is never retracted twice) and adds fresh
+    rows recombined position-wise from argument paths already seen in
+    *relation* — e.g. new edges between existing nodes of a graph workload.
+    Retractions are clamped so at least one row always survives (an emptied
+    relation would starve the recombination pool), so a step may yield fewer
+    retractions than *retractions_per_step* asks for.  The yielded facts are
+    ready for :meth:`~repro.model.instance.Instance.begin_delta` or
+    :meth:`~repro.engine.query.QuerySession.update`; the stream never
+    mutates *instance* itself.
+    """
+    generator = random.Random(seed)
+    live: list[tuple[Path, ...]] = sorted(instance.relation(relation), key=repr)
+    live_set = set(live)
+    pools: list[list[Path]] = []
+    if live:
+        arity = len(live[0])
+        pools = [sorted({row[i] for row in live}, key=repr) for i in range(arity)]
+    for _ in range(steps):
+        retractions: list[Fact] = []
+        for _ in range(min(retractions_per_step, max(len(live) - 1, 0))):
+            row = live.pop(generator.randrange(len(live)))
+            live_set.discard(row)
+            retractions.append(Fact(relation, row))
+        additions: list[Fact] = []
+        for _ in range(additions_per_step):
+            if not pools:
+                break
+            for _ in range(32):  # bounded attempts to find a fresh row
+                row = tuple(generator.choice(pool) for pool in pools)
+                if row not in live_set:
+                    live.append(row)
+                    live_set.add(row)
+                    additions.append(Fact(relation, row))
+                    break
+        yield additions, retractions
 
 
 def random_packed_instance(

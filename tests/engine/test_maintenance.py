@@ -1,0 +1,226 @@
+"""Unit tests for incremental view maintenance (counting + delete–rederive)."""
+
+import pytest
+
+from repro.engine import EvaluationStatistics, MaintainedFixpoint, evaluate_program
+from repro.errors import EvaluationError, MaintenanceUnsupportedError
+from repro.model import Fact, Instance, path, unary_instance
+from repro.parser import parse_program
+from repro.syntax.programs import Program
+from repro.workloads import as_edge_pairs, layered_graph_instance, update_stream
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+NON_RECURSIVE = """
+A($x) :- R($x.a).
+Bq($x) :- A($x), R($x).
+S($x) :- Bq($x).
+"""
+
+
+def edge(source, target):
+    return Fact("E", (path(source), path(target)))
+
+
+def line_instance(*nodes):
+    instance = Instance()
+    instance.ensure_relation("E")
+    for source, target in zip(nodes, nodes[1:]):
+        instance.add_fact(edge(source, target))
+    return instance
+
+
+def assert_maintained_matches_scratch(maintained, program, base):
+    assert maintained.materialized == evaluate_program(program, base)
+
+
+class TestInitialEvaluation:
+    def test_matches_evaluate_program(self):
+        program = parse_program(REACHABILITY_PAIRS)
+        instance = as_edge_pairs(layered_graph_instance(layers=4, width=3, seed=0))
+        maintained = MaintainedFixpoint.evaluate(program, instance)
+        assert maintained.materialized == evaluate_program(program, instance)
+
+    def test_counting_strata_match_evaluate_program(self):
+        program = parse_program(NON_RECURSIVE)
+        instance = unary_instance("R", ["aa", "aba", "ba", "a"])
+        maintained = MaintainedFixpoint.evaluate(program, instance)
+        assert maintained.materialized == evaluate_program(program, instance)
+
+    def test_input_instance_is_not_mutated(self):
+        program = parse_program(REACHABILITY_PAIRS)
+        instance = line_instance("a", "b", "c")
+        before = instance.copy()
+        MaintainedFixpoint.evaluate(program, instance)
+        assert instance == before
+
+    def test_relation_defined_in_two_strata_is_refused(self):
+        rules = parse_program("S($x) :- R($x).").rules()
+        program = Program([rules, rules])
+        with pytest.raises(MaintenanceUnsupportedError, match="several strata"):
+            MaintainedFixpoint.evaluate(program, unary_instance("R", ["a"]))
+
+
+class TestCountingMaintenance:
+    def test_addition_and_retraction_agree_with_scratch(self):
+        program = parse_program(NON_RECURSIVE)
+        base = unary_instance("R", ["aa", "aba", "ba", "a"])
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        added = Fact("R", [path(*"baa")])
+        removed = Fact("R", [path(*"aa")])
+        maintained.update(additions=[added], retractions=[removed])
+        base.add_fact(added)
+        base.discard_fact(removed)
+        assert_maintained_matches_scratch(maintained, program, base)
+
+    def test_fact_survives_while_it_has_another_derivation(self):
+        # S is derived from both R1 and R2; retracting one leaves it alive.
+        program = parse_program("S($x) :- R1($x).\nS($x) :- R2($x).")
+        base = Instance()
+        base.add("R1", path("a"))
+        base.add("R2", path("a"))
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        maintained.update(retractions=[Fact("R1", [path("a")])])
+        assert maintained.materialized.contains("S", path("a"))
+        maintained.update(retractions=[Fact("R2", [path("a")])])
+        assert not maintained.materialized.contains("S", path("a"))
+
+    def test_multiple_body_occurrences_of_the_changed_relation(self):
+        # R occurs twice; the telescoped delta joins must count each lost
+        # and gained valuation exactly once.
+        program = parse_program("S($x.$y) :- R($x), R($y).")
+        base = unary_instance("R", ["a", "b"])
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        maintained.update(
+            additions=[Fact("R", [path("c")])], retractions=[Fact("R", [path("a")])]
+        )
+        base.add("R", path("c"))
+        base.discard_fact(Fact("R", [path("a")]))
+        assert_maintained_matches_scratch(maintained, program, base)
+
+    def test_statistics_counters_move(self):
+        program = parse_program(NON_RECURSIVE)
+        base = unary_instance("R", ["aa", "ab", "ba"])
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        statistics = EvaluationStatistics()
+        maintained.update(
+            retractions=[Fact("R", [path(*"aa")])], statistics=statistics
+        )
+        assert statistics.maintenance_rounds > 0
+        assert statistics.facts_retracted >= 1
+
+
+class TestDeleteRederive:
+    def test_edge_removal_agrees_with_scratch(self):
+        program = parse_program(REACHABILITY_PAIRS)
+        base = as_edge_pairs(layered_graph_instance(layers=5, width=4, seed=1))
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        victim = Fact("E", next(iter(base.relation("E"))))
+        maintained.update(retractions=[victim])
+        base.discard_fact(victim)
+        assert_maintained_matches_scratch(maintained, program, base)
+
+    def test_rederivation_keeps_alternative_paths_alive(self):
+        # Diamond a→b→d and a→c→d: removing one edge must keep T(a, d).
+        program = parse_program(REACHABILITY_PAIRS)
+        base = Instance()
+        for fact in (edge("a", "b"), edge("b", "d"), edge("a", "c"), edge("c", "d")):
+            base.add_fact(fact)
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        statistics = EvaluationStatistics()
+        maintained.update(retractions=[edge("a", "b")], statistics=statistics)
+        assert maintained.materialized.contains("T", path("a"), path("d"))
+        assert not maintained.materialized.contains("T", path("a"), path("b"))
+        assert statistics.rederivation_attempts > 0
+        base.discard_fact(edge("a", "b"))
+        assert_maintained_matches_scratch(maintained, program, base)
+
+    def test_cycle_removal_deletes_the_whole_loop(self):
+        program = parse_program(REACHABILITY_PAIRS)
+        base = line_instance("a", "b", "c", "a")  # a → b → c → a
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        maintained.update(retractions=[edge("c", "a")])
+        base.discard_fact(edge("c", "a"))
+        assert_maintained_matches_scratch(maintained, program, base)
+        assert not maintained.materialized.contains("T", path("a"), path("a"))
+
+    def test_mixed_addition_and_retraction(self):
+        program = parse_program(REACHABILITY_PAIRS)
+        base = line_instance("a", "b", "c", "d")
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        maintained.update(additions=[edge("b", "d")], retractions=[edge("c", "d")])
+        base.add_fact(edge("b", "d"))
+        base.discard_fact(edge("c", "d"))
+        assert_maintained_matches_scratch(maintained, program, base)
+
+    def test_update_stream_stays_in_sync(self):
+        program = parse_program(REACHABILITY_PAIRS)
+        base = as_edge_pairs(layered_graph_instance(layers=5, width=4, seed=3))
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        for additions, retractions in update_stream(base, relation="E", steps=6, seed=11):
+            maintained.update(additions, retractions)
+            for fact in retractions:
+                base.discard_fact(fact)
+            for fact in additions:
+                base.add_fact(fact)
+            assert_maintained_matches_scratch(maintained, program, base)
+
+
+class TestUnsupportedAndErrors:
+    def test_negation_over_changed_relation_is_refused_upfront(self):
+        program = parse_program("A($x) :- R($x).\nS($x) :- A($x), not B($x).")
+        base = Instance()
+        base.add("R", path("a"))
+        base.add("B", path("b"))
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        snapshot = maintained.materialized.copy()
+        with pytest.raises(MaintenanceUnsupportedError, match="negation"):
+            maintained.update(retractions=[Fact("B", [path("b")])])
+        # The refusal happened before any state was touched.
+        assert maintained.materialized == snapshot
+        maintained.update(additions=[Fact("R", [path("c")])])
+        base.add("R", path("c"))
+        assert_maintained_matches_scratch(maintained, program, base)
+
+    def test_transitive_reach_into_negation_is_refused(self):
+        # R feeds A, and A is negated downstream: updating R must be refused.
+        program = parse_program("A($x) :- R($x).\nS($x) :- Q($x), not A($x).")
+        base = Instance()
+        base.add("R", path("a"))
+        base.add("Q", path("b"))
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        with pytest.raises(MaintenanceUnsupportedError):
+            maintained.update(additions=[Fact("R", [path("z")])])
+
+    def test_updating_idb_relations_is_rejected(self):
+        program = parse_program(REACHABILITY_PAIRS)
+        maintained = MaintainedFixpoint.evaluate(program, line_instance("a", "b"))
+        with pytest.raises(EvaluationError, match="derived by the"):
+            maintained.update(additions=[Fact("T", (path("a"), path("b")))])
+
+    def test_noop_update_returns_empty_result(self):
+        program = parse_program(REACHABILITY_PAIRS)
+        base = line_instance("a", "b")
+        maintained = MaintainedFixpoint.evaluate(program, base)
+        result = maintained.update(
+            additions=[edge("a", "b")],  # already present
+            retractions=[edge("x", "y")],  # absent
+        )
+        assert not result.added and not result.removed
+
+
+class TestPinnedFacts:
+    def test_input_idb_facts_are_never_retracted(self):
+        # The input instance already contains a T fact; maintenance must
+        # treat it as an axiom, exactly like from-scratch evaluation does.
+        program = parse_program(REACHABILITY_PAIRS)
+        base = line_instance("a", "b", "c")
+        base.add("T", path("q"), path("r"))
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        maintained.update(retractions=[edge("a", "b")])
+        base.discard_fact(edge("a", "b"))
+        assert maintained.materialized.contains("T", path("q"), path("r"))
+        assert_maintained_matches_scratch(maintained, program, base)

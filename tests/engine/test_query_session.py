@@ -1,0 +1,242 @@
+"""Tests for the serving behaviour of QuerySession.
+
+Covers the maintained-materialization path (memoized full fixpoints,
+incremental updates, out-of-band change absorption), the ``served_by``
+bookkeeping, and the fallback contracts: ``fallback_reason`` on goal-mode
+budget breaches and unsupported rewritings, maintenance fallbacks with
+recorded reasons, and the plan-cache counters across repeated ``run()``
+calls.
+"""
+
+import pytest
+
+from repro.engine import EvaluationLimits, EvaluationStatistics, ProgramQuery, QueryResult
+from repro.errors import EvaluationError
+from repro.model import Fact, Instance, path, unary_instance
+from repro.parser import parse_program
+from repro.queries import get_query
+from repro.workloads import as_edge_pairs, random_graph_instance
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+
+def pair_query(**overrides):
+    options = dict(require_monadic=False)
+    options.update(overrides)
+    return ProgramQuery(parse_program(REACHABILITY_PAIRS), {"E": 2}, "T", **options)
+
+
+def line_instance(length=6):
+    instance = Instance()
+    nodes = ["a"] + [f"n{i}" for i in range(1, length)]
+    for source, target in zip(nodes, nodes[1:]):
+        instance.add("E", source, target)
+    return instance
+
+
+def edge(source, target):
+    return Fact("E", (path(source), path(target)))
+
+
+class TestServedBy:
+    def test_first_full_run_is_full_then_maintained(self):
+        session = pair_query().session(line_instance())
+        first = session.run(binding={0: "a"})
+        assert first.served_by == "full" and first.mode == "full"
+        second = session.run(binding={0: "n1"})
+        assert second.served_by == "maintained"
+        # Binding-only change: zero evaluation work was done.
+        assert second.statistics.rule_applications == 0
+        assert second.output == pair_query().run(line_instance(), binding={0: "n1"}).output
+
+    def test_goal_mode_served_from_memo_after_a_full_run(self):
+        session = pair_query().session(line_instance())
+        session.run()  # materializes the full fixpoint
+        result = session.run(binding={0: "a"}, mode="goal")
+        assert result.served_by == "maintained" and result.mode == "full"
+        assert result.output == pair_query().run(line_instance(), binding={0: "a"}).output
+
+    def test_goal_only_sessions_keep_the_goal_pipeline(self):
+        session = pair_query().session(line_instance())
+        result = session.run(binding={0: "a"}, mode="goal")
+        assert result.served_by == "goal" and result.mode == "goal"
+
+    def test_one_shot_queries_are_unaffected(self):
+        result = pair_query().run(line_instance(), binding={0: "a"})
+        assert result.served_by == "full"
+
+
+class TestSessionUpdate:
+    def test_update_maintains_and_serves_incrementally(self):
+        instance = line_instance()
+        session = pair_query().session(instance)
+        session.run()
+        update = session.update(additions=[edge("n2", "a")], retractions=[edge("a", "n1")])
+        assert update.maintained and update.fallback_reason is None
+        assert update.added == {edge("n2", "a")}
+        assert update.removed == {edge("a", "n1")}
+        result = session.run(binding={0: "a"})
+        assert result.served_by == "maintained"
+        assert result.output == pair_query().run(instance.copy(), binding={0: "a"}).output
+
+    def test_update_before_any_run_is_not_maintained(self):
+        session = pair_query().session(line_instance())
+        update = session.update(additions=[edge("n2", "a")])
+        assert not update.maintained and update.fallback_reason is None
+        assert session.run(binding={0: "a"}).served_by == "full"
+
+    def test_update_outside_schema_is_rejected(self):
+        session = pair_query().session(line_instance())
+        with pytest.raises(EvaluationError, match="outside"):
+            session.update(additions=[Fact("Unknown", [path("a")])])
+
+    def test_retractions_outside_schema_are_rejected_before_applying(self):
+        instance = line_instance()
+        session = pair_query().session(instance)
+        session.run()
+        snapshot = instance.copy()
+        with pytest.raises(EvaluationError, match="outside"):
+            # Retracting the output relation is a caller error, and must not
+            # mutate the pinned instance or drop the materialization.
+            session.update(retractions=[Fact("T", (path("a"), path("n1")))])
+        assert instance == snapshot
+        assert session.run(binding={0: "a"}).served_by == "maintained"
+
+    def test_unsupported_update_falls_back_with_reason(self):
+        query = get_query("black_neighbours").make_query()
+        instance = random_graph_instance(nodes=6, edges=10, seed=3)
+        instance.add("B", path("a"))
+        session = query.session(instance)
+        baseline = session.run()
+        assert baseline.served_by == "full"
+        update = session.update(retractions=[Fact("B", [path("a")])])
+        assert not update.maintained
+        assert "negation" in update.fallback_reason
+        assert session.last_maintenance_fallback == update.fallback_reason
+        # The next run transparently re-evaluates and is correct.
+        result = session.run()
+        assert result.served_by == "full"
+        assert result.output == query.run(instance.copy()).output
+
+    def test_maintenance_resumes_after_a_fallback(self):
+        # set_difference negates Q only: updates to R are maintainable, while
+        # updates to Q must fall back.
+        query = get_query("set_difference").make_query()
+        instance = Instance({"R": ["a", "b"], "Q": ["b"]})
+        session = query.session(instance)
+        session.run()
+        fallback = session.update(additions=[Fact("Q", [path("a")])])
+        assert not fallback.maintained and "negation" in fallback.fallback_reason
+        session.run()  # re-materializes
+        update = session.update(additions=[Fact("R", [path("c")])])
+        assert update.maintained  # R never reaches the negated relation
+        assert session.run().paths() == query.run(instance.copy()).paths()
+
+
+class TestOutOfBandMutations:
+    def test_absorbed_through_the_change_log(self):
+        instance = line_instance()
+        session = pair_query().session(instance)
+        session.run()
+        instance.add("E", path("n2"), path("a"))  # bypasses session.update
+        result = session.run(binding={0: "n2"})
+        assert result.served_by == "maintained"
+        assert result.output == pair_query().run(instance.copy(), binding={0: "n2"}).output
+
+    def test_update_absorbs_pending_out_of_band_drift(self):
+        # An out-of-band mutation followed by session.update must not bury
+        # the drift under the basis sync: both deltas have to reach the
+        # materialization.
+        instance = line_instance()
+        session = pair_query().session(instance)
+        session.run()
+        instance.add("E", path("n3"), path("a"))  # out-of-band
+        update = session.update(additions=[edge("n4", "n1")])  # in-band
+        assert update.maintained
+        result = session.run(binding={0: "n3"})
+        assert result.served_by == "maintained"
+        assert result.output == pair_query().run(instance.copy(), binding={0: "n3"}).output
+
+    def test_wholesale_rewrite_forces_reevaluation(self):
+        instance = line_instance()
+        session = pair_query().session(instance)
+        session.run()
+        rows = set(instance.relation("E"))
+        rows.add((path("n2"), path("a")))
+        instance.storage("E").set_rows(rows)  # voids the change log
+        result = session.run(binding={0: "a"})
+        assert result.served_by in ("maintained", "full")
+        assert result.output == pair_query().run(instance.copy(), binding={0: "a"}).output
+
+
+class TestGoalFallbackContract:
+    def test_unsupported_rewriting_records_reason(self):
+        query = get_query("black_neighbours").make_query()
+        instance = random_graph_instance(nodes=6, edges=10, seed=3)
+        instance.add("B", path("a"))
+        session = query.session(instance)
+        result = session.run(mode="goal")
+        assert result.mode == "full"
+        assert "negates the derived relation" in result.fallback_reason
+
+    def test_budget_breach_records_reason(self):
+        baseline = pair_query().run(line_instance(), binding={0: "a"})
+        tight = pair_query(
+            limits=EvaluationLimits(max_iterations=baseline.statistics.iterations)
+        )
+        session = tight.session(line_instance())
+        result = session.run(binding={0: "a"}, mode="goal")
+        assert result.mode == "full"
+        assert "exceeded the limits" in result.fallback_reason
+        assert result.output == baseline.output
+
+    def test_fallback_reason_is_none_on_clean_goal_runs(self):
+        instance = as_edge_pairs(random_graph_instance(nodes=8, edges=16, seed=2))
+        session = pair_query().session(instance)
+        result = session.run(binding={0: "a"}, mode="goal")
+        assert result.mode == "goal" and result.fallback_reason is None
+
+
+class TestPlanCacheCounters:
+    def test_repeated_goal_runs_hit_the_plan_cache(self):
+        instance = as_edge_pairs(random_graph_instance(nodes=10, edges=25, seed=5))
+        session = pair_query().session(instance)
+        first = session.run(binding={0: "a"}, mode="goal")
+        second = session.run(binding={0: "a"}, mode="goal")
+        assert second.statistics.plans_compiled < first.statistics.plans_compiled
+        assert second.statistics.plan_cache_hits > 0
+
+    def test_maintained_serving_does_no_planning(self):
+        session = pair_query().session(line_instance())
+        session.run()
+        result = session.run(binding={0: "a"})
+        assert result.served_by == "maintained"
+        assert result.statistics.plans_compiled == 0
+        assert result.statistics.extension_attempts == 0
+
+    def test_updates_reuse_compiled_plans(self):
+        instance = as_edge_pairs(random_graph_instance(nodes=10, edges=25, seed=5))
+        session = pair_query().session(instance)
+        session.run()
+        session.update(additions=[edge("a", "n9")])
+        update = session.update(additions=[edge("n9", "n2")])
+        assert update.maintained
+        assert update.statistics.plan_cache_hits >= update.statistics.plans_compiled
+
+
+class TestPathsAmbiguityMessage:
+    def test_candidates_are_listed_in_the_error(self):
+        output = unary_instance("S", ["a"])
+        output.add("T", path("b"))
+        output.add("U", path("c"))
+        result = QueryResult(
+            output=output, full_instance=output, statistics=EvaluationStatistics()
+        )
+        with pytest.raises(EvaluationError, match="several relations") as excinfo:
+            result.paths()
+        message = str(excinfo.value)
+        assert "'S'" in message and "'T'" in message and "'U'" in message
+        assert "relation=" in message

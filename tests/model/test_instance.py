@@ -109,3 +109,73 @@ class TestSchema:
         assert set(schema) == {"R", "S"}
         assert schema.arity("S") == 2
         assert "R" in schema and "T" not in schema
+
+
+class TestInstanceDelta:
+    def test_apply_returns_effective_changes(self):
+        instance = unary_instance("R", ["a", "b"])
+        result = (
+            instance.begin_delta()
+            .add("R", path("c"))
+            .add("R", path("a"))  # already present: nets out
+            .retract("R", path("b"))
+            .retract("R", path("missing"))  # absent: nets out
+            .apply()
+        )
+        assert result.added == {Fact("R", [path("c")])}
+        assert result.removed == {Fact("R", [path("b")])}
+        assert instance.paths("R") == {path("a"), path("c")}
+
+    def test_retract_then_add_of_the_same_fact_nets_out(self):
+        instance = unary_instance("R", ["a"])
+        fact = Fact("R", [path("a")])
+        result = instance.begin_delta().retract_fact(fact).add_fact(fact).apply()
+        assert not result
+        assert instance.contains("R", path("a"))
+
+    def test_delta_is_atomic_on_arity_conflict(self):
+        instance = unary_instance("R", ["a"])
+        delta = instance.begin_delta()
+        delta.retract("R", path("x"))  # harmless retraction of an absent fact
+        delta.add("R", path("b"), path("c"))  # arity 2 into a unary relation
+        with pytest.raises(ModelError):
+            delta.apply()
+        # Nothing was applied: the harmless retraction did not run either.
+        assert instance.paths("R") == {path("a")}
+
+    def test_delta_rejects_mixed_arities_within_itself(self):
+        instance = Instance()
+        delta = instance.begin_delta().add("S", path("a")).add("S", path("a"), path("b"))
+        with pytest.raises(ModelError):
+            delta.apply()
+        assert len(instance) == 0
+
+    def test_arity_change_allowed_when_all_rows_retracted(self):
+        instance = unary_instance("R", ["a"])
+        result = (
+            instance.begin_delta()
+            .retract("R", path("a"))
+            .add("R", path("b"), path("c"))
+            .apply()
+        )
+        assert result.added == {Fact("R", [path("b"), path("c")])}
+        assert instance.contains("R", path("b"), path("c"))
+
+    def test_delta_applies_at_most_once(self):
+        instance = Instance()
+        delta = instance.begin_delta().add("R", path("a"))
+        delta.apply()
+        with pytest.raises(ModelError):
+            delta.apply()
+
+    def test_emptied_relations_stay_present(self):
+        instance = unary_instance("R", ["a"])
+        storage = instance.storage("R")
+        instance.begin_delta().retract("R", path("a")).apply()
+        assert "R" in instance.relation_names
+        assert instance.storage("R") is storage
+        assert instance.relation("R") == frozenset()
+
+    def test_len_counts_buffered_changes(self):
+        delta = Instance().begin_delta().add("R", path("a")).retract("R", path("b"))
+        assert len(delta) == 2

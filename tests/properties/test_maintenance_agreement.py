@@ -1,0 +1,134 @@
+"""Property-based agreement of maintained and from-scratch fixpoints.
+
+The maintained materialization (:class:`repro.engine.MaintainedFixpoint`)
+must stay extensionally identical to re-evaluating the program on the
+updated base instance — across every strategy × execution combination, for
+random positive programs and graph workloads, and through update streams
+that mix additions with retractions.  This is the safety net under the
+incremental-maintenance refactor, the analogue of
+``test_fixpoint_agreement.py`` for the update path.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import MaintainedFixpoint, evaluate_program
+from repro.model import Fact
+from repro.parser import parse_program
+from repro.queries import get_query
+from repro.workloads import (
+    as_edge_pairs,
+    random_graph_instance,
+    random_positive_program,
+    random_string_instance,
+    update_stream,
+)
+
+STRATEGIES = ("naive", "seminaive")
+EXECUTIONS = ("scan", "indexed")
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+
+def apply_steps_and_check(program, base, steps, *, strategy, execution):
+    """Drive one maintained fixpoint through *steps*, checking every state."""
+    maintained = MaintainedFixpoint.evaluate(
+        program, base, strategy=strategy, execution=execution
+    )
+    current = base.copy()
+    for additions, retractions in steps:
+        maintained.update(additions, retractions)
+        for fact in retractions:
+            current.discard_fact(fact)
+        for fact in additions:
+            current.add_fact(fact)
+        scratch = evaluate_program(
+            program, current, strategy=strategy, execution=execution
+        )
+        assert maintained.materialized == scratch
+
+
+@given(
+    program_seed=st.integers(0, 40),
+    instance_seed=st.integers(0, 40),
+    stream_seed=st.integers(0, 10),
+)
+@settings(max_examples=20, deadline=None)
+def test_random_positive_programs_stay_in_sync(program_seed, instance_seed, stream_seed):
+    program = random_positive_program(seed=program_seed)
+    base = random_string_instance(paths=5, max_length=4, seed=instance_seed)
+    steps = list(
+        update_stream(
+            base,
+            relation="R",
+            steps=3,
+            additions_per_step=1,
+            retractions_per_step=1,
+            seed=stream_seed,
+        )
+    )
+    apply_steps_and_check(program, base, steps, strategy="seminaive", execution="indexed")
+
+
+@given(seed=st.integers(0, 60))
+@settings(max_examples=12, deadline=None)
+def test_reachability_streams_agree_across_all_variants(seed):
+    program = parse_program(REACHABILITY_PAIRS)
+    base = as_edge_pairs(random_graph_instance(nodes=8, edges=14, seed=seed))
+    steps = list(
+        update_stream(base, relation="E", steps=2, seed=seed + 1000)
+    )
+    for strategy in STRATEGIES:
+        for execution in EXECUTIONS:
+            apply_steps_and_check(
+                program, base, steps, strategy=strategy, execution=execution
+            )
+
+
+@given(seed=st.integers(0, 60))
+@settings(max_examples=10, deadline=None)
+def test_retraction_only_streams_agree(seed):
+    """Pure deletions: the delete–rederive half on its own."""
+    program = parse_program(REACHABILITY_PAIRS)
+    base = as_edge_pairs(random_graph_instance(nodes=8, edges=16, seed=seed))
+    rows = sorted(base.relation("E"), key=repr)
+    steps = [([], [Fact("E", row)]) for row in rows[:4]]
+    for execution in EXECUTIONS:
+        apply_steps_and_check(
+            program, base, steps, strategy="seminaive", execution=execution
+        )
+
+
+@given(seed=st.integers(0, 60))
+@settings(max_examples=10, deadline=None)
+def test_unary_reachability_with_strata_stays_in_sync(seed):
+    """The canonical unary reachability query (multiple IDB relations)."""
+    program = get_query("reachability").program()
+    base = random_graph_instance(nodes=7, edges=12, seed=seed)
+    steps = list(update_stream(base, relation="R", steps=3, seed=seed + 7))
+    apply_steps_and_check(program, base, steps, strategy="seminaive", execution="indexed")
+
+
+@given(seed=st.integers(0, 40))
+@settings(max_examples=10, deadline=None)
+def test_session_answers_survive_update_streams(seed):
+    """End-to-end: session updates + maintained serving ≡ one-shot queries."""
+    from repro.engine import ProgramQuery
+
+    program = parse_program(REACHABILITY_PAIRS)
+    base = as_edge_pairs(random_graph_instance(nodes=8, edges=14, seed=seed))
+    query = ProgramQuery(program, {"E": 2}, "T", require_monadic=False)
+    session = query.session(base.copy())
+    session.run()
+    current = base.copy()
+    for additions, retractions in update_stream(base, relation="E", steps=3, seed=seed):
+        session.update(additions, retractions)
+        for fact in retractions:
+            current.discard_fact(fact)
+        for fact in additions:
+            current.add_fact(fact)
+        served = session.run(binding={0: "a"})
+        assert served.served_by == "maintained"
+        assert served.output == query.run(current.copy(), binding={0: "a"}).output

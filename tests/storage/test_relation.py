@@ -104,6 +104,154 @@ class TestViews:
         assert edges.view() == frozenset()
 
 
+class TestChangeLog:
+    def test_changes_since_unknown_without_watch(self, edges):
+        assert edges.changes_since(0) is None
+
+    def test_equal_generation_is_always_empty(self, edges):
+        assert edges.changes_since(edges.generation) == (frozenset(), frozenset())
+
+    def test_net_changes_fold_adds_and_removes(self, edges):
+        mark = edges.watch()
+        row_a = (path("q"), path("q"))
+        row_b = (path("r"), path("r"))
+        existing = next(iter(edges.rows))
+        edges.add(row_a)
+        edges.add(row_b)
+        edges.discard(row_b)  # add then remove: no net change
+        edges.discard(existing)
+        added, removed = edges.changes_since(mark)
+        assert added == {row_a}
+        assert removed == {existing}
+
+    def test_remove_then_readd_nets_out(self, edges):
+        mark = edges.watch()
+        existing = next(iter(edges.rows))
+        edges.discard(existing)
+        edges.add(existing)
+        assert edges.changes_since(mark) == (frozenset(), frozenset())
+
+    def test_ineffective_mutations_are_not_logged(self, edges):
+        mark = edges.watch()
+        edges.add(next(iter(edges.rows)))
+        edges.discard((path("missing"), path("missing")))
+        assert edges.changes_since(mark) == (frozenset(), frozenset())
+
+    def test_wholesale_rewrite_voids_the_log(self, edges):
+        mark = edges.watch()
+        edges.set_rows({(path("a"), path("b"))})
+        assert edges.changes_since(mark) is None
+        # But a fresh mark taken after the rewrite works again.
+        mark = edges.generation
+        edges.add((path("c"), path("d")))
+        assert edges.changes_since(mark) == ({(path("c"), path("d"))}, frozenset())
+
+    def test_clear_voids_the_log(self, edges):
+        mark = edges.watch()
+        edges.clear()
+        assert edges.changes_since(mark) is None
+
+    def test_overflow_advances_the_floor(self):
+        relation = Relation()
+        mark = relation.watch()
+        for index in range(Relation.LOG_LIMIT + 1):
+            relation.add((path(f"n{index}"),))
+        assert relation.changes_since(mark) is None
+
+    def test_copy_does_not_inherit_the_log(self, edges):
+        mark = edges.watch()
+        clone = edges.copy()
+        assert clone.changes_since(mark) is None
+
+    def test_marks_before_watch_are_unknown(self, edges):
+        edges.add((path("q"), path("q")))
+        generation_before_watch = edges.generation - 1
+        edges.watch()
+        assert edges.changes_since(generation_before_watch) is None
+
+
+class TestMutationPathAudit:
+    """Every mutation path must bump generations and drop cached views."""
+
+    def test_discard_invalidates_views_and_indexes(self, edges):
+        view = edges.view()
+        row = next(iter(edges.rows))
+        bucket_before = set(edges.rows_with_path(0, row[0]))
+        assert edges.discard(row) is True
+        assert edges.view() is not view
+        assert row not in edges.view()
+        assert row not in edges.rows_with_path(0, row[0])
+        assert set(edges.rows_with_path(0, row[0])) == bucket_before - {row}
+
+    def test_set_rows_invalidates_views_and_indexes(self, edges):
+        view = edges.view()
+        new_row = (path("z", "z"), path("z"))
+        edges.set_rows({new_row})
+        assert edges.view() is not view
+        assert edges.view() == {new_row}
+        assert set(edges.rows_with_first_atom(0, "z")) == {new_row}
+        assert edges.rows_with_first_atom(0, "a") == frozenset()
+
+    def test_clear_invalidates_unary_view(self):
+        relation = Relation()
+        relation.add((path("a"),))
+        assert relation.unary_view() == {path("a")}
+        relation.clear()
+        assert relation.unary_view() == frozenset()
+        assert relation.generation > 0
+
+    def test_instance_discard_fact_drops_cached_relation_view(self):
+        from repro.model import Fact
+
+        instance = Instance()
+        instance.add("R", path("a"))
+        instance.add("R", path("b"))
+        first = instance.relation("R")
+        instance.discard_fact(Fact("R", [path("a")]))
+        assert instance.relation("R") is not first
+        assert instance.relation("R") == {(path("b"),)}
+        assert instance.paths("R") == {path("b")}
+
+    def test_instance_discard_fact_removes_empty_relation_by_default(self):
+        from repro.model import Fact
+
+        instance = Instance()
+        instance.add("R", path("a"))
+        instance.discard_fact(Fact("R", [path("a")]))
+        assert "R" not in instance.relation_names
+        assert instance.relation("R") == frozenset()
+
+    def test_instance_discard_fact_keep_empty_preserves_storage(self):
+        from repro.model import Fact
+
+        instance = Instance()
+        instance.add("R", path("a"))
+        storage = instance.storage("R")
+        instance.discard_fact(Fact("R", [path("a")]), keep_empty=True)
+        assert "R" in instance.relation_names
+        assert instance.storage("R") is storage
+        assert instance.relation("R") == frozenset()
+
+    def test_replace_with_invalidates_cached_views(self):
+        from repro.model import Fact
+
+        instance = Instance()
+        instance.add("T", path("a"))
+        view = instance.relation("T")
+        instance.replace_with([Fact("T", [path("b")])])
+        assert instance.relation("T") is not view
+        assert instance.paths("T") == {path("b")}
+
+    def test_set_relation_rows_creates_and_replaces(self):
+        instance = Instance()
+        instance.set_relation_rows("R", {(path("a"),)})
+        assert instance.paths("R") == {path("a")}
+        storage = instance.storage("R")
+        instance.set_relation_rows("R", {(path("b"),)})
+        assert instance.storage("R") is storage
+        assert instance.paths("R") == {path("b")}
+
+
 class TestInstanceIntegration:
     def test_relation_view_is_cached(self):
         instance = Instance()

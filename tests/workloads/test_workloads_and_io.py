@@ -11,6 +11,7 @@ from repro.workloads import (
     random_string_instance,
     random_two_bounded_instance,
     sales_instance,
+    update_stream,
 )
 
 
@@ -78,3 +79,39 @@ class TestSerialisation:
 
         with pytest.raises(ParseError):
             instance_from_text("R($x) :- S($x).")
+
+
+class TestUpdateStream:
+    def test_stream_is_deterministic_and_does_not_mutate(self):
+        instance = random_graph_instance(nodes=8, edges=16, seed=4)
+        before = instance.copy()
+        first = [
+            (list(adds), list(rems))
+            for adds, rems in update_stream(instance, relation="R", steps=4, seed=9)
+        ]
+        second = [
+            (list(adds), list(rems))
+            for adds, rems in update_stream(instance, relation="R", steps=4, seed=9)
+        ]
+        assert first == second
+        assert instance == before
+
+    def test_retractions_track_prior_steps(self):
+        instance = random_graph_instance(nodes=8, edges=16, seed=4)
+        live = set(instance.relation("R"))
+        for additions, retractions in update_stream(
+            instance, relation="R", steps=6, seed=1
+        ):
+            for fact in retractions:
+                assert fact.paths in live  # never retracts an absent fact
+                live.discard(fact.paths)
+            for fact in additions:
+                assert fact.paths not in live  # additions are fresh
+                live.add(fact.paths)
+
+    def test_additions_recombine_existing_argument_paths(self):
+        instance = random_graph_instance(nodes=8, edges=16, seed=4)
+        pool = {row[0] for row in instance.relation("R")}
+        for additions, _ in update_stream(instance, relation="R", steps=5, seed=2):
+            for fact in additions:
+                assert fact.paths[0] in pool
