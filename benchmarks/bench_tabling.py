@@ -1,0 +1,144 @@
+"""TAB — subsumption-based tabling: repeated overlapping goals vs per-goal magic.
+
+Not a paper experiment: this benchmark justifies the subgoal answer tables
+described in DESIGN.md.  The workload is the serving shape the tabling layer
+targets — *repeated overlapping goals* on a layered graph: a handful of hot
+sources, each asked for its reachable set again and again (think per-user
+dashboards refreshing against the same warm subgraphs).
+
+The baseline is per-goal magic evaluation, the strongest version of the
+pre-tabling behaviour: one non-memoizing session, so every goal re-runs the
+magic pipeline with warm compiled plans.  The tabled path runs the same goal
+stream through one memoizing session: the first call per source evaluates
+and tables its answers as a maintained magic materialization, every repeat
+is detected as a subsumed call and served from the table with zero
+evaluation.  Answers must be identical goal for goal, and the tabled path
+must attempt at least 3× fewer valuation extensions over the stream — the
+acceptance bar; in practice the gap tracks the repeat factor.  A small
+update mid-stream checks that the tables are maintained incrementally
+rather than invalidated.  With ``--json`` the harness writes the measured
+numbers to ``BENCH_tabling.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import ProgramQuery
+from repro.model import Fact, path
+from repro.parser import parse_program
+from repro.workloads import as_edge_pairs, layered_graph_instance
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+GRAPH = dict(layers=10, width=10, edges_per_node=2, seed=2)
+#: The hot sources; every goal in the stream binds one of these.
+SOURCES = ["a", "l1n0", "l1n5", "l2n3", "l3n2", "l0n4"]
+REPEATS = 5
+
+
+def _workload():
+    program = parse_program(REACHABILITY_PAIRS)
+    instance = as_edge_pairs(layered_graph_instance(**GRAPH))
+    query = ProgramQuery(program, {"E": 2}, "T", require_monadic=False)
+    return query, instance
+
+
+def _goal_stream():
+    return [source for _ in range(REPEATS) for source in SOURCES]
+
+
+def _accumulate(statistics, totals):
+    for field in ("extension_attempts", "plan_cache_hits", "subgoal_table_hits"):
+        totals[field] = totals.get(field, 0) + getattr(statistics, field)
+
+
+@pytest.mark.parametrize("tabled", [False, True], ids=["per-goal-magic", "tabled"])
+def test_goal_stream(benchmark, tabled):
+    query, instance = _workload()
+    session = query.session(instance, memoize=tabled)
+
+    def serve():
+        return [session.run(binding={0: source}, mode="goal") for source in _goal_stream()]
+
+    results = benchmark.pedantic(serve, rounds=1, iterations=1)
+    assert all(result.mode == "goal" for result in results)
+
+
+def test_tabled_stream_prunes_at_least_3x(bench_report):
+    """The acceptance bar: ≥3× fewer extension attempts, identical answers."""
+    query, instance = _workload()
+    stream = _goal_stream()
+
+    baseline_session = query.session(instance, memoize=False)
+    baseline_totals: dict = {}
+    started = time.perf_counter()
+    baseline_answers = []
+    for source in stream:
+        result = baseline_session.run(binding={0: source}, mode="goal")
+        assert result.served_by == "goal" and result.fallback_reason is None
+        baseline_answers.append(result.output.relation("T"))
+        _accumulate(result.statistics, baseline_totals)
+    baseline_seconds = time.perf_counter() - started
+
+    tabled_session = query.session(instance, memoize=True)
+    tabled_totals: dict = {}
+    started = time.perf_counter()
+    tabled_answers = []
+    served_by = []
+    for source in stream:
+        result = tabled_session.run(binding={0: source}, mode="goal")
+        assert result.mode == "goal" and result.fallback_reason is None
+        tabled_answers.append(result.output.relation("T"))
+        served_by.append(result.served_by)
+        _accumulate(result.statistics, tabled_totals)
+    tabled_seconds = time.perf_counter() - started
+
+    assert tabled_answers == baseline_answers
+    # One evaluation per distinct source; every repeat is a table hit.
+    assert served_by.count("goal") == len(SOURCES)
+    assert served_by.count("tabled") == len(stream) - len(SOURCES)
+    assert tabled_totals["subgoal_table_hits"] == len(stream) - len(SOURCES)
+    assert tabled_totals["extension_attempts"] * 3 <= baseline_totals["extension_attempts"]
+
+    ratio = baseline_totals["extension_attempts"] / max(1, tabled_totals["extension_attempts"])
+    bench_report(
+        "tabling",
+        baseline_seconds=baseline_seconds,
+        tabled_seconds=tabled_seconds,
+        extension_attempts=tabled_totals["extension_attempts"],
+        baseline_extension_attempts=baseline_totals["extension_attempts"],
+        subgoal_table_hits=tabled_totals["subgoal_table_hits"],
+    )
+    print()
+    print(
+        f"repeated overlapping goals ({len(SOURCES)} sources × {REPEATS}): "
+        f"extension attempts per-goal magic = {baseline_totals['extension_attempts']}, "
+        f"tabled = {tabled_totals['extension_attempts']} ({ratio:.1f}× fewer); "
+        f"table hits {tabled_totals['subgoal_table_hits']}; wall time "
+        f"{baseline_seconds:.2f}s → {tabled_seconds:.2f}s "
+        f"({baseline_seconds / max(tabled_seconds, 1e-9):.1f}× faster, identical answers)"
+    )
+
+
+def test_tables_are_maintained_through_updates():
+    """An update advances every tabled subgoal; repeats stay table hits."""
+    query, instance = _workload()
+    session = query.session(instance, memoize=True)
+    for source in SOURCES:
+        assert session.run(binding={0: source}, mode="goal").served_by == "goal"
+
+    update = session.update(additions=[Fact("E", (path("l1n0"), path("l2n3")))])
+    assert update.maintained and update.fallback_reason is None
+
+    hits = 0
+    for source in SOURCES:
+        result = session.run(binding={0: source}, mode="goal")
+        assert result.served_by == "tabled"
+        reference = query.run(instance.copy(), binding={0: source})
+        assert result.output == reference.output
+        hits += result.statistics.subgoal_table_hits
+    assert hits == len(SOURCES)

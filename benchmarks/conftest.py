@@ -25,12 +25,25 @@ import pytest
 from repro.workloads import random_graph_instance, random_string_instance
 
 
+#: The repository root — anchored on this file's location, *not* on pytest's
+#: ``rootpath``.  The rootpath follows the directory pytest is invoked from
+#: (its rootdir detection), so a CI step or developer running from anywhere
+#: but the checkout root would scatter the BENCH files where nothing looks
+#: for them; that is exactly how the benchmark trajectory ended up empty.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--json",
         action="store_true",
         default=False,
         help="write machine-readable BENCH_<name>.json result files into the repo root",
+    )
+    parser.addoption(
+        "--json-dir",
+        default=None,
+        help="directory for the BENCH_<name>.json files (default: the repo root)",
     )
 
 
@@ -66,8 +79,9 @@ def bench_report(request):
     ``BENCH_<name>.json`` files at session end when ``--json`` was passed;
     without the flag the recorder is a cheap no-op sink.
     """
+    target = request.config.getoption("--json-dir")
     reporter = BenchmarkReporter(
-        Path(str(request.config.rootpath)), request.config.getoption("--json")
+        Path(target) if target else REPO_ROOT, request.config.getoption("--json")
     )
     yield reporter.record
     for target in reporter.flush():

@@ -95,6 +95,42 @@ class Adornment:
         """Return ``True`` if at least one position is bound."""
         return any(self.pattern)
 
+    def subsumes(self, other: "Adornment") -> bool:
+        """Whether a goal with this adornment subsumes one with *other*.
+
+        ``A1`` subsumes ``A2`` when every position bound by ``A1`` is also
+        bound by ``A2``: the ``A1`` goal asks for a superset of the answers
+        (fewer restrictions), so its answer set can serve any ``A2`` call
+        whose seed agrees on the shared bound positions.  This is the
+        adornment half of the seed ordering the subgoal answer tables
+        (:mod:`repro.engine.tabling`) organise their entries by — their
+        entry check adds the seed-value agreement on the shared positions.
+        """
+        if self.arity != other.arity:
+            return False
+        return all(not bound or other.pattern[i] for i, bound in enumerate(self.pattern))
+
+    def weakenings(self) -> "Iterable[Adornment]":
+        """All strictly more general adornments, most specific first.
+
+        Yields every adornment whose bound positions are a proper subset of
+        this one's, ordered by decreasing number of bound positions (ties:
+        lexicographic on the bound-position tuple).  The all-free adornment
+        comes last; it subsumes every call and its magic predicates are
+        nullary, so it can never trip the expanding-recursion refusal at the
+        goal itself.
+        """
+        bound = self.bound_positions
+        subsets: list[tuple[int, ...]] = []
+        for mask in range(2 ** len(bound) - 1):
+            subset = tuple(
+                position for index, position in enumerate(bound) if mask >> index & 1
+            )
+            subsets.append(subset)
+        subsets.sort(key=lambda subset: (-len(subset), subset))
+        for subset in subsets:
+            yield Adornment.from_positions(self.arity, subset)
+
     def suffix(self) -> str:
         """The ``b``/``f`` string used to name adorned relations."""
         return "".join("b" if bound else "f" for bound in self.pattern)

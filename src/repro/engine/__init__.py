@@ -26,10 +26,12 @@ from repro.engine.query import (
     QuerySession,
     UpdateResult,
 )
+from repro.engine.tabling import AnswerTable, TableEntry
 from repro.engine.valuation import Valuation
 
 __all__ = [
     "DEFAULT_LIMITS",
+    "AnswerTable",
     "EvaluationLimits",
     "EvaluationStatistics",
     "ExecutionMode",
@@ -42,6 +44,7 @@ __all__ = [
     "QuerySession",
     "RuleEvaluator",
     "Strategy",
+    "TableEntry",
     "UpdateResult",
     "Valuation",
     "evaluate_program",

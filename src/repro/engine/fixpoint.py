@@ -72,6 +72,10 @@ class EvaluationStatistics:
     ``facts_retracted`` the facts that net-disappeared from a maintained
     materialization (EDB retractions plus derived facts that lost their last
     support).
+
+    ``subgoal_table_hits`` counts goal-mode calls answered from a session's
+    subgoal answer table (:mod:`repro.engine.tabling`) — repeated subsumed
+    calls detected and served with zero evaluation.
     """
 
     iterations: int = 0
@@ -84,6 +88,7 @@ class EvaluationStatistics:
     maintenance_rounds: int = 0
     rederivation_attempts: int = 0
     facts_retracted: int = 0
+    subgoal_table_hits: int = 0
     per_stratum_iterations: list[int] = field(default_factory=list)
 
     def merge_stratum(self, iterations: int) -> None:

@@ -170,6 +170,7 @@ class MaintainedFixpoint:
         self.evaluators = evaluators
         self._states = states
         self._idb = program.idb_relation_names()
+        self._known = program.relation_names()
         self._valid = True
 
     # -- construction ------------------------------------------------------------------
@@ -185,6 +186,7 @@ class MaintainedFixpoint:
         execution: ExecutionMode = "indexed",
         statistics: "EvaluationStatistics | None" = None,
         evaluators: "ProgramEvaluators | None" = None,
+        seed_facts: "Iterable[Fact] | None" = None,
     ) -> "MaintainedFixpoint":
         """Materialize *program* over a copy of *instance*, with support state.
 
@@ -195,6 +197,13 @@ class MaintainedFixpoint:
         :class:`~repro.errors.MaintenanceUnsupportedError` (before doing any
         work) for programs whose strata the maintainer cannot own, e.g. a
         relation defined in several strata.
+
+        *seed_facts* are planted into the working copy before the first
+        stratum, exactly as in :func:`~repro.engine.fixpoint.evaluate_program`
+        — this is how a goal-directed (magic) program's seed enters a
+        maintained materialization.  Planted facts of derived relations are
+        *pinned*: they are axioms of this materialization and never
+        retracted by maintenance.
         """
         if statistics is None:
             statistics = EvaluationStatistics()
@@ -212,6 +221,9 @@ class MaintainedFixpoint:
             seen_heads |= heads
 
         current = instance.copy()
+        if seed_facts is not None:
+            for fact in seed_facts:
+                current.add_fact(fact)
         states: list[_StratumState] = []
         for stratum in program.strata:
             recursive = bool(stratum.head_relation_names() & stratum.body_relation_names())
@@ -313,6 +325,15 @@ class MaintainedFixpoint:
                     f"cannot update relation {fact.relation!r}: it is derived by the "
                     f"program; update the EDB relations it depends on instead"
                 )
+            if fact.relation not in self._known:
+                # Checked on the *named* relations, before netting: even a
+                # no-op delta naming a stray relation is a caller error, not
+                # something to silently accept.
+                raise MaintenanceUnsupportedError(
+                    f"the update names relation {fact.relation!r}, which the program "
+                    f"never mentions; maintenance cannot decide what it affects — "
+                    f"re-evaluate from scratch (or drop the stray facts) instead"
+                )
 
         # Net EDB delta against the current materialization.  Additions win
         # over retractions of the same fact (retract-then-add nets out).
@@ -378,7 +399,27 @@ class MaintainedFixpoint:
         no stratum negates anything in the closure.  Running it upfront
         keeps :meth:`update` atomic — unsupported updates fail before any
         state changes.
+
+        Two audit notes on the closure.  First, the propagation edge uses
+        :meth:`~repro.syntax.rules.Rule.body_relation_names`, which includes
+        relations a rule reads *only under negation* — a head whose value
+        depends on a changed relation negatively is therefore in the
+        closure too.  (Any such dependency is refused anyway, because the
+        negated relation itself sits in the closure and its negating
+        stratum trips the check below, but the closure must not rely on
+        that coincidence.)  Second, a touched relation the program has
+        never heard of is a caller error, not a no-op: silently accepting
+        it would let the materialization drift from what re-evaluating the
+        program on the updated base would produce, so it is refused with a
+        clear message.
         """
+        unknown = touched - self._known
+        if unknown:
+            raise MaintenanceUnsupportedError(
+                f"the update names relation(s) {sorted(unknown)} that the program "
+                f"never mentions; maintenance cannot decide what they affect — "
+                f"re-evaluate from scratch (or drop the stray facts) instead"
+            )
         possibly = set(touched)
         changed = True
         while changed:

@@ -42,6 +42,19 @@ materialization incrementally (counting / delete–rederive, see
 instance are absorbed through the storage layer's change logs when possible;
 updates maintenance cannot cover fall back to re-evaluation with a recorded
 reason, mirroring the goal-mode fallback contract.
+
+Until a full materialization exists, goal-mode answers are *tabled* by call
+subsumption (:mod:`repro.engine.tabling`): every evaluated goal's answers
+are kept — as their own maintained materialization of the magic program —
+in a per-session answer table, a later call whose seed is subsumed by a
+tabled entry is served from the table with zero evaluation
+(``served_by == "tabled"``), and :meth:`QuerySession.update` maintains the
+tabled subgoals incrementally alongside everything else.  Goal adornments
+refused as *expanding magic recursion* are no longer a hard fallback to
+full evaluation: the rewriting retries with a generalized (more general,
+subsuming) adornment, the generalized goal is evaluated and tabled, and the
+requested call — plus every later call it subsumes — is answered from that
+entry.
 """
 
 from __future__ import annotations
@@ -59,10 +72,12 @@ from repro.engine.fixpoint import (
 )
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.maintenance import MaintainedFixpoint
+from repro.engine.tabling import AnswerTable, TableEntry
 from repro.errors import (
     EvaluationBudgetExceeded,
     EvaluationError,
     MagicSetUnsupportedError,
+    MaintenanceUnsupportedError,
     ModelError,
 )
 from repro.model.instance import Fact, Instance
@@ -77,8 +92,11 @@ QueryMode = TypingLiteral["full", "goal"]
 #: How a query answer was produced: ``"full"`` — a from-scratch fixpoint was
 #: evaluated for this call; ``"maintained"`` — the answer was read off the
 #: session's maintained materialization with no (or only incremental)
-#: evaluation; ``"goal"`` — the magic-set pipeline derived the demanded slice.
-ServedBy = TypingLiteral["full", "maintained", "goal"]
+#: evaluation; ``"goal"`` — the magic-set pipeline derived the demanded slice
+#: for this call; ``"tabled"`` — the call was subsumed by a previously
+#: evaluated goal and served from the session's subgoal answer table with
+#: zero evaluation (:mod:`repro.engine.tabling`).
+ServedBy = TypingLiteral["full", "maintained", "goal", "tabled"]
 
 #: A query binding: concrete paths for some output argument positions.
 Binding = dict[int, Path]
@@ -88,13 +106,17 @@ Binding = dict[int, Path]
 class QueryResult:
     """The result of running a :class:`ProgramQuery` on an instance.
 
-    ``mode`` records how the answer was actually computed: ``"goal"`` when
-    the magic-set pipeline ran, ``"full"`` otherwise.  When a goal-directed
-    run was requested but had to fall back, ``fallback_reason`` says why.
-    ``served_by`` additionally distinguishes, within full-mode answers,
-    whether a fixpoint was evaluated for this call (``"full"``) or the
-    answer was read off a session's maintained materialization
-    (``"maintained"``).
+    ``mode`` records the request's identity — the mode the caller asked for
+    and that this result answers: a goal-mode request keeps
+    ``mode == "goal"`` even when its answer happened to be read off a warm
+    full materialization.  ``served_by`` records how the answer was actually
+    produced: ``"goal"`` when the magic-set pipeline evaluated for this
+    call, ``"tabled"`` when a subsumed tabled goal served it, ``"maintained"``
+    when a session's materialization did, and ``"full"`` when a from-scratch
+    fixpoint ran.  ``fallback_reason`` is set when a goal-mode request could
+    not (or, served from a warm materialization, *would not cold*) run the
+    magic pipeline — it records the compile-time refusal or the runtime
+    budget breach that forces full evaluation.
     """
 
     output: Instance
@@ -243,7 +265,11 @@ class ProgramQuery:
         """The magic-set rewriting for *binding*'s adornment, or ``None`` + reason.
 
         Returns ``(MagicProgram | None, reason | None)``; the rewriting is
-        computed once per adornment and cached on the query.
+        computed once per adornment and cached on the query.  Adornments
+        refused as expanding magic recursion are retried with generalized
+        (more general) adornments — the returned program then records the
+        adornment it was actually rewritten for, and callers must filter its
+        answers down to the requested binding.
         """
         normalised = _normalise_binding(binding, self.output_arity, self.output_relation)
         return self._goal_program_for_key(tuple(sorted(normalised)))
@@ -261,6 +287,7 @@ class ProgramQuery:
                     self.program,
                     self.output_relation,
                     Adornment.from_positions(self.output_arity, key),
+                    on_expanding="generalize",
                 )
             except MagicSetUnsupportedError as error:
                 cached = str(error)
@@ -359,21 +386,31 @@ class QuerySession:
     machinery that is worth keeping warm between queries: one
     :class:`ProgramEvaluators` per evaluated program (the full program and
     each magic rewriting), whose rule evaluators hold the compiled join
-    plans, and — once a full-mode evaluation has happened — the full
-    fixpoint itself as a :class:`~repro.engine.maintenance.MaintainedFixpoint`.
+    plans, a subgoal :class:`~repro.engine.tabling.AnswerTable` for
+    goal-mode calls, and — once a full-mode evaluation has happened — the
+    full fixpoint itself as a
+    :class:`~repro.engine.maintenance.MaintainedFixpoint`.
 
     Later full-mode queries (any binding) are answered from that
     materialization without re-evaluating; goal-mode queries use it too when
     it is available, since reading a maintained materialization beats even a
-    magic-set run.  :meth:`update` mutates the pinned instance through a
-    transactional :class:`~repro.model.instance.InstanceDelta` and maintains
-    the materialization incrementally.  Out-of-band mutations of the pinned
-    instance are detected through the storage generations and absorbed via
-    the relations' change logs when possible; anything maintenance cannot
-    cover falls back to re-evaluation with a recorded reason.
+    magic-set run (such results keep ``mode == "goal"`` with
+    ``served_by == "maintained"``).  Before a full materialization exists,
+    goal-mode calls go through the answer table: a call subsumed by a
+    previously evaluated goal is served from that entry
+    (``served_by == "tabled"``), and a fresh call evaluates its magic
+    program as a maintained materialization of its own and tables it.
+    :meth:`update` mutates the pinned instance through a transactional
+    :class:`~repro.model.instance.InstanceDelta` and maintains the
+    materialization *and* every tabled subgoal incrementally.  Out-of-band
+    mutations of the pinned instance are detected through the storage
+    generations and absorbed via the relations' change logs when possible;
+    anything maintenance cannot cover falls back to re-evaluation with a
+    recorded reason (table entries degrade individually: an entry whose
+    update cannot be maintained is evicted and re-evaluates on next demand).
 
-    Results served from the materialization share their ``full_instance``
-    with the session; treat it as read-only.
+    Results served from the materialization or the table share their
+    ``full_instance`` with the session; treat it as read-only.
     """
 
     def __init__(
@@ -394,12 +431,16 @@ class QuerySession:
         self.query = query
         self.instance = instance
         #: When ``False`` (one-shot queries), full-mode runs evaluate plainly
-        #: instead of building and memoizing maintenance support state.
+        #: instead of building and memoizing maintenance support state, and
+        #: goal-mode runs bypass the subgoal answer table.
         self._memoize = memoize
         self._evaluators: dict[int, ProgramEvaluators] = {}
         self._maintained: "MaintainedFixpoint | None" = None
+        #: Tabled goal-mode calls, by call subsumption.
+        self._tables = AnswerTable()
         #: Relation name → (storage object, generation) at the moment the
-        #: materialization was last in sync with the pinned instance.
+        #: maintained artifacts (materialization and table entries) were
+        #: last in sync with the pinned instance.
         self._basis: "dict[str, tuple[object, int]]" = {}
         #: Why the last update (or out-of-band change) could not be
         #: maintained incrementally, if it could not.
@@ -430,7 +471,11 @@ class QuerySession:
             evaluators=self._evaluators_for(program),
         )
 
-    # -- maintained materialization ----------------------------------------------------
+    # -- maintained artifacts (materialization + subgoal tables) -----------------------
+
+    def _has_artifacts(self) -> bool:
+        """Whether any maintained state (materialization or table entries) exists."""
+        return self._maintained is not None or len(self._tables) > 0
 
     def _sync_basis(self) -> None:
         self._basis = {}
@@ -439,31 +484,46 @@ class QuerySession:
             if storage is not None:
                 self._basis[name] = (storage, storage.watch())
 
+    def _reference_rows(self, name: str) -> "frozenset":
+        """Pre-drift rows of *name*, from whichever artifact tracked them.
+
+        The main materialization mirrors every base relation; a table entry
+        only maintains the relations its magic program mentions, so entries
+        that know the relation are preferred over ones carrying a stale
+        creation-time copy.
+        """
+        if self._maintained is not None:
+            return self._maintained.materialized.relation(name)
+        for entry in self._tables:
+            if name in entry.known_relations:
+                return entry.answers.relation(name)
+        for entry in self._tables:
+            return entry.answers.relation(name)
+        return frozenset()
+
     def _pending_out_of_band_delta(self) -> "tuple[list[Fact], list[Fact]]":
         """EDB changes made to the pinned instance behind the session's back.
 
         Returns ``(additions, retractions)``, both empty when the instance is
         untouched.  The drift is always reconstructible: the change logs
-        answer cheaply when they can, and otherwise the materialization still
-        holds every relation's old rows, so a full diff recovers the delta.
+        answer cheaply when they can, and otherwise an artifact still holds
+        every relation's old rows, so a full diff recovers the delta.
         """
-        assert self._maintained is not None
         additions: list[Fact] = []
         retractions: list[Fact] = []
-        materialized = self._maintained.materialized
         names_now = self.instance.relation_names
         for name in names_now:
             storage = self.instance.storage(name)
             entry = self._basis.get(name)
             if entry is not None and entry[0] is storage and entry[1] == storage.generation:
                 continue
-            old_rows = materialized.relation(name)
             changes = None
             if entry is not None and entry[0] is storage:
                 changes = storage.changes_since(entry[1])
             if changes is None:
                 # Log unavailable (overflow, wholesale rewrite, or a brand-new
-                # relation object): diff against the materialized old state.
+                # relation object): diff against an artifact's old state.
+                old_rows = self._reference_rows(name)
                 new_rows = storage.view()
                 changes = (new_rows - old_rows, old_rows - new_rows)
             added_rows, removed_rows = changes
@@ -471,37 +531,78 @@ class QuerySession:
             retractions.extend(Fact(name, row) for row in removed_rows)
         for name in self._basis.keys() - names_now:
             # The relation vanished out-of-band; its old rows are still in
-            # the materialization.
-            retractions.extend(Fact(name, row) for row in materialized.relation(name))
+            # the artifacts.
+            retractions.extend(Fact(name, row) for row in self._reference_rows(name))
         return additions, retractions
+
+    def _maintain_main(
+        self,
+        additions: "Iterable[Fact]",
+        retractions: "Iterable[Fact]",
+        statistics: EvaluationStatistics,
+    ) -> None:
+        """Advance the main materialization past a base delta.
+
+        Facts of relations the program never mentions cannot affect any
+        derived relation — the maintainer refuses them as unknown — so they
+        are mirrored straight into the materialized instance instead, which
+        keeps ``full_instance`` a faithful copy of the base.  Raises
+        :class:`~repro.errors.EvaluationError` when maintenance cannot cover
+        the program-relevant part.
+        """
+        assert self._maintained is not None
+        additions = list(additions)
+        retractions = list(retractions)
+        known = self._maintained.program.relation_names()
+        self._maintained.update(
+            [fact for fact in additions if fact.relation in known],
+            [fact for fact in retractions if fact.relation in known],
+            statistics=statistics,
+        )
+        for fact in retractions:
+            if fact.relation not in known:
+                self._maintained.materialized.discard_fact(fact, keep_empty=True)
+        for fact in additions:
+            if fact.relation not in known:
+                self._maintained.materialized.add_fact(fact)
+
+    def _absorb_out_of_band(self, statistics: EvaluationStatistics) -> None:
+        """Bring every maintained artifact up to date with the pinned instance.
+
+        A drift the main materialization cannot be maintained through drops
+        it (with the reason recorded); table entries degrade individually.
+        """
+        if not self._has_artifacts():
+            return
+        additions, retractions = self._pending_out_of_band_delta()
+        if not additions and not retractions:
+            # Re-sync even on netted-out drift, so stale marks do not keep
+            # re-folding an ever-growing change log on every query.
+            self._sync_basis()
+            return
+        if self._maintained is not None:
+            try:
+                self._maintain_main(additions, retractions, statistics)
+            except EvaluationError as error:
+                self.last_maintenance_fallback = str(error)
+                self._maintained = None
+        self._tables.apply_update(additions, retractions, statistics)
+        self._sync_basis()
 
     def _materialization(
         self, statistics: EvaluationStatistics
     ) -> "tuple[MaintainedFixpoint, ServedBy]":
         """The maintained full fixpoint, synced with the pinned instance.
 
-        Brings the memoized materialization up to date (absorbing out-of-band
-        instance mutations incrementally when the change logs allow),
-        rebuilding it from scratch when maintenance cannot cover the drift.
-        The second component says how the caller's answer was produced.
+        Out-of-band drift has already been absorbed by :meth:`run`; this
+        either serves the live materialization or (re)builds it from
+        scratch.  The second component says how the caller's answer was
+        produced.
         """
         if not self._memoize:
             return self._plain_materialization(statistics), "full"
         if self._maintained is not None:
-            additions, retractions = self._pending_out_of_band_delta()
-            if not additions and not retractions:
-                # Re-sync even on netted-out drift, so stale marks do not keep
-                # re-folding an ever-growing change log on every query.
-                self._sync_basis()
-                return self._maintained, "maintained"
-            try:
-                self._maintained.update(additions, retractions, statistics=statistics)
-            except EvaluationError as error:
-                self.last_maintenance_fallback = str(error)
-                self._maintained = None
-            else:
-                self._sync_basis()
-                return self._maintained, "maintained"
+            return self._maintained, "maintained"
         try:
             maintained = MaintainedFixpoint.evaluate(
                 self.query.program,
@@ -520,6 +621,9 @@ class QuerySession:
             self.last_maintenance_fallback = str(error)
             return self._plain_materialization(statistics), "full"
         self._maintained = maintained
+        # The materialization subsumes every tabled subgoal; keeping the
+        # entries alive would only make later updates maintain dead state.
+        self._tables.clear()
         self._sync_basis()
         return maintained, "full"
 
@@ -548,16 +652,21 @@ class QuerySession:
         The delta is applied atomically through
         :meth:`~repro.model.instance.Instance.begin_delta`; if a materialized
         fixpoint exists it is maintained incrementally (counting for
-        non-recursive strata, delete–rederive for recursive ones).  Updates
-        maintenance cannot cover — negation over changed relations, budget
-        breaches — drop the materialization and record the reason; the next
-        query transparently re-evaluates from scratch.
+        non-recursive strata, delete–rederive for recursive ones), and so is
+        every tabled subgoal.  Updates maintenance cannot cover — negation
+        over changed relations, budget breaches — drop the materialization
+        and record the reason; the next query transparently re-evaluates
+        from scratch.  Table entries degrade individually: an entry whose
+        magic program cannot be maintained through the update is evicted and
+        re-evaluates on next demand.  ``UpdateResult.maintained`` reports
+        whether the session still holds incrementally updated state — the
+        materialization when one existed, otherwise surviving table entries.
         """
         # Out-of-band drift must be measured before the delta mutates the
         # instance, and absorbed as its own maintenance step before the
         # in-band changes — otherwise the basis sync below would bury it.
         out_of_band: "tuple[list[Fact], list[Fact]]" = ([], [])
-        if self._maintained is not None:
+        if self._has_artifacts():
             out_of_band = self._pending_out_of_band_delta()
         delta = self.instance.begin_delta()
         for verb, facts in (("add", additions), ("retract", retractions)):
@@ -574,20 +683,35 @@ class QuerySession:
         applied = delta.apply()
 
         statistics = EvaluationStatistics()
+        had_entries = len(self._tables) > 0
         maintained = False
         reason: "str | None" = None
         if self._maintained is not None:
             try:
                 if out_of_band[0] or out_of_band[1]:
-                    self._maintained.update(*out_of_band, statistics=statistics)
-                self._maintained.update(applied.added, applied.removed, statistics=statistics)
+                    self._maintain_main(*out_of_band, statistics=statistics)
+                self._maintain_main(applied.added, applied.removed, statistics=statistics)
             except EvaluationError as error:
                 reason = str(error)
                 self._maintained = None
-                self._basis = {}
             else:
                 maintained = True
-                self._sync_basis()
+        evicted: "list[tuple[TableEntry, str]]" = []
+        if out_of_band[0] or out_of_band[1]:
+            evicted += self._tables.apply_update(*out_of_band, statistics=statistics)
+        evicted += self._tables.apply_update(
+            applied.added, applied.removed, statistics=statistics
+        )
+        if not maintained and reason is None and had_entries:
+            # Goal-only session: the tables are the maintained state.
+            if len(self._tables) > 0:
+                maintained = True
+            elif evicted:
+                reason = evicted[0][1]
+        if self._has_artifacts():
+            self._sync_basis()
+        else:
+            self._basis = {}
         self.last_maintenance_fallback = reason
         return UpdateResult(
             added=applied.added,
@@ -611,47 +735,155 @@ class QuerySession:
         if wanted_mode not in ("full", "goal"):
             raise EvaluationError(f"unknown query mode {wanted_mode!r}; use 'full' or 'goal'")
         normalised = _normalise_binding(binding, query.output_arity, query.output_relation)
+        statistics = EvaluationStatistics()
+        if self._memoize:
+            self._absorb_out_of_band(statistics)
 
         fallback_reason: "str | None" = None
         if wanted_mode == "goal":
-            if self._maintained is not None:
+            key = tuple(sorted(normalised))
+            if self._memoize and self._maintained is not None:
                 # A maintained full materialization is already warm: reading
-                # it beats even a goal-directed run.  Goal-only sessions never
-                # enter here, so the magic pipeline below stays their path.
-                return self._serve_from_materialization(normalised)
-            compiled, fallback_reason = query._goal_program_for_key(tuple(sorted(normalised)))
+                # it beats even a goal-directed run.  The request keeps its
+                # goal identity (mode stays "goal"), and the compile-time
+                # fallback reason — what a cold run would have hit — is
+                # threaded through so callers still see it.
+                _, fallback_reason = query._goal_program_for_key(key)
+                return self._serve_from_materialization(
+                    normalised,
+                    statistics=statistics,
+                    mode="goal",
+                    fallback_reason=fallback_reason,
+                )
+            if self._memoize:
+                entry = self._tables.lookup(key, normalised, statistics)
+                if entry is not None:
+                    return self._serve_from_entry(entry, normalised, statistics)
+            compiled, fallback_reason = query._goal_program_for_key(key)
             if compiled is not None:
-                statistics = EvaluationStatistics()
-                try:
-                    full = self._evaluate(
-                        compiled.program,
-                        statistics,
-                        seed_facts=(compiled.seed_fact(normalised),),
-                    )
-                except EvaluationBudgetExceeded as error:
-                    fallback_reason = (
-                        f"goal-directed evaluation exceeded the limits ({error}); "
-                        f"fell back to full evaluation"
-                    )
-                else:
-                    output = _restrict_output(full, query.output_relation, normalised)
-                    return QueryResult(
-                        output=output,
-                        full_instance=full,
-                        statistics=statistics,
-                        output_relation=query.output_relation,
-                        binding=normalised,
-                        mode="goal",
-                        served_by="goal",
-                    )
+                result, fallback_reason = self._evaluate_goal(
+                    compiled, normalised, statistics
+                )
+                if result is not None:
+                    return result
 
-        return self._serve_from_materialization(normalised, fallback_reason=fallback_reason)
+        # Full-mode requests, and goal-mode requests that genuinely fell back
+        # to full evaluation (refused rewriting, budget breach): the answer
+        # is computed as a full query, and mode records that.
+        return self._serve_from_materialization(
+            normalised,
+            statistics=statistics,
+            fallback_reason=fallback_reason,
+        )
+
+    def _evaluate_goal(
+        self,
+        compiled,
+        normalised: Binding,
+        statistics: EvaluationStatistics,
+    ) -> "tuple[QueryResult | None, str | None]":
+        """Evaluate one goal-directed call, tabling its answers when memoizing.
+
+        Returns ``(result, None)`` on success and ``(None, reason)`` when the
+        evaluation breached its budget and the caller must fall back to full
+        evaluation.
+        """
+        query = self.query
+        seed_binding = {
+            position: normalised[position]
+            for position in compiled.adornment.bound_positions
+        }
+        seed = compiled.seed_fact(seed_binding)
+        try:
+            if self._memoize:
+                entry = self._table_entry_for(compiled, seed_binding, seed, statistics)
+                self._tables.insert(entry)
+                self._sync_basis()
+                full = entry.answers
+            else:
+                full = self._evaluate(compiled.program, statistics, seed_facts=(seed,))
+        except EvaluationBudgetExceeded as error:
+            return None, (
+                f"goal-directed evaluation exceeded the limits ({error}); "
+                f"fell back to full evaluation"
+            )
+        output = _restrict_output(full, query.output_relation, normalised)
+        return (
+            QueryResult(
+                output=output,
+                full_instance=full,
+                statistics=statistics,
+                output_relation=query.output_relation,
+                binding=normalised,
+                mode="goal",
+                served_by="goal",
+            ),
+            None,
+        )
+
+    def _table_entry_for(
+        self,
+        compiled,
+        seed_binding: Binding,
+        seed: Fact,
+        statistics: EvaluationStatistics,
+    ) -> TableEntry:
+        """Evaluate *compiled* from *seed* into a (preferably maintained) entry."""
+        positions = tuple(compiled.adornment.bound_positions)
+        values = tuple(seed_binding[position] for position in positions)
+        try:
+            fixpoint = MaintainedFixpoint.evaluate(
+                compiled.program,
+                self.instance,
+                self.query.limits,
+                strategy=self.query.strategy,
+                execution=self.query.execution,
+                statistics=statistics,
+                evaluators=self._evaluators_for(compiled.program),
+                seed_facts=(seed,),
+            )
+        except MaintenanceUnsupportedError:
+            # The magic program cannot be maintained; table a plain snapshot
+            # (served until the first update that touches its relations).
+            snapshot = self._evaluate(compiled.program, statistics, seed_facts=(seed,))
+            return TableEntry(
+                self.query.output_relation, positions, values, compiled, snapshot=snapshot
+            )
+        return TableEntry(
+            self.query.output_relation, positions, values, compiled, fixpoint=fixpoint
+        )
+
+    def _serve_from_entry(
+        self, entry: TableEntry, normalised: Binding, statistics: EvaluationStatistics
+    ) -> QueryResult:
+        """Answer a goal-mode call from a subsuming tabled goal."""
+        output = _restrict_output(entry.answers, self.query.output_relation, normalised)
+        return QueryResult(
+            output=output,
+            full_instance=entry.answers,
+            statistics=statistics,
+            output_relation=self.query.output_relation,
+            binding=normalised,
+            mode="goal",
+            served_by="tabled",
+        )
 
     def _serve_from_materialization(
-        self, normalised: Binding, *, fallback_reason: "str | None" = None
+        self,
+        normalised: Binding,
+        *,
+        statistics: "EvaluationStatistics | None" = None,
+        mode: QueryMode = "full",
+        fallback_reason: "str | None" = None,
     ) -> QueryResult:
-        """Answer a full-mode query from the (synced) materialization."""
-        statistics = EvaluationStatistics()
+        """Answer a query from the (synced) materialization.
+
+        *mode* carries the request's identity: a goal-mode request served
+        here keeps ``mode == "goal"`` (with ``served_by`` saying how the
+        answer was actually produced).
+        """
+        if statistics is None:
+            statistics = EvaluationStatistics()
         maintained, served_by = self._materialization(statistics)
         output = _restrict_output(
             maintained.materialized, self.query.output_relation, normalised
@@ -662,7 +894,7 @@ class QuerySession:
             statistics=statistics,
             output_relation=self.query.output_relation,
             binding=normalised,
-            mode="full",
+            mode=mode,
             fallback_reason=fallback_reason,
             served_by=served_by,
         )

@@ -85,6 +85,25 @@ class MagicSetUnsupportedError(TransformationError):
     """
 
 
+class ExpandingMagicRecursionError(MagicSetUnsupportedError):
+    """The termination-specific refusal: a magic predicate on a recursion
+    cycle could grow its bound path arguments without bound.
+
+    Unlike the soundness refusals, this one can often be *relaxed*: rewriting
+    for a more general goal adornment (fewer bound positions) removes the
+    expanding argument from the magic predicate, and the subgoal answer
+    tables (:mod:`repro.engine.tabling`) then serve the original, more
+    specific call from the generalized goal's answers.
+    ``magic_rewrite(..., on_expanding="generalize")`` performs that retry.
+    """
+
+
+class SubgoalTableError(EvaluationError):
+    """Raised on invalid use of a subgoal answer table
+    (:mod:`repro.engine.tabling`), e.g. inserting an entry whose seed does
+    not match its adornment's bound positions."""
+
+
 class UnificationError(SequenceDatalogError):
     """Raised for invalid inputs to the associative unification engine."""
 

@@ -36,7 +36,12 @@ would be unsound or non-terminating:
   either unchanged (a bare path variable of the guard), or built only from
   variables bound by positive non-magic body atoms (whose values come from
   the finite relations), closed under equations.  Anything else is reported
-  as unsupported.
+  as unsupported — or, with ``on_expanding="generalize"``, retried under a
+  more general goal adornment whose magic predicates no longer carry the
+  expanding argument; the caller then filters the (subsuming) answers down
+  to the requested binding, which is how the subgoal answer tables
+  (:mod:`repro.engine.tabling`) admit recursive goals this check used to
+  refuse outright.
 """
 
 from __future__ import annotations
@@ -47,7 +52,11 @@ from typing import Mapping, Sequence
 import networkx as nx
 
 from repro.analysis.adornment import Adornment, AdornedRule, adorn_program
-from repro.errors import EvaluationError, MagicSetUnsupportedError
+from repro.errors import (
+    EvaluationError,
+    ExpandingMagicRecursionError,
+    MagicSetUnsupportedError,
+)
 from repro.model.instance import Fact
 from repro.model.terms import Path, as_path
 from repro.syntax.expressions import PathVariable, Variable
@@ -62,7 +71,14 @@ __all__ = ["MagicProgram", "magic_rewrite"]
 
 @dataclass(frozen=True)
 class MagicProgram:
-    """The output of :func:`magic_rewrite`, ready for seeded evaluation."""
+    """The output of :func:`magic_rewrite`, ready for seeded evaluation.
+
+    ``adornment`` is the adornment the program was actually rewritten for;
+    ``requested_adornment`` the one the caller asked for.  They differ only
+    when the rewriting was *generalized* (``on_expanding="generalize"``):
+    the evaluated goal then subsumes the requested one, and the caller is
+    expected to filter the answers down to the requested binding.
+    """
 
     program: Program
     output_relation: str
@@ -70,15 +86,29 @@ class MagicProgram:
     magic_seed_relation: str
     adornment: Adornment
     report: TransformationReport
+    requested_adornment: "Adornment | None" = None
+
+    @property
+    def generalized(self) -> bool:
+        """Whether the evaluated goal is strictly more general than requested."""
+        return (
+            self.requested_adornment is not None
+            and self.requested_adornment != self.adornment
+        )
 
     def seed_fact(self, binding: "Mapping[int, Path | str] | None" = None) -> Fact:
         """The magic fact that launches the query for *binding*.
 
-        *binding* maps the bound output positions (exactly those of the
-        adornment) to concrete paths.
+        *binding* maps the bound output positions to concrete paths; it must
+        cover every bound position of the (possibly generalized) adornment,
+        and extra positions — the ones a generalized rewriting no longer
+        binds — are ignored.
         """
         binding = dict(binding or {})
-        if set(binding) != set(self.adornment.bound_positions):
+        wanted = set(self.adornment.bound_positions)
+        if not wanted <= set(binding) or (
+            not self.generalized and set(binding) != wanted
+        ):
             raise EvaluationError(
                 f"binding positions {sorted(binding)} do not match the bound positions "
                 f"{list(self.adornment.bound_positions)} of adornment {self.adornment}"
@@ -192,7 +222,7 @@ def _check_termination(
             continue
         expanding = _expanding_component(rule.head, guard, prefix)
         if expanding is not None:
-            raise MagicSetUnsupportedError(
+            raise ExpandingMagicRecursionError(
                 f"magic predicate {head_name!r} is recursive and its argument "
                 f"{expanding} can grow paths without bound (rule: {rule}); "
                 f"goal-directed evaluation might not terminate where full "
@@ -204,6 +234,8 @@ def magic_rewrite(
     program: Program,
     output_relation: str,
     adornment: "Adornment | str",
+    *,
+    on_expanding: str = "refuse",
 ) -> MagicProgram:
     """Rewrite *program* for goal-directed evaluation of ``output_relation^adornment``.
 
@@ -211,9 +243,62 @@ def magic_rewrite(
     unsound (negation on demanded IDB relations) or could destroy termination
     (expanding magic recursion); callers are expected to fall back to full
     evaluation in that case.
+
+    ``on_expanding`` selects how the termination refusal is handled:
+
+    * ``"refuse"`` (default) — raise
+      :class:`~repro.errors.ExpandingMagicRecursionError` as before;
+    * ``"generalize"`` — retry with progressively more general goal
+      adornments (fewest unbound positions first, the all-free adornment
+      last).  Unbinding the positions that feed an expanding cycle removes
+      the growing argument from the magic predicates, so the generalized
+      goal evaluates safely and *subsumes* the requested one; the result
+      records ``requested_adornment`` and callers filter the answers down
+      to the original binding (the query layer's subgoal answer tables do
+      exactly that, and also serve later subsumed calls from the same
+      answers).  When every generalization is still expanding — constants
+      can feed bound adornments even from the all-free goal — the original
+      error propagates and the caller falls back to full evaluation.
     """
     if isinstance(adornment, str):
         adornment = Adornment.from_string(adornment)
+    if on_expanding not in ("refuse", "generalize"):
+        raise EvaluationError(
+            f"unknown on_expanding mode {on_expanding!r}; use 'refuse' or 'generalize'"
+        )
+    try:
+        return _magic_rewrite_for(program, output_relation, adornment)
+    except ExpandingMagicRecursionError:
+        if on_expanding != "generalize":
+            raise
+        for weaker in adornment.weakenings():
+            try:
+                rewritten = _magic_rewrite_for(program, output_relation, weaker)
+            except MagicSetUnsupportedError:
+                # Any refusal — expanding again, or a soundness refusal a
+                # different demand pattern provoked — just disqualifies this
+                # weakening; a still-weaker one (ultimately all-free) may
+                # rewrite fine.  If none does, the *original* error
+                # propagates: that is the adornment the caller asked about.
+                continue
+            return MagicProgram(
+                program=rewritten.program,
+                output_relation=rewritten.output_relation,
+                adorned_output_relation=rewritten.adorned_output_relation,
+                magic_seed_relation=rewritten.magic_seed_relation,
+                adornment=rewritten.adornment,
+                report=rewritten.report,
+                requested_adornment=adornment,
+            )
+        raise
+
+
+def _magic_rewrite_for(
+    program: Program,
+    output_relation: str,
+    adornment: Adornment,
+) -> MagicProgram:
+    """The core rewriting for one fixed goal adornment."""
     adorned = adorn_program(program, output_relation, adornment)
     idb = program.idb_relation_names()
 
@@ -290,4 +375,5 @@ def magic_rewrite(
         magic_seed_relation=magic_names[output_key],
         adornment=adornment,
         report=TransformationReport.compare(program, result),
+        requested_adornment=adornment,
     )

@@ -25,6 +25,7 @@ __all__ = [
     "all_as_instance",
     "random_graph_instance",
     "layered_graph_instance",
+    "prefix_tree_instance",
     "as_edge_pairs",
     "random_two_bounded_instance",
     "random_nfa_instance",
@@ -125,6 +126,43 @@ def layered_graph_instance(
     waypoints = ["a"] + [generator.choice(column) for column in columns[1:-1]] + ["b"]
     for first, second in zip(waypoints, waypoints[1:]):
         instance.add(relation, Path((first, second)))
+    return instance
+
+
+def prefix_tree_instance(
+    *,
+    relation: str = "N",
+    depth: int = 4,
+    alphabet: Sequence[str] = ("a", "b"),
+    keep: float = 0.85,
+    seed: int = 0,
+) -> Instance:
+    """A prefix-closed set of node paths — the hierarchy-reachability workload.
+
+    Node identifiers are paths over *alphabet*; the implicit edges of the
+    hierarchy go from each node ``$v`` to its children ``$v·letter``, so the
+    node set doubles as the graph.  Starting from the root ``ϵ``, each child
+    survives with probability *keep* (subtrees below a pruned child are
+    pruned with it, keeping the set prefix-closed).  This is the instance
+    family the single-source descendant-reachability goal runs on — the
+    recursion walks the hierarchy by *extending* the bound node path, which
+    is exactly the shape the expanding-magic-recursion check refuses and the
+    generalized, tabled rewriting handles.
+    """
+    generator = random.Random(seed)
+    instance = Instance()
+    instance.ensure_relation(relation)
+    frontier: list[Path] = [Path(())]
+    instance.add(relation, Path(()))
+    for _ in range(depth):
+        next_frontier: list[Path] = []
+        for node in frontier:
+            for letter in alphabet:
+                if generator.random() < keep:
+                    child = Path(node.elements + (letter,))
+                    instance.add(relation, child)
+                    next_frontier.append(child)
+        frontier = next_frontier
     return instance
 
 

@@ -26,6 +26,36 @@ class TestAdornment:
         with pytest.raises(EvaluationError):
             Adornment.from_positions(1, [3])
 
+    def test_subsumption_is_bound_position_containment(self):
+        assert Adornment.from_string("bf").subsumes(Adornment.from_string("bb"))
+        assert Adornment.from_string("ff").subsumes(Adornment.from_string("bf"))
+        assert Adornment.from_string("bf").subsumes(Adornment.from_string("bf"))
+        assert not Adornment.from_string("bb").subsumes(Adornment.from_string("bf"))
+        assert not Adornment.from_string("fb").subsumes(Adornment.from_string("bf"))
+        assert not Adornment.from_string("f").subsumes(Adornment.from_string("ff"))
+
+    def test_weakenings_are_exactly_the_strictly_subsuming_adornments(self):
+        # The generalization retry relies on this pairing: every weakening
+        # subsumes the original (its answers can serve the original call),
+        # ordered most specific first, ending with all-free.
+        original = Adornment.from_string("bfb")
+        weakenings = list(original.weakenings())
+        assert [w.suffix() for w in weakenings] == ["bff", "ffb", "fff"]
+        assert all(w.subsumes(original) and w != original for w in weakenings)
+        assert not list(Adornment.all_free(2).weakenings())
+
+    def test_subsumption_mirrors_the_table_seed_ordering(self):
+        # Adornment.subsumes is the adornment half of the answer tables'
+        # seed subsumption: entry positions ⊆ call positions.
+        from repro.engine import TableEntry
+        from repro.model import Instance, path
+
+        entry = TableEntry("S", (0,), (path("a"),), None, snapshot=Instance())
+        general = adornment_from_binding(2, {0: "a"})
+        specific = adornment_from_binding(2, {0: "a", 1: "b"})
+        assert general.subsumes(specific)
+        assert entry.subsumes(specific.bound_positions, {0: path("a"), 1: path("b")})
+
 
 class TestSipsOrder:
     def test_fully_bound_literals_run_first(self):

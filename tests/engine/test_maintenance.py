@@ -201,6 +201,44 @@ class TestUnsupportedAndErrors:
         with pytest.raises(EvaluationError, match="derived by the"):
             maintained.update(additions=[Fact("T", (path("a"), path("b")))])
 
+    def test_unknown_relation_is_refused_not_silently_accepted(self):
+        # Regression: facts of a relation the program never mentions used to
+        # be absorbed into the materialization without any maintenance,
+        # silently desynchronising it from a from-scratch evaluation.
+        program = parse_program(REACHABILITY_PAIRS)
+        maintained = MaintainedFixpoint.evaluate(program, line_instance("a", "b"))
+        snapshot = maintained.materialized.copy()
+        with pytest.raises(MaintenanceUnsupportedError, match="never mentions"):
+            maintained.update(additions=[Fact("Stray", [path("z")])])
+        # Refused upfront: no state was touched and later updates still work.
+        assert maintained.materialized == snapshot
+        maintained.update(additions=[edge("b", "c")])
+        assert maintained.materialized.contains("T", path("a"), path("c"))
+
+    def test_unknown_relation_retraction_is_refused(self):
+        program = parse_program(REACHABILITY_PAIRS)
+        maintained = MaintainedFixpoint.evaluate(program, line_instance("a", "b"))
+        with pytest.raises(MaintenanceUnsupportedError, match="never mentions"):
+            maintained.update(retractions=[Fact("Stray", [path("z")])])
+
+    def test_negation_only_read_is_inside_the_closure(self):
+        # W reads A *only under negation*; the closure must still treat W as
+        # possibly changed when A moves, so negating W downstream refuses the
+        # update instead of silently maintaining through it.
+        program = parse_program(
+            "A($x) :- R($x).\n"
+            "W($x) :- Q($x), not A($x).\n"
+            "S($x) :- Q($x), not W($x)."
+        )
+        base = Instance()
+        base.add("R", path("a"))
+        base.add("Q", path("b"))
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        snapshot = maintained.materialized.copy()
+        with pytest.raises(MaintenanceUnsupportedError, match="negation"):
+            maintained.update(additions=[Fact("R", [path("b")])])
+        assert maintained.materialized == snapshot
+
     def test_noop_update_returns_empty_result(self):
         program = parse_program(REACHABILITY_PAIRS)
         base = line_instance("a", "b")

@@ -56,13 +56,39 @@ class TestServedBy:
         session = pair_query().session(line_instance())
         session.run()  # materializes the full fixpoint
         result = session.run(binding={0: "a"}, mode="goal")
-        assert result.served_by == "maintained" and result.mode == "full"
+        # Regression: the warm-materialization serve used to drop the goal
+        # request's identity and report mode="full".
+        assert result.served_by == "maintained" and result.mode == "goal"
+        assert result.fallback_reason is None
         assert result.output == pair_query().run(line_instance(), binding={0: "a"}).output
+
+    def test_goal_mode_served_from_memo_threads_the_compile_reason(self):
+        # The rewriting for this query is statically refused; a goal request
+        # served from the warm materialization must still surface why a cold
+        # goal run would have fallen back.
+        query = get_query("black_neighbours").make_query()
+        instance = random_graph_instance(nodes=6, edges=10, seed=3)
+        instance.add("B", path("a"))
+        session = query.session(instance)
+        session.run()  # materializes the full fixpoint
+        result = session.run(mode="goal")
+        assert result.served_by == "maintained" and result.mode == "goal"
+        assert "negates the derived relation" in result.fallback_reason
 
     def test_goal_only_sessions_keep_the_goal_pipeline(self):
         session = pair_query().session(line_instance())
         result = session.run(binding={0: "a"}, mode="goal")
         assert result.served_by == "goal" and result.mode == "goal"
+
+    def test_repeated_goal_is_served_from_the_table(self):
+        session = pair_query().session(line_instance())
+        first = session.run(binding={0: "a"}, mode="goal")
+        assert first.served_by == "goal"
+        second = session.run(binding={0: "a"}, mode="goal")
+        assert second.served_by == "tabled" and second.mode == "goal"
+        assert second.statistics.subgoal_table_hits == 1
+        assert second.statistics.extension_attempts == 0
+        assert second.output == first.output
 
     def test_one_shot_queries_are_unaffected(self):
         result = pair_query().run(line_instance(), binding={0: "a"})
@@ -201,13 +227,25 @@ class TestGoalFallbackContract:
 
 
 class TestPlanCacheCounters:
-    def test_repeated_goal_runs_hit_the_plan_cache(self):
+    def test_distinct_goal_runs_hit_the_plan_cache(self):
+        # Distinct bindings cannot be served from the subgoal table, so the
+        # second run evaluates its magic program — with warm compiled plans.
         instance = as_edge_pairs(random_graph_instance(nodes=10, edges=25, seed=5))
         session = pair_query().session(instance)
         first = session.run(binding={0: "a"}, mode="goal")
-        second = session.run(binding={0: "a"}, mode="goal")
+        second = session.run(binding={0: "b"}, mode="goal")
+        assert second.served_by == "goal"
         assert second.statistics.plans_compiled < first.statistics.plans_compiled
         assert second.statistics.plan_cache_hits > 0
+
+    def test_tabled_serving_does_no_planning(self):
+        instance = as_edge_pairs(random_graph_instance(nodes=10, edges=25, seed=5))
+        session = pair_query().session(instance)
+        session.run(binding={0: "a"}, mode="goal")
+        repeat = session.run(binding={0: "a"}, mode="goal")
+        assert repeat.served_by == "tabled"
+        assert repeat.statistics.plans_compiled == 0
+        assert repeat.statistics.extension_attempts == 0
 
     def test_maintained_serving_does_no_planning(self):
         session = pair_query().session(line_instance())

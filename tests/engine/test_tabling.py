@@ -1,0 +1,249 @@
+"""Tests for subsumption-based tabling of adorned subgoals.
+
+Covers the table mechanics (seed subsumption ordering, absorption by more
+general entries, the LRU bound), the session integration (tabled serving,
+incremental maintenance of entries, eviction on unsupported updates), and
+the relaxed expanding-magic-recursion boundary: a recursive single-source
+reachability goal whose adornment used to record an expanding-recursion
+``fallback_reason`` now runs goal-directed through a generalized, tabled
+rewriting.
+"""
+
+import pytest
+
+from repro.engine import AnswerTable, ProgramQuery, TableEntry
+from repro.errors import SubgoalTableError
+from repro.model import Fact, Instance, path
+from repro.parser import parse_program
+from repro.workloads import prefix_tree_instance
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+#: Single-source reachability in a prefix hierarchy: node identifiers are
+#: paths, the implicit edges go from each node to its one-letter extensions,
+#: and ``D($s, $t)`` holds when the valid node ``$t`` is reachable from
+#: (i.e. a descendant-or-self of) ``$s``.  Binding the source makes the
+#: recursion *extend* the bound argument — the shape the expanding-magic-
+#: recursion check refuses.  ``Pairs`` is deliberately un-demanded ballast:
+#: goal-directed runs must not evaluate it.
+DESCENDANTS = """
+D($t, $t) :- N($t).
+D($s, $t) :- D($s.a, $t).
+D($s, $t) :- D($s.b, $t).
+Pairs($x, $y) :- N($x), N($y).
+"""
+
+
+def pair_query(**overrides):
+    options = dict(require_monadic=False)
+    options.update(overrides)
+    return ProgramQuery(parse_program(REACHABILITY_PAIRS), {"E": 2}, "T", **options)
+
+
+def line_instance(length=6):
+    instance = Instance()
+    nodes = ["a"] + [f"n{i}" for i in range(1, length)]
+    for source, target in zip(nodes, nodes[1:]):
+        instance.add("E", source, target)
+    return instance
+
+
+def edge(source, target):
+    return Fact("E", (path(source), path(target)))
+
+
+def snapshot_entry(positions, values, relation="T"):
+    return TableEntry(relation, positions, values, None, snapshot=Instance())
+
+
+class TestTableMechanics:
+    def test_exact_repeat_is_a_hit(self):
+        table = AnswerTable()
+        table.insert(snapshot_entry((0,), (path("a"),)))
+        hit = table.lookup((0,), {0: path("a")})
+        assert hit is not None and hit.hits == 1
+        assert table.lookup((0,), {0: path("b")}) is None
+
+    def test_more_general_entry_serves_more_specific_calls(self):
+        table = AnswerTable()
+        table.insert(snapshot_entry((0,), (path("a"),)))
+        # Bound goal {0: a} subsumes {0: a, 1: b} but not {0: b, 1: b}.
+        assert table.lookup((0, 1), {0: path("a"), 1: path("b")}) is not None
+        assert table.lookup((0, 1), {0: path("b"), 1: path("b")}) is None
+        # The all-free entry subsumes everything.
+        table.insert(snapshot_entry((), ()))
+        assert table.lookup((0, 1), {0: path("b"), 1: path("b")}) is not None
+
+    def test_lookup_prefers_the_most_specific_subsuming_entry(self):
+        table = AnswerTable()
+        table.insert(snapshot_entry((), ()))
+        specific = snapshot_entry((0,), (path("a"),))
+        table.insert(specific)
+        assert table.lookup((0, 1), {0: path("a"), 1: path("b")}) is specific
+
+    def test_general_entry_absorbs_the_entries_it_subsumes(self):
+        table = AnswerTable()
+        table.insert(snapshot_entry((0,), (path("a"),)))
+        table.insert(snapshot_entry((0,), (path("b"),)))
+        table.insert(snapshot_entry((0, 1), (path("a"), path("c"))))
+        absorbed = table.insert(snapshot_entry((), ()))
+        assert len(absorbed) == 3 and len(table) == 1
+
+    def test_incomparable_seeds_coexist(self):
+        table = AnswerTable()
+        table.insert(snapshot_entry((0,), (path("a"),)))
+        absorbed = table.insert(snapshot_entry((0,), (path("b"),)))
+        assert not absorbed and len(table) == 2
+
+    def test_lru_bound_evicts_the_coldest_entry(self):
+        table = AnswerTable(max_entries=2)
+        table.insert(snapshot_entry((0,), (path("a"),)))
+        table.insert(snapshot_entry((0,), (path("b"),)))
+        table.lookup((0,), {0: path("a")})  # touch "a": "b" is now coldest
+        table.insert(snapshot_entry((0,), (path("c"),)))
+        assert len(table) == 2
+        assert table.lookup((0,), {0: path("b")}) is None
+        assert table.lookup((0,), {0: path("a")}) is not None
+
+    def test_invalid_entries_are_rejected(self):
+        with pytest.raises(SubgoalTableError, match="line up"):
+            snapshot_entry((0, 1), (path("a"),))
+        with pytest.raises(SubgoalTableError, match="sorted"):
+            snapshot_entry((1, 0), (path("a"), path("b")))
+        with pytest.raises(SubgoalTableError, match="either"):
+            TableEntry("T", (), (), None)
+        with pytest.raises(SubgoalTableError, match="room"):
+            AnswerTable(max_entries=0)
+
+
+class TestSessionTabling:
+    def test_subsumed_goal_served_from_a_more_general_entry(self):
+        query = pair_query()
+        session = query.session(line_instance())
+        first = session.run(binding={0: "a"}, mode="goal")
+        assert first.served_by == "goal"
+        # The same-source pair membership call is subsumed by the tabled goal.
+        second = session.run(binding={0: "a", 1: "n3"}, mode="goal")
+        assert second.served_by == "tabled" and second.mode == "goal"
+        reference = query.run(line_instance(), binding={0: "a", 1: "n3"})
+        assert second.output == reference.output
+
+    def test_entries_are_maintained_through_updates(self):
+        instance = line_instance()
+        query = pair_query()
+        session = query.session(instance)
+        assert session.run(binding={0: "a"}, mode="goal").served_by == "goal"
+        update = session.update(
+            additions=[edge("n3", "a")], retractions=[edge("a", "n1")]
+        )
+        assert update.maintained and update.fallback_reason is None
+        result = session.run(binding={0: "a"}, mode="goal")
+        assert result.served_by == "tabled"
+        assert result.output == query.run(instance.copy(), binding={0: "a"}).output
+
+    def test_out_of_band_drift_reaches_tabled_entries(self):
+        instance = line_instance()
+        query = pair_query()
+        session = query.session(instance)
+        session.run(binding={0: "a"}, mode="goal")
+        instance.add("E", path("n5"), path("a"))  # bypasses session.update
+        result = session.run(binding={0: "a"}, mode="goal")
+        assert result.served_by == "tabled"
+        assert result.output == query.run(instance.copy(), binding={0: "a"}).output
+
+    def test_unsupported_update_evicts_only_the_affected_entry(self):
+        # set_difference negates the EDB relation Q: the goal rewriting is
+        # supported, but an update touching Q cannot be maintained through
+        # the tabled entry — it must be evicted (with the reason recorded)
+        # and the next call must re-evaluate, not serve stale answers.
+        from repro.model import unary_instance
+        from repro.queries import get_query
+
+        query = get_query("set_difference").make_query()
+        instance = unary_instance("R", ["ab", "ba"])
+        instance.add("Q", path(*"ba"))
+        session = query.session(instance)
+        first = session.run(binding={0: path(*"ab")}, mode="goal")
+        assert first.served_by == "goal" and first.paths() == {path(*"ab")}
+        update = session.update(additions=[Fact("Q", [path(*"ab")])])
+        assert not update.maintained and "negation" in update.fallback_reason
+        assert len(session._tables) == 0
+        description, reason = session._tables.evictions[-1]
+        assert "S[0=a·b]" in description and "negation" in reason
+        second = session.run(binding={0: path(*"ab")}, mode="goal")
+        assert second.served_by == "goal" and second.paths() == frozenset()
+
+    def test_one_shot_sessions_do_not_table(self):
+        session = pair_query().session(line_instance(), memoize=False)
+        assert session.run(binding={0: "a"}, mode="goal").served_by == "goal"
+        assert session.run(binding={0: "a"}, mode="goal").served_by == "goal"
+
+    def test_full_materialization_supersedes_the_table(self):
+        session = pair_query().session(line_instance())
+        session.run(binding={0: "a"}, mode="goal")
+        session.run()  # materializes the full fixpoint
+        result = session.run(binding={0: "a"}, mode="goal")
+        assert result.served_by == "maintained" and result.mode == "goal"
+
+
+class TestGeneralizedGoals:
+    """The relaxed expanding-magic-recursion boundary (acceptance criterion)."""
+
+    def descendants_query(self):
+        return ProgramQuery(
+            parse_program(DESCENDANTS), {"N": 1}, "D", require_monadic=False
+        )
+
+    def test_bound_source_adornment_is_still_refused_without_generalization(self):
+        from repro.errors import ExpandingMagicRecursionError
+        from repro.transform import magic_rewrite
+
+        with pytest.raises(ExpandingMagicRecursionError, match="grow paths"):
+            magic_rewrite(parse_program(DESCENDANTS), "D", "bf")
+
+    def test_previously_refused_goal_now_runs_goal_directed(self):
+        query = self.descendants_query()
+        instance = prefix_tree_instance(depth=4, seed=3)
+        source = {0: path("a", "b")}
+        full = query.run(instance, binding=source, mode="full")
+        goal = query.run(instance, binding=source, mode="goal")
+        assert goal.mode == "goal" and goal.fallback_reason is None
+        assert goal.output == full.output
+        # The un-demanded Pairs cross product is never evaluated.
+        assert goal.statistics.extension_attempts < full.statistics.extension_attempts
+        assert not goal.full_instance.relation("Pairs")
+
+    def test_generalized_rewriting_records_the_requested_adornment(self):
+        query = self.descendants_query()
+        compiled, reason = query.goal_program({0: path("a")})
+        assert reason is None and compiled.generalized
+        assert compiled.requested_adornment.suffix() == "bf"
+        assert compiled.adornment.suffix() == "ff"
+
+    def test_repeats_and_subsumed_goals_hit_the_generalized_entry(self):
+        query = self.descendants_query()
+        instance = prefix_tree_instance(depth=4, seed=3)
+        session = query.session(instance)
+        first = session.run(binding={0: path("a", "b")}, mode="goal")
+        assert first.served_by == "goal"
+        # The generalized (all-free) entry subsumes every other source.
+        for source in (path("a", "b"), path("a"), path("b", "b")):
+            result = session.run(binding={0: source}, mode="goal")
+            assert result.served_by == "tabled" and result.mode == "goal"
+            assert result.output == query.run(instance, binding={0: source}).output
+
+    def test_constant_fed_expansion_still_falls_back_with_reason(self):
+        # only_as_air's bound goal expands through a constant even from the
+        # all-free goal adornment: the narrowed boundary still refuses it and
+        # the query layer records the reason.
+        from repro.queries import get_query
+
+        query = get_query("only_as_air").make_query()
+        instance = Instance({"R": ["aa", "ab"]})
+        result = query.run(instance, binding={0: path("a", "a")}, mode="goal")
+        assert result.mode == "full"
+        assert "grow paths without bound" in result.fallback_reason
+        assert result.paths() == query.run(instance).paths() & {path("a", "a")}

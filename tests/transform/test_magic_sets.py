@@ -5,7 +5,7 @@ import pytest
 from repro.analysis import Adornment
 from repro.engine import evaluate_program
 from repro.errors import EvaluationError, MagicSetUnsupportedError
-from repro.model import path
+from repro.model import path, unary_instance
 from repro.parser import parse_program
 from repro.queries import get_query
 from repro.transform import magic_rewrite
@@ -129,3 +129,54 @@ class TestUnsupportedCases:
         rewritten = magic_rewrite(program, "S", "f")
         names = {rule.head.name for rule in rewritten.program.rules()}
         assert not any(name.startswith("W_") for name in names)
+
+
+DESCENDANTS = """
+D($t, $t) :- N($t).
+D($s, $t) :- D($s.a, $t).
+D($s, $t) :- D($s.b, $t).
+"""
+
+
+class TestGeneralization:
+    def test_expanding_adornment_generalizes_instead_of_refusing(self):
+        rewritten = magic_rewrite(
+            parse_program(DESCENDANTS), "D", "bf", on_expanding="generalize"
+        )
+        assert rewritten.generalized
+        assert rewritten.requested_adornment == Adornment.from_string("bf")
+        assert rewritten.adornment == Adornment.from_string("ff")
+
+    def test_generalized_seed_projects_the_binding(self):
+        rewritten = magic_rewrite(
+            parse_program(DESCENDANTS), "D", "bf", on_expanding="generalize"
+        )
+        # The nullary (all-free) seed ignores the requested bound position.
+        seed = rewritten.seed_fact({0: path("a")})
+        assert seed.relation == rewritten.magic_seed_relation and seed.paths == ()
+
+    def test_admissible_adornments_are_untouched_by_generalize(self):
+        rewritten = magic_rewrite(
+            parse_program(REACHABILITY_PAIRS), "T", "bf", on_expanding="generalize"
+        )
+        assert not rewritten.generalized
+        assert rewritten.adornment == Adornment.from_string("bf")
+
+    def test_generalized_evaluation_answers_the_specific_goal(self):
+        program = parse_program(DESCENDANTS)
+        instance = unary_instance("N", ["", "a", "b", "ab", "aa", "aba"])
+        rewritten = magic_rewrite(program, "D", "bf", on_expanding="generalize")
+        result = evaluate_program(
+            rewritten.program, instance, seed_facts=[rewritten.seed_fact({0: path("a")})]
+        )
+        answers = {row[1] for row in result.relation("D") if row[0] == path("a")}
+        assert answers == {path("a"), path(*"ab"), path(*"aa"), path(*"aba")}
+
+    def test_unknown_on_expanding_mode_is_rejected(self):
+        with pytest.raises(EvaluationError, match="on_expanding"):
+            magic_rewrite(parse_program(DESCENDANTS), "D", "bf", on_expanding="tables")
+
+    def test_constant_fed_expansion_exhausts_every_generalization(self):
+        program = get_query("only_as_air").program()
+        with pytest.raises(MagicSetUnsupportedError, match="grow paths without bound"):
+            magic_rewrite(program, "S", "b", on_expanding="generalize")
