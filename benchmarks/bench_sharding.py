@@ -1,0 +1,206 @@
+"""SHARD — sharded parallel serving vs the single-process session.
+
+Not a paper experiment: this benchmark justifies the sharding layer
+described in DESIGN.md — hash-partitioned relations
+(:mod:`repro.storage.partition`), shard-parallel fixpoint rounds
+(:mod:`repro.engine.sharding`), and the multi-worker serving session
+(``QuerySession(shards=N)``).  The workload scales the incremental-serving
+shape up ~10× in EDB size: a dense layered-graph all-pairs reachability
+materialization (the reachability program's joins are key-aligned under the
+planner-chosen shard keys, so process workers own bare partitions and run
+router-mode rounds) followed by an addition-biased update stream with a
+burst of queries per step.
+
+Three gates, in decreasing portability:
+
+* **answers** — the 1-shard session, the 4-shard sequential session, and
+  the 4-shard process-pool session must produce identical answers at every
+  step (always checked);
+* **work partitioning** — under the sequential executor the per-shard
+  extension attempts must split near-linearly: no shard may carry more than
+  ``BALANCE_CEILING`` times its fair share (always checked — this is the
+  deterministic, machine-independent evidence of the parallel win);
+* **wall clock** — the 4-shard process-pool run must beat the 1-shard run
+  by ≥2× end to end.  Parallel wall time is physical: it needs cores.  The
+  gate therefore only fires on timed runs (not under ``--benchmark-disable``,
+  the CI smoke mode) on machines with at least ``MIN_CPUS_FOR_WALL_GATE``
+  CPUs; elsewhere the measured numbers are still reported.
+
+With ``--json`` the harness writes ``BENCH_sharding.json``.  The process-
+pool wall fields deliberately do **not** end in ``_seconds``: their value
+depends on the runner's core count, which the regression gate's single
+median calibration cannot correct for, so they are recorded for trajectory
+inspection but not gated.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import ProgramQuery
+from repro.parser import parse_program
+from repro.workloads import as_edge_pairs, layered_graph_instance, update_stream
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+#: ~10× the EDB of bench_incremental's graph (dense: the join work per
+#: derived fact is what the workers parallelize).
+GRAPH = dict(layers=14, width=18, edges_per_node=10, seed=2)
+STEPS = 3
+ADDITIONS_PER_STEP = 2
+SOURCES = ["a", "l1n0", "l3n3", "l5n5", "l8n8", "l12n12"]
+SHARDS = 4
+#: No shard may carry more than this multiple of its fair work share.
+BALANCE_CEILING = 2.0
+MIN_CPUS_FOR_WALL_GATE = 4
+
+
+def _workload():
+    program = parse_program(REACHABILITY_PAIRS)
+    instance = as_edge_pairs(layered_graph_instance(**GRAPH))
+    query = ProgramQuery(program, {"E": 2}, "T", require_monadic=False)
+    return query, instance
+
+
+def _steps(instance):
+    return list(
+        update_stream(
+            instance,
+            relation="E",
+            steps=STEPS,
+            additions_per_step=ADDITIONS_PER_STEP,
+            retractions_per_step=0,
+            seed=7,
+        )
+    )
+
+
+def _drive(session, steps):
+    """Build + update stream + query bursts; returns (answers, build_s, total_s)."""
+    answers = []
+    started = time.perf_counter()
+    warmup = session.run(binding={0: SOURCES[0]})
+    build_seconds = time.perf_counter() - started
+    assert warmup.served_by == "full"
+    for additions, retractions in steps:
+        update = session.update(additions, retractions)
+        assert update.maintained and update.fallback_reason is None
+        for source in SOURCES:
+            result = session.run(binding={0: source})
+            assert result.served_by == "maintained"
+            answers.append(result.output.relation("T"))
+    return answers, build_seconds, time.perf_counter() - started
+
+
+def test_sharded_serving_partitions_work_and_wins_wall_clock(bench_report, request):
+    query, instance = _workload()
+    edb_size = len(instance.relation("E"))
+    steps = _steps(instance)
+
+    # 1-shard baseline: the plain maintained session.
+    baseline_answers, baseline_build, baseline_seconds = _drive(
+        query.session(instance.copy()), steps
+    )
+
+    # 4 shards, sequential executor: deterministic partitioned execution —
+    # identical answers and near-linear work partitioning.
+    with query.session(instance.copy(), shards=SHARDS) as sequential:
+        sequential_answers, _, sequential_seconds = _drive(sequential, steps)
+        per_shard = list(sequential.sharding.per_shard_extension_attempts)
+        shard_sizes = sequential.sharding.sharded.shard_sizes()
+    assert sequential_answers == baseline_answers
+    total_attempts = sum(per_shard)
+    assert total_attempts > 0 and all(per_shard)
+    fair_share = total_attempts / SHARDS
+    assert max(per_shard) <= fair_share * BALANCE_CEILING, (
+        f"shard work is skewed: {per_shard} vs fair share {fair_share:.0f}"
+    )
+
+    # 4 shards, process pool: key-aligned joins let workers own bare
+    # partitions (router mode); answers must still be identical.
+    with query.session(instance.copy(), shards=SHARDS, executor="process") as pooled:
+        assert pooled.sharding.partitioned
+        process_answers, process_build, process_seconds = _drive(pooled, steps)
+    assert process_answers == baseline_answers
+
+    speedup = baseline_seconds / max(process_seconds, 1e-9)
+    cpus = os.cpu_count() or 1
+    timed = not request.config.getoption("benchmark_disable", False)
+    if timed and cpus >= MIN_CPUS_FOR_WALL_GATE:
+        assert baseline_seconds >= 2 * process_seconds, (
+            f"expected ≥2× at {SHARDS} shards on {cpus} CPUs: baseline "
+            f"{baseline_seconds:.2f}s vs process pool {process_seconds:.2f}s"
+        )
+
+    bench_report(
+        "sharding",
+        workload=(
+            f"dense layered-graph all-pairs reachability ({edb_size} EDB facts, "
+            f"~10× bench_incremental) + {STEPS}-step addition stream with "
+            f"{len(SOURCES)} queries per step, {SHARDS} shards"
+        ),
+        edb_facts=edb_size,
+        shards=SHARDS,
+        cpus=cpus,
+        baseline_seconds=baseline_seconds,
+        baseline_build_seconds=baseline_build,
+        sequential_shard_seconds=sequential_seconds,
+        # core-count-dependent: reported, not regression-gated (no _seconds suffix)
+        process_shard_wall=process_seconds,
+        process_build_wall=process_build,
+        process_speedup=speedup,
+        per_shard_extension_attempts=per_shard,
+        shard_balance=max(per_shard) / fair_share,
+        shard_sizes=shard_sizes,
+    )
+    print()
+    print(
+        f"sharded serving ({edb_size} EDB facts, {SHARDS} shards, {cpus} CPUs): "
+        f"1-shard {baseline_seconds:.2f}s, sequential {sequential_seconds:.2f}s, "
+        f"process pool {process_seconds:.2f}s ({speedup:.1f}×, gated on ≥"
+        f"{MIN_CPUS_FOR_WALL_GATE} CPUs); per-shard extension attempts {per_shard} "
+        f"(balance {max(per_shard) / fair_share:.2f}× fair share)"
+    )
+
+
+def test_cross_shard_exchange_is_a_fraction_of_derivations(bench_report):
+    """Router-mode builds exchange only the genuinely cross-shard rows."""
+    query, instance = _workload()
+    with query.session(instance.copy(), shards=SHARDS, executor="process") as pooled:
+        result = pooled.run(binding={0: SOURCES[0]})
+        derived = len(result.full_instance.relation("T"))
+        exchanged = result.statistics.cross_shard_facts
+    assert 0 < exchanged < derived
+    bench_report(
+        "sharding",
+        derived_facts=derived,
+        cross_shard_facts=exchanged,
+        exchange_fraction=exchanged / derived,
+    )
+    print()
+    print(
+        f"cross-shard exchange: {exchanged} rows for {derived} derived facts "
+        f"({exchanged / derived:.0%} of the materialization crossed a shard boundary)"
+    )
+
+
+@pytest.mark.parametrize("step_shape", ["update_plus_query"])
+def test_sharded_update_latency(benchmark, step_shape):
+    """Per-step latency of one sharded update + query (pytest-benchmark)."""
+    query, instance = _workload()
+    session = query.session(instance.copy(), shards=SHARDS)
+    session.run(binding={0: SOURCES[0]})
+    steps = iter(_steps(instance) * 200)
+
+    def step():
+        additions, retractions = next(steps)
+        session.update(additions, retractions)
+        return session.run(binding={0: SOURCES[0]})
+
+    result = benchmark.pedantic(step, rounds=1, iterations=1)
+    assert result.served_by == "maintained"
+    session.close()

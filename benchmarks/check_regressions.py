@@ -10,6 +10,12 @@ against the committed baselines in ``benchmarks/baselines/`` and fails when
   (default 25%, override with ``--tolerance`` or the
   ``BENCH_REGRESSION_TOLERANCE`` environment variable).
 
+A result file with **no committed baseline** — the first PR that adds a new
+benchmark — is *reported and skipped*: it cannot be gated (there is nothing
+to compare against) and it must not feed the calibration median, but it
+must not crash the gate either.  Commit it under ``benchmarks/baselines/``
+to start gating it.
+
 Measured wall times below a small floor never fail the gate — at that scale
 one bad scheduling quantum on a loaded runner dwarfs the engine, so only
 runs that are both slower than the scaled baseline *and* above the noise
@@ -138,6 +144,17 @@ def main(argv: "list[str] | None" = None) -> int:
     if not baselines:
         print(f"no baselines found under {args.baseline_dir}", file=sys.stderr)
         return 2
+
+    # New benchmarks (a result with no committed baseline) are reported and
+    # skipped: nothing to gate against, and — crucially for the calibration
+    # median — nothing to rescale by.  Commit the file to start gating it.
+    baseline_names = {path.name for path in baselines}
+    for result_path in sorted(args.results_dir.glob("BENCH_*.json")):
+        if result_path.name not in baseline_names:
+            print(
+                f"NEW {result_path.name}: no committed baseline — skipped "
+                f"(commit it as benchmarks/baselines/{result_path.name} to gate it)"
+            )
 
     failures: list[str] = []
     pairs: list[tuple[str, float, float]] = []

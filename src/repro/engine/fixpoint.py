@@ -76,6 +76,14 @@ class EvaluationStatistics:
     ``subgoal_table_hits`` counts goal-mode calls answered from a session's
     subgoal answer table (:mod:`repro.engine.tabling`) — repeated subsumed
     calls detected and served with zero evaluation.
+
+    The sharding counters belong to shard-parallel evaluation
+    (:mod:`repro.engine.sharding`): ``shard_rounds`` counts the partitioned
+    semi-naive rounds run, ``cross_shard_facts`` the delta rows exchanged
+    between workers (rows a shard derived that another shard's replica had
+    to receive), and ``shard_skipped_updates`` the update facts a tabled
+    goal's shard footprint proved irrelevant and mirrored without any
+    maintenance propagation.
     """
 
     iterations: int = 0
@@ -89,12 +97,37 @@ class EvaluationStatistics:
     rederivation_attempts: int = 0
     facts_retracted: int = 0
     subgoal_table_hits: int = 0
+    shard_rounds: int = 0
+    cross_shard_facts: int = 0
+    shard_skipped_updates: int = 0
     per_stratum_iterations: list[int] = field(default_factory=list)
+
+    #: The work counters a per-shard (or per-worker) statistics object feeds
+    #: back into the round's aggregate via :meth:`absorb_counters`.
+    WORK_COUNTERS = (
+        "rule_applications",
+        "delta_restricted_applications",
+        "extension_attempts",
+        "plans_compiled",
+        "plan_cache_hits",
+        "rederivation_attempts",
+    )
 
     def merge_stratum(self, iterations: int) -> None:
         """Record the iteration count of one stratum."""
         self.per_stratum_iterations.append(iterations)
         self.iterations += iterations
+
+    def absorb_counters(self, other: "EvaluationStatistics") -> None:
+        """Fold another object's per-shard work counters into this one.
+
+        Only the :data:`WORK_COUNTERS` are summed: round/iteration counts
+        are owned by the coordinating loop (a partitioned round is still one
+        round), and the derived/retracted fact tallies are recorded on the
+        net results by the owner.
+        """
+        for name in self.WORK_COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
 
 class ProgramEvaluators:

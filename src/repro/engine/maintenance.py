@@ -31,11 +31,24 @@ magic rewritings.  The property tests in
 ``tests/properties/test_maintenance_agreement.py`` assert that a maintained
 materialization stays extensionally identical to a from-scratch fixpoint
 across strategy × execution combinations, including retractions.
+
+A maintained fixpoint can additionally run **sharded**
+(:mod:`repro.engine.sharding`): pass a
+:class:`~repro.engine.sharding.ShardedFixpoint` and the build evaluates
+recursive strata with shard-parallel rounds, while every update phase fans
+its delta work out by home shard — counting pivots partition their overlay
+rows, overdeletion and rederivation partition their frontiers, and the
+insertion cascade runs through the sharded round engine (parallel under a
+process executor).  The maintained result is extensionally identical either
+way; sharding partitions the work and keeps a
+:class:`~repro.engine.sharding.ShardedInstance` mirror of the
+materialization in step.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterable
 
 from repro.engine.evaluation import ExecutionMode, RuleEvaluator
 from repro.engine.fixpoint import (
@@ -49,6 +62,9 @@ from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.errors import EvaluationError, MaintenanceUnsupportedError
 from repro.model.instance import Fact, Instance
 from repro.syntax.programs import Program, Stratum
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.sharding import ShardedFixpoint
 
 __all__ = ["MaintainedFixpoint", "MaintenanceResult"]
 
@@ -161,6 +177,7 @@ class MaintainedFixpoint:
         strategy: Strategy,
         execution: ExecutionMode,
         evaluators: ProgramEvaluators,
+        sharding: "ShardedFixpoint | None" = None,
     ):
         self.program = program
         self.materialized = materialized
@@ -168,10 +185,39 @@ class MaintainedFixpoint:
         self.strategy: Strategy = strategy
         self.execution: ExecutionMode = execution
         self.evaluators = evaluators
+        #: The shard-parallel round engine (and partitioned mirror of the
+        #: materialization), when this fixpoint runs sharded.
+        self.sharding = sharding
         self._states = states
         self._idb = program.idb_relation_names()
         self._known = program.relation_names()
         self._valid = True
+
+    def _absorb(self, added: "Iterable[Fact]" = (), removed: "Iterable[Fact]" = ()) -> None:
+        """Mirror parent-side materialization changes into the sharded view."""
+        if self.sharding is not None:
+            self.sharding.absorb(tuple(added), tuple(removed))
+
+    @contextmanager
+    def _shard_statistics(self, shard: "int | None", statistics: EvaluationStatistics):
+        """Per-shard work accounting for one fanned-out maintenance slice.
+
+        Unsharded (``shard is None``) the aggregate object is used directly;
+        sharded, a fresh object collects the slice's counters and is folded
+        into both the fixpoint's per-shard tally and the aggregate on exit.
+        """
+        if shard is None:
+            yield statistics
+            return
+        shard_stats = EvaluationStatistics()
+        try:
+            yield shard_stats
+        finally:
+            assert self.sharding is not None
+            self.sharding.per_shard_extension_attempts[shard] += (
+                shard_stats.extension_attempts
+            )
+            statistics.absorb_counters(shard_stats)
 
     # -- construction ------------------------------------------------------------------
 
@@ -187,6 +233,7 @@ class MaintainedFixpoint:
         statistics: "EvaluationStatistics | None" = None,
         evaluators: "ProgramEvaluators | None" = None,
         seed_facts: "Iterable[Fact] | None" = None,
+        sharding: "ShardedFixpoint | None" = None,
     ) -> "MaintainedFixpoint":
         """Materialize *program* over a copy of *instance*, with support state.
 
@@ -204,9 +251,27 @@ class MaintainedFixpoint:
         maintained materialization.  Planted facts of derived relations are
         *pinned*: they are axioms of this materialization and never
         retracted by maintenance.
+
+        *sharding* hands the build (and every later update) to a
+        :class:`~repro.engine.sharding.ShardedFixpoint` for the same
+        program: recursive strata run shard-parallel rounds, counting strata
+        stay one parent-side pass (they are a single enumeration) with their
+        derivations absorbed into the sharded mirror.
         """
         if statistics is None:
             statistics = EvaluationStatistics()
+        if sharding is not None:
+            if sharding.program is not program:
+                raise EvaluationError(
+                    "the ShardedFixpoint was built for a different program"
+                )
+            if evaluators is None:
+                evaluators = sharding.evaluators
+            elif evaluators is not sharding.evaluators:
+                raise EvaluationError(
+                    "sharded maintenance must share the ShardedFixpoint's "
+                    "ProgramEvaluators (pass the same object, or neither)"
+                )
         if evaluators is None:
             evaluators = ProgramEvaluators(limits, execution=execution)
         seen_heads: set[str] = set()
@@ -224,8 +289,10 @@ class MaintainedFixpoint:
         if seed_facts is not None:
             for fact in seed_facts:
                 current.add_fact(fact)
+        if sharding is not None:
+            sharding.attach(current)
         states: list[_StratumState] = []
-        for stratum in program.strata:
+        for index, stratum in enumerate(program.strata):
             recursive = bool(stratum.head_relation_names() & stratum.body_relation_names())
             pinned = frozenset(
                 Fact(name, row)
@@ -234,24 +301,32 @@ class MaintainedFixpoint:
             )
             state = _StratumState(recursive, pinned)
             if recursive:
-                evaluate_stratum(
-                    stratum,
-                    current,
-                    limits,
-                    strategy=strategy,
-                    execution=execution,
-                    statistics=statistics,
-                    evaluators=evaluators,
-                    copy=False,
-                )
+                if sharding is not None:
+                    rounds = sharding.stratum_fixpoint(index, current, statistics)
+                    statistics.merge_stratum(rounds)
+                else:
+                    evaluate_stratum(
+                        stratum,
+                        current,
+                        limits,
+                        strategy=strategy,
+                        execution=execution,
+                        statistics=statistics,
+                        evaluators=evaluators,
+                        copy=False,
+                    )
             else:
-                cls._evaluate_counting_stratum(
+                added = cls._evaluate_counting_stratum(
                     stratum, current, state, limits, statistics, evaluators
                 )
+                if sharding is not None and added:
+                    sharding.absorb(added)
             states.append(state)
         for name in program.idb_relation_names():
             current.ensure_relation(name)
-        return cls(program, current, states, limits, strategy, execution, evaluators)
+        return cls(
+            program, current, states, limits, strategy, execution, evaluators, sharding
+        )
 
     @staticmethod
     def _evaluate_counting_stratum(
@@ -261,12 +336,14 @@ class MaintainedFixpoint:
         limits: EvaluationLimits,
         statistics: EvaluationStatistics,
         evaluators: ProgramEvaluators,
-    ) -> None:
+    ) -> set[Fact]:
         """One counting pass over a non-recursive stratum.
 
         No head relation is read by any body in the stratum, so a single
         round reaches the fixpoint; the derived facts are buffered and
         applied after the enumeration so the read views stay stable.
+        Returns the facts that were genuinely new (the sharded build absorbs
+        them into its mirror).
         """
         for rule in stratum:
             current.ensure_relation(rule.head.name)
@@ -283,14 +360,15 @@ class MaintainedFixpoint:
                 seen.add(valuation)
                 counts[fact] = counts.get(fact, 0) + 1
                 derived.append(fact)
-        new_facts = 0
+        new_facts: set[Fact] = set()
         for fact in derived:
             if fact not in current:
                 current.add_fact(fact)
-                new_facts += 1
-        statistics.facts_derived += new_facts
+                new_facts.add(fact)
+        statistics.facts_derived += len(new_facts)
         limits.check_fact_count(current.fact_count())
         statistics.merge_stratum(1)
+        return new_facts
 
     # -- updates -----------------------------------------------------------------------
 
@@ -367,6 +445,7 @@ class MaintainedFixpoint:
                     if fact.relation == name:
                         self.materialized.add_fact(fact)
                 changes.record(name, added_rows, removed_rows, old_rows)
+            self._absorb(added_facts, removed_facts)
             statistics.facts_retracted += len(removed_facts)
 
             for index, (stratum, state) in enumerate(zip(self.program.strata, self._states)):
@@ -375,7 +454,7 @@ class MaintainedFixpoint:
                     continue
                 if state.recursive:
                     net_added, net_removed = self._maintain_dred_stratum(
-                        stratum, state, changes, statistics
+                        index, stratum, state, changes, statistics
                     )
                 else:
                     net_added, net_removed = self._maintain_counting_stratum(
@@ -479,11 +558,22 @@ class MaintainedFixpoint:
         the delta, and positions after it read the pre-update overlay.
         Every gained (lost) derivation is enumerated at exactly one pivot —
         the last changed position it uses.
+
+        Under sharding, each pivot's overlay rows are additionally
+        partitioned by home shard and enumerated per shard (a derivation's
+        valuation determines its pivot row, so the per-shard enumerations
+        are disjoint and their counts merge exactly); shards whose partition
+        of the delta is empty do no work, which is what lets disjoint
+        update batches proceed without ever synchronizing.
         """
         statistics.maintenance_rounds += 1
         counts = state.counts
         assert counts is not None
         delta_counts: dict[Fact, int] = {}
+        # The same (sign, relation) delta rows pivot in several rules and at
+        # several positions: partition them once per stratum pass, not once
+        # per occurrence.
+        pivot_parts_cache: "dict[tuple[int, str], list[tuple[int | None, Instance]]]" = {}
         for evaluator in self.evaluators.for_stratum(stratum):
             if not (evaluator.body_relation_names & changes.names):
                 continue
@@ -504,16 +594,25 @@ class MaintainedFixpoint:
                     rows = overlay.relation(name)
                     if not rows:
                         continue
-                    statistics.delta_restricted_applications += 1
-                    frontier = {pivot: overlay, **overrides}
-                    seen: set = set()
-                    for fact, valuation in evaluator.derivations(
-                        self.materialized, frontier=frontier, statistics=statistics
-                    ):
-                        if valuation in seen:
-                            continue
-                        seen.add(valuation)
-                        delta_counts[fact] = delta_counts.get(fact, 0) + sign
+                    parts = pivot_parts_cache.get((sign, name))
+                    if parts is None:
+                        parts = pivot_parts_cache[(sign, name)] = self._pivot_parts(
+                            name, overlay, rows
+                        )
+                    for shard, part in parts:
+                        with self._shard_statistics(shard, statistics) as shard_stats:
+                            shard_stats.delta_restricted_applications += 1
+                            frontier = {pivot: part, **overrides}
+                            seen: set = set()
+                            for fact, valuation in evaluator.derivations(
+                                self.materialized,
+                                frontier=frontier,
+                                statistics=shard_stats,
+                            ):
+                                if valuation in seen:
+                                    continue
+                                seen.add(valuation)
+                                delta_counts[fact] = delta_counts.get(fact, 0) + sign
 
         net_added: set[Fact] = set()
         net_removed: set[Fact] = set()
@@ -541,39 +640,75 @@ class MaintainedFixpoint:
                 self.materialized.discard_fact(fact, keep_empty=True)
                 net_removed.add(fact)
         statistics.facts_derived += len(net_added)
+        self._absorb(net_added, net_removed)
         return net_added, net_removed
+
+    def _pivot_parts(
+        self, name: str, overlay: Instance, rows: "frozenset"
+    ) -> "list[tuple[int | None, Instance]]":
+        """The per-shard frontier instances for one pivot's overlay rows.
+
+        Unsharded, the overlay itself is the single part.  Sharded, the
+        pivot relation's rows are split by home shard into small frontier
+        instances (the frontier is only ever read at the pivot position, so
+        a single-relation instance is equivalent to the full overlay there).
+        """
+        if self.sharding is None:
+            return [(None, overlay)]
+        parts: "list[tuple[int | None, Instance]]" = []
+        for shard, shard_rows in enumerate(self.sharding.spec.partition_rows(name, rows)):
+            if not shard_rows:
+                continue
+            part = Instance()
+            part.set_relation_rows(name, shard_rows)
+            parts.append((shard, part))
+        return parts
 
     # -- delete-rederive maintenance ---------------------------------------------------
 
     def _maintain_dred_stratum(
         self,
+        index: int,
         stratum: Stratum,
         state: _StratumState,
         changes: _ChangeSet,
         statistics: EvaluationStatistics,
     ) -> tuple[set, set]:
-        """Classic DRed: over-delete, rederive survivors, propagate insertions."""
+        """Classic DRed: over-delete, rederive survivors, propagate insertions.
+
+        Sharded, each phase fans its frontier out by home shard —
+        overdeletion rounds and rederivation probes partition their fact
+        sets, and the insertion cascade runs through the sharded round
+        engine (parallel under a process executor).
+        """
         evaluators = self.evaluators.for_stratum(stratum)
         head_names = stratum.head_relation_names()
         overdeleted = self._overdelete(evaluators, head_names, state, changes, statistics)
         for fact in overdeleted:
             self.materialized.discard_fact(fact, keep_empty=True)
+        self._absorb((), overdeleted)
         rederived = self._rederive(evaluators, overdeleted, statistics)
+        self._absorb(rederived)
 
         # One semi-naive propagation finishes both halves of the update: the
         # rederived facts re-support other over-deleted facts (whose one-shot
         # probe may have run before their support came back) and the update's
         # added facts derive genuinely new ones.
         seeds = changes.facts(changes.added, stratum.body_relation_names()) | rederived
-        rounds, inserted = propagate_delta(
-            evaluators,
-            self.materialized,
-            seeds,
-            self.limits,
-            statistics,
-            strategy="seminaive",
-            collect=True,
-        )
+        if self.sharding is not None:
+            rounds, inserted = self.sharding.propagate(
+                index, self.materialized, seeds, statistics, collect=True
+            )
+        else:
+            rounds, inserted = propagate_delta(
+                evaluators,
+                self.materialized,
+                seeds,
+                self.limits,
+                statistics,
+                strategy="seminaive",
+                collect=True,
+            )
         statistics.maintenance_rounds += rounds
 
         net_added = inserted - overdeleted
@@ -592,7 +727,10 @@ class MaintainedFixpoint:
 
         Evaluation runs against the *old* database: the stratum's own facts
         are still physically present, and positions over earlier-changed
-        relations are overlaid with their pre-update rows.
+        relations are overlaid with their pre-update rows.  Sharded, each
+        round's frontier is partitioned by home shard and the parts run
+        independently (they are delta restrictions over disjoint row sets,
+        so the union of their derivations is the round's derivations).
         """
         overdeleted: set[Fact] = set()
         frontier_facts = changes.facts(
@@ -604,37 +742,53 @@ class MaintainedFixpoint:
             rounds += 1
             self.limits.check_iterations(rounds)
             statistics.maintenance_rounds += 1
-            frontier_instance.replace_with(frontier_facts)
-            frontier_names = {fact.relation for fact in frontier_facts}
             new_deleted: set[Fact] = set()
-            for evaluator in evaluators:
-                if not (evaluator.body_relation_names & frontier_names):
-                    continue
-                statistics.rule_applications += 1
-                positions = evaluator.positions_in_order
-                for pivot, name in positions:
-                    if name not in frontier_names:
-                        continue
-                    overrides = {
-                        position: changes.old_overlay
-                        for position, other in positions
-                        if position != pivot and other in changes.names
-                    }
-                    statistics.delta_restricted_applications += 1
-                    frontier = {pivot: frontier_instance, **overrides}
-                    for fact in evaluator.derive(
-                        self.materialized, frontier=frontier, statistics=statistics
-                    ):
-                        if (
-                            fact.relation in head_names
-                            and fact not in overdeleted
-                            and fact not in state.pinned
-                            and fact in self.materialized
-                        ):
-                            new_deleted.add(fact)
+            for shard, part in self._frontier_parts(frontier_facts):
+                with self._shard_statistics(shard, statistics) as shard_stats:
+                    frontier_instance.replace_with(part)
+                    frontier_names = {fact.relation for fact in part}
+                    for evaluator in evaluators:
+                        if not (evaluator.body_relation_names & frontier_names):
+                            continue
+                        shard_stats.rule_applications += 1
+                        positions = evaluator.positions_in_order
+                        for pivot, name in positions:
+                            if name not in frontier_names:
+                                continue
+                            overrides = {
+                                position: changes.old_overlay
+                                for position, other in positions
+                                if position != pivot and other in changes.names
+                            }
+                            shard_stats.delta_restricted_applications += 1
+                            frontier = {pivot: frontier_instance, **overrides}
+                            for fact in evaluator.derive(
+                                self.materialized,
+                                frontier=frontier,
+                                statistics=shard_stats,
+                            ):
+                                if (
+                                    fact.relation in head_names
+                                    and fact not in overdeleted
+                                    and fact not in state.pinned
+                                    and fact in self.materialized
+                                ):
+                                    new_deleted.add(fact)
             overdeleted |= new_deleted
             frontier_facts = new_deleted
         return overdeleted
+
+    def _frontier_parts(
+        self, facts: "set[Fact]"
+    ) -> "list[tuple[int | None, set[Fact]]]":
+        """Partition a frontier by home shard (one all-facts part unsharded)."""
+        if self.sharding is None:
+            return [(None, facts)]
+        return [
+            (shard, part)
+            for shard, part in enumerate(self.sharding.spec.partition_facts(facts))
+            if part
+        ]
 
     def _rederive(
         self,
@@ -660,25 +814,27 @@ class MaintainedFixpoint:
         for evaluator in evaluators:
             by_head.setdefault(evaluator.rule.head.name, []).append(evaluator)
         rederived: set[Fact] = set()
-        for fact in overdeleted:
-            for evaluator in by_head.get(fact.relation, ()):
-                statistics.rederivation_attempts += 1
-                initial = list(match_fact(evaluator.rule.head, fact))
-                if not initial:
-                    continue
-                derivation = next(
-                    iter(
-                        evaluator.derivations(
-                            self.materialized,
-                            initial_valuations=initial,
-                            statistics=statistics,
+        for shard, part in self._frontier_parts(overdeleted):
+            with self._shard_statistics(shard, statistics) as shard_stats:
+                for fact in part:
+                    for evaluator in by_head.get(fact.relation, ()):
+                        shard_stats.rederivation_attempts += 1
+                        initial = list(match_fact(evaluator.rule.head, fact))
+                        if not initial:
+                            continue
+                        derivation = next(
+                            iter(
+                                evaluator.derivations(
+                                    self.materialized,
+                                    initial_valuations=initial,
+                                    statistics=shard_stats,
+                                )
+                            ),
+                            None,
                         )
-                    ),
-                    None,
-                )
-                if derivation is not None:
-                    self.materialized.add_fact(fact)
-                    rederived.add(fact)
-                    break
+                        if derivation is not None:
+                            self.materialized.add_fact(fact)
+                            rederived.add(fact)
+                            break
         statistics.facts_derived += len(rederived)
         return rederived

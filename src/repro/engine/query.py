@@ -72,7 +72,14 @@ from repro.engine.fixpoint import (
 )
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.maintenance import MaintainedFixpoint
-from repro.engine.tabling import AnswerTable, TableEntry
+from repro.engine.sharding import (
+    ParallelExecutor,
+    ProcessExecutor,
+    SequentialExecutor,
+    ShardedFixpoint,
+    goal_shard_footprint,
+)
+from repro.engine.tabling import DEFAULT_MAX_ENTRIES, AnswerTable, TableEntry
 from repro.errors import (
     EvaluationBudgetExceeded,
     EvaluationError,
@@ -83,6 +90,7 @@ from repro.errors import (
 from repro.model.instance import Fact, Instance
 from repro.model.schema import Schema
 from repro.model.terms import Path, as_path
+from repro.storage.partition import ShardingSpec, choose_shard_keys
 from repro.syntax.programs import Program
 
 __all__ = ["ProgramQuery", "QueryResult", "QuerySession", "QueryMode", "ServedBy", "UpdateResult"]
@@ -299,10 +307,30 @@ class ProgramQuery:
     # -- evaluation -------------------------------------------------------------------------------
 
     def session(
-        self, instance: Instance, *, check_flat: bool = True, memoize: bool = True
+        self,
+        instance: Instance,
+        *,
+        check_flat: bool = True,
+        memoize: bool = True,
+        shards: int = 1,
+        executor: "str | ParallelExecutor" = "sequential",
+        table_capacity: "int | None" = None,
     ) -> "QuerySession":
-        """Open a :class:`QuerySession` for repeated queries over *instance*."""
-        return QuerySession(self, instance, check_flat=check_flat, memoize=memoize)
+        """Open a :class:`QuerySession` for repeated queries over *instance*.
+
+        ``shards``/``executor`` configure sharded serving and
+        ``table_capacity`` the subgoal answer table's LRU bound — see
+        :class:`QuerySession`.
+        """
+        return QuerySession(
+            self,
+            instance,
+            check_flat=check_flat,
+            memoize=memoize,
+            shards=shards,
+            executor=executor,
+            table_capacity=table_capacity,
+        )
 
     def run(
         self,
@@ -370,6 +398,10 @@ class UpdateResult:
     updated incrementally; when it is ``False`` and ``fallback_reason`` is
     set, maintenance could not cover the update (or broke its budget) and the
     next query will re-evaluate from scratch for that recorded reason.
+    ``shards_touched`` (sharded sessions only) records which shards the
+    effective EDB delta was routed to — disjointly-routed update batches
+    touch disjoint shard partitions and never synchronize on each other's
+    state.
     """
 
     added: frozenset[Fact]
@@ -377,6 +409,7 @@ class UpdateResult:
     maintained: bool
     fallback_reason: "str | None"
     statistics: EvaluationStatistics
+    shards_touched: "frozenset[int] | None" = None
 
 
 class QuerySession:
@@ -420,6 +453,9 @@ class QuerySession:
         *,
         check_flat: bool = True,
         memoize: bool = True,
+        shards: int = 1,
+        executor: "str | ParallelExecutor" = "sequential",
+        table_capacity: "int | None" = None,
     ):
         if check_flat and not instance.is_flat():
             raise ModelError("queries are defined on flat instances (no packed values)")
@@ -436,8 +472,57 @@ class QuerySession:
         self._memoize = memoize
         self._evaluators: dict[int, ProgramEvaluators] = {}
         self._maintained: "MaintainedFixpoint | None" = None
-        #: Tabled goal-mode calls, by call subsumption.
-        self._tables = AnswerTable()
+        #: Sharded serving (``shards > 1``): the materialization is hash-
+        #: partitioned (:class:`~repro.storage.partition.ShardingSpec` over
+        #: planner-chosen keys), builds and large insertion cascades run
+        #: shard-parallel rounds through *executor* (``"sequential"`` — the
+        #: deterministic in-process default — or ``"process"`` for a
+        #: ``concurrent.futures`` pool per shard; an already-constructed
+        #: :class:`~repro.engine.sharding.ParallelExecutor` is used as-is),
+        #: and update deltas are routed by key so disjointly-routed batches
+        #: touch disjoint shard state.  Call :meth:`close` (or use the
+        #: session as a context manager) to release process workers.
+        self.shards = shards
+        self._sharded: "ShardedFixpoint | None" = None
+        self._shard_spec: "ShardingSpec | None" = None
+        if shards > 1:
+            if not memoize:
+                # A non-memoizing session never builds maintained state, and
+                # the one-shot plain evaluation would silently ignore the
+                # requested shards — refuse rather than pretend.
+                raise EvaluationError(
+                    "sharded serving requires a memoizing session; "
+                    "drop memoize=False or shards"
+                )
+            self._shard_spec = ShardingSpec(shards, choose_shard_keys(query.program))
+            if isinstance(executor, ParallelExecutor):
+                shard_executor = executor
+            elif executor == "sequential":
+                shard_executor = SequentialExecutor(shards)
+            elif executor == "process":
+                shard_executor = ProcessExecutor(shards)
+            else:
+                raise EvaluationError(
+                    f"unknown shard executor {executor!r}; use 'sequential', "
+                    f"'process', or a ParallelExecutor instance"
+                )
+            self._sharded = ShardedFixpoint(
+                query.program,
+                self._shard_spec,
+                shard_executor,
+                query.limits,
+                execution=query.execution,
+                evaluators=self._evaluators_for(query.program),
+            )
+        elif shards != 1:
+            raise EvaluationError(f"shards must be at least 1, got {shards}")
+        #: Tabled goal-mode calls, by call subsumption.  The LRU capacity is
+        #: a serving knob: sessions pinning many overlapping goals can raise
+        #: it, memory-tight fleets can lower it (minimum 1).
+        self.table_capacity = (
+            DEFAULT_MAX_ENTRIES if table_capacity is None else table_capacity
+        )
+        self._tables = AnswerTable(max_entries=self.table_capacity, spec=self._shard_spec)
         #: Relation name → (storage object, generation) at the moment the
         #: maintained artifacts (materialization and table entries) were
         #: last in sync with the pinned instance.
@@ -559,12 +644,16 @@ class QuerySession:
             [fact for fact in retractions if fact.relation in known],
             statistics=statistics,
         )
-        for fact in retractions:
-            if fact.relation not in known:
-                self._maintained.materialized.discard_fact(fact, keep_empty=True)
-        for fact in additions:
-            if fact.relation not in known:
-                self._maintained.materialized.add_fact(fact)
+        stray_removed = [fact for fact in retractions if fact.relation not in known]
+        stray_added = [fact for fact in additions if fact.relation not in known]
+        for fact in stray_removed:
+            self._maintained.materialized.discard_fact(fact, keep_empty=True)
+        for fact in stray_added:
+            self._maintained.materialized.add_fact(fact)
+        if (stray_added or stray_removed) and self._maintained.sharding is not None:
+            # The mirrored strays are part of the materialization, so the
+            # partitioned mirror (and worker state) must see them too.
+            self._maintained.sharding.absorb(stray_added, stray_removed)
 
     def _absorb_out_of_band(self, statistics: EvaluationStatistics) -> None:
         """Bring every maintained artifact up to date with the pinned instance.
@@ -612,6 +701,7 @@ class QuerySession:
                 execution=self.query.execution,
                 statistics=statistics,
                 evaluators=self._evaluators_for(self.query.program),
+                sharding=self._sharded,
             )
         except EvaluationError as error:
             if isinstance(error, EvaluationBudgetExceeded):
@@ -713,12 +803,22 @@ class QuerySession:
         else:
             self._basis = {}
         self.last_maintenance_fallback = reason
+        shards_touched: "frozenset[int] | None" = None
+        if self._shard_spec is not None:
+            shards_touched = frozenset(
+                shard
+                for shard, part in enumerate(
+                    self._shard_spec.partition_facts(applied.added | applied.removed)
+                )
+                if part
+            )
         return UpdateResult(
             added=applied.added,
             removed=applied.removed,
             maintained=maintained,
             fallback_reason=reason,
             statistics=statistics,
+            shards_touched=shards_touched,
         )
 
     # -- queries -----------------------------------------------------------------------
@@ -847,11 +947,27 @@ class QuerySession:
             # (served until the first update that touches its relations).
             snapshot = self._evaluate(compiled.program, statistics, seed_facts=(seed,))
             return TableEntry(
-                self.query.output_relation, positions, values, compiled, snapshot=snapshot
+                self.query.output_relation,
+                positions,
+                values,
+                compiled,
+                snapshot=snapshot,
+                shard_footprint=self._entry_footprint(compiled, seed_binding),
             )
         return TableEntry(
-            self.query.output_relation, positions, values, compiled, fixpoint=fixpoint
+            self.query.output_relation,
+            positions,
+            values,
+            compiled,
+            fixpoint=fixpoint,
+            shard_footprint=self._entry_footprint(compiled, seed_binding),
         )
+
+    def _entry_footprint(self, compiled, seed_binding: Binding) -> "frozenset[int] | None":
+        """The shards this entry's answers can depend on (``None`` = all)."""
+        if self._shard_spec is None:
+            return None
+        return goal_shard_footprint(compiled, self._shard_spec, seed_binding)
 
     def _serve_from_entry(
         self, entry: TableEntry, normalised: Binding, statistics: EvaluationStatistics
@@ -916,3 +1032,26 @@ class QuerySession:
     ) -> bool:
         """Run against the pinned instance and read the nullary output as a boolean."""
         return self.run(binding=binding, mode=mode).boolean()
+
+    # -- sharding ----------------------------------------------------------------------
+
+    @property
+    def sharding(self) -> "ShardedFixpoint | None":
+        """The session's shard-parallel round engine (``None`` unsharded).
+
+        Exposes the partitioned mirror of the materialization
+        (``sharding.sharded``) and the per-shard work counters the
+        benchmarks assert balance on.
+        """
+        return self._sharded
+
+    def close(self) -> None:
+        """Release sharding workers (idempotent; a no-op for plain sessions)."""
+        if self._sharded is not None:
+            self._sharded.close()
+
+    def __enter__(self) -> "QuerySession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

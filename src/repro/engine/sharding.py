@@ -1,0 +1,1106 @@
+"""Shard-parallel fixpoint evaluation: partitioned deltas, replicated state.
+
+This is the scaling step the ROADMAP's north star asks for: the serving
+path was made fully incremental (maintained materializations + tabled
+subgoals), leaving the single-process ceiling as the remaining bottleneck.
+The sharded engine splits the *work* of every semi-naive round across
+``shard_count`` workers:
+
+* each relation's rows have a **home shard**, decided by the hash-partition
+  layer (:mod:`repro.storage.partition`);
+* every round's delta facts are partitioned by home shard, and each worker
+  runs the delta-restricted rule applications for *its* partition only —
+  through the existing :class:`~repro.engine.evaluation.RuleEvaluator` and
+  its compiled-plan cache, so the per-shard inner loop is exactly the
+  single-process one;
+* between rounds the workers exchange the **cross-shard delta rows**: a
+  worker applies its own derivations locally and receives only the rows the
+  *other* shards derived (the replicated update stream), so the next round's
+  frontier is again partitioned.
+
+Joins in Sequence Datalog bodies are not generally key-aligned (a rule may
+join on any argument, or on path *prefixes*), so each worker keeps a full
+**replica** of the instance for join completeness — sharding partitions the
+delta-restricted work and the ownership bookkeeping, not the readable state.
+The partitioned view itself is materialized as a :class:`ShardedInstance`
+(one :class:`~repro.model.instance.Instance` per shard) whose balance the
+benchmarks assert on.
+
+Two :class:`ParallelExecutor` backends run the rounds:
+
+* :class:`SequentialExecutor` — in-process: the "workers" share the
+  authoritative instance and run in shard order.  Deterministic, no copies,
+  no pickling; this is the mode the property tests drive, and it must be
+  indistinguishable from single-process evaluation (``sharded ≡ single``).
+* :class:`ProcessExecutor` — one single-worker ``concurrent.futures``
+  process pool per shard (pinning shard *i*'s tasks to process *i*, which a
+  shared pool would not guarantee).  Each worker is initialized with a
+  pickled snapshot of the instance and caught up between rounds with the
+  queued cross-shard rows; small rounds (below
+  :attr:`ProcessExecutor.min_round_rows`) run in-process on the parent,
+  because for serving-sized deltas the pickling would dwarf the work.
+
+:func:`goal_shard_footprint` is the tabling hook: the sound (and
+deliberately narrow) static analysis that lets a tabled subgoal record which
+shards its answers can possibly depend on, so updates routed elsewhere are
+mirrored without any maintenance propagation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Collection, Iterable
+
+from repro.engine.evaluation import ExecutionMode
+from repro.engine.fixpoint import (
+    EvaluationStatistics,
+    ProgramEvaluators,
+    _apply_rules_seminaive,
+)
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.errors import EvaluationError
+from repro.model.instance import Fact, Instance
+from repro.model.terms import Packed, Path
+from repro.storage.partition import ShardingSpec, joins_are_key_aligned, stable_hash_path
+from repro.syntax.programs import Program
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transform.magic import MagicProgram
+
+__all__ = [
+    "ParallelExecutor",
+    "ProcessExecutor",
+    "SequentialExecutor",
+    "ShardedFixpoint",
+    "ShardedInstance",
+    "goal_shard_footprint",
+]
+
+
+class ShardedInstance:
+    """A hash-partitioned view of an instance: one sub-instance per shard.
+
+    Every fact lives in exactly one shard (its home, per the spec's shard
+    keys); the union of the shards is extensionally the tracked instance.
+    The sharded fixpoints maintain one of these alongside the authoritative
+    instance so the partition — sizes, balance, per-shard row sets — is
+    always inspectable without re-routing the whole fact set.
+    """
+
+    __slots__ = ("spec", "shards")
+
+    def __init__(self, spec: ShardingSpec, shards: "list[Instance] | None" = None):
+        self.spec = spec
+        if shards is None:
+            shards = [Instance() for _ in range(spec.shard_count)]
+        elif len(shards) != spec.shard_count:
+            raise EvaluationError(
+                f"expected {spec.shard_count} shards, got {len(shards)}"
+            )
+        self.shards = shards
+
+    @classmethod
+    def from_instance(cls, instance: Instance, spec: ShardingSpec) -> "ShardedInstance":
+        """Route every fact of *instance* to its home shard."""
+        sharded = cls(spec)
+        for name in instance.relation_names:
+            for shard, rows in enumerate(spec.partition_rows(name, instance.relation(name))):
+                if rows:
+                    sharded.shards[shard].set_relation_rows(name, rows)
+        return sharded
+
+    def shard_of(self, fact: Fact) -> int:
+        """The home shard of *fact*."""
+        return self.spec.shard_of_fact(fact)
+
+    def add_fact(self, fact: Fact) -> None:
+        """Insert *fact* into its home shard."""
+        self.shards[self.spec.shard_of_fact(fact)].add_fact(fact)
+
+    def discard_fact(self, fact: Fact) -> None:
+        """Remove *fact* from its home shard (the relation stays present)."""
+        self.shards[self.spec.shard_of_fact(fact)].discard_fact(fact, keep_empty=True)
+
+    def shard_sizes(self) -> list[int]:
+        """Fact counts per shard — the balance the benchmarks assert on."""
+        return [shard.fact_count() for shard in self.shards]
+
+    def fact_count(self) -> int:
+        return sum(shard.fact_count() for shard in self.shards)
+
+    def __len__(self) -> int:
+        return self.fact_count()
+
+    def merged(self) -> Instance:
+        """The union of all shards as one plain instance."""
+        merged = Instance()
+        for shard in self.shards:
+            for name in shard.relation_names:
+                for row in shard.relation(name):
+                    merged.add_fact(Fact(name, row))
+        return merged
+
+    def __repr__(self) -> str:
+        return f"ShardedInstance({self.spec.shard_count} shards, sizes={self.shard_sizes()})"
+
+
+# -- executors -------------------------------------------------------------------------
+
+
+class ParallelExecutor:
+    """How shard-partitioned rounds actually execute.
+
+    The base protocol: :meth:`attach` binds the executor to a program and an
+    instance snapshot, :meth:`sync` records facts the parent applied to the
+    authoritative instance (so replicas, if any, can catch up), and
+    :meth:`round` runs one delta-restricted semi-naive round per shard —
+    returning ``None`` to mean "no remote workers ran; the caller should run
+    the round in-process".  The sequential executor is exactly that
+    ``None``: shard-partitioned work executed deterministically in shard
+    order on the parent, sharing the authoritative instance.
+    """
+
+    kind = "sequential"
+
+    def __init__(self, shard_count: int):
+        if shard_count < 1:
+            raise EvaluationError(f"shard_count must be at least 1, got {shard_count}")
+        self.shard_count = shard_count
+        self._exchanged = 0
+
+    def attach(
+        self,
+        program: Program,
+        limits: EvaluationLimits,
+        execution: ExecutionMode,
+        instance: Instance,
+        *,
+        spec: "ShardingSpec | None" = None,
+        partitioned: bool = False,
+        partitions: "list[Instance] | None" = None,
+    ) -> None:
+        """(Re)bind to *program* over a snapshot of *instance*.
+
+        *partitioned* asserts that every join of *program* is key-aligned
+        under *spec* (see :func:`repro.storage.partition.joins_are_key_aligned`):
+        workers then hold only their own partition of every relation instead
+        of a full replica, and catch-up traffic routes each row to its home
+        shard only.  *partitions* optionally hands over an already-routed
+        per-shard split of *instance* (the owner's mirror), so attaching
+        does not hash-partition the same rows a second time.
+        """
+
+    def sync(
+        self,
+        added: "Collection[Fact]",
+        removed: "Collection[Fact]" = (),
+        *,
+        derived_by: "list[set[Fact]] | None" = None,
+    ) -> None:
+        """Record a delta the parent applied, for replica catch-up (if any).
+
+        *derived_by* names, per shard, the facts that shard's worker derived
+        (and already applied locally) this round — they are excluded from
+        that worker's catch-up batch, so only the *cross-shard* rows travel.
+        """
+
+    def take_exchanged(self) -> int:
+        """Rows actually shipped to workers since the last call (and reset).
+
+        The sequential executor shares the authoritative instance, so
+        nothing ever travels and this stays zero; the process executor
+        counts catch-up rows at dispatch time.
+        """
+        count = self._exchanged
+        self._exchanged = 0
+        return count
+
+    def round(
+        self,
+        stratum_index: int,
+        frontier_parts: "list[set[Fact]]",
+        stats_parts: "list[EvaluationStatistics]",
+    ) -> "list[set[Fact]] | None":
+        """Run one semi-naive round, or return ``None`` for an in-process round."""
+        return None
+
+    @property
+    def supports_router(self) -> bool:
+        """Whether whole-stratum router-mode fixpoints can run here (see
+        :class:`ProcessExecutor`); the in-process executors never need them."""
+        return False
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SequentialExecutor(ParallelExecutor):
+    """Deterministic in-process execution: shards run one after another.
+
+    This is the reference mode — zero copies, zero pickling, bit-identical
+    to single-process evaluation — used by tests and as the default for
+    :class:`~repro.engine.query.QuerySession` sharding.
+    """
+
+
+# -- the wire codec --------------------------------------------------------------------
+#
+# Facts cross the process boundary constantly (catch-up batches, frontiers,
+# derived rows); pickling ``Fact``/``Path`` objects costs ~8× the bytes and
+# time of the equivalent plain tuples (per-object reduce overhead), so the
+# wire format is nested builtin tuples only: a path is a tuple whose items
+# are atoms (``str``) or packed values (a 1-tuple wrapping the inner path).
+
+
+def _encode_path(path: Path) -> tuple:
+    return tuple(
+        element if isinstance(element, str) else (_encode_path(element.contents),)
+        for element in path.elements
+    )
+
+
+def _decode_path(encoded: tuple) -> Path:
+    return Path(
+        tuple(
+            item if isinstance(item, str) else Packed(_decode_path(item[0]))
+            for item in encoded
+        )
+    )
+
+
+def _encode_row(row: "tuple[Path, ...]") -> tuple:
+    return tuple(_encode_path(path) for path in row)
+
+
+def _decode_row(encoded: tuple) -> "tuple[Path, ...]":
+    return tuple(_decode_path(item) for item in encoded)
+
+
+# Worker-process state for :class:`ProcessExecutor`: each single-worker pool
+# initializes exactly one of these in its (dedicated) child process.
+_WORKER: dict = {}
+
+
+def _worker_init(
+    program: Program,
+    limits: EvaluationLimits,
+    execution: ExecutionMode,
+    rows: "dict[str, list[tuple]]",
+    spec: "ShardingSpec | None" = None,
+    shard: int = 0,
+    partitioned: bool = False,
+) -> None:
+    instance = Instance()
+    for name, encoded_rows in rows.items():
+        instance.set_relation_rows(name, {_decode_row(row) for row in encoded_rows})
+    _WORKER["program"] = program
+    _WORKER["instance"] = instance
+    _WORKER["evaluators"] = ProgramEvaluators(limits, execution=execution)
+    _WORKER["spec"] = spec
+    _WORKER["shard"] = shard
+    _WORKER["partitioned"] = partitioned
+    #: Foreign-homed facts already shipped to the parent (partitioned mode):
+    #: a partitioned worker does not retain them, so without this set every
+    #: re-derivation would cross the wire and be re-deduplicated there.
+    _WORKER["exported"] = set()
+
+
+#: Counter fields a worker reports back after a round — the same per-shard
+#: work counters :meth:`EvaluationStatistics.absorb_counters` folds together
+#: (one shared tuple, so a new counter cannot silently stop travelling).
+_ROUND_COUNTERS = EvaluationStatistics.WORK_COUNTERS
+
+
+def _merge_counters(statistics: EvaluationStatistics, counters: "dict[str, int]") -> None:
+    """Fold a worker's reported counter dict into *statistics*."""
+    for name, value in counters.items():
+        setattr(statistics, name, getattr(statistics, name) + value)
+
+
+def _worker_round(
+    catchup: "list[tuple[bool, str, tuple, bool]]",
+    stratum_index: int,
+    frontier: "dict[str, list[tuple]]",
+) -> "tuple[list[tuple[str, tuple]], dict[str, int]]":
+    """One delta-restricted round in a worker: catch up, derive, self-apply."""
+    instance: Instance = _WORKER["instance"]
+    exported: set = _WORKER["exported"]
+    for added, name, encoded, _countable in catchup:
+        row = _decode_row(encoded)
+        if added:
+            instance.ensure_relation(name)
+            instance.storage(name).add(row)
+        else:
+            storage = instance.storage(name)
+            if storage is not None:
+                storage.discard(row)
+            if exported:
+                # A removed fact must become exportable again: if this worker
+                # re-derives it later, the parent needs to hear about it.
+                exported.discard(Fact(name, row))
+    stratum = _WORKER["program"].strata[stratum_index]
+    evaluators = _WORKER["evaluators"].for_stratum(stratum)
+    statistics = EvaluationStatistics()
+    delta = Instance()
+    for name, encoded_rows in frontier.items():
+        delta.set_relation_rows(name, {_decode_row(row) for row in encoded_rows})
+    new_facts = _apply_rules_seminaive(
+        evaluators, instance, delta, set(frontier), statistics
+    )
+    # Apply own derivations immediately: the parent will only send back what
+    # the *other* shards derived (the cross-shard rows).  A partitioned
+    # worker keeps its own partition only — foreign-homed derivations travel
+    # to their home shard, and the ``exported`` set stops re-derivations of
+    # the same foreign fact from crossing the wire again.
+    if _WORKER["partitioned"]:
+        spec: ShardingSpec = _WORKER["spec"]
+        home = _WORKER["shard"]
+        shipped = []
+        for fact in new_facts:
+            if spec.shard_of_fact(fact) == home:
+                instance.add_fact(fact)
+                shipped.append(fact)
+            elif fact not in exported:
+                exported.add(fact)
+                shipped.append(fact)
+        new_facts = shipped
+    else:
+        for fact in new_facts:
+            instance.add_fact(fact)
+    return (
+        [(fact.relation, _encode_row(fact.paths)) for fact in new_facts],
+        {name: getattr(statistics, name) for name in _ROUND_COUNTERS},
+    )
+
+
+# -- router-mode worker ops (partitioned builds) ---------------------------------------
+#
+# During a full build of a key-aligned program the parent does not need the
+# derived facts round by round — only the fixpoint at the end.  In router
+# mode each worker seeds its own frontier from its partition, keeps its own
+# home derivations as the next round's frontier, and ships foreign-homed
+# rows to the parent, which forwards them (still encoded, never decoded) to
+# their home worker's queue.  The parent's per-round cost collapses to
+# routing; the partitions are fetched once at the end of the stratum.
+
+
+def _worker_router_start(names: "list[str]") -> int:
+    """Seed the round-zero frontier: this worker's partition of *names*."""
+    instance: Instance = _WORKER["instance"]
+    frontier: set[Fact] = set()
+    for name in names:
+        for row in instance.relation(name):
+            frontier.add(Fact(name, row))
+    _WORKER["frontier"] = frontier
+    return len(frontier)
+
+
+def _worker_router_round(
+    catchup: "list[tuple[bool, str, tuple, bool]]", stratum_index: int
+) -> "tuple[list[tuple[int, str, tuple]], int, int, dict[str, int]]":
+    """One router-mode round: returns (ships, counted_new, frontier_left, counters)."""
+    instance: Instance = _WORKER["instance"]
+    spec: ShardingSpec = _WORKER["spec"]
+    home = _WORKER["shard"]
+    exported: set = _WORKER["exported"]
+    catch_new: "list[Fact]" = []
+    counted_catch = 0
+    for added, name, encoded, countable in catchup:
+        row = _decode_row(encoded)
+        if added:
+            instance.ensure_relation(name)
+            if instance.storage(name).add(row):
+                catch_new.append(Fact(name, row))
+                if countable:
+                    # Router-forwarded rows are counted where they land (the
+                    # deriving worker did not keep them); parent-queued rows
+                    # were already counted when the parent applied them.
+                    counted_catch += 1
+        else:
+            storage = instance.storage(name)
+            if storage is not None:
+                storage.discard(row)
+            exported.discard(Fact(name, row))
+    frontier: set[Fact] = _WORKER.get("frontier") or set()
+    frontier |= set(catch_new)
+    if not frontier:
+        _WORKER["frontier"] = set()
+        return [], counted_catch, 0, {}
+    stratum = _WORKER["program"].strata[stratum_index]
+    evaluators = _WORKER["evaluators"].for_stratum(stratum)
+    statistics = EvaluationStatistics()
+    delta = Instance()
+    delta.replace_with(frontier)
+    new_facts = _apply_rules_seminaive(
+        evaluators, instance, delta, {fact.relation for fact in frontier}, statistics
+    )
+    home_new: "set[Fact]" = set()
+    ships: "list[tuple[int, str, tuple]]" = []
+    for fact in new_facts:
+        fact_home = spec.shard_of_fact(fact)
+        if fact_home == home:
+            instance.add_fact(fact)
+            home_new.add(fact)
+        elif fact not in exported:
+            exported.add(fact)
+            ships.append((fact_home, fact.relation, _encode_row(fact.paths)))
+    _WORKER["frontier"] = home_new
+    return (
+        ships,
+        len(home_new) + counted_catch,
+        len(home_new),
+        {name: getattr(statistics, name) for name in _ROUND_COUNTERS},
+    )
+
+
+def _worker_router_dump(names: "list[str]") -> "dict[str, list[tuple]]":
+    """This worker's partition of *names*, for the end-of-stratum collect."""
+    instance: Instance = _WORKER["instance"]
+    return {
+        name: [_encode_row(row) for row in instance.relation(name)]
+        for name in names
+    }
+
+
+class ProcessExecutor(ParallelExecutor):
+    """One single-worker process pool per shard, with persistent replicas.
+
+    Shard *i*'s tasks always land on process *i* (a shared pool would not
+    guarantee that), so each process can keep its replica of the instance
+    across rounds: :meth:`attach` ships a pickled snapshot once, and every
+    later round carries only the shard's frontier plus the queued cross-shard
+    rows it has not seen yet.  Rounds whose total frontier is smaller than
+    :attr:`min_round_rows` return ``None`` — the parent runs them in-process
+    (still shard-partitioned), because pickling would dwarf the work; the
+    queued catch-up is simply delivered with the next dispatched round.
+    """
+
+    kind = "process"
+
+    def __init__(self, shard_count: int, *, min_round_rows: int = 64):
+        super().__init__(shard_count)
+        self.min_round_rows = min_round_rows
+        self._pools: "list | None" = None
+        self._spec: "ShardingSpec | None" = None
+        self._partitioned = False
+        self._routed: "set[tuple[str, tuple]]" = set()
+        #: Per-worker ordered catch-up ops ``(added?, name, row, countable?)``
+        #: not yet shipped; ``countable`` marks router-forwarded rows the
+        #: receiving home worker must count as newly derived (parent-queued
+        #: rows were already counted when the parent applied them).
+        self._pending: "list[list[tuple[bool, str, tuple, bool]]]" = []
+        #: Wire encodings of the facts that just crossed the boundary (last
+        #: round's results): a derived fact is typically synced and then
+        #: re-shipped as the next round's frontier, so caching its encoding
+        #: halves the parent-side codec work.
+        self._row_cache: "dict[Fact, tuple]" = {}
+
+    def attach(
+        self,
+        program: Program,
+        limits: EvaluationLimits,
+        execution: ExecutionMode,
+        instance: Instance,
+        *,
+        spec: "ShardingSpec | None" = None,
+        partitioned: bool = False,
+        partitions: "list[Instance] | None" = None,
+    ) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if partitioned and spec is None:
+            raise EvaluationError("partitioned workers need the sharding spec")
+        self.close()
+        self._spec = spec
+        self._partitioned = partitioned
+        per_worker: "list[dict[str, list[tuple]]]"
+        if partitioned and partitions is not None:
+            # The owner already routed every row (its mirror): encode the
+            # per-shard splits directly instead of hashing everything again.
+            per_worker = [
+                {
+                    name: [_encode_row(row) for row in shard_instance.relation(name)]
+                    for name in shard_instance.relation_names
+                }
+                for shard_instance in partitions
+            ]
+        elif partitioned:
+            assert spec is not None
+            per_worker = [{} for _ in range(self.shard_count)]
+            for name in instance.relation_names:
+                for shard, rows in enumerate(
+                    spec.partition_rows(name, instance.relation(name))
+                ):
+                    per_worker[shard][name] = [_encode_row(row) for row in rows]
+        else:
+            rows = {
+                name: [_encode_row(row) for row in instance.relation(name)]
+                for name in instance.relation_names
+            }
+            per_worker = [rows] * self.shard_count
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_worker_init,
+                initargs=(program, limits, execution, per_worker[shard], spec, shard, partitioned),
+            )
+            for shard in range(self.shard_count)
+        ]
+        self._pending = [[] for _ in range(self.shard_count)]
+
+    def sync(
+        self,
+        added: "Collection[Fact]",
+        removed: "Collection[Fact]" = (),
+        *,
+        derived_by: "list[set[Fact]] | None" = None,
+    ) -> None:
+        if self._pools is None:
+            return
+        cache = self._row_cache
+        if self._partitioned:
+            # Each *added* row travels to its home shard only — this is the
+            # cross-shard exchange in its literal sense.  Removals broadcast:
+            # besides the home partition they must clear every worker's
+            # exported-fact memory, or a later re-derivation of the removed
+            # fact would be silently suppressed.
+            assert self._spec is not None
+            for fact in removed:
+                op = (False, fact.relation, _encode_row(fact.paths), False)
+                for queue in self._pending:
+                    queue.append(op)
+            for fact in added:
+                home = self._spec.shard_of_fact(fact)
+                if derived_by is not None and fact in derived_by[home]:
+                    continue  # its home worker derived (and kept) it already
+                self._pending[home].append(
+                    (True, fact.relation, cache.get(fact) or _encode_row(fact.paths), False)
+                )
+            return
+        removed_ops = [
+            (False, fact.relation, _encode_row(fact.paths), False) for fact in removed
+        ]
+        added_ops = [
+            (
+                fact,
+                (
+                    True,
+                    fact.relation,
+                    cache.get(fact) or _encode_row(fact.paths),
+                    False,
+                ),
+            )
+            for fact in added
+        ]
+        for shard, queue in enumerate(self._pending):
+            skip = derived_by[shard] if derived_by is not None else ()
+            queue.extend(removed_ops)
+            for fact, op in added_ops:
+                if fact not in skip:
+                    queue.append(op)
+
+    def round(
+        self,
+        stratum_index: int,
+        frontier_parts: "list[set[Fact]]",
+        stats_parts: "list[EvaluationStatistics]",
+    ) -> "list[set[Fact]] | None":
+        if self._pools is None:
+            raise EvaluationError("ProcessExecutor.round called before attach()")
+        total = sum(len(part) for part in frontier_parts)
+        backlog = max((len(queue) for queue in self._pending), default=0)
+        if total < self.min_round_rows and backlog < 8192:
+            return None  # parent runs this round in-process; catch-up stays queued
+        cache = self._row_cache
+        futures = []
+        for shard, pool in enumerate(self._pools):
+            catchup = self._pending[shard]
+            self._pending[shard] = []
+            self._exchanged += len(catchup)
+            frontier: "dict[str, list[tuple]]" = {}
+            for fact in frontier_parts[shard]:
+                frontier.setdefault(fact.relation, []).append(
+                    cache.get(fact) or _encode_row(fact.paths)
+                )
+            futures.append(pool.submit(_worker_round, catchup, stratum_index, frontier))
+        results: "list[set[Fact]]" = []
+        fresh_cache: "dict[Fact, tuple]" = {}
+        for shard, future in enumerate(futures):
+            new_rows, counters = future.result()
+            _merge_counters(stats_parts[shard], counters)
+            shard_facts = set()
+            for name, row in new_rows:
+                fact = Fact(name, _decode_row(row))
+                shard_facts.add(fact)
+                fresh_cache[fact] = row
+            results.append(shard_facts)
+        self._row_cache = fresh_cache
+        return results
+
+    # -- router mode (partitioned builds) ----------------------------------------------
+
+    @property
+    def supports_router(self) -> bool:
+        """Whether whole-stratum router-mode fixpoints can run here."""
+        return self._pools is not None and self._partitioned
+
+    def pending_rows(self, shard: int) -> int:
+        """Rows queued for *shard* that have not been delivered yet."""
+        return len(self._pending[shard]) if self._pools is not None else 0
+
+    def router_start(self, names: "list[str]") -> "list[int]":
+        """Seed every worker's frontier from its own partition of *names*."""
+        assert self._pools is not None
+        #: Wire rows already forwarded this stratum: several workers can
+        #: derive the same foreign fact, but its home only needs it once.
+        #: Deduplicated on the *encoded* tuples — the parent never decodes.
+        self._routed: "set[tuple[str, tuple]]" = set()
+        futures = [pool.submit(_worker_router_start, names) for pool in self._pools]
+        return [future.result() for future in futures]
+
+    def router_round(
+        self,
+        active: "list[int]",
+        stratum_index: int,
+        stats_parts: "list[EvaluationStatistics]",
+    ) -> "tuple[list[int], list[int], int]":
+        """One router round over the *active* shards.
+
+        Ships each worker its queued rows, forwards the returned foreign
+        rows — still encoded, the parent never builds a fact — to their home
+        queues, and returns ``(counted_new, frontier_left, shipped)`` where
+        the two lists are indexed by shard (zero for inactive shards).
+        """
+        assert self._pools is not None
+        futures = {}
+        for shard in active:
+            catchup = self._pending[shard]
+            self._pending[shard] = []
+            # No self._exchanged here: router mode reports its exchange via
+            # the returned `shipped` count — adding the catch-up deliveries
+            # would double-count every routed row, and leaving them queued in
+            # the counter would leak the whole build into the next
+            # propagate()'s take_exchanged().
+            futures[shard] = self._pools[shard].submit(
+                _worker_router_round, catchup, stratum_index
+            )
+        counted = [0] * self.shard_count
+        frontier_left = [0] * self.shard_count
+        shipped = 0
+        for shard, future in futures.items():
+            ships, counted_new, left, counters = future.result()
+            _merge_counters(stats_parts[shard], counters)
+            counted[shard] = counted_new
+            frontier_left[shard] = left
+            for home, name, row in ships:
+                key = (name, row)
+                if key in self._routed:
+                    continue
+                self._routed.add(key)
+                self._pending[home].append((True, name, row, True))
+                shipped += 1
+        return counted, frontier_left, shipped
+
+    def router_dump(self, names: "list[str]") -> "list[dict[str, list[tuple]]]":
+        """Fetch every worker's partition of *names* (end-of-stratum collect)."""
+        assert self._pools is not None
+        futures = [pool.submit(_worker_router_dump, names) for pool in self._pools]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True, cancel_futures=True)
+            self._pools = None
+            self._pending = []
+
+
+# -- the sharded fixpoint --------------------------------------------------------------
+
+
+class ShardedFixpoint:
+    """Shard-parallel semi-naive evaluation of one program.
+
+    The fixpoint owns the sharding of a single evaluation lineage: a
+    :class:`ShardingSpec` (where rows live), a :class:`ParallelExecutor`
+    (how rounds run), the shared :class:`ProgramEvaluators` (compiled join
+    plans, reused across rounds and — through the query session — across
+    queries and updates), and the :class:`ShardedInstance` mirror of the
+    authoritative instance.
+
+    It is both a standalone evaluator (:meth:`evaluate` replaces
+    :func:`~repro.engine.fixpoint.evaluate_program` for the sharded case)
+    and the round engine :class:`~repro.engine.maintenance.MaintainedFixpoint`
+    delegates to in its sharded mode (:meth:`stratum_fixpoint` for builds,
+    :meth:`propagate` for insertion cascades, :meth:`absorb` to keep the
+    mirror and the worker replicas in step with parent-side phases).
+
+    The rounds are semi-naive by construction; the ``strategy`` knob of the
+    single-process engine does not apply (a naive sharded round would make
+    every worker redo the whole instance, which defeats the partitioning).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        spec: ShardingSpec,
+        executor: "ParallelExecutor | None" = None,
+        limits: EvaluationLimits = DEFAULT_LIMITS,
+        *,
+        execution: ExecutionMode = "indexed",
+        evaluators: "ProgramEvaluators | None" = None,
+    ):
+        if executor is None:
+            executor = SequentialExecutor(spec.shard_count)
+        if executor.shard_count != spec.shard_count:
+            raise EvaluationError(
+                f"executor has {executor.shard_count} shards but the spec asks for "
+                f"{spec.shard_count}"
+            )
+        if evaluators is None:
+            evaluators = ProgramEvaluators(limits, execution=execution)
+        elif evaluators.execution != execution or evaluators.limits != limits:
+            raise EvaluationError(
+                f"the supplied ProgramEvaluators were built for "
+                f"execution={evaluators.execution!r} with limits {evaluators.limits}, "
+                f"but this fixpoint asks for execution={execution!r} with limits {limits}"
+            )
+        self.program = program
+        self.spec = spec
+        self.executor = executor
+        self.limits = limits
+        self.execution: ExecutionMode = execution
+        self.evaluators = evaluators
+        #: Whether every join of the program is key-aligned under the spec:
+        #: process workers then own bare partitions (1/N of the data, and
+        #: only genuinely cross-shard rows exchanged) instead of full
+        #: replicas.  Misaligned programs stay correct via replication.
+        self.partitioned = joins_are_key_aligned(program, spec.keys)
+        #: The partitioned mirror of the instance being evaluated (set by
+        #: :meth:`attach`); the serving layer reads shard sizes off it.
+        self.sharded: "ShardedInstance | None" = None
+        #: Extension attempts accumulated per shard across all rounds since
+        #: the last :meth:`attach` — the work-partitioning evidence the
+        #: sharding benchmark asserts near-linearity on.
+        self.per_shard_extension_attempts: list[int] = [0] * spec.shard_count
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def attach(self, current: Instance) -> None:
+        """Bind this fixpoint (mirror, workers, counters) to *current*."""
+        self.sharded = ShardedInstance.from_instance(current, self.spec)
+        self.per_shard_extension_attempts = [0] * self.spec.shard_count
+        self.executor.attach(
+            self.program,
+            self.limits,
+            self.execution,
+            current,
+            spec=self.spec,
+            partitioned=self.partitioned,
+            partitions=self.sharded.shards,
+        )
+
+    def absorb(self, added: "Collection[Fact]", removed: "Collection[Fact]" = ()) -> None:
+        """Mirror facts the owner applied to the authoritative instance.
+
+        Keeps the partitioned view and (lazily, via the executor's catch-up
+        queues) the worker replicas consistent with parent-side phases that
+        do not run through :meth:`round` — counting maintenance, EDB deltas,
+        overdeletion, rederivation.
+        """
+        if self.sharded is None:
+            return
+        for fact in removed:
+            self.sharded.discard_fact(fact)
+        for fact in added:
+            self.sharded.add_fact(fact)
+        self.executor.sync(added, removed)
+
+    def close(self) -> None:
+        """Release the executor's workers."""
+        self.executor.close()
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        instance: Instance,
+        *,
+        seed_facts: "Iterable[Fact] | None" = None,
+        statistics: "EvaluationStatistics | None" = None,
+    ) -> Instance:
+        """Evaluate the program shard-parallel; extensionally identical to
+        :func:`~repro.engine.fixpoint.evaluate_program` on the same inputs."""
+        if statistics is None:
+            statistics = EvaluationStatistics()
+        current = instance.copy()
+        if seed_facts is not None:
+            for fact in seed_facts:
+                current.add_fact(fact)
+        self.attach(current)
+        for index in range(len(self.program.strata)):
+            rounds = self.stratum_fixpoint(index, current, statistics)
+            statistics.merge_stratum(rounds)
+        for name in self.program.idb_relation_names():
+            current.ensure_relation(name)
+        return current
+
+    def stratum_fixpoint(
+        self, index: int, current: Instance, statistics: EvaluationStatistics
+    ) -> int:
+        """Run stratum *index* to its fixpoint on *current*; return the rounds.
+
+        The single-process engine opens with one naive round; here the
+        opening round is the semi-naive round whose delta is *everything*
+        (each derivation trivially has a body fact in the delta, so the two
+        are equivalent) — which is exactly the shape the partitioning wants.
+        The only rules that trick misses are those with no positive body
+        predicate at all (ground facts, negation/equation-only bodies):
+        delta restriction never fires them, so they run once upfront.
+        """
+        stratum = self.program.strata[index]
+        for rule in stratum:
+            current.ensure_relation(rule.head.name)
+        bootstrap: set[Fact] = set()
+        positive: set[str] = set()
+        for evaluator in self.evaluators.for_stratum(stratum):
+            if evaluator.body_relation_names:
+                positive |= evaluator.body_relation_names
+                continue
+            statistics.rule_applications += 1
+            for fact in evaluator.derive(current, statistics=statistics):
+                if fact not in current:
+                    bootstrap.add(fact)
+        for fact in bootstrap:
+            current.add_fact(fact)
+        statistics.facts_derived += len(bootstrap)
+        if bootstrap:
+            self.absorb(bootstrap)
+        if self.executor.supports_router:
+            rounds = self._router_stratum(index, current, sorted(positive), statistics)
+            return max(rounds, 1)
+        delta = {
+            Fact(name, row)
+            for name in positive & current.relation_names
+            for row in current.relation(name)
+        }
+        rounds, _ = self.propagate(index, current, delta, statistics)
+        return max(rounds, 1)
+
+    def _router_stratum(
+        self,
+        index: int,
+        current: Instance,
+        body_names: "list[str]",
+        statistics: EvaluationStatistics,
+    ) -> int:
+        """A whole stratum fixpoint with the parent acting as a row router.
+
+        Every worker seeds its frontier from its own partition, retains its
+        home derivations as the next frontier, and ships only the genuinely
+        cross-shard rows — which the parent forwards without decoding.  The
+        head partitions are collected once at the end and folded into the
+        authoritative instance and the mirror.
+        """
+        executor = self.executor
+        stratum = self.program.strata[index]
+        frontier_left = executor.router_start(body_names)
+        iterations = 0
+        derived = 0
+        while True:
+            active = [
+                shard
+                for shard in range(self.spec.shard_count)
+                if frontier_left[shard] or executor.pending_rows(shard)
+            ]
+            if not active:
+                break
+            iterations += 1
+            self.limits.check_iterations(iterations)
+            stats_parts = [EvaluationStatistics() for _ in range(self.spec.shard_count)]
+            counted, frontier_left, shipped = executor.router_round(
+                active, index, stats_parts
+            )
+            statistics.shard_rounds += 1
+            statistics.cross_shard_facts += shipped
+            for shard, shard_stats in enumerate(stats_parts):
+                self.per_shard_extension_attempts[shard] += shard_stats.extension_attempts
+                statistics.absorb_counters(shard_stats)
+            derived += sum(counted)
+            self.limits.check_fact_count(current.fact_count() + derived)
+        statistics.facts_derived += derived
+        heads = sorted(stratum.head_relation_names())
+        assert self.sharded is not None
+        for shard, dump in enumerate(executor.router_dump(heads)):
+            for name in heads:
+                rows = {_decode_row(row) for row in dump.get(name, ())}
+                self.sharded.shards[shard].set_relation_rows(name, rows)
+        for name in heads:
+            merged: set = set()
+            for shard_instance in self.sharded.shards:
+                merged |= shard_instance.relation(name)
+            current.set_relation_rows(name, merged)
+        return iterations
+
+    def propagate(
+        self,
+        index: int,
+        current: Instance,
+        delta_facts: "set[Fact]",
+        statistics: EvaluationStatistics,
+        *,
+        collect: bool = False,
+        iterations_before: int = 0,
+    ) -> "tuple[int, set[Fact]]":
+        """Shard-parallel analogue of :func:`~repro.engine.fixpoint.propagate_delta`.
+
+        *delta_facts* must already be present in *current*.  Each round
+        partitions the delta by home shard, runs the per-shard delta-
+        restricted applications (remotely or in-process, the executor's
+        call), merges and applies the net-new facts, and queues the
+        cross-shard rows for the replicas.
+        """
+        if self.sharded is None:
+            raise EvaluationError("ShardedFixpoint.propagate called before attach()")
+        iterations = iterations_before
+        added: set[Fact] = set()
+        parts = self.spec.partition_facts(delta_facts)
+        while any(parts):
+            iterations += 1
+            self.limits.check_iterations(iterations)
+            stats_parts = [EvaluationStatistics() for _ in range(self.spec.shard_count)]
+            results = self.executor.round(index, parts, stats_parts)
+            remote = results is not None
+            if results is None:
+                results = self._local_round(index, parts, stats_parts, current)
+            statistics.shard_rounds += 1
+            # One pass per derived fact: membership + apply on the
+            # authoritative instance (storage-level, the facts come from the
+            # rule evaluators and are well-formed), home routing for the
+            # mirror and the next round's frontier.
+            net: set[Fact] = set()
+            parts = [set() for _ in range(self.spec.shard_count)]
+            for shard_new in results:
+                for fact in shard_new:
+                    name = fact.relation
+                    storage = current.storage(name)
+                    if storage is None:
+                        current.ensure_relation(name)
+                        storage = current.storage(name)
+                    if not storage.add(fact.paths):
+                        continue
+                    net.add(fact)
+                    home = self.spec.shard_of_fact(fact)
+                    mirror = self.sharded.shards[home]
+                    mirror.ensure_relation(name)
+                    mirror.storage(name).add(fact.paths)
+                    parts[home].add(fact)
+            for shard, shard_stats in enumerate(stats_parts):
+                self.per_shard_extension_attempts[shard] += shard_stats.extension_attempts
+                statistics.absorb_counters(shard_stats)
+            statistics.facts_derived += len(net)
+            self.limits.check_fact_count(current.fact_count())
+            self.executor.sync(net, derived_by=results if remote else None)
+            statistics.cross_shard_facts += self.executor.take_exchanged()
+            if collect:
+                added |= net
+        return iterations - iterations_before, added
+
+    def _local_round(
+        self,
+        index: int,
+        parts: "list[set[Fact]]",
+        stats_parts: "list[EvaluationStatistics]",
+        current: Instance,
+    ) -> "list[set[Fact]]":
+        """One in-process round: the shards run in order against *current*."""
+        evaluators = self.evaluators.for_stratum(self.program.strata[index])
+        delta = Instance()
+        results: "list[set[Fact]]" = []
+        for shard, part in enumerate(parts):
+            if not part:
+                results.append(set())
+                continue
+            delta.replace_with(part)
+            changed = {fact.relation for fact in part}
+            results.append(
+                _apply_rules_seminaive(evaluators, current, delta, changed, stats_parts[shard])
+            )
+        return results
+
+
+# -- tabling hook ----------------------------------------------------------------------
+
+
+def goal_shard_footprint(
+    compiled: "MagicProgram",
+    spec: ShardingSpec,
+    seed_binding: "dict[int, Path]",
+) -> "frozenset[int] | None":
+    """The shards a tabled goal's answers can depend on, or ``None`` for all.
+
+    Sound and deliberately narrow: a footprint is only claimed when *every*
+    EDB access of the entry's magic program is provably pinned — at the
+    relation's shard-key position — to a value fixed by the seed.  Then a
+    base row homed elsewhere can never satisfy any body occurrence of any
+    rule, so updates routed to other shards cannot move the entry's answers
+    (they are mirrored into its base copy without any propagation).
+
+    The check accepts an EDB occurrence when its key-position component is a
+    ground constant, or a lone variable that the *seed* magic predicate of
+    the same rule binds to a seed path.  Recursion is rejected outright —
+    a recursive goal (reachability) reaches rows an unbounded number of
+    joins away from the seed, so its true footprint is every shard.  So is
+    any rule with a negated predicate: a fact *appearing* in a negated
+    relation removes answers no matter which shard it lives on, so a
+    footprint that skipped its update would serve stale answers.
+    """
+    program = compiled.program
+    if program.uses_recursion():
+        return None
+    for rule in program.rules():
+        for literal in rule.body:
+            if literal.negative and literal.is_predicate():
+                return None
+    seed_fact = compiled.seed_fact(seed_binding)
+    seed_name = compiled.magic_seed_relation
+    edb = program.edb_relation_names() - {seed_name}
+    footprint: set[int] = set()
+    for rule in program.rules():
+        seed_values: dict = {}
+        for literal in rule.body:
+            if not (literal.positive and literal.is_predicate()):
+                continue
+            predicate = literal.atom
+            if predicate.name != seed_name:
+                continue
+            for component, value in zip(predicate.components, seed_fact.paths):
+                items = component.items
+                if len(items) == 1 and not isinstance(items[0], str):
+                    seed_values[items[0]] = value
+        for literal in rule.body:
+            if not (literal.positive and literal.is_predicate()):
+                continue
+            predicate = literal.atom
+            if predicate.name not in edb:
+                continue
+            key = spec.key_for(predicate.name)
+            if key is None or key >= len(predicate.components):
+                return None
+            component = predicate.components[key]
+            items = component.items
+            if not component.variables():
+                if not all(isinstance(item, str) for item in items):
+                    return None  # a packed constant: routing hashes it differently
+                value = Path(tuple(items))
+            elif len(items) == 1 and items[0] in seed_values:
+                value = seed_values[items[0]]
+            else:
+                return None
+            footprint.add(stable_hash_path(value) % spec.shard_count)
+    return frozenset(footprint)

@@ -8,8 +8,26 @@ maintains *lazy, generation-invalidated* secondary indexes (by exact argument
 path, by ground first atom of an argument, by argument path length) together
 with cached zero-copy read views.  See DESIGN.md for the storage layout and
 the join-planning heuristics built on top of it.
+
+The partition layer (:mod:`repro.storage.partition`) adds hash partitioning
+on top: a deterministic cross-process row hash, the :class:`ShardingSpec`
+routing table, and the :func:`choose_shard_keys` planner the sharded engine
+(:mod:`repro.engine.sharding`) routes rows with.
 """
 
+from repro.storage.partition import (
+    ShardingSpec,
+    choose_shard_keys,
+    stable_hash_path,
+    stable_hash_row,
+)
 from repro.storage.relation import EMPTY_ROWS, Relation
 
-__all__ = ["EMPTY_ROWS", "Relation"]
+__all__ = [
+    "EMPTY_ROWS",
+    "Relation",
+    "ShardingSpec",
+    "choose_shard_keys",
+    "stable_hash_path",
+    "stable_hash_row",
+]

@@ -1,0 +1,229 @@
+"""Hash partitioning of relation rows across shards.
+
+The serving stack scales past one worker by *sharding*: each relation's rows
+are split into ``shard_count`` disjoint partitions by hashing one
+planner-chosen argument path — the **shard key** — and the engine's
+shard-parallel fixpoints (:mod:`repro.engine.sharding`) assign each
+partition's delta work to its own worker.  This module owns everything about
+*where a row lives*:
+
+* :func:`stable_hash_path` / :func:`stable_hash_row` — a deterministic hash
+  (CRC-32 over a canonical encoding) that is identical across processes and
+  interpreter runs.  Python's built-in ``hash`` of strings is randomised per
+  process (``PYTHONHASHSEED``), which would make a parent and a spawned
+  worker disagree about a row's home shard; the partition layer therefore
+  never uses it.
+* :class:`ShardingSpec` — the routing table: a shard count plus a per-
+  relation key position (``None`` falls back to hashing the whole row, the
+  round-robin-like default for relations with no usable join argument).
+* :func:`choose_shard_keys` — the planner: picks each relation's key as the
+  argument position that participates in the most joins of the program
+  (a component that is a lone variable shared with another body literal, or
+  failing that with the head), so co-partitioned work stays shard-local as
+  often as possible.
+
+Partitioning is *routing only*: any key choice is correct (the parallel
+fixpoints replicate the instance and partition the per-round delta), a good
+key merely balances the per-shard work and shrinks the cross-shard exchange.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.model.terms import Packed, Path
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (model imports storage)
+    from repro.model.instance import Fact
+    from repro.syntax.programs import Program
+
+__all__ = [
+    "ShardingSpec",
+    "choose_shard_keys",
+    "joins_are_key_aligned",
+    "stable_hash_path",
+    "stable_hash_row",
+]
+
+
+def _feed(crc: int, text: str) -> int:
+    return zlib.crc32(text.encode("utf-8"), crc)
+
+
+def _feed_path(crc: int, path: Path) -> int:
+    for element in path.elements:
+        if isinstance(element, Packed):
+            crc = _feed(crc, "<")
+            crc = _feed_path(crc, element.contents)
+            crc = _feed(crc, ">")
+        else:
+            crc = _feed(crc, element)
+            crc = _feed(crc, "\x00")  # separator: ("ab",) must differ from ("a","b")
+    return crc
+
+
+def stable_hash_path(path: Path) -> int:
+    """A process-independent hash of *path* (CRC-32 of a canonical encoding)."""
+    return _feed_path(0, path)
+
+
+def stable_hash_row(row: "tuple[Path, ...]") -> int:
+    """A process-independent hash of a whole row (all argument paths)."""
+    crc = 0
+    for path in row:
+        crc = _feed_path(crc, path)
+        crc = _feed(crc, "\x01")  # argument separator
+    return crc
+
+
+class ShardingSpec:
+    """The routing table: how many shards, and each relation's key position.
+
+    ``keys`` maps relation names to the argument position whose path decides
+    a row's home shard; relations absent from the mapping (or mapped to
+    ``None``) fall back to hashing the whole row, which spreads rows evenly
+    but never aligns with any join.  Rows whose key position is out of range
+    (a relation used at several arities never passes validation upstream,
+    but transient delta rows should not crash routing) also fall back to the
+    row hash.
+    """
+
+    __slots__ = ("shard_count", "keys")
+
+    def __init__(self, shard_count: int, keys: "Mapping[str, int | None] | None" = None):
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be at least 1, got {shard_count}")
+        self.shard_count = shard_count
+        self.keys: dict[str, int | None] = dict(keys or {})
+
+    def key_for(self, relation: str) -> "int | None":
+        """The shard-key argument position of *relation* (``None`` = row hash)."""
+        return self.keys.get(relation)
+
+    def shard_of_row(self, relation: str, row: "tuple[Path, ...]") -> int:
+        """The home shard of *row* in *relation*."""
+        if self.shard_count == 1:
+            return 0
+        key = self.keys.get(relation)
+        if key is not None and 0 <= key < len(row):
+            return stable_hash_path(row[key]) % self.shard_count
+        return stable_hash_row(row) % self.shard_count
+
+    def shard_of_fact(self, fact: "Fact") -> int:
+        """The home shard of a fact (its relation's key applied to its paths)."""
+        return self.shard_of_row(fact.relation, fact.paths)
+
+    def partition_rows(
+        self, relation: str, rows: "Iterable[tuple[Path, ...]]"
+    ) -> "list[set[tuple[Path, ...]]]":
+        """Split *rows* into one set per shard (disjoint, order-independent)."""
+        parts: "list[set[tuple[Path, ...]]]" = [set() for _ in range(self.shard_count)]
+        for row in rows:
+            parts[self.shard_of_row(relation, row)].add(row)
+        return parts
+
+    def partition_facts(self, facts: "Iterable[Fact]") -> "list[set[Fact]]":
+        """Split *facts* into one set per shard by each fact's home shard."""
+        parts: "list[set[Fact]]" = [set() for _ in range(self.shard_count)]
+        for fact in facts:
+            parts[self.shard_of_fact(fact)].add(fact)
+        return parts
+
+    def __repr__(self) -> str:
+        keyed = {name: key for name, key in sorted(self.keys.items()) if key is not None}
+        return f"ShardingSpec({self.shard_count} shards, keys={keyed})"
+
+
+def choose_shard_keys(program: "Program") -> "dict[str, int | None]":
+    """Pick a shard-key argument position per relation of *program*.
+
+    For every positive body occurrence of a relation, an argument position
+    scores when its component is a *lone variable* that joins elsewhere in
+    the rule: two points if the variable occurs in another positive body
+    literal (a genuine join argument — partitioning on it keeps matching
+    rows and delta rows co-located), one point if it only reaches the head.
+    The highest-scoring position wins (lowest position on ties); relations
+    whose occurrences never expose a lone-variable component map to ``None``
+    and fall back to whole-row hashing.
+    """
+    scores: dict[str, dict[int, int]] = {}
+    for rule in program.rules():
+        body_predicates = [
+            literal.atom for literal in rule.body if literal.positive and literal.is_predicate()
+        ]
+        head_variables = rule.head.variables()
+        for predicate in body_predicates:
+            for position, component in enumerate(predicate.components):
+                items = component.items
+                if len(items) != 1 or isinstance(items[0], str):
+                    continue
+                variable = items[0]
+                if not hasattr(variable, "name"):
+                    continue  # packed template, not a variable
+                elsewhere = any(
+                    other is not predicate and variable in other.variables()
+                    for other in body_predicates
+                )
+                if elsewhere:
+                    points = 2
+                elif variable in head_variables:
+                    points = 1
+                else:
+                    continue
+                positions = scores.setdefault(predicate.name, {})
+                positions[position] = positions.get(position, 0) + points
+    keys: "dict[str, int | None]" = {}
+    for name in program.relation_names():
+        positions = scores.get(name)
+        if not positions:
+            keys[name] = None
+            continue
+        best = max(positions.items(), key=lambda item: (item[1], -item[0]))
+        keys[name] = best[0]
+    return keys
+
+
+def joins_are_key_aligned(program: "Program", keys: "Mapping[str, int | None]") -> bool:
+    """Whether *keys* make every join of *program* partition-local.
+
+    A join is partition-local when all rows any single valuation reads share
+    one home shard — then a worker holding only its partition of every
+    relation evaluates its slice of the delta completely, and the only rows
+    that ever cross shards are derived heads homed elsewhere.  The proof
+    obligation per rule:
+
+    * every positive body predicate has a shard key, and in rules with
+      several positive predicates all their key-position components are the
+      *same lone variable* — one valuation therefore reads rows agreeing on
+      that variable's value, which is exactly what their home hashes;
+    * no negated predicate: deciding ``not R(t̄)`` against a partition would
+      claim absence from rows another shard holds.
+
+    Rules with a single positive predicate impose nothing (the pivot's own
+    partition is the delta slice being evaluated), and equations never read
+    relations.  When the check fails the sharded engine falls back to full
+    replicas, which are always sound.
+    """
+    for rule in program.rules():
+        predicates = []
+        for literal in rule.body:
+            if literal.is_predicate():
+                if literal.negative:
+                    return False
+                predicates.append(literal.atom)
+        if len(predicates) < 2:
+            continue
+        key_variable = None
+        for predicate in predicates:
+            key = keys.get(predicate.name)
+            if key is None or key >= len(predicate.components):
+                return False
+            items = predicate.components[key].items
+            if len(items) != 1 or isinstance(items[0], str) or not hasattr(items[0], "name"):
+                return False
+            if key_variable is None:
+                key_variable = items[0]
+            elif items[0] != key_variable:
+                return False
+    return True

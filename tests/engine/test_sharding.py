@@ -1,0 +1,429 @@
+"""Unit tests of shard-parallel evaluation and the sharded serving path."""
+
+import pytest
+
+from repro.engine import (
+    EvaluationStatistics,
+    MaintainedFixpoint,
+    ProcessExecutor,
+    ProgramQuery,
+    SequentialExecutor,
+    ShardedFixpoint,
+    ShardedInstance,
+    evaluate_program,
+    goal_shard_footprint,
+)
+from repro.errors import EvaluationError
+from repro.model import Fact, Instance, path
+from repro.parser import parse_program
+from repro.storage import ShardingSpec, choose_shard_keys
+from repro.workloads import as_edge_pairs, layered_graph_instance, update_stream
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+
+def reachability_workload(*, layers=6, width=6, seed=3):
+    program = parse_program(REACHABILITY_PAIRS)
+    instance = as_edge_pairs(layered_graph_instance(layers=layers, width=width, seed=seed))
+    return program, instance
+
+
+# -- ShardedInstance -------------------------------------------------------------------
+
+
+def test_sharded_instance_partitions_and_merges():
+    program, instance = reachability_workload()
+    spec = ShardingSpec(3, choose_shard_keys(program))
+    sharded = ShardedInstance.from_instance(instance, spec)
+    assert sum(sharded.shard_sizes()) == instance.fact_count()
+    assert sharded.merged() == instance
+    # every row sits in exactly its home shard
+    for shard_index, shard in enumerate(sharded.shards):
+        for name in shard.relation_names:
+            for row in shard.relation(name):
+                assert spec.shard_of_row(name, row) == shard_index
+
+
+def test_sharded_instance_routes_mutations():
+    spec = ShardingSpec(2, {"E": 0})
+    sharded = ShardedInstance(spec)
+    fact = Fact("E", [path("a"), path("b")])
+    sharded.add_fact(fact)
+    home = spec.shard_of_fact(fact)
+    assert fact in sharded.shards[home]
+    assert fact not in sharded.shards[1 - home]
+    sharded.discard_fact(fact)
+    assert sharded.fact_count() == 0
+
+
+def test_sharded_instance_wrong_shard_count_rejected():
+    with pytest.raises(EvaluationError):
+        ShardedInstance(ShardingSpec(3), [Instance(), Instance()])
+
+
+# -- ShardedFixpoint: equivalence ------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_evaluation_matches_single_process(shards):
+    program, instance = reachability_workload()
+    expected = evaluate_program(program, instance)
+    fixpoint = ShardedFixpoint(program, ShardingSpec(shards, choose_shard_keys(program)))
+    statistics = EvaluationStatistics()
+    result = fixpoint.evaluate(instance, statistics=statistics)
+    assert result == expected
+    assert fixpoint.sharded.merged() == expected
+    assert statistics.shard_rounds > 0
+    # the partitioned work accounts for all extension attempts
+    assert sum(fixpoint.per_shard_extension_attempts) == statistics.extension_attempts
+
+
+def test_sharded_evaluation_handles_ground_rules_and_negation():
+    # Ground-fact rules have no positive body predicate (the delta trick
+    # never fires them) and negation reads earlier strata: both must come
+    # out identical to the single-process engine.
+    program = parse_program(
+        """
+        Seed(a).
+        Reach($x) :- Seed($x).
+        Reach($y) :- Reach($x), R($x.$y).
+        Missed($x) :- N($x), not Reach($x).
+        """
+    )
+    from repro.model import Path
+
+    instance = Instance()
+    for node in ("a", "b", "c", "d"):
+        instance.add("N", node)
+    for edge in (("a", "b"), ("b", "c")):
+        instance.add("R", Path(edge))
+    expected = evaluate_program(program, instance)
+    fixpoint = ShardedFixpoint(program, ShardingSpec(2, choose_shard_keys(program)))
+    assert fixpoint.evaluate(instance) == expected
+    assert expected.paths("Missed") == {path("d")}
+
+
+def test_sharded_evaluation_with_seed_facts():
+    program, instance = reachability_workload(layers=4, width=4)
+    seed = Fact("T", [path("zz"), path("zz")])
+    expected = evaluate_program(program, instance, seed_facts=(seed,))
+    fixpoint = ShardedFixpoint(program, ShardingSpec(2, choose_shard_keys(program)))
+    assert fixpoint.evaluate(instance, seed_facts=(seed,)) == expected
+
+
+def test_process_executor_matches_and_exchanges_rows():
+    program, instance = reachability_workload(layers=5, width=5)
+    expected = evaluate_program(program, instance)
+    spec = ShardingSpec(2, choose_shard_keys(program))
+    with ProcessExecutor(2, min_round_rows=0) as executor:
+        fixpoint = ShardedFixpoint(program, spec, executor)
+        statistics = EvaluationStatistics()
+        assert fixpoint.evaluate(instance, statistics=statistics) == expected
+        # replicated update stream: the other shards' derivations travel
+        assert statistics.cross_shard_facts > 0
+
+
+def test_process_executor_small_rounds_run_in_process():
+    # An empty key map defeats the join-alignment proof, so the program runs
+    # replicated — the mode where the dispatch threshold applies.
+    program, instance = reachability_workload(layers=4, width=4)
+    expected = evaluate_program(program, instance)
+    with ProcessExecutor(2, min_round_rows=10**9) as executor:
+        fixpoint = ShardedFixpoint(program, ShardingSpec(2), executor)
+        assert not fixpoint.partitioned
+        statistics = EvaluationStatistics()
+        assert fixpoint.evaluate(instance, statistics=statistics) == expected
+        # every round stayed below the dispatch threshold: nothing travelled
+        assert statistics.cross_shard_facts == 0
+
+
+def test_partitioned_router_build_owns_bare_partitions():
+    # Key-aligned joins: workers own 1/N of the data and only genuinely
+    # cross-shard derived rows are exchanged.
+    program, instance = reachability_workload(layers=5, width=5)
+    expected = evaluate_program(program, instance)
+    spec = ShardingSpec(2, choose_shard_keys(program))
+    with ProcessExecutor(2) as executor:
+        fixpoint = ShardedFixpoint(program, spec, executor)
+        assert fixpoint.partitioned
+        statistics = EvaluationStatistics()
+        result = fixpoint.evaluate(instance, statistics=statistics)
+        assert result == expected
+        assert fixpoint.sharded.merged() == expected
+        # the exchange is a strict subset of the derived facts (home-derived
+        # rows never travel)
+        derived = len(expected.relation("T"))
+        assert 0 < statistics.cross_shard_facts < derived
+
+
+def test_router_mode_statistics_match_sequential():
+    """facts_derived parity: router catch-up rows the parent already counted
+    (bootstrap ground facts) must not be re-counted at their home worker."""
+    program = parse_program(
+        """
+        E(a, b).
+        E(b, c).
+        T(@x, @y) :- E(@x, @y).
+        T(@x, @z) :- T(@x, @y), E(@y, @z).
+        """
+    )
+    instance = as_edge_pairs(layered_graph_instance(layers=4, width=4, seed=9))
+    keys = choose_shard_keys(program)
+    sequential_stats = EvaluationStatistics()
+    sequential = ShardedFixpoint(program, ShardingSpec(2, keys)).evaluate(
+        instance, statistics=sequential_stats
+    )
+    with ProcessExecutor(2) as executor:
+        process_stats = EvaluationStatistics()
+        fixpoint = ShardedFixpoint(program, ShardingSpec(2, keys), executor)
+        assert fixpoint.partitioned
+        process = fixpoint.evaluate(instance, statistics=process_stats)
+    assert sequential == process == evaluate_program(program, instance)
+    assert sequential_stats.facts_derived == process_stats.facts_derived
+
+
+def test_executor_shard_count_must_match_spec():
+    program, _ = reachability_workload(layers=3, width=3)
+    with pytest.raises(EvaluationError):
+        ShardedFixpoint(program, ShardingSpec(2), SequentialExecutor(3))
+
+
+def test_propagate_requires_attach():
+    program, instance = reachability_workload(layers=3, width=3)
+    fixpoint = ShardedFixpoint(program, ShardingSpec(2))
+    with pytest.raises(EvaluationError):
+        fixpoint.propagate(0, instance, set(), EvaluationStatistics())
+
+
+# -- sharded maintenance ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [2, 3])
+def test_sharded_maintained_fixpoint_tracks_scratch(shards):
+    program, instance = reachability_workload(layers=5, width=5)
+    sharding = ShardedFixpoint(program, ShardingSpec(shards, choose_shard_keys(program)))
+    maintained = MaintainedFixpoint.evaluate(program, instance, sharding=sharding)
+    current = instance.copy()
+    for additions, retractions in update_stream(instance, relation="E", steps=4, seed=11):
+        maintained.update(additions, retractions)
+        for fact in retractions:
+            current.discard_fact(fact)
+        for fact in additions:
+            current.add_fact(fact)
+        scratch = evaluate_program(program, current)
+        assert maintained.materialized == scratch
+        # the partitioned mirror stays in step with the materialization
+        assert maintained.sharding.sharded.merged() == scratch
+
+
+def test_sharded_maintenance_counting_strata():
+    # A non-recursive program: counting maintenance with per-shard pivots.
+    program = parse_program(
+        """
+        Pair(@x, @z) :- E(@x, @y), E(@y, @z).
+        """
+    )
+    instance = as_edge_pairs(layered_graph_instance(layers=4, width=4, seed=7))
+    sharding = ShardedFixpoint(program, ShardingSpec(2, choose_shard_keys(program)))
+    maintained = MaintainedFixpoint.evaluate(program, instance, sharding=sharding)
+    current = instance.copy()
+    for additions, retractions in update_stream(instance, relation="E", steps=4, seed=3):
+        maintained.update(additions, retractions)
+        for fact in retractions:
+            current.discard_fact(fact)
+        for fact in additions:
+            current.add_fact(fact)
+        assert maintained.materialized == evaluate_program(program, current)
+
+
+def test_sharded_maintenance_shares_the_fixpoints_evaluators():
+    program, instance = reachability_workload(layers=3, width=3)
+    from repro.engine import ProgramEvaluators
+
+    sharding = ShardedFixpoint(program, ShardingSpec(2, choose_shard_keys(program)))
+    with pytest.raises(EvaluationError):
+        MaintainedFixpoint.evaluate(
+            program, instance, sharding=sharding, evaluators=ProgramEvaluators()
+        )
+
+
+# -- sharded query sessions ------------------------------------------------------------
+
+
+def test_sharded_session_serves_identical_answers_through_updates():
+    program, instance = reachability_workload()
+    query = ProgramQuery(program, {"E": 2}, "T", require_monadic=False)
+    plain = query.session(instance.copy())
+    with query.session(instance.copy(), shards=3) as sharded:
+        assert plain.run().output == sharded.run().output
+        for additions, retractions in update_stream(instance, relation="E", steps=4, seed=5):
+            plain.update(additions, retractions)
+            update = sharded.update(additions, retractions)
+            assert update.maintained and update.fallback_reason is None
+            assert update.shards_touched is not None and update.shards_touched
+            for source in ("a", "l1n1", "l2n2"):
+                lhs = plain.run(binding={0: source})
+                rhs = sharded.run(binding={0: source})
+                assert lhs.output == rhs.output
+                assert rhs.served_by == "maintained"
+
+
+def test_unsharded_session_reports_no_shards_touched():
+    program, instance = reachability_workload(layers=3, width=3)
+    query = ProgramQuery(program, {"E": 2}, "T", require_monadic=False)
+    session = query.session(instance.copy())
+    session.run()
+    update = session.update([Fact("E", [path("a"), path("l2n2")])])
+    assert update.shards_touched is None
+    assert session.sharding is None
+    session.close()  # no-op, must not raise
+
+
+def test_session_rejects_bad_shard_configuration():
+    program, instance = reachability_workload(layers=3, width=3)
+    query = ProgramQuery(program, {"E": 2}, "T", require_monadic=False)
+    with pytest.raises(EvaluationError):
+        query.session(instance.copy(), shards=0)
+    with pytest.raises(EvaluationError):
+        query.session(instance.copy(), shards=2, executor="threads")
+
+
+def test_table_capacity_is_threaded_through():
+    program, instance = reachability_workload(layers=3, width=3)
+    query = ProgramQuery(program, {"E": 2}, "T", require_monadic=False)
+    session = query.session(instance.copy(), table_capacity=2)
+    assert session.table_capacity == 2
+    assert session._tables.max_entries == 2
+    # the LRU bound is enforced: a third distinct goal evicts the coldest
+    for source in ("a", "l1n0", "l2n0"):
+        session.run(binding={0: source}, mode="goal")
+    assert len(session._tables) <= 2
+    from repro.errors import SubgoalTableError
+
+    with pytest.raises(SubgoalTableError):
+        query.session(instance.copy(), table_capacity=0)
+
+
+# -- goal shard footprints -------------------------------------------------------------
+
+
+def test_goal_footprint_for_bound_nonrecursive_lookup():
+    program = parse_program("O(@x, @y) :- E(@x, @y).")
+    query = ProgramQuery(program, {"E": 2}, "O", require_monadic=False)
+    spec = ShardingSpec(4, choose_shard_keys(query.program))
+    compiled, reason = query.goal_program({0: path("a")})
+    assert reason is None
+    footprint = goal_shard_footprint(compiled, spec, {0: path("a")})
+    assert footprint is not None and len(footprint) == 1
+
+
+def test_goal_footprint_is_none_for_recursion():
+    program = parse_program(REACHABILITY_PAIRS)
+    query = ProgramQuery(program, {"E": 2}, "T", require_monadic=False)
+    spec = ShardingSpec(4, choose_shard_keys(program))
+    compiled, reason = query.goal_program({0: path("a")})
+    assert reason is None
+    assert goal_shard_footprint(compiled, spec, {0: path("a")}) is None
+
+
+def test_goal_footprint_is_none_under_negation():
+    """A fact appearing in a negated relation removes answers regardless of
+    its home shard, so footprint-filtered updates would serve stale answers
+    (regression: the footprint used to only inspect positive literals)."""
+    program = parse_program("Ans(@x, @y) :- E(@x, @y), not B(@y).")
+    instance = as_edge_pairs(layered_graph_instance(layers=4, width=4, seed=2))
+    query = ProgramQuery(program, {"E": 2, "B": 1}, "Ans", require_monadic=False)
+    spec = ShardingSpec(4, choose_shard_keys(program))
+    compiled, reason = query.goal_program({0: path("a")})
+    assert reason is None
+    assert goal_shard_footprint(compiled, spec, {0: path("a")}) is None
+    # end to end: blocking a target must drop it from the sharded session's
+    # tabled answers exactly as it does in the plain session
+    plain = query.session(instance.copy())
+    with query.session(instance.copy(), shards=4) as sharded:
+        assert (
+            plain.run(binding={0: "a"}, mode="goal").output
+            == sharded.run(binding={0: "a"}, mode="goal").output
+        )
+        target = next(iter(plain.run(binding={0: "a"}).output.relation("Ans")))[1]
+        blocked = Fact("B", [target])
+        plain.update([blocked])
+        sharded.update([blocked])
+        lhs = plain.run(binding={0: "a"}, mode="goal").output
+        rhs = sharded.run(binding={0: "a"}, mode="goal").output
+        assert lhs == rhs
+        assert target not in {row[1] for row in rhs.relation("Ans")}
+
+
+def test_sharded_session_requires_memoization():
+    """shards>1 with memoize=False would silently evaluate unsharded."""
+    program, instance = reachability_workload(layers=3, width=3)
+    query = ProgramQuery(program, {"E": 2}, "T", require_monadic=False)
+    with pytest.raises(EvaluationError):
+        query.session(instance.copy(), shards=2, memoize=False)
+
+
+def test_sharded_mirror_tracks_out_of_band_stray_relations():
+    """Facts of relations the program never mentions are mirrored into the
+    materialization; the partitioned mirror must see them too."""
+    program, _ = reachability_workload(layers=3, width=3)
+    instance = as_edge_pairs(layered_graph_instance(layers=3, width=3, seed=1))
+    instance.ensure_relation("Meta")
+    query = ProgramQuery(program, {"E": 2, "Meta": 1}, "T", require_monadic=False)
+    with query.session(instance, shards=2) as session:
+        session.run()
+        instance.add("Meta", path("note"))  # out-of-band, unknown to the program
+        session.run()  # absorbs the drift
+        materialized = session._maintained.materialized
+        assert materialized.contains("Meta", path("note"))
+        assert session.sharding.sharded.merged() == materialized
+
+
+def test_goal_footprint_is_none_without_a_shard_key():
+    program = parse_program("O(@x, @y) :- E(@x, @y).")
+    query = ProgramQuery(program, {"E": 2}, "O", require_monadic=False)
+    spec = ShardingSpec(4, {"E": None})  # row-hash routing: no keyed pinning
+    compiled, _ = query.goal_program({0: path("a")})
+    assert goal_shard_footprint(compiled, spec, {0: path("a")}) is None
+
+
+def test_footprint_skips_out_of_shard_updates_but_keeps_answers_exact():
+    program = parse_program("O(@x, @y) :- E(@x, @y).")
+    instance = as_edge_pairs(layered_graph_instance(layers=5, width=5, seed=2))
+    query = ProgramQuery(program, {"E": 2}, "O", require_monadic=False)
+    with query.session(instance.copy(), shards=4) as session:
+        first = session.run(binding={0: "a"}, mode="goal")
+        assert first.served_by == "goal"
+        entry = next(iter(session._tables))
+        assert entry.shard_footprint is not None
+        spec = session._shard_spec
+        # an edge whose *source* hashes to another shard is outside the
+        # footprint (the entry only depends on E rows keyed by "a"); an edge
+        # from "a" itself is inside it
+        outside = None
+        for source in ("l2n2", "l3n3", "l2n1", "l3n1", "l4n2"):
+            fact = Fact("E", [path(source), path("l4n4")])
+            if fact in session.instance:
+                continue
+            if spec.shard_of_fact(fact) not in entry.shard_footprint:
+                outside = fact
+                break
+        assert outside is not None
+        update = session.update([outside])
+        assert update.statistics.shard_skipped_updates >= 1
+        assert len(session._tables) == 1  # the entry survived (mirror-only)
+        assert outside in entry.answers  # ... and mirrors the base relation
+        answer = session.run(binding={0: "a"}, mode="goal")
+        expected = query.run(session.instance.copy(), binding={0: "a"})
+        assert answer.output == expected.output
+        # an in-footprint edge goes through real maintenance and moves answers
+        inside = Fact("E", [path("a"), path("l4n4")])
+        assert spec.shard_of_fact(inside) in entry.shard_footprint
+        session.update([inside])
+        answer = session.run(binding={0: "a"}, mode="goal")
+        expected = query.run(session.instance.copy(), binding={0: "a"})
+        assert answer.output == expected.output
+        assert path("l4n4") in {row[1] for row in answer.output.relation("O")}

@@ -1,0 +1,220 @@
+"""Hash partitioning, shard-key planning, and change-log behavior under
+partitioned writes."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import ProgramQuery, ShardedInstance
+from repro.model import Fact, Path, path
+from repro.parser import parse_program
+from repro.storage import (
+    Relation,
+    ShardingSpec,
+    choose_shard_keys,
+    stable_hash_path,
+    stable_hash_row,
+)
+from repro.workloads import as_edge_pairs, layered_graph_instance, update_stream
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+
+# -- stable hashing --------------------------------------------------------------------
+
+
+def test_stable_hash_distinguishes_element_boundaries():
+    assert stable_hash_path(Path(("ab",))) != stable_hash_path(Path(("a", "b")))
+    assert stable_hash_row((path("a"), path("b"))) != stable_hash_row((path("ab"),))
+
+
+def test_stable_hash_handles_packing():
+    from repro.model import Packed
+
+    flat = Path(("a", "b"))
+    packed = Path((Packed(Path(("a",))), "b"))
+    assert stable_hash_path(flat) != stable_hash_path(packed)
+
+
+def test_stable_hash_is_identical_across_processes():
+    """Python's built-in hash is seed-randomised; the shard router must not be."""
+    import os
+
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    code = (
+        f"import sys; sys.path.insert(0, {src!r});"
+        "from repro.storage import stable_hash_path;"
+        "from repro.model import Path;"
+        "print(stable_hash_path(Path(('a','b','c'))))"
+    )
+    values = {
+        subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONHASHSEED": seed},
+        ).stdout.strip()
+        for seed in ("0", "1", "12345")
+    }
+    assert len(values) == 1
+    assert int(values.pop()) == stable_hash_path(Path(("a", "b", "c")))
+
+
+# -- ShardingSpec ----------------------------------------------------------------------
+
+
+def test_partitions_are_disjoint_and_complete():
+    spec = ShardingSpec(3, {"E": 0})
+    rows = {(path(f"n{i}"), path(f"n{j}")) for i in range(5) for j in range(5)}
+    parts = spec.partition_rows("E", rows)
+    assert sum(len(part) for part in parts) == len(rows)
+    assert set().union(*parts) == rows
+    # keyed routing: rows sharing a key path share a shard
+    for row in rows:
+        assert spec.shard_of_row("E", row) == stable_hash_path(row[0]) % 3
+
+
+def test_row_hash_fallback_for_unkeyed_relations():
+    spec = ShardingSpec(4)
+    row = (path("a"), path("b"))
+    assert spec.shard_of_row("anything", row) == stable_hash_row(row) % 4
+
+
+def test_single_shard_routes_everything_to_zero():
+    spec = ShardingSpec(1, {"E": 0})
+    assert spec.shard_of_row("E", (path("a"),)) == 0
+
+
+def test_out_of_range_key_falls_back_to_row_hash():
+    spec = ShardingSpec(4, {"E": 5})
+    row = (path("a"), path("b"))
+    assert spec.shard_of_row("E", row) == stable_hash_row(row) % 4
+
+
+def test_shard_count_must_be_positive():
+    with pytest.raises(ValueError):
+        ShardingSpec(0)
+
+
+def test_choose_shard_keys_prefers_join_positions():
+    keys = choose_shard_keys(parse_program(REACHABILITY_PAIRS))
+    # E joins through its source (T's target meets E's source in the
+    # recursive rule); T through its target.
+    assert keys["E"] == 0
+    assert keys["T"] == 1
+
+
+def test_choose_shard_keys_without_join_variables():
+    keys = choose_shard_keys(parse_program("S($x) :- R(a.$x)."))
+    assert keys["R"] is None  # the component a.$x is not a lone variable
+
+
+# -- change logs under partitioned writes ----------------------------------------------
+
+
+def test_partitioned_writes_keep_change_log_exact():
+    """Routed per-shard writes go through add/discard — never wholesale —
+    so a watcher of the authoritative relation still gets exact net deltas."""
+    spec = ShardingSpec(3, {"E": 0})
+    instance = as_edge_pairs(layered_graph_instance(layers=4, width=4, seed=1))
+    storage = instance.storage("E")
+    mark = storage.watch()
+    sharded = ShardedInstance.from_instance(instance, spec)
+    added_row = (path("a"), path("l3n3"))
+    removed_row = next(iter(instance.relation("E")))
+    # partitioned application: route through the sharded view and mirror the
+    # same ops on the authoritative instance, as the sharded engine does
+    sharded.add_fact(Fact("E", added_row))
+    instance.add_fact(Fact("E", added_row))
+    sharded.discard_fact(Fact("E", removed_row))
+    instance.discard_fact(Fact("E", removed_row), keep_empty=True)
+    changes = storage.changes_since(mark)
+    assert changes is not None
+    added, removed = changes
+    assert added == {added_row} and removed == {removed_row}
+
+
+def test_sharded_session_updates_preserve_change_log_semantics():
+    """A sharded session's routed update path must leave the pinned
+    instance's change logs able to answer — the out-of-band absorption
+    machinery depends on it."""
+    program = parse_program(REACHABILITY_PAIRS)
+    instance = as_edge_pairs(layered_graph_instance(layers=4, width=4, seed=2))
+    query = ProgramQuery(program, {"E": 2}, "T", require_monadic=False)
+    with query.session(instance, shards=2) as session:
+        session.run()
+        storage = instance.storage("E")
+        mark = storage.watch()
+        steps = list(update_stream(instance, relation="E", steps=3, seed=4))
+        expected_added: set = set()
+        expected_removed: set = set()
+        for additions, retractions in steps:
+            update = session.update(additions, retractions)
+            for fact in update.added:
+                expected_added.add(fact.paths)
+                expected_removed.discard(fact.paths)
+            for fact in update.removed:
+                if fact.paths in expected_added:
+                    expected_added.discard(fact.paths)
+                else:
+                    expected_removed.add(fact.paths)
+        changes = storage.changes_since(mark)
+        assert changes is not None
+        assert changes == (frozenset(expected_added), frozenset(expected_removed))
+
+
+def test_change_log_overflow_advances_floor_under_partitioned_writes():
+    relation = Relation()
+    mark = relation.watch()
+    spec = ShardingSpec(2, {"R": 0})
+    # far more effective writes than the log keeps: the log must give up
+    # (floor advance), not report a wrong delta
+    for index in range(Relation.LOG_LIMIT + 10):
+        row = (path(f"v{index}"),)
+        spec.shard_of_row("R", row)  # routing never touches the log
+        relation.add(row)
+    assert relation.changes_since(mark) is None
+    # a fresh mark works again
+    mark = relation.generation
+    relation.add((path("extra"),))
+    changes = relation.changes_since(mark)
+    assert changes is not None and changes[0] == {(path("extra"),)}
+
+
+def test_wholesale_rewrite_voids_log_even_between_partitioned_writes():
+    relation = Relation((("a",),))
+    mark = relation.watch()
+    relation.add((path("b"),))
+    relation.set_rows({(path("c"),)})  # wholesale: floor advances
+    assert relation.changes_since(mark) is None
+    relation.clear()
+    assert relation.changes_since(mark) is None
+
+
+def test_sharded_instance_shards_use_independent_storage():
+    """Per-shard relations are separate Relation objects: watching one shard
+    must not observe another shard's writes."""
+    spec = ShardingSpec(2, {"E": 0})
+    sharded = ShardedInstance(spec)
+    first = Fact("E", [path("a"), path("b")])
+    home = spec.shard_of_fact(first)
+    sharded.add_fact(first)
+    watched = sharded.shards[home].storage("E")
+    mark = watched.watch()
+    # a fact homed to the *other* shard leaves the watched log silent
+    other = None
+    for name in ("c", "d", "e", "f", "g"):
+        candidate = Fact("E", [path(name), path("b")])
+        if spec.shard_of_fact(candidate) != home:
+            other = candidate
+            break
+    assert other is not None
+    sharded.add_fact(other)
+    assert watched.changes_since(mark) == (frozenset(), frozenset())
