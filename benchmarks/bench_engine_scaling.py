@@ -71,3 +71,28 @@ def test_seminaive_does_less_work_than_naive(bench_report):
           f"semi-naive = {seminaive_stats.rule_applications} "
           f"(+{seminaive_stats.delta_restricted_applications} delta-restricted passes; "
           f"identical fixpoints)")
+
+
+def test_compiled_execution_data_point(bench_report):
+    """Small-scale compiled-backend data point, tracked under its own record.
+
+    The record is stamped ``execution="compiled"`` so the regression gate
+    never weighs these walls against the indexed ``engine_scaling`` baseline;
+    the 10× wall-time ablation lives in ``bench_join_planning.py``.
+    """
+    program = get_query("reachability").program()
+    instance = random_graph_instance(nodes=8, edges=20, seed=5, ensure_path=("a", "b"))
+    started = time.perf_counter()
+    indexed = evaluate_program(program, instance, execution="indexed")
+    indexed_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    compiled = evaluate_program(program, instance, execution="compiled")
+    compiled_seconds = time.perf_counter() - started
+    assert indexed == compiled
+    bench_report(
+        "engine_scaling_compiled",
+        execution="compiled",
+        workload="unary reachability on a random graph (8 nodes, 20 edges)",
+        compiled_seconds=compiled_seconds,
+        indexed_reference_ratio=indexed_seconds / max(compiled_seconds, 1e-9),
+    )

@@ -8,6 +8,13 @@ strategy (``execution="scan"``) against the indexed planner
 (``execution="indexed"``).  Both must produce identical fixpoints; the
 indexed mode must attempt at least 3× fewer valuation extensions (the
 ``extension_attempts`` statistics counter) on both workloads.
+
+The compiled id-space backend (``execution="compiled"``) is ablated here as
+well: it must produce the same fixpoints and beat the indexed interpreter by
+at least 5× wall time on the recursive reachability workload.  Its wall
+times are recorded under ``join_planning_compiled`` with
+``execution="compiled"``, so the regression gate tracks the compiled tier
+separately and never compares it against an indexed baseline.
 """
 
 import time
@@ -25,6 +32,10 @@ from repro.workloads import (
 # 10× the sizes used by bench_engine_scaling.py.
 GRAPH_10X = dict(nodes=80, edges=200, seed=5, ensure_path=("a", "b"))
 NFA_10X = dict(seed=3, words=80, max_word_length=6, states=3)
+# A denser reachability graph for the compiled-vs-indexed wall-time bar: the
+# indexed interpreter's per-candidate valuation cost grows with join fan-out,
+# which is exactly what the id-space loops amortise.
+GRAPH_DENSE = dict(nodes=60, edges=300, seed=5, ensure_path=("a", "b"))
 
 
 def _reachability_workload():
@@ -35,7 +46,7 @@ def _nfa_workload():
     return get_query("nfa_acceptance").program(), random_nfa_instance(**NFA_10X)
 
 
-@pytest.mark.parametrize("execution", ["scan", "indexed"])
+@pytest.mark.parametrize("execution", ["scan", "indexed", "compiled"])
 def test_reachability_10x(benchmark, execution):
     program, instance = _reachability_workload()
     result = benchmark.pedantic(
@@ -46,7 +57,7 @@ def test_reachability_10x(benchmark, execution):
     assert result.contains("S")
 
 
-@pytest.mark.parametrize("execution", ["scan", "indexed"])
+@pytest.mark.parametrize("execution", ["scan", "indexed", "compiled"])
 def test_nfa_acceptance_10x(benchmark, execution):
     program, instance = _nfa_workload()
     result = benchmark.pedantic(
@@ -103,3 +114,57 @@ def test_indexed_planning_prunes_at_least_3x(bench_report):
             f"wall time {scan_seconds:.2f}s → {indexed_seconds:.2f}s "
             f"({scan_seconds / max(indexed_seconds, 1e-9):.1f}× faster, identical fixpoints)"
         )
+
+
+def _best_of(action, repeats=3):
+    """The fastest of *repeats* runs — the standard noise-robust wall time."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = action()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_compiled_backend_beats_indexed_5x(bench_report):
+    """The compiled-tier acceptance bar: ≥5× faster than indexed on reachability.
+
+    Best-of-three walls for both modes on the dense recursive reachability
+    workload, identical fixpoints required.  The 10× ablation graph is
+    measured and recorded alongside for the DESIGN.md ablation table.
+    """
+    program = get_query("reachability").program()
+    print()
+    recorded: dict = {}
+    for label, spec in (("dense", GRAPH_DENSE), ("10x", GRAPH_10X)):
+        instance = random_graph_instance(**spec)
+        indexed_seconds, indexed = _best_of(
+            lambda: evaluate_program(program, instance.copy(), execution="indexed")
+        )
+        compiled_seconds, compiled = _best_of(
+            lambda: evaluate_program(program, instance.copy(), execution="compiled")
+        )
+        assert indexed == compiled
+        speedup = indexed_seconds / max(compiled_seconds, 1e-9)
+        recorded[label] = (indexed_seconds, compiled_seconds, speedup)
+        print(
+            f"reachability ({label}): indexed {indexed_seconds:.3f}s → "
+            f"compiled {compiled_seconds:.3f}s ({speedup:.1f}× faster, "
+            f"identical fixpoints)"
+        )
+    bench_report(
+        "join_planning_compiled",
+        execution="compiled",
+        workload="unary reachability, dense graph (60 nodes, 300 edges) and 10x graph (80 nodes, 200 edges)",
+        compiled_seconds=recorded["dense"][1],
+        speedup_vs_indexed=recorded["dense"][2],
+        compiled_10x_seconds=recorded["10x"][1],
+        speedup_vs_indexed_10x=recorded["10x"][2],
+    )
+    # The acceptance bar is asserted on the dense workload, where join
+    # fan-out (not fixpoint bookkeeping) dominates both modes.
+    assert recorded["dense"][2] >= 5.0, (
+        f"compiled backend only {recorded['dense'][2]:.2f}x faster than indexed "
+        f"(need >= 5x)"
+    )

@@ -188,6 +188,41 @@ def test_cross_shard_exchange_is_a_fraction_of_derivations(bench_report):
     )
 
 
+def test_interned_wire_codec_shrinks_exchange_payload(bench_report):
+    """The interned wire codec must ship measurably fewer bytes than the
+    nested self-describing row form it replaced (definitions cross each
+    parent↔worker link once; every later occurrence is one small int)."""
+    from repro.engine import ProcessExecutor
+
+    query, instance = _workload()
+    executor = ProcessExecutor(SHARDS, measure_payloads=True)
+    with query.session(instance.copy(), shards=SHARDS, executor=executor) as session:
+        session.run(binding={0: SOURCES[0]})
+        for additions, retractions in _steps(instance):
+            session.update(additions, retractions)
+            session.run(binding={0: SOURCES[0]})
+        nested = executor.payload_bytes_nested
+        interned = executor.payload_bytes_interned
+    assert nested > 0
+    reduction = 1.0 - interned / nested
+    # The bar is deliberately conservative: the snapshot ships definitions
+    # for everything, so the win comes from the exchange rounds.
+    assert reduction >= 0.2, (
+        f"interned codec only saved {reduction:.0%} of {nested} payload bytes"
+    )
+    bench_report(
+        "sharding",
+        wire_payload_bytes_nested=nested,
+        wire_payload_bytes_interned=interned,
+        wire_payload_reduction=reduction,
+    )
+    print()
+    print(
+        f"wire payload: nested {nested} B → interned {interned} B "
+        f"({reduction:.0%} smaller across snapshot + exchange + collect)"
+    )
+
+
 @pytest.mark.parametrize("step_shape", ["update_plus_query"])
 def test_sharded_update_latency(benchmark, step_shape):
     """Per-step latency of one sharded update + query (pytest-benchmark)."""

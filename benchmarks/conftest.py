@@ -56,8 +56,15 @@ class BenchmarkReporter:
         self.results: dict[str, dict] = {}
 
     def record(self, name: str, **fields) -> None:
-        """Merge *fields* into the record for benchmark *name*."""
-        self.results.setdefault(name, {}).update(fields)
+        """Merge *fields* into the record for benchmark *name*.
+
+        Every record carries an ``execution`` field naming the engine mode
+        its wall times were measured under (default ``"indexed"``; pass the
+        field explicitly to override).  The regression gate refuses to
+        compare records of different modes, so a baseline captured under one
+        backend can never silently gate a run of another.
+        """
+        self.results.setdefault(name, {"execution": "indexed"}).update(fields)
 
     def flush(self) -> list[Path]:
         if not self.enabled:

@@ -16,12 +16,17 @@ its literals in a *join order*.  Two execution modes are supported:
   live cardinalities of the relations involved, and each predicate extension
   consults the storage layer's indexes (exact tuple, exact argument path,
   ground first atom, fixed argument length — see :mod:`repro.storage`) to
-  prune the candidate rows before falling back to associative matching.
+  prune the candidate rows before falling back to associative matching;
+* ``"compiled"`` — the hot-path backend: rules in the simple fragment (every
+  component a lone variable or ground, no equations) are lowered once to
+  id-space hash-join plans over interned terms (:mod:`repro.engine.compiled`,
+  :mod:`repro.storage.columnar`); everything else runs as in indexed mode.
 
-Both modes enumerate exactly the same satisfying valuations; the indexed mode
-merely attempts far fewer row matches (the ``extension_attempts`` statistics
-counter makes the difference measurable, and
-``benchmarks/bench_join_planning.py`` records it).
+All modes enumerate exactly the same derivations; the indexed mode merely
+attempts far fewer row matches than scan (the ``extension_attempts``
+statistics counter makes the difference measurable, and
+``benchmarks/bench_join_planning.py`` records it), and the compiled mode
+removes the per-row interpreter constant on top.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence
 from typing import Literal as TypingLiteral
 
+from repro.engine.compiled import compile_rule
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.match import match_components, match_expression
 from repro.engine.valuation import Valuation
@@ -50,8 +56,11 @@ __all__ = [
 
 #: How predicate extensions source their candidate rows: ``"indexed"`` prunes
 #: through the storage indexes under a bound-aware greedy plan; ``"scan"`` is
-#: the seed nested-loop strategy kept as an ablation baseline.
-ExecutionMode = TypingLiteral["indexed", "scan"]
+#: the seed nested-loop strategy kept as an ablation baseline; ``"compiled"``
+#: lowers simple rules to id-space hash joins over interned terms
+#: (:mod:`repro.engine.compiled`) and behaves exactly like ``"indexed"`` for
+#: everything that does not compile.
+ExecutionMode = TypingLiteral["indexed", "scan", "compiled"]
 
 
 def plan_body_order(rule: Rule) -> list[Literal]:
@@ -356,7 +365,7 @@ def _extend_with_predicate(
         # arity; the scan mode would discover this one failed match at a time.
         return
     components = predicate.components
-    indexed = execution == "indexed"
+    indexed = execution != "scan"
     count = 0
     for valuation in valuations:
         if indexed:
@@ -463,7 +472,10 @@ def satisfying_valuations(
     plan = list(order) if order is not None else plan_body_order(rule)
     if sequence is not None:
         pass  # a compiled plan: trust the caller's permutation
-    elif execution == "indexed":
+    elif execution in ("indexed", "compiled"):
+        # The valuation-level interpreter (used by compiled mode for rules
+        # outside the simple id-space fragment, and for derivation streams)
+        # plans exactly like indexed mode.
         sequence = plan_literal_sequence(plan, instance, frontier)
     elif execution == "scan":
         sequence = range(len(plan))
@@ -547,6 +559,11 @@ class RuleEvaluator:
         self.limits = limits
         self.execution: ExecutionMode = execution
         self.order = plan_body_order(rule)
+        #: The id-space plan (compiled mode only); ``None`` when the rule
+        #: falls outside the simple fragment and stays interpreted.
+        self.compiled_plan = None
+        if execution == "compiled":
+            self.compiled_plan = compile_rule(rule.head, self.order)
         #: Positions (in the planned order) of positive body predicates, by relation name.
         self.predicate_positions: dict[str, list[int]] = {}
         for position, literal in enumerate(self.order):
@@ -633,7 +650,7 @@ class RuleEvaluator:
         into a scan of the first body relation.
         """
         sequence = None
-        if self.execution == "indexed":
+        if self.execution in ("indexed", "compiled"):
             if initial_valuations is None:
                 sequence = self.compiled_sequence(instance, frontier, statistics)
             else:
@@ -668,5 +685,13 @@ class RuleEvaluator:
         frontier: "dict[int, Instance] | None" = None,
         statistics=None,
     ) -> set[Fact]:
-        """Evaluate the rule once against *instance* (optionally delta-restricted)."""
+        """Evaluate the rule once against *instance* (optionally delta-restricted).
+
+        In compiled mode, rules in the simple fragment run their id-space
+        plan (:class:`~repro.engine.compiled.CompiledRule`); the rest — and
+        every :meth:`derivations` stream, which needs per-valuation support —
+        take the interpreted path, so answers are identical across modes.
+        """
+        if self.compiled_plan is not None:
+            return self.compiled_plan.derive(instance, frontier, self.limits, statistics)
         return {fact for fact, _ in self.derivations(instance, frontier, statistics)}

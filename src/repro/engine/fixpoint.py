@@ -170,9 +170,15 @@ def _apply_rules_naive(
     new_facts = set()
     for evaluator in evaluators:
         statistics.rule_applications += 1
-        for fact in evaluator.derive(instance, statistics=statistics):
-            if fact not in instance:
-                new_facts.add(fact)
+        derived = evaluator.derive(instance, statistics=statistics)
+        if derived:
+            # Every fact of one application carries the rule's head relation,
+            # so resolve the existing row set once instead of per fact.
+            storage = instance.storage(evaluator.rule.head.name)
+            existing = storage.rows if storage is not None else ()
+            new_facts.update(
+                [fact for fact in derived if fact.paths not in existing]
+            )
     return new_facts
 
 
@@ -196,11 +202,16 @@ def _apply_rules_seminaive(
         for name in evaluator.predicate_positions.keys() & changed:
             for position in evaluator.predicate_positions[name]:
                 statistics.delta_restricted_applications += 1
-                for fact in evaluator.derive(
+                derived = evaluator.derive(
                     instance, frontier={position: delta}, statistics=statistics
-                ):
-                    if fact not in instance:
-                        new_facts.add(fact)
+                )
+                if derived:
+                    # One head relation per rule: resolve its row set once.
+                    storage = instance.storage(evaluator.rule.head.name)
+                    existing = storage.rows if storage is not None else ()
+                    new_facts.update(
+                        [fact for fact in derived if fact.paths not in existing]
+                    )
     return new_facts
 
 

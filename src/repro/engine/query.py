@@ -109,6 +109,12 @@ ServedBy = TypingLiteral["full", "maintained", "goal", "tabled"]
 #: A query binding: concrete paths for some output argument positions.
 Binding = dict[int, Path]
 
+#: Default ceiling for the generalized-tabling cost model: a generalized
+#: rewriting is only tabled when its estimated answer sweep is within this
+#: multiple of the requested slice (see
+#: :meth:`QuerySession._generalization_guard`).  ``None`` disables the model.
+DEFAULT_GENERALIZATION_LIMIT = 256.0
+
 
 @dataclass(frozen=True)
 class QueryResult:
@@ -163,6 +169,27 @@ class QueryResult:
     def boolean(self) -> bool:
         """For a nullary output relation: whether the empty tuple was derived."""
         return bool(self.output)
+
+
+def _mentions(path: Path, value: Path) -> bool:
+    """Whether *path* equals *value* or contains it as a contiguous run.
+
+    The touch predicate of the generalized-tabling cost model: a base row
+    can only feed the requested slice through an access that equates an
+    argument with a bound value or destructures it around one, and both
+    shapes require the value's elements to appear contiguously in the row.
+    """
+    if path == value:
+        return True
+    elements = path.elements
+    needle = value.elements
+    span = len(needle)
+    if span == 0 or span > len(elements):
+        return False
+    return any(
+        elements[start : start + span] == needle
+        for start in range(len(elements) - span + 1)
+    )
 
 
 def _normalise_binding(
@@ -315,12 +342,14 @@ class ProgramQuery:
         shards: int = 1,
         executor: "str | ParallelExecutor" = "sequential",
         table_capacity: "int | None" = None,
+        generalization_limit: "float | None" = DEFAULT_GENERALIZATION_LIMIT,
     ) -> "QuerySession":
         """Open a :class:`QuerySession` for repeated queries over *instance*.
 
-        ``shards``/``executor`` configure sharded serving and
-        ``table_capacity`` the subgoal answer table's LRU bound — see
-        :class:`QuerySession`.
+        ``shards``/``executor`` configure sharded serving,
+        ``table_capacity`` the subgoal answer table's LRU bound, and
+        ``generalization_limit`` the cost model gating generalized tabling
+        (``None`` disables it) — see :class:`QuerySession`.
         """
         return QuerySession(
             self,
@@ -330,6 +359,7 @@ class ProgramQuery:
             shards=shards,
             executor=executor,
             table_capacity=table_capacity,
+            generalization_limit=generalization_limit,
         )
 
     def run(
@@ -456,6 +486,7 @@ class QuerySession:
         shards: int = 1,
         executor: "str | ParallelExecutor" = "sequential",
         table_capacity: "int | None" = None,
+        generalization_limit: "float | None" = DEFAULT_GENERALIZATION_LIMIT,
     ):
         if check_flat and not instance.is_flat():
             raise ModelError("queries are defined on flat instances (no packed values)")
@@ -523,6 +554,15 @@ class QuerySession:
             DEFAULT_MAX_ENTRIES if table_capacity is None else table_capacity
         )
         self._tables = AnswerTable(max_entries=self.table_capacity, spec=self._shard_spec)
+        #: Cost-model ceiling for *generalized* rewritings: a generalized
+        #: goal subsumes the requested call, so its tabled entry can be
+        #: arbitrarily larger than the slice actually demanded.  When the
+        #: estimated sweep exceeds this multiple of the requested slice the
+        #: session refuses to table it and falls back to full evaluation
+        #: with a ``generalization_too_large`` reason.  ``None`` disables
+        #: the model (always table); exactly-adorned rewritings are never
+        #: affected.
+        self.generalization_limit = generalization_limit
         #: Relation name → (storage object, generation) at the moment the
         #: maintained artifacts (materialization and table entries) were
         #: last in sync with the pinned instance.
@@ -860,6 +900,10 @@ class QuerySession:
                 if entry is not None:
                     return self._serve_from_entry(entry, normalised, statistics)
             compiled, fallback_reason = query._goal_program_for_key(key)
+            if compiled is not None and self._memoize:
+                too_large = self._generalization_guard(compiled, normalised)
+                if too_large is not None:
+                    compiled, fallback_reason = None, too_large
             if compiled is not None:
                 result, fallback_reason = self._evaluate_goal(
                     compiled, normalised, statistics
@@ -874,6 +918,53 @@ class QuerySession:
             normalised,
             statistics=statistics,
             fallback_reason=fallback_reason,
+        )
+
+    def _generalization_guard(self, compiled, normalised: Binding) -> "str | None":
+        """The tabling cost model: refuse oversized generalized entries.
+
+        A generalized rewriting (``on_expanding="generalize"``) drops bound
+        positions from the goal, so the entry it would table answers a
+        strictly wider call than the one requested — in the worst case the
+        all-free goal, which materializes the whole output relation.  That
+        is a great trade when later calls hit the entry, and a terrible one
+        when the requested slice is a sliver of a large instance.
+
+        The estimate is deliberately cheap and symmetric: the generalized
+        sweep is bounded by the magic program's *total* EDB rows (nothing
+        restricts it), while the requested slice is proportional to the EDB
+        rows that mention one of the requested bound values (an index-bucket
+        estimate — equality or contiguous-subsequence containment, the two
+        access shapes Sequence Datalog bodies have).  When the ratio exceeds
+        :attr:`generalization_limit`, the returned reason (starting with
+        ``generalization_too_large``) makes the caller fall back to full
+        evaluation, whose materialization is at least reusable for *every*
+        later call.
+        """
+        limit = self.generalization_limit
+        if limit is None or not compiled.generalized:
+            return None
+        edb = compiled.program.edb_relation_names() - {compiled.magic_seed_relation}
+        bound_values = list(normalised.values())
+        total = 0
+        touching = 0
+        for name in sorted(edb & self.instance.relation_names):
+            rows = self.instance.relation(name)
+            total += len(rows)
+            for row in rows:
+                if any(
+                    _mentions(path, value) for path in row for value in bound_values
+                ):
+                    touching += 1
+        ratio = total / max(1, touching)
+        if ratio <= limit:
+            return None
+        return (
+            f"generalization_too_large: tabling the generalized goal "
+            f"({compiled.adornment.suffix() or 'g'} for requested "
+            f"{compiled.requested_adornment.suffix() or 'g'}) would sweep "
+            f"~{total} EDB rows against a requested slice touching ~{touching} "
+            f"(ratio {ratio:.0f} > limit {limit:g}); fell back to full evaluation"
         )
 
     def _evaluate_goal(

@@ -252,9 +252,26 @@ class SequentialExecutor(ParallelExecutor):
 #
 # Facts cross the process boundary constantly (catch-up batches, frontiers,
 # derived rows); pickling ``Fact``/``Path`` objects costs ~8× the bytes and
-# time of the equivalent plain tuples (per-object reduce overhead), so the
-# wire format is nested builtin tuples only: a path is a tuple whose items
-# are atoms (``str``) or packed values (a 1-tuple wrapping the inner path).
+# time of the equivalent plain tuples (per-object reduce overhead).  The
+# wire format is therefore two-layered:
+#
+# * a path *definition* is nested builtin tuples only — a tuple whose items
+#   are atoms (``str``) or packed values (a 1-tuple wrapping the inner
+#   path); this is the only self-describing form and it crosses each link
+#   exactly once per distinct path;
+# * a *row* is a tuple of small ints — per-link interned path ids, exactly
+#   the :class:`~repro.storage.columnar.TermTable` idea applied to the
+#   process boundary.  Each direction of each parent↔worker link has a
+#   :class:`WireEncoder` at the sender and a :class:`WireDecoder` at the
+#   receiver; ids are assigned densely at first sight and the definitions
+#   of the ids a batch introduces travel FIFO *with that batch* (the
+#   ``defs`` prefix), so id == list index on both sides with no handshake.
+#
+# Rows repeat heavily across rounds (a derived fact is synced to replicas
+# and re-shipped as the next round's frontier; unary atoms recur in
+# thousands of rows), so after the first sight every occurrence costs one
+# int instead of a nested tuple — the payload reduction is measured and
+# reported by ``benchmarks/bench_sharding.py``.
 
 
 def _encode_path(path: Path) -> tuple:
@@ -273,12 +290,103 @@ def _decode_path(encoded: tuple) -> Path:
     )
 
 
-def _encode_row(row: "tuple[Path, ...]") -> tuple:
-    return tuple(_encode_path(path) for path in row)
+class WireEncoder:
+    """The sending half of one link direction: paths become dense int ids.
+
+    ``encode_row`` interns by :class:`~repro.model.terms.Path` (the hot
+    lookup — it replaces the per-round row-encoding cache the executor used
+    to keep); ``def_id`` interns by an already-encoded definition, which is
+    what lets the parent *router* re-encode a foreign row for its home
+    worker's link without ever building a Path.  ``take_defs`` drains the
+    definitions not yet shipped — call it once per dispatched batch, after
+    everything in the batch has been encoded.
+    """
+
+    __slots__ = ("_by_path", "_by_def", "_defs", "_shipped")
+
+    def __init__(self):
+        self._by_path: "dict[Path, int]" = {}
+        self._by_def: "dict[tuple, int]" = {}
+        self._defs: "list[tuple]" = []  # id -> definition (densely indexed)
+        self._shipped = 0  # ids below this are known to the receiver
+
+    def path_id(self, path: Path) -> int:
+        ident = self._by_path.get(path)
+        if ident is None:
+            definition = _encode_path(path)
+            ident = self._by_def.get(definition)
+            if ident is None:
+                ident = len(self._defs)
+                self._by_def[definition] = ident
+                self._defs.append(definition)
+            self._by_path[path] = ident
+        return ident
+
+    def def_id(self, definition: tuple) -> int:
+        ident = self._by_def.get(definition)
+        if ident is None:
+            ident = self._by_def[definition] = len(self._defs)
+            self._defs.append(definition)
+        return ident
+
+    def encode_row(self, row: "tuple[Path, ...]") -> "tuple[int, ...]":
+        return tuple(self.path_id(path) for path in row)
+
+    def take_defs(self) -> "list[tuple]":
+        """The definitions introduced since the last batch (FIFO, id order)."""
+        start = self._shipped
+        self._shipped = len(self._defs)
+        return self._defs[start:]
+
+    def def_row(self, id_row: "tuple[int, ...]") -> tuple:
+        """The self-describing (nested-tuple) form of *id_row* — measurement only."""
+        defs = self._defs
+        return tuple(defs[ident] for ident in id_row)
+
+    def clone(self) -> "WireEncoder":
+        """A copy sharing no state — for links seeded with one shared snapshot."""
+        other = WireEncoder()
+        other._by_path = dict(self._by_path)
+        other._by_def = dict(self._by_def)
+        other._defs = list(self._defs)
+        other._shipped = self._shipped
+        return other
 
 
-def _decode_row(encoded: tuple) -> "tuple[Path, ...]":
-    return tuple(_decode_path(item) for item in encoded)
+class WireDecoder:
+    """The receiving half: absorb each batch's defs, look rows up by id.
+
+    Paths are built lazily and memoised per id — the router-mode parent
+    never asks for them at all (it forwards definitions verbatim), and in
+    replicated rounds each distinct path is decoded once however many rows
+    it appears in.
+    """
+
+    __slots__ = ("_defs", "_paths")
+
+    def __init__(self):
+        self._defs: "list[tuple]" = []
+        self._paths: "list[Path | None]" = []
+
+    def absorb(self, defs: "list[tuple]") -> None:
+        self._defs.extend(defs)
+        self._paths.extend([None] * len(defs))
+
+    def path(self, ident: int) -> Path:
+        decoded = self._paths[ident]
+        if decoded is None:
+            decoded = self._paths[ident] = _decode_path(self._defs[ident])
+        return decoded
+
+    def decode_row(self, id_row: "tuple[int, ...]") -> "tuple[Path, ...]":
+        return tuple(self.path(ident) for ident in id_row)
+
+    def definition(self, ident: int) -> tuple:
+        return self._defs[ident]
+
+    def def_row(self, id_row: "tuple[int, ...]") -> tuple:
+        defs = self._defs
+        return tuple(defs[ident] for ident in id_row)
 
 
 # Worker-process state for :class:`ProcessExecutor`: each single-worker pool
@@ -290,20 +398,32 @@ def _worker_init(
     program: Program,
     limits: EvaluationLimits,
     execution: ExecutionMode,
-    rows: "dict[str, list[tuple]]",
+    snapshot: "tuple[list[tuple], dict[str, list[tuple]]]",
     spec: "ShardingSpec | None" = None,
     shard: int = 0,
     partitioned: bool = False,
 ) -> None:
+    # The snapshot is already in wire form — its defs seed the inbound
+    # decoder, so every path the parent ships later that the snapshot
+    # already named costs one int from the very first round.
+    defs, rows = snapshot
+    inbound = WireDecoder()
+    inbound.absorb(defs)
     instance = Instance()
     for name, encoded_rows in rows.items():
-        instance.set_relation_rows(name, {_decode_row(row) for row in encoded_rows})
+        instance.set_relation_rows(
+            name, {inbound.decode_row(row) for row in encoded_rows}
+        )
     _WORKER["program"] = program
     _WORKER["instance"] = instance
     _WORKER["evaluators"] = ProgramEvaluators(limits, execution=execution)
     _WORKER["spec"] = spec
     _WORKER["shard"] = shard
     _WORKER["partitioned"] = partitioned
+    #: Per-link codec state: the parent→worker decoder and the
+    #: worker→parent encoder (each direction owns its id space).
+    _WORKER["inbound"] = inbound
+    _WORKER["outbound"] = WireEncoder()
     #: Foreign-homed facts already shipped to the parent (partitioned mode):
     #: a partitioned worker does not retain them, so without this set every
     #: re-derivation would cross the wire and be re-deduplicated there.
@@ -323,15 +443,18 @@ def _merge_counters(statistics: EvaluationStatistics, counters: "dict[str, int]"
 
 
 def _worker_round(
+    defs: "list[tuple]",
     catchup: "list[tuple[bool, str, tuple, bool]]",
     stratum_index: int,
     frontier: "dict[str, list[tuple]]",
-) -> "tuple[list[tuple[str, tuple]], dict[str, int]]":
+) -> "tuple[list[tuple], list[tuple[str, tuple]], dict[str, int]]":
     """One delta-restricted round in a worker: catch up, derive, self-apply."""
     instance: Instance = _WORKER["instance"]
     exported: set = _WORKER["exported"]
+    inbound: WireDecoder = _WORKER["inbound"]
+    inbound.absorb(defs)
     for added, name, encoded, _countable in catchup:
-        row = _decode_row(encoded)
+        row = inbound.decode_row(encoded)
         if added:
             instance.ensure_relation(name)
             instance.storage(name).add(row)
@@ -348,7 +471,9 @@ def _worker_round(
     statistics = EvaluationStatistics()
     delta = Instance()
     for name, encoded_rows in frontier.items():
-        delta.set_relation_rows(name, {_decode_row(row) for row in encoded_rows})
+        delta.set_relation_rows(
+            name, {inbound.decode_row(row) for row in encoded_rows}
+        )
     new_facts = _apply_rules_seminaive(
         evaluators, instance, delta, set(frontier), statistics
     )
@@ -372,8 +497,11 @@ def _worker_round(
     else:
         for fact in new_facts:
             instance.add_fact(fact)
+    outbound: WireEncoder = _WORKER["outbound"]
+    ships = [(fact.relation, outbound.encode_row(fact.paths)) for fact in new_facts]
     return (
-        [(fact.relation, _encode_row(fact.paths)) for fact in new_facts],
+        outbound.take_defs(),
+        ships,
         {name: getattr(statistics, name) for name in _ROUND_COUNTERS},
     )
 
@@ -401,17 +529,21 @@ def _worker_router_start(names: "list[str]") -> int:
 
 
 def _worker_router_round(
-    catchup: "list[tuple[bool, str, tuple, bool]]", stratum_index: int
-) -> "tuple[list[tuple[int, str, tuple]], int, int, dict[str, int]]":
-    """One router-mode round: returns (ships, counted_new, frontier_left, counters)."""
+    defs: "list[tuple]",
+    catchup: "list[tuple[bool, str, tuple, bool]]",
+    stratum_index: int,
+) -> "tuple[list[tuple], list[tuple[int, str, tuple]], int, int, dict[str, int]]":
+    """One router-mode round: returns (defs, ships, counted_new, frontier_left, counters)."""
     instance: Instance = _WORKER["instance"]
     spec: ShardingSpec = _WORKER["spec"]
     home = _WORKER["shard"]
     exported: set = _WORKER["exported"]
+    inbound: WireDecoder = _WORKER["inbound"]
+    inbound.absorb(defs)
     catch_new: "list[Fact]" = []
     counted_catch = 0
     for added, name, encoded, countable in catchup:
-        row = _decode_row(encoded)
+        row = inbound.decode_row(encoded)
         if added:
             instance.ensure_relation(name)
             if instance.storage(name).add(row):
@@ -430,7 +562,7 @@ def _worker_router_round(
     frontier |= set(catch_new)
     if not frontier:
         _WORKER["frontier"] = set()
-        return [], counted_catch, 0, {}
+        return [], [], counted_catch, 0, {}
     stratum = _WORKER["program"].strata[stratum_index]
     evaluators = _WORKER["evaluators"].for_stratum(stratum)
     statistics = EvaluationStatistics()
@@ -440,6 +572,7 @@ def _worker_router_round(
         evaluators, instance, delta, {fact.relation for fact in frontier}, statistics
     )
     home_new: "set[Fact]" = set()
+    outbound: WireEncoder = _WORKER["outbound"]
     ships: "list[tuple[int, str, tuple]]" = []
     for fact in new_facts:
         fact_home = spec.shard_of_fact(fact)
@@ -448,9 +581,10 @@ def _worker_router_round(
             home_new.add(fact)
         elif fact not in exported:
             exported.add(fact)
-            ships.append((fact_home, fact.relation, _encode_row(fact.paths)))
+            ships.append((fact_home, fact.relation, outbound.encode_row(fact.paths)))
     _WORKER["frontier"] = home_new
     return (
+        outbound.take_defs(),
         ships,
         len(home_new) + counted_catch,
         len(home_new),
@@ -458,13 +592,17 @@ def _worker_router_round(
     )
 
 
-def _worker_router_dump(names: "list[str]") -> "dict[str, list[tuple]]":
+def _worker_router_dump(
+    names: "list[str]",
+) -> "tuple[list[tuple], dict[str, list[tuple]]]":
     """This worker's partition of *names*, for the end-of-stratum collect."""
     instance: Instance = _WORKER["instance"]
-    return {
-        name: [_encode_row(row) for row in instance.relation(name)]
+    outbound: WireEncoder = _WORKER["outbound"]
+    rows = {
+        name: [outbound.encode_row(row) for row in instance.relation(name)]
         for name in names
     }
+    return outbound.take_defs(), rows
 
 
 class ProcessExecutor(ParallelExecutor):
@@ -478,27 +616,57 @@ class ProcessExecutor(ParallelExecutor):
     :attr:`min_round_rows` return ``None`` — the parent runs them in-process
     (still shard-partitioned), because pickling would dwarf the work; the
     queued catch-up is simply delivered with the next dispatched round.
+
+    All row traffic runs through the per-link interned codec
+    (:class:`WireEncoder`/:class:`WireDecoder`): each direction of each
+    link ships a path's definition once and ints thereafter.  With
+    ``measure_payloads=True`` every shipped batch is additionally pickled
+    in both forms and the byte totals accumulate in
+    :attr:`payload_bytes_interned` / :attr:`payload_bytes_nested` — the
+    numbers ``benchmarks/bench_sharding.py`` reports.  (Measurement
+    doubles the parent-side pickling work, so it is off by default.)
     """
 
     kind = "process"
 
-    def __init__(self, shard_count: int, *, min_round_rows: int = 64):
+    def __init__(
+        self,
+        shard_count: int,
+        *,
+        min_round_rows: int = 64,
+        measure_payloads: bool = False,
+    ):
         super().__init__(shard_count)
         self.min_round_rows = min_round_rows
+        self.measure_payloads = measure_payloads
+        #: Accumulated pickled bytes of every shipped batch, in the interned
+        #: wire form actually sent and in the self-describing nested form the
+        #: codec replaced (both only tracked under ``measure_payloads``).
+        self.payload_bytes_interned = 0
+        self.payload_bytes_nested = 0
         self._pools: "list | None" = None
         self._spec: "ShardingSpec | None" = None
         self._partitioned = False
-        self._routed: "set[tuple[str, tuple]]" = set()
+        #: Per home shard, the outbound-encoded rows already forwarded this
+        #: stratum (router mode): ids are canonical per link, so the same
+        #: foreign fact derived by two workers deduplicates here.
+        self._routed: "list[set[tuple[str, tuple]]]" = []
         #: Per-worker ordered catch-up ops ``(added?, name, row, countable?)``
         #: not yet shipped; ``countable`` marks router-forwarded rows the
         #: receiving home worker must count as newly derived (parent-queued
         #: rows were already counted when the parent applied them).
         self._pending: "list[list[tuple[bool, str, tuple, bool]]]" = []
-        #: Wire encodings of the facts that just crossed the boundary (last
-        #: round's results): a derived fact is typically synced and then
-        #: re-shipped as the next round's frontier, so caching its encoding
-        #: halves the parent-side codec work.
-        self._row_cache: "dict[Fact, tuple]" = {}
+        #: Per-link codec state: parent→worker encoders (their ``_by_path``
+        #: maps double as the re-ship cache) and worker→parent decoders.
+        self._to_worker: "list[WireEncoder]" = []
+        self._from_worker: "list[WireDecoder]" = []
+
+    def _account(self, interned, nested) -> None:
+        """Accumulate both wire forms' pickled sizes (measurement mode only)."""
+        import pickle
+
+        self.payload_bytes_interned += len(pickle.dumps(interned, pickle.HIGHEST_PROTOCOL))
+        self.payload_bytes_nested += len(pickle.dumps(nested, pickle.HIGHEST_PROTOCOL))
 
     def attach(
         self,
@@ -518,31 +686,55 @@ class ProcessExecutor(ParallelExecutor):
         self.close()
         self._spec = spec
         self._partitioned = partitioned
-        per_worker: "list[dict[str, list[tuple]]]"
+        per_worker: "list[tuple[list[tuple], dict[str, list[tuple]]]]"
         if partitioned and partitions is not None:
             # The owner already routed every row (its mirror): encode the
             # per-shard splits directly instead of hashing everything again.
-            per_worker = [
-                {
-                    name: [_encode_row(row) for row in shard_instance.relation(name)]
+            self._to_worker = [WireEncoder() for _ in range(self.shard_count)]
+            per_worker = []
+            for shard, shard_instance in enumerate(partitions):
+                encoder = self._to_worker[shard]
+                rows = {
+                    name: [encoder.encode_row(row) for row in shard_instance.relation(name)]
                     for name in shard_instance.relation_names
                 }
-                for shard_instance in partitions
-            ]
+                per_worker.append((encoder.take_defs(), rows))
         elif partitioned:
             assert spec is not None
-            per_worker = [{} for _ in range(self.shard_count)]
+            self._to_worker = [WireEncoder() for _ in range(self.shard_count)]
+            split: "list[dict[str, list[tuple]]]" = [{} for _ in range(self.shard_count)]
             for name in instance.relation_names:
                 for shard, rows in enumerate(
                     spec.partition_rows(name, instance.relation(name))
                 ):
-                    per_worker[shard][name] = [_encode_row(row) for row in rows]
+                    encoder = self._to_worker[shard]
+                    split[shard][name] = [encoder.encode_row(row) for row in rows]
+            per_worker = [
+                (self._to_worker[shard].take_defs(), split[shard])
+                for shard in range(self.shard_count)
+            ]
         else:
+            # Replicated: encode the snapshot once, seed every link's encoder
+            # with the same interned state (the shared snapshot defines the
+            # same ids on every link).
+            prototype = WireEncoder()
             rows = {
-                name: [_encode_row(row) for row in instance.relation(name)]
+                name: [prototype.encode_row(row) for row in instance.relation(name)]
                 for name in instance.relation_names
             }
-            per_worker = [rows] * self.shard_count
+            snapshot = (prototype.take_defs(), rows)
+            self._to_worker = [prototype.clone() for _ in range(self.shard_count)]
+            per_worker = [snapshot] * self.shard_count
+        self._from_worker = [WireDecoder() for _ in range(self.shard_count)]
+        if self.measure_payloads:
+            for shard in range(self.shard_count):
+                defs, rows = per_worker[shard]
+                encoder = self._to_worker[shard]
+                nested = {
+                    name: [encoder.def_row(row) for row in id_rows]
+                    for name, id_rows in rows.items()
+                }
+                self._account((defs, rows), nested)
         self._pools = [
             ProcessPoolExecutor(
                 max_workers=1,
@@ -562,7 +754,7 @@ class ProcessExecutor(ParallelExecutor):
     ) -> None:
         if self._pools is None:
             return
-        cache = self._row_cache
+        encoders = self._to_worker
         if self._partitioned:
             # Each *added* row travels to its home shard only — this is the
             # cross-shard exchange in its literal sense.  Removals broadcast:
@@ -571,38 +763,26 @@ class ProcessExecutor(ParallelExecutor):
             # fact would be silently suppressed.
             assert self._spec is not None
             for fact in removed:
-                op = (False, fact.relation, _encode_row(fact.paths), False)
-                for queue in self._pending:
-                    queue.append(op)
+                for shard, queue in enumerate(self._pending):
+                    queue.append(
+                        (False, fact.relation, encoders[shard].encode_row(fact.paths), False)
+                    )
             for fact in added:
                 home = self._spec.shard_of_fact(fact)
                 if derived_by is not None and fact in derived_by[home]:
                     continue  # its home worker derived (and kept) it already
                 self._pending[home].append(
-                    (True, fact.relation, cache.get(fact) or _encode_row(fact.paths), False)
+                    (True, fact.relation, encoders[home].encode_row(fact.paths), False)
                 )
             return
-        removed_ops = [
-            (False, fact.relation, _encode_row(fact.paths), False) for fact in removed
-        ]
-        added_ops = [
-            (
-                fact,
-                (
-                    True,
-                    fact.relation,
-                    cache.get(fact) or _encode_row(fact.paths),
-                    False,
-                ),
-            )
-            for fact in added
-        ]
         for shard, queue in enumerate(self._pending):
+            encoder = encoders[shard]
             skip = derived_by[shard] if derived_by is not None else ()
-            queue.extend(removed_ops)
-            for fact, op in added_ops:
+            for fact in removed:
+                queue.append((False, fact.relation, encoder.encode_row(fact.paths), False))
+            for fact in added:
                 if fact not in skip:
-                    queue.append(op)
+                    queue.append((True, fact.relation, encoder.encode_row(fact.paths), False))
 
     def round(
         self,
@@ -616,30 +796,49 @@ class ProcessExecutor(ParallelExecutor):
         backlog = max((len(queue) for queue in self._pending), default=0)
         if total < self.min_round_rows and backlog < 8192:
             return None  # parent runs this round in-process; catch-up stays queued
-        cache = self._row_cache
         futures = []
         for shard, pool in enumerate(self._pools):
+            encoder = self._to_worker[shard]
             catchup = self._pending[shard]
             self._pending[shard] = []
             self._exchanged += len(catchup)
             frontier: "dict[str, list[tuple]]" = {}
             for fact in frontier_parts[shard]:
                 frontier.setdefault(fact.relation, []).append(
-                    cache.get(fact) or _encode_row(fact.paths)
+                    encoder.encode_row(fact.paths)
                 )
-            futures.append(pool.submit(_worker_round, catchup, stratum_index, frontier))
+            defs = encoder.take_defs()
+            if self.measure_payloads:
+                self._account(
+                    (defs, catchup, frontier),
+                    (
+                        [
+                            (added, name, encoder.def_row(row), countable)
+                            for added, name, row, countable in catchup
+                        ],
+                        {
+                            name: [encoder.def_row(row) for row in rows]
+                            for name, rows in frontier.items()
+                        },
+                    ),
+                )
+            futures.append(
+                pool.submit(_worker_round, defs, catchup, stratum_index, frontier)
+            )
         results: "list[set[Fact]]" = []
-        fresh_cache: "dict[Fact, tuple]" = {}
         for shard, future in enumerate(futures):
-            new_rows, counters = future.result()
+            defs, new_rows, counters = future.result()
+            decoder = self._from_worker[shard]
+            decoder.absorb(defs)
             _merge_counters(stats_parts[shard], counters)
-            shard_facts = set()
-            for name, row in new_rows:
-                fact = Fact(name, _decode_row(row))
-                shard_facts.add(fact)
-                fresh_cache[fact] = row
-            results.append(shard_facts)
-        self._row_cache = fresh_cache
+            if self.measure_payloads:
+                self._account(
+                    (defs, new_rows),
+                    [(name, decoder.def_row(row)) for name, row in new_rows],
+                )
+            results.append(
+                {Fact(name, decoder.decode_row(row)) for name, row in new_rows}
+            )
         return results
 
     # -- router mode (partitioned builds) ----------------------------------------------
@@ -656,10 +855,12 @@ class ProcessExecutor(ParallelExecutor):
     def router_start(self, names: "list[str]") -> "list[int]":
         """Seed every worker's frontier from its own partition of *names*."""
         assert self._pools is not None
-        #: Wire rows already forwarded this stratum: several workers can
-        #: derive the same foreign fact, but its home only needs it once.
-        #: Deduplicated on the *encoded* tuples — the parent never decodes.
-        self._routed: "set[tuple[str, tuple]]" = set()
+        #: Rows already forwarded this stratum: several workers can derive
+        #: the same foreign fact, but its home only needs it once.  Dedup
+        #: runs per home link, on the *home link's* interned row — ids are
+        #: canonical per link, so equal facts collide without the parent
+        #: ever building a Path.
+        self._routed = [set() for _ in range(self.shard_count)]
         futures = [pool.submit(_worker_router_start, names) for pool in self._pools]
         return [future.result() for future in futures]
 
@@ -672,45 +873,87 @@ class ProcessExecutor(ParallelExecutor):
         """One router round over the *active* shards.
 
         Ships each worker its queued rows, forwards the returned foreign
-        rows — still encoded, the parent never builds a fact — to their home
-        queues, and returns ``(counted_new, frontier_left, shipped)`` where
-        the two lists are indexed by shard (zero for inactive shards).
+        rows — re-interned definition-by-definition into the home link's id
+        space, the parent never builds a fact — to their home queues, and
+        returns ``(counted_new, frontier_left, shipped)`` where the two
+        lists are indexed by shard (zero for inactive shards).
         """
         assert self._pools is not None
         futures = {}
         for shard in active:
+            encoder = self._to_worker[shard]
             catchup = self._pending[shard]
             self._pending[shard] = []
+            defs = encoder.take_defs()
             # No self._exchanged here: router mode reports its exchange via
             # the returned `shipped` count — adding the catch-up deliveries
             # would double-count every routed row, and leaving them queued in
             # the counter would leak the whole build into the next
             # propagate()'s take_exchanged().
+            if self.measure_payloads:
+                self._account(
+                    (defs, catchup),
+                    [
+                        (added, name, encoder.def_row(row), countable)
+                        for added, name, row, countable in catchup
+                    ],
+                )
             futures[shard] = self._pools[shard].submit(
-                _worker_router_round, catchup, stratum_index
+                _worker_router_round, defs, catchup, stratum_index
             )
         counted = [0] * self.shard_count
         frontier_left = [0] * self.shard_count
         shipped = 0
         for shard, future in futures.items():
-            ships, counted_new, left, counters = future.result()
+            defs, ships, counted_new, left, counters = future.result()
+            decoder = self._from_worker[shard]
+            decoder.absorb(defs)
             _merge_counters(stats_parts[shard], counters)
+            if self.measure_payloads:
+                self._account(
+                    (defs, ships),
+                    [(home, name, decoder.def_row(row)) for home, name, row in ships],
+                )
             counted[shard] = counted_new
             frontier_left[shard] = left
             for home, name, row in ships:
-                key = (name, row)
-                if key in self._routed:
+                home_encoder = self._to_worker[home]
+                out_row = tuple(
+                    home_encoder.def_id(decoder.definition(ident)) for ident in row
+                )
+                key = (name, out_row)
+                routed = self._routed[home]
+                if key in routed:
                     continue
-                self._routed.add(key)
-                self._pending[home].append((True, name, row, True))
+                routed.add(key)
+                self._pending[home].append((True, name, out_row, True))
                 shipped += 1
         return counted, frontier_left, shipped
 
-    def router_dump(self, names: "list[str]") -> "list[dict[str, list[tuple]]]":
-        """Fetch every worker's partition of *names* (end-of-stratum collect)."""
+    def router_dump(self, names: "list[str]") -> "list[dict[str, list[tuple[Path, ...]]]]":
+        """Fetch every worker's partition of *names*, decoded, at end of stratum."""
         assert self._pools is not None
         futures = [pool.submit(_worker_router_dump, names) for pool in self._pools]
-        return [future.result() for future in futures]
+        dumps: "list[dict[str, list[tuple[Path, ...]]]]" = []
+        for shard, future in enumerate(futures):
+            defs, rows = future.result()
+            decoder = self._from_worker[shard]
+            decoder.absorb(defs)
+            if self.measure_payloads:
+                self._account(
+                    (defs, rows),
+                    {
+                        name: [decoder.def_row(row) for row in id_rows]
+                        for name, id_rows in rows.items()
+                    },
+                )
+            dumps.append(
+                {
+                    name: [decoder.decode_row(row) for row in id_rows]
+                    for name, id_rows in rows.items()
+                }
+            )
+        return dumps
 
     def close(self) -> None:
         if self._pools is not None:
@@ -718,6 +961,9 @@ class ProcessExecutor(ParallelExecutor):
                 pool.shutdown(wait=True, cancel_futures=True)
             self._pools = None
             self._pending = []
+            self._to_worker = []
+            self._from_worker = []
+            self._routed = []
 
 
 # -- the sharded fixpoint --------------------------------------------------------------
@@ -938,8 +1184,7 @@ class ShardedFixpoint:
         assert self.sharded is not None
         for shard, dump in enumerate(executor.router_dump(heads)):
             for name in heads:
-                rows = {_decode_row(row) for row in dump.get(name, ())}
-                self.sharded.shards[shard].set_relation_rows(name, rows)
+                self.sharded.shards[shard].set_relation_rows(name, set(dump.get(name, ())))
         for name in heads:
             merged: set = set()
             for shard_instance in self.sharded.shards:

@@ -21,7 +21,7 @@ from typing import Iterable, Iterator, Mapping
 from repro.errors import ModelError
 from repro.model.schema import Schema
 from repro.model.terms import Path, Value, as_path
-from repro.storage import EMPTY_ROWS, Relation
+from repro.storage import EMPTY_ROWS, Relation, TermTable
 
 __all__ = ["DeltaResult", "Fact", "Instance", "InstanceDelta"]
 
@@ -37,6 +37,19 @@ class Fact:
         self._relation = relation
         self._paths = tuple(as_path(path) for path in paths)
         self._hash = hash((relation, self._paths))
+
+    @staticmethod
+    def _from_trusted(relation: str, paths: "tuple[Path, ...]") -> "Fact":
+        """Build a fact from an already-validated path tuple (internal).
+
+        Skips the argument coercion of ``__init__``; callers must pass a
+        non-empty relation name and a tuple of :class:`Path` objects.
+        """
+        fact = Fact.__new__(Fact)
+        fact._relation = relation
+        fact._paths = paths
+        fact._hash = hash((relation, paths))
+        return fact
 
     @property
     def relation(self) -> str:
@@ -83,10 +96,11 @@ class Instance:
     relations inspected.  Equality is extensional (same set of facts).
     """
 
-    __slots__ = ("_relations",)
+    __slots__ = ("_relations", "_terms")
 
     def __init__(self, facts: "Iterable[Fact] | Mapping[str, Iterable[tuple]] | None" = None):
         self._relations: dict[str, Relation] = {}
+        self._terms: "TermTable | None" = None
         if facts is None:
             return
         if isinstance(facts, Mapping):
@@ -218,6 +232,18 @@ class Instance:
         """Return the indexed :class:`~repro.storage.Relation` for *name*, if present."""
         return self._relations.get(name)
 
+    def term_table(self) -> TermTable:
+        """The instance's lazily-created path interner (compiled execution).
+
+        Created on first use; :meth:`copy`/:meth:`restricted` clones made
+        afterwards share it, so ids stay stable across the working copies a
+        session derives from the same data.
+        """
+        table = self._terms
+        if table is None:
+            table = self._terms = TermTable()
+        return table
+
     def contains(self, relation: str, *paths: "Path | Value") -> bool:
         """Return ``True`` if the fact ``relation(paths...)`` is in the instance."""
         row = tuple(as_path(path) for path in paths)
@@ -287,9 +313,16 @@ class Instance:
     # -- algebraic combinations ---------------------------------------------------------
 
     def copy(self) -> "Instance":
-        """Return a deep-enough copy (facts are immutable, so row sets are copied)."""
+        """Return a deep-enough copy (facts are immutable, so row sets are copied).
+
+        The term table is *shared*, not copied: it is append-only, so ids
+        minted while evaluating the copy stay valid for the original (and
+        vice versa), which is what keeps ids stable across the working copies
+        a session makes.
+        """
         clone = Instance()
         clone._relations = {name: stored.copy() for name, stored in self._relations.items()}
+        clone._terms = self._terms
         return clone
 
     def restricted(self, names: Iterable[str]) -> "Instance":
@@ -299,6 +332,7 @@ class Instance:
         clone._relations = {
             name: stored.copy() for name, stored in self._relations.items() if name in wanted
         }
+        clone._terms = self._terms
         return clone
 
     def union(self, other: "Instance") -> "Instance":

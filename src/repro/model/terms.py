@@ -107,6 +107,18 @@ class Path:
     # -- construction helpers -------------------------------------------------
 
     @staticmethod
+    def _from_trusted(items: tuple) -> "Path":
+        """Build a path from an already-validated value tuple (internal).
+
+        Skips the per-element validation of ``__init__``; callers must pass a
+        tuple whose items came out of existing :class:`Path` objects.
+        """
+        path = Path.__new__(Path)
+        path._elements = items
+        path._hash = hash(("Path", items))
+        return path
+
+    @staticmethod
     def empty() -> "Path":
         """Return the empty path ``ϵ``."""
         return EPSILON

@@ -9,12 +9,18 @@ path, by ground first atom of an argument, by argument path length) together
 with cached zero-copy read views.  See DESIGN.md for the storage layout and
 the join-planning heuristics built on top of it.
 
+The columnar layer (:mod:`repro.storage.columnar`) adds the id space the
+compiled execution tier runs on: a per-instance :class:`TermTable` interning
+every path into a dense integer id, and a packed :class:`ColumnarView` per
+relation generation with id-space groupings mirroring the secondary indexes.
+
 The partition layer (:mod:`repro.storage.partition`) adds hash partitioning
 on top: a deterministic cross-process row hash, the :class:`ShardingSpec`
 routing table, and the :func:`choose_shard_keys` planner the sharded engine
 (:mod:`repro.engine.sharding`) routes rows with.
 """
 
+from repro.storage.columnar import ColumnarView, TermTable
 from repro.storage.partition import (
     ShardingSpec,
     choose_shard_keys,
@@ -25,8 +31,10 @@ from repro.storage.relation import EMPTY_ROWS, Relation
 
 __all__ = [
     "EMPTY_ROWS",
+    "ColumnarView",
     "Relation",
     "ShardingSpec",
+    "TermTable",
     "choose_shard_keys",
     "stable_hash_path",
     "stable_hash_row",

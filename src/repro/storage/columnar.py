@@ -1,0 +1,357 @@
+"""Interned terms and columnar id-space views of relations.
+
+The compiled execution tier (``execution="compiled"``) runs joins over dense
+integer ids instead of :class:`~repro.model.terms.Path` objects.  Two pieces
+live here:
+
+* :class:`TermTable` — a per-instance interner mapping each distinct ``Path``
+  to a dense integer id.  Ids are append-only and therefore stable for the
+  lifetime of a session: copies and restrictions of an
+  :class:`~repro.model.instance.Instance` share the table, so an id minted
+  while evaluating one stratum keeps meaning the same path in every later
+  fixpoint, maintenance round, or tabled goal over the same data.  The table
+  pickles as its path list (the dictionary is rebuilt on load), so process
+  shards can carry one across the wire.
+
+* :class:`ColumnarView` — a packed, read-only view of one
+  :class:`~repro.storage.relation.Relation` generation: one int array per
+  argument position, the id-rows as tuples for random access, and id-space
+  variants of the relation's generation-invalidated indexes as
+  ``dict[int, array]`` groupings (``groups(position)`` maps the id at a
+  position to the indexes of the rows carrying it — the id-space analogue of
+  ``rows_with_path``).  Views are cached on the relation per
+  ``(table, generation)`` and rebuilt wholesale on mutation, mirroring the
+  lazy index refresh in :mod:`repro.storage.relation`.
+
+Ids never leak past the engine: compiled rules decode unique head rows back
+to :class:`~repro.model.instance.Fact` objects at the derivation boundary,
+so everything above (semi-naive deltas, counting/DRed maintenance, tabling,
+sharding) keeps trafficking in ordinary facts.
+"""
+
+from array import array
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.model.terms import Path, as_path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.terms import Value
+
+__all__ = ["ColumnarView", "TermTable"]
+
+
+class TermTable:
+    """Dense, append-only interner of :class:`Path` values.
+
+    ``intern`` assigns the next free id to an unseen path and returns the
+    existing id otherwise; ids index directly into :attr:`paths` for O(1)
+    decoding.  A parallel byte array records whether each interned path is a
+    single atomic value, so compiled atom-variable slots can test
+    "matches ``@x``" with one array lookup instead of re-inspecting the path.
+    """
+
+    __slots__ = (
+        "_paths",
+        "_ids",
+        "_atomic",
+        "_elements",
+        "_element_ids",
+        "_concat",
+        "_splices",
+        "scratch",
+    )
+
+    def __init__(self, paths: "Iterable[Path | Value]" = ()):
+        self._paths: list[Path] = []
+        self._ids: dict[Path, int] = {}
+        self._atomic = array("b")
+        # Caches for the id-space sequence operations (all append-only):
+        # per-id element decomposition (plus a raw-element shortcut that
+        # skips Path construction for already-seen atoms/packed values),
+        # concatenation, and slicing.
+        self._elements: dict[int, tuple] = {}
+        self._element_ids: dict = {}
+        self._concat: dict[tuple, int] = {}
+        self._splices: dict[tuple, int] = {}
+        #: Engine-owned scratch space (e.g. decoded-fact caches) that shares
+        #: the table's lifetime.  Not pickled.
+        self.scratch: dict = {}
+        for path in paths:
+            self.intern(as_path(path))
+
+    def intern(self, path: Path) -> int:
+        """Return the dense id of *path*, assigning the next id if unseen."""
+        ident = self._ids.get(path)
+        if ident is None:
+            ident = len(self._paths)
+            self._ids[path] = ident
+            self._paths.append(path)
+            self._atomic.append(1 if path.is_atomic() else 0)
+        return ident
+
+    def intern_row(self, row: tuple) -> tuple:
+        """Intern every path of one stored row into an id tuple."""
+        ids = self._ids
+        out = []
+        for path in row:
+            ident = ids.get(path)
+            if ident is None:
+                ident = self.intern(path)
+            out.append(ident)
+        return tuple(out)
+
+    def id_of(self, path: Path) -> "int | None":
+        """Return the id of *path* without interning, or ``None`` if unseen."""
+        return self._ids.get(path)
+
+    def path(self, ident: int) -> Path:
+        """Decode one id back to its path."""
+        return self._paths[ident]
+
+    def decode_row(self, ids: Iterable[int]) -> tuple:
+        """Decode an id row back to a tuple of paths."""
+        paths = self._paths
+        return tuple(paths[ident] for ident in ids)
+
+    def is_atomic(self, ident: int) -> bool:
+        """Whether id *ident* names a single atomic value (an ``@x`` match)."""
+        return bool(self._atomic[ident])
+
+    # -- id-space sequence operations ---------------------------------------------------
+    #
+    # Sequence Datalog destructures and concatenates paths; the compiled tier
+    # does both in id space.  Each operation interns the paths it produces,
+    # so results are themselves ids, and each is memoised — the same path is
+    # decomposed (or the same parts concatenated) at most once per table.
+
+    def elements(self, ident: int) -> tuple:
+        """Ids of the single-element sub-paths of *ident*, in order.
+
+        Each element of the path (an atom or a packed value) is interned as
+        its own length-1 path; an atom's element id therefore has the atomic
+        flag set while a packed value's does not — exactly the distinction a
+        lone ``@x`` needs.
+        """
+        cached = self._elements.get(ident)
+        if cached is None:
+            element_ids = self._element_ids
+            out = []
+            for element in self._paths[ident].elements:
+                eid = element_ids.get(element)
+                if eid is None:
+                    eid = element_ids[element] = self.intern(
+                        Path._from_trusted((element,))
+                    )
+                out.append(eid)
+            cached = tuple(out)
+            self._elements[ident] = cached
+        return cached
+
+    def concat(self, parts: tuple) -> int:
+        """The id of the concatenation of the paths named by *parts*."""
+        cached = self._concat.get(parts)
+        if cached is None:
+            elements: list = []
+            paths = self._paths
+            for ident in parts:
+                elements.extend(paths[ident].elements)
+            cached = self.intern(Path._from_trusted(tuple(elements)))
+            self._concat[parts] = cached
+        return cached
+
+    def splice(self, ident: int, start: int, from_end: int) -> int:
+        """The id of ``path[start : len(path) - from_end]`` for path *ident*."""
+        key = (ident, start, from_end)
+        cached = self._splices.get(key)
+        if cached is None:
+            elements = self._paths[ident].elements
+            cached = self.intern(
+                Path._from_trusted(elements[start : len(elements) - from_end])
+            )
+            self._splices[key] = cached
+        return cached
+
+    @property
+    def atomic_flags(self) -> array:
+        """The raw per-id atomic flags, for hot loops."""
+        return self._atomic
+
+    @property
+    def paths(self) -> list[Path]:
+        """The id-ordered list of interned paths (do not mutate)."""
+        return self._paths
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self) -> Iterator[Path]:
+        return iter(self._paths)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TermTable({len(self._paths)} terms)"
+
+    # Pickle as the path list alone; the id map and flags are derived.  The
+    # scratch dict may hold engine objects of unknown picklability, so it is
+    # deliberately dropped.
+    def __getstate__(self) -> list[Path]:
+        return self._paths
+
+    def __setstate__(self, paths: list[Path]) -> None:
+        self._paths = list(paths)
+        self._ids = {path: ident for ident, path in enumerate(self._paths)}
+        self._atomic = array("b", (1 if path.is_atomic() else 0 for path in self._paths))
+        self._elements = {}
+        self._element_ids = {}
+        self._concat = {}
+        self._splices = {}
+        self.scratch = {}
+
+
+class ColumnarView:
+    """Packed id-space snapshot of one relation generation.
+
+    Construction interns every stored row against *table* and lays the ids
+    out both row-wise (:attr:`id_rows`, for candidate checks) and
+    column-wise (:meth:`column`, one ``array('q')`` per argument position).
+    :meth:`groups` materialises the id-space hash index for one position on
+    first use; :attr:`id_row_set` does the same for membership tests
+    (negation, dedup).  Instances are immutable snapshots — the owning
+    relation swaps in a fresh view when its generation changes.
+    """
+
+    __slots__ = (
+        "table",
+        "arity",
+        "id_rows",
+        "_columns",
+        "_decomposed",
+        "_groups",
+        "_first_groups",
+        "_last_groups",
+        "_element_joins",
+        "_row_set",
+    )
+
+    def __init__(self, rows: Iterable[tuple], arity: "int | None", table: TermTable):
+        intern_row = table.intern_row
+        self.table = table
+        self.arity = arity
+        self.id_rows: list[tuple] = [intern_row(row) for row in rows]
+        self._columns: "dict[int, array]" = {}
+        self._decomposed: "dict[int, list]" = {}
+        self._groups: "dict[int, dict]" = {}
+        self._first_groups: "dict[int, dict]" = {}
+        self._last_groups: "dict[int, dict]" = {}
+        self._element_joins: "dict[tuple, dict]" = {}
+        self._row_set: "frozenset | None" = None
+
+    def __len__(self) -> int:
+        return len(self.id_rows)
+
+    def column(self, position: int) -> array:
+        """The packed int array of ids at *position*, one entry per row."""
+        col = self._columns.get(position)
+        if col is None:
+            col = array("q", (row[position] for row in self.id_rows))
+            self._columns[position] = col
+        return col
+
+    def decomposed(self, position: int) -> list:
+        """Per-row element-id tuples for the path at *position*.
+
+        Parallel to :attr:`id_rows`; entry *i* is ``table.elements`` of row
+        *i*'s id at the position.  Built once per view so hot candidate loops
+        index a list instead of re-probing the table's memo dict per row.
+        """
+        decomposed = self._decomposed.get(position)
+        if decomposed is None:
+            elements = self.table.elements
+            decomposed = [elements(ident) for ident in self.column(position)]
+            self._decomposed[position] = decomposed
+        return decomposed
+
+    def groups(self, position: int) -> dict:
+        """Id-space hash index: id at *position* → array of row indexes."""
+        grouped = self._groups.get(position)
+        if grouped is None:
+            grouped = {}
+            for index, ident in enumerate(self.column(position)):
+                bucket = grouped.get(ident)
+                if bucket is None:
+                    grouped[ident] = bucket = array("q")
+                bucket.append(index)
+            self._groups[position] = grouped
+        return grouped
+
+    def first_groups(self, position: int) -> dict:
+        """Group rows by the *first element* id of the path at *position*.
+
+        The id-space analogue of ``rows_with_first_atom``: rows whose path at
+        the position is ε are in no bucket.  Keys are element ids (length-1
+        paths), so atoms and packed values each get their own bucket.
+        """
+        grouped = self._first_groups.get(position)
+        if grouped is None:
+            grouped = self._element_groups(position, 0)
+            self._first_groups[position] = grouped
+        return grouped
+
+    def last_groups(self, position: int) -> dict:
+        """Group rows by the *last element* id of the path at *position*."""
+        grouped = self._last_groups.get(position)
+        if grouped is None:
+            grouped = self._element_groups(position, -1)
+            self._last_groups[position] = grouped
+        return grouped
+
+    def _element_groups(self, position: int, index: int) -> dict:
+        grouped: dict = {}
+        for row_index, decomposed in enumerate(self.decomposed(position)):
+            if not decomposed:
+                continue
+            key = decomposed[index]
+            bucket = grouped.get(key)
+            if bucket is None:
+                grouped[key] = bucket = array("q")
+            bucket.append(row_index)
+        return grouped
+
+    def element_join_groups(
+        self, position: int, length: int, key_index: int, emit_index: int
+    ) -> dict:
+        """Prejoined element index for the two-atom destructure pattern.
+
+        Maps the element id at *key_index* to the ``array('q')`` of element
+        ids at *emit_index*, over exactly the rows whose path at *position*
+        has exactly *length* elements and whose emitted element is atomic.
+        Length and atomicity are checked once at build time, so the inner
+        loop of a compiled sequence join (probe one element, emit another —
+        the unary-reachability shape) degenerates to one dict lookup and an
+        array extend per probe.
+        """
+        cache_key = (position, length, key_index, emit_index)
+        grouped = self._element_joins.get(cache_key)
+        if grouped is None:
+            grouped = {}
+            atomic = self.table.atomic_flags
+            for decomposed in self.decomposed(position):
+                if len(decomposed) != length:
+                    continue
+                emitted = decomposed[emit_index]
+                if not atomic[emitted]:
+                    continue
+                key = decomposed[key_index]
+                bucket = grouped.get(key)
+                if bucket is None:
+                    grouped[key] = bucket = array("q")
+                bucket.append(emitted)
+            self._element_joins[cache_key] = grouped
+        return grouped
+
+    @property
+    def id_row_set(self) -> frozenset:
+        """The id rows as a frozenset, for membership tests."""
+        rows = self._row_set
+        if rows is None:
+            rows = self._row_set = frozenset(self.id_rows)
+        return rows

@@ -45,6 +45,7 @@ from typing import Iterable, Iterator
 
 from repro.errors import ModelError
 from repro.model.terms import Path
+from repro.storage.columnar import ColumnarView, TermTable
 
 __all__ = ["EMPTY_ROWS", "Relation"]
 
@@ -71,6 +72,9 @@ class Relation:
         "_by_length",
         "_log",
         "_log_floor",
+        "_columnar",
+        "_columnar_table",
+        "_columnar_generation",
     )
 
     #: Maximum number of change-log entries kept before the log gives up and
@@ -92,6 +96,9 @@ class Relation:
         self._by_length: dict[int, dict[int, set]] = {}
         self._log: "list[tuple[int, tuple[Path, ...], bool]] | None" = None
         self._log_floor = 0
+        self._columnar: "ColumnarView | None" = None
+        self._columnar_table: "TermTable | None" = None
+        self._columnar_generation = -1
 
     # -- mutation ----------------------------------------------------------------------
 
@@ -315,3 +322,24 @@ class Relation:
                 index.setdefault(len(row[position]), set()).add(row)
             self._by_length[position] = index
         return index.get(length, EMPTY_ROWS)
+
+    # -- columnar id-space view ----------------------------------------------------------
+
+    def columnar(self, table: TermTable) -> ColumnarView:
+        """The packed id-space view of the current generation, against *table*.
+
+        Cached per ``(table, generation)`` with the same wholesale
+        invalidation as the secondary indexes: any mutation (or a different
+        term table) rebuilds the whole view on next use.  The view interns
+        every stored path into *table*, so building it is how a relation's
+        terms enter an instance's id space.
+        """
+        if (
+            self._columnar is None
+            or self._columnar_table is not table
+            or self._columnar_generation != self._generation
+        ):
+            self._columnar = ColumnarView(self._rows, self.arity(), table)
+            self._columnar_table = table
+            self._columnar_generation = self._generation
+        return self._columnar

@@ -247,3 +247,64 @@ class TestGeneralizedGoals:
         assert result.mode == "full"
         assert "grow paths without bound" in result.fallback_reason
         assert result.paths() == query.run(instance).paths() & {path("a", "a")}
+
+
+class TestGeneralizationCostModel:
+    """Oversized generalized entries are refused by the tabling cost model."""
+
+    def descendants_query(self):
+        return ProgramQuery(
+            parse_program(DESCENDANTS), {"N": 1}, "D", require_monadic=False
+        )
+
+    def test_oversized_generalized_entry_falls_back_with_reason(self):
+        query = self.descendants_query()
+        instance = prefix_tree_instance(depth=4, seed=3)
+        session = query.session(instance.copy(), generalization_limit=1.0)
+        result = session.run(binding={0: path("a", "b")}, mode="goal")
+        assert result.mode == "full"
+        assert result.fallback_reason.startswith("generalization_too_large")
+        assert len(session._tables) == 0  # the oversized entry was never tabled
+        expected = query.run(instance, binding={0: path("a", "b")})
+        assert result.output == expected.output
+
+    def test_disabled_limit_always_tables(self):
+        query = self.descendants_query()
+        instance = prefix_tree_instance(depth=4, seed=3)
+        session = query.session(instance, generalization_limit=None)
+        result = session.run(binding={0: path("a", "b")}, mode="goal")
+        assert result.served_by == "goal" and result.fallback_reason is None
+        assert len(session._tables) == 1
+
+    def test_default_limit_keeps_small_instances_goal_directed(self):
+        query = self.descendants_query()
+        session = query.session(prefix_tree_instance(depth=4, seed=3))
+        result = session.run(binding={0: path("a", "b")}, mode="goal")
+        assert result.served_by == "goal" and result.fallback_reason is None
+
+    def test_selective_slice_on_a_deep_tree_trips_the_default(self):
+        # ~300 nodes, and the requested source (the tree's deepest leaf)
+        # appears in exactly one of them: the all-free generalized sweep is
+        # hundreds of times the requested slice.
+        query = self.descendants_query()
+        instance = prefix_tree_instance(depth=9, seed=3)
+        session = query.session(instance.copy())
+        binding = {0: path("b", "b", "b", "b", "a", "b", "b", "b", "b")}
+        result = session.run(binding=binding, mode="goal")
+        assert result.fallback_reason is not None
+        assert result.fallback_reason.startswith("generalization_too_large")
+        assert result.output == query.run(instance, binding=binding).output
+
+    def test_exact_adornments_ignore_the_limit(self):
+        session = pair_query().session(line_instance(), generalization_limit=0.001)
+        result = session.run(binding={0: "a"}, mode="goal")
+        assert result.served_by == "goal" and result.fallback_reason is None
+
+    def test_one_shot_runs_never_consult_the_model(self):
+        # memoize=False never tables, so there is no entry to refuse.
+        query = self.descendants_query()
+        instance = prefix_tree_instance(depth=4, seed=3)
+        session = query.session(instance, memoize=False, generalization_limit=1.0)
+        result = session.run(binding={0: path("a", "b")}, mode="goal")
+        assert result.mode == "goal" and result.fallback_reason is None
+

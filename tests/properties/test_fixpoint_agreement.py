@@ -1,7 +1,8 @@
 """Property-based agreement of fixpoint strategies and execution modes.
 
 The engine offers four ways to compute the same semantics (Section 2.3):
-{naive, semi-naive} fixpoint strategies × {scan, indexed} execution modes.
+{naive, semi-naive} fixpoint strategies × {scan, indexed, compiled}
+execution modes.
 These tests drive all four over random programs and random workload instances
 (from :mod:`repro.workloads.generators`) and require extensionally identical
 results — the key safety net under the storage/planner refactor.
@@ -19,7 +20,7 @@ from repro.workloads import (
 )
 
 STRATEGIES = ("naive", "seminaive")
-EXECUTIONS = ("scan", "indexed")
+EXECUTIONS = ("scan", "indexed", "compiled")
 
 
 def all_variants(program, instance):

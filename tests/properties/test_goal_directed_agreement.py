@@ -20,7 +20,7 @@ from repro.workloads import (
 )
 
 STRATEGIES = ("naive", "seminaive")
-EXECUTIONS = ("scan", "indexed")
+EXECUTIONS = ("scan", "indexed", "compiled")
 
 #: Small limits keep the runtime-fallback path fast when a rewriting that
 #: passed the static checks still needs more rounds than the full fixpoint.

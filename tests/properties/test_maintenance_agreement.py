@@ -24,7 +24,7 @@ from repro.workloads import (
 )
 
 STRATEGIES = ("naive", "seminaive")
-EXECUTIONS = ("scan", "indexed")
+EXECUTIONS = ("scan", "indexed", "compiled")
 
 REACHABILITY_PAIRS = """
 T(@x, @y) :- E(@x, @y).

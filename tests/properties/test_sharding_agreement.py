@@ -31,7 +31,7 @@ from repro.workloads import (
 )
 
 STRATEGIES = ("naive", "seminaive")
-EXECUTIONS = ("scan", "indexed")
+EXECUTIONS = ("scan", "indexed", "compiled")
 SHARD_COUNTS = (1, 2, 3)
 
 REACHABILITY_PAIRS = """

@@ -18,7 +18,7 @@ from repro.transform import magic_rewrite
 from repro.workloads import as_edge_pairs, prefix_tree_instance, random_graph_instance
 
 STRATEGIES = ("naive", "seminaive")
-EXECUTIONS = ("scan", "indexed")
+EXECUTIONS = ("scan", "indexed", "compiled")
 
 SMALL_LIMITS = EvaluationLimits(max_iterations=400, max_facts=40_000, max_path_length=128)
 
