@@ -8,7 +8,12 @@ against the committed baselines in ``benchmarks/baselines/`` and fails when
   root, or
 * any wall-time field (``*_seconds``) regressed by more than the tolerance
   (default 25%, override with ``--tolerance`` or the
-  ``BENCH_REGRESSION_TOLERANCE`` environment variable).
+  ``BENCH_REGRESSION_TOLERANCE`` environment variable), or
+* a deterministic ratio field (``exchange_fraction``) regressed above its
+  committed baseline.  These counters are machine-independent — the same
+  code on the same seeds produces the same value everywhere — so they are
+  gated absolutely (plus a small slack for workload edge effects), with no
+  calibration.
 
 A result file with **no committed baseline** — the first PR that adds a new
 benchmark — is *reported and skipped*: it cannot be gated (there is nothing
@@ -52,12 +57,18 @@ GATE_FLOOR_SECONDS = 0.25
 #: Pairs whose baseline is shorter than this do not inform the calibration
 #: median — their ratios are dominated by the same noise.
 CALIBRATION_FLOOR_SECONDS = 0.05
+#: Deterministic ratio fields gated absolutely (measured must not exceed
+#: baseline + slack).  Unlike wall times these do not depend on the runner:
+#: regressing one means the engine started shipping more rows across shards.
+RATIO_GATED_FIELDS = frozenset({"exchange_fraction"})
+RATIO_SLACK = 0.02
 
 
 def load_pairs(
     baseline_path: Path, results_dir: Path
 ) -> "tuple[list[str], list[tuple[str, float, float]]]":
-    """Missing-file/field failures plus the gated (key, expected, measured) pairs."""
+    """Failures (missing files/fields, ratio regressions) plus the gated
+    wall-time (key, expected, measured) pairs."""
     result_path = results_dir / baseline_path.name
     if not result_path.exists():
         return (
@@ -94,8 +105,18 @@ def load_pairs(
         if key not in result:
             failures.append(f"{baseline_path.name}: field {key!r} missing from the result")
             continue
+        if key in RATIO_GATED_FIELDS:
+            measured = float(result[key])
+            limit = float(expected) + RATIO_SLACK
+            if measured > limit:
+                failures.append(
+                    f"{baseline_path.name}: {key} regressed — {measured:.3f} vs "
+                    f"baseline {expected:.3f} (limit {limit:.3f}; this ratio is "
+                    f"deterministic, so the engine is genuinely exchanging more)"
+                )
+            continue
         if not key.endswith("seconds"):
-            continue  # counters are asserted by the benchmarks themselves
+            continue  # other counters are asserted by the benchmarks themselves
         pairs.append((f"{baseline_path.name}: {key}", float(expected), float(result[key])))
     return failures, pairs
 

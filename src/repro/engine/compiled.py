@@ -447,13 +447,15 @@ class CompiledRule:
                 _, position, needs_atomic = ops[0]
                 column = view.column(position)
                 slot = key_payload
+                lookup = groups.get
+                extend = out.extend
                 for current in rows:
-                    bucket = groups.get(current[slot])
+                    bucket = lookup(current[slot])
                     if bucket is None:
                         continue
                     attempts += len(bucket)
                     if needs_atomic:
-                        out.extend(
+                        extend(
                             [
                                 current + (column[index],)
                                 for index in bucket
@@ -461,7 +463,7 @@ class CompiledRule:
                             ]
                         )
                     else:
-                        out.extend([current + (column[index],) for index in bucket])
+                        extend([current + (column[index],) for index in bucket])
                 if max_derivations is not None:
                     limits.check_derivations(len(out))
             elif (

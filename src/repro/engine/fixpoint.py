@@ -83,7 +83,12 @@ class EvaluationStatistics:
     between workers (rows a shard derived that another shard's replica had
     to receive), and ``shard_skipped_updates`` the update facts a tabled
     goal's shard footprint proved irrelevant and mirrored without any
-    maintenance propagation.
+    maintenance propagation.  ``exchange_batches`` counts the packed
+    id-block dispatches a process executor actually sent (deltas accumulate
+    across micro-rounds and flush once per exchange barrier) and
+    ``exchanged_bytes`` the id payload those dispatches carried (array
+    itemsize per interned id, deterministic — independent of pickling
+    details).
     """
 
     iterations: int = 0
@@ -100,6 +105,8 @@ class EvaluationStatistics:
     shard_rounds: int = 0
     cross_shard_facts: int = 0
     shard_skipped_updates: int = 0
+    exchange_batches: int = 0
+    exchanged_bytes: int = 0
     per_stratum_iterations: list[int] = field(default_factory=list)
 
     #: The work counters a per-shard (or per-worker) statistics object feeds

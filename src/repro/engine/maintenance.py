@@ -683,12 +683,41 @@ class MaintainedFixpoint:
         """
         evaluators = self.evaluators.for_stratum(stratum)
         head_names = stratum.head_relation_names()
-        overdeleted = self._overdelete(evaluators, head_names, state, changes, statistics)
-        for fact in overdeleted:
-            self.materialized.discard_fact(fact, keep_empty=True)
-        self._absorb((), overdeleted)
-        rederived = self._rederive(evaluators, overdeleted, statistics)
-        self._absorb(rederived)
+        body_names = stratum.body_relation_names()
+        outcome = None
+        if self.sharding is not None:
+            # Worker-resident DRed: ship the stratum's delta (and the removal
+            # seeds) to the resident workers, which run the overdeletion
+            # cascade and the rederivation probes against their partitions.
+            # Falls back to the parent-side phases below when the executor
+            # declines (no resident workers, non-local stratum, tiny delta).
+            changed = {
+                name: (
+                    changes.added.get(name, set()),
+                    changes.removed.get(name, set()),
+                )
+                for name in changes.names & set(body_names)
+            }
+            removal_seeds = changes.facts(changes.removed, body_names)
+            outcome = self.sharding.dred_stratum(
+                index, changed, removal_seeds, state.pinned, statistics
+            )
+        if outcome is not None:
+            # The workers applied these to their resident partitions and the
+            # sharded fixpoint updated its mirror; only the authoritative
+            # instance is left to bring in step — no catch-up to queue.
+            overdeleted, rederived = outcome
+            for fact in overdeleted:
+                self.materialized.discard_fact(fact, keep_empty=True)
+            for fact in rederived:
+                self.materialized.add_fact(fact)
+        else:
+            overdeleted = self._overdelete(evaluators, head_names, state, changes, statistics)
+            for fact in overdeleted:
+                self.materialized.discard_fact(fact, keep_empty=True)
+            self._absorb((), overdeleted)
+            rederived = self._rederive(evaluators, overdeleted, statistics)
+            self._absorb(rederived)
 
         # One semi-naive propagation finishes both halves of the update: the
         # rederived facts re-support other over-deleted facts (whose one-shot

@@ -90,7 +90,7 @@ from repro.errors import (
 from repro.model.instance import Fact, Instance
 from repro.model.schema import Schema
 from repro.model.terms import Path, as_path
-from repro.storage.partition import ShardingSpec, choose_shard_keys
+from repro.storage.partition import ShardingPlan, ShardingSpec, choose_sharding_plan
 from repro.syntax.programs import Program
 
 __all__ = ["ProgramQuery", "QueryResult", "QuerySession", "QueryMode", "ServedBy", "UpdateResult"]
@@ -103,8 +103,11 @@ QueryMode = TypingLiteral["full", "goal"]
 #: evaluation; ``"goal"`` — the magic-set pipeline derived the demanded slice
 #: for this call; ``"tabled"`` — the call was subsumed by a previously
 #: evaluated goal and served from the session's subgoal answer table with
-#: zero evaluation (:mod:`repro.engine.tabling`).
-ServedBy = TypingLiteral["full", "maintained", "goal", "tabled"]
+#: zero evaluation (:mod:`repro.engine.tabling`); ``"worker"`` — a sharded
+#: session routed the goal to the resident worker owning its (singleton)
+#: shard footprint, which evaluated it against its partition without any
+#: parent-side evaluation or materialization read.
+ServedBy = TypingLiteral["full", "maintained", "goal", "tabled", "worker"]
 
 #: A query binding: concrete paths for some output argument positions.
 Binding = dict[int, Path]
@@ -516,6 +519,10 @@ class QuerySession:
         self.shards = shards
         self._sharded: "ShardedFixpoint | None" = None
         self._shard_spec: "ShardingSpec | None" = None
+        #: The consumer-aligned sharding plan behind ``_shard_spec`` (sharded
+        #: sessions only): its modes/replication drive the partitioned
+        #: executor and the worker-resident serving below.
+        self._shard_plan: "ShardingPlan | None" = None
         if shards > 1:
             if not memoize:
                 # A non-memoizing session never builds maintained state, and
@@ -525,7 +532,8 @@ class QuerySession:
                     "sharded serving requires a memoizing session; "
                     "drop memoize=False or shards"
                 )
-            self._shard_spec = ShardingSpec(shards, choose_shard_keys(query.program))
+            self._shard_plan = choose_sharding_plan(query.program)
+            self._shard_spec = self._shard_plan.spec(shards)
             if isinstance(executor, ParallelExecutor):
                 shard_executor = executor
             elif executor == "sequential":
@@ -544,6 +552,7 @@ class QuerySession:
                 query.limits,
                 execution=query.execution,
                 evaluators=self._evaluators_for(query.program),
+                plan=self._shard_plan,
             )
         elif shards != 1:
             raise EvaluationError(f"shards must be at least 1, got {shards}")
@@ -887,8 +896,14 @@ class QuerySession:
                 # it beats even a goal-directed run.  The request keeps its
                 # goal identity (mode stays "goal"), and the compile-time
                 # fallback reason — what a cold run would have hit — is
-                # threaded through so callers still see it.
-                _, fallback_reason = query._goal_program_for_key(key)
+                # threaded through so callers still see it.  Partition-local
+                # goals (singleton shard footprint) go to the resident worker
+                # owning that shard instead — no parent-side read at all.
+                compiled, fallback_reason = query._goal_program_for_key(key)
+                if compiled is not None:
+                    served = self._serve_from_worker(compiled, normalised, statistics)
+                    if served is not None:
+                        return served
                 return self._serve_from_materialization(
                     normalised,
                     statistics=statistics,
@@ -1059,6 +1074,57 @@ class QuerySession:
         if self._shard_spec is None:
             return None
         return goal_shard_footprint(compiled, self._shard_spec, seed_binding)
+
+    def _serve_from_worker(
+        self,
+        compiled,
+        normalised: Binding,
+        statistics: EvaluationStatistics,
+    ) -> "QueryResult | None":
+        """Serve a partition-local goal from the resident worker that owns it.
+
+        Only fires when the goal's shard footprint is a single shard (every
+        EDB access of its magic program is pinned to seed values homed
+        there, see :func:`~repro.engine.sharding.goal_shard_footprint` —
+        that worker's partition plus its full copies of the replicated
+        relations then contain every base row the goal can touch), the
+        executor keeps resident workers (process pools, partitioned), and
+        the materialization is live (so the worker replicas are known to be
+        in step).  Returns ``None`` otherwise — the caller serves from the
+        parent materialization as before.
+        """
+        if self._sharded is None or self._maintained is None:
+            return None
+        seed_binding = {
+            position: normalised[position]
+            for position in compiled.adornment.bound_positions
+        }
+        footprint = self._entry_footprint(compiled, seed_binding)
+        if footprint is None or len(footprint) != 1:
+            return None
+        seed = compiled.seed_fact(seed_binding)
+        rows = self._sharded.run_goal(
+            next(iter(footprint)), compiled.program, (seed,), statistics
+        )
+        if rows is None:
+            return None
+        answers = Instance()
+        for name, relation_rows in rows.items():
+            answers.set_relation_rows(name, relation_rows)
+        for name in compiled.program.idb_relation_names():
+            answers.ensure_relation(name)
+        # A generalized rewriting answers a wider call than requested; the
+        # binding restriction narrows it back down, exactly as for entries.
+        output = _restrict_output(answers, self.query.output_relation, normalised)
+        return QueryResult(
+            output=output,
+            full_instance=answers,
+            statistics=statistics,
+            output_relation=self.query.output_relation,
+            binding=normalised,
+            mode="goal",
+            served_by="worker",
+        )
 
     def _serve_from_entry(
         self, entry: TableEntry, normalised: Binding, statistics: EvaluationStatistics

@@ -19,9 +19,16 @@ The sharded engine splits the *work* of every semi-naive round across
   frontier is again partitioned.
 
 Joins in Sequence Datalog bodies are not generally key-aligned (a rule may
-join on any argument, or on path *prefixes*), so each worker keeps a full
-**replica** of the instance for join completeness — sharding partitions the
-delta-restricted work and the ownership bookkeeping, not the readable state.
+join on any argument, or on path *prefixes*), so by default each worker
+keeps a full **replica** of the instance for join completeness — sharding
+partitions the delta-restricted work and the ownership bookkeeping, not the
+readable state.  The consumer-aligned planner
+(:func:`repro.storage.partition.choose_sharding_plan`) upgrades that
+default per stratum: a stratum proved ``aligned`` runs on bare partitions,
+and a stratum proved ``local`` (every rule reads only rows co-located with
+its head, small relations replicated to every worker) additionally runs
+whole fixpoints worker-resident — micro-rounds without exchange barriers,
+foreign derivations dropped because the home worker derives its own copy.
 The partitioned view itself is materialized as a :class:`ShardedInstance`
 (one :class:`~repro.model.instance.Instance` per shard) whose balance the
 benchmarks assert on.
@@ -48,6 +55,7 @@ mirrored without any maintenance propagation.
 
 from __future__ import annotations
 
+from array import array
 from typing import TYPE_CHECKING, Collection, Iterable
 
 from repro.engine.evaluation import ExecutionMode
@@ -55,12 +63,19 @@ from repro.engine.fixpoint import (
     EvaluationStatistics,
     ProgramEvaluators,
     _apply_rules_seminaive,
+    evaluate_program,
 )
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.errors import EvaluationError
 from repro.model.instance import Fact, Instance
 from repro.model.terms import Packed, Path
-from repro.storage.partition import ShardingSpec, joins_are_key_aligned, stable_hash_path
+from repro.storage.partition import (
+    ShardingPlan,
+    ShardingSpec,
+    plan_for_spec,
+    repartition_pays,
+    stable_hash_path,
+)
 from repro.syntax.programs import Program
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -177,16 +192,22 @@ class ParallelExecutor:
         spec: "ShardingSpec | None" = None,
         partitioned: bool = False,
         partitions: "list[Instance] | None" = None,
+        modes: "tuple[str, ...]" = (),
     ) -> None:
         """(Re)bind to *program* over a snapshot of *instance*.
 
-        *partitioned* asserts that every join of *program* is key-aligned
-        under *spec* (see :func:`repro.storage.partition.joins_are_key_aligned`):
-        workers then hold only their own partition of every relation instead
-        of a full replica, and catch-up traffic routes each row to its home
+        *partitioned* asserts that every stratum of *program* runs sound on
+        bare partitions under *spec* (every mode in the sharding plan is
+        ``aligned`` or ``local``): workers then hold only their own
+        partition of every non-replicated relation instead of a full
+        replica (relations in ``spec.replicated`` are copied to every
+        worker in full), and catch-up traffic routes each row to its home
         shard only.  *partitions* optionally hands over an already-routed
         per-shard split of *instance* (the owner's mirror), so attaching
-        does not hash-partition the same rows a second time.
+        does not hash-partition the same rows a second time.  *modes* is
+        the plan's per-stratum mode tuple — ``local`` strata may run
+        worker-resident fixpoints (:meth:`run_stratum`) and worker-local
+        DRed phases (:meth:`dred`).
         """
 
     def sync(
@@ -214,6 +235,17 @@ class ParallelExecutor:
         self._exchanged = 0
         return count
 
+    def take_exchange_stats(self) -> "tuple[int, int]":
+        """``(exchange_batches, exchanged_bytes)`` since the last call (and reset).
+
+        Batches count parent→worker dispatches (deltas queue up and flush
+        once per exchange barrier); bytes count the id payload shipped in
+        either direction, 8 per interned id — a deterministic measure that
+        does not depend on pickling details.  In-process executors never
+        ship anything.
+        """
+        return (0, 0)
+
     def round(
         self,
         stratum_index: int,
@@ -223,10 +255,55 @@ class ParallelExecutor:
         """Run one semi-naive round, or return ``None`` for an in-process round."""
         return None
 
+    def run_stratum(
+        self,
+        stratum_index: int,
+        frontier_parts: "list[set[Fact]]",
+        stats_parts: "list[EvaluationStatistics]",
+    ) -> "tuple[list[set[Fact]], int] | None":
+        """Run a whole delta cascade worker-resident (``local`` strata only).
+
+        Returns per-shard net-new facts plus the deepest worker round
+        count, or ``None`` when the caller should fall back to barriered
+        :meth:`round` / in-process rounds.
+        """
+        return None
+
+    def dred(
+        self,
+        stratum_index: int,
+        changed: "dict[str, tuple[set, set]]",
+        seed_parts: "list[set[Fact]]",
+        pinned_parts: "list[set[Fact]]",
+        stats_parts: "list[EvaluationStatistics]",
+    ) -> "tuple[list[tuple[set[Fact], set[Fact]]], int] | None":
+        """Run the overdeletion/rederivation phases worker-local, or ``None``.
+
+        *changed* maps each changed relation to its ``(added_rows,
+        removed_rows)`` sets (the workers rebuild the pre-update overlay
+        from them); *seed_parts* routes the removed body facts, broadcast
+        for replicated relations.  Returns per-shard ``(overdeleted,
+        rederived)`` pairs plus the overdeletion round count.
+        """
+        return None
+
+    def repartition(self, keys: "dict[str, int]", rows_by_name: "dict[str, Collection]") -> None:
+        """Adopt new shard keys and redistribute *rows_by_name* accordingly.
+
+        The caller has already updated the spec's key table; in-process
+        executors share the authoritative instance, so only the process
+        executor moves rows.
+        """
+
     @property
     def supports_router(self) -> bool:
         """Whether whole-stratum router-mode fixpoints can run here (see
         :class:`ProcessExecutor`); the in-process executors never need them."""
+        return False
+
+    @property
+    def supports_worker_goals(self) -> bool:
+        """Whether partition-local goal queries can run on a resident worker."""
         return False
 
     def close(self) -> None:
@@ -389,6 +466,129 @@ class WireDecoder:
         return tuple(defs[ident] for ident in id_row)
 
 
+# -- packed id blocks ------------------------------------------------------------------
+#
+# Interned rows still cost a tuple object (and its pickle frame) per row.
+# The exchange payloads therefore ship *blocks*: all rows of one relation
+# (and arity) flattened into a single id array (``array('q')`` in the
+# general case; links whose id space still fits ship narrower typecodes),
+# with an explicit row count so arity-0 rows survive.  A block is
+# ``(name, arity, count, ids)`` — ship blocks prefix the home shard,
+# catch-up segments prefix the op flags — and pickles as one buffer
+# instead of thousands of small tuples.
+
+
+def _pack_ids(ids: "list[int]") -> "array":
+    """The flat ids as the narrowest array type they fit (ids are dense,
+    assigned per link at first sight, so most links never outgrow 16 bits)."""
+    top = max(ids, default=0)
+    if top < 1 << 16:
+        typecode = "H"
+    elif top < 1 << 32:
+        typecode = "I"
+    else:
+        typecode = "q"
+    return array(typecode, ids)
+
+
+class _BlockPacker:
+    """Accumulate id rows into per-``(tag, arity)`` flat id-array blocks."""
+
+    __slots__ = ("_blocks",)
+
+    def __init__(self):
+        self._blocks: "dict[tuple, list]" = {}
+
+    def add(self, tag, id_row: "tuple[int, ...]") -> None:
+        key = (tag, len(id_row))
+        entry = self._blocks.get(key)
+        if entry is None:
+            entry = self._blocks[key] = [0, []]
+        entry[0] += 1
+        entry[1].extend(id_row)
+
+    def blocks(self) -> "list[tuple]":
+        out = []
+        for (tag, arity), (count, ids) in self._blocks.items():
+            packed = _pack_ids(ids)
+            if isinstance(tag, tuple):
+                out.append((*tag, arity, count, packed))
+            else:
+                out.append((tag, arity, count, packed))
+        return out
+
+
+def _iter_id_rows(arity: int, count: int, ids: "array"):
+    """The id rows of one block, as plain int tuples."""
+    if arity == 0:
+        for _ in range(count):
+            yield ()
+        return
+    for start in range(0, arity * count, arity):
+        yield tuple(ids[start : start + arity])
+
+
+def _decode_block_rows(decoder: WireDecoder, arity: int, count: int, ids: "array"):
+    """The path rows of one block, decoded through *decoder*."""
+    decode = decoder.decode_row
+    for id_row in _iter_id_rows(arity, count, ids):
+        yield decode(id_row)
+
+
+def _decode_fact_blocks(decoder: WireDecoder, blocks: "list[tuple]") -> "set[Fact]":
+    facts: "set[Fact]" = set()
+    for name, arity, count, ids in blocks:
+        facts.update(
+            Fact(name, row) for row in _decode_block_rows(decoder, arity, count, ids)
+        )
+    return facts
+
+
+def _encode_fact_blocks(encoder: WireEncoder, facts: "Iterable[Fact]") -> "list[tuple]":
+    packer = _BlockPacker()
+    for fact in facts:
+        packer.add(fact.relation, encoder.encode_row(fact.paths))
+    return packer.blocks()
+
+
+def _encode_row_blocks(encoder: WireEncoder, name: str, rows: "Iterable") -> "list[tuple]":
+    packer = _BlockPacker()
+    for row in rows:
+        packer.add(name, encoder.encode_row(row))
+    return packer.blocks()
+
+
+def _pack_catchup(ops: "list[tuple[bool, str, tuple, bool]]") -> "list[tuple]":
+    """Merge ordered per-row catch-up ops into packed segments.
+
+    A segment is ``(added, name, countable, arity, count, ids)``; runs of
+    ops with identical flags merge, and segment order preserves op order —
+    an add after a remove of the same row must land after it.
+    """
+    segments: "list[list]" = []
+    last_key = None
+    for added, name, row, countable in ops:
+        key = (added, name, countable, len(row))
+        if key == last_key:
+            segment = segments[-1]
+            segment[4] += 1
+            segment[5].extend(row)
+        else:
+            last_key = key
+            segments.append([added, name, countable, len(row), 1, list(row)])
+    return [(*segment[:5], _pack_ids(segment[5])) for segment in segments]
+
+
+def _nested_blocks(codec, blocks: "list[tuple]") -> "list[tuple]":
+    """The per-row nested-tuple form of *blocks* — payload measurement only."""
+    nested = []
+    for block in blocks:
+        *head, arity, count, ids = block
+        rows = [codec.def_row(id_row) for id_row in _iter_id_rows(arity, count, ids)]
+        nested.append((*head, rows))
+    return nested
+
+
 # Worker-process state for :class:`ProcessExecutor`: each single-worker pool
 # initializes exactly one of these in its (dedicated) child process.
 _WORKER: dict = {}
@@ -398,22 +598,27 @@ def _worker_init(
     program: Program,
     limits: EvaluationLimits,
     execution: ExecutionMode,
-    snapshot: "tuple[list[tuple], dict[str, list[tuple]]]",
+    snapshot: "tuple[list[tuple], list[str], list[tuple]]",
     spec: "ShardingSpec | None" = None,
     shard: int = 0,
     partitioned: bool = False,
 ) -> None:
     # The snapshot is already in wire form — its defs seed the inbound
     # decoder, so every path the parent ships later that the snapshot
-    # already named costs one int from the very first round.
-    defs, rows = snapshot
+    # already named costs one int from the very first round.  It arrives
+    # as packed id blocks plus the full relation-name list (a relation
+    # with no rows must still exist worker-side).
+    defs, names, blocks = snapshot
     inbound = WireDecoder()
     inbound.absorb(defs)
     instance = Instance()
-    for name, encoded_rows in rows.items():
-        instance.set_relation_rows(
-            name, {inbound.decode_row(row) for row in encoded_rows}
-        )
+    for name in names:
+        instance.ensure_relation(name)
+    for name, arity, count, ids in blocks:
+        instance.ensure_relation(name)
+        storage = instance.storage(name)
+        for row in _decode_block_rows(inbound, arity, count, ids):
+            storage.add(row)
     _WORKER["program"] = program
     _WORKER["instance"] = instance
     _WORKER["evaluators"] = ProgramEvaluators(limits, execution=execution)
@@ -428,6 +633,10 @@ def _worker_init(
     #: a partitioned worker does not retain them, so without this set every
     #: re-derivation would cross the wire and be re-deduplicated there.
     _WORKER["exported"] = set()
+    #: Resident goal-program evaluators (worker-resident serving): keyed by
+    #: the magic program object, so repeated queries against the same goal
+    #: shape reuse their compiled plans without parent round-trips.
+    _WORKER["goal_cache"] = {}
 
 
 #: Counter fields a worker reports back after a round — the same per-shard
@@ -442,46 +651,80 @@ def _merge_counters(statistics: EvaluationStatistics, counters: "dict[str, int]"
         setattr(statistics, name, getattr(statistics, name) + value)
 
 
+def _apply_catchup(
+    segments: "list[tuple]", *, count_new: bool = False
+) -> "tuple[list[Fact], int]":
+    """Apply packed catch-up segments to the worker's instance.
+
+    Returns ``(new_facts, counted)``: the facts actually new to this worker
+    (only collected under *count_new* — router mode feeds them into its
+    frontier) and how many of them were marked countable by the parent.
+    """
+    instance: Instance = _WORKER["instance"]
+    exported: set = _WORKER["exported"]
+    inbound: WireDecoder = _WORKER["inbound"]
+    catch_new: "list[Fact]" = []
+    counted = 0
+    for added, name, countable, arity, count, ids in segments:
+        if added:
+            instance.ensure_relation(name)
+            storage = instance.storage(name)
+            for row in _decode_block_rows(inbound, arity, count, ids):
+                if storage.add(row) and count_new:
+                    catch_new.append(Fact(name, row))
+                    if countable:
+                        counted += 1
+        else:
+            storage = instance.storage(name)
+            for row in _decode_block_rows(inbound, arity, count, ids):
+                if storage is not None:
+                    storage.discard(row)
+                if exported:
+                    # A removed fact must become exportable again: if this
+                    # worker re-derives it later, the parent needs to hear.
+                    exported.discard(Fact(name, row))
+    return catch_new, counted
+
+
+def _decode_frontier(frontier: "list[tuple]") -> "tuple[Instance, set[str]]":
+    """A frontier's packed blocks as a delta instance plus its relation names."""
+    inbound: WireDecoder = _WORKER["inbound"]
+    delta = Instance()
+    names: "set[str]" = set()
+    for name, arity, count, ids in frontier:
+        delta.ensure_relation(name)
+        storage = delta.storage(name)
+        for row in _decode_block_rows(inbound, arity, count, ids):
+            storage.add(row)
+        names.add(name)
+    return delta, names
+
+
 def _worker_round(
     defs: "list[tuple]",
-    catchup: "list[tuple[bool, str, tuple, bool]]",
+    catchup: "list[tuple]",
     stratum_index: int,
-    frontier: "dict[str, list[tuple]]",
-) -> "tuple[list[tuple], list[tuple[str, tuple]], dict[str, int]]":
+    frontier: "list[tuple]",
+    local: bool,
+) -> "tuple[list[tuple], list[tuple], dict[str, int]]":
     """One delta-restricted round in a worker: catch up, derive, self-apply."""
     instance: Instance = _WORKER["instance"]
     exported: set = _WORKER["exported"]
     inbound: WireDecoder = _WORKER["inbound"]
     inbound.absorb(defs)
-    for added, name, encoded, _countable in catchup:
-        row = inbound.decode_row(encoded)
-        if added:
-            instance.ensure_relation(name)
-            instance.storage(name).add(row)
-        else:
-            storage = instance.storage(name)
-            if storage is not None:
-                storage.discard(row)
-            if exported:
-                # A removed fact must become exportable again: if this worker
-                # re-derives it later, the parent needs to hear about it.
-                exported.discard(Fact(name, row))
+    _apply_catchup(catchup)
     stratum = _WORKER["program"].strata[stratum_index]
     evaluators = _WORKER["evaluators"].for_stratum(stratum)
     statistics = EvaluationStatistics()
-    delta = Instance()
-    for name, encoded_rows in frontier.items():
-        delta.set_relation_rows(
-            name, {inbound.decode_row(row) for row in encoded_rows}
-        )
-    new_facts = _apply_rules_seminaive(
-        evaluators, instance, delta, set(frontier), statistics
-    )
+    delta, changed = _decode_frontier(frontier)
+    new_facts = _apply_rules_seminaive(evaluators, instance, delta, changed, statistics)
     # Apply own derivations immediately: the parent will only send back what
     # the *other* shards derived (the cross-shard rows).  A partitioned
     # worker keeps its own partition only — foreign-homed derivations travel
     # to their home shard, and the ``exported`` set stops re-derivations of
-    # the same foreign fact from crossing the wire again.
+    # the same foreign fact from crossing the wire again.  In *local* mode
+    # foreign derivations are dropped outright: the frontier was broadcast
+    # where it had to be, so the home worker derives its own copy.
     if _WORKER["partitioned"]:
         spec: ShardingSpec = _WORKER["spec"]
         home = _WORKER["shard"]
@@ -490,7 +733,7 @@ def _worker_round(
             if spec.shard_of_fact(fact) == home:
                 instance.add_fact(fact)
                 shipped.append(fact)
-            elif fact not in exported:
+            elif not local and fact not in exported:
                 exported.add(fact)
                 shipped.append(fact)
         new_facts = shipped
@@ -498,11 +741,68 @@ def _worker_round(
         for fact in new_facts:
             instance.add_fact(fact)
     outbound: WireEncoder = _WORKER["outbound"]
-    ships = [(fact.relation, outbound.encode_row(fact.paths)) for fact in new_facts]
+    blocks = _encode_fact_blocks(outbound, new_facts)
     return (
         outbound.take_defs(),
-        ships,
+        blocks,
         {name: getattr(statistics, name) for name in _ROUND_COUNTERS},
+    )
+
+
+def _worker_run_stratum(
+    defs: "list[tuple]",
+    catchup: "list[tuple]",
+    stratum_index: int,
+    frontier: "list[tuple]",
+) -> "tuple[list[tuple], list[tuple], dict[str, int], int]":
+    """A whole worker-resident delta cascade: micro-rounds without barriers.
+
+    Only dispatched for ``local``-mode strata: every rule there reads rows
+    co-located with its head (or replicated), so the worker can chase its
+    frontier to a local fixpoint, keep its home derivations, and drop
+    foreign ones — the home worker derives its own copy from the same
+    broadcast delta.  Returns the net-new home facts, the work counters,
+    and the number of micro-rounds run.
+    """
+    instance: Instance = _WORKER["instance"]
+    inbound: WireDecoder = _WORKER["inbound"]
+    inbound.absorb(defs)
+    _apply_catchup(catchup)
+    stratum = _WORKER["program"].strata[stratum_index]
+    evaluators = _WORKER["evaluators"].for_stratum(stratum)
+    limits: EvaluationLimits = _WORKER["evaluators"].limits
+    spec: ShardingSpec = _WORKER["spec"]
+    home = _WORKER["shard"]
+    statistics = EvaluationStatistics()
+    delta, _ = _decode_frontier(frontier)
+    frontier_facts = {
+        Fact(name, row)
+        for name in delta.relation_names
+        for row in delta.relation(name)
+    }
+    net: "set[Fact]" = set()
+    scratch = Instance()
+    rounds = 0
+    while frontier_facts:
+        rounds += 1
+        limits.check_iterations(rounds)
+        scratch.replace_with(frontier_facts)
+        changed = {fact.relation for fact in frontier_facts}
+        derived = _apply_rules_seminaive(evaluators, instance, scratch, changed, statistics)
+        frontier_facts = set()
+        for fact in derived:
+            if spec.shard_of_fact(fact) == home:
+                instance.add_fact(fact)
+                net.add(fact)
+                frontier_facts.add(fact)
+        limits.check_fact_count(instance.fact_count())
+    outbound: WireEncoder = _WORKER["outbound"]
+    blocks = _encode_fact_blocks(outbound, net)
+    return (
+        outbound.take_defs(),
+        blocks,
+        {name: getattr(statistics, name) for name in _ROUND_COUNTERS},
+        rounds,
     )
 
 
@@ -518,21 +818,35 @@ def _worker_round(
 
 
 def _worker_router_start(names: "list[str]") -> int:
-    """Seed the round-zero frontier: this worker's partition of *names*."""
+    """Seed the round-zero frontier: this worker's partition of *names*.
+
+    Replicated relations are present in full on every worker, but their
+    rows seed the frontier at their *owning* shard only — otherwise every
+    worker would redo the same round-one pivots N times (the copies exist
+    for join completeness, not as work).
+    """
     instance: Instance = _WORKER["instance"]
+    spec: "ShardingSpec | None" = _WORKER["spec"]
+    shard = _WORKER["shard"]
+    replicated = spec.replicated if spec is not None else frozenset()
     frontier: set[Fact] = set()
     for name in names:
-        for row in instance.relation(name):
-            frontier.add(Fact(name, row))
+        if name in replicated:
+            for row in instance.relation(name):
+                if spec.shard_of_row(name, row) == shard:
+                    frontier.add(Fact(name, row))
+        else:
+            for row in instance.relation(name):
+                frontier.add(Fact(name, row))
     _WORKER["frontier"] = frontier
     return len(frontier)
 
 
 def _worker_router_round(
     defs: "list[tuple]",
-    catchup: "list[tuple[bool, str, tuple, bool]]",
+    catchup: "list[tuple]",
     stratum_index: int,
-) -> "tuple[list[tuple], list[tuple[int, str, tuple]], int, int, dict[str, int]]":
+) -> "tuple[list[tuple], list[tuple], int, int, dict[str, int]]":
     """One router-mode round: returns (defs, ships, counted_new, frontier_left, counters)."""
     instance: Instance = _WORKER["instance"]
     spec: ShardingSpec = _WORKER["spec"]
@@ -540,24 +854,10 @@ def _worker_router_round(
     exported: set = _WORKER["exported"]
     inbound: WireDecoder = _WORKER["inbound"]
     inbound.absorb(defs)
-    catch_new: "list[Fact]" = []
-    counted_catch = 0
-    for added, name, encoded, countable in catchup:
-        row = inbound.decode_row(encoded)
-        if added:
-            instance.ensure_relation(name)
-            if instance.storage(name).add(row):
-                catch_new.append(Fact(name, row))
-                if countable:
-                    # Router-forwarded rows are counted where they land (the
-                    # deriving worker did not keep them); parent-queued rows
-                    # were already counted when the parent applied them.
-                    counted_catch += 1
-        else:
-            storage = instance.storage(name)
-            if storage is not None:
-                storage.discard(row)
-            exported.discard(Fact(name, row))
+    # Router-forwarded rows are counted where they land (the deriving
+    # worker did not keep them); parent-queued rows were already counted
+    # when the parent applied them.
+    catch_new, counted_catch = _apply_catchup(catchup, count_new=True)
     frontier: set[Fact] = _WORKER.get("frontier") or set()
     frontier |= set(catch_new)
     if not frontier:
@@ -573,7 +873,7 @@ def _worker_router_round(
     )
     home_new: "set[Fact]" = set()
     outbound: WireEncoder = _WORKER["outbound"]
-    ships: "list[tuple[int, str, tuple]]" = []
+    ships = _BlockPacker()
     for fact in new_facts:
         fact_home = spec.shard_of_fact(fact)
         if fact_home == home:
@@ -581,11 +881,11 @@ def _worker_router_round(
             home_new.add(fact)
         elif fact not in exported:
             exported.add(fact)
-            ships.append((fact_home, fact.relation, outbound.encode_row(fact.paths)))
+            ships.add((fact_home, fact.relation), outbound.encode_row(fact.paths))
     _WORKER["frontier"] = home_new
     return (
         outbound.take_defs(),
-        ships,
+        ships.blocks(),
         len(home_new) + counted_catch,
         len(home_new),
         {name: getattr(statistics, name) for name in _ROUND_COUNTERS},
@@ -594,15 +894,231 @@ def _worker_router_round(
 
 def _worker_router_dump(
     names: "list[str]",
-) -> "tuple[list[tuple], dict[str, list[tuple]]]":
+) -> "tuple[list[tuple], list[tuple]]":
     """This worker's partition of *names*, for the end-of-stratum collect."""
     instance: Instance = _WORKER["instance"]
     outbound: WireEncoder = _WORKER["outbound"]
-    rows = {
-        name: [outbound.encode_row(row) for row in instance.relation(name)]
-        for name in names
-    }
-    return outbound.take_defs(), rows
+    packer = _BlockPacker()
+    for name in names:
+        for row in instance.relation(name):
+            packer.add(name, outbound.encode_row(row))
+    return outbound.take_defs(), packer.blocks()
+
+
+def _worker_dred(
+    defs: "list[tuple]",
+    catchup: "list[tuple]",
+    stratum_index: int,
+    added_blocks: "list[tuple]",
+    removed_blocks: "list[tuple]",
+    seed_blocks: "list[tuple]",
+    pinned_blocks: "list[tuple]",
+) -> "tuple[list[tuple], list[tuple], list[tuple], dict[str, int], int]":
+    """Worker-local DRed: overdelete from the removed seeds, then rederive.
+
+    Sound only for ``local``-mode strata: the overdeletion cascade of a
+    home fact pivots home and replicated rows exclusively (replicated
+    relations are never derived, so the cascade cannot pass through them),
+    and every rederivation support set for a home fact is likewise
+    worker-visible.  The pre-update overlay of each changed relation is
+    rebuilt here as ``(current − added) ∪ removed`` over the worker's view.
+    Returns the overdeleted and rederived facts (already applied locally)
+    plus the overdeletion round count.
+    """
+    instance: Instance = _WORKER["instance"]
+    inbound: WireDecoder = _WORKER["inbound"]
+    inbound.absorb(defs)
+    _apply_catchup(catchup)
+    stratum = _WORKER["program"].strata[stratum_index]
+    evaluators = _WORKER["evaluators"].for_stratum(stratum)
+    limits: EvaluationLimits = _WORKER["evaluators"].limits
+    statistics = EvaluationStatistics()
+
+    added_rows: "dict[str, set]" = {}
+    for name, arity, count, ids in added_blocks:
+        added_rows.setdefault(name, set()).update(
+            _decode_block_rows(inbound, arity, count, ids)
+        )
+    removed_rows: "dict[str, set]" = {}
+    for name, arity, count, ids in removed_blocks:
+        removed_rows.setdefault(name, set()).update(
+            _decode_block_rows(inbound, arity, count, ids)
+        )
+    changed_names = set(added_rows) | set(removed_rows)
+    old_overlay = Instance()
+    for name in changed_names:
+        rows = (
+            set(instance.relation(name)) if name in instance.relation_names else set()
+        )
+        rows -= added_rows.get(name, set())
+        rows |= removed_rows.get(name, set())
+        old_overlay.set_relation_rows(name, rows)
+
+    head_names = stratum.head_relation_names()
+    pinned = _decode_fact_blocks(inbound, pinned_blocks)
+    frontier_facts = _decode_fact_blocks(inbound, seed_blocks)
+    overdeleted: "set[Fact]" = set()
+    frontier_instance = Instance()
+    rounds = 0
+    while frontier_facts:
+        rounds += 1
+        limits.check_iterations(rounds)
+        frontier_instance.replace_with(frontier_facts)
+        frontier_names = {fact.relation for fact in frontier_facts}
+        new_deleted: "set[Fact]" = set()
+        for evaluator in evaluators:
+            if not (evaluator.body_relation_names & frontier_names):
+                continue
+            statistics.rule_applications += 1
+            positions = evaluator.positions_in_order
+            for pivot, name in positions:
+                if name not in frontier_names:
+                    continue
+                overrides = {
+                    position: old_overlay
+                    for position, other in positions
+                    if position != pivot and other in changed_names
+                }
+                statistics.delta_restricted_applications += 1
+                frontier = {pivot: frontier_instance, **overrides}
+                for fact in evaluator.derive(
+                    instance, frontier=frontier, statistics=statistics
+                ):
+                    if (
+                        fact.relation in head_names
+                        and fact not in overdeleted
+                        and fact not in pinned
+                        and fact in instance
+                    ):
+                        new_deleted.add(fact)
+        overdeleted |= new_deleted
+        frontier_facts = new_deleted
+    for fact in overdeleted:
+        instance.discard_fact(fact, keep_empty=True)
+
+    from repro.engine.match import match_fact
+
+    by_head: "dict[str, list]" = {}
+    for evaluator in evaluators:
+        by_head.setdefault(evaluator.rule.head.name, []).append(evaluator)
+    rederived: "set[Fact]" = set()
+    for fact in overdeleted:
+        for evaluator in by_head.get(fact.relation, ()):
+            statistics.rederivation_attempts += 1
+            initial = list(match_fact(evaluator.rule.head, fact))
+            if not initial:
+                continue
+            derivation = next(
+                iter(
+                    evaluator.derivations(
+                        instance, initial_valuations=initial, statistics=statistics
+                    )
+                ),
+                None,
+            )
+            if derivation is not None:
+                instance.add_fact(fact)
+                rederived.add(fact)
+                break
+
+    outbound: WireEncoder = _WORKER["outbound"]
+    over_blocks = _encode_fact_blocks(outbound, overdeleted)
+    reder_blocks = _encode_fact_blocks(outbound, rederived)
+    return (
+        outbound.take_defs(),
+        over_blocks,
+        reder_blocks,
+        {name: getattr(statistics, name) for name in _ROUND_COUNTERS},
+        rounds,
+    )
+
+
+def _worker_repartition(
+    defs: "list[tuple]",
+    catchup: "list[tuple]",
+    keys: "dict[str, int]",
+    blocks: "list[tuple]",
+) -> int:
+    """Adopt new shard keys and wholesale-replace the rekeyed partitions.
+
+    The parent drained this link's catch-up queue into *catchup* first, so
+    the replacement lands on an up-to-date view; *blocks* carry this
+    worker's entire new partition of every rekeyed relation.  Exported-fact
+    memory for those relations is dropped — ownership just changed under
+    it, and the parent's router dedup set is reset per stratum anyway.
+    """
+    instance: Instance = _WORKER["instance"]
+    inbound: WireDecoder = _WORKER["inbound"]
+    inbound.absorb(defs)
+    _apply_catchup(catchup)
+    spec: ShardingSpec = _WORKER["spec"]
+    spec.keys.update(keys)
+    rows_by_name: "dict[str, set]" = {name: set() for name in keys}
+    for name, arity, count, ids in blocks:
+        rows_by_name[name].update(_decode_block_rows(inbound, arity, count, ids))
+    for name, rows in rows_by_name.items():
+        instance.set_relation_rows(name, rows)
+    exported: set = _WORKER["exported"]
+    if exported:
+        _WORKER["exported"] = {
+            fact for fact in exported if fact.relation not in keys
+        }
+    return sum(len(rows) for rows in rows_by_name.values())
+
+
+def _worker_run_goal(
+    defs: "list[tuple]",
+    catchup: "list[tuple]",
+    program: Program,
+    seed_blocks: "list[tuple]",
+) -> "tuple[list[tuple], list[tuple], dict[str, int]]":
+    """Evaluate a goal's magic program against this worker's resident state.
+
+    Only dispatched when the goal's shard footprint is exactly this shard:
+    every row any rule of *program* can touch is then provably homed here
+    (or replicated here in full).  The evaluators compiled for *program*
+    stay cached in the worker across queries, so repeated goals of the
+    same shape reuse their join plans without any parent round-trip.
+    """
+    instance: Instance = _WORKER["instance"]
+    inbound: WireDecoder = _WORKER["inbound"]
+    inbound.absorb(defs)
+    _apply_catchup(catchup)
+    base: ProgramEvaluators = _WORKER["evaluators"]
+    cache: dict = _WORKER["goal_cache"]
+    evaluators = cache.get(program)
+    if evaluators is None:
+        evaluators = cache[program] = ProgramEvaluators(
+            base.limits, execution=base.execution
+        )
+    seed_facts = _decode_fact_blocks(inbound, seed_blocks)
+    # The magic program reads the served relations as its EDB; restricting
+    # the input to exactly those names keeps the goal's adorned/magic
+    # relations from colliding with anything resident.
+    source = Instance()
+    for name in program.edb_relation_names():
+        if name in instance.relation_names:
+            source.set_relation_rows(name, set(instance.relation(name)))
+    statistics = EvaluationStatistics()
+    result = evaluate_program(
+        program,
+        source,
+        base.limits,
+        execution=base.execution,
+        statistics=statistics,
+        seed_facts=seed_facts,
+        evaluators=evaluators,
+    )
+    outbound: WireEncoder = _WORKER["outbound"]
+    packer = _BlockPacker()
+    for name in result.relation_names:
+        for row in result.relation(name):
+            packer.add(name, outbound.encode_row(row))
+    return (
+        outbound.take_defs(),
+        packer.blocks(),
+        {name: getattr(statistics, name) for name in _ROUND_COUNTERS},
+    )
 
 
 class ProcessExecutor(ParallelExecutor):
@@ -634,10 +1150,20 @@ class ProcessExecutor(ParallelExecutor):
         shard_count: int,
         *,
         min_round_rows: int = 64,
+        max_backlog_rows: int = 8192,
         measure_payloads: bool = False,
     ):
         super().__init__(shard_count)
+        #: Rounds whose total frontier is below this run on the parent
+        #: in-process (pickling would dwarf the work); tunable so the
+        #: benchmarks can force every round through the workers.
         self.min_round_rows = min_round_rows
+        #: ... unless a worker's catch-up queue has grown past this many
+        #: rows, in which case the round dispatches anyway to drain it.
+        self.max_backlog_rows = max_backlog_rows
+        #: How many rounds the fallback heuristic kept on the parent — the
+        #: observability knob for tuning the two thresholds above.
+        self.parent_fallback_rounds = 0
         self.measure_payloads = measure_payloads
         #: Accumulated pickled bytes of every shipped batch, in the interned
         #: wire form actually sent and in the self-describing nested form the
@@ -647,6 +1173,11 @@ class ProcessExecutor(ParallelExecutor):
         self._pools: "list | None" = None
         self._spec: "ShardingSpec | None" = None
         self._partitioned = False
+        self._modes: "tuple[str, ...]" = ()
+        #: Deterministic exchange stats (always on): dispatched flushes and
+        #: the packed id bytes (array itemsize × slots) shipped either way.
+        self._batches = 0
+        self._bytes = 0
         #: Per home shard, the outbound-encoded rows already forwarded this
         #: stratum (router mode): ids are canonical per link, so the same
         #: foreign fact derived by two workers deduplicates here.
@@ -654,7 +1185,8 @@ class ProcessExecutor(ParallelExecutor):
         #: Per-worker ordered catch-up ops ``(added?, name, row, countable?)``
         #: not yet shipped; ``countable`` marks router-forwarded rows the
         #: receiving home worker must count as newly derived (parent-queued
-        #: rows were already counted when the parent applied them).
+        #: rows were already counted when the parent applied them).  Ops are
+        #: packed into merged segments at dispatch time.
         self._pending: "list[list[tuple[bool, str, tuple, bool]]]" = []
         #: Per-link codec state: parent→worker encoders (their ``_by_path``
         #: maps double as the re-ship cache) and worker→parent decoders.
@@ -662,11 +1194,61 @@ class ProcessExecutor(ParallelExecutor):
         self._from_worker: "list[WireDecoder]" = []
 
     def _account(self, interned, nested) -> None:
-        """Accumulate both wire forms' pickled sizes (measurement mode only)."""
+        """Accumulate both wire forms' pickled sizes (measurement mode only).
+
+        The nested baseline is pickled with memoization off (``Pickler.fast``)
+        so every row pays its full self-describing cost, as the per-row tuple
+        codec it models actually would — whole-batch memoization would let the
+        baseline intern repeated paths for free and understate the comparison.
+        """
+        import io
         import pickle
 
         self.payload_bytes_interned += len(pickle.dumps(interned, pickle.HIGHEST_PROTOCOL))
-        self.payload_bytes_nested += len(pickle.dumps(nested, pickle.HIGHEST_PROTOCOL))
+        buffer = io.BytesIO()
+        pickler = pickle.Pickler(buffer, pickle.HIGHEST_PROTOCOL)
+        pickler.fast = True
+        pickler.dump(nested)
+        self.payload_bytes_nested += buffer.tell()
+
+    def _count_dispatch(self, *block_lists) -> None:
+        """Account one parent→worker flush: a batch plus its id payload."""
+        self._batches += 1
+        for blocks in block_lists:
+            for block in blocks:
+                ids = block[-1]
+                self._bytes += ids.itemsize * len(ids)
+
+    def _count_receipt(self, *block_lists) -> None:
+        """Account a worker→parent payload (bytes only; not a dispatch)."""
+        for blocks in block_lists:
+            for block in blocks:
+                ids = block[-1]
+                self._bytes += ids.itemsize * len(ids)
+
+    def _local_mode(self, stratum_index: int) -> bool:
+        return (
+            stratum_index < len(self._modes) and self._modes[stratum_index] == "local"
+        )
+
+    def _drain_pending(self, shard: int, *, count: bool = True) -> "list[tuple]":
+        """Take shard's queued catch-up as packed segments.
+
+        *count* folds the drained rows into :meth:`take_exchanged`; router
+        mode passes ``False`` because it reports its exchange through the
+        shipped-row count instead (counting both would double-report).
+        """
+        ops = self._pending[shard]
+        self._pending[shard] = []
+        if count:
+            self._exchanged += len(ops)
+        return _pack_catchup(ops)
+
+    def take_exchange_stats(self) -> "tuple[int, int]":
+        stats = (self._batches, self._bytes)
+        self._batches = 0
+        self._bytes = 0
+        return stats
 
     def attach(
         self,
@@ -678,39 +1260,67 @@ class ProcessExecutor(ParallelExecutor):
         spec: "ShardingSpec | None" = None,
         partitioned: bool = False,
         partitions: "list[Instance] | None" = None,
+        modes: "tuple[str, ...]" = (),
     ) -> None:
         from concurrent.futures import ProcessPoolExecutor
 
         if partitioned and spec is None:
             raise EvaluationError("partitioned workers need the sharding spec")
-        self.close()
+        # Worker residency: re-attaching with the same shard count reuses
+        # the live pools (a re-init task replaces each worker's state) —
+        # respawning processes per evaluation would dwarf serving-sized
+        # work.  The pools are created bare and initialized by an explicit
+        # first task, so a respawned worker fails loudly instead of
+        # resurrecting stale initializer state.
+        reuse = self._pools is not None and len(self._pools) == self.shard_count
+        if not reuse:
+            self.close()
         self._spec = spec
         self._partitioned = partitioned
-        per_worker: "list[tuple[list[tuple], dict[str, list[tuple]]]]"
+        self._modes = tuple(modes)
+        replicated = spec.replicated if spec is not None else frozenset()
+        names = sorted(instance.relation_names)
+        per_worker: "list[tuple[list[tuple], list[str], list[tuple]]]"
         if partitioned and partitions is not None:
             # The owner already routed every row (its mirror): encode the
             # per-shard splits directly instead of hashing everything again.
+            # Replicated relations are the exception — every worker gets the
+            # authoritative full copy, not the mirror's ownership split.
             self._to_worker = [WireEncoder() for _ in range(self.shard_count)]
             per_worker = []
             for shard, shard_instance in enumerate(partitions):
                 encoder = self._to_worker[shard]
-                rows = {
-                    name: [encoder.encode_row(row) for row in shard_instance.relation(name)]
-                    for name in shard_instance.relation_names
-                }
-                per_worker.append((encoder.take_defs(), rows))
+                packer = _BlockPacker()
+                for name in shard_instance.relation_names:
+                    if name in replicated:
+                        continue
+                    for row in shard_instance.relation(name):
+                        packer.add(name, encoder.encode_row(row))
+                for name in replicated:
+                    if name not in instance.relation_names:
+                        continue
+                    for row in instance.relation(name):
+                        packer.add(name, encoder.encode_row(row))
+                per_worker.append((encoder.take_defs(), names, packer.blocks()))
         elif partitioned:
             assert spec is not None
             self._to_worker = [WireEncoder() for _ in range(self.shard_count)]
-            split: "list[dict[str, list[tuple]]]" = [{} for _ in range(self.shard_count)]
+            packers = [_BlockPacker() for _ in range(self.shard_count)]
             for name in instance.relation_names:
+                if name in replicated:
+                    for shard in range(self.shard_count):
+                        encoder = self._to_worker[shard]
+                        for row in instance.relation(name):
+                            packers[shard].add(name, encoder.encode_row(row))
+                    continue
                 for shard, rows in enumerate(
                     spec.partition_rows(name, instance.relation(name))
                 ):
                     encoder = self._to_worker[shard]
-                    split[shard][name] = [encoder.encode_row(row) for row in rows]
+                    for row in rows:
+                        packers[shard].add(name, encoder.encode_row(row))
             per_worker = [
-                (self._to_worker[shard].take_defs(), split[shard])
+                (self._to_worker[shard].take_defs(), names, packers[shard].blocks())
                 for shard in range(self.shard_count)
             ]
         else:
@@ -718,31 +1328,44 @@ class ProcessExecutor(ParallelExecutor):
             # with the same interned state (the shared snapshot defines the
             # same ids on every link).
             prototype = WireEncoder()
-            rows = {
-                name: [prototype.encode_row(row) for row in instance.relation(name)]
-                for name in instance.relation_names
-            }
-            snapshot = (prototype.take_defs(), rows)
+            packer = _BlockPacker()
+            for name in instance.relation_names:
+                for row in instance.relation(name):
+                    packer.add(name, prototype.encode_row(row))
+            snapshot = (prototype.take_defs(), names, packer.blocks())
             self._to_worker = [prototype.clone() for _ in range(self.shard_count)]
             per_worker = [snapshot] * self.shard_count
         self._from_worker = [WireDecoder() for _ in range(self.shard_count)]
-        if self.measure_payloads:
-            for shard in range(self.shard_count):
-                defs, rows = per_worker[shard]
+        for shard in range(self.shard_count):
+            defs, _names, blocks = per_worker[shard]
+            self._count_dispatch([*blocks])
+            if self.measure_payloads:
+                # The nested baseline is self-describing per-row tuples: no
+                # definition prefix, every row pays its full nested form.
                 encoder = self._to_worker[shard]
-                nested = {
-                    name: [encoder.def_row(row) for row in id_rows]
-                    for name, id_rows in rows.items()
-                }
-                self._account((defs, rows), nested)
-        self._pools = [
-            ProcessPoolExecutor(
-                max_workers=1,
-                initializer=_worker_init,
-                initargs=(program, limits, execution, per_worker[shard], spec, shard, partitioned),
+                self._account(
+                    (defs, names, blocks), (names, _nested_blocks(encoder, blocks))
+                )
+        if not reuse:
+            self._pools = [
+                ProcessPoolExecutor(max_workers=1) for _ in range(self.shard_count)
+            ]
+        assert self._pools is not None
+        futures = [
+            pool.submit(
+                _worker_init,
+                program,
+                limits,
+                execution,
+                per_worker[shard],
+                spec,
+                shard,
+                partitioned,
             )
-            for shard in range(self.shard_count)
+            for shard, pool in enumerate(self._pools)
         ]
+        for future in futures:
+            future.result()
         self._pending = [[] for _ in range(self.shard_count)]
 
     def sync(
@@ -760,14 +1383,24 @@ class ProcessExecutor(ParallelExecutor):
             # cross-shard exchange in its literal sense.  Removals broadcast:
             # besides the home partition they must clear every worker's
             # exported-fact memory, or a later re-derivation of the removed
-            # fact would be silently suppressed.
+            # fact would be silently suppressed.  Replicated-relation adds
+            # broadcast too: every worker holds the full copy, and a
+            # local-mode delta pivot is only complete if every worker sees
+            # the new row.
             assert self._spec is not None
+            replicated = self._spec.replicated
             for fact in removed:
                 for shard, queue in enumerate(self._pending):
                     queue.append(
                         (False, fact.relation, encoders[shard].encode_row(fact.paths), False)
                     )
             for fact in added:
+                if fact.relation in replicated:
+                    for shard, queue in enumerate(self._pending):
+                        queue.append(
+                            (True, fact.relation, encoders[shard].encode_row(fact.paths), False)
+                        )
+                    continue
                 home = self._spec.shard_of_fact(fact)
                 if derived_by is not None and fact in derived_by[home]:
                     continue  # its home worker derived (and kept) it already
@@ -794,58 +1427,261 @@ class ProcessExecutor(ParallelExecutor):
             raise EvaluationError("ProcessExecutor.round called before attach()")
         total = sum(len(part) for part in frontier_parts)
         backlog = max((len(queue) for queue in self._pending), default=0)
-        if total < self.min_round_rows and backlog < 8192:
-            return None  # parent runs this round in-process; catch-up stays queued
+        if total < self.min_round_rows and backlog < self.max_backlog_rows:
+            # Parent runs this round in-process; catch-up stays queued.
+            self.parent_fallback_rounds += 1
+            return None
+        local = self._local_mode(stratum_index)
         futures = []
         for shard, pool in enumerate(self._pools):
             encoder = self._to_worker[shard]
-            catchup = self._pending[shard]
-            self._pending[shard] = []
-            self._exchanged += len(catchup)
-            frontier: "dict[str, list[tuple]]" = {}
-            for fact in frontier_parts[shard]:
-                frontier.setdefault(fact.relation, []).append(
-                    encoder.encode_row(fact.paths)
-                )
+            catchup = self._drain_pending(shard)
+            frontier = _encode_fact_blocks(encoder, frontier_parts[shard])
             defs = encoder.take_defs()
+            self._count_dispatch(catchup, frontier)
             if self.measure_payloads:
                 self._account(
                     (defs, catchup, frontier),
-                    (
-                        [
-                            (added, name, encoder.def_row(row), countable)
-                            for added, name, row, countable in catchup
-                        ],
-                        {
-                            name: [encoder.def_row(row) for row in rows]
-                            for name, rows in frontier.items()
-                        },
-                    ),
+                    (_nested_blocks(encoder, catchup), _nested_blocks(encoder, frontier)),
                 )
             futures.append(
-                pool.submit(_worker_round, defs, catchup, stratum_index, frontier)
+                pool.submit(_worker_round, defs, catchup, stratum_index, frontier, local)
             )
         results: "list[set[Fact]]" = []
         for shard, future in enumerate(futures):
-            defs, new_rows, counters = future.result()
+            defs, blocks, counters = future.result()
             decoder = self._from_worker[shard]
             decoder.absorb(defs)
             _merge_counters(stats_parts[shard], counters)
+            self._count_receipt(blocks)
+            if self.measure_payloads:
+                self._account((defs, blocks), _nested_blocks(decoder, blocks))
+            results.append(_decode_fact_blocks(decoder, blocks))
+        return results
+
+    def run_stratum(
+        self,
+        stratum_index: int,
+        frontier_parts: "list[set[Fact]]",
+        stats_parts: "list[EvaluationStatistics]",
+    ) -> "tuple[list[set[Fact]], int] | None":
+        if (
+            self._pools is None
+            or not self._partitioned
+            or not self._local_mode(stratum_index)
+        ):
+            return None
+        total = sum(len(part) for part in frontier_parts)
+        backlog = max((len(queue) for queue in self._pending), default=0)
+        if total < self.min_round_rows and backlog < self.max_backlog_rows:
+            self.parent_fallback_rounds += 1
+            return None
+        futures = {}
+        for shard, pool in enumerate(self._pools):
+            if not frontier_parts[shard] and not self._pending[shard]:
+                continue
+            encoder = self._to_worker[shard]
+            catchup = self._drain_pending(shard)
+            frontier = _encode_fact_blocks(encoder, frontier_parts[shard])
+            defs = encoder.take_defs()
+            self._count_dispatch(catchup, frontier)
             if self.measure_payloads:
                 self._account(
-                    (defs, new_rows),
-                    [(name, decoder.def_row(row)) for name, row in new_rows],
+                    (defs, catchup, frontier),
+                    (_nested_blocks(encoder, catchup), _nested_blocks(encoder, frontier)),
                 )
-            results.append(
-                {Fact(name, decoder.decode_row(row)) for name, row in new_rows}
+            futures[shard] = pool.submit(
+                _worker_run_stratum, defs, catchup, stratum_index, frontier
             )
-        return results
+        results: "list[set[Fact]]" = [set() for _ in range(self.shard_count)]
+        rounds = 0
+        for shard, future in futures.items():
+            defs, blocks, counters, worker_rounds = future.result()
+            decoder = self._from_worker[shard]
+            decoder.absorb(defs)
+            _merge_counters(stats_parts[shard], counters)
+            self._count_receipt(blocks)
+            if self.measure_payloads:
+                self._account((defs, blocks), _nested_blocks(decoder, blocks))
+            results[shard] = _decode_fact_blocks(decoder, blocks)
+            rounds = max(rounds, worker_rounds)
+        return results, rounds
+
+    def dred(
+        self,
+        stratum_index: int,
+        changed: "dict[str, tuple[set, set]]",
+        seed_parts: "list[set[Fact]]",
+        pinned_parts: "list[set[Fact]]",
+        stats_parts: "list[EvaluationStatistics]",
+    ) -> "tuple[list[tuple[set[Fact], set[Fact]]], int] | None":
+        if (
+            self._pools is None
+            or not self._partitioned
+            or not self._local_mode(stratum_index)
+        ):
+            return None
+        total = sum(len(part) for part in seed_parts)
+        backlog = max((len(queue) for queue in self._pending), default=0)
+        if total < self.min_round_rows and backlog < self.max_backlog_rows:
+            self.parent_fallback_rounds += 1
+            return None
+        futures = {}
+        for shard, pool in enumerate(self._pools):
+            if not seed_parts[shard]:
+                # No removed seeds homed here means no overdeletion can
+                # start here; queued catch-up stays for the next dispatch.
+                continue
+            encoder = self._to_worker[shard]
+            catchup = self._drain_pending(shard)
+            added_packer = _BlockPacker()
+            removed_packer = _BlockPacker()
+            for name, (added_rows, removed_rows) in changed.items():
+                for row in added_rows:
+                    added_packer.add(name, encoder.encode_row(row))
+                for row in removed_rows:
+                    removed_packer.add(name, encoder.encode_row(row))
+            added_blocks = added_packer.blocks()
+            removed_blocks = removed_packer.blocks()
+            seeds = _encode_fact_blocks(encoder, seed_parts[shard])
+            pinned = _encode_fact_blocks(encoder, pinned_parts[shard])
+            defs = encoder.take_defs()
+            self._count_dispatch(catchup, added_blocks, removed_blocks, seeds, pinned)
+            if self.measure_payloads:
+                self._account(
+                    (defs, catchup, added_blocks, removed_blocks, seeds, pinned),
+                    (
+                        _nested_blocks(encoder, catchup),
+                        _nested_blocks(encoder, added_blocks),
+                        _nested_blocks(encoder, removed_blocks),
+                        _nested_blocks(encoder, seeds),
+                        _nested_blocks(encoder, pinned),
+                    ),
+                )
+            futures[shard] = pool.submit(
+                _worker_dred,
+                defs,
+                catchup,
+                stratum_index,
+                added_blocks,
+                removed_blocks,
+                seeds,
+                pinned,
+            )
+        results: "list[tuple[set[Fact], set[Fact]]]" = [
+            (set(), set()) for _ in range(self.shard_count)
+        ]
+        rounds = 0
+        for shard, future in futures.items():
+            defs, over_blocks, reder_blocks, counters, worker_rounds = future.result()
+            decoder = self._from_worker[shard]
+            decoder.absorb(defs)
+            _merge_counters(stats_parts[shard], counters)
+            self._count_receipt(over_blocks, reder_blocks)
+            if self.measure_payloads:
+                self._account(
+                    (defs, over_blocks, reder_blocks),
+                    (
+                        _nested_blocks(decoder, over_blocks),
+                        _nested_blocks(decoder, reder_blocks),
+                    ),
+                )
+            results[shard] = (
+                _decode_fact_blocks(decoder, over_blocks),
+                _decode_fact_blocks(decoder, reder_blocks),
+            )
+            rounds = max(rounds, worker_rounds)
+        return results, rounds
+
+    def repartition(self, keys: "dict[str, int]", rows_by_name: "dict[str, Collection]") -> None:
+        if self._pools is None:
+            return
+        assert self._spec is not None
+        # The caller already updated the spec's key table; split under the
+        # *new* keys once, then ship each worker its whole new partition of
+        # every rekeyed relation (with the catch-up queues drained first, so
+        # the wholesale replacement lands on an up-to-date view).
+        parts_by_name = {
+            name: self._spec.partition_rows(name, rows)
+            for name, rows in rows_by_name.items()
+        }
+        futures = []
+        for shard, pool in enumerate(self._pools):
+            encoder = self._to_worker[shard]
+            catchup = self._drain_pending(shard)
+            packer = _BlockPacker()
+            moved = 0
+            for name, parts in parts_by_name.items():
+                for row in parts[shard]:
+                    packer.add(name, encoder.encode_row(row))
+                    moved += 1
+            blocks = packer.blocks()
+            defs = encoder.take_defs()
+            self._exchanged += moved
+            self._count_dispatch(catchup, blocks)
+            if self.measure_payloads:
+                self._account(
+                    (defs, catchup, dict(keys), blocks),
+                    (_nested_blocks(encoder, catchup), _nested_blocks(encoder, blocks)),
+                )
+            futures.append(
+                pool.submit(_worker_repartition, defs, catchup, dict(keys), blocks)
+            )
+        for future in futures:
+            future.result()
+
+    def run_goal(
+        self,
+        shard: int,
+        program: Program,
+        seed_facts: "Collection[Fact]",
+        stats: EvaluationStatistics,
+    ) -> "dict[str, set]":
+        """Evaluate a goal's magic *program* on the resident worker for *shard*.
+
+        Drains only that worker's catch-up queue (the others stay lazy),
+        ships the magic seeds, and returns the decoded result rows per
+        relation.  The worker caches the program's evaluators, so repeated
+        goals of the same shape skip plan compilation entirely.
+        """
+        if self._pools is None:
+            raise EvaluationError("ProcessExecutor.run_goal called before attach()")
+        pool = self._pools[shard]
+        encoder = self._to_worker[shard]
+        catchup = self._drain_pending(shard)
+        seeds = _encode_fact_blocks(encoder, seed_facts)
+        defs = encoder.take_defs()
+        self._count_dispatch(catchup, seeds)
+        if self.measure_payloads:
+            self._account(
+                (defs, catchup, seeds),
+                (_nested_blocks(encoder, catchup), _nested_blocks(encoder, seeds)),
+            )
+        future = pool.submit(_worker_run_goal, defs, catchup, program, seeds)
+        defs, blocks, counters = future.result()
+        decoder = self._from_worker[shard]
+        decoder.absorb(defs)
+        _merge_counters(stats, counters)
+        self._count_receipt(blocks)
+        if self.measure_payloads:
+            self._account((defs, blocks), _nested_blocks(decoder, blocks))
+        rows: "dict[str, set]" = {}
+        for name, arity, count, ids in blocks:
+            rows.setdefault(name, set()).update(
+                _decode_block_rows(decoder, arity, count, ids)
+            )
+        return rows
 
     # -- router mode (partitioned builds) ----------------------------------------------
 
     @property
     def supports_router(self) -> bool:
         """Whether whole-stratum router-mode fixpoints can run here."""
+        return self._pools is not None and self._partitioned
+
+    @property
+    def supports_worker_goals(self) -> bool:
+        """Partition-local goal queries run on resident workers when partitioned."""
         return self._pools is not None and self._partitioned
 
     def pending_rows(self, shard: int) -> int:
@@ -882,22 +1718,16 @@ class ProcessExecutor(ParallelExecutor):
         futures = {}
         for shard in active:
             encoder = self._to_worker[shard]
-            catchup = self._pending[shard]
-            self._pending[shard] = []
+            # No exchanged-row count here: router mode reports its exchange
+            # via the returned `shipped` count — adding the catch-up
+            # deliveries would double-count every routed row, and leaving
+            # them queued in the counter would leak the whole build into the
+            # next propagate()'s take_exchanged().
+            catchup = self._drain_pending(shard, count=False)
             defs = encoder.take_defs()
-            # No self._exchanged here: router mode reports its exchange via
-            # the returned `shipped` count — adding the catch-up deliveries
-            # would double-count every routed row, and leaving them queued in
-            # the counter would leak the whole build into the next
-            # propagate()'s take_exchanged().
+            self._count_dispatch(catchup)
             if self.measure_payloads:
-                self._account(
-                    (defs, catchup),
-                    [
-                        (added, name, encoder.def_row(row), countable)
-                        for added, name, row, countable in catchup
-                    ],
-                )
+                self._account((defs, catchup), _nested_blocks(encoder, catchup))
             futures[shard] = self._pools[shard].submit(
                 _worker_router_round, defs, catchup, stratum_index
             )
@@ -909,25 +1739,24 @@ class ProcessExecutor(ParallelExecutor):
             decoder = self._from_worker[shard]
             decoder.absorb(defs)
             _merge_counters(stats_parts[shard], counters)
+            self._count_receipt(ships)
             if self.measure_payloads:
-                self._account(
-                    (defs, ships),
-                    [(home, name, decoder.def_row(row)) for home, name, row in ships],
-                )
+                self._account((defs, ships), _nested_blocks(decoder, ships))
             counted[shard] = counted_new
             frontier_left[shard] = left
-            for home, name, row in ships:
+            for home, name, arity, count, ids in ships:
                 home_encoder = self._to_worker[home]
-                out_row = tuple(
-                    home_encoder.def_id(decoder.definition(ident)) for ident in row
-                )
-                key = (name, out_row)
                 routed = self._routed[home]
-                if key in routed:
-                    continue
-                routed.add(key)
-                self._pending[home].append((True, name, out_row, True))
-                shipped += 1
+                for row in _iter_id_rows(arity, count, ids):
+                    out_row = tuple(
+                        home_encoder.def_id(decoder.definition(ident)) for ident in row
+                    )
+                    key = (name, out_row)
+                    if key in routed:
+                        continue
+                    routed.add(key)
+                    self._pending[home].append((True, name, out_row, True))
+                    shipped += 1
         return counted, frontier_left, shipped
 
     def router_dump(self, names: "list[str]") -> "list[dict[str, list[tuple[Path, ...]]]]":
@@ -936,23 +1765,18 @@ class ProcessExecutor(ParallelExecutor):
         futures = [pool.submit(_worker_router_dump, names) for pool in self._pools]
         dumps: "list[dict[str, list[tuple[Path, ...]]]]" = []
         for shard, future in enumerate(futures):
-            defs, rows = future.result()
+            defs, blocks = future.result()
             decoder = self._from_worker[shard]
             decoder.absorb(defs)
+            self._count_receipt(blocks)
             if self.measure_payloads:
-                self._account(
-                    (defs, rows),
-                    {
-                        name: [decoder.def_row(row) for row in id_rows]
-                        for name, id_rows in rows.items()
-                    },
+                self._account((defs, blocks), _nested_blocks(decoder, blocks))
+            dump: "dict[str, list[tuple[Path, ...]]]" = {}
+            for name, arity, count, ids in blocks:
+                dump.setdefault(name, []).extend(
+                    _decode_block_rows(decoder, arity, count, ids)
                 )
-            dumps.append(
-                {
-                    name: [decoder.decode_row(row) for row in id_rows]
-                    for name, id_rows in rows.items()
-                }
-            )
+            dumps.append(dump)
         return dumps
 
     def close(self) -> None:
@@ -964,6 +1788,7 @@ class ProcessExecutor(ParallelExecutor):
             self._to_worker = []
             self._from_worker = []
             self._routed = []
+            self._modes = ()
 
 
 # -- the sharded fixpoint --------------------------------------------------------------
@@ -1000,6 +1825,7 @@ class ShardedFixpoint:
         *,
         execution: ExecutionMode = "indexed",
         evaluators: "ProgramEvaluators | None" = None,
+        plan: "ShardingPlan | None" = None,
     ):
         if executor is None:
             executor = SequentialExecutor(spec.shard_count)
@@ -1022,11 +1848,19 @@ class ShardedFixpoint:
         self.limits = limits
         self.execution: ExecutionMode = execution
         self.evaluators = evaluators
-        #: Whether every join of the program is key-aligned under the spec:
-        #: process workers then own bare partitions (1/N of the data, and
-        #: only genuinely cross-shard rows exchanged) instead of full
-        #: replicas.  Misaligned programs stay correct via replication.
-        self.partitioned = joins_are_key_aligned(program, spec.keys)
+        #: The per-stratum sharding plan.  When the caller hands over a
+        #: consumer-aligned plan (:func:`~repro.storage.partition.choose_sharding_plan`)
+        #: its modes, replication set, and repartition steps drive the
+        #: execution; otherwise :func:`~repro.storage.partition.plan_for_spec`
+        #: derives the modes the given spec supports, which reproduces the
+        #: legacy aligned-or-replicated behaviour exactly.
+        self.plan = plan if plan is not None else plan_for_spec(program, spec)
+        #: Whether every stratum runs sound on bare partitions under the
+        #: spec: process workers then own 1/N of the data (plus full copies
+        #: of the plan's replicated relations), and only genuinely
+        #: cross-shard rows are exchanged.  Otherwise workers keep full
+        #: replicas, which is always correct.
+        self.partitioned = self.plan.partitioned
         #: The partitioned mirror of the instance being evaluated (set by
         #: :meth:`attach`); the serving layer reads shard sizes off it.
         self.sharded: "ShardedInstance | None" = None
@@ -1039,6 +1873,12 @@ class ShardedFixpoint:
 
     def attach(self, current: Instance) -> None:
         """Bind this fixpoint (mirror, workers, counters) to *current*."""
+        if self.plan.repartitions:
+            # Per-stratum repartition steps mutate the spec's key table as
+            # strata enter; every fresh evaluation starts from the plan's
+            # entry keys again.
+            self.spec.keys.clear()
+            self.spec.keys.update(self.plan.keys)
         self.sharded = ShardedInstance.from_instance(current, self.spec)
         self.per_shard_extension_attempts = [0] * self.spec.shard_count
         self.executor.attach(
@@ -1049,6 +1889,7 @@ class ShardedFixpoint:
             spec=self.spec,
             partitioned=self.partitioned,
             partitions=self.sharded.shards,
+            modes=self.plan.modes,
         )
 
     def absorb(self, added: "Collection[Fact]", removed: "Collection[Fact]" = ()) -> None:
@@ -1110,6 +1951,7 @@ class ShardedFixpoint:
         delta restriction never fires them, so they run once upfront.
         """
         stratum = self.program.strata[index]
+        self._maybe_repartition(index, current, statistics)
         for rule in stratum:
             current.ensure_relation(rule.head.name)
         bootstrap: set[Fact] = set()
@@ -1137,6 +1979,57 @@ class ShardedFixpoint:
         }
         rounds, _ = self.propagate(index, current, delta, statistics)
         return max(rounds, 1)
+
+    def _maybe_repartition(
+        self, index: int, current: Instance, statistics: EvaluationStatistics
+    ) -> None:
+        """Execute the plan's repartition step for stratum *index*, if it pays.
+
+        A one-shot exchange at stratum entry: the spec's key table adopts
+        the stratum-local keys, the mirror re-splits the rekeyed relations,
+        and the executor wholesale-replaces the worker partitions (draining
+        the catch-up queues first).  The cost gate compares the rows that
+        would move against the stratum's body size — repartitioning a huge
+        relation to save a small stratum's exchange never pays.
+        """
+        changes = self.plan.repartitions.get(index)
+        if not changes:
+            return
+        live = {
+            name: key
+            for name, key in changes.items()
+            if self.spec.keys.get(name) != key
+        }
+        if not live:
+            return
+        stratum = self.program.strata[index]
+        body_rows = sum(
+            len(current.relation(name))
+            for name in stratum.body_relation_names()
+            if name in current.relation_names
+        )
+        move_rows = sum(
+            len(current.relation(name))
+            for name in live
+            if name in current.relation_names
+        )
+        if not repartition_pays(move_rows, body_rows, self.spec.shard_count):
+            return
+        rows_by_name = {
+            name: (
+                set(current.relation(name))
+                if name in current.relation_names
+                else set()
+            )
+            for name in live
+        }
+        self.spec.keys.update(live)
+        assert self.sharded is not None
+        for name, rows in rows_by_name.items():
+            for shard, part in enumerate(self.spec.partition_rows(name, rows)):
+                self.sharded.shards[shard].set_relation_rows(name, set(part))
+        self.executor.repartition(live, rows_by_name)
+        self._drain_exchange(statistics)
 
     def _router_stratum(
         self,
@@ -1190,6 +2083,7 @@ class ShardedFixpoint:
             for shard_instance in self.sharded.shards:
                 merged |= shard_instance.relation(name)
             current.set_relation_rows(name, merged)
+        self._drain_exchange(statistics)
         return iterations
 
     def propagate(
@@ -1214,7 +2108,14 @@ class ShardedFixpoint:
             raise EvaluationError("ShardedFixpoint.propagate called before attach()")
         iterations = iterations_before
         added: set[Fact] = set()
-        parts = self.spec.partition_facts(delta_facts)
+        parts = self._delta_parts(index, delta_facts)
+        if any(parts):
+            resident = self._propagate_resident(index, current, parts, statistics)
+            if resident is not None:
+                rounds, net = resident
+                if collect:
+                    added |= net
+                return rounds, added
         while any(parts):
             iterations += 1
             self.limits.check_iterations(iterations)
@@ -1254,7 +2155,146 @@ class ShardedFixpoint:
             statistics.cross_shard_facts += self.executor.take_exchanged()
             if collect:
                 added |= net
+        self._drain_exchange(statistics)
         return iterations - iterations_before, added
+
+    def _delta_parts(self, index: int, delta_facts: "set[Fact]") -> "list[set[Fact]]":
+        """Partition an update delta for stratum *index* by home shard.
+
+        In ``local`` mode on partitioned process workers, replicated-
+        relation facts must reach *every* worker — a local-mode pivot is
+        only complete where the valuation's home rows live, and only the
+        broadcast guarantees the owning worker sees the delta.  In-process
+        executors share the authoritative instance, so ownership routing is
+        always complete (and avoids pivoting the same row N times).
+        """
+        if (
+            self.partitioned
+            and self.spec.replicated
+            and self.executor.kind == "process"
+            and self.plan.mode(index) == "local"
+        ):
+            return self.spec.delta_parts(delta_facts)
+        return self.spec.partition_facts(delta_facts)
+
+    def _propagate_resident(
+        self,
+        index: int,
+        current: Instance,
+        parts: "list[set[Fact]]",
+        statistics: EvaluationStatistics,
+    ) -> "tuple[int, set[Fact]] | None":
+        """Run the whole cascade worker-resident, or ``None`` to fall back.
+
+        One dispatch per worker instead of one per round: each worker
+        chases its frontier to a local fixpoint (sound for ``local``-mode
+        strata) and returns only its net-new home facts.
+        """
+        stats_parts = [EvaluationStatistics() for _ in range(self.spec.shard_count)]
+        outcome = self.executor.run_stratum(index, parts, stats_parts)
+        if outcome is None:
+            return None
+        results, rounds = outcome
+        assert self.sharded is not None
+        net: set[Fact] = set()
+        for shard_new in results:
+            for fact in shard_new:
+                name = fact.relation
+                storage = current.storage(name)
+                if storage is None:
+                    current.ensure_relation(name)
+                    storage = current.storage(name)
+                if not storage.add(fact.paths):
+                    continue
+                net.add(fact)
+                home = self.spec.shard_of_fact(fact)
+                mirror = self.sharded.shards[home]
+                mirror.ensure_relation(name)
+                mirror.storage(name).add(fact.paths)
+        for shard, shard_stats in enumerate(stats_parts):
+            self.per_shard_extension_attempts[shard] += shard_stats.extension_attempts
+            statistics.absorb_counters(shard_stats)
+        statistics.facts_derived += len(net)
+        statistics.shard_rounds += rounds
+        self.limits.check_fact_count(current.fact_count())
+        self.executor.sync(net, derived_by=results)
+        statistics.cross_shard_facts += self.executor.take_exchanged()
+        self._drain_exchange(statistics)
+        return max(rounds, 1), net
+
+    def dred_stratum(
+        self,
+        index: int,
+        changed: "dict[str, tuple[set, set]]",
+        seeds: "set[Fact]",
+        pinned: "Collection[Fact]",
+        statistics: EvaluationStatistics,
+    ) -> "tuple[set[Fact], set[Fact]] | None":
+        """Run DRed's overdeletion + rederivation shard-parallel, or ``None``.
+
+        Routes the removed-fact seeds (replicated relations broadcast, the
+        overdeletion pivot must run where the affected valuations live) and
+        the per-shard pinned facts to the workers; each runs the cascade
+        and the rederivation probes against its resident partition.  The
+        caller applies the returned facts to the authoritative instance
+        only: every returned fact is a home row of the worker that reported
+        it (local-mode strata never derive foreign rows), so the worker
+        replicas are already up to date and no catch-up is queued — this
+        method maintains the parent-side mirror itself.
+        """
+        if self.sharded is None:
+            return None
+        seed_parts = self.spec.delta_parts(seeds)
+        pinned_parts = self.spec.partition_facts(pinned)
+        stats_parts = [EvaluationStatistics() for _ in range(self.spec.shard_count)]
+        outcome = self.executor.dred(
+            index, changed, seed_parts, pinned_parts, stats_parts
+        )
+        if outcome is None:
+            return None
+        results, rounds = outcome
+        overdeleted: set[Fact] = set()
+        rederived: set[Fact] = set()
+        for shard_over, shard_reder in results:
+            overdeleted |= shard_over
+            rederived |= shard_reder
+        for fact in overdeleted:
+            self.sharded.discard_fact(fact)
+        for fact in rederived:
+            self.sharded.add_fact(fact)
+        for shard, shard_stats in enumerate(stats_parts):
+            self.per_shard_extension_attempts[shard] += shard_stats.extension_attempts
+            statistics.absorb_counters(shard_stats)
+        statistics.maintenance_rounds += rounds + (1 if overdeleted else 0)
+        statistics.facts_derived += len(rederived)
+        statistics.cross_shard_facts += self.executor.take_exchanged()
+        self._drain_exchange(statistics)
+        return overdeleted, rederived
+
+    def run_goal(
+        self,
+        shard: int,
+        program: Program,
+        seed_facts: "Collection[Fact]",
+        statistics: EvaluationStatistics,
+    ) -> "dict[str, set] | None":
+        """Evaluate a goal program on the resident worker owning *shard*.
+
+        Returns the result rows per relation, or ``None`` when the executor
+        has no resident workers (the caller evaluates parent-side).  Only
+        sound when the goal's shard footprint is exactly ``{shard}``.
+        """
+        if not self.executor.supports_worker_goals:
+            return None
+        rows = self.executor.run_goal(shard, program, seed_facts, statistics)
+        self._drain_exchange(statistics)
+        return rows
+
+    def _drain_exchange(self, statistics: EvaluationStatistics) -> None:
+        """Fold the executor's batch/byte exchange counters into *statistics*."""
+        batches, payload = self.executor.take_exchange_stats()
+        statistics.exchange_batches += batches
+        statistics.exchanged_bytes += payload
 
     def _local_round(
         self,

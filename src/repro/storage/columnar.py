@@ -248,6 +248,22 @@ class ColumnarView:
     def __len__(self) -> int:
         return len(self.id_rows)
 
+    def extended(self, rows: Iterable[tuple], arity: "int | None") -> "ColumnarView":
+        """A fresh view holding this view's rows plus *rows*, sharing the work.
+
+        The generation-advance fast path of the compiled tier: a semi-naive
+        micro-round adds a small delta to a large relation, and rebuilding
+        the view from scratch would re-intern every unchanged row.  The
+        already-interned id rows are reused (*rows* must be disjoint from
+        them — callers advance from a net-effective change log); the lazy
+        indexes are not carried over and rebuild on first use against the
+        extended row list.
+        """
+        view = ColumnarView((), arity, self.table)
+        intern_row = self.table.intern_row
+        view.id_rows = self.id_rows + [intern_row(row) for row in rows]
+        return view
+
     def column(self, position: int) -> array:
         """The packed int array of ids at *position*, one entry per row."""
         col = self._columns.get(position)

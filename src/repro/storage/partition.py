@@ -39,9 +39,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (model imports storag
     from repro.syntax.programs import Program
 
 __all__ = [
+    "ShardingPlan",
     "ShardingSpec",
     "choose_shard_keys",
+    "choose_sharding_plan",
     "joins_are_key_aligned",
+    "plan_for_spec",
+    "repartition_pays",
     "stable_hash_path",
     "stable_hash_row",
 ]
@@ -87,15 +91,27 @@ class ShardingSpec:
     (a relation used at several arities never passes validation upstream,
     but transient delta rows should not crash routing) also fall back to the
     row hash.
+
+    ``replicated`` names relations whose rows every worker holds in full (a
+    broadcast replica) in addition to the usual home routing.  Replicated
+    rows still *have* a home shard — ownership decides which worker seeds a
+    row into a fixpoint frontier and keeps the mirror partitions disjoint —
+    but reads of a replicated relation never need to cross shards.
     """
 
-    __slots__ = ("shard_count", "keys")
+    __slots__ = ("shard_count", "keys", "replicated")
 
-    def __init__(self, shard_count: int, keys: "Mapping[str, int | None] | None" = None):
+    def __init__(
+        self,
+        shard_count: int,
+        keys: "Mapping[str, int | None] | None" = None,
+        replicated: "Iterable[str]" = (),
+    ):
         if shard_count < 1:
             raise ValueError(f"shard_count must be at least 1, got {shard_count}")
         self.shard_count = shard_count
         self.keys: dict[str, int | None] = dict(keys or {})
+        self.replicated: frozenset[str] = frozenset(replicated)
 
     def key_for(self, relation: str) -> "int | None":
         """The shard-key argument position of *relation* (``None`` = row hash)."""
@@ -130,8 +146,25 @@ class ShardingSpec:
             parts[self.shard_of_fact(fact)].add(fact)
         return parts
 
+    def delta_parts(self, facts: "Iterable[Fact]") -> "list[set[Fact]]":
+        """Route a delta for shard-parallel pivoting: replicated facts go to
+        *every* part (each worker joins them against its own partition; only
+        the union of all workers' reads covers the relation), the rest to
+        their home shard only."""
+        parts: "list[set[Fact]]" = [set() for _ in range(self.shard_count)]
+        for fact in facts:
+            if fact.relation in self.replicated:
+                for part in parts:
+                    part.add(fact)
+            else:
+                parts[self.shard_of_fact(fact)].add(fact)
+        return parts
+
     def __repr__(self) -> str:
         keyed = {name: key for name, key in sorted(self.keys.items()) if key is not None}
+        if self.replicated:
+            replicas = ",".join(sorted(self.replicated))
+            return f"ShardingSpec({self.shard_count} shards, keys={keyed}, replicated={{{replicas}}})"
         return f"ShardingSpec({self.shard_count} shards, keys={keyed})"
 
 
@@ -205,7 +238,11 @@ def joins_are_key_aligned(program: "Program", keys: "Mapping[str, int | None]") 
     relations.  When the check fails the sharded engine falls back to full
     replicas, which are always sound.
     """
-    for rule in program.rules():
+    return _rules_are_key_aligned(program.rules(), keys)
+
+
+def _rules_are_key_aligned(rules, keys: "Mapping[str, int | None]") -> bool:
+    for rule in rules:
         predicates = []
         for literal in rule.body:
             if literal.is_predicate():
@@ -227,3 +264,278 @@ def joins_are_key_aligned(program: "Program", keys: "Mapping[str, int | None]") 
             elif items[0] != key_variable:
                 return False
     return True
+
+
+def _lone_variable(component):
+    """The component's variable when it is exactly ``@v``, else ``None``."""
+    items = component.items
+    if len(items) != 1 or isinstance(items[0], str) or not hasattr(items[0], "name"):
+        return None
+    return items[0]
+
+
+class ShardingPlan:
+    """A consumer-aligned partitioning plan for one program.
+
+    ``keys`` are the entry keys (how relations are partitioned when a
+    fixpoint starts), ``replicated`` the relations every worker holds in
+    full, ``modes`` one evaluation mode per stratum, and ``repartitions``
+    the key changes a :class:`~repro.engine.sharding.ShardedFixpoint`
+    applies as a one-shot exchange at a stratum's entry.
+
+    Stratum modes, strongest first:
+
+    * ``"local"`` — every rule's derivations land on the worker that made
+      them: each head's key component is a lone variable that every
+      non-replicated body predicate is keyed by too.  Workers never ship
+      derived rows and may run whole strata to fixpoint without a barrier.
+    * ``"aligned"`` — joins are partition-local (:func:`joins_are_key_aligned`
+      restricted to the stratum) but derived heads may home elsewhere, so
+      rows cross shards once, at derivation.
+    * ``"replicated"`` — no proof holds; workers need full replicas.
+    """
+
+    __slots__ = ("keys", "replicated", "modes", "repartitions")
+
+    def __init__(
+        self,
+        keys: "Mapping[str, int | None]",
+        replicated: "Iterable[str]" = (),
+        modes: "tuple[str, ...]" = (),
+        repartitions: "Mapping[int, Mapping[str, int | None]] | None" = None,
+    ):
+        self.keys: dict[str, int | None] = dict(keys)
+        self.replicated: frozenset[str] = frozenset(replicated)
+        self.modes = tuple(modes)
+        self.repartitions: dict[int, dict[str, int | None]] = {
+            index: dict(changes) for index, changes in (repartitions or {}).items()
+        }
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether every stratum runs against bare partitions."""
+        return all(mode != "replicated" for mode in self.modes)
+
+    def spec(self, shard_count: int) -> ShardingSpec:
+        """The routing table workers start from (entry keys + replicas)."""
+        return ShardingSpec(shard_count, self.keys, self.replicated)
+
+    def mode(self, stratum_index: int) -> str:
+        if 0 <= stratum_index < len(self.modes):
+            return self.modes[stratum_index]
+        return "replicated"
+
+    def __repr__(self) -> str:
+        keyed = {name: key for name, key in sorted(self.keys.items()) if key is not None}
+        return (
+            f"ShardingPlan(keys={keyed}, replicated={sorted(self.replicated)}, "
+            f"modes={list(self.modes)}, repartitions={self.repartitions})"
+        )
+
+
+def _consumer_scores(rules) -> "dict[str, dict[int, int]]":
+    """Score candidate shard keys by where a relation's rows are *consumed*.
+
+    :func:`choose_shard_keys` scores the producer side: the join position a
+    derived row is built from.  That keyed reachability's ``T`` by target —
+    and every recursive derivation, made on the shard of its *body* row's
+    key, was homed by its new target, so ~every derived fact crossed a shard
+    boundary.  The consumer view scores the position a row is *read through*
+    downstream, and above all the **carried** position: a body occurrence of
+    the head's own relation whose lone variable reappears at the same head
+    position.  Keying by a carried variable makes recursion sit still — the
+    worker that derives a row is the row's home — so that score dominates
+    (and is weighted by the head's fan-in: the number of rules producing the
+    relation, i.e. how much derived traffic the choice steers).
+    """
+    fan_in: dict[str, int] = {}
+    for rule in rules:
+        fan_in[rule.head.name] = fan_in.get(rule.head.name, 0) + 1
+    scores: dict[str, dict[int, int]] = {}
+    for rule in rules:
+        body_predicates = [
+            literal.atom for literal in rule.body if literal.positive and literal.is_predicate()
+        ]
+        head = rule.head
+        head_positions: dict = {}
+        for position, component in enumerate(head.components):
+            variable = _lone_variable(component)
+            if variable is not None and variable not in head_positions:
+                head_positions[variable] = position
+        weight = fan_in.get(head.name, 1)
+        for predicate in body_predicates:
+            for position, component in enumerate(predicate.components):
+                variable = _lone_variable(component)
+                if variable is None:
+                    continue
+                points = 0
+                head_position = head_positions.get(variable)
+                if head_position is not None:
+                    if predicate.name == head.name and head_position == position:
+                        points = 4 * weight  # carried: recursion stays on-shard
+                    else:
+                        points = 1
+                if any(
+                    other is not predicate and variable in other.variables()
+                    for other in body_predicates
+                ):
+                    points = max(points, 2)
+                if points:
+                    positions = scores.setdefault(predicate.name, {})
+                    positions[position] = positions.get(position, 0) + points
+    return scores
+
+
+def _keys_from_scores(names, scores) -> "dict[str, int | None]":
+    keys: "dict[str, int | None]" = {}
+    for name in names:
+        positions = scores.get(name)
+        if not positions:
+            keys[name] = None
+            continue
+        best = max(positions.items(), key=lambda item: (item[1], -item[0]))
+        keys[name] = best[0]
+    return keys
+
+
+def _stratum_local_requirements(stratum, keys, candidates):
+    """The relations that must be replicated for *stratum* to run ``local``.
+
+    Returns ``None`` when no replication choice helps.  Per rule: the head's
+    key component must be a lone variable ``v``; every positive body
+    predicate is either keyed by the same ``v`` (its partition already sits
+    with the head's home) or must be replicated — which is only sound for
+    *candidates* (relations no rule ever derives, so replicas never need
+    derived-fact broadcasts).  Negation breaks any partitioned reading.
+    """
+    head_names = stratum.head_relation_names()
+    needed: set[str] = set()
+    for rule in stratum.rules:
+        predicates = []
+        for literal in rule.body:
+            if literal.is_predicate():
+                if literal.negative:
+                    return None
+                predicates.append(literal.atom)
+        head_key = keys.get(rule.head.name)
+        if head_key is None or head_key >= len(rule.head.components):
+            return None
+        head_variable = _lone_variable(rule.head.components[head_key])
+        if head_variable is None:
+            return None
+        for predicate in predicates:
+            key = keys.get(predicate.name)
+            key_variable = None
+            if key is not None and key < len(predicate.components):
+                key_variable = _lone_variable(predicate.components[key])
+            if key_variable is not None and key_variable == head_variable:
+                continue
+            if predicate.name in head_names or predicate.name not in candidates:
+                return None
+            needed.add(predicate.name)
+    return needed
+
+
+def _stratum_mode(stratum, keys, replicated, candidates):
+    needed = _stratum_local_requirements(stratum, keys, candidates)
+    if needed is not None and needed <= replicated:
+        return "local"
+    if _rules_are_key_aligned(stratum.rules, keys):
+        return "aligned"
+    return "replicated"
+
+
+def repartition_pays(rows_to_move: int, stratum_body_rows: int, shard_count: int) -> bool:
+    """Whether re-keying relations at a stratum entry beats not doing so.
+
+    Without the repartition the stratum runs in ``replicated`` mode, which
+    forces the whole fixpoint onto full replicas: every worker receives
+    every body row once at attach (``shard_count × body_rows`` shipped) and
+    every derived fact is broadcast.  The repartition ships each moved row
+    exactly once.  The derived-fact term is unknowable up front, so the
+    model compares only the attach terms — already enough to decide, since
+    rows_to_move is itself bounded by the body rows it re-homes.
+    """
+    return rows_to_move <= shard_count * max(1, stratum_body_rows)
+
+
+def choose_sharding_plan(program: "Program") -> ShardingPlan:
+    """Plan a consumer-aligned partitioning of *program*.
+
+    Keys come from :func:`_consumer_scores` (carried positions dominate);
+    relations a ``local`` proof needs everywhere — and that no rule derives
+    — are marked replicated; each stratum is proved ``local``/``aligned``
+    independently, and a stratum that would otherwise fall back to full
+    replicas gets a repartition step re-keying its inputs by that stratum's
+    own consumer scores when that rescues a proof.  The runtime cost model
+    (:func:`repartition_pays`) decides at stratum entry whether the step
+    actually runs.
+    """
+    names = program.relation_names()
+    candidates = frozenset(program.edb_relation_names())
+    keys = _keys_from_scores(names, _consumer_scores(program.rules()))
+    strata = program.strata
+
+    replicated: set[str] = set()
+    current = dict(keys)
+    trial_keys: dict[int, dict] = {}
+    for index, stratum in enumerate(strata):
+        needed = _stratum_local_requirements(stratum, current, candidates)
+        if needed is not None:
+            replicated |= needed
+            continue
+        # No local proof under the global keys: try the stratum's own
+        # consumer-preferred keys for a repartition step.
+        preferred = _keys_from_scores(names, _consumer_scores(stratum.rules))
+        trial = dict(current)
+        trial.update(
+            {name: key for name, key in preferred.items() if key is not None}
+        )
+        trial_needed = _stratum_local_requirements(stratum, trial, candidates)
+        if trial_needed is not None or _rules_are_key_aligned(stratum.rules, trial):
+            changed = {
+                name: trial[name]
+                for name in trial
+                if trial[name] != current.get(name)
+            }
+            if changed:
+                trial_keys[index] = changed
+                current = trial
+                if trial_needed is not None:
+                    replicated |= trial_needed
+
+    frozen = frozenset(replicated)
+    modes: list[str] = []
+    repartitions: dict[int, dict] = {}
+    current = dict(keys)
+    for index, stratum in enumerate(strata):
+        changed = trial_keys.get(index)
+        if changed:
+            mode_before = _stratum_mode(stratum, current, frozen, candidates)
+            trial = dict(current)
+            trial.update(changed)
+            mode_after = _stratum_mode(stratum, trial, frozen, candidates)
+            if mode_before == "replicated" and mode_after != "replicated":
+                repartitions[index] = dict(changed)
+                current = trial
+                modes.append(mode_after)
+                continue
+        modes.append(_stratum_mode(stratum, current, frozen, candidates))
+    return ShardingPlan(keys, frozen, tuple(modes), repartitions)
+
+
+def plan_for_spec(program: "Program", spec: ShardingSpec) -> ShardingPlan:
+    """The plan an *explicitly chosen* spec implies — keys are kept as given.
+
+    Callers constructing a :class:`ShardingSpec` by hand (or from the legacy
+    :func:`choose_shard_keys`) still get per-stratum modes proved for those
+    exact keys; only relations the spec already replicates may satisfy a
+    ``local`` proof's replication needs, and no repartition steps are
+    planned.
+    """
+    replicated = spec.replicated
+    modes = tuple(
+        _stratum_mode(stratum, spec.keys, replicated, replicated)
+        for stratum in program.strata
+    )
+    return ShardingPlan(spec.keys, replicated, modes, {})

@@ -328,17 +328,33 @@ class Relation:
     def columnar(self, table: TermTable) -> ColumnarView:
         """The packed id-space view of the current generation, against *table*.
 
-        Cached per ``(table, generation)`` with the same wholesale
-        invalidation as the secondary indexes: any mutation (or a different
-        term table) rebuilds the whole view on next use.  The view interns
-        every stored path into *table*, so building it is how a relation's
-        terms enter an instance's id space.
+        Cached per ``(table, generation)``.  A stale view against the same
+        table advances *incrementally* when the change log can prove the
+        drift was pure additions (the semi-naive hot path: each micro-round
+        adds a small delta to a large relation): the new view reuses the old
+        view's interned id rows and interns only the added ones.  Removals,
+        wholesale rewrites, or a different term table rebuild the whole view,
+        which is how a relation's terms first enter an instance's id space.
+        Building a view turns the change log on, so long-lived relations —
+        a resident shard worker's partitions above all — take the
+        incremental path on every later generation bump.
         """
+        if (
+            self._columnar is not None
+            and self._columnar_table is table
+            and self._columnar_generation != self._generation
+        ):
+            changes = self.changes_since(self._columnar_generation)
+            if changes is not None and not changes[1]:
+                self._columnar = self._columnar.extended(changes[0], self.arity())
+                self._columnar_generation = self._generation
+                return self._columnar
         if (
             self._columnar is None
             or self._columnar_table is not table
             or self._columnar_generation != self._generation
         ):
+            self.watch()
             self._columnar = ColumnarView(self._rows, self.arity(), table)
             self._columnar_table = table
             self._columnar_generation = self._generation

@@ -4,6 +4,7 @@ from repro.workloads.generators import (
     all_as_instance,
     as_edge_pairs,
     layered_graph_instance,
+    power_law_graph_instance,
     prefix_tree_instance,
     random_event_log_instance,
     random_graph_instance,
@@ -21,6 +22,7 @@ __all__ = [
     "all_as_instance",
     "as_edge_pairs",
     "layered_graph_instance",
+    "power_law_graph_instance",
     "prefix_tree_instance",
     "random_event_log_instance",
     "random_graph_instance",

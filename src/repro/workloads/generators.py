@@ -25,6 +25,7 @@ __all__ = [
     "all_as_instance",
     "random_graph_instance",
     "layered_graph_instance",
+    "power_law_graph_instance",
     "prefix_tree_instance",
     "as_edge_pairs",
     "random_two_bounded_instance",
@@ -126,6 +127,41 @@ def layered_graph_instance(
     waypoints = ["a"] + [generator.choice(column) for column in columns[1:-1]] + ["b"]
     for first, second in zip(waypoints, waypoints[1:]):
         instance.add(relation, Path((first, second)))
+    return instance
+
+
+def power_law_graph_instance(
+    *,
+    relation: str = "R",
+    nodes: int = 64,
+    edges: int = 256,
+    exponent: float = 1.2,
+    seed: int = 0,
+) -> Instance:
+    """A directed graph with power-law degree skew, as length-two paths.
+
+    Endpoints are drawn by preferential attachment: each edge picks its
+    source and target with probability proportional to ``(rank+1)^-exponent``
+    over the node ranks, so a few hub nodes concentrate most of the edges.
+    This is the hostile key distribution for hash partitioning — all of a
+    hub's adjacency hashes to one shard, so balanced-work claims that hold
+    on the friendly layered graphs must be re-checked here.  Self-loops are
+    skipped (they add no reachability information and would let the
+    transitive closure grow degenerate cycles); node ``a`` is the top hub
+    and ``b`` the second, matching the reachability query's endpoints.
+    """
+    generator = random.Random(seed)
+    names = ["a", "b"] + [f"n{i}" for i in range(2, max(nodes, 2))]
+    weights = [(rank + 1) ** -exponent for rank in range(len(names))]
+    instance = Instance()
+    instance.ensure_relation(relation)
+    added = 0
+    while added < edges:
+        source, target = generator.choices(names, weights=weights, k=2)
+        if source == target:
+            continue
+        instance.add(relation, Path((source, target)))
+        added += 1
     return instance
 
 

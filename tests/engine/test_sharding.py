@@ -427,3 +427,221 @@ def test_footprint_skips_out_of_shard_updates_but_keeps_answers_exact():
         expected = query.run(session.instance.copy(), binding={0: "a"})
         assert answer.output == expected.output
         assert path("l4n4") in {row[1] for row in answer.output.relation("O")}
+
+
+# -- interned wire codec ---------------------------------------------------------------
+
+
+def test_wire_codec_roundtrip_and_batched_defs():
+    from repro.engine.sharding import WireDecoder, WireEncoder
+    from repro.model import Packed, Path
+
+    encoder = WireEncoder()
+    decoder = WireDecoder()
+    rows = [
+        (path("a"), path("b")),
+        (Path(("a", "b")), Path((Packed(Path(("a",))), "b"))),
+        (path("a"), path("a")),
+    ]
+    encoded = [encoder.encode_row(row) for row in rows]
+    decoder.absorb(encoder.take_defs())
+    assert [decoder.decode_row(ids) for ids in encoded] == rows
+    # one id per distinct path, however many rows carry it
+    assert encoded[0][0] == encoded[2][0] == encoded[2][1]
+    # a later batch ships only the definitions introduced since the last one
+    late = encoder.encode_row((path("a"), path("zz")))
+    defs = encoder.take_defs()
+    assert len(defs) == 1
+    decoder.absorb(defs)
+    assert decoder.decode_row(late) == (path("a"), path("zz"))
+    assert encoder.take_defs() == []
+    # the measurement helpers agree on the self-describing form
+    assert encoder.def_row(late) == decoder.def_row(late)
+
+
+def test_wire_encoder_clone_shares_no_state():
+    from repro.engine.sharding import WireDecoder, WireEncoder
+
+    prototype = WireEncoder()
+    shared = [(path("s"), path("t")), (path("u"),)]
+    for row in shared:
+        prototype.encode_row(row)
+    links = [prototype.clone() for _ in range(2)]
+    decoders = [WireDecoder() for _ in range(2)]
+    for encoder, decoder in zip(links, decoders):
+        decoder.absorb(encoder.take_defs())  # each link replays the snapshot
+    # divergent post-clone traffic: the links hand out the same dense id for
+    # *different* paths — id spaces are per link, so each decoder still
+    # resolves its own link's id correctly
+    left = links[0].encode_row((path("left"),))
+    right = links[1].encode_row((path("right"),))
+    assert left == right
+    decoders[0].absorb(links[0].take_defs())
+    decoders[1].absorb(links[1].take_defs())
+    assert decoders[0].decode_row(left) == (path("left"),)
+    assert decoders[1].decode_row(right) == (path("right"),)
+    # nothing leaked back into the prototype: it still ships only the
+    # snapshot definitions
+    assert len(prototype.take_defs()) == 3
+
+
+# -- mid-stream repartition ------------------------------------------------------------
+
+
+REPARTITION_PROGRAM = """
+M(@x, @y) :- E(@x, @y).
+M(@x, @z) :- M(@x, @y), F(@x, @y, @z).
+P1(@y) :- M(@x, @y), K(@y), not M(@y, @y).
+P2(@y) :- M(@x, @y), K(@y), not M(@y, @y).
+P3(@y) :- M(@x, @y), K(@y), not M(@y, @y).
+P4(@y) :- M(@x, @y), K(@y), not M(@y, @y).
+P5(@y) :- M(@x, @y), K(@y), not M(@y, @y).
+"""
+
+
+def _repartition_workload():
+    program = parse_program(REPARTITION_PROGRAM)
+    instance = Instance()
+    names = [f"n{i}" for i in range(10)]
+    for index, source in enumerate(names):
+        instance.add("E", source, names[(index + 1) % 10])
+        instance.add("F", source, names[(index + 1) % 10], names[(index + 4) % 10])
+        instance.add("K", source)
+    # seed facts make M non-empty at stratum entry, so the repartition
+    # genuinely moves rows whose definitions were shipped at attach
+    seeds = tuple(Fact("M", (path("seed"), path(name))) for name in names[:4])
+    return program, instance, seeds
+
+
+def test_repartition_mid_stream_agrees_and_rekeys():
+    """The plan re-keys M at stratum entry: rows shipped at attach are
+    wholesale re-homed through the same per-link codecs, so their id
+    definitions must survive the exchange (and re-attach must reset to the
+    plan's entry keys and do it all again)."""
+    from repro.storage import choose_sharding_plan
+
+    program, instance, seeds = _repartition_workload()
+    expected = evaluate_program(program, instance, seed_facts=seeds)
+    plan = choose_sharding_plan(program)
+    assert plan.repartitions == {0: {"M": 0}}
+    with ProcessExecutor(2, min_round_rows=0) as executor:
+        fixpoint = ShardedFixpoint(program, plan.spec(2), executor, plan=plan)
+        statistics = EvaluationStatistics()
+        assert fixpoint.evaluate(instance, seed_facts=seeds, statistics=statistics) == expected
+        assert fixpoint.sharded.merged() == expected
+        # the step adopted the stratum-local key mid-stream ...
+        assert fixpoint.spec.keys["M"] == 0
+        # ... and every M row sits in the shard its *new* key homes it to
+        for shard_index, shard in enumerate(fixpoint.sharded.shards):
+            for row in shard.relation("M"):
+                assert fixpoint.spec.shard_of_row("M", row) == shard_index
+        # a fresh evaluation restarts from the plan's entry keys
+        assert fixpoint.evaluate(instance, seed_facts=seeds) == expected
+
+
+def test_repartition_mid_stream_agrees_sequentially():
+    from repro.storage import choose_sharding_plan
+
+    program, instance, seeds = _repartition_workload()
+    expected = evaluate_program(program, instance, seed_facts=seeds)
+    plan = choose_sharding_plan(program)
+    fixpoint = ShardedFixpoint(program, plan.spec(3), plan=plan)
+    assert fixpoint.evaluate(instance, seed_facts=seeds) == expected
+
+
+# -- worker-resident DRed --------------------------------------------------------------
+
+
+def test_sharded_dred_matches_parent_dred_on_deletion_heavy_stream():
+    """Retraction-dominated updates run the overdelete/rederive phases on the
+    resident workers; the materialization must track the unsharded engine
+    exactly, without flooding the exchange."""
+    from repro.storage import choose_sharding_plan
+
+    program, instance = reachability_workload(layers=6, width=5, seed=4)
+    reference = MaintainedFixpoint.evaluate(program, instance.copy())
+    plan = choose_sharding_plan(program)
+    with ProcessExecutor(4, min_round_rows=0) as executor:
+        sharding = ShardedFixpoint(program, plan.spec(4), executor, plan=plan)
+        statistics = EvaluationStatistics()
+        maintained = MaintainedFixpoint.evaluate(
+            program, instance.copy(), sharding=sharding, statistics=statistics
+        )
+        assert maintained.materialized == reference.materialized
+        edges = sorted(instance.relation("E"), key=repr)
+        for step in range(5):
+            victims = edges[step * 8 : step * 8 + 8]
+            retractions = [Fact("E", row) for row in victims]
+            additions = [
+                Fact("E", (path(f"fresh{step}x{index}"), victims[index][1]))
+                for index in range(3)
+            ]
+            maintained.update(additions, retractions, statistics=statistics)
+            reference.update(additions, retractions)
+            assert maintained.materialized == reference.materialized
+            assert sharding.sharded.merged() == reference.materialized
+        # resident-worker DRed keeps the exchange sparse: the overdeleted and
+        # rederived sets stay on their home workers instead of being
+        # broadcast through every catch-up queue (which used to ship several
+        # times more rows than the whole stream derived)
+        assert statistics.cross_shard_facts <= statistics.facts_derived
+        assert executor.parent_fallback_rounds == 0
+
+
+# -- exchange accounting ---------------------------------------------------------------
+
+
+def test_exchange_stats_are_deterministic_and_interned_codec_wins():
+    from repro.workloads import power_law_graph_instance
+
+    # legacy producer-side keys on a hub-heavy graph: aligned mode, where
+    # most derived rows cross shards and hub paths repeat in thousands of
+    # rows — the traffic shape the interned codec exists for
+    program = parse_program(REACHABILITY_PAIRS)
+    instance = as_edge_pairs(power_law_graph_instance(nodes=64, edges=256, seed=5))
+    expected = evaluate_program(program, instance)
+    spec_keys = choose_shard_keys(program)
+    runs = []
+    payloads = []
+    for _ in range(2):
+        with ProcessExecutor(4, min_round_rows=0, measure_payloads=True) as executor:
+            fixpoint = ShardedFixpoint(program, ShardingSpec(4, spec_keys), executor)
+            statistics = EvaluationStatistics()
+            assert fixpoint.evaluate(instance, statistics=statistics) == expected
+            runs.append((statistics.exchange_batches, statistics.exchanged_bytes))
+            payloads.append((executor.payload_bytes_interned, executor.payload_bytes_nested))
+    # packed id accounting (itemsize × slots) is independent of row order,
+    # hash seeds, and pickle details: identical across runs
+    assert runs[0] == runs[1]
+    batches, id_bytes = runs[0]
+    assert batches > 0 and id_bytes > 0
+    # the interned id blocks beat the self-describing per-row codec by the
+    # factor the benchmark gates on
+    interned, nested = payloads[0]
+    assert interned > 0 and nested >= 2 * interned
+
+
+# -- worker-resident goal serving ------------------------------------------------------
+
+
+def test_goal_is_served_by_the_owning_resident_worker():
+    program = parse_program("O(@x, @y) :- E(@x, @y).")
+    instance = as_edge_pairs(layered_graph_instance(layers=5, width=5, seed=2))
+    query = ProgramQuery(program, {"E": 2}, "O", require_monadic=False)
+    plain = query.session(instance.copy())
+    executor = ProcessExecutor(4, min_round_rows=0)
+    with query.session(instance.copy(), shards=4, executor=executor) as session:
+        session.run()  # build the materialization (and the resident workers)
+        plain.run()
+        answer = session.run(binding={0: "a"}, mode="goal")
+        assert answer.served_by == "worker"
+        assert answer.output == plain.run(binding={0: "a"}, mode="goal").output
+        # updates keep worker-served answers exact (catch-up is drained at
+        # goal dispatch time)
+        fresh = Fact("E", [path("a"), path("l4n4")])
+        session.update([fresh])
+        plain.update([fresh])
+        again = session.run(binding={0: "a"}, mode="goal")
+        assert again.served_by == "worker"
+        assert again.output == plain.run(binding={0: "a"}, mode="goal").output
+        assert path("l4n4") in {row[1] for row in again.output.relation("O")}

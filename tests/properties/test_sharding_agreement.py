@@ -21,7 +21,7 @@ from repro.engine import (
 )
 from repro.parser import parse_program
 from repro.queries import get_query
-from repro.storage import ShardingSpec, choose_shard_keys
+from repro.storage import ShardingSpec, choose_shard_keys, choose_sharding_plan
 from repro.workloads import (
     as_edge_pairs,
     random_graph_instance,
@@ -55,13 +55,20 @@ def test_random_positive_programs_agree(program_seed, instance_seed, shards):
     assert fixpoint.sharded.merged() == expected
 
 
-@given(seed=st.integers(0, 60), shards=st.sampled_from(SHARD_COUNTS))
+@given(
+    seed=st.integers(0, 60),
+    shards=st.sampled_from(SHARD_COUNTS),
+    shard_execution=st.sampled_from(("indexed", "compiled")),
+)
 @settings(max_examples=12, deadline=None)
-def test_sharded_agrees_with_every_strategy_execution(seed, shards):
+def test_sharded_agrees_with_every_strategy_execution(seed, shards, shard_execution):
+    """The consumer-aligned plan, with indexed or compiled workers, matches
+    every strategy × execution combination of the plain engine."""
     program = parse_program(REACHABILITY_PAIRS)
     instance = as_edge_pairs(random_graph_instance(nodes=8, edges=14, seed=seed))
+    plan = choose_sharding_plan(program)
     fixpoint = ShardedFixpoint(
-        program, ShardingSpec(shards, choose_shard_keys(program))
+        program, plan.spec(shards), execution=shard_execution, plan=plan
     )
     sharded = fixpoint.evaluate(instance)
     for strategy in STRATEGIES:
@@ -82,8 +89,9 @@ def test_sharded_maintenance_tracks_scratch_through_streams(seed, shards, execut
     """Updates (additions and retractions): sharded maintained ≡ scratch."""
     program = parse_program(REACHABILITY_PAIRS)
     base = as_edge_pairs(random_graph_instance(nodes=8, edges=14, seed=seed))
+    plan = choose_sharding_plan(program)
     sharding = ShardedFixpoint(
-        program, ShardingSpec(shards, choose_shard_keys(program)), execution=execution
+        program, plan.spec(shards), execution=execution, plan=plan
     )
     maintained = MaintainedFixpoint.evaluate(
         program, base, execution=execution, sharding=sharding

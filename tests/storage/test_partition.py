@@ -218,3 +218,92 @@ def test_sharded_instance_shards_use_independent_storage():
     assert other is not None
     sharded.add_fact(other)
     assert watched.changes_since(mark) == (frozenset(), frozenset())
+
+
+# -- consumer-aligned sharding plans ---------------------------------------------------
+
+
+REPARTITION_PROGRAM = """
+M(@x, @y) :- E(@x, @y).
+M(@x, @z) :- M(@x, @y), F(@x, @y, @z).
+P1(@y) :- M(@x, @y), K(@y), not M(@y, @y).
+P2(@y) :- M(@x, @y), K(@y), not M(@y, @y).
+P3(@y) :- M(@x, @y), K(@y), not M(@y, @y).
+P4(@y) :- M(@x, @y), K(@y), not M(@y, @y).
+P5(@y) :- M(@x, @y), K(@y), not M(@y, @y).
+"""
+
+
+def test_choose_sharding_plan_keys_recursion_by_carried_position():
+    """Reachability: the legacy producer-side planner keyed T by target, so
+    every recursive derivation was homed away from the worker that made it.
+    The consumer view keys T by the carried source — recursion sits still —
+    and replicates the edge relation so the whole stratum runs local."""
+    from repro.storage import choose_sharding_plan
+
+    program = parse_program(REACHABILITY_PAIRS)
+    plan = choose_sharding_plan(program)
+    assert plan.keys == {"E": 0, "T": 0}
+    assert plan.replicated == {"E"}
+    assert plan.modes == ("local",)
+    assert plan.repartitions == {}
+    assert plan.partitioned
+    spec = plan.spec(3)
+    assert spec.shard_count == 3
+    assert spec.keys == plan.keys
+    assert spec.replicated == plan.replicated
+
+
+def test_choose_sharding_plan_proves_aligned_without_replication():
+    from repro.storage import choose_sharding_plan
+
+    program = parse_program("O(@x, @y) :- E(@x, @y).")
+    plan = choose_sharding_plan(program)
+    assert plan.modes == ("aligned",)
+    assert plan.replicated == frozenset()
+    assert plan.partitioned
+
+
+def test_choose_sharding_plan_schedules_a_repartition():
+    """The consumer majority keys M by position 1 (five downstream readers),
+    which would force the recursive stratum onto full replicas.  The planner
+    schedules a stratum-entry repartition back to the carried position 0
+    instead, rescuing a local proof for the recursion."""
+    from repro.storage import choose_sharding_plan
+
+    program = parse_program(REPARTITION_PROGRAM)
+    plan = choose_sharding_plan(program)
+    assert plan.keys["M"] == 1  # entry keys follow the global consumer vote
+    assert plan.repartitions == {0: {"M": 0}}
+    assert plan.modes[0] == "local"
+    assert plan.modes[1] == "replicated"  # negation: replicas stay sound
+    assert not plan.partitioned
+    # out-of-range strata are conservatively replicated
+    assert plan.mode(99) == "replicated"
+
+
+def test_plan_for_spec_keeps_hand_chosen_keys():
+    """An explicit spec (or legacy choose_shard_keys) gets modes proved for
+    exactly its keys: no repartition steps, no new replication."""
+    from repro.storage import plan_for_spec
+
+    program = parse_program(REACHABILITY_PAIRS)
+    spec = ShardingSpec(2, choose_shard_keys(program))
+    plan = plan_for_spec(program, spec)
+    assert plan.keys == spec.keys
+    assert plan.repartitions == {}
+    assert len(plan.modes) == len(program.strata)
+    # the legacy keys admit no local proof (E is not replicated), and the
+    # recursive join is key-aligned, so the stratum proves exactly "aligned"
+    assert plan.modes == ("aligned",)
+
+
+def test_repartition_pays_compares_attach_terms():
+    from repro.storage.partition import repartition_pays
+
+    # moving nothing is free; moving each body row once always beats
+    # shipping shard_count replicas of the body
+    assert repartition_pays(0, 0, 4)
+    assert repartition_pays(1000, 1000, 4)
+    # re-homing a huge relation to rescue a tiny stratum never pays
+    assert not repartition_pays(10**6, 10, 4)
