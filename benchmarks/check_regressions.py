@@ -9,11 +9,19 @@ against the committed baselines in ``benchmarks/baselines/`` and fails when
 * any wall-time field (``*_seconds``) regressed by more than the tolerance
   (default 25%, override with ``--tolerance`` or the
   ``BENCH_REGRESSION_TOLERANCE`` environment variable), or
+* any throughput field (``*_per_second``) fell more than the tolerance
+  below its baseline (after the same fleet calibration, applied inversely —
+  a uniformly slower runner is not a regression), or
 * a deterministic ratio field (``exchange_fraction``) regressed above its
   committed baseline.  These counters are machine-independent — the same
   code on the same seeds produces the same value everywhere — so they are
   gated absolutely (plus a small slack for workload edge effects), with no
-  calibration.
+  calibration, or
+* an absolute speedup floor (``process_speedup`` ≥ 2×, ``coalescing_speedup``
+  ≥ 2×) was missed on a run whose own record says the gate should be armed:
+  every record now carries ``cpu_count``/``python_version``/``timed`` stamps
+  (written by ``benchmarks/conftest.py``), so the decision reads the
+  machine that *produced* the numbers, not the machine running this gate.
 
 A result file with **no committed baseline** — the first PR that adds a new
 benchmark — is *reported and skipped*: it cannot be gated (there is nothing
@@ -62,13 +70,28 @@ CALIBRATION_FLOOR_SECONDS = 0.05
 #: regressing one means the engine started shipping more rows across shards.
 RATIO_GATED_FIELDS = frozenset({"exchange_fraction"})
 RATIO_SLACK = 0.02
+#: Absolute speedup gates armed from the *result record's own stamps* —
+#: ``field: (minimum, min_cpus)``.  A record produced by a real timing run
+#: (``timed`` true) on a machine with at least ``min_cpus`` cores must show
+#: at least ``minimum`` on the field; records from ``--benchmark-disable``
+#: smoke runs or small machines are disarmed.  Reading ``cpu_count`` from
+#: the record instead of re-probing here matters because the gate may run on
+#: a different machine than the one that produced the numbers.
+SPEEDUP_GATED_FIELDS: "dict[str, tuple[float, int]]" = {
+    # sharded serving must beat the single-shard engine ≥2× on ≥4 cores
+    "process_speedup": (2.0, 4),
+    # write coalescing must beat serialized per-request updates ≥2× anywhere
+    "coalescing_speedup": (2.0, 1),
+}
 
 
 def load_pairs(
     baseline_path: Path, results_dir: Path
-) -> "tuple[list[str], list[tuple[str, float, float]]]":
-    """Failures (missing files/fields, ratio regressions) plus the gated
-    wall-time (key, expected, measured) pairs."""
+) -> "tuple[list[str], list[tuple[str, float, float, str]]]":
+    """Failures (missing files/fields, ratio and speedup regressions) plus
+    the calibration-gated (key, expected, measured, kind) pairs, where kind
+    is ``"seconds"`` (lower is better) or ``"per_second"`` (higher is
+    better)."""
     result_path = results_dir / baseline_path.name
     if not result_path.exists():
         return (
@@ -82,7 +105,12 @@ def load_pairs(
     baseline = json.loads(baseline_path.read_text())
     result = json.loads(result_path.read_text())
     failures: list[str] = []
-    pairs: list[tuple[str, float, float]] = []
+    pairs: list[tuple[str, float, float, str]] = []
+    # Speedup gates arm from the result record's own environment stamps: a
+    # --benchmark-disable smoke run (timed false) or a machine below the
+    # gate's core floor never asserts an absolute speedup.
+    result_timed = bool(result.get("timed", False))
+    result_cpus = int(result.get("cpu_count", result.get("cpus", 1)) or 1)
     # Never compare wall times across execution modes: a baseline captured
     # under one backend (e.g. "indexed") says nothing about a run of another
     # (e.g. "compiled").  Records without the field predate the stamp and
@@ -115,29 +143,63 @@ def load_pairs(
                     f"deterministic, so the engine is genuinely exchanging more)"
                 )
             continue
+        if key in SPEEDUP_GATED_FIELDS:
+            minimum, min_cpus = SPEEDUP_GATED_FIELDS[key]
+            measured = float(result[key])
+            if result_timed and result_cpus >= min_cpus and measured < minimum:
+                failures.append(
+                    f"{baseline_path.name}: {key} below its floor — {measured:.2f}× "
+                    f"vs the required {minimum:.1f}× (timed run on {result_cpus} "
+                    f"cores, gate armed at ≥{min_cpus})"
+                )
+            continue
+        if key.endswith("per_second"):
+            pairs.append(
+                (f"{baseline_path.name}: {key}", float(expected), float(result[key]), "per_second")
+            )
+            continue
         if not key.endswith("seconds"):
             continue  # other counters are asserted by the benchmarks themselves
-        pairs.append((f"{baseline_path.name}: {key}", float(expected), float(result[key])))
+        pairs.append(
+            (f"{baseline_path.name}: {key}", float(expected), float(result[key]), "seconds")
+        )
     return failures, pairs
 
 
 def gate(
-    pairs: "list[tuple[str, float, float]]", tolerance: float, calibrate: bool
+    pairs: "list[tuple[str, float, float, str]]", tolerance: float, calibrate: bool
 ) -> list[str]:
-    """Gate every wall-time pair, optionally rescaled by the fleet median."""
+    """Gate every wall-time and throughput pair, optionally rescaled by the
+    fleet median.
+
+    The calibration scale is estimated from the wall-time pairs only (they
+    are the direct speed measurement) and applied to both kinds: on a
+    machine that runs the fleet ``scale``× slower, wall times may grow by
+    ``scale`` and throughputs may shrink by the same factor before the
+    tolerance band even starts.
+    """
     scale = 1.0
     if calibrate:
         ratios = [
             measured / expected
-            for _, expected, measured in pairs
-            if expected >= CALIBRATION_FLOOR_SECONDS
+            for _, expected, measured, kind in pairs
+            if kind == "seconds" and expected >= CALIBRATION_FLOOR_SECONDS
         ]
         if ratios:
             scale = statistics.median(ratios)
             print(f"calibration: median measured/baseline wall-time ratio = {scale:.2f}")
     failures = []
     noise_floor = GATE_FLOOR_SECONDS * max(scale, 1.0)
-    for label, expected, measured in pairs:
+    for label, expected, measured, kind in pairs:
+        if kind == "per_second":
+            limit = expected / max(scale, 1e-9) * (1.0 - tolerance)
+            if measured < limit:
+                failures.append(
+                    f"{label} regressed — {measured:.1f}/s vs baseline {expected:.1f}/s "
+                    f"(limit {limit:.1f}/s at {tolerance:.0%} tolerance"
+                    f"{f', calibration {scale:.2f}' if calibrate else ''})"
+                )
+            continue
         if measured <= noise_floor:
             continue  # scheduler-noise scale: a spike here is not a regression
         limit = expected * scale * (1.0 + tolerance)

@@ -18,6 +18,8 @@ fields to persist.
 from __future__ import annotations
 
 import json
+import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -50,9 +52,10 @@ def pytest_addoption(parser):
 class BenchmarkReporter:
     """Collects named result records and writes them as ``BENCH_<name>.json``."""
 
-    def __init__(self, root: Path, enabled: bool):
+    def __init__(self, root: Path, enabled: bool, *, timed: bool = True):
         self.root = root
         self.enabled = enabled
+        self.timed = timed
         self.results: dict[str, dict] = {}
 
     def record(self, name: str, **fields) -> None:
@@ -63,8 +66,24 @@ class BenchmarkReporter:
         field explicitly to override).  The regression gate refuses to
         compare records of different modes, so a baseline captured under one
         backend can never silently gate a run of another.
+
+        Records also carry the environment the run was measured in —
+        ``cpu_count``, ``python_version``, and ``timed`` (whether the run
+        was a real timing run, i.e. ``--benchmark-disable`` was *not*
+        passed) — so ``check_regressions.py`` can arm or disarm the
+        core-count-dependent speedup gates from the record itself instead of
+        re-probing the gate-time machine, which may not be the machine that
+        produced the numbers.
         """
-        self.results.setdefault(name, {"execution": "indexed"}).update(fields)
+        self.results.setdefault(
+            name,
+            {
+                "execution": "indexed",
+                "cpu_count": os.cpu_count() or 1,
+                "python_version": platform.python_version(),
+                "timed": self.timed,
+            },
+        ).update(fields)
 
     def flush(self) -> list[Path]:
         if not self.enabled:
@@ -88,7 +107,9 @@ def bench_report(request):
     """
     target = request.config.getoption("--json-dir")
     reporter = BenchmarkReporter(
-        Path(target) if target else REPO_ROOT, request.config.getoption("--json")
+        Path(target) if target else REPO_ROOT,
+        request.config.getoption("--json"),
+        timed=not request.config.getoption("benchmark_disable", False),
     )
     yield reporter.record
     for target in reporter.flush():

@@ -59,6 +59,7 @@ entry.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 from typing import Literal as TypingLiteral
@@ -556,6 +557,15 @@ class QuerySession:
             )
         elif shards != 1:
             raise EvaluationError(f"shards must be at least 1, got {shards}")
+        #: Safety net for leaked sharded sessions: a session that is garbage
+        #: collected without :meth:`close` must not strand pinned
+        #: :class:`~repro.engine.sharding.ProcessExecutor` workers.  The
+        #: finalizer holds the :class:`ShardedFixpoint` (never the session
+        #: itself), so collection of the session triggers the same executor
+        #: shutdown an explicit close would have run.
+        self._finalizer: "weakref.finalize | None" = None
+        if self._sharded is not None:
+            self._finalizer = weakref.finalize(self, ShardedFixpoint.close, self._sharded)
         #: Tabled goal-mode calls, by call subsumption.  The LRU capacity is
         #: a serving knob: sessions pinning many overlapping goals can raise
         #: it, memory-tight fleets can lower it (minimum 1).
@@ -1202,8 +1212,27 @@ class QuerySession:
         """
         return self._sharded
 
+    @property
+    def materialized(self) -> "Instance | None":
+        """The maintained full materialization, or ``None`` when no full-mode
+        evaluation has happened yet (or the last update dropped it).
+
+        The serving layer reads committed snapshots off this instance; treat
+        it as read-only.
+        """
+        return self._maintained.materialized if self._maintained is not None else None
+
     def close(self) -> None:
-        """Release sharding workers (idempotent; a no-op for plain sessions)."""
+        """Release sharding workers (idempotent; a no-op for plain sessions).
+
+        Closing detaches the GC finalizer first, so an explicit close followed
+        by garbage collection shuts the executor down exactly once (the
+        executor's own ``close`` is idempotent as well, making double-close
+        safe even for exotic executors).
+        """
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
         if self._sharded is not None:
             self._sharded.close()
 

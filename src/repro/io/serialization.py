@@ -1,18 +1,35 @@
-"""Serialisation of instances and programs to text files.
+"""Serialisation of instances, programs, and query/update results.
 
 Programs already have a textual syntax (:mod:`repro.parser`); instances are
 stored as lists of fact rules in the same syntax, so a database plus its
 queries can live in plain, diff-able files.
+
+On top of the textual format this module provides the JSON boundary codec
+shared by the serving layer (:mod:`repro.service`) and its tests: paths are
+encoded in the ground expression syntax (``a·b·⟨c⟩``, parseable back through
+:func:`repro.parser.parse_expression`), facts as ``[relation, path, ...]``
+lists, and :class:`~repro.engine.query.QueryResult` /
+:class:`~repro.engine.query.UpdateResult` as plain dicts carrying the
+answers, ``served_by`` / ``fallback_reason`` provenance, and the statistics
+counters.  ``X == from_json(to_json(X))`` holds field-for-field for
+everything the wire format carries (a decoded ``QueryResult`` shares its
+``full_instance`` with its output: the wire format intentionally ships only
+the answer slice, not the whole materialization).
 """
 
 from __future__ import annotations
 
+from dataclasses import fields as dataclass_fields
 from pathlib import Path as FilePath
+from typing import Iterable, Mapping
 
+from repro.engine.fixpoint import EvaluationStatistics
+from repro.engine.query import QueryResult, UpdateResult
 from repro.errors import ParseError
-from repro.model.instance import Instance
-from repro.parser.parser import parse_rules
-from repro.parser.unparser import unparse_instance, unparse_program
+from repro.model.instance import Fact, Instance
+from repro.model.terms import Path
+from repro.parser.parser import parse_expression, parse_rules
+from repro.parser.unparser import format_path, unparse_instance, unparse_program
 from repro.syntax.programs import Program
 
 __all__ = [
@@ -22,6 +39,18 @@ __all__ = [
     "load_instance",
     "save_program",
     "load_program",
+    "path_to_text",
+    "path_from_text",
+    "fact_to_json",
+    "fact_from_json",
+    "rows_to_json",
+    "rows_from_json",
+    "statistics_to_json",
+    "statistics_from_json",
+    "query_result_to_json",
+    "query_result_from_json",
+    "update_result_to_json",
+    "update_result_from_json",
 ]
 
 
@@ -63,3 +92,155 @@ def load_program(path: "FilePath | str") -> Program:
     from repro.parser.parser import parse_program
 
     return parse_program(FilePath(path).read_text(encoding="utf-8"))
+
+
+# -- JSON boundary codec (paths, facts, results) ---------------------------------------
+
+
+def path_to_text(path: Path) -> str:
+    """Render a concrete path in ground expression syntax (``ϵ`` when empty)."""
+    return format_path(path)
+
+
+def path_from_text(text: str) -> Path:
+    """Parse a path rendered by :func:`path_to_text` back into a :class:`Path`."""
+    expression = parse_expression(text)
+    if not expression.is_ground():
+        raise ParseError(f"path text must be ground (no variables), got {text!r}")
+    return expression.ground_path()
+
+
+def fact_to_json(fact: Fact) -> list[str]:
+    """Encode a fact as ``[relation, path, ...]`` (arity-0 facts are 1-lists)."""
+    return [fact.relation, *(path_to_text(path) for path in fact.paths)]
+
+
+def fact_from_json(data: "list[str]") -> Fact:
+    """Decode a fact encoded by :func:`fact_to_json`."""
+    if not isinstance(data, (list, tuple)) or not data:
+        raise ParseError(f"a JSON fact is a non-empty [relation, path, ...] list, got {data!r}")
+    relation, *paths = data
+    return Fact(relation, tuple(path_from_text(text) for text in paths))
+
+
+def rows_to_json(rows: "Iterable[tuple[Path, ...]]") -> list[list[str]]:
+    """Encode relation rows as sorted lists of path texts (stable output)."""
+    return sorted([path_to_text(path) for path in row] for row in rows)
+
+
+def rows_from_json(data: "Iterable[Iterable[str]]") -> list[tuple[Path, ...]]:
+    """Decode rows encoded by :func:`rows_to_json`."""
+    return [tuple(path_from_text(text) for text in row) for row in data]
+
+
+def statistics_to_json(statistics: EvaluationStatistics) -> dict:
+    """Encode every counter field of an :class:`EvaluationStatistics`."""
+    encoded: dict = {}
+    for field in dataclass_fields(statistics):
+        value = getattr(statistics, field.name)
+        encoded[field.name] = list(value) if isinstance(value, list) else value
+    return encoded
+
+
+def statistics_from_json(data: "Mapping[str, object] | None") -> EvaluationStatistics:
+    """Decode statistics, tolerating records written by older engine versions.
+
+    Unknown fields are ignored and missing ones keep their defaults, so a
+    service and a client built from different commits can still exchange
+    results.
+    """
+    statistics = EvaluationStatistics()
+    if not data:
+        return statistics
+    known = {field.name for field in dataclass_fields(statistics)}
+    for name, value in data.items():
+        if name in known:
+            setattr(statistics, name, list(value) if isinstance(value, list) else value)
+    return statistics
+
+
+def _answers_to_json(instance: Instance) -> dict[str, list[list[str]]]:
+    return {
+        name: rows_to_json(instance.relation(name))
+        for name in sorted(instance.relation_names)
+    }
+
+
+def _answers_from_json(data: "Mapping[str, object]") -> Instance:
+    instance = Instance()
+    for name, rows in data.items():
+        instance.ensure_relation(name)
+        instance.set_relation_rows(name, rows_from_json(rows))
+    return instance
+
+
+def query_result_to_json(result: QueryResult) -> dict:
+    """Encode a :class:`QueryResult` for the service boundary.
+
+    The wire format carries the *answers* (the output sub-instance), not the
+    full materialization backing them — results served from a session's
+    materialization share that instance, and shipping it per query would
+    defeat the serving layer.
+    """
+    return {
+        "kind": "query_result",
+        "answers": _answers_to_json(result.output),
+        "output_relation": result.output_relation,
+        "binding": (
+            None
+            if result.binding is None
+            else {str(position): path_to_text(value) for position, value in result.binding.items()}
+        ),
+        "mode": result.mode,
+        "served_by": result.served_by,
+        "fallback_reason": result.fallback_reason,
+        "statistics": statistics_to_json(result.statistics),
+    }
+
+
+def query_result_from_json(data: "Mapping[str, object]") -> QueryResult:
+    """Decode a :class:`QueryResult` encoded by :func:`query_result_to_json`."""
+    answers = _answers_from_json(data.get("answers", {}))
+    binding = data.get("binding")
+    return QueryResult(
+        output=answers,
+        full_instance=answers,
+        statistics=statistics_from_json(data.get("statistics")),
+        output_relation=data.get("output_relation"),
+        binding=(
+            None
+            if binding is None
+            else {int(position): path_from_text(text) for position, text in binding.items()}
+        ),
+        mode=data.get("mode", "full"),
+        fallback_reason=data.get("fallback_reason"),
+        served_by=data.get("served_by", "full"),
+    )
+
+
+def update_result_to_json(result: UpdateResult) -> dict:
+    """Encode an :class:`UpdateResult` for the service boundary."""
+    return {
+        "kind": "update_result",
+        "added": sorted(fact_to_json(fact) for fact in result.added),
+        "removed": sorted(fact_to_json(fact) for fact in result.removed),
+        "maintained": result.maintained,
+        "fallback_reason": result.fallback_reason,
+        "statistics": statistics_to_json(result.statistics),
+        "shards_touched": (
+            None if result.shards_touched is None else sorted(result.shards_touched)
+        ),
+    }
+
+
+def update_result_from_json(data: "Mapping[str, object]") -> UpdateResult:
+    """Decode an :class:`UpdateResult` encoded by :func:`update_result_to_json`."""
+    shards = data.get("shards_touched")
+    return UpdateResult(
+        added=frozenset(fact_from_json(fact) for fact in data.get("added", ())),
+        removed=frozenset(fact_from_json(fact) for fact in data.get("removed", ())),
+        maintained=bool(data.get("maintained", False)),
+        fallback_reason=data.get("fallback_reason"),
+        statistics=statistics_from_json(data.get("statistics")),
+        shards_touched=None if shards is None else frozenset(int(shard) for shard in shards),
+    )

@@ -1,0 +1,24 @@
+"""``python -m repro.service`` — run the stdlib asyncio HTTP service."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.service.http import run
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description="Serve Sequence Datalog sessions over HTTP")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8734)
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(run(host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,788 @@
+"""The serving core: sessions, write coalescing, committed reads, admission.
+
+This module is the transport-free heart of the network service
+(:mod:`repro.service.http` wraps it in HTTP, the benchmark drives it
+directly).  It turns one :class:`~repro.engine.query.QuerySession` into a
+*concurrent* serving unit and a set of them into a multi-tenant registry:
+
+* **Write coalescing** — concurrent update requests against one session are
+  queued and merged into a single maintenance pass
+  (:meth:`SessionHandle.enqueue_update`).  The merge folds the batches in
+  arrival order over fact space (a later retraction cancels a queued
+  addition of the same fact and vice versa), so one merged
+  :meth:`QuerySession.update` call is extensionally equivalent to applying
+  the batches serially — while paying the fixpoint/round overhead once.
+  Every request is acked individually after the merged pass commits, with
+  the committed generation and how many batches shared its pass.
+
+* **Concurrent reads during maintenance** — every committed maintenance
+  pass publishes a :class:`CommittedView`: zero-copy frozenset views of the
+  materialization's relations (the storage layer's generation-invalidated
+  views make the captured frozensets immutable snapshots by construction).
+  Queries that a warm materialization can answer are served from the last
+  committed view *on the event loop*, without touching the
+  :class:`QuerySession` — so they never wait behind a maintenance pass
+  running in the executor thread.  Only cold evaluations (no
+  materialization yet, or an explicitly tabled call) take the per-session
+  lock.
+
+* **Admission control** — per-session queue-depth limits for updates, an
+  in-flight cap for queries, and an EDB budget checked against the
+  session's :class:`~repro.engine.limits.EvaluationLimits` shed excess load
+  with explicit 429-style :class:`ServiceError` responses instead of
+  letting one tenant collapse the service.
+
+:class:`SessionRegistry` adds the multi-tenant lifecycle: sessions are
+created from program + instance text (through the existing parser and
+:mod:`repro.io.serialization`), per-tenant budgets bound session counts and
+``table_capacity``, and least-recently-used sessions are evicted (and
+closed — :meth:`QuerySession.close` is idempotent and finalizer-guarded)
+when a tenant or the whole service exceeds its capacity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Iterable, Mapping
+
+from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
+from repro.engine.query import ProgramQuery, QueryResult, QuerySession, UpdateResult
+from repro.errors import EvaluationBudgetExceeded, SequenceDatalogError
+from repro.io.serialization import (
+    fact_from_json,
+    instance_from_text,
+    path_from_text,
+    query_result_to_json,
+    rows_to_json,
+    update_result_to_json,
+)
+from repro.model.instance import Fact, Instance
+from repro.model.terms import Path, as_path
+from repro.parser.parser import parse_program
+
+__all__ = [
+    "AdmissionLimits",
+    "CommittedView",
+    "ServiceError",
+    "SessionHandle",
+    "SessionRegistry",
+    "TenantBudget",
+]
+
+
+class ServiceError(SequenceDatalogError):
+    """A request-level failure with an HTTP-shaped status and error code.
+
+    ``status`` 429 marks *shedding*: the request was refused by admission
+    control (queue depth, concurrency cap, or budget) and can be retried;
+    4xx others are caller errors; 5xx are service-side failures.
+    """
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+    def to_json(self) -> dict:
+        return {"error": {"code": self.code, "message": str(self)}}
+
+
+@dataclass(frozen=True)
+class AdmissionLimits:
+    """Per-session admission-control knobs.
+
+    ``max_pending_updates`` bounds the coalescing queue: an update arriving
+    at a full queue is shed with 429 ``too_many_pending_updates`` rather
+    than growing the backlog without bound.  ``max_concurrent_queries``
+    bounds in-flight query requests the same way.  ``max_edb_facts`` is the
+    tenant's base-data budget: an update whose net effect would push the
+    EDB past it is shed with 429 ``edb_budget_exceeded`` *before* any work
+    happens (``None`` defers to the session's evaluation limits
+    ``max_facts``, which also guard the derived side during maintenance).
+    """
+
+    max_pending_updates: int = 256
+    max_concurrent_queries: int = 256
+    max_edb_facts: "int | None" = None
+
+
+@dataclass(frozen=True)
+class TenantBudget:
+    """Per-tenant resource budget enforced by :class:`SessionRegistry`."""
+
+    max_sessions: int = 8
+    table_capacity: "int | None" = None
+    admission: AdmissionLimits = field(default_factory=AdmissionLimits)
+
+
+class CommittedView:
+    """An immutable snapshot of a materialization at one committed generation.
+
+    The snapshot is zero-copy: each relation is captured as the storage
+    layer's cached frozenset view, which a later maintenance pass *replaces*
+    (generation-invalidated caches build a new frozenset) but never mutates.
+    Binding-restricted reads go through per-position hash indexes built
+    lazily — and only ever on the event loop thread, so no locking is
+    needed.  Indexes are inherited from the previous view for relations
+    whose frozenset is identical (the common case: a small update touches
+    few relations).
+    """
+
+    __slots__ = ("generation", "relations", "_indexes")
+
+    def __init__(
+        self,
+        generation: int,
+        relations: "dict[str, frozenset]",
+        previous: "CommittedView | None" = None,
+    ):
+        self.generation = generation
+        self.relations = relations
+        self._indexes: "dict[tuple[str, int], dict[Path, tuple]]" = {}
+        if previous is not None:
+            for (name, position), index in previous._indexes.items():
+                if relations.get(name) is previous.relations.get(name):
+                    self._indexes[(name, position)] = index
+
+    @staticmethod
+    def capture(
+        generation: int, instance: Instance, previous: "CommittedView | None" = None
+    ) -> "CommittedView":
+        """Snapshot *instance* (a materialization) at *generation*."""
+        relations = {name: instance.relation(name) for name in instance.relation_names}
+        return CommittedView(generation, relations, previous)
+
+    def _index(self, name: str, position: int) -> "dict[Path, tuple]":
+        key = (name, position)
+        index = self._indexes.get(key)
+        if index is None:
+            grouped: "dict[Path, list]" = {}
+            for row in self.relations.get(name, ()):
+                grouped.setdefault(row[position], []).append(row)
+            index = {value: tuple(rows) for value, rows in grouped.items()}
+            self._indexes[key] = index
+        return index
+
+    def select(self, name: str, binding: "Mapping[int, Path]") -> "tuple[tuple, ...]":
+        """The rows of *name* matching *binding* (all rows when unbound)."""
+        rows = self.relations.get(name)
+        if rows is None:
+            return ()
+        if not binding:
+            return tuple(rows)
+        candidates = min(
+            (self._index(name, position).get(value, ()) for position, value in binding.items()),
+            key=len,
+        )
+        return tuple(
+            row
+            for row in candidates
+            if all(row[position] == value for position, value in binding.items())
+        )
+
+
+@dataclass
+class _PendingUpdate:
+    """One queued update request awaiting its (possibly shared) pass."""
+
+    additions: "list[Fact]"
+    retractions: "list[Fact]"
+    future: "asyncio.Future"
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed maintenance pass, as recorded in the session's log.
+
+    ``additions`` / ``retractions`` are the *merged* batch actually handed
+    to :meth:`QuerySession.update`; ``batches`` is how many request batches
+    the pass coalesced.  The property tests replay this log against scratch
+    rebuilds to prove serializability.
+    """
+
+    generation: int
+    additions: "tuple[Fact, ...]"
+    retractions: "tuple[Fact, ...]"
+    batches: int
+
+
+def _merge_batches(
+    batches: "Iterable[_PendingUpdate]",
+) -> "tuple[list[Fact], list[Fact], int]":
+    """Fold queued batches, in arrival order, into one additions/retractions pair.
+
+    Set semantics make the fold exact: the EDB membership of a fact after
+    applying the batches serially is decided by the last batch that touched
+    it, so a later retraction cancels a queued addition of the same fact
+    (and vice versa) instead of both being applied.
+    """
+    additions: "dict[Fact, None]" = {}
+    retractions: "dict[Fact, None]" = {}
+    count = 0
+    for pending in batches:
+        count += 1
+        for fact in pending.retractions:
+            additions.pop(fact, None)
+            retractions[fact] = None
+        for fact in pending.additions:
+            retractions.pop(fact, None)
+            additions[fact] = None
+    return list(additions), list(retractions), count
+
+
+class SessionHandle:
+    """One served session: a :class:`QuerySession` plus its concurrency machinery.
+
+    All engine work (builds, maintenance passes, cold evaluations) runs in
+    the event loop's default executor under ``_lock`` — the
+    :class:`QuerySession` itself is single-threaded by contract.  Reads that
+    a committed view can answer bypass both the lock and the executor.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        tenant: str,
+        query: ProgramQuery,
+        session: QuerySession,
+        *,
+        admission: "AdmissionLimits | None" = None,
+        coalesce: bool = True,
+    ):
+        self.session_id = session_id
+        self.tenant = tenant
+        self.query = query
+        self.session = session
+        self.admission = admission if admission is not None else AdmissionLimits()
+        #: When ``False`` the flusher drains one batch per maintenance pass —
+        #: the serialized baseline the serving benchmark compares against.
+        self.coalesce = coalesce
+        self.created_at = time.time()
+        self.last_used = self.created_at
+        #: Committed maintenance generation: 0 covers the initial build,
+        #: each committed pass increments it.
+        self.generation = 0
+        self.committed: "CommittedView | None" = None
+        self.commit_log: "list[CommitRecord]" = []
+        self.closed = False
+        self._lock = asyncio.Lock()
+        self._pending: "deque[_PendingUpdate]" = deque()
+        self._flusher: "asyncio.Task | None" = None
+        self._active_queries = 0
+        #: True while a merged maintenance pass is running in the executor
+        #: thread — the window committed-view reads are concurrent with.
+        self.maintenance_in_flight = False
+        # Serving counters (surfaced by the stats endpoint and benchmark).
+        self.maintenance_passes = 0
+        self.batches_committed = 0
+        self.queries_served = 0
+        self.queries_from_view = 0
+        self.queries_from_engine = 0
+        self.shed_updates = 0
+        self.shed_queries = 0
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise ServiceError(410, "session_closed", f"session {self.session_id} is closed")
+
+    async def ensure_materialized(self) -> None:
+        """Build the full materialization (and commit view generation 0)."""
+        self._ensure_open()
+        if self.committed is not None:
+            return
+        async with self._lock:
+            if self.committed is not None:
+                return
+            await self._run_in_executor(partial(self.session.run, mode="full"))
+            self._commit_view()
+
+    def close(self) -> None:
+        """Close the handle: fail queued updates, release the engine session."""
+        if self.closed:
+            return
+        self.closed = True
+        while self._pending:
+            pending = self._pending.popleft()
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServiceError(503, "session_evicted", "session closed before the pass ran")
+                )
+        if self._flusher is not None:
+            self._flusher.cancel()
+            self._flusher = None
+        self.session.close()
+
+    # -- helpers -----------------------------------------------------------------------
+
+    async def _run_in_executor(self, func: "Callable[[], object]"):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, func)
+
+    def _commit_view(self) -> None:
+        """Publish the current materialization as the committed view.
+
+        Called with ``_lock`` held, after the executor call returned — the
+        maintenance thread is quiescent, so reading the storage views here
+        is race-free.  A session whose materialization was dropped (update
+        fallback) publishes ``None``; reads then rebuild under the lock.
+        """
+        materialized = self.session.materialized
+        if materialized is None:
+            self.committed = None
+        else:
+            self.committed = CommittedView.capture(self.generation, materialized, self.committed)
+
+    def _edb_size(self) -> int:
+        instance = self.session.instance
+        return sum(
+            len(instance.relation(name))
+            for name in instance.relation_names & self.query.input_schema.relation_names
+        )
+
+    def _check_update_budget(self, additions: "list[Fact]") -> None:
+        """Shed updates whose net effect would break the EDB budget."""
+        budget = self.admission.max_edb_facts
+        if budget is None:
+            budget = self.session.query.limits.max_facts
+        queued = sum(len(pending.additions) for pending in self._pending)
+        projected = self._edb_size() + queued + len(additions)
+        if projected > budget:
+            self.shed_updates += 1
+            raise ServiceError(
+                429,
+                "edb_budget_exceeded",
+                f"update would grow the EDB to ~{projected} facts, over the budget "
+                f"of {budget}; retry after retracting or raise the budget",
+            )
+
+    # -- updates (batched admission + write coalescing) --------------------------------
+
+    async def enqueue_update(
+        self,
+        additions: "Iterable[Fact]" = (),
+        retractions: "Iterable[Fact]" = (),
+    ) -> dict:
+        """Queue one update batch and await its committed acknowledgement.
+
+        The batch is admitted (queue depth, EDB budget), queued, and merged
+        with every other batch pending when the flusher takes its next pass;
+        the returned ack carries the committed generation, the pass's merged
+        :class:`UpdateResult` (JSON-encoded), and ``coalesced_batches`` —
+        how many request batches shared the pass.
+        """
+        self._ensure_open()
+        additions = list(additions)
+        retractions = list(retractions)
+        if len(self._pending) >= self.admission.max_pending_updates:
+            self.shed_updates += 1
+            raise ServiceError(
+                429,
+                "too_many_pending_updates",
+                f"session {self.session_id} already has "
+                f"{len(self._pending)} updates queued (limit "
+                f"{self.admission.max_pending_updates}); retry later",
+            )
+        self._check_update_budget(additions)
+        loop = asyncio.get_running_loop()
+        pending = _PendingUpdate(additions, retractions, loop.create_future())
+        self._pending.append(pending)
+        if self._flusher is None or self._flusher.done():
+            self._flusher = loop.create_task(self._flush_loop())
+        return await pending.future
+
+    async def _flush_loop(self) -> None:
+        """Drain the update queue, one merged maintenance pass at a time."""
+        while self._pending and not self.closed:
+            if self.coalesce:
+                taken = list(self._pending)
+                self._pending.clear()
+            else:
+                taken = [self._pending.popleft()]
+            additions, retractions, batch_count = _merge_batches(taken)
+            try:
+                async with self._lock:
+                    self.maintenance_in_flight = True
+                    try:
+                        result: UpdateResult = await self._run_in_executor(
+                            partial(self.session.update, additions, retractions)
+                        )
+                    finally:
+                        self.maintenance_in_flight = False
+                    self.generation += 1
+                    self.maintenance_passes += 1
+                    self.batches_committed += batch_count
+                    self.commit_log.append(
+                        CommitRecord(
+                            self.generation, tuple(additions), tuple(retractions), batch_count
+                        )
+                    )
+                    self._commit_view()
+            except asyncio.CancelledError:
+                # close() cancelled the flusher mid-pass: the taken batch's
+                # futures must not be left dangling for their awaiters.
+                for pending in taken:
+                    if not pending.future.done():
+                        pending.future.set_exception(
+                            ServiceError(
+                                503, "session_evicted", "session closed before the pass ran"
+                            )
+                        )
+                raise
+            except Exception as error:  # noqa: BLE001 — acked per request below
+                for pending in taken:
+                    if not pending.future.done():
+                        pending.future.set_exception(self._update_error(error))
+                continue
+            ack = {
+                "generation": self.generation,
+                "coalesced_batches": batch_count,
+                "update": update_result_to_json(result),
+            }
+            for pending in taken:
+                if not pending.future.done():
+                    pending.future.set_result(ack)
+
+    @staticmethod
+    def _update_error(error: Exception) -> Exception:
+        if isinstance(error, ServiceError):
+            return error
+        if isinstance(error, EvaluationBudgetExceeded):
+            # The merged pass broke the evaluation budget: shed explicitly
+            # (the session has already fallen back / recorded the reason).
+            return ServiceError(429, "evaluation_budget_exceeded", str(error))
+        if isinstance(error, SequenceDatalogError):
+            return ServiceError(400, "update_rejected", str(error))
+        return error
+
+    # -- queries (committed reads, concurrent with maintenance) ------------------------
+
+    def _normalise_binding(self, binding: "Mapping[int, object] | None") -> "dict[int, Path]":
+        if not binding:
+            return {}
+        arity = self.query.output_arity
+        normalised: "dict[int, Path]" = {}
+        for position, value in binding.items():
+            position = int(position)
+            if not 0 <= position < arity:
+                raise ServiceError(
+                    400,
+                    "bad_binding",
+                    f"binding position {position} is outside the output arity {arity}",
+                )
+            normalised[position] = as_path(value)
+        return normalised
+
+    async def run_query(
+        self,
+        *,
+        binding: "Mapping[int, object] | None" = None,
+        mode: "str | None" = None,
+        relation: "str | None" = None,
+    ) -> dict:
+        """Answer one query request, JSON-encoded at the boundary.
+
+        ``mode`` is ``"full"``, ``"goal"``, or ``"tabled"``; the first two
+        are served from the last committed view whenever one exists (a warm
+        materialization answers any binding — this is exactly what
+        :class:`QuerySession` does in-process, lifted to a lock-free read),
+        ``"tabled"`` forces the engine path so the session's subsumption
+        table serves/records the call.  Reads from the committed view carry
+        the generation they observed; they run entirely on the event loop
+        and never wait for an in-flight maintenance pass.
+        """
+        self._ensure_open()
+        self.last_used = time.time()
+        if mode is None:
+            mode = self.query.mode
+        if mode not in ("full", "goal", "tabled"):
+            raise ServiceError(400, "bad_mode", f"unknown query mode {mode!r}")
+        if self._active_queries >= self.admission.max_concurrent_queries:
+            self.shed_queries += 1
+            raise ServiceError(
+                429,
+                "too_many_concurrent_queries",
+                f"session {self.session_id} already has {self._active_queries} "
+                f"queries in flight (limit {self.admission.max_concurrent_queries})",
+            )
+        normalised = self._normalise_binding(binding)
+        output_relation = relation or self.query.output_relation
+        self._active_queries += 1
+        try:
+            view = self.committed
+            if mode in ("full", "goal") and view is not None:
+                self.queries_served += 1
+                self.queries_from_view += 1
+                return {
+                    "generation": view.generation,
+                    "mode": mode,
+                    "served_by": "maintained",
+                    "fallback_reason": None,
+                    "output_relation": output_relation,
+                    "answers": {
+                        output_relation: rows_to_json(view.select(output_relation, normalised))
+                    },
+                }
+            engine_mode = "goal" if mode == "tabled" else mode
+            async with self._lock:
+                result: QueryResult = await self._run_in_executor(
+                    partial(self.session.run, binding=normalised, mode=engine_mode)
+                )
+                # A cold full run just built the materialization; publish it
+                # so later reads skip the lock.
+                if self.committed is None:
+                    self._commit_view()
+            self.queries_served += 1
+            self.queries_from_engine += 1
+            encoded = query_result_to_json(result)
+            encoded["generation"] = self.generation
+            if relation is not None:
+                encoded["answers"] = {
+                    relation: rows_to_json(result.full_instance.relation(relation))
+                }
+            return encoded
+        except ServiceError:
+            raise
+        except SequenceDatalogError as error:
+            if isinstance(error, EvaluationBudgetExceeded):
+                raise ServiceError(429, "evaluation_budget_exceeded", str(error)) from error
+            raise ServiceError(400, "query_rejected", str(error)) from error
+        finally:
+            self._active_queries -= 1
+
+    # -- introspection -----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A JSON-ready snapshot of the handle's serving counters."""
+        session_statistics = None
+        if self.session.sharding is not None:
+            session_statistics = {
+                "per_shard_extension_attempts": list(
+                    self.session.sharding.per_shard_extension_attempts
+                )
+            }
+        return {
+            "session": self.session_id,
+            "tenant": self.tenant,
+            "generation": self.generation,
+            "materialized": self.committed is not None,
+            "pending_updates": len(self._pending),
+            "maintenance_passes": self.maintenance_passes,
+            "batches_committed": self.batches_committed,
+            "queries_served": self.queries_served,
+            "queries_from_view": self.queries_from_view,
+            "queries_from_engine": self.queries_from_engine,
+            "shed_updates": self.shed_updates,
+            "shed_queries": self.shed_queries,
+            "edb_facts": self._edb_size(),
+            "table_capacity": self.session.table_capacity,
+            "sharding": session_statistics,
+        }
+
+
+class SessionRegistry:
+    """Multi-tenant session lifecycle: creation, LRU eviction, budgets.
+
+    ``max_sessions`` bounds the whole service; each tenant is additionally
+    bounded by its :class:`TenantBudget` (``default_budget`` for tenants
+    without an explicit one).  Exceeding either bound evicts the
+    least-recently-used session of the crowded scope — sessions are cheap
+    to rebuild from their program + instance, so eviction trades recompute
+    for memory, mirroring the answer-table LRU one level up.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int = 64,
+        default_budget: "TenantBudget | None" = None,
+        tenant_budgets: "Mapping[str, TenantBudget] | None" = None,
+    ):
+        self.max_sessions = max_sessions
+        self.default_budget = default_budget if default_budget is not None else TenantBudget()
+        self.tenant_budgets = dict(tenant_budgets or {})
+        self._sessions: "OrderedDict[str, SessionHandle]" = OrderedDict()
+        self._ids = itertools.count(1)
+        self.evictions: "list[tuple[str, str]]" = []
+
+    def budget_for(self, tenant: str) -> TenantBudget:
+        return self.tenant_budgets.get(tenant, self.default_budget)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self):
+        return iter(self._sessions.values())
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def create(
+        self,
+        *,
+        tenant: str = "default",
+        program: str,
+        instance: str = "",
+        output_relation: "str | None" = None,
+        options: "Mapping[str, object] | None" = None,
+    ) -> SessionHandle:
+        """Create (and by default materialize) a session from uploaded text.
+
+        *program* and *instance* are Sequence Datalog text (the same format
+        :mod:`repro.io.serialization` persists); *options* tunes the engine:
+        ``mode``, ``execution``, ``strategy``, ``shards``, ``executor``,
+        ``table_capacity`` (capped by the tenant budget), ``max_facts`` /
+        ``max_iterations`` evaluation limits, and ``materialize`` (default
+        true — build the full fixpoint eagerly so every read is a committed
+        view read; pass false to serve goal-mode traffic through the
+        subsumption table instead).
+        """
+        options = dict(options or {})
+        budget = self.budget_for(tenant)
+        try:
+            parsed_program = parse_program(program)
+            parsed_instance = (
+                instance_from_text(instance) if instance.strip() else Instance()
+            )
+        except SequenceDatalogError as error:
+            raise ServiceError(400, "bad_upload", str(error)) from error
+        if output_relation is None:
+            idb = sorted(parsed_program.idb_relation_names())
+            if len(idb) != 1:
+                raise ServiceError(
+                    400,
+                    "ambiguous_output",
+                    f"pass output_relation to pick one of {idb}",
+                )
+            output_relation = idb[0]
+        limits = DEFAULT_LIMITS
+        overrides = {
+            name: int(options[name])
+            for name in ("max_facts", "max_iterations")
+            if options.get(name) is not None
+        }
+        if overrides:
+            limits = EvaluationLimits(
+                max_iterations=overrides.get("max_iterations", limits.max_iterations),
+                max_facts=overrides.get("max_facts", limits.max_facts),
+                max_path_length=limits.max_path_length,
+                max_derivations_per_rule=limits.max_derivations_per_rule,
+            )
+        arities = parsed_program.relation_arities()
+        schema = {
+            name: arities[name] for name in sorted(parsed_program.edb_relation_names())
+        }
+        table_capacity = options.get("table_capacity")
+        if budget.table_capacity is not None:
+            table_capacity = (
+                budget.table_capacity
+                if table_capacity is None
+                else min(int(table_capacity), budget.table_capacity)
+            )
+        try:
+            query = ProgramQuery(
+                parsed_program,
+                schema,
+                output_relation,
+                limits=limits,
+                strategy=options.get("strategy", "seminaive"),
+                execution=options.get("execution", "indexed"),
+                mode=options.get("mode", "full"),
+                require_monadic=False,
+            )
+            session = query.session(
+                parsed_instance,
+                shards=int(options.get("shards", 1)),
+                executor=options.get("executor", "sequential"),
+                table_capacity=None if table_capacity is None else int(table_capacity),
+            )
+        except SequenceDatalogError as error:
+            raise ServiceError(400, "bad_upload", str(error)) from error
+        session_id = f"s{next(self._ids)}"
+        handle = SessionHandle(
+            session_id,
+            tenant,
+            query,
+            session,
+            admission=budget.admission,
+            coalesce=bool(options.get("coalesce", True)),
+        )
+        self._admit(tenant, budget)
+        self._sessions[session_id] = handle
+        if options.get("materialize", True):
+            try:
+                await handle.ensure_materialized()
+            except SequenceDatalogError as error:
+                self.drop(session_id)
+                if isinstance(error, ServiceError):
+                    raise
+                raise ServiceError(400, "bad_upload", str(error)) from error
+        return handle
+
+    def _admit(self, tenant: str, budget: TenantBudget) -> None:
+        """Evict LRU sessions until the new one fits both scopes."""
+        tenant_sessions = [
+            session_id
+            for session_id, handle in self._sessions.items()
+            if handle.tenant == tenant
+        ]
+        while len(tenant_sessions) >= budget.max_sessions:
+            victim = tenant_sessions.pop(0)  # OrderedDict iterates LRU-first
+            self._evict(victim, "tenant_capacity")
+        while len(self._sessions) >= self.max_sessions:
+            victim = next(iter(self._sessions))
+            self._evict(victim, "service_capacity")
+
+    def _evict(self, session_id: str, reason: str) -> None:
+        handle = self._sessions.pop(session_id, None)
+        if handle is not None:
+            handle.close()
+            self.evictions.append((session_id, reason))
+
+    def get(self, session_id: str) -> SessionHandle:
+        """Look a session up and mark it most-recently-used."""
+        handle = self._sessions.get(session_id)
+        if handle is None or handle.closed:
+            raise ServiceError(404, "unknown_session", f"no session {session_id!r}")
+        self._sessions.move_to_end(session_id)
+        return handle
+
+    def drop(self, session_id: str) -> None:
+        """Close and forget a session (404 when it does not exist)."""
+        handle = self._sessions.pop(session_id, None)
+        if handle is None:
+            raise ServiceError(404, "unknown_session", f"no session {session_id!r}")
+        handle.close()
+
+    def close_all(self) -> None:
+        """Close every session (service shutdown)."""
+        for handle in list(self._sessions.values()):
+            handle.close()
+        self._sessions.clear()
+
+    # -- request-level helpers shared by the HTTP layers -------------------------------
+
+    @staticmethod
+    def decode_facts(data: "Iterable[object] | None") -> "list[Fact]":
+        """Decode the update endpoints' fact lists (JSON ``[relation, path…]``)."""
+        if not data:
+            return []
+        try:
+            return [fact_from_json(item) for item in data]
+        except SequenceDatalogError as error:
+            raise ServiceError(400, "bad_fact", str(error)) from error
+
+    @staticmethod
+    def decode_binding(data: "Mapping[str, str] | None") -> "dict[int, Path]":
+        """Decode a request binding ``{"0": "a·b"}`` into paths."""
+        if not data:
+            return {}
+        try:
+            return {int(position): path_from_text(text) for position, text in data.items()}
+        except (ValueError, SequenceDatalogError) as error:
+            raise ServiceError(400, "bad_binding", str(error)) from error

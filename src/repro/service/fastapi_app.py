@@ -1,0 +1,58 @@
+"""Optional FastAPI front-end over the same service core.
+
+The stdlib server (:mod:`repro.service.http`) is the canonical, dependency-
+free transport; this module exists for deployments that already run a
+FastAPI/uvicorn stack and want the service mounted there (OpenAPI docs,
+middleware, etc.).  FastAPI is imported lazily — tier-1 never needs it —
+and :func:`create_fastapi_app` raises a clear error when it is missing.
+
+Every route delegates to :meth:`repro.service.http.ServiceApp.dispatch`, so
+the two transports cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from repro.service.http import ServiceApp
+
+__all__ = ["create_fastapi_app"]
+
+
+def create_fastapi_app(app: "ServiceApp | None" = None):
+    """Build a FastAPI application wrapping *app* (a fresh one by default).
+
+    Raises :class:`RuntimeError` when FastAPI is not installed; the stdlib
+    server is always available instead.
+    """
+    try:
+        from fastapi import FastAPI, Request
+        from fastapi.responses import JSONResponse
+    except ImportError as error:  # pragma: no cover - exercised only sans fastapi
+        raise RuntimeError(
+            "FastAPI is not installed; use repro.service.http.serve (the "
+            "stdlib asyncio server) or install fastapi"
+        ) from error
+
+    if app is None:
+        app = ServiceApp()
+    api = FastAPI(title="repro serving layer", version="1")
+    api.state.service = app
+
+    async def _forward(request: "Request") -> "JSONResponse":
+        body = None
+        raw = await request.body()
+        if raw:
+            body = await request.json()
+        status, payload = await app.dispatch(request.method, request.url.path, body)
+        return JSONResponse(payload, status_code=status)
+
+    for path in (
+        "/v1/healthz",
+        "/v1/sessions",
+        "/v1/sessions/{session_id}",
+        "/v1/sessions/{session_id}/query",
+        "/v1/sessions/{session_id}/update",
+    ):
+        api.add_api_route(
+            path, _forward, methods=["GET", "POST", "DELETE"], include_in_schema=True
+        )
+    return api

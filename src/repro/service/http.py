@@ -1,0 +1,246 @@
+"""The HTTP boundary: a dict-level router and a stdlib asyncio server.
+
+:class:`ServiceApp` is the transport-independent API surface — it maps
+``(method, path, json_body)`` requests onto the :mod:`repro.service.core`
+registry and returns ``(status, json_body)`` pairs.  The in-process load
+generator (``benchmarks/bench_serving.py``) and most tests drive it
+directly; :func:`serve` wraps the same dispatch in a minimal HTTP/1.1
+server built on ``asyncio.start_server`` so the whole service runs on the
+standard library alone.  When FastAPI happens to be installed,
+:func:`repro.service.fastapi_app.create_fastapi_app` exposes the identical
+routes through it — same dispatch, nicer tooling — but nothing in tier-1
+requires it.
+
+Routes (all bodies JSON):
+
+========  ==============================  =======================================
+method    path                            action
+========  ==============================  =======================================
+GET       /v1/healthz                     liveness + session count
+POST      /v1/sessions                    create a session (program/instance text)
+GET       /v1/sessions                    list sessions (id, tenant, generation)
+GET       /v1/sessions/{id}               one session's serving stats
+DELETE    /v1/sessions/{id}               close and forget a session
+POST      /v1/sessions/{id}/query         ``{"binding": {"0": "a"}, "mode": "goal"}``
+POST      /v1/sessions/{id}/update        ``{"add": [["E","a","b"]], "retract": []}``
+========  ==============================  =======================================
+
+Admission-control refusals surface as status 429 with an ``error.code`` of
+``too_many_pending_updates`` / ``too_many_concurrent_queries`` /
+``edb_budget_exceeded`` / ``evaluation_budget_exceeded`` — explicit
+shedding, never a collapsed service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Mapping
+
+from repro.service.core import ServiceError, SessionRegistry
+
+__all__ = ["ServiceApp", "serve", "run"]
+
+#: Maximum accepted request body, a defence against accidental huge uploads.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceApp:
+    """Routes JSON requests onto a :class:`SessionRegistry`."""
+
+    def __init__(self, registry: "SessionRegistry | None" = None):
+        self.registry = registry if registry is not None else SessionRegistry()
+
+    async def dispatch(
+        self, method: str, path: str, body: "Mapping[str, object] | None" = None
+    ) -> "tuple[int, dict]":
+        """Handle one request; never raises — errors become status + body."""
+        try:
+            return await self._route(method.upper(), path, body or {})
+        except ServiceError as error:
+            return error.status, error.to_json()
+        except Exception as error:  # noqa: BLE001 — the boundary must not leak
+            return 500, {"error": {"code": "internal", "message": str(error)}}
+
+    async def _route(
+        self, method: str, path: str, body: "Mapping[str, object]"
+    ) -> "tuple[int, dict]":
+        parts = [part for part in path.split("/") if part]
+        if parts[:1] == ["v1"]:
+            parts = parts[1:]
+        if parts == ["healthz"] and method == "GET":
+            return 200, {"status": "ok", "sessions": len(self.registry)}
+        if parts == ["sessions"]:
+            if method == "POST":
+                return await self._create_session(body)
+            if method == "GET":
+                return 200, {
+                    "sessions": [
+                        {
+                            "session": handle.session_id,
+                            "tenant": handle.tenant,
+                            "generation": handle.generation,
+                        }
+                        for handle in self.registry
+                    ]
+                }
+        if len(parts) == 2 and parts[0] == "sessions":
+            session_id = parts[1]
+            if method == "GET":
+                return 200, self.registry.get(session_id).stats()
+            if method == "DELETE":
+                self.registry.drop(session_id)
+                return 200, {"closed": session_id}
+        if len(parts) == 3 and parts[0] == "sessions":
+            session_id, action = parts[1], parts[2]
+            if action == "query" and method == "POST":
+                handle = self.registry.get(session_id)
+                answer = await handle.run_query(
+                    binding=SessionRegistry.decode_binding(body.get("binding")),
+                    mode=body.get("mode"),
+                    relation=body.get("relation"),
+                )
+                return 200, answer
+            if action == "update" and method == "POST":
+                handle = self.registry.get(session_id)
+                ack = await handle.enqueue_update(
+                    SessionRegistry.decode_facts(body.get("add")),
+                    SessionRegistry.decode_facts(body.get("retract")),
+                )
+                return 200, ack
+        raise ServiceError(404, "not_found", f"no route for {method} {path}")
+
+    async def _create_session(self, body: "Mapping[str, object]") -> "tuple[int, dict]":
+        program = body.get("program")
+        if not isinstance(program, str) or not program.strip():
+            raise ServiceError(400, "bad_upload", "a non-empty 'program' text is required")
+        handle = await self.registry.create(
+            tenant=str(body.get("tenant", "default")),
+            program=program,
+            instance=str(body.get("instance", "")),
+            output_relation=body.get("output_relation"),
+            options=body.get("options"),
+        )
+        return 201, {
+            "session": handle.session_id,
+            "tenant": handle.tenant,
+            "generation": handle.generation,
+            "materialized": handle.committed is not None,
+            "output_relation": handle.query.output_relation,
+        }
+
+    def close(self) -> None:
+        self.registry.close_all()
+
+
+# -- the stdlib HTTP/1.1 server --------------------------------------------------------
+
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    410: "Gone",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _encode_response(status: int, payload: dict, *, keep_alive: bool) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    reason = _REASONS.get(status, "OK")
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        "",
+        "",
+    ]
+    return "\r\n".join(headers).encode("latin-1") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> "tuple[str, str, dict | None] | None":
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed connection."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        return None
+    if not request_line or request_line.isspace():
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError as error:
+        raise ServiceError(400, "bad_request", "malformed request line") from error
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ServiceError(413, "payload_too_large", f"body of {length} bytes refused")
+    body: "dict | None" = None
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServiceError(400, "bad_json", f"invalid JSON body: {error}") from error
+    path = target.split("?", 1)[0]
+    return method, path, body
+
+
+async def _handle_connection(
+    app: ServiceApp, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except ServiceError as error:
+                writer.write(_encode_response(error.status, error.to_json(), keep_alive=False))
+                await writer.drain()
+                break
+            if request is None:
+                break
+            method, path, body = request
+            status, payload = await app.dispatch(method, path, body)
+            writer.write(_encode_response(status, payload, keep_alive=True))
+            await writer.drain()
+    finally:
+        # No wait_closed(): drain() already ran per response, and awaiting
+        # the transport teardown here races server shutdown's task
+        # cancellation into the streams machinery.
+        writer.close()
+
+
+async def serve(
+    app: "ServiceApp | None" = None, *, host: str = "127.0.0.1", port: int = 8734
+) -> "tuple[asyncio.base_events.Server, ServiceApp]":
+    """Start the stdlib HTTP server; returns the asyncio server and the app."""
+    if app is None:
+        app = ServiceApp()
+    server = await asyncio.start_server(
+        lambda reader, writer: _handle_connection(app, reader, writer), host, port
+    )
+    return server, app
+
+
+async def run(*, host: str = "127.0.0.1", port: int = 8734) -> None:
+    """Run the service until cancelled (the ``python -m repro.service`` entry)."""
+    server, app = await serve(host=host, port=port)
+    addresses = ", ".join(str(sock.getsockname()) for sock in server.sockets)
+    print(f"repro serving on {addresses}")
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        app.close()

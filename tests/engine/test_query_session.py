@@ -278,3 +278,62 @@ class TestPathsAmbiguityMessage:
         message = str(excinfo.value)
         assert "'S'" in message and "'T'" in message and "'U'" in message
         assert "relation=" in message
+
+
+class TestSessionClose:
+    """Regression tests for the close/finalize lifecycle.
+
+    A leaked sharded session used to strand the pinned ProcessExecutor
+    workers: nothing called ``close`` and the executor held OS resources
+    until interpreter exit.  Sessions now carry a ``weakref.finalize`` guard
+    (holding the ShardedFixpoint, never the session itself), and ``close``
+    is idempotent and detaches the guard.
+    """
+
+    def _spy_on_sharded_close(self, monkeypatch):
+        import repro.engine.sharding as sharding
+
+        calls = []
+        original = sharding.ShardedFixpoint.close
+
+        def spy(self):
+            calls.append(id(self))
+            return original(self)
+
+        monkeypatch.setattr(sharding.ShardedFixpoint, "close", spy)
+        return calls
+
+    def test_close_is_idempotent_for_plain_and_sharded_sessions(self):
+        plain = pair_query().session(line_instance())
+        plain.run()
+        plain.close()
+        plain.close()  # double close must be a no-op
+        sharded = pair_query().session(line_instance(), shards=2)
+        sharded.run()
+        sharded.close()
+        sharded.close()
+        # A closed session still answers from its materialization.
+        assert sharded.run(binding={0: "a"}).served_by == "maintained"
+
+    def test_leaked_sharded_sessions_release_their_executor_on_gc(self, monkeypatch):
+        import gc
+
+        calls = self._spy_on_sharded_close(monkeypatch)
+        session = pair_query().session(line_instance(), shards=2)
+        session.run()
+        assert calls == []
+        del session
+        gc.collect()
+        assert len(calls) == 1, "the finalizer did not shut the executor down"
+
+    def test_explicit_close_detaches_the_finalizer(self, monkeypatch):
+        import gc
+
+        calls = self._spy_on_sharded_close(monkeypatch)
+        session = pair_query().session(line_instance(), shards=2)
+        session.run()
+        session.close()
+        assert len(calls) == 1
+        del session
+        gc.collect()
+        assert len(calls) == 1, "gc after an explicit close must not close again"

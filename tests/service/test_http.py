@@ -1,0 +1,247 @@
+"""Tests for the HTTP boundary: the dict-level router and the stdlib server.
+
+Most coverage drives :meth:`ServiceApp.dispatch` directly — it is the
+transport-independent surface both servers and the benchmark share.  One
+test exercises the real ``asyncio.start_server`` transport over a socket
+(keep-alive, error statuses, malformed bodies), and the FastAPI front-end
+is covered when the dependency happens to be installed.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.io.serialization import instance_to_text, rows_from_json
+from repro.model import Instance, path
+from repro.service import ServiceApp, SessionRegistry, serve
+from repro.service.fastapi_app import create_fastapi_app
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+
+def line_text(length=4):
+    instance = Instance()
+    nodes = ["a"] + [f"n{i}" for i in range(1, length)]
+    for source, target in zip(nodes, nodes[1:]):
+        instance.add("E", source, target)
+    return instance_to_text(instance)
+
+
+def create_body(**overrides):
+    body = {"program": REACHABILITY_PAIRS, "instance": line_text()}
+    body.update(overrides)
+    return body
+
+
+class TestDispatch:
+    def test_healthz_and_session_lifecycle(self):
+        app = ServiceApp()
+
+        async def scenario():
+            status, payload = await app.dispatch("GET", "/v1/healthz")
+            assert (status, payload["status"]) == (200, "ok")
+
+            status, created = await app.dispatch("POST", "/v1/sessions", create_body())
+            assert status == 201 and created["materialized"] is True
+            assert created["output_relation"] == "T"
+            session = created["session"]
+
+            status, listing = await app.dispatch("GET", "/v1/sessions")
+            assert status == 200
+            assert [entry["session"] for entry in listing["sessions"]] == [session]
+
+            status, stats = await app.dispatch("GET", f"/v1/sessions/{session}")
+            assert status == 200 and stats["generation"] == 0
+
+            status, answer = await app.dispatch(
+                "POST", f"/v1/sessions/{session}/query", {"binding": {"0": "a"}}
+            )
+            assert status == 200 and answer["served_by"] == "maintained"
+            rows = set(rows_from_json(answer["answers"]["T"]))
+            assert rows == {(path("a"), path(f"n{i}")) for i in (1, 2, 3)}
+
+            status, ack = await app.dispatch(
+                "POST",
+                f"/v1/sessions/{session}/update",
+                {"add": [["E", "n3", "z"]], "retract": []},
+            )
+            assert status == 200 and ack["generation"] == 1
+
+            status, answer = await app.dispatch(
+                "POST", f"/v1/sessions/{session}/query", {"binding": {"0": "a"}}
+            )
+            assert status == 200 and answer["generation"] == 1
+            assert ["a", "z"] in answer["answers"]["T"]
+
+            status, closed = await app.dispatch("DELETE", f"/v1/sessions/{session}")
+            assert status == 200 and closed == {"closed": session}
+            status, error = await app.dispatch("GET", f"/v1/sessions/{session}")
+            assert status == 404 and error["error"]["code"] == "unknown_session"
+
+        asyncio.run(scenario())
+        app.close()
+
+    def test_unknown_routes_and_bad_uploads(self):
+        app = ServiceApp()
+
+        async def scenario():
+            status, error = await app.dispatch("PATCH", "/v1/healthz")
+            assert status == 404 and error["error"]["code"] == "not_found"
+            status, error = await app.dispatch("GET", "/nope")
+            assert status == 404
+            status, error = await app.dispatch("POST", "/v1/sessions", {"program": "  "})
+            assert status == 400 and error["error"]["code"] == "bad_upload"
+            status, error = await app.dispatch(
+                "POST", "/v1/sessions", create_body(program="T(@x :- broken")
+            )
+            assert status == 400 and error["error"]["code"] == "bad_upload"
+
+        asyncio.run(scenario())
+        app.close()
+
+    def test_bad_facts_and_bindings_are_400(self):
+        app = ServiceApp()
+
+        async def scenario():
+            _, created = await app.dispatch("POST", "/v1/sessions", create_body())
+            session = created["session"]
+            status, error = await app.dispatch(
+                "POST", f"/v1/sessions/{session}/update", {"add": [["E", "@x", "b"]]}
+            )
+            assert status == 400 and error["error"]["code"] == "bad_fact"
+            status, error = await app.dispatch(
+                "POST", f"/v1/sessions/{session}/query", {"binding": {"seven": "a"}}
+            )
+            assert status == 400 and error["error"]["code"] == "bad_binding"
+
+        asyncio.run(scenario())
+        app.close()
+
+    def test_dispatch_never_raises(self):
+        class Exploding(SessionRegistry):
+            def get(self, session_id):
+                raise RuntimeError("boom")
+
+        app = ServiceApp(Exploding())
+
+        async def scenario():
+            return await app.dispatch("GET", "/v1/sessions/s1")
+
+        status, payload = asyncio.run(scenario())
+        assert status == 500 and payload["error"]["code"] == "internal"
+
+
+class TestStdlibServer:
+    @staticmethod
+    async def _request(reader, writer, method, target, body=None):
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        head = (
+            f"{method} {target} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(payload)}\r\nContent-Type: application/json\r\n\r\n"
+        )
+        writer.write(head.encode() + payload)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode().partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value)
+        return status, json.loads(await reader.readexactly(length))
+
+    def test_full_round_trip_over_a_socket(self):
+        async def scenario():
+            server, app = await serve(port=0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                # Keep-alive: every request below shares one connection.
+                status, payload = await self._request(reader, writer, "GET", "/v1/healthz")
+                assert status == 200 and payload["status"] == "ok"
+
+                status, created = await self._request(
+                    reader, writer, "POST", "/v1/sessions", create_body()
+                )
+                assert status == 201
+                session = created["session"]
+
+                status, answer = await self._request(
+                    reader,
+                    writer,
+                    "POST",
+                    f"/v1/sessions/{session}/query",
+                    {"binding": {"0": "a"}},
+                )
+                assert status == 200
+                assert ["a", "n3"] in answer["answers"]["T"]
+
+                status, ack = await self._request(
+                    reader,
+                    writer,
+                    "POST",
+                    f"/v1/sessions/{session}/update",
+                    {"add": [["E", "n3", "z"]]},
+                )
+                assert status == 200 and ack["generation"] == 1
+
+                status, error = await self._request(
+                    reader, writer, "GET", "/v1/sessions/unknown"
+                )
+                assert status == 404
+            finally:
+                writer.close()
+                server.close()
+                await server.wait_closed()
+                app.close()
+
+        asyncio.run(scenario())
+
+    def test_malformed_json_body_is_rejected(self):
+        async def scenario():
+            server, app = await serve(port=0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                raw = b"not json"
+                head = (
+                    f"POST /v1/sessions HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {len(raw)}\r\n\r\n"
+                ).encode()
+                writer.write(head + raw)
+                await writer.drain()
+                status_line = await reader.readline()
+                assert b"400" in status_line
+            finally:
+                writer.close()
+                server.close()
+                await server.wait_closed()
+                app.close()
+
+        asyncio.run(scenario())
+
+
+class TestFastAPIFrontend:
+    def test_missing_dependency_raises_a_clear_error(self):
+        try:
+            import fastapi  # noqa: F401
+        except ImportError:
+            with pytest.raises(RuntimeError, match="stdlib asyncio server"):
+                create_fastapi_app()
+        else:
+            pytest.skip("fastapi installed; covered by the mounting test")
+
+    def test_routes_mount_when_fastapi_is_available(self):
+        pytest.importorskip("fastapi")
+        api = create_fastapi_app()
+        paths = {route.path for route in api.routes}
+        assert "/v1/sessions/{session_id}/query" in paths

@@ -1,0 +1,508 @@
+"""Tests for the serving core: coalescing, committed reads, admission, eviction.
+
+The async machinery is driven through ``asyncio.run`` (no pytest-asyncio in
+the toolchain): each test builds its handles inside one event loop, which
+also mirrors how the stdlib server and the benchmark drive the core.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.engine import EvaluationLimits, ProgramQuery
+from repro.io.serialization import instance_to_text, rows_from_json
+from repro.model import Fact, Instance, path
+from repro.parser import parse_program
+from repro.service import (
+    AdmissionLimits,
+    CommittedView,
+    ServiceError,
+    SessionHandle,
+    SessionRegistry,
+    TenantBudget,
+)
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+
+def pair_query(**overrides):
+    options = dict(require_monadic=False)
+    options.update(overrides)
+    return ProgramQuery(parse_program(REACHABILITY_PAIRS), {"E": 2}, "T", **options)
+
+
+def line_instance(length=6):
+    instance = Instance()
+    nodes = ["a"] + [f"n{i}" for i in range(1, length)]
+    for source, target in zip(nodes, nodes[1:]):
+        instance.add("E", source, target)
+    return instance
+
+
+def edge(source, target):
+    return Fact("E", (path(source), path(target)))
+
+
+def make_handle(instance=None, *, coalesce=True, admission=None, **session_options):
+    query = pair_query()
+    session = query.session(instance if instance is not None else line_instance())
+    return SessionHandle(
+        "s-test", "tenant", query, session, coalesce=coalesce, admission=admission
+    )
+
+
+def expected_pairs(instance, binding=None):
+    result = pair_query().run(instance, binding=binding or {})
+    return set(result.output.relation("T"))
+
+
+def answered(response):
+    [rows] = response["answers"].values()
+    return set(rows_from_json(rows))
+
+
+class TestCommittedView:
+    def test_select_unbound_and_bound(self):
+        handle = make_handle()
+        asyncio.run(handle.ensure_materialized())
+        view = handle.committed
+        assert view is not None and view.generation == 0
+        assert set(view.select("T", {})) == expected_pairs(line_instance())
+        bound = set(view.select("T", {0: path("a")}))
+        assert bound == expected_pairs(line_instance(), {0: path("a")})
+        assert view.select("Nope", {}) == ()
+        handle.close()
+
+    def test_indexes_are_inherited_across_untouched_relations(self):
+        base = Instance()
+        base.add("E", "a", "b")
+        base.add("F", "x", "y")
+        first = CommittedView(0, {name: base.relation(name) for name in base.relation_names})
+        first.select("F", {0: path("x")})  # build the ("F", 0) index
+        changed = dict(first.relations)
+        changed["E"] = frozenset(changed["E"] | {(path("b"), path("c"))})
+        second = CommittedView(1, changed, first)
+        assert second._indexes[("F", 0)] is first._indexes[("F", 0)]
+
+    def test_views_are_immutable_snapshots_across_updates(self):
+        handle = make_handle(line_instance(3))
+        asyncio.run(handle.ensure_materialized())
+        before = handle.committed
+        rows_before = set(before.select("T", {}))
+        asyncio.run(handle.enqueue_update([edge("n2", "z")]))
+        assert handle.committed is not before
+        assert set(before.select("T", {})) == rows_before  # old snapshot untouched
+        assert set(handle.committed.select("T", {})) > rows_before
+        handle.close()
+
+
+class TestCoalescing:
+    def test_concurrent_updates_share_one_maintenance_pass(self):
+        handle = make_handle()
+
+        async def scenario():
+            await handle.ensure_materialized()
+            return await asyncio.gather(
+                *(handle.enqueue_update([edge(f"x{i}", f"x{i + 1}")]) for i in range(10))
+            )
+
+        acks = asyncio.run(scenario())
+        assert handle.maintenance_passes == 1
+        assert {ack["generation"] for ack in acks} == {1}
+        assert all(ack["coalesced_batches"] == 10 for ack in acks)
+        assert handle.batches_committed == 10
+        final = Instance()
+        for fact in line_instance().facts():
+            final.add(fact.relation, *fact.paths)
+        for i in range(10):
+            final.add("E", f"x{i}", f"x{i + 1}")
+        assert set(handle.committed.select("T", {})) == expected_pairs(final)
+        handle.close()
+
+    def test_serialized_mode_pays_one_pass_per_batch(self):
+        handle = make_handle(coalesce=False)
+
+        async def scenario():
+            await handle.ensure_materialized()
+            return await asyncio.gather(
+                *(handle.enqueue_update([edge(f"x{i}", f"x{i + 1}")]) for i in range(5))
+            )
+
+        acks = asyncio.run(scenario())
+        assert handle.maintenance_passes == 5
+        assert sorted(ack["generation"] for ack in acks) == [1, 2, 3, 4, 5]
+        assert all(ack["coalesced_batches"] == 1 for ack in acks)
+        handle.close()
+
+    def test_later_retraction_cancels_a_queued_addition(self):
+        handle = make_handle(line_instance(3))
+
+        async def scenario():
+            await handle.ensure_materialized()
+            baseline = set(handle.committed.select("T", {}))
+            await asyncio.gather(
+                handle.enqueue_update(additions=[edge("b", "c")]),
+                handle.enqueue_update(retractions=[edge("b", "c")]),
+            )
+            return baseline
+
+        baseline = asyncio.run(scenario())
+        assert handle.maintenance_passes == 1
+        [record] = handle.commit_log
+        assert record.batches == 2
+        assert record.additions == ()  # the retraction cancelled it in the merge
+        assert record.retractions == (edge("b", "c"),)
+        assert set(handle.committed.select("T", {})) == baseline
+        handle.close()
+
+    def test_acks_carry_the_merged_update_result(self):
+        handle = make_handle(line_instance(3))
+
+        async def scenario():
+            await handle.ensure_materialized()
+            return await handle.enqueue_update([edge("n2", "z")])
+
+        ack = asyncio.run(scenario())
+        assert ack["update"]["maintained"] is True
+        assert ["E", "n2", "z"] in [list(fact) for fact in ack["update"]["added"]]
+        handle.close()
+
+
+class TestAdmission:
+    def test_full_update_queue_sheds_with_429(self):
+        handle = make_handle(admission=AdmissionLimits(max_pending_updates=2))
+
+        async def scenario():
+            await handle.ensure_materialized()
+            async with handle._lock:  # hold the engine: the flusher cannot drain
+                first = asyncio.ensure_future(handle.enqueue_update([edge("x0", "x1")]))
+                for _ in range(5):
+                    await asyncio.sleep(0)  # flusher takes the first batch, blocks
+                queued = [
+                    asyncio.ensure_future(handle.enqueue_update([edge(f"x{i}", f"x{i + 1}")]))
+                    for i in (1, 2)
+                ]
+                for _ in range(5):
+                    await asyncio.sleep(0)
+                with pytest.raises(ServiceError) as shed:
+                    await handle.enqueue_update([edge("x3", "x4")])
+                assert shed.value.status == 429
+                assert shed.value.code == "too_many_pending_updates"
+            return await asyncio.gather(first, *queued)
+
+        acks = asyncio.run(scenario())
+        assert handle.shed_updates == 1
+        assert len(acks) == 3  # everything admitted before the shed still committed
+        assert set(handle.committed.select("T", {})) >= {
+            (path("x0"), path("x2")),
+            (path("x1"), path("x2")),
+        }
+        handle.close()
+
+    def test_query_concurrency_cap_sheds_with_429(self):
+        handle = make_handle(admission=AdmissionLimits(max_concurrent_queries=0))
+
+        async def scenario():
+            await handle.ensure_materialized()
+            with pytest.raises(ServiceError) as shed:
+                await handle.run_query(mode="full")
+            return shed.value
+
+        error = asyncio.run(scenario())
+        assert error.status == 429 and error.code == "too_many_concurrent_queries"
+        assert handle.shed_queries == 1 and handle.queries_served == 0
+        handle.close()
+
+    def test_edb_budget_sheds_before_any_work(self):
+        instance = line_instance(3)  # 2 EDB facts
+        handle = make_handle(instance, admission=AdmissionLimits(max_edb_facts=4))
+
+        async def scenario():
+            await handle.ensure_materialized()
+            passes = handle.maintenance_passes
+            with pytest.raises(ServiceError) as shed:
+                await handle.enqueue_update([edge(f"y{i}", f"y{i + 1}") for i in range(5)])
+            assert shed.value.status == 429 and shed.value.code == "edb_budget_exceeded"
+            assert handle.maintenance_passes == passes  # shed before the engine ran
+            return await handle.enqueue_update([edge("n2", "z")])  # within budget
+
+        ack = asyncio.run(scenario())
+        assert ack["generation"] == 1
+        assert handle.shed_updates == 1
+        handle.close()
+
+    def test_evaluation_budget_breach_degrades_and_sheds_queries_with_429(self):
+        # A tight derived-fact budget: the initial line fits, the extended
+        # one derives a T past max_facts.  The engine's contract on a breach
+        # mid-maintenance is degradation (materialization dropped, reason
+        # recorded), so the *ack* carries the fallback and the next full
+        # query — which would have to rebuild past the budget — is shed.
+        query = ProgramQuery(
+            parse_program(REACHABILITY_PAIRS),
+            {"E": 2},
+            "T",
+            require_monadic=False,
+            limits=EvaluationLimits(max_facts=30),
+        )
+        session = query.session(line_instance(4))
+        handle = SessionHandle("s-budget", "tenant", query, session)
+        poison = [edge("n3", "m0")] + [edge(f"m{i}", f"m{i + 1}") for i in range(7)]
+
+        async def scenario():
+            await handle.ensure_materialized()
+            ack = await handle.enqueue_update(poison)
+            assert ack["update"]["maintained"] is False
+            assert "grew beyond" in ack["update"]["fallback_reason"]
+            assert handle.committed is None  # the materialization was dropped
+            with pytest.raises(ServiceError) as shed:
+                await handle.run_query(mode="full")
+            assert shed.value.status == 429
+            assert shed.value.code == "evaluation_budget_exceeded"
+            # Retracting the poison facts restores full service.
+            await handle.enqueue_update(retractions=poison)
+            response = await handle.run_query(mode="full")
+            assert answered(response) == expected_pairs(line_instance(4))
+
+        asyncio.run(scenario())
+        handle.close()
+
+
+class TestConcurrentReads:
+    def test_queries_are_served_from_the_view_while_the_engine_is_busy(self):
+        handle = make_handle()
+
+        async def scenario():
+            await handle.ensure_materialized()
+            async with handle._lock:  # simulate a maintenance pass in flight
+                response = await asyncio.wait_for(
+                    handle.run_query(mode="full", binding={0: path("a")}), timeout=1.0
+                )
+            return response
+
+        response = asyncio.run(scenario())
+        assert response["served_by"] == "maintained"
+        assert response["generation"] == 0
+        assert answered(response) == expected_pairs(line_instance(), {0: path("a")})
+        assert handle.queries_from_view == 1 and handle.queries_from_engine == 0
+        handle.close()
+
+    def test_reads_overlap_a_real_maintenance_pass(self):
+        handle = make_handle(line_instance(12))
+
+        async def scenario():
+            await handle.ensure_materialized()
+            update = asyncio.ensure_future(
+                handle.enqueue_update([edge(f"m{i}", f"m{i + 1}") for i in range(30)])
+            )
+            observed = []
+            while not update.done():
+                response = await handle.run_query(mode="full")
+                observed.append(response["generation"])
+                await asyncio.sleep(0)
+            await update
+            return observed
+
+        observed = asyncio.run(scenario())
+        assert observed, "no query ran while the update was in flight"
+        assert all(generation in (0, 1) for generation in observed)
+        assert handle.queries_from_view == len(observed)
+        handle.close()
+
+    def test_tabled_mode_takes_the_engine_path(self):
+        handle = make_handle()
+
+        async def scenario():
+            await handle.ensure_materialized()
+            return await handle.run_query(mode="tabled", binding={0: path("a")})
+
+        response = asyncio.run(scenario())
+        assert handle.queries_from_engine == 1
+        assert answered(response) == expected_pairs(line_instance(), {0: path("a")})
+        handle.close()
+
+    def test_bad_binding_and_bad_mode_are_client_errors(self):
+        handle = make_handle()
+
+        async def scenario():
+            await handle.ensure_materialized()
+            with pytest.raises(ServiceError) as bad_position:
+                await handle.run_query(binding={7: path("a")})
+            assert bad_position.value.status == 400
+            assert bad_position.value.code == "bad_binding"
+            with pytest.raises(ServiceError) as bad_mode:
+                await handle.run_query(mode="sideways")
+            assert bad_mode.value.status == 400 and bad_mode.value.code == "bad_mode"
+
+        asyncio.run(scenario())
+        handle.close()
+
+
+class TestHandleLifecycle:
+    def test_close_is_idempotent_and_closed_handles_refuse_requests(self):
+        handle = make_handle()
+        asyncio.run(handle.ensure_materialized())
+        handle.close()
+        handle.close()  # second close is a no-op
+        with pytest.raises(ServiceError) as refused:
+            asyncio.run(handle.run_query())
+        assert refused.value.status == 410 and refused.value.code == "session_closed"
+        with pytest.raises(ServiceError):
+            asyncio.run(handle.enqueue_update([edge("p", "q")]))
+
+    def test_close_fails_queued_and_in_flight_updates_with_503(self):
+        handle = make_handle()
+
+        async def scenario():
+            await handle.ensure_materialized()
+            async with handle._lock:
+                taken = asyncio.ensure_future(handle.enqueue_update([edge("x0", "x1")]))
+                for _ in range(5):
+                    await asyncio.sleep(0)  # flusher takes it, blocks on the lock
+                queued = asyncio.ensure_future(handle.enqueue_update([edge("x1", "x2")]))
+                for _ in range(5):
+                    await asyncio.sleep(0)
+                handle.close()
+            errors = await asyncio.gather(taken, queued, return_exceptions=True)
+            return errors
+
+        errors = asyncio.run(scenario())
+        assert len(errors) == 2
+        for error in errors:
+            assert isinstance(error, ServiceError)
+            assert error.status == 503 and error.code == "session_evicted"
+
+
+class TestRegistry:
+    PROGRAM = REACHABILITY_PAIRS
+
+    def instance_text(self, length=4):
+        return instance_to_text(line_instance(length))
+
+    def test_create_materializes_and_serves(self):
+        registry = SessionRegistry()
+
+        async def scenario():
+            handle = await registry.create(program=self.PROGRAM, instance=self.instance_text())
+            response = await handle.run_query(binding={0: path("a")})
+            return handle, response
+
+        handle, response = asyncio.run(scenario())
+        assert handle.committed is not None and handle.generation == 0
+        assert answered(response) == expected_pairs(line_instance(4), {0: path("a")})
+        registry.close_all()
+
+    def test_output_relation_is_inferred_only_when_unambiguous(self):
+        registry = SessionRegistry()
+
+        async def scenario():
+            with pytest.raises(ServiceError) as ambiguous:
+                await registry.create(
+                    program="A(@x) :- E(@x, @y).\nB(@y) :- E(@x, @y).",
+                    instance="E(a, b).",
+                )
+            assert ambiguous.value.code == "ambiguous_output"
+            handle = await registry.create(
+                program="A(@x) :- E(@x, @y).\nB(@y) :- E(@x, @y).",
+                instance="E(a, b).",
+                output_relation="B",
+            )
+            return handle
+
+        handle = asyncio.run(scenario())
+        assert handle.query.output_relation == "B"
+        registry.close_all()
+
+    def test_bad_uploads_are_400(self):
+        registry = SessionRegistry()
+
+        async def scenario():
+            with pytest.raises(ServiceError) as bad_program:
+                await registry.create(program="T(@x :- broken", instance="")
+            assert bad_program.value.status == 400 and bad_program.value.code == "bad_upload"
+            with pytest.raises(ServiceError) as bad_instance:
+                await registry.create(
+                    program=self.PROGRAM, instance="E(@x, b)."  # not ground
+                )
+            assert bad_instance.value.code == "bad_upload"
+
+        asyncio.run(scenario())
+        assert len(registry) == 0
+
+    def test_service_capacity_evicts_the_least_recently_used(self):
+        registry = SessionRegistry(max_sessions=2)
+
+        async def scenario():
+            first = await registry.create(program=self.PROGRAM, instance=self.instance_text())
+            second = await registry.create(program=self.PROGRAM, instance=self.instance_text())
+            registry.get(first.session_id)  # touch: first becomes most recent
+            third = await registry.create(program=self.PROGRAM, instance=self.instance_text())
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert registry.evictions == [(second.session_id, "service_capacity")]
+        assert second.closed and not first.closed and not third.closed
+        with pytest.raises(ServiceError) as gone:
+            registry.get(second.session_id)
+        assert gone.value.status == 404
+        registry.close_all()
+
+    def test_tenant_budget_evicts_within_the_tenant_only(self):
+        registry = SessionRegistry(tenant_budgets={"a": TenantBudget(max_sessions=1)})
+
+        async def scenario():
+            mine = await registry.create(
+                tenant="a", program=self.PROGRAM, instance=self.instance_text()
+            )
+            other = await registry.create(
+                tenant="b", program=self.PROGRAM, instance=self.instance_text()
+            )
+            replacement = await registry.create(
+                tenant="a", program=self.PROGRAM, instance=self.instance_text()
+            )
+            return mine, other, replacement
+
+        mine, other, replacement = asyncio.run(scenario())
+        assert registry.evictions == [(mine.session_id, "tenant_capacity")]
+        assert mine.closed and not other.closed and not replacement.closed
+        registry.close_all()
+
+    def test_tenant_budget_caps_table_capacity(self):
+        registry = SessionRegistry(
+            tenant_budgets={"a": TenantBudget(table_capacity=7)}
+        )
+
+        async def scenario():
+            capped = await registry.create(
+                tenant="a",
+                program=self.PROGRAM,
+                instance=self.instance_text(),
+                options={"table_capacity": 1000, "materialize": False},
+            )
+            defaulted = await registry.create(
+                tenant="a",
+                program=self.PROGRAM,
+                instance=self.instance_text(),
+                options={"materialize": False},
+            )
+            return capped, defaulted
+
+        capped, defaulted = asyncio.run(scenario())
+        assert capped.session.table_capacity == 7
+        assert defaulted.session.table_capacity == 7
+        registry.close_all()
+
+    def test_drop_closes_and_forgets(self):
+        registry = SessionRegistry()
+
+        async def scenario():
+            handle = await registry.create(program=self.PROGRAM, instance=self.instance_text())
+            registry.drop(handle.session_id)
+            return handle
+
+        handle = asyncio.run(scenario())
+        assert handle.closed and len(registry) == 0
+        with pytest.raises(ServiceError):
+            registry.drop(handle.session_id)
