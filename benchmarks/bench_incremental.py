@@ -31,7 +31,12 @@ from repro.engine import (
 )
 from repro.model import path
 from repro.parser import parse_program
-from repro.workloads import as_edge_pairs, layered_graph_instance, update_stream
+from repro.workloads import (
+    as_edge_pairs,
+    churn_stream,
+    layered_graph_instance,
+    update_stream,
+)
 
 REACHABILITY_PAIRS = """
 T(@x, @y) :- E(@x, @y).
@@ -145,6 +150,72 @@ def test_maintained_serving_beats_reevaluation_5x(bench_report, request):
         f"maintained {incremental_seconds:.3f}s vs re-evaluation {scratch_seconds:.3f}s "
         f"({speedup:.1f}× faster, identical answers); extension attempts "
         f"{incremental_stats.extension_attempts} vs {scratch_stats.extension_attempts}"
+    )
+
+
+def test_deletion_heavy_churn_stays_maintained(bench_report):
+    """The adversarial stream: retraction-dominated churn with revivals.
+
+    The friendly stream above is addition-balanced; this one deletes four
+    edges per step and adds one back (half of them resurrecting a previously
+    retracted edge), so maintenance lives on the deletion side — counting
+    decrements crossing zero and revived facts that must return with correct
+    support counts.  Every step must stay maintained (no fallback) and agree
+    with a scratch re-evaluation; the gate is correctness plus the recorded
+    wall time, so a hostile workload regression shows up in CI, not just the
+    friendly one.
+    """
+    program, query, instance = _workload()
+    steps = list(
+        churn_stream(
+            instance,
+            relation="E",
+            steps=STEPS * 2,
+            retractions_per_step=4,
+            additions_per_step=1,
+            revival_rate=0.5,
+            seed=11,
+        )
+    )
+    retracted = sum(len(removed) for _, removed in steps)
+    added = sum(len(appended) for appended, _ in steps)
+    assert retracted >= 3 * added  # the stream really is deletion-heavy
+
+    session = query.session(instance.copy())
+    scratch_instance = instance.copy()
+    session.run(binding={0: SOURCES[0]})
+    maintenance_rounds = 0
+    started = time.perf_counter()
+    for additions, retractions in steps:
+        update = session.update(additions, retractions)
+        assert update.maintained and update.fallback_reason is None
+        maintenance_rounds += update.statistics.maintenance_rounds
+        delta = scratch_instance.begin_delta()
+        for fact in additions:
+            delta.add_fact(fact)
+        for fact in retractions:
+            delta.retract_fact(fact)
+        delta.apply()
+        for source in SOURCES[:2]:
+            result = session.run(binding={0: source})
+            assert result.served_by == "maintained"
+            expected = query.run(scratch_instance.copy(), binding={0: source})
+            assert result.output == expected.output
+    churn_seconds = time.perf_counter() - started
+
+    bench_report(
+        "incremental",
+        churn_steps=len(steps),
+        churn_retractions=retracted,
+        churn_additions=added,
+        churn_maintenance_rounds=maintenance_rounds,
+        churn_seconds=churn_seconds,
+    )
+    print()
+    print(
+        f"deletion-heavy churn ({len(steps)} steps, {retracted} retractions vs "
+        f"{added} additions): maintained throughout in {churn_seconds:.3f}s "
+        f"({maintenance_rounds} maintenance rounds), answers match scratch"
     )
 
 

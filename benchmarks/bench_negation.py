@@ -1,0 +1,234 @@
+"""NEG — stratified negation end-to-end: goal-directed + maintained + sharded.
+
+Not a paper experiment: this benchmark demonstrates the stratified-negation
+story described in DESIGN.md on one workload — "reachable but not blocked":
+``Blocked`` is an IDB relation read under negation *inside* the recursion,
+the exact shape every fast path used to refuse (goal mode fell back to full
+evaluation, maintenance raised on any update that could reach the negated
+relation, and the sharding planner demoted the whole stratum to replicated
+workers).
+
+Three gates, one per lifted restriction, all on the same program and graph:
+
+* **goal-directed** — a bound-source goal runs on the goal pipeline
+  (``mode == "goal"``, no ``fallback_reason``) and attempts at least
+  ``GOAL_PRUNING_FACTOR``× fewer valuation extensions than full evaluation,
+  with identical answers (deterministic, always checked);
+* **maintained** — an update stream through ``Blocklist`` (both signed
+  directions: additions retract downstream, retractions rederive) stays
+  incrementally maintained with answers identical to a scratch rebuild at
+  every step, and attempts at least ``MAINTENANCE_PRUNING_FACTOR``× fewer
+  extensions than per-step re-evaluation (deterministic, always checked);
+* **sharded** — the planner proves every stratum local/aligned with the
+  recursive relation *not* replicated, and the sharded session serves
+  answers identical to the single-process one through the same stream
+  (always checked).
+
+With ``--json`` the harness writes ``BENCH_negation.json``; wall times are
+recorded for the regression gate, the deterministic counter ratios are the
+portable evidence.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import EvaluationStatistics, ProgramQuery, evaluate_program
+from repro.parser import parse_program
+from repro.storage import choose_sharding_plan
+from repro.workloads import as_edge_pairs, layered_graph_instance, update_stream
+
+BLOCKED_REACHABILITY = """
+Blocked(@x) :- Blocklist(@x).
+T(@x, @y) :- E(@x, @y), not Blocked(@y).
+T(@x, @z) :- T(@x, @y), E(@y, @z), not Blocked(@z).
+"""
+
+GRAPH = dict(layers=10, width=12, edges_per_node=2, seed=2)
+STEPS = 4
+SOURCES = ["a", "l1n0", "l2n1", "l3n2", "l5n5"]
+SHARDS = 4
+#: A bound-source goal must attempt at least this many × fewer extensions
+#: than full evaluation of the same program.
+GOAL_PRUNING_FACTOR = 3
+#: The maintained stream must attempt at least this many × fewer extensions
+#: than re-evaluating from scratch at every step.
+MAINTENANCE_PRUNING_FACTOR = 3
+
+
+def _workload():
+    program = parse_program(BLOCKED_REACHABILITY)
+    instance = as_edge_pairs(layered_graph_instance(**GRAPH))
+    nodes = sorted({row[0] for row in instance.relation("E")}, key=repr)
+    instance.ensure_relation("Blocklist")
+    for node in nodes[5::17][:6]:  # a handful of blocked mid-graph nodes
+        instance.add("Blocklist", node)
+    query = ProgramQuery(
+        program, {"E": 2, "Blocklist": 1}, "T", require_monadic=False
+    )
+    return program, query, instance
+
+
+def _blocklist_steps(instance):
+    return list(
+        update_stream(
+            instance,
+            relation="Blocklist",
+            steps=STEPS,
+            additions_per_step=1,
+            retractions_per_step=1,
+            seed=13,
+        )
+    )
+
+
+def test_goal_directed_negation_takes_the_fast_path(bench_report):
+    """Negation over a demanded IDB relation stays on the goal pipeline."""
+    _, query, instance = _workload()
+    full = query.run(instance.copy(), binding={0: SOURCES[0]}, mode="full")
+    started = time.perf_counter()
+    goal = query.run(instance.copy(), binding={0: SOURCES[0]}, mode="goal")
+    goal_seconds = time.perf_counter() - started
+    assert goal.mode == "goal" and goal.fallback_reason is None
+    assert goal.output == full.output
+    assert (
+        goal.statistics.extension_attempts * GOAL_PRUNING_FACTOR
+        <= full.statistics.extension_attempts
+    ), (
+        f"goal mode attempted {goal.statistics.extension_attempts} extensions "
+        f"vs full's {full.statistics.extension_attempts}"
+    )
+    bench_report(
+        "negation",
+        workload=(
+            "layered-graph reachability avoiding blocked nodes (negated IDB "
+            f"relation inside the recursion); {STEPS}-step Blocklist stream"
+        ),
+        goal_seconds=goal_seconds,
+        goal_extension_attempts=goal.statistics.extension_attempts,
+        full_extension_attempts=full.statistics.extension_attempts,
+    )
+    print()
+    print(
+        f"goal-directed negation: {goal.statistics.extension_attempts} extension "
+        f"attempts vs full's {full.statistics.extension_attempts} "
+        f"({full.statistics.extension_attempts / max(1, goal.statistics.extension_attempts):.1f}× "
+        f"pruned), no fallback, identical answers"
+    )
+
+
+def test_updates_through_the_negated_relation_stay_maintained(bench_report):
+    """Blocklist churn: signed deltas propagate, answers match scratch."""
+    program, query, instance = _workload()
+    steps = _blocklist_steps(instance)
+
+    session = query.session(instance.copy())
+    scratch_instance = instance.copy()
+    session.run(binding={0: SOURCES[0]})
+    incremental_attempts = 0
+    maintained_answers = []
+    started = time.perf_counter()
+    for additions, retractions in steps:
+        update = session.update(additions, retractions)
+        assert update.maintained and update.fallback_reason is None
+        incremental_attempts += update.statistics.extension_attempts
+        for source in SOURCES:
+            result = session.run(binding={0: source})
+            assert result.served_by == "maintained"
+            maintained_answers.append(result.output.relation("T"))
+    incremental_seconds = time.perf_counter() - started
+
+    scratch_attempts = 0
+    scratch_answers = []
+    started = time.perf_counter()
+    for additions, retractions in steps:
+        delta = scratch_instance.begin_delta()
+        for fact in additions:
+            delta.add_fact(fact)
+        for fact in retractions:
+            delta.retract_fact(fact)
+        delta.apply()
+        statistics = EvaluationStatistics()
+        rebuilt = evaluate_program(program, scratch_instance, statistics=statistics)
+        scratch_attempts += statistics.extension_attempts
+        for source in SOURCES:
+            scratch_answers.append(
+                frozenset(
+                    row
+                    for row in rebuilt.relation("T")
+                    if row[0].elements == (source,)
+                )
+            )
+    scratch_seconds = time.perf_counter() - started
+
+    assert maintained_answers == scratch_answers
+    assert incremental_attempts * MAINTENANCE_PRUNING_FACTOR <= scratch_attempts
+
+    bench_report(
+        "negation",
+        maintained_seconds=incremental_seconds,
+        scratch_seconds=scratch_seconds,
+        maintained_extension_attempts=incremental_attempts,
+        scratch_extension_attempts=scratch_attempts,
+    )
+    print()
+    print(
+        f"Blocklist stream ({STEPS} steps): maintained {incremental_attempts} "
+        f"extension attempts vs per-step re-evaluation {scratch_attempts} "
+        f"({scratch_attempts / max(1, incremental_attempts):.1f}× pruned), "
+        f"answers match scratch at every step"
+    )
+
+
+def test_sharded_negation_stratum_is_not_replicated(bench_report):
+    """The planner proves local/aligned; sharded ≡ single-process serving."""
+    program, query, instance = _workload()
+    plan = choose_sharding_plan(program)
+    assert all(mode in ("local", "aligned") for mode in plan.modes), plan.modes
+    assert "T" not in plan.spec(SHARDS).replicated
+    steps = _blocklist_steps(instance)
+
+    plain = query.session(instance.copy())
+    plain_answers = [plain.run(binding={0: source}).output for source in SOURCES]
+    started = time.perf_counter()
+    with query.session(instance.copy(), shards=SHARDS) as sharded:
+        answers = [sharded.run(binding={0: source}).output for source in SOURCES]
+        assert answers == plain_answers
+        for additions, retractions in steps:
+            plain_update = plain.update(additions, retractions)
+            sharded_update = sharded.update(additions, retractions)
+            assert plain_update.maintained and sharded_update.maintained
+            assert sharded_update.fallback_reason is None
+            for source in SOURCES:
+                lhs = plain.run(binding={0: source})
+                rhs = sharded.run(binding={0: source})
+                assert rhs.served_by == "maintained"
+                assert lhs.output == rhs.output
+    sharded_seconds = time.perf_counter() - started
+
+    bench_report(
+        "negation",
+        shards=SHARDS,
+        stratum_modes=list(plan.modes),
+        replicated_relations=sorted(plan.spec(SHARDS).replicated),
+        sharded_stream_seconds=sharded_seconds,
+    )
+    print()
+    print(
+        f"sharded negation ({SHARDS} shards): stratum modes {list(plan.modes)}, "
+        f"replicated {sorted(plan.spec(SHARDS).replicated)} (recursion not "
+        f"replicated), answers identical to single-process through the stream"
+    )
+
+
+@pytest.mark.parametrize("mode", ["goal"])
+def test_goal_latency(benchmark, mode):
+    """Per-goal latency of the stratified rewrite (pytest-benchmark)."""
+    _, query, instance = _workload()
+    session = query.session(instance.copy())
+
+    def goal():
+        return session.run(binding={0: SOURCES[0]}, mode=mode)
+
+    result = benchmark.pedantic(goal, rounds=1, iterations=1)
+    assert result.fallback_reason is None

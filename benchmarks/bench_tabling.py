@@ -27,7 +27,7 @@ import pytest
 from repro.engine import ProgramQuery
 from repro.model import Fact, path
 from repro.parser import parse_program
-from repro.workloads import as_edge_pairs, layered_graph_instance
+from repro.workloads import as_edge_pairs, layered_graph_instance, low_overlap_goal_stream
 
 REACHABILITY_PAIRS = """
 T(@x, @y) :- E(@x, @y).
@@ -121,6 +121,62 @@ def test_tabled_stream_prunes_at_least_3x(bench_report):
         f"table hits {tabled_totals['subgoal_table_hits']}; wall time "
         f"{baseline_seconds:.2f}s → {tabled_seconds:.2f}s "
         f"({baseline_seconds / max(tabled_seconds, 1e-9):.1f}× faster, identical answers)"
+    )
+
+
+def test_low_overlap_stream_degrades_gracefully(bench_report):
+    """The adversarial stream: every goal binds a different source.
+
+    Subsumption never fires and the LRU bound churns, so tabling can win
+    nothing here — the gate is that it must not *lose* either: answers stay
+    identical to per-goal magic, the table respects its capacity, and the
+    tabled session's extension attempts stay within a small constant factor
+    of the baseline (the only extra work is seeding entries that are then
+    evicted).  The recorded wall time keeps the hostile shape gated in CI
+    alongside the friendly one above.
+    """
+    query, instance = _workload()
+    stream = low_overlap_goal_stream(instance, relation="E", position=0, goals=24, seed=9)
+    assert len(set(stream)) == len(stream)  # genuinely zero overlap
+
+    baseline_session = query.session(instance, memoize=False)
+    baseline_totals: dict = {}
+    baseline_answers = []
+    for source in stream:
+        result = baseline_session.run(binding={0: source}, mode="goal")
+        assert result.served_by == "goal" and result.fallback_reason is None
+        baseline_answers.append(result.output.relation("T"))
+        _accumulate(result.statistics, baseline_totals)
+
+    capacity = 8
+    tabled_session = query.session(instance, memoize=True, table_capacity=capacity)
+    tabled_totals: dict = {}
+    tabled_answers = []
+    started = time.perf_counter()
+    for source in stream:
+        result = tabled_session.run(binding={0: source}, mode="goal")
+        assert result.mode == "goal" and result.fallback_reason is None
+        tabled_answers.append(result.output.relation("T"))
+        _accumulate(result.statistics, tabled_totals)
+    low_overlap_seconds = time.perf_counter() - started
+
+    assert tabled_answers == baseline_answers
+    assert tabled_totals["subgoal_table_hits"] == 0  # nothing to hit
+    assert len(tabled_session._tables) <= capacity
+    assert tabled_totals["extension_attempts"] <= 2 * baseline_totals["extension_attempts"]
+
+    bench_report(
+        "tabling",
+        low_overlap_goals=len(stream),
+        low_overlap_seconds=low_overlap_seconds,
+        low_overlap_extension_attempts=tabled_totals["extension_attempts"],
+    )
+    print()
+    print(
+        f"low-overlap goal stream ({len(stream)} distinct sources, table bound "
+        f"{capacity}): tabled {tabled_totals['extension_attempts']} vs per-goal "
+        f"magic {baseline_totals['extension_attempts']} extension attempts, "
+        f"identical answers in {low_overlap_seconds:.2f}s"
     )
 
 

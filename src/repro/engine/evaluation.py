@@ -450,6 +450,7 @@ def satisfying_valuations(
     sequence: "Sequence[int] | None" = None,
     statistics=None,
     initial_valuations: "Iterable[Valuation] | None" = None,
+    negative_sources: "dict[int, Instance] | None" = None,
 ) -> Iterator[Valuation]:
     """Yield the valuations (restricted to the rule's variables) satisfying the body.
 
@@ -458,6 +459,13 @@ def satisfying_valuations(
     the semi-naive strategy restricts one body atom to the newly derived facts.
     Frontier positions always refer to the static order, regardless of the
     execution mode's actual evaluation sequence.
+
+    *negative_sources* is the same position-indexed override for *negated*
+    predicate literals: the membership check at an overridden position runs
+    against the supplied instance instead of *instance*.  Signed counting
+    maintenance uses this to evaluate negations against the pre-update
+    overlay of a changed negated relation (the telescoped joins read "old"
+    state at positions after their pivot).
 
     A precomputed *sequence* (a permutation of the order's positions, e.g. a
     cached plan from :class:`RuleEvaluator`) skips the per-call greedy
@@ -500,7 +508,10 @@ def satisfying_valuations(
             valuations = _extend_with_equation(valuations, literal.atom, limits)  # type: ignore[arg-type]
         else:
             # Negative literals filter the stream of candidate valuations.
-            valuations = _filter_negative(valuations, literal, instance)
+            source = instance
+            if negative_sources is not None and position in negative_sources:
+                source = negative_sources[position]
+            valuations = _filter_negative(valuations, literal, source)
 
     yield from valuations
 
@@ -637,6 +648,7 @@ class RuleEvaluator:
         statistics=None,
         *,
         initial_valuations: "Iterable[Valuation] | None" = None,
+        negative_sources: "dict[int, Instance] | None" = None,
     ) -> "Iterator[tuple[Fact, Valuation]]":
         """Yield every ``(head fact, satisfying valuation)`` derivation.
 
@@ -673,6 +685,7 @@ class RuleEvaluator:
             sequence=sequence,
             statistics=statistics,
             initial_valuations=initial_valuations,
+            negative_sources=negative_sources,
         ):
             fact = valuation.apply_to_predicate(self.rule.head)
             for path in fact.paths:
@@ -684,6 +697,8 @@ class RuleEvaluator:
         instance: Instance,
         frontier: "dict[int, Instance] | None" = None,
         statistics=None,
+        *,
+        negative_sources: "dict[int, Instance] | None" = None,
     ) -> set[Fact]:
         """Evaluate the rule once against *instance* (optionally delta-restricted).
 
@@ -691,7 +706,14 @@ class RuleEvaluator:
         plan (:class:`~repro.engine.compiled.CompiledRule`); the rest — and
         every :meth:`derivations` stream, which needs per-valuation support —
         take the interpreted path, so answers are identical across modes.
+        A *negative_sources* override always interprets: the compiled plan's
+        negation membership tests are baked against the live instance.
         """
-        if self.compiled_plan is not None:
+        if self.compiled_plan is not None and negative_sources is None:
             return self.compiled_plan.derive(instance, frontier, self.limits, statistics)
-        return {fact for fact, _ in self.derivations(instance, frontier, statistics)}
+        return {
+            fact
+            for fact, _ in self.derivations(
+                instance, frontier, statistics, negative_sources=negative_sources
+            )
+        }

@@ -22,15 +22,24 @@ drifts instead of recomputing it:
   (:func:`~repro.engine.fixpoint.propagate_delta`) shared with full
   evaluation.
 
-Both algorithms propagate *positive* deltas only; an update that could reach
-a relation used under negation is refused upfront with
-:class:`~repro.errors.MaintenanceUnsupportedError` (before any state is
-touched), and the query layer falls back to re-evaluation with the recorded
-reason — the same contract goal-directed evaluation uses for unsupported
-magic rewritings.  The property tests in
+Both algorithms propagate **signed** deltas through stratified negation.  A
+negated literal ``not N(t̄)`` is an indicator that flips when ``N`` changes,
+so the telescoped joins gain one extra pivot per changed negated position:
+the literal is flipped positive, restricted to the delta rows of ``N``, and
+its contribution enters with the *opposite* sign (an addition to ``N``
+retracts downstream derivations, a retraction adds them).  Delete–rederive
+likewise seeds extra overdeletions from additions to negated relations
+(evaluated against the pre-update overlay) and extra insertions from
+retractions (evaluated against the new state).  Stratification makes this
+sound: a negated relation is always owned by an earlier stratum, so its net
+delta is final by the time any reader maintains.  Only updates naming
+relations the program has never heard of are refused upfront with
+:class:`~repro.errors.MaintenanceUnsupportedError` — plus, defensively,
+genuinely unstratifiable programs at build time.  The property tests in
 ``tests/properties/test_maintenance_agreement.py`` assert that a maintained
 materialization stays extensionally identical to a from-scratch fixpoint
-across strategy × execution combinations, including retractions.
+across strategy × execution combinations, including retractions and
+retraction streams through negated literals.
 
 A maintained fixpoint can additionally run **sharded**
 (:mod:`repro.engine.sharding`): pass a
@@ -275,7 +284,7 @@ class MaintainedFixpoint:
         if evaluators is None:
             evaluators = ProgramEvaluators(limits, execution=execution)
         seen_heads: set[str] = set()
-        for stratum in program.strata:
+        for index, stratum in enumerate(program.strata):
             heads = stratum.head_relation_names()
             overlap = heads & seen_heads
             if overlap:
@@ -284,6 +293,22 @@ class MaintainedFixpoint:
                     f"maintenance needs every relation owned by exactly one stratum"
                 )
             seen_heads |= heads
+        # Signed propagation through a negated literal relies on the negated
+        # relation being sealed by an *earlier* stratum.  Program construction
+        # guarantees that; a hand-assembled stratum list might not, and an
+        # unstratifiable one has no unambiguous fixpoint to maintain.
+        defined_so_far: set[str] = set()
+        for index, stratum in enumerate(program.strata):
+            unsealed = stratum.negated_relation_names() & (
+                program.idb_relation_names() - defined_so_far
+            )
+            if unsealed:
+                raise MaintenanceUnsupportedError(
+                    f"stratum {index} negates relation(s) {sorted(unsealed)} that no "
+                    f"earlier stratum defines; the program is not stratified, so its "
+                    f"fixpoint is ambiguous and cannot be maintained"
+                )
+            defined_so_far |= stratum.head_relation_names()
 
         current = instance.copy()
         if seed_facts is not None:
@@ -385,8 +410,9 @@ class MaintainedFixpoint:
         the program does not define); updating a derived relation directly
         is a caller error.  Raises
         :class:`~repro.errors.MaintenanceUnsupportedError` — before touching
-        any state — when the update could reach a relation used under
-        negation, which counting and delete–rederive cannot cover.
+        any state — when the update names a relation the program has never
+        heard of.  Updates that reach relations read under (stratified)
+        negation are maintained exactly via signed delta propagation.
         """
         if not self._valid:
             raise EvaluationError(
@@ -458,7 +484,7 @@ class MaintainedFixpoint:
                     )
                 else:
                     net_added, net_removed = self._maintain_counting_stratum(
-                        stratum, state, changes, statistics
+                        index, stratum, state, changes, statistics
                     )
                 statistics.facts_retracted += len(net_removed)
                 result_added |= net_added
@@ -471,26 +497,18 @@ class MaintainedFixpoint:
         return MaintenanceResult(frozenset(result_added), frozenset(result_removed), statistics)
 
     def _check_supported(self, touched: "set[str]") -> None:
-        """Refuse updates that could flow into a negated relation.
+        """Refuse updates the maintainer cannot give meaning to.
 
-        The check is conservative: it closes the touched relations under
-        "some rule reads a (possibly) changed relation", then requires that
-        no stratum negates anything in the closure.  Running it upfront
-        keeps :meth:`update` atomic — unsupported updates fail before any
-        state changes.
-
-        Two audit notes on the closure.  First, the propagation edge uses
-        :meth:`~repro.syntax.rules.Rule.body_relation_names`, which includes
-        relations a rule reads *only under negation* — a head whose value
-        depends on a changed relation negatively is therefore in the
-        closure too.  (Any such dependency is refused anyway, because the
-        negated relation itself sits in the closure and its negating
-        stratum trips the check below, but the closure must not rely on
-        that coincidence.)  Second, a touched relation the program has
-        never heard of is a caller error, not a no-op: silently accepting
-        it would let the materialization drift from what re-evaluating the
-        program on the updated base would produce, so it is refused with a
-        clear message.
+        Historically this also refused any update whose closure could reach
+        a relation used under negation; signed counting and negation-aware
+        delete–rederive now maintain those exactly (stratification seals a
+        negated relation before its readers run), so the only remaining
+        refusal is a touched relation the program has never heard of.  That
+        one is a caller error, not a no-op: silently accepting it would let
+        the materialization drift from what re-evaluating the program on
+        the updated base would produce.  Unstratifiable stratum lists —
+        the genuinely unsupported shape — are refused at build time in
+        :meth:`evaluate`.
         """
         unknown = touched - self._known
         if unknown:
@@ -499,23 +517,6 @@ class MaintainedFixpoint:
                 f"never mentions; maintenance cannot decide what they affect — "
                 f"re-evaluate from scratch (or drop the stray facts) instead"
             )
-        possibly = set(touched)
-        changed = True
-        while changed:
-            changed = False
-            for rule in self.program.rules():
-                head = rule.head.name
-                if head not in possibly and rule.body_relation_names() & possibly:
-                    possibly.add(head)
-                    changed = True
-        for index, stratum in enumerate(self.program.strata):
-            negated = stratum.negated_relation_names() & possibly
-            if negated:
-                raise MaintenanceUnsupportedError(
-                    f"the update may change relation(s) {sorted(negated)}, which "
-                    f"stratum {index} uses under negation; counting and "
-                    f"delete-rederive maintenance only propagate positive deltas"
-                )
 
     def _commit_stratum_changes(
         self,
@@ -544,6 +545,7 @@ class MaintainedFixpoint:
 
     def _maintain_counting_stratum(
         self,
+        index: int,
         stratum: Stratum,
         state: _StratumState,
         changes: _ChangeSet,
@@ -559,26 +561,80 @@ class MaintainedFixpoint:
         Every gained (lost) derivation is enumerated at exactly one pivot —
         the last changed position it uses.
 
+        Negated predicate positions extend the same telescope (they sit
+        after every positive position in the static order).  At a positive
+        pivot, a changed negated position reads the *old* overlay.  A
+        changed negated position is additionally a pivot itself — the
+        literal flipped positive and restricted to the delta rows — with
+        the **opposite** sign: a row added to the negated relation
+        extinguishes every derivation it now blocks, a removed row revives
+        them.  Stratification guarantees the negated relation's net delta
+        is final (its owning stratum committed earlier this pass).
+
         Under sharding, each pivot's overlay rows are additionally
         partitioned by home shard and enumerated per shard (a derivation's
         valuation determines its pivot row, so the per-shard enumerations
         are disjoint and their counts merge exactly); shards whose partition
         of the delta is empty do no work, which is what lets disjoint
-        update batches proceed without ever synchronizing.
+        update batches proceed without ever synchronizing.  Under a process
+        executor the enumeration itself moves off the parent for
+        ``local``-mode strata (see :meth:`ShardedFixpoint.counting_stratum`);
+        only the count state and the net add/remove decisions stay here.
         """
+        from repro.engine.evaluation import satisfying_valuations
+
         statistics.maintenance_rounds += 1
-        counts = state.counts
-        assert counts is not None
+        assert state.counts is not None
+        if self.sharding is not None:
+            # Worker-resident counting: ship each shard its home slice of
+            # the delta and let it enumerate the telescoped joins against
+            # its resident partition.  Falls back to the parent-side loops
+            # below when the executor declines (no resident workers,
+            # non-local stratum, tiny delta) or when a changed relation is
+            # replicated (its delta rows have no unique pivot home).
+            changed = {
+                name: (
+                    changes.added.get(name, set()),
+                    changes.removed.get(name, set()),
+                )
+                for name in changes.names & set(stratum.body_relation_names())
+            }
+            worker_counts = self.sharding.counting_stratum(index, changed, statistics)
+            if worker_counts is not None:
+                return self._apply_count_deltas(worker_counts, state, statistics)
         delta_counts: dict[Fact, int] = {}
-        # The same (sign, relation) delta rows pivot in several rules and at
-        # several positions: partition them once per stratum pass, not once
-        # per occurrence.
-        pivot_parts_cache: "dict[tuple[int, str], list[tuple[int | None, Instance]]]" = {}
+        # The same (polarity, relation) delta rows pivot in several rules and
+        # at several positions: partition them once per stratum pass, not
+        # once per occurrence.
+        pivot_parts_cache: "dict[tuple[str, str], list[tuple[int | None, Instance]]]" = {}
+
+        def pivot_parts(polarity: str, name: str, overlay: Instance, rows):
+            parts = pivot_parts_cache.get((polarity, name))
+            if parts is None:
+                parts = pivot_parts_cache[(polarity, name)] = self._pivot_parts(
+                    name, overlay, rows
+                )
+            return parts
+
         for evaluator in self.evaluators.for_stratum(stratum):
-            if not (evaluator.body_relation_names & changes.names):
+            read_names = evaluator.body_relation_names | evaluator.negated_relation_names
+            if not (read_names & changes.names):
                 continue
             statistics.rule_applications += 1
             positions = evaluator.positions_in_order
+            negated_positions = tuple(
+                (position, literal)
+                for position, literal in enumerate(evaluator.order)
+                if literal.negative and literal.is_predicate()
+            )
+            # Negations follow every positive predicate in the static order,
+            # so at any positive pivot every changed negated position reads
+            # the pre-update overlay.
+            negative_old = {
+                position: changes.old_overlay
+                for position, literal in negated_positions
+                if literal.atom.name in changes.names
+            }
             for pivot_index, (pivot, name) in enumerate(positions):
                 if name not in changes.names:
                     continue
@@ -587,18 +643,14 @@ class MaintainedFixpoint:
                     for position, later_name in positions[pivot_index + 1 :]
                     if later_name in changes.names
                 }
-                for overlay, sign in (
-                    (changes.added_overlay, 1),
-                    (changes.removed_overlay, -1),
+                for polarity, overlay, sign in (
+                    ("added", changes.added_overlay, 1),
+                    ("removed", changes.removed_overlay, -1),
                 ):
                     rows = overlay.relation(name)
                     if not rows:
                         continue
-                    parts = pivot_parts_cache.get((sign, name))
-                    if parts is None:
-                        parts = pivot_parts_cache[(sign, name)] = self._pivot_parts(
-                            name, overlay, rows
-                        )
+                    parts = pivot_parts(polarity, name, overlay, rows)
                     for shard, part in parts:
                         with self._shard_statistics(shard, statistics) as shard_stats:
                             shard_stats.delta_restricted_applications += 1
@@ -608,12 +660,74 @@ class MaintainedFixpoint:
                                 self.materialized,
                                 frontier=frontier,
                                 statistics=shard_stats,
+                                negative_sources=negative_old or None,
                             ):
                                 if valuation in seen:
                                     continue
                                 seen.add(valuation)
                                 delta_counts[fact] = delta_counts.get(fact, 0) + sign
+            for pivot, literal in negated_positions:
+                name = literal.atom.name
+                if name not in changes.names:
+                    continue
+                flipped = list(evaluator.order)
+                flipped[pivot] = literal.negated()
+                # Telescope: changed negated positions *after* this pivot
+                # still read old; those before it (and every positive
+                # position) read the updated materialization.
+                later_old = {
+                    position: changes.old_overlay
+                    for position, other in negated_positions
+                    if position > pivot and other.atom.name in changes.names
+                }
+                for polarity, overlay, sign in (
+                    ("added", changes.added_overlay, -1),
+                    ("removed", changes.removed_overlay, 1),
+                ):
+                    rows = overlay.relation(name)
+                    if not rows:
+                        continue
+                    parts = pivot_parts(polarity, name, overlay, rows)
+                    for shard, part in parts:
+                        with self._shard_statistics(shard, statistics) as shard_stats:
+                            shard_stats.delta_restricted_applications += 1
+                            seen = set()
+                            for valuation in satisfying_valuations(
+                                evaluator.rule,
+                                self.materialized,
+                                self.limits,
+                                order=flipped,
+                                frontier={pivot: part},
+                                execution=self.execution,
+                                statistics=shard_stats,
+                                negative_sources=later_old or None,
+                            ):
+                                if valuation in seen:
+                                    continue
+                                seen.add(valuation)
+                                fact = valuation.apply_to_predicate(evaluator.rule.head)
+                                for fact_path in fact.paths:
+                                    self.limits.check_path_length(len(fact_path))
+                                delta_counts[fact] = delta_counts.get(fact, 0) + sign
 
+        return self._apply_count_deltas(delta_counts, state, statistics)
+
+    def _apply_count_deltas(
+        self,
+        delta_counts: "dict[Fact, int]",
+        state: _StratumState,
+        statistics: EvaluationStatistics,
+    ) -> tuple[set, set]:
+        """Fold signed derivation-count deltas into the stratum's count state.
+
+        A fact whose support count crosses zero materializes (or retracts);
+        pinned facts stay present regardless.  This is the authoritative
+        half of counting maintenance — the enumeration that produced
+        *delta_counts* may have run parent-side or on the resident workers,
+        but the counts themselves only live here.
+        """
+        counts = state.counts
+        assert counts is not None
         net_added: set[Fact] = set()
         net_removed: set[Fact] = set()
         for fact, change in delta_counts.items():
@@ -676,6 +790,16 @@ class MaintainedFixpoint:
     ) -> tuple[set, set]:
         """Classic DRed: over-delete, rederive survivors, propagate insertions.
 
+        Stratified negated reads extend both halves with the opposite sign.
+        Rows *added* to a negated relation become kill seeds: derivations
+        they newly block are enumerated against the old state (the negated
+        literal flipped positive and restricted to the added rows) and
+        pre-seed the overdeletion cascade.  Rows *removed* from a negated
+        relation become insertion seeds: derivations they newly admit are
+        enumerated against the new state and join the semi-naive insertion
+        propagation.  Stratification makes both exact — the negated
+        relation's delta is final before this stratum runs.
+
         Sharded, each phase fans its frontier out by home shard —
         overdeletion rounds and rederivation probes partition their fact
         sets, and the insertion cascade runs through the sharded round
@@ -684,13 +808,16 @@ class MaintainedFixpoint:
         evaluators = self.evaluators.for_stratum(stratum)
         head_names = stratum.head_relation_names()
         body_names = stratum.body_relation_names()
+        negated_changed = changes.names & stratum.negated_relation_names()
         outcome = None
-        if self.sharding is not None:
+        if self.sharding is not None and not negated_changed:
             # Worker-resident DRed: ship the stratum's delta (and the removal
             # seeds) to the resident workers, which run the overdeletion
             # cascade and the rederivation probes against their partitions.
             # Falls back to the parent-side phases below when the executor
-            # declines (no resident workers, non-local stratum, tiny delta).
+            # declines (no resident workers, non-local stratum, tiny delta)
+            # or when the delta flows through a negated literal — the worker
+            # cascade knows nothing of flipped-literal kill seeds.
             changed = {
                 name: (
                     changes.added.get(name, set()),
@@ -712,18 +839,40 @@ class MaintainedFixpoint:
             for fact in rederived:
                 self.materialized.add_fact(fact)
         else:
-            overdeleted = self._overdelete(evaluators, head_names, state, changes, statistics)
+            kill_seeds = set()
+            if negated_changed:
+                kill_seeds = self._negation_seeds(
+                    evaluators, head_names, state, changes, statistics, killed=True
+                )
+            overdeleted = self._overdelete(
+                evaluators, head_names, state, changes, statistics, extra_seeds=kill_seeds
+            )
             for fact in overdeleted:
                 self.materialized.discard_fact(fact, keep_empty=True)
             self._absorb((), overdeleted)
             rederived = self._rederive(evaluators, overdeleted, statistics)
             self._absorb(rederived)
 
+        gained: set[Fact] = set()
+        if negated_changed:
+            # Derivations newly admitted by rows leaving a negated relation.
+            # They probe the *new* state (the stratum's deletions are already
+            # applied), land in the materialization directly, and seed the
+            # propagation below like any other insertion.
+            gained = self._negation_seeds(
+                evaluators, head_names, state, changes, statistics, killed=False
+            )
+            gained = {fact for fact in gained if fact not in self.materialized}
+            for fact in gained:
+                self.materialized.add_fact(fact)
+            self._absorb(gained)
+            statistics.facts_derived += len(gained)
+
         # One semi-naive propagation finishes both halves of the update: the
         # rederived facts re-support other over-deleted facts (whose one-shot
         # probe may have run before their support came back) and the update's
         # added facts derive genuinely new ones.
-        seeds = changes.facts(changes.added, stratum.body_relation_names()) | rederived
+        seeds = changes.facts(changes.added, stratum.body_relation_names()) | rederived | gained
         if self.sharding is not None:
             rounds, inserted = self.sharding.propagate(
                 index, self.materialized, seeds, statistics, collect=True
@@ -740,9 +889,93 @@ class MaintainedFixpoint:
             )
         statistics.maintenance_rounds += rounds
 
-        net_added = inserted - overdeleted
+        net_added = (inserted | gained) - overdeleted
         net_removed = {fact for fact in overdeleted if fact not in self.materialized}
         return net_added, net_removed
+
+    def _negation_seeds(
+        self,
+        evaluators: list[RuleEvaluator],
+        head_names: frozenset[str],
+        state: _StratumState,
+        changes: _ChangeSet,
+        statistics: EvaluationStatistics,
+        *,
+        killed: bool,
+    ) -> set[Fact]:
+        """Derivations a negated relation's delta kills (or newly admits).
+
+        The flip trick: the negated literal becomes a positive pivot
+        restricted to the delta rows.  With ``killed=True`` the pivot reads
+        the *added* rows and every other changed position (positive via the
+        frontier overlay, negated via ``negative_sources``) reads the
+        pre-update state — these are derivations that held before and are
+        blocked now.  With ``killed=False`` the pivot reads the *removed*
+        rows against the current (new) state — derivations admitted now
+        that were blocked before.
+        """
+        from repro.engine.evaluation import satisfying_valuations
+
+        seeds: set[Fact] = set()
+        delta = changes.removed if not killed else changes.added
+        for evaluator in evaluators:
+            negated_positions = [
+                (position, literal)
+                for position, literal in enumerate(evaluator.order)
+                if literal.negative
+                and literal.is_predicate()
+                and literal.atom.name in changes.names
+            ]
+            if not negated_positions:
+                continue
+            positions = evaluator.positions_in_order
+            for pivot, literal in negated_positions:
+                name = literal.atom.name
+                rows = delta.get(name)
+                if not rows:
+                    continue
+                flipped = list(evaluator.order)
+                flipped[pivot] = literal.negated()
+                frontier: dict[int, Instance] = {}
+                negative_sources = None
+                if killed:
+                    frontier = {
+                        position: changes.old_overlay
+                        for position, other_name in positions
+                        if other_name in changes.names
+                    }
+                    negative_sources = {
+                        position: changes.old_overlay
+                        for position, other in negated_positions
+                        if position != pivot
+                    } or None
+                part = Instance()
+                part.set_relation_rows(name, rows)
+                frontier[pivot] = part
+                statistics.delta_restricted_applications += 1
+                seen: set = set()
+                for valuation in satisfying_valuations(
+                    evaluator.rule,
+                    self.materialized,
+                    self.limits,
+                    order=flipped,
+                    frontier=frontier,
+                    execution=self.execution,
+                    statistics=statistics,
+                    negative_sources=negative_sources,
+                ):
+                    if valuation in seen:
+                        continue
+                    seen.add(valuation)
+                    fact = valuation.apply_to_predicate(evaluator.rule.head)
+                    if fact.relation not in head_names or fact in state.pinned:
+                        continue
+                    if killed and fact not in self.materialized:
+                        continue
+                    for fact_path in fact.paths:
+                        self.limits.check_path_length(len(fact_path))
+                    seeds.add(fact)
+        return seeds
 
     def _overdelete(
         self,
@@ -751,20 +984,25 @@ class MaintainedFixpoint:
         state: _StratumState,
         changes: _ChangeSet,
         statistics: EvaluationStatistics,
+        extra_seeds: "set[Fact] | None" = None,
     ) -> set[Fact]:
         """Everything derivable through a deleted fact, to a fixpoint.
 
         Evaluation runs against the *old* database: the stratum's own facts
-        are still physically present, and positions over earlier-changed
-        relations are overlaid with their pre-update rows.  Sharded, each
-        round's frontier is partitioned by home shard and the parts run
-        independently (they are delta restrictions over disjoint row sets,
-        so the union of their derivations is the round's derivations).
+        are still physically present, positions over earlier-changed
+        relations are overlaid with their pre-update rows, and changed
+        *negated* positions read the old overlay via ``negative_sources``.
+        *extra_seeds* pre-loads the cascade with facts killed through
+        negated literals (enumerated by :meth:`_negation_seeds`).  Sharded,
+        each round's frontier is partitioned by home shard and the parts
+        run independently (they are delta restrictions over disjoint row
+        sets, so the union of their derivations is the round's derivations).
         """
-        overdeleted: set[Fact] = set()
+        overdeleted: set[Fact] = set(extra_seeds or ())
         frontier_facts = changes.facts(
             changes.removed, {name for ev in evaluators for name in ev.body_relation_names}
         )
+        frontier_facts |= overdeleted
         frontier_instance = Instance()
         rounds = 0
         while frontier_facts:
@@ -781,6 +1019,13 @@ class MaintainedFixpoint:
                             continue
                         shard_stats.rule_applications += 1
                         positions = evaluator.positions_in_order
+                        negative_old = {
+                            position: changes.old_overlay
+                            for position, literal in enumerate(evaluator.order)
+                            if literal.negative
+                            and literal.is_predicate()
+                            and literal.atom.name in changes.names
+                        } or None
                         for pivot, name in positions:
                             if name not in frontier_names:
                                 continue
@@ -795,6 +1040,7 @@ class MaintainedFixpoint:
                                 self.materialized,
                                 frontier=frontier,
                                 statistics=shard_stats,
+                                negative_sources=negative_old,
                             ):
                                 if (
                                     fact.relation in head_names

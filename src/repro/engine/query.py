@@ -19,10 +19,12 @@ Two evaluation modes are supported:
   output relation, the program is magic-set rewritten
   (:func:`repro.transform.magic.magic_rewrite`), and the rewritten program is
   evaluated with the binding seeded into the magic relation, deriving only
-  the facts the query actually demands.  When the rewriting is unsupported
-  (negation on demanded relations, expanding magic recursion) or the
-  goal-directed run exceeds the evaluation limits, the query transparently
-  falls back to full evaluation and records the reason on the result.
+  the facts the query actually demands.  Stratified negation on demanded
+  relations is handled by the rewrite itself (the negated relations'
+  support rules ride along un-adorned and evaluate fully); when the
+  rewriting is unsupported (expanding magic recursion) or the goal-directed
+  run exceeds the evaluation limits, the query transparently falls back to
+  full evaluation and records the reason on the result.
 
 Both modes return identical answers by construction; the goal mode merely
 avoids work (`benchmarks/bench_magic_sets.py` measures how much).
@@ -73,6 +75,13 @@ from repro.engine.fixpoint import (
 )
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.maintenance import MaintainedFixpoint
+from repro.engine.reasons import (
+    GENERALIZATION_TOO_LARGE,
+    GOAL_BUDGET_EXCEEDED,
+    REWRITE_UNSUPPORTED,
+    maintenance_reason,
+    reason,
+)
 from repro.engine.sharding import (
     ParallelExecutor,
     ProcessExecutor,
@@ -329,7 +338,7 @@ class ProgramQuery:
                     on_expanding="generalize",
                 )
             except MagicSetUnsupportedError as error:
-                cached = str(error)
+                cached = reason(REWRITE_UNSUPPORTED, str(error))
             self._goal_programs[key] = cached
         if isinstance(cached, str):
             return None, cached
@@ -732,7 +741,7 @@ class QuerySession:
             try:
                 self._maintain_main(additions, retractions, statistics)
             except EvaluationError as error:
-                self.last_maintenance_fallback = str(error)
+                self.last_maintenance_fallback = maintenance_reason(error)
                 self._maintained = None
         self._tables.apply_update(additions, retractions, statistics)
         self._sync_basis()
@@ -767,7 +776,7 @@ class QuerySession:
                 raise
             # The program cannot be maintained (e.g. a relation defined in
             # several strata): evaluate plainly and serve without a memo.
-            self.last_maintenance_fallback = str(error)
+            self.last_maintenance_fallback = maintenance_reason(error)
             return self._plain_materialization(statistics), "full"
         self._maintained = maintained
         # The materialization subsumes every tabled subgoal; keeping the
@@ -801,11 +810,12 @@ class QuerySession:
         The delta is applied atomically through
         :meth:`~repro.model.instance.Instance.begin_delta`; if a materialized
         fixpoint exists it is maintained incrementally (counting for
-        non-recursive strata, delete–rederive for recursive ones), and so is
-        every tabled subgoal.  Updates maintenance cannot cover — negation
-        over changed relations, budget breaches — drop the materialization
-        and record the reason; the next query transparently re-evaluates
-        from scratch.  Table entries degrade individually: an entry whose
+        non-recursive strata, delete–rederive for recursive ones, signed
+        deltas through stratified negation), and so is every tabled subgoal.
+        Updates maintenance cannot cover — budget breaches, stray relations
+        — drop the materialization and record the reason; the next query
+        transparently re-evaluates from scratch.  Table entries degrade
+        individually: an entry whose
         magic program cannot be maintained through the update is evicted and
         re-evaluates on next demand.  ``UpdateResult.maintained`` reports
         whether the session still holds incrementally updated state — the
@@ -834,14 +844,14 @@ class QuerySession:
         statistics = EvaluationStatistics()
         had_entries = len(self._tables) > 0
         maintained = False
-        reason: "str | None" = None
+        fallback: "str | None" = None
         if self._maintained is not None:
             try:
                 if out_of_band[0] or out_of_band[1]:
                     self._maintain_main(*out_of_band, statistics=statistics)
                 self._maintain_main(applied.added, applied.removed, statistics=statistics)
             except EvaluationError as error:
-                reason = str(error)
+                fallback = maintenance_reason(error)
                 self._maintained = None
             else:
                 maintained = True
@@ -851,17 +861,17 @@ class QuerySession:
         evicted += self._tables.apply_update(
             applied.added, applied.removed, statistics=statistics
         )
-        if not maintained and reason is None and had_entries:
+        if not maintained and fallback is None and had_entries:
             # Goal-only session: the tables are the maintained state.
             if len(self._tables) > 0:
                 maintained = True
             elif evicted:
-                reason = evicted[0][1]
+                fallback = evicted[0][1]
         if self._has_artifacts():
             self._sync_basis()
         else:
             self._basis = {}
-        self.last_maintenance_fallback = reason
+        self.last_maintenance_fallback = fallback
         shards_touched: "frozenset[int] | None" = None
         if self._shard_spec is not None:
             shards_touched = frozenset(
@@ -875,7 +885,7 @@ class QuerySession:
             added=applied.added,
             removed=applied.removed,
             maintained=maintained,
-            fallback_reason=reason,
+            fallback_reason=fallback,
             statistics=statistics,
             shards_touched=shards_touched,
         )
@@ -984,12 +994,13 @@ class QuerySession:
         ratio = total / max(1, touching)
         if ratio <= limit:
             return None
-        return (
-            f"generalization_too_large: tabling the generalized goal "
+        return reason(
+            GENERALIZATION_TOO_LARGE,
+            f"tabling the generalized goal "
             f"({compiled.adornment.suffix() or 'g'} for requested "
             f"{compiled.requested_adornment.suffix() or 'g'}) would sweep "
             f"~{total} EDB rows against a requested slice touching ~{touching} "
-            f"(ratio {ratio:.0f} > limit {limit:g}); fell back to full evaluation"
+            f"(ratio {ratio:.0f} > limit {limit:g}); fell back to full evaluation",
         )
 
     def _evaluate_goal(
@@ -1019,9 +1030,10 @@ class QuerySession:
             else:
                 full = self._evaluate(compiled.program, statistics, seed_facts=(seed,))
         except EvaluationBudgetExceeded as error:
-            return None, (
+            return None, reason(
+                GOAL_BUDGET_EXCEEDED,
                 f"goal-directed evaluation exceeded the limits ({error}); "
-                f"fell back to full evaluation"
+                f"fell back to full evaluation",
             )
         output = _restrict_output(full, query.output_relation, normalised)
         return (

@@ -287,6 +287,22 @@ class ParallelExecutor:
         """
         return None
 
+    def counting(
+        self,
+        stratum_index: int,
+        changed: "dict[str, tuple[set, set]]",
+        pivot_parts: "list[dict[str, tuple[set, set]]]",
+        stats_parts: "list[EvaluationStatistics]",
+    ) -> "list[dict[Fact, int]] | None":
+        """Run a counting stratum's signed delta joins worker-local, or ``None``.
+
+        *changed* carries the full per-relation delta (overlay rebuild);
+        *pivot_parts* routes each shard its home slice of the pivot rows.
+        Returns per-shard ``fact → signed count`` dicts whose sum is the
+        stratum's exact derivation-count delta.
+        """
+        return None
+
     def repartition(self, keys: "dict[str, int]", rows_by_name: "dict[str, Collection]") -> None:
         """Adopt new shard keys and redistribute *rows_by_name* accordingly.
 
@@ -549,6 +565,32 @@ def _encode_fact_blocks(encoder: WireEncoder, facts: "Iterable[Fact]") -> "list[
     for fact in facts:
         packer.add(fact.relation, encoder.encode_row(fact.paths))
     return packer.blocks()
+
+
+def _encode_counted_blocks(
+    encoder: WireEncoder, counts: "dict[Fact, int]"
+) -> "tuple[list[tuple], list[tuple[int, ...]]]":
+    """Encode fact→signed-count pairs as standard fact blocks plus a parallel
+    per-block tuple of counts (blocks keep ``ids`` last, so the byte-level
+    accounting helpers keep working)."""
+    packer = _BlockPacker()
+    signs: "dict[tuple, list[int]]" = {}
+    for fact, value in counts.items():
+        row = encoder.encode_row(fact.paths)
+        packer.add(fact.relation, row)
+        signs.setdefault((fact.relation, len(row)), []).append(value)
+    blocks = packer.blocks()
+    return blocks, [tuple(signs[(name, arity)]) for name, arity, _count, _ids in blocks]
+
+
+def _decode_counted_blocks(
+    decoder: WireDecoder, blocks: "list[tuple]", block_signs: "list[tuple[int, ...]]"
+) -> "dict[Fact, int]":
+    counts: "dict[Fact, int]" = {}
+    for (name, arity, count, ids), signs in zip(blocks, block_signs):
+        for row, value in zip(_decode_block_rows(decoder, arity, count, ids), signs):
+            counts[Fact(name, row)] = value
+    return counts
 
 
 def _encode_row_blocks(encoder: WireEncoder, name: str, rows: "Iterable") -> "list[tuple]":
@@ -1033,6 +1075,167 @@ def _worker_dred(
     )
 
 
+def _worker_counting(
+    defs: "list[tuple]",
+    catchup: "list[tuple]",
+    stratum_index: int,
+    added_blocks: "list[tuple]",
+    removed_blocks: "list[tuple]",
+    pivot_added_blocks: "list[tuple]",
+    pivot_removed_blocks: "list[tuple]",
+) -> "tuple[list[tuple], list[tuple], list[tuple], dict[str, int]]":
+    """Worker-local signed counting: the telescoped delta joins of one
+    non-recursive stratum, enumerated against the resident partition.
+
+    Sound for ``local``- and ``aligned``-mode strata none of whose changed
+    relations are replicated: both proofs key every non-replicated read
+    (positive or negated) of a multi-predicate rule by the rule's anchor
+    variable, so a valuation pivoting on a row homed here reads home or
+    replicated rows exclusively — each derivation is enumerated at exactly
+    the one shard its pivot row homes to, and the per-shard signed counts
+    merge exactly.  (Aligned mode's foreign-homed *heads* don't matter:
+    the counts travel back to the parent, which owns the net add/remove
+    decisions.)  The pre-update overlay of each changed relation is
+    rebuilt as ``(current − added) ∪ removed`` over the worker's view —
+    sound for the same reason: the old rows a home valuation can touch
+    are home rows.  Returns the signed count deltas for this shard's
+    slice of the derivations.
+    """
+    from repro.engine.evaluation import satisfying_valuations
+
+    instance: Instance = _WORKER["instance"]
+    inbound: WireDecoder = _WORKER["inbound"]
+    inbound.absorb(defs)
+    _apply_catchup(catchup)
+    stratum = _WORKER["program"].strata[stratum_index]
+    evaluators = _WORKER["evaluators"].for_stratum(stratum)
+    limits: EvaluationLimits = _WORKER["evaluators"].limits
+    statistics = EvaluationStatistics()
+
+    added_rows: "dict[str, set]" = {}
+    for name, arity, count, ids in added_blocks:
+        added_rows.setdefault(name, set()).update(
+            _decode_block_rows(inbound, arity, count, ids)
+        )
+    removed_rows: "dict[str, set]" = {}
+    for name, arity, count, ids in removed_blocks:
+        removed_rows.setdefault(name, set()).update(
+            _decode_block_rows(inbound, arity, count, ids)
+        )
+    changed_names = set(added_rows) | set(removed_rows)
+    old_overlay = Instance()
+    for name in changed_names:
+        rows = (
+            set(instance.relation(name)) if name in instance.relation_names else set()
+        )
+        rows -= added_rows.get(name, set())
+        rows |= removed_rows.get(name, set())
+        old_overlay.set_relation_rows(name, rows)
+
+    # This shard's home slice of the delta, one single-relation frontier
+    # instance per (polarity, relation) — the pivot is the only position
+    # that ever reads it.
+    pivots: "dict[tuple[str, str], Instance]" = {}
+    for polarity, blocks in (
+        ("added", pivot_added_blocks),
+        ("removed", pivot_removed_blocks),
+    ):
+        for name, arity, count, ids in blocks:
+            part = pivots.get((polarity, name))
+            if part is None:
+                part = pivots[(polarity, name)] = Instance()
+                part.ensure_relation(name)
+            storage = part.storage(name)
+            for row in _decode_block_rows(inbound, arity, count, ids):
+                storage.add(row)
+
+    delta_counts: "dict[Fact, int]" = {}
+    for evaluator in evaluators:
+        read_names = evaluator.body_relation_names | evaluator.negated_relation_names
+        if not (read_names & changed_names):
+            continue
+        statistics.rule_applications += 1
+        positions = evaluator.positions_in_order
+        negated_positions = tuple(
+            (position, literal)
+            for position, literal in enumerate(evaluator.order)
+            if literal.negative and literal.is_predicate()
+        )
+        negative_old = {
+            position: old_overlay
+            for position, literal in negated_positions
+            if literal.atom.name in changed_names
+        }
+        for pivot_index, (pivot, name) in enumerate(positions):
+            if name not in changed_names:
+                continue
+            overrides = {
+                position: old_overlay
+                for position, later_name in positions[pivot_index + 1 :]
+                if later_name in changed_names
+            }
+            for polarity, sign in (("added", 1), ("removed", -1)):
+                part = pivots.get((polarity, name))
+                if part is None:
+                    continue
+                statistics.delta_restricted_applications += 1
+                frontier = {pivot: part, **overrides}
+                seen: set = set()
+                for fact, valuation in evaluator.derivations(
+                    instance,
+                    frontier=frontier,
+                    statistics=statistics,
+                    negative_sources=negative_old or None,
+                ):
+                    if valuation in seen:
+                        continue
+                    seen.add(valuation)
+                    delta_counts[fact] = delta_counts.get(fact, 0) + sign
+        for pivot, literal in negated_positions:
+            name = literal.atom.name
+            if name not in changed_names:
+                continue
+            flipped = list(evaluator.order)
+            flipped[pivot] = literal.negated()
+            later_old = {
+                position: old_overlay
+                for position, other in negated_positions
+                if position > pivot and other.atom.name in changed_names
+            }
+            for polarity, sign in (("added", -1), ("removed", 1)):
+                part = pivots.get((polarity, name))
+                if part is None:
+                    continue
+                statistics.delta_restricted_applications += 1
+                seen = set()
+                for valuation in satisfying_valuations(
+                    evaluator.rule,
+                    instance,
+                    limits,
+                    order=flipped,
+                    frontier={pivot: part},
+                    execution=evaluator.execution,
+                    statistics=statistics,
+                    negative_sources=later_old or None,
+                ):
+                    if valuation in seen:
+                        continue
+                    seen.add(valuation)
+                    fact = valuation.apply_to_predicate(evaluator.rule.head)
+                    for fact_path in fact.paths:
+                        limits.check_path_length(len(fact_path))
+                    delta_counts[fact] = delta_counts.get(fact, 0) + sign
+
+    outbound: WireEncoder = _WORKER["outbound"]
+    counted_blocks, block_signs = _encode_counted_blocks(outbound, delta_counts)
+    return (
+        outbound.take_defs(),
+        counted_blocks,
+        block_signs,
+        {name: getattr(statistics, name) for name in _ROUND_COUNTERS},
+    )
+
+
 def _worker_repartition(
     defs: "list[tuple]",
     catchup: "list[tuple]",
@@ -1229,6 +1432,19 @@ class ProcessExecutor(ParallelExecutor):
     def _local_mode(self, stratum_index: int) -> bool:
         return (
             stratum_index < len(self._modes) and self._modes[stratum_index] == "local"
+        )
+
+    def _reads_are_colocated(self, stratum_index: int) -> bool:
+        """Whether every valuation of the stratum reads one shard's rows.
+
+        True for ``local`` *and* ``aligned`` strata — the alignment proof
+        is exactly about the reads; the two modes differ only in where the
+        derived head homes.  Enough for worker-resident counting, whose
+        derivations travel back to the parent as signed counts anyway.
+        """
+        return stratum_index < len(self._modes) and self._modes[stratum_index] in (
+            "local",
+            "aligned",
         )
 
     def _drain_pending(self, shard: int, *, count: bool = True) -> "list[tuple]":
@@ -1592,6 +1808,95 @@ class ProcessExecutor(ParallelExecutor):
             )
             rounds = max(rounds, worker_rounds)
         return results, rounds
+
+    def counting(
+        self,
+        stratum_index: int,
+        changed: "dict[str, tuple[set, set]]",
+        pivot_parts: "list[dict[str, tuple[set, set]]]",
+        stats_parts: "list[EvaluationStatistics]",
+    ) -> "list[dict[Fact, int]] | None":
+        if (
+            self._pools is None
+            or not self._partitioned
+            or not self._reads_are_colocated(stratum_index)
+        ):
+            return None
+        total = sum(
+            len(added) + len(removed)
+            for parts in pivot_parts
+            for added, removed in parts.values()
+        )
+        backlog = max((len(queue) for queue in self._pending), default=0)
+        if total < self.min_round_rows and backlog < self.max_backlog_rows:
+            self.parent_fallback_rounds += 1
+            return None
+        futures = {}
+        for shard, pool in enumerate(self._pools):
+            parts = pivot_parts[shard]
+            if not any(added or removed for added, removed in parts.values()):
+                # No pivot rows homed here means no derivation is counted
+                # here; queued catch-up stays for the next dispatch.
+                continue
+            encoder = self._to_worker[shard]
+            catchup = self._drain_pending(shard)
+            added_packer = _BlockPacker()
+            removed_packer = _BlockPacker()
+            for name, (added_rows, removed_rows) in changed.items():
+                for row in added_rows:
+                    added_packer.add(name, encoder.encode_row(row))
+                for row in removed_rows:
+                    removed_packer.add(name, encoder.encode_row(row))
+            pivot_added_packer = _BlockPacker()
+            pivot_removed_packer = _BlockPacker()
+            for name, (added_rows, removed_rows) in parts.items():
+                for row in added_rows:
+                    pivot_added_packer.add(name, encoder.encode_row(row))
+                for row in removed_rows:
+                    pivot_removed_packer.add(name, encoder.encode_row(row))
+            added_blocks = added_packer.blocks()
+            removed_blocks = removed_packer.blocks()
+            pivot_added = pivot_added_packer.blocks()
+            pivot_removed = pivot_removed_packer.blocks()
+            defs = encoder.take_defs()
+            self._count_dispatch(
+                catchup, added_blocks, removed_blocks, pivot_added, pivot_removed
+            )
+            if self.measure_payloads:
+                self._account(
+                    (defs, catchup, added_blocks, removed_blocks, pivot_added, pivot_removed),
+                    (
+                        _nested_blocks(encoder, catchup),
+                        _nested_blocks(encoder, added_blocks),
+                        _nested_blocks(encoder, removed_blocks),
+                        _nested_blocks(encoder, pivot_added),
+                        _nested_blocks(encoder, pivot_removed),
+                    ),
+                )
+            futures[shard] = pool.submit(
+                _worker_counting,
+                defs,
+                catchup,
+                stratum_index,
+                added_blocks,
+                removed_blocks,
+                pivot_added,
+                pivot_removed,
+            )
+        results: "list[dict[Fact, int]]" = [{} for _ in range(self.shard_count)]
+        for shard, future in futures.items():
+            defs, counted_blocks, block_signs, counters = future.result()
+            decoder = self._from_worker[shard]
+            decoder.absorb(defs)
+            _merge_counters(stats_parts[shard], counters)
+            self._count_receipt(counted_blocks)
+            if self.measure_payloads:
+                self._account(
+                    (defs, counted_blocks, block_signs),
+                    (_nested_blocks(decoder, counted_blocks),),
+                )
+            results[shard] = _decode_counted_blocks(decoder, counted_blocks, block_signs)
+        return results
 
     def repartition(self, keys: "dict[str, int]", rows_by_name: "dict[str, Collection]") -> None:
         if self._pools is None:
@@ -2083,6 +2388,19 @@ class ShardedFixpoint:
             for shard_instance in self.sharded.shards:
                 merged |= shard_instance.relation(name)
             current.set_relation_rows(name, merged)
+        replicated_heads = set(heads) & self.spec.replicated
+        if replicated_heads:
+            # A replicated IDB relation (derived here, read — possibly under
+            # negation — by later strata) must reach every worker's replica;
+            # the router only home-routed its rows.  sync() broadcasts
+            # replicated adds, and worker-side re-adds are idempotent.
+            self.executor.sync(
+                {
+                    Fact(name, row)
+                    for name in replicated_heads
+                    for row in current.relation(name)
+                }
+            )
         self._drain_exchange(statistics)
         return iterations
 
@@ -2271,6 +2589,52 @@ class ShardedFixpoint:
         self._drain_exchange(statistics)
         return overdeleted, rederived
 
+    def counting_stratum(
+        self,
+        index: int,
+        changed: "dict[str, tuple[set, set]]",
+        statistics: EvaluationStatistics,
+    ) -> "dict[Fact, int] | None":
+        """Run a counting stratum's delta joins shard-parallel, or ``None``.
+
+        Routes each shard its home slice of the pivot rows (plus the full
+        delta for overlay rebuild) and sums the returned signed counts —
+        exact because the local/aligned read proofs home every derivation
+        at exactly one shard.  Declines when any changed relation is
+        replicated: a replicated delta row has no unique home, so pivoting
+        on it at one shard would miss derivations anchored elsewhere, and
+        pivoting everywhere would double count.  The caller still owns the
+        count state and the net add/remove decisions.
+        """
+        if self.sharded is None:
+            return None
+        if any(name in self.spec.replicated for name in changed):
+            return None
+        pivot_parts: "list[dict[str, tuple[set, set]]]" = [
+            {} for _ in range(self.spec.shard_count)
+        ]
+        for name, (added_rows, removed_rows) in changed.items():
+            for polarity, rows in ((0, added_rows), (1, removed_rows)):
+                for shard, shard_rows in enumerate(self.spec.partition_rows(name, rows)):
+                    if not shard_rows:
+                        continue
+                    entry = pivot_parts[shard].setdefault(name, (set(), set()))
+                    entry[polarity].update(shard_rows)
+        stats_parts = [EvaluationStatistics() for _ in range(self.spec.shard_count)]
+        outcome = self.executor.counting(index, changed, pivot_parts, stats_parts)
+        if outcome is None:
+            return None
+        delta_counts: "dict[Fact, int]" = {}
+        for shard_counts in outcome:
+            for fact, value in shard_counts.items():
+                delta_counts[fact] = delta_counts.get(fact, 0) + value
+        for shard, shard_stats in enumerate(stats_parts):
+            self.per_shard_extension_attempts[shard] += shard_stats.extension_attempts
+            statistics.absorb_counters(shard_stats)
+        statistics.cross_shard_facts += self.executor.take_exchanged()
+        self._drain_exchange(statistics)
+        return delta_counts
+
     def run_goal(
         self,
         shard: int,
@@ -2336,22 +2700,22 @@ def goal_shard_footprint(
     rule, so updates routed to other shards cannot move the entry's answers
     (they are mirrored into its base copy without any propagation).
 
-    The check accepts an EDB occurrence when its key-position component is a
-    ground constant, or a lone variable that the *seed* magic predicate of
-    the same rule binds to a seed path.  Recursion is rejected outright —
-    a recursive goal (reachability) reaches rows an unbounded number of
-    joins away from the seed, so its true footprint is every shard.  So is
-    any rule with a negated predicate: a fact *appearing* in a negated
-    relation removes answers no matter which shard it lives on, so a
-    footprint that skipped its update would serve stale answers.
+    The check accepts an EDB occurrence — positive *or negated* — when its
+    key-position component is a ground constant, or a lone variable that the
+    *seed* magic predicate of the same rule binds to a seed path: any base
+    row that could satisfy (or, negated, block) the occurrence then carries
+    that value at the relation's shard-key position, so its home shard is in
+    the footprint.  Occurrences of *replicated* relations are skipped
+    without pinning — their updates are broadcast and maintained through
+    every entry regardless of home shard (see
+    :meth:`~repro.engine.tabling.AnswerTable.apply_update`).  Recursion is
+    rejected outright — a recursive goal (reachability) reaches rows an
+    unbounded number of joins away from the seed, so its true footprint is
+    every shard.
     """
     program = compiled.program
     if program.uses_recursion():
         return None
-    for rule in program.rules():
-        for literal in rule.body:
-            if literal.negative and literal.is_predicate():
-                return None
     seed_fact = compiled.seed_fact(seed_binding)
     seed_name = compiled.magic_seed_relation
     edb = program.edb_relation_names() - {seed_name}
@@ -2369,10 +2733,12 @@ def goal_shard_footprint(
                 if len(items) == 1 and not isinstance(items[0], str):
                     seed_values[items[0]] = value
         for literal in rule.body:
-            if not (literal.positive and literal.is_predicate()):
+            if not literal.is_predicate():
                 continue
             predicate = literal.atom
             if predicate.name not in edb:
+                continue
+            if predicate.name in spec.replicated:
                 continue
             key = spec.key_for(predicate.name)
             if key is None or key >= len(predicate.components):

@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from repro.engine.fixpoint import EvaluationStatistics
 from repro.engine.maintenance import MaintainedFixpoint
+from repro.engine.reasons import SNAPSHOT_NOT_MAINTAINED, maintenance_reason, reason
 from repro.errors import EvaluationError, SubgoalTableError
 from repro.model.instance import Fact, Instance
 from repro.model.terms import Path
@@ -267,9 +268,9 @@ class AnswerTable:
         fixpoints, with the delta filtered to the relations each entry's
         program mentions (an unmentioned relation cannot move its answers).
         Snapshot entries survive deltas that miss their relations and are
-        evicted otherwise; maintained entries whose update fails (negation
-        over a changed relation, budget breach, …) are evicted with the
-        reason recorded.  Returns this call's evictions.
+        evicted otherwise; maintained entries whose update fails (budget
+        breach, stray relations, …) are evicted with the reason recorded.
+        Returns this call's evictions.
         """
         additions = list(additions)
         retractions = list(retractions)
@@ -297,18 +298,23 @@ class AnswerTable:
                 # cannot join any body occurrence of its magic program: they
                 # are mirrored into the entry's base-relation copy (which
                 # doubles as the session's reference state) and skipped by
-                # maintenance entirely.
+                # maintenance entirely.  Replicated relations are the
+                # exception — the footprint proof skipped their occurrences
+                # (every worker reads the full copy, so home ownership says
+                # nothing about reachability), so their facts are always
+                # maintained through the entry.
+                replicated = self.spec.replicated
                 inside_added = []
                 inside_removed = []
                 mirrored = 0
                 for fact in relevant_removed:
-                    if homes[fact] in entry.shard_footprint:
+                    if fact.relation in replicated or homes[fact] in entry.shard_footprint:
                         inside_removed.append(fact)
                     else:
                         entry.answers.discard_fact(fact, keep_empty=True)
                         mirrored += 1
                 for fact in relevant_added:
-                    if homes[fact] in entry.shard_footprint:
+                    if fact.relation in replicated or homes[fact] in entry.shard_footprint:
                         inside_added.append(fact)
                     else:
                         entry.answers.add_fact(fact)
@@ -319,7 +325,15 @@ class AnswerTable:
                 if not relevant_added and not relevant_removed:
                     continue
             if entry.fixpoint is None:
-                evicted.append((entry, "snapshot entries cannot be maintained"))
+                evicted.append(
+                    (
+                        entry,
+                        reason(
+                            SNAPSHOT_NOT_MAINTAINED,
+                            "snapshot entries cannot be maintained",
+                        ),
+                    )
+                )
                 self._entries.remove(entry)
                 continue
             try:
@@ -327,7 +341,7 @@ class AnswerTable:
                     relevant_added, relevant_removed, statistics=statistics
                 )
             except EvaluationError as error:
-                evicted.append((entry, str(error)))
+                evicted.append((entry, maintenance_reason(error)))
                 self._entries.remove(entry)
         self.evictions.extend((repr(entry), reason) for entry, reason in evicted)
         del self.evictions[:-EVICTION_LOG_LIMIT]

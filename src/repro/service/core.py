@@ -52,6 +52,11 @@ from typing import Callable, Iterable, Mapping
 
 from repro.engine.limits import DEFAULT_LIMITS, EvaluationLimits
 from repro.engine.query import ProgramQuery, QueryResult, QuerySession, UpdateResult
+from repro.engine.reasons import (
+    ADMISSION_PRESSURE,
+    SERVICE_CAPACITY,
+    TENANT_CAPACITY,
+)
 from repro.errors import EvaluationBudgetExceeded, SequenceDatalogError
 from repro.io.serialization import (
     fact_from_json,
@@ -591,10 +596,13 @@ class SessionRegistry:
 
     ``max_sessions`` bounds the whole service; each tenant is additionally
     bounded by its :class:`TenantBudget` (``default_budget`` for tenants
-    without an explicit one).  Exceeding either bound evicts the
-    least-recently-used session of the crowded scope — sessions are cheap
-    to rebuild from their program + instance, so eviction trades recompute
-    for memory, mirroring the answer-table LRU one level up.
+    without an explicit one).  Exceeding either bound evicts a session of
+    the crowded scope — sessions are cheap to rebuild from their program +
+    instance, so eviction trades recompute for memory, mirroring the
+    answer-table LRU one level up.  Within a tenant the victim is its LRU
+    session; service-wide the registry prefers the highest admission-
+    pressure tenant's session (see :meth:`_pressure_victim`) before the
+    global LRU one.
     """
 
     def __init__(
@@ -725,7 +733,16 @@ class SessionRegistry:
         return handle
 
     def _admit(self, tenant: str, budget: TenantBudget) -> None:
-        """Evict LRU sessions until the new one fits both scopes."""
+        """Evict sessions until the new one fits both scopes.
+
+        Within a tenant's own budget the victim is its LRU session.  Under
+        *service-wide* pressure the registry first targets the tenant
+        generating the most admission pressure — the one whose shed counts
+        say it keeps pushing work past its own limits — and only falls back
+        to the global LRU victim when nobody is shedding.  A hostile tenant
+        therefore loses its sessions before it can evict a well-behaved
+        tenant's warm materializations.
+        """
         tenant_sessions = [
             session_id
             for session_id, handle in self._sessions.items()
@@ -733,10 +750,39 @@ class SessionRegistry:
         ]
         while len(tenant_sessions) >= budget.max_sessions:
             victim = tenant_sessions.pop(0)  # OrderedDict iterates LRU-first
-            self._evict(victim, "tenant_capacity")
+            self._evict(victim, TENANT_CAPACITY)
         while len(self._sessions) >= self.max_sessions:
+            victim = self._pressure_victim()
+            if victim is not None:
+                self._evict(victim, ADMISSION_PRESSURE)
+                continue
             victim = next(iter(self._sessions))
-            self._evict(victim, "service_capacity")
+            self._evict(victim, SERVICE_CAPACITY)
+
+    def _pressure_victim(self) -> "str | None":
+        """The LRU session of the tenant shedding the most work, or ``None``.
+
+        Pressure is the sum of a tenant's shed updates and queries across
+        its live sessions — exactly the traffic admission control already
+        refused.  ``None`` when no tenant is shedding (ties broken toward
+        the earliest-created session ordering, which is deterministic).
+        """
+        pressure: "dict[str, int]" = {}
+        for handle in self._sessions.values():
+            pressure[handle.tenant] = (
+                pressure.get(handle.tenant, 0)
+                + handle.shed_updates
+                + handle.shed_queries
+            )
+        if not pressure:
+            return None
+        worst = max(pressure, key=lambda name: pressure[name])
+        if pressure[worst] <= 0:
+            return None
+        for session_id, handle in self._sessions.items():  # LRU-first
+            if handle.tenant == worst:
+                return session_id
+        return None
 
     def _evict(self, session_id: str, reason: str) -> None:
         handle = self._sessions.pop(session_id, None)

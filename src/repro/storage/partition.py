@@ -217,7 +217,11 @@ def choose_shard_keys(program: "Program") -> "dict[str, int | None]":
     return keys
 
 
-def joins_are_key_aligned(program: "Program", keys: "Mapping[str, int | None]") -> bool:
+def joins_are_key_aligned(
+    program: "Program",
+    keys: "Mapping[str, int | None]",
+    replicated: "frozenset[str]" = frozenset(),
+) -> bool:
     """Whether *keys* make every join of *program* partition-local.
 
     A join is partition-local when all rows any single valuation reads share
@@ -230,38 +234,57 @@ def joins_are_key_aligned(program: "Program", keys: "Mapping[str, int | None]") 
       several positive predicates all their key-position components are the
       *same lone variable* — one valuation therefore reads rows agreeing on
       that variable's value, which is exactly what their home hashes;
-    * no negated predicate: deciding ``not R(t̄)`` against a partition would
-      claim absence from rows another shard holds.
+    * every negated predicate is either *replicated* (each worker holds the
+      full copy, so ``not R(t̄)`` is decidable anywhere) or keyed, at its
+      shard-key position, by that same lone variable: any matching negated
+      row then shares the valuation's home, so local absence is global
+      absence.  A negated-only rule (no positive anchor) has no home to
+      prove anything against and fails unless every negated relation is
+      replicated.
 
-    Rules with a single positive predicate impose nothing (the pivot's own
-    partition is the delta slice being evaluated), and equations never read
-    relations.  When the check fails the sharded engine falls back to full
-    replicas, which are always sound.
+    Rules with a single positive predicate and no negation impose nothing
+    (the pivot's own partition is the delta slice being evaluated), and
+    equations never read relations.  When the check fails the sharded
+    engine falls back to full replicas, which are always sound.
     """
-    return _rules_are_key_aligned(program.rules(), keys)
+    return _rules_are_key_aligned(program.rules(), keys, replicated)
 
 
-def _rules_are_key_aligned(rules, keys: "Mapping[str, int | None]") -> bool:
+def _rules_are_key_aligned(
+    rules, keys: "Mapping[str, int | None]", replicated: "frozenset[str]" = frozenset()
+) -> bool:
     for rule in rules:
-        predicates = []
+        positives = []
+        negatives = []
         for literal in rule.body:
             if literal.is_predicate():
                 if literal.negative:
-                    return False
-                predicates.append(literal.atom)
-        if len(predicates) < 2:
+                    if literal.atom.name not in replicated:
+                        negatives.append(literal.atom)
+                else:
+                    positives.append(literal.atom)
+        if len(positives) < 2 and not negatives:
             continue
+        if negatives and not positives:
+            return False
         key_variable = None
-        for predicate in predicates:
+        for predicate in positives:
             key = keys.get(predicate.name)
             if key is None or key >= len(predicate.components):
                 return False
-            items = predicate.components[key].items
-            if len(items) != 1 or isinstance(items[0], str) or not hasattr(items[0], "name"):
+            variable = _lone_variable(predicate.components[key])
+            if variable is None:
                 return False
             if key_variable is None:
-                key_variable = items[0]
-            elif items[0] != key_variable:
+                key_variable = variable
+            elif variable != key_variable:
+                return False
+        for predicate in negatives:
+            key = keys.get(predicate.name)
+            if key is None or key >= len(predicate.components):
+                return False
+            variable = _lone_variable(predicate.components[key])
+            if variable is None or variable != key_variable:
                 return False
     return True
 
@@ -347,6 +370,12 @@ def _consumer_scores(rules) -> "dict[str, dict[int, int]]":
     worker that derives a row is the row's home — so that score dominates
     (and is weighted by the head's fan-in: the number of rules producing the
     relation, i.e. how much derived traffic the choice steers).
+
+    Negated body occurrences are consumers too: ``not B(…, @v, …)`` is
+    probed with ``@v`` bound by the positive anchor, and keying ``B`` at
+    that position is exactly what lets a negation stratum prove ``local``
+    (matching rows home with the valuation, so local absence is global
+    absence) instead of forcing a full replica of ``B``.
     """
     fan_in: dict[str, int] = {}
     for rule in rules:
@@ -383,6 +412,22 @@ def _consumer_scores(rules) -> "dict[str, dict[int, int]]":
                 if points:
                     positions = scores.setdefault(predicate.name, {})
                     positions[position] = positions.get(position, 0) + points
+        for literal in rule.body:
+            if not (literal.negative and literal.is_predicate()):
+                continue
+            predicate = literal.atom
+            for position, component in enumerate(predicate.components):
+                variable = _lone_variable(component)
+                if variable is None:
+                    continue
+                points = 0
+                if variable in head_positions:
+                    points = 1
+                if any(variable in other.variables() for other in body_predicates):
+                    points = max(points, 2)
+                if points:
+                    positions = scores.setdefault(predicate.name, {})
+                    positions[position] = positions.get(position, 0) + points
     return scores
 
 
@@ -402,11 +447,13 @@ def _stratum_local_requirements(stratum, keys, candidates):
     """The relations that must be replicated for *stratum* to run ``local``.
 
     Returns ``None`` when no replication choice helps.  Per rule: the head's
-    key component must be a lone variable ``v``; every positive body
-    predicate is either keyed by the same ``v`` (its partition already sits
-    with the head's home) or must be replicated — which is only sound for
-    *candidates* (relations no rule ever derives, so replicas never need
-    derived-fact broadcasts).  Negation breaks any partitioned reading.
+    key component must be a lone variable ``v``; every body predicate —
+    positive or negated — is either keyed by the same ``v`` (its partition
+    already sits with the head's home: for a negated predicate that makes
+    local absence global absence) or must be replicated — which is only
+    sound for *candidates* (relations whose full contents are sealed before
+    any reader's stratum runs, so replicas only need the one-shot broadcast
+    the executor already performs).
     """
     head_names = stratum.head_relation_names()
     needed: set[str] = set()
@@ -414,8 +461,6 @@ def _stratum_local_requirements(stratum, keys, candidates):
         predicates = []
         for literal in rule.body:
             if literal.is_predicate():
-                if literal.negative:
-                    return None
                 predicates.append(literal.atom)
         head_key = keys.get(rule.head.name)
         if head_key is None or head_key >= len(rule.head.components):
@@ -440,7 +485,7 @@ def _stratum_mode(stratum, keys, replicated, candidates):
     needed = _stratum_local_requirements(stratum, keys, candidates)
     if needed is not None and needed <= replicated:
         return "local"
-    if _rules_are_key_aligned(stratum.rules, keys):
+    if _rules_are_key_aligned(stratum.rules, keys, replicated):
         return "aligned"
     return "replicated"
 
@@ -472,7 +517,22 @@ def choose_sharding_plan(program: "Program") -> ShardingPlan:
     actually runs.
     """
     names = program.relation_names()
-    candidates = frozenset(program.edb_relation_names())
+    # Replication candidates: relations whose full contents are *sealed*
+    # before any reader's stratum runs.  EDB relations trivially qualify.
+    # An IDB relation qualifies when no stratum that defines it also reads
+    # any of its own heads (non-recursive): its rows are complete when its
+    # stratum closes, and the executor broadcasts derived replicated facts
+    # to every worker as they land — which is what lets a later stratum
+    # negate it without falling back to whole-stratum replication.
+    recursive_heads: set[str] = set()
+    for stratum in program.strata:
+        heads = stratum.head_relation_names()
+        if heads & stratum.body_relation_names():
+            recursive_heads |= heads
+    candidates = frozenset(
+        program.edb_relation_names()
+        | (program.idb_relation_names() - recursive_heads)
+    )
     keys = _keys_from_scores(names, _consumer_scores(program.rules()))
     strata = program.strata
 
@@ -492,7 +552,9 @@ def choose_sharding_plan(program: "Program") -> ShardingPlan:
             {name: key for name, key in preferred.items() if key is not None}
         )
         trial_needed = _stratum_local_requirements(stratum, trial, candidates)
-        if trial_needed is not None or _rules_are_key_aligned(stratum.rules, trial):
+        if trial_needed is not None or _rules_are_key_aligned(
+            stratum.rules, trial, frozenset(replicated)
+        ):
             changed = {
                 name: trial[name]
                 for name in trial

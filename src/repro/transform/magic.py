@@ -21,13 +21,20 @@ in SIPS order, see :mod:`repro.analysis.adornment`):
   relation name, so the query layer reads answers from the same relation in
   both modes.
 
-The rewriting refuses (raising :class:`MagicSetUnsupportedError`) when it
-would be unsound or non-terminating:
+**Stratified negation.**  A negated IDB atom needs its relation *completely*
+evaluated; restricting it to the demanded slice would silently change answers
+across negation strata.  The rewriting therefore evaluates negated relations
+*fully*: the original (un-adorned) rules of every negated IDB relation — and
+of every IDB relation those rules read, transitively — ride along in the
+rewritten program, and restratification places them ahead of the guarded
+strata that negate them, so the negated relations are sealed before any
+demand-restricted rule fires.  Only the positive slice of the program is
+demand-restricted; :attr:`MagicProgram.negation_strategy` records
+``"stratified-full"`` when support rules were pulled in.
 
-* **Negation on demanded derived relations.**  A negated IDB atom needs its
-  relation *completely* evaluated; restricting it to the demanded slice would
-  silently change answers across negation strata.  Detected and reported —
-  the query layer falls back to full evaluation.
+The rewriting refuses (raising :class:`MagicSetUnsupportedError`) when it
+would be non-terminating:
+
 * **Expanding magic recursion.**  Sequence Datalog paths come from an
   infinite domain, so a magic predicate that *extends* paths around a
   recursive call (``magic_T(a·$x) ← magic_T($x)``) enumerates unboundedly
@@ -87,6 +94,11 @@ class MagicProgram:
     adornment: Adornment
     report: TransformationReport
     requested_adornment: "Adornment | None" = None
+    #: How negated IDB reads were handled: ``"none"`` when the goal never
+    #: reaches one, ``"stratified-full"`` when the negated relations (and
+    #: their transitive IDB support) ride along un-adorned and are evaluated
+    #: fully — sealed by stratification before any demand-restricted rule.
+    negation_strategy: str = "none"
 
     @property
     def generalized(self) -> bool:
@@ -239,10 +251,12 @@ def magic_rewrite(
 ) -> MagicProgram:
     """Rewrite *program* for goal-directed evaluation of ``output_relation^adornment``.
 
-    Raises :class:`MagicSetUnsupportedError` when the rewriting would be
-    unsound (negation on demanded IDB relations) or could destroy termination
-    (expanding magic recursion); callers are expected to fall back to full
-    evaluation in that case.
+    Stratified negation is handled, not refused: negated IDB relations (and
+    their transitive IDB support) are carried along un-adorned and evaluated
+    fully — see :attr:`MagicProgram.negation_strategy`.  Raises
+    :class:`MagicSetUnsupportedError` when the rewriting could destroy
+    termination (expanding magic recursion); callers are expected to fall
+    back to full evaluation in that case.
 
     ``on_expanding`` selects how the termination refusal is handled:
 
@@ -289,6 +303,7 @@ def magic_rewrite(
                 adornment=rewritten.adornment,
                 report=rewritten.report,
                 requested_adornment=adornment,
+                negation_strategy=rewritten.negation_strategy,
             )
         raise
 
@@ -302,14 +317,35 @@ def _magic_rewrite_for(
     adorned = adorn_program(program, output_relation, adornment)
     idb = program.idb_relation_names()
 
+    # Stratified negation: negated IDB atoms stay un-adorned (adornment
+    # assigns them no demand), so their relations must be evaluated *fully*.
+    # Pull in the original defining rules of every reachable negated IDB
+    # relation, closed over the IDB relations those rules read (positively or
+    # negatively) — the full support subtree of every negation.  Appended
+    # un-adorned, restratification seals them before the guarded strata that
+    # negate them, so only the positive slice is demand-restricted.
+    support_names: set[str] = set()
+    pending: list[str] = []
     for entry in adorned.reachable_rules():
         for literal in entry.order:
-            if literal.negative and literal.is_predicate() and literal.atom.name in idb:  # type: ignore[union-attr]
-                raise MagicSetUnsupportedError(
-                    f"rule {entry.rule} negates the derived relation "
-                    f"{literal.atom.name!r}; goal-directed rewriting across "  # type: ignore[union-attr]
-                    f"negation strata would be unsound"
-                )
+            if literal.negative and literal.is_predicate():
+                name = literal.atom.name  # type: ignore[union-attr]
+                if name in idb and name not in support_names:
+                    support_names.add(name)
+                    pending.append(name)
+    rules_by_head: dict[str, list[Rule]] = {}
+    for original_rule in program.rules():
+        rules_by_head.setdefault(original_rule.head.name, []).append(original_rule)
+    support_rules: list[Rule] = []
+    while pending:
+        name = pending.pop()
+        for original_rule in rules_by_head.get(name, ()):
+            support_rules.append(original_rule)
+            for dependency in original_rule.body_relation_names():
+                if dependency in idb and dependency not in support_names:
+                    support_names.add(dependency)
+                    pending.append(dependency)
+    negation_strategy = "stratified-full" if support_rules else "none"
 
     fresh = FreshNames.for_program(program)
     adorned_names: dict[tuple[str, Adornment], str] = {}
@@ -366,7 +402,9 @@ def _magic_rewrite_for(
         (pos(Predicate(adorned_names[output_key], tuple(bridge_variables))),),
     )
 
-    all_rules = rewritten + [rule for rule, *_ in magic_rules] + [bridge]
+    all_rules = (
+        rewritten + [rule for rule, *_ in magic_rules] + support_rules + [bridge]
+    )
     result = Program.from_rules(all_rules)
     return MagicProgram(
         program=result,
@@ -376,4 +414,5 @@ def _magic_rewrite_for(
         adornment=adornment,
         report=TransformationReport.compare(program, result),
         requested_adornment=adornment,
+        negation_strategy=negation_strategy,
     )

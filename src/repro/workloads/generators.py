@@ -35,6 +35,8 @@ __all__ = [
     "random_packed_instance",
     "random_positive_program",
     "update_stream",
+    "churn_stream",
+    "low_overlap_goal_stream",
 ]
 
 
@@ -405,6 +407,94 @@ def update_stream(
                     additions.append(Fact(relation, row))
                     break
         yield additions, retractions
+
+
+def churn_stream(
+    instance: Instance,
+    *,
+    relation: str = "R",
+    steps: int = 10,
+    retractions_per_step: int = 4,
+    additions_per_step: int = 1,
+    revival_rate: float = 0.5,
+    seed: int = 0,
+) -> Iterator[tuple[list[Fact], list[Fact]]]:
+    """A deletion-heavy churn stream: retraction-dominated updates with revivals.
+
+    The adversarial counterpart of :func:`update_stream`.  Each step retracts
+    *retractions_per_step* currently-live rows and adds only
+    *additions_per_step* back, so the instance *shrinks* over the stream and
+    the maintenance layer spends its time on the deletion side — counting
+    decrements crossing zero, delete–rederive overdeletion, and (through a
+    negated relation) insertion seeds.  A fraction *revival_rate* of the
+    additions resurrects a previously retracted row instead of recombining a
+    fresh one: a revived fact must come back with correct support counts,
+    which is exactly the state a maintenance bug corrupts first.  Like
+    :func:`update_stream`, at least one row always survives and *instance*
+    itself is never mutated.
+    """
+    generator = random.Random(seed)
+    live: list[tuple[Path, ...]] = sorted(instance.relation(relation), key=repr)
+    live_set = set(live)
+    graveyard: list[tuple[Path, ...]] = []
+    pools: list[list[Path]] = []
+    if live:
+        arity = len(live[0])
+        pools = [sorted({row[i] for row in live}, key=repr) for i in range(arity)]
+    for _ in range(steps):
+        retractions: list[Fact] = []
+        for _ in range(min(retractions_per_step, max(len(live) - 1, 0))):
+            row = live.pop(generator.randrange(len(live)))
+            live_set.discard(row)
+            graveyard.append(row)
+            retractions.append(Fact(relation, row))
+        additions: list[Fact] = []
+        for _ in range(additions_per_step):
+            row = None
+            if graveyard and generator.random() < revival_rate:
+                row = graveyard.pop(generator.randrange(len(graveyard)))
+                if row in live_set:
+                    row = None
+            if row is None and pools:
+                for _ in range(32):  # bounded attempts to find a fresh row
+                    candidate = tuple(generator.choice(pool) for pool in pools)
+                    if candidate not in live_set:
+                        row = candidate
+                        break
+            if row is None:
+                continue
+            live.append(row)
+            live_set.add(row)
+            additions.append(Fact(relation, row))
+        yield additions, retractions
+
+
+def low_overlap_goal_stream(
+    instance: Instance,
+    *,
+    relation: str = "E",
+    position: int = 0,
+    goals: int = 24,
+    seed: int = 0,
+) -> list[Path]:
+    """A goal stream with (near-)zero subsumption overlap, for tabling.
+
+    The friendly tabling workload repeats a handful of hot sources, so the
+    subgoal table wins on every repeat.  This stream is the hostile shape:
+    it binds a *different* value each time, drawn (in deterministic shuffled
+    order) from the distinct paths at argument *position* of *relation* —
+    every goal is a cold table miss, the LRU bound churns, and subsumption
+    never fires.  Only when *goals* exceeds the number of distinct values
+    does the stream wrap around, and by then an LRU-bounded table has long
+    evicted the first pass's entries.  Tabled serving must degrade to
+    per-goal magic gracefully here, not collapse.
+    """
+    generator = random.Random(seed)
+    values = sorted({row[position] for row in instance.relation(relation)}, key=repr)
+    generator.shuffle(values)
+    if not values:
+        return []
+    return [values[index % len(values)] for index in range(goals)]
 
 
 def random_packed_instance(

@@ -72,13 +72,16 @@ class TestBindings:
 
 
 class TestFallback:
-    def test_negation_falls_back_with_reason(self):
+    def test_negation_over_derived_relation_runs_goal_directed(self):
+        # Stratified negation no longer falls back: the rewrite evaluates
+        # the negated relation's support rules fully and demand-restricts
+        # only the positive slice.
         query = get_query("black_neighbours").make_query()
         instance = random_graph_instance(nodes=6, edges=10, seed=3)
         instance.add("B", path("a"))
         result = query.run(instance, mode="goal")
-        assert result.mode == "full"
-        assert "negates the derived relation" in result.fallback_reason
+        assert result.mode == "goal"
+        assert result.fallback_reason is None
         assert result.output == query.run(instance).output
 
     def test_expanding_recursion_falls_back(self):
@@ -103,9 +106,9 @@ class TestFallback:
         assert result.output == baseline.output
 
     def test_rewriting_failure_is_cached(self):
-        query = get_query("black_neighbours").make_query()
+        query = get_query("only_as_air").make_query()
         compiled, reason = query.goal_program()
-        assert compiled is None and "negates" in reason
+        assert compiled is None and "grow paths without bound" in reason
         again, reason_again = query.goal_program()
         assert again is None and reason_again == reason
 

@@ -169,32 +169,89 @@ class TestDeleteRederive:
             assert_maintained_matches_scratch(maintained, program, base)
 
 
-class TestUnsupportedAndErrors:
-    def test_negation_over_changed_relation_is_refused_upfront(self):
+class TestStratifiedNegationMaintenance:
+    def test_retraction_through_negated_edb_revives_answers(self):
+        # Removing b from B unblocks S(b) — signed counting turns the
+        # negated relation's retraction into a downstream insertion.
+        program = parse_program("A($x) :- R($x).\nS($x) :- A($x), not B($x).")
+        base = Instance()
+        base.add("R", path("a"))
+        base.add("R", path("b"))
+        base.add("B", path("b"))
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        assert not maintained.materialized.contains("S", path("b"))
+        maintained.update(retractions=[Fact("B", [path("b")])])
+        base.discard_fact(Fact("B", [path("b")]))
+        assert maintained.materialized.contains("S", path("b"))
+        assert_maintained_matches_scratch(maintained, program, base)
+
+    def test_addition_through_negated_edb_retracts_answers(self):
         program = parse_program("A($x) :- R($x).\nS($x) :- A($x), not B($x).")
         base = Instance()
         base.add("R", path("a"))
         base.add("B", path("b"))
         maintained = MaintainedFixpoint.evaluate(program, base.copy())
-        snapshot = maintained.materialized.copy()
-        with pytest.raises(MaintenanceUnsupportedError, match="negation"):
-            maintained.update(retractions=[Fact("B", [path("b")])])
-        # The refusal happened before any state was touched.
-        assert maintained.materialized == snapshot
-        maintained.update(additions=[Fact("R", [path("c")])])
-        base.add("R", path("c"))
+        assert maintained.materialized.contains("S", path("a"))
+        result = maintained.update(additions=[Fact("B", [path("a")])])
+        base.add("B", path("a"))
+        assert Fact("S", (path("a"),)) in result.removed
+        assert not maintained.materialized.contains("S", path("a"))
         assert_maintained_matches_scratch(maintained, program, base)
 
-    def test_transitive_reach_into_negation_is_refused(self):
-        # R feeds A, and A is negated downstream: updating R must be refused.
+    def test_transitive_reach_into_negation_is_maintained(self):
+        # R feeds A, and A is negated downstream: the signed delta flows
+        # through the intermediate stratum and flips S's membership.
         program = parse_program("A($x) :- R($x).\nS($x) :- Q($x), not A($x).")
         base = Instance()
         base.add("R", path("a"))
         base.add("Q", path("b"))
         maintained = MaintainedFixpoint.evaluate(program, base.copy())
-        with pytest.raises(MaintenanceUnsupportedError):
-            maintained.update(additions=[Fact("R", [path("z")])])
+        assert maintained.materialized.contains("S", path("b"))
+        maintained.update(additions=[Fact("R", [path("b")])])
+        base.add("R", path("b"))
+        assert not maintained.materialized.contains("S", path("b"))
+        assert_maintained_matches_scratch(maintained, program, base)
+        maintained.update(retractions=[Fact("R", [path("b")])])
+        base.discard_fact(Fact("R", [path("b")]))
+        assert maintained.materialized.contains("S", path("b"))
+        assert_maintained_matches_scratch(maintained, program, base)
 
+    def test_recursion_over_stratified_negation_is_maintained(self):
+        # A recursive stratum reading a negated relation exercises the
+        # delete–rederive kill/insertion seeds, not just signed counting.
+        program = parse_program(
+            "Blocked($x) :- Block($x).\n"
+            "T(@x, @y) :- E(@x, @y), not Blocked(@y).\n"
+            "T(@x, @z) :- T(@x, @y), E(@y, @z), not Blocked(@z)."
+        )
+        base = line_instance("a", "b", "c", "d")
+        base.add("Block", path("c"))
+        maintained = MaintainedFixpoint.evaluate(program, base.copy())
+        assert not maintained.materialized.contains("T", path("a"), path("d"))
+        # Unblocking c revives the whole suffix of the chain...
+        maintained.update(retractions=[Fact("Block", [path("c")])])
+        base.discard_fact(Fact("Block", [path("c")]))
+        assert maintained.materialized.contains("T", path("a"), path("d"))
+        assert_maintained_matches_scratch(maintained, program, base)
+        # ...and re-blocking b kills it again through the kill seeds.
+        maintained.update(additions=[Fact("Block", [path("b")])])
+        base.add("Block", path("b"))
+        assert not maintained.materialized.contains("T", path("a"), path("d"))
+        assert_maintained_matches_scratch(maintained, program, base)
+
+    def test_unstratifiable_program_is_refused_at_build_time(self):
+        # S negates itself through W: no stratification order exists, so the
+        # fixpoint is ambiguous.  The stratifier refuses at parse time (and
+        # evaluate() keeps a defensive check for hand-built stratum lists).
+        from repro.errors import StratificationError
+
+        with pytest.raises(StratificationError, match="cycle through negation"):
+            parse_program(
+                "W($x) :- R($x), not S($x).\nS($x) :- R($x), not W($x)."
+            )
+
+
+class TestUnsupportedAndErrors:
     def test_updating_idb_relations_is_rejected(self):
         program = parse_program(REACHABILITY_PAIRS)
         maintained = MaintainedFixpoint.evaluate(program, line_instance("a", "b"))
@@ -221,10 +278,10 @@ class TestUnsupportedAndErrors:
         with pytest.raises(MaintenanceUnsupportedError, match="never mentions"):
             maintained.update(retractions=[Fact("Stray", [path("z")])])
 
-    def test_negation_only_read_is_inside_the_closure(self):
-        # W reads A *only under negation*; the closure must still treat W as
-        # possibly changed when A moves, so negating W downstream refuses the
-        # update instead of silently maintaining through it.
+    def test_chained_negation_propagates_the_signed_delta(self):
+        # W reads A only under negation and S reads W only under negation:
+        # an R addition flips W, whose flip flips S back — two sign changes
+        # chained through consecutive strata.
         program = parse_program(
             "A($x) :- R($x).\n"
             "W($x) :- Q($x), not A($x).\n"
@@ -234,10 +291,13 @@ class TestUnsupportedAndErrors:
         base.add("R", path("a"))
         base.add("Q", path("b"))
         maintained = MaintainedFixpoint.evaluate(program, base.copy())
-        snapshot = maintained.materialized.copy()
-        with pytest.raises(MaintenanceUnsupportedError, match="negation"):
-            maintained.update(additions=[Fact("R", [path("b")])])
-        assert maintained.materialized == snapshot
+        assert maintained.materialized.contains("W", path("b"))
+        assert not maintained.materialized.contains("S", path("b"))
+        maintained.update(additions=[Fact("R", [path("b")])])
+        base.add("R", path("b"))
+        assert not maintained.materialized.contains("W", path("b"))
+        assert maintained.materialized.contains("S", path("b"))
+        assert_maintained_matches_scratch(maintained, program, base)
 
     def test_noop_update_returns_empty_result(self):
         program = parse_program(REACHABILITY_PAIRS)

@@ -66,14 +66,25 @@ class TestServedBy:
         # The rewriting for this query is statically refused; a goal request
         # served from the warm materialization must still surface why a cold
         # goal run would have fallen back.
-        query = get_query("black_neighbours").make_query()
-        instance = random_graph_instance(nodes=6, edges=10, seed=3)
-        instance.add("B", path("a"))
+        query = get_query("only_as_air").make_query()
+        instance = unary_instance("R", ["aa", "ab"])
         session = query.session(instance)
         session.run()  # materializes the full fixpoint
         result = session.run(mode="goal")
         assert result.served_by == "maintained" and result.mode == "goal"
-        assert "negates the derived relation" in result.fallback_reason
+        assert "grow paths without bound" in result.fallback_reason
+
+    def test_goal_mode_with_stratified_negation_runs_goal_directed(self):
+        # Negation over a demanded IDB relation used to be the canonical
+        # fallback; the stratified rewrite now keeps it on the goal pipeline.
+        query = get_query("black_neighbours").make_query()
+        instance = random_graph_instance(nodes=6, edges=10, seed=3)
+        instance.add("B", path("a"))
+        session = query.session(instance)
+        result = session.run(mode="goal")
+        assert result.mode == "goal" and result.fallback_reason is None
+        assert result.served_by == "goal"
+        assert result.output == query.run(instance.copy()).output
 
     def test_goal_only_sessions_keep_the_goal_pipeline(self):
         session = pair_query().session(line_instance())
@@ -131,7 +142,9 @@ class TestSessionUpdate:
         assert instance == snapshot
         assert session.run(binding={0: "a"}).served_by == "maintained"
 
-    def test_unsupported_update_falls_back_with_reason(self):
+    def test_update_through_negated_relation_is_maintained(self):
+        # Retracting from the relation read under negation used to be the
+        # canonical maintenance fallback; signed deltas now cover it.
         query = get_query("black_neighbours").make_query()
         instance = random_graph_instance(nodes=6, edges=10, seed=3)
         instance.add("B", path("a"))
@@ -139,27 +152,28 @@ class TestSessionUpdate:
         baseline = session.run()
         assert baseline.served_by == "full"
         update = session.update(retractions=[Fact("B", [path("a")])])
-        assert not update.maintained
-        assert "negation" in update.fallback_reason
-        assert session.last_maintenance_fallback == update.fallback_reason
-        # The next run transparently re-evaluates and is correct.
+        assert update.maintained and update.fallback_reason is None
+        assert session.last_maintenance_fallback is None
         result = session.run()
-        assert result.served_by == "full"
+        assert result.served_by == "maintained"
         assert result.output == query.run(instance.copy()).output
 
-    def test_maintenance_resumes_after_a_fallback(self):
-        # set_difference negates Q only: updates to R are maintainable, while
-        # updates to Q must fall back.
+    def test_maintenance_covers_both_sides_of_a_negation(self):
+        # set_difference negates Q: updates to R and to Q both maintain, in
+        # either direction, and keep agreeing with a scratch run.
         query = get_query("set_difference").make_query()
         instance = Instance({"R": ["a", "b"], "Q": ["b"]})
         session = query.session(instance)
         session.run()
-        fallback = session.update(additions=[Fact("Q", [path("a")])])
-        assert not fallback.maintained and "negation" in fallback.fallback_reason
-        session.run()  # re-materializes
+        update = session.update(additions=[Fact("Q", [path("a")])])
+        assert update.maintained and path("a") not in session.run().paths()
         update = session.update(additions=[Fact("R", [path("c")])])
-        assert update.maintained  # R never reaches the negated relation
-        assert session.run().paths() == query.run(instance.copy()).paths()
+        assert update.maintained
+        update = session.update(retractions=[Fact("Q", [path("b")])])
+        assert update.maintained and path("b") in session.run().paths()
+        result = session.run()
+        assert result.served_by == "maintained"
+        assert result.paths() == query.run(instance.copy()).paths()
 
 
 class TestOutOfBandMutations:
@@ -200,13 +214,12 @@ class TestOutOfBandMutations:
 
 class TestGoalFallbackContract:
     def test_unsupported_rewriting_records_reason(self):
-        query = get_query("black_neighbours").make_query()
-        instance = random_graph_instance(nodes=6, edges=10, seed=3)
-        instance.add("B", path("a"))
+        query = get_query("only_as_air").make_query()
+        instance = unary_instance("R", ["aa", "ab"])
         session = query.session(instance)
         result = session.run(mode="goal")
         assert result.mode == "full"
-        assert "negates the derived relation" in result.fallback_reason
+        assert "grow paths without bound" in result.fallback_reason
 
     def test_budget_breach_records_reason(self):
         baseline = pair_query().run(line_instance(), binding={0: "a"})

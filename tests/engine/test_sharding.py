@@ -523,14 +523,17 @@ def test_repartition_mid_stream_agrees_and_rekeys():
     program, instance, seeds = _repartition_workload()
     expected = evaluate_program(program, instance, seed_facts=seeds)
     plan = choose_sharding_plan(program)
-    assert plan.repartitions == {0: {"M": 0}}
+    # stratum 1 now also proves aligned (the negated M read anchors on the
+    # same lone variable as the key), so the plan re-keys M a second time
+    assert plan.repartitions == {0: {"M": 0}, 1: {"M": 1}}
     with ProcessExecutor(2, min_round_rows=0) as executor:
         fixpoint = ShardedFixpoint(program, plan.spec(2), executor, plan=plan)
         statistics = EvaluationStatistics()
         assert fixpoint.evaluate(instance, seed_facts=seeds, statistics=statistics) == expected
         assert fixpoint.sharded.merged() == expected
-        # the step adopted the stratum-local key mid-stream ...
-        assert fixpoint.spec.keys["M"] == 0
+        # the step adopted each stratum-local key mid-stream; the final
+        # repartition (stratum 1, the negation stratum) leaves M keyed at 1
+        assert fixpoint.spec.keys["M"] == 1
         # ... and every M row sits in the shard its *new* key homes it to
         for shard_index, shard in enumerate(fixpoint.sharded.shards):
             for row in shard.relation("M"):
@@ -585,6 +588,62 @@ def test_sharded_dred_matches_parent_dred_on_deletion_heavy_stream():
         # broadcast through every catch-up queue (which used to ship several
         # times more rows than the whole stream derived)
         assert statistics.cross_shard_facts <= statistics.facts_derived
+        assert executor.parent_fallback_rounds == 0
+
+
+# -- worker-resident counting ----------------------------------------------------------
+
+
+def test_sharded_counting_matches_parent_counting_through_negation():
+    """A non-recursive stratum whose reads are all keyed by the anchor
+    variable runs its signed counting maintenance on the resident workers —
+    including the flipped-pivot enumeration for the negated literal — and
+    must track the unsharded engine exactly."""
+    from repro.storage import choose_sharding_plan
+
+    program = parse_program(
+        """
+        W(@x, @y) :- E(@x, @y), K(@x), not B(@x, @y).
+        Out(@x) :- W(@x, @y).
+        """
+    )
+    instance = Instance()
+    for index in range(24):
+        instance.add("E", f"n{index}", f"n{(index + 1) % 24}")
+        instance.add("K", f"n{index}")
+        if index % 3 == 0:
+            instance.add("B", f"n{index}", f"n{(index + 1) % 24}")
+    plan = choose_sharding_plan(program)
+    # every read (B's negated occurrence included) is keyed by @x, so
+    # nothing needs replication and the counting dispatch has a unique
+    # pivot home for every changed row — aligned is enough: only the
+    # *reads* must be co-located, the counts travel back to the parent
+    assert plan.modes == ("aligned",)
+    assert not plan.spec(4).replicated
+    reference = MaintainedFixpoint.evaluate(program, instance.copy())
+    with ProcessExecutor(4, min_round_rows=0) as executor:
+        sharding = ShardedFixpoint(program, plan.spec(4), executor, plan=plan)
+        statistics = EvaluationStatistics()
+        maintained = MaintainedFixpoint.evaluate(
+            program, instance.copy(), sharding=sharding, statistics=statistics
+        )
+        assert maintained.materialized == reference.materialized
+        for step in range(4):
+            additions = [
+                Fact("E", (path(f"x{step}"), path(f"n{step}"))),
+                Fact("K", (path(f"x{step}"),)),
+                # flip blocks on and off: negated pivots in both signs
+                Fact("B", (path(f"n{step + 4}"), path(f"n{step + 5}"))),
+            ]
+            retractions = [
+                Fact("B", (path(f"n{3 * step}"), path(f"n{3 * step + 1}"))),
+                Fact("E", (path(f"n{step + 12}"), path(f"n{step + 13}"))),
+            ]
+            maintained.update(additions, retractions, statistics=statistics)
+            reference.update(additions, retractions)
+            assert maintained.materialized == reference.materialized
+            assert sharding.sharded.merged() == reference.materialized
+        # the enumeration ran on the workers every step, never parent-side
         assert executor.parent_fallback_rounds == 0
 
 

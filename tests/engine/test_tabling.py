@@ -154,11 +154,10 @@ class TestSessionTabling:
         assert result.served_by == "tabled"
         assert result.output == query.run(instance.copy(), binding={0: "a"}).output
 
-    def test_unsupported_update_evicts_only_the_affected_entry(self):
-        # set_difference negates the EDB relation Q: the goal rewriting is
-        # supported, but an update touching Q cannot be maintained through
-        # the tabled entry — it must be evicted (with the reason recorded)
-        # and the next call must re-evaluate, not serve stale answers.
+    def test_update_through_a_negated_relation_maintains_the_entry(self):
+        # set_difference negates the EDB relation Q: an update touching Q
+        # used to evict the tabled entry; signed maintenance now threads the
+        # delta through the negated literal and keeps serving from the table.
         from repro.model import unary_instance
         from repro.queries import get_query
 
@@ -169,12 +168,10 @@ class TestSessionTabling:
         first = session.run(binding={0: path(*"ab")}, mode="goal")
         assert first.served_by == "goal" and first.paths() == {path(*"ab")}
         update = session.update(additions=[Fact("Q", [path(*"ab")])])
-        assert not update.maintained and "negation" in update.fallback_reason
-        assert len(session._tables) == 0
-        description, reason = session._tables.evictions[-1]
-        assert "S[0=a·b]" in description and "negation" in reason
+        assert update.maintained and update.fallback_reason is None
+        assert len(session._tables) == 1
         second = session.run(binding={0: path(*"ab")}, mode="goal")
-        assert second.served_by == "goal" and second.paths() == frozenset()
+        assert second.served_by == "tabled" and second.paths() == frozenset()
 
     def test_one_shot_sessions_do_not_table(self):
         session = pair_query().session(line_instance(), memoize=False)

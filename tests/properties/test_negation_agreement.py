@@ -1,0 +1,273 @@
+"""Property-based agreement for programs with stratified negation.
+
+Negation used to be the construct every fast path refused; now it must be
+indistinguishable from the slow paths it replaced.  For the canonical
+"reachable but not blocked" workload (negation over a demanded IDB
+relation) and the set-difference shape (negation over an EDB relation),
+these sweeps check the three agreement contracts across
+strategy × execution × shard count:
+
+* maintained ≡ scratch — update streams through the *negated* relation in
+  both directions (additions produce downstream retractions and vice
+  versa), including retraction-only streams;
+* tabled ≡ goal ≡ full — the goal pipeline handles the stratified rewrite
+  with no ``fallback_reason``, cold and warm;
+* sharded ≡ single-process — the planner's non-replicated negation-stratum
+  proof produces extensionally identical instances at every shard count.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import (
+    MaintainedFixpoint,
+    ProgramQuery,
+    ShardedFixpoint,
+    evaluate_program,
+)
+from repro.model import Fact, path
+from repro.parser import parse_program
+from repro.storage import choose_sharding_plan
+from repro.workloads import (
+    as_edge_pairs,
+    churn_stream,
+    random_graph_instance,
+    update_stream,
+)
+
+STRATEGIES = ("naive", "seminaive")
+EXECUTIONS = ("scan", "indexed", "compiled")
+SHARD_COUNTS = (1, 2, 3)
+
+#: Reachability avoiding blocked nodes: ``Blocked`` is a demanded IDB
+#: relation read under negation inside the recursion — the exact shape
+#: every layer used to refuse.
+BLOCKED_REACHABILITY = """
+Blocked(@x) :- Blocklist(@x).
+T(@x, @y) :- E(@x, @y), not Blocked(@y).
+T(@x, @z) :- T(@x, @y), E(@y, @z), not Blocked(@z).
+"""
+
+#: Set difference: negation over a plain EDB relation, the minimal
+#: stratified-negation program.
+SET_DIFFERENCE = """
+S($x) :- R($x), not Q($x).
+"""
+
+
+def blocked_instance(seed, *, blocked_nodes=2):
+    instance = as_edge_pairs(random_graph_instance(nodes=8, edges=16, seed=seed))
+    nodes = sorted({row[0] for row in instance.relation("E")}, key=repr)
+    instance.ensure_relation("Blocklist")
+    for node in nodes[:blocked_nodes]:
+        instance.add("Blocklist", node)
+    return instance
+
+
+def apply_steps_and_check(program, base, steps, *, strategy, execution, sharding=None):
+    """Drive one maintained fixpoint through *steps*, checking every state."""
+    maintained = MaintainedFixpoint.evaluate(
+        program, base, strategy=strategy, execution=execution, sharding=sharding
+    )
+    current = base.copy()
+    for additions, retractions in steps:
+        maintained.update(additions, retractions)
+        for fact in retractions:
+            current.discard_fact(fact)
+        for fact in additions:
+            current.add_fact(fact)
+        scratch = evaluate_program(
+            program, current, strategy=strategy, execution=execution
+        )
+        assert maintained.materialized == scratch
+        if sharding is not None:
+            assert sharding.sharded.merged() == scratch
+
+
+@given(seed=st.integers(0, 60), stream_seed=st.integers(0, 10))
+@settings(max_examples=10, deadline=None)
+def test_streams_through_the_negated_relation_stay_in_sync(seed, stream_seed):
+    """Blocklist churn — both signed directions — across every variant."""
+    program = parse_program(BLOCKED_REACHABILITY)
+    base = blocked_instance(seed, blocked_nodes=3)
+    steps = list(
+        update_stream(
+            base,
+            relation="Blocklist",
+            steps=3,
+            additions_per_step=1,
+            retractions_per_step=1,
+            seed=stream_seed,
+        )
+    )
+    for strategy in STRATEGIES:
+        for execution in EXECUTIONS:
+            apply_steps_and_check(
+                program, base, steps, strategy=strategy, execution=execution
+            )
+
+
+@given(seed=st.integers(0, 60))
+@settings(max_examples=10, deadline=None)
+def test_mixed_churn_on_both_sides_of_the_negation(seed):
+    """Deletion-heavy churn on E interleaved with Blocklist flips."""
+    program = parse_program(BLOCKED_REACHABILITY)
+    base = blocked_instance(seed, blocked_nodes=2)
+    edge_steps = list(
+        churn_stream(
+            base, relation="E", steps=3, retractions_per_step=3, seed=seed + 3
+        )
+    )
+    block_steps = list(
+        update_stream(base, relation="Blocklist", steps=3, seed=seed + 5)
+    )
+    steps = [
+        (edge_add + block_add, edge_del + block_del)
+        for (edge_add, edge_del), (block_add, block_del) in zip(edge_steps, block_steps)
+    ]
+    apply_steps_and_check(
+        program, base, steps, strategy="seminaive", execution="indexed"
+    )
+
+
+@given(seed=st.integers(0, 60))
+@settings(max_examples=8, deadline=None)
+def test_retraction_only_streams_through_negation(seed):
+    """Pure deletions from the negated side: insertion seeds on their own."""
+    program = parse_program(BLOCKED_REACHABILITY)
+    base = blocked_instance(seed, blocked_nodes=4)
+    rows = sorted(base.relation("Blocklist"), key=repr)
+    steps = [([], [Fact("Blocklist", row)]) for row in rows[:3]]
+    for execution in EXECUTIONS:
+        apply_steps_and_check(
+            program, base, steps, strategy="seminaive", execution=execution
+        )
+
+
+@given(seed=st.integers(0, 40))
+@settings(max_examples=10, deadline=None)
+def test_set_difference_streams_agree(seed):
+    """The minimal stratified program, streams on both relations."""
+    program = parse_program(SET_DIFFERENCE)
+    base = as_edge_pairs(random_graph_instance(nodes=6, edges=10, seed=seed))
+    base = base.copy()
+    nodes = sorted({row[0] for row in base.relation("E")}, key=repr)
+    base.ensure_relation("R")
+    base.ensure_relation("Q")
+    for node in nodes:
+        base.add("R", node)
+    for node in nodes[::2]:
+        base.add("Q", node)
+    steps = []
+    for (r_add, r_del), (q_add, q_del) in zip(
+        update_stream(base, relation="R", steps=3, seed=seed + 1),
+        update_stream(base, relation="Q", steps=3, seed=seed + 2),
+    ):
+        steps.append((r_add + q_add, r_del + q_del))
+    for strategy in STRATEGIES:
+        apply_steps_and_check(
+            program, base, steps, strategy=strategy, execution="indexed"
+        )
+
+
+@given(
+    seed=st.integers(0, 60),
+    source=st.sampled_from(["a", "b", "n2", "n4"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_goal_tabled_and_full_agree_with_negation(seed, source):
+    """tabled ≡ goal ≡ full: the stratified rewrite takes the goal pipeline."""
+    program = parse_program(BLOCKED_REACHABILITY)
+    instance = blocked_instance(seed, blocked_nodes=2)
+    binding = {0: path(source)}
+    for strategy in STRATEGIES:
+        for execution in EXECUTIONS:
+            query = ProgramQuery(
+                program,
+                {"E": 2, "Blocklist": 1},
+                "T",
+                strategy=strategy,
+                execution=execution,
+                require_monadic=False,
+            )
+            full = query.run(instance.copy(), binding=binding, mode="full")
+            goal = query.run(instance.copy(), binding=binding, mode="goal")
+            assert goal.mode == "goal" and goal.fallback_reason is None
+            assert goal.output == full.output
+            session = query.session(instance.copy())
+            cold = session.run(binding=binding, mode="goal")
+            warm = session.run(binding=binding, mode="goal")
+            assert warm.served_by == "tabled"
+            assert cold.output == full.output
+            assert warm.output == full.output
+
+
+@given(seed=st.integers(0, 40))
+@settings(max_examples=8, deadline=None)
+def test_tabled_negation_goals_survive_updates_through_the_negated_relation(seed):
+    program = parse_program(BLOCKED_REACHABILITY)
+    instance = blocked_instance(seed, blocked_nodes=2)
+    query = ProgramQuery(
+        program, {"E": 2, "Blocklist": 1}, "T", require_monadic=False
+    )
+    working = instance.copy()
+    session = query.session(working)
+    session.run(binding={0: path("a")}, mode="goal")
+    retired = sorted(working.relation("Blocklist"), key=repr)[0]
+    session.update(
+        additions=[Fact("Blocklist", (path("n2"),))],
+        retractions=[Fact("Blocklist", retired)],
+    )
+    for binding in ({0: path("a")}, {0: path("b")}):
+        served = session.run(binding=binding, mode="goal")
+        reference = query.run(working.copy(), binding=binding, mode="full")
+        assert served.output == reference.output
+
+
+def test_negation_stratum_is_proved_non_replicated():
+    """Guard the premise of the sharded sweeps: no whole-stratum replication."""
+    program = parse_program(BLOCKED_REACHABILITY)
+    plan = choose_sharding_plan(program)
+    assert all(mode in ("local", "aligned") for mode in plan.modes)
+    assert "T" not in plan.spec(3).replicated
+
+
+@given(seed=st.integers(0, 60), shards=st.sampled_from(SHARD_COUNTS))
+@settings(max_examples=10, deadline=None)
+def test_sharded_negation_agrees_with_single_process(seed, shards):
+    program = parse_program(BLOCKED_REACHABILITY)
+    instance = blocked_instance(seed, blocked_nodes=2)
+    plan = choose_sharding_plan(program)
+    expected = evaluate_program(program, instance)
+    fixpoint = ShardedFixpoint(program, plan.spec(shards), plan=plan)
+    assert fixpoint.evaluate(instance) == expected
+    assert fixpoint.sharded.merged() == expected
+
+
+@given(
+    seed=st.integers(0, 40),
+    shards=st.sampled_from(SHARD_COUNTS),
+    execution=st.sampled_from(("indexed", "compiled")),
+)
+@settings(max_examples=8, deadline=None)
+def test_sharded_negation_maintenance_tracks_scratch(seed, shards, execution):
+    """Sharded maintained ≡ scratch through streams on both relations."""
+    program = parse_program(BLOCKED_REACHABILITY)
+    base = blocked_instance(seed, blocked_nodes=3)
+    plan = choose_sharding_plan(program)
+    sharding = ShardedFixpoint(
+        program, plan.spec(shards), execution=execution, plan=plan
+    )
+    steps = []
+    for (e_add, e_del), (b_add, b_del) in zip(
+        update_stream(base, relation="E", steps=3, seed=seed + 11),
+        update_stream(base, relation="Blocklist", steps=3, seed=seed + 13),
+    ):
+        steps.append((e_add + b_add, e_del + b_del))
+    apply_steps_and_check(
+        program,
+        base,
+        steps,
+        strategy="seminaive",
+        execution=execution,
+        sharding=sharding,
+    )

@@ -469,6 +469,47 @@ class TestRegistry:
         assert mine.closed and not other.closed and not replacement.closed
         registry.close_all()
 
+    def test_service_pressure_evicts_the_hostile_tenant_before_lru(self):
+        # The hostile-tenant scenario from bench_serving, reduced: a tenant
+        # that keeps pushing work past its own admission limits must lose
+        # its session under service-wide capacity pressure even when it is
+        # the most recently used — the friendly tenant's warm session stays.
+        registry = SessionRegistry(
+            max_sessions=2,
+            tenant_budgets={
+                "hostile": TenantBudget(
+                    admission=AdmissionLimits(max_edb_facts=2)
+                )
+            },
+        )
+
+        async def scenario():
+            friendly = await registry.create(
+                tenant="friendly", program=self.PROGRAM, instance=self.instance_text()
+            )
+            hostile = await registry.create(
+                tenant="hostile", program=self.PROGRAM, instance=self.instance_text()
+            )
+            sheds = 0
+            for index in range(3):  # the line instance already exceeds the budget
+                with pytest.raises(ServiceError) as shed:
+                    await hostile.enqueue_update([edge(f"h{index}", "hub")])
+                assert shed.value.status == 429
+                sheds += 1
+            assert sheds == hostile.shed_updates == 3
+            # Touch the hostile session last: a plain LRU policy would now
+            # pick the friendly session as the service-wide victim.
+            registry.get(hostile.session_id)
+            newcomer = await registry.create(
+                tenant="friendly", program=self.PROGRAM, instance=self.instance_text()
+            )
+            return friendly, hostile, newcomer
+
+        friendly, hostile, newcomer = asyncio.run(scenario())
+        assert registry.evictions == [(hostile.session_id, "admission_pressure")]
+        assert hostile.closed and not friendly.closed and not newcomer.closed
+        registry.close_all()
+
     def test_tenant_budget_caps_table_capacity(self):
         registry = SessionRegistry(
             tenant_budgets={"a": TenantBudget(table_capacity=7)}

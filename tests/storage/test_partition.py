@@ -268,18 +268,55 @@ def test_choose_sharding_plan_schedules_a_repartition():
     """The consumer majority keys M by position 1 (five downstream readers),
     which would force the recursive stratum onto full replicas.  The planner
     schedules a stratum-entry repartition back to the carried position 0
-    instead, rescuing a local proof for the recursion."""
+    instead, rescuing a local proof for the recursion — and a second
+    repartition forward to position 1 for the negation stratum, whose
+    ``not M(@y, @y)`` check is key-local once M is keyed by @y."""
     from repro.storage import choose_sharding_plan
 
     program = parse_program(REPARTITION_PROGRAM)
     plan = choose_sharding_plan(program)
     assert plan.keys["M"] == 1  # entry keys follow the global consumer vote
-    assert plan.repartitions == {0: {"M": 0}}
+    assert plan.repartitions == {0: {"M": 0}, 1: {"M": 1}}
     assert plan.modes[0] == "local"
-    assert plan.modes[1] == "replicated"  # negation: replicas stay sound
-    assert not plan.partitioned
+    # The negated M read is pinned to the anchor key: partitions stay sound.
+    assert plan.modes[1] == "aligned"
+    assert plan.partitioned
     # out-of-range strata are conservatively replicated
     assert plan.mode(99) == "replicated"
+
+
+def test_choose_sharding_plan_replicates_sealed_negated_idb():
+    """A negated IDB relation defined only in a non-recursive stratum is a
+    replication candidate: the negation stratum proves local instead of
+    demoting the whole plan to full replicas."""
+    from repro.storage import choose_sharding_plan
+
+    program = parse_program(
+        "Blocked($x) :- Blocklist($x).\n"
+        "T(@x, @y) :- E(@x, @y), not Blocked(@y).\n"
+        "T(@x, @z) :- T(@x, @y), E(@y, @z), not Blocked(@z)."
+    )
+    plan = choose_sharding_plan(program)
+    assert "Blocked" in plan.replicated  # sealed IDB, broadcast once
+    assert all(mode != "replicated" for mode in plan.modes)
+    assert plan.partitioned
+
+
+def test_choose_sharding_plan_keeps_recursive_negated_idb_replicated_mode():
+    """A relation derived by a recursive stratum is never a replication
+    candidate; negating it (with no key alignment) falls back to replicas."""
+    from repro.storage import choose_sharding_plan
+
+    program = parse_program(
+        "M(@x, @y) :- E(@x, @y).\n"
+        "M(@x, @z) :- M(@x, @y), E(@y, @z).\n"
+        "S(@x) :- K(@x), not M(@x, @x)."
+    )
+    plan = choose_sharding_plan(program)
+    # not M(@x,@x): M is keyed by the carried position 0 and the anchor is
+    # K's key variable — alignment holds only if both land on @x.
+    # Whatever the keys, M must never be *replicated* (it is recursive).
+    assert "M" not in plan.replicated
 
 
 def test_plan_for_spec_keeps_hand_chosen_keys():

@@ -98,15 +98,44 @@ class TestRewriteSemantics:
         assert goal.relation("S") == full.relation("S")
 
 
-class TestUnsupportedCases:
-    def test_negation_on_derived_relation_is_refused(self):
-        program = get_query("black_neighbours").program()
-        with pytest.raises(MagicSetUnsupportedError, match="negates the derived relation"):
-            magic_rewrite(program, "S", "f")
+class TestStratifiedNegation:
+    def test_negation_on_derived_relation_rewrites_stratified_full(self):
+        # W is IDB and read under negation by the demanded rule: the rewrite
+        # carries W's original rules along un-adorned and evaluates them fully.
+        query = get_query("black_neighbours")
+        program = query.program()
+        rewritten = magic_rewrite(program, "S", "f")
+        assert rewritten.negation_strategy == "stratified-full"
+        heads = {rule.head.name for rule in rewritten.program.rules()}
+        assert "W" in heads  # the support rule rides along under its own name
+        instance = unary_instance("R", ["ab", "ac", "db", "de"])
+        instance.add("B", path("b"))
+        instance.add("B", path("c"))
+        goal = evaluate_program(
+            rewritten.program, instance, seed_facts=[rewritten.seed_fact()]
+        )
+        assert goal.paths("S") == query.reference(instance)
+
+    def test_support_closure_spans_chained_negation(self):
+        # S negates W, whose rules negate A: both support subtrees ride along.
+        program = parse_program(
+            "A($x) :- R($x.a).\nW($x) :- R($x), not A($x).\nS($x) :- R($x), not W($x)."
+        )
+        rewritten = magic_rewrite(program, "S", "f")
+        assert rewritten.negation_strategy == "stratified-full"
+        heads = {rule.head.name for rule in rewritten.program.rules()}
+        assert {"A", "W"} <= heads
+        instance = unary_instance("R", ["a", "b", "aa"])
+        full = evaluate_program(program, instance)
+        goal = evaluate_program(
+            rewritten.program, instance, seed_facts=[rewritten.seed_fact()]
+        )
+        assert goal.paths("S") == full.paths("S")
 
     def test_negation_on_edb_is_supported(self):
         program = get_query("set_difference").program()
         rewritten = magic_rewrite(program, "S", "b")
+        assert rewritten.negation_strategy == "none"
         from repro.model import unary_instance
 
         instance = unary_instance("R", ["ab", "ba"])
@@ -121,14 +150,16 @@ class TestUnsupportedCases:
         with pytest.raises(MagicSetUnsupportedError, match="grow paths without bound"):
             magic_rewrite(program, "S", "b")
 
-    def test_unreachable_negation_does_not_block_rewriting(self):
+    def test_unreachable_negation_pulls_no_support_rules(self):
         # The negated IDB relation W is not demanded by the goal S.
         program = parse_program(
             "W($x) :- R($x), not A($x).\nA($x) :- R($x.a).\nS($x) :- R($x)."
         )
         rewritten = magic_rewrite(program, "S", "f")
+        assert rewritten.negation_strategy == "none"
         names = {rule.head.name for rule in rewritten.program.rules()}
         assert not any(name.startswith("W_") for name in names)
+        assert "W" not in names
 
 
 DESCENDANTS = """
