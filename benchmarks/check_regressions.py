@@ -82,6 +82,11 @@ SPEEDUP_GATED_FIELDS: "dict[str, tuple[float, int]]" = {
     "process_speedup": (2.0, 4),
     # write coalescing must beat serialized per-request updates ≥2× anywhere
     "coalescing_speedup": (2.0, 1),
+    # snapshot + WAL-tail restore must beat a scratch rebuild ≥5× anywhere
+    "restore_speedup": (5.0, 1),
+    # fsync-on-commit must keep ≥90% of plain coalescing throughput (a
+    # ratio, not a speedup — the floor below 1 encodes the ≤10% tax)
+    "wal_throughput_ratio": (0.9, 1),
 }
 
 

@@ -353,6 +353,73 @@ class MaintainedFixpoint:
             program, current, states, limits, strategy, execution, evaluators, sharding
         )
 
+    # -- durability (support-state export / restore) -----------------------------------
+
+    def support_state(self) -> "list[tuple[bool, dict[Fact, int] | None, frozenset[Fact]]]":
+        """The per-stratum maintenance support as plain data.
+
+        One ``(recursive, counts, pinned)`` triple per stratum, in stratum
+        order — together with :attr:`materialized` this is *everything*
+        :meth:`update` reads, so a snapshot carrying it can be restored by
+        :meth:`from_support` without re-evaluating anything.
+        """
+        return [
+            (
+                state.recursive,
+                None if state.counts is None else dict(state.counts),
+                state.pinned,
+            )
+            for state in self._states
+        ]
+
+    @classmethod
+    def from_support(
+        cls,
+        program: Program,
+        materialized: Instance,
+        support: "Iterable[tuple[bool, dict[Fact, int] | None, Iterable[Fact]]]",
+        limits: EvaluationLimits,
+        strategy: Strategy,
+        execution: ExecutionMode,
+        evaluators: ProgramEvaluators,
+        sharding: "ShardedFixpoint | None" = None,
+    ) -> "MaintainedFixpoint":
+        """Rebuild a maintained fixpoint from exported support state.
+
+        The inverse of :meth:`support_state` + :attr:`materialized`: no
+        evaluation happens — which is what makes restore-from-snapshot
+        fast.  The support must match the program's strata (count and
+        recursive flags, which are recomputed here); a mismatch means the
+        snapshot was taken for a different program shape and is refused
+        with :class:`~repro.errors.MaintenanceUnsupportedError`.  When
+        *sharding* is given, the fixpoint is attached to it exactly as a
+        fresh :meth:`evaluate` build would be.
+        """
+        states: list[_StratumState] = []
+        triples = list(support)
+        if len(triples) != len(program.strata):
+            raise MaintenanceUnsupportedError(
+                f"support state covers {len(triples)} strata but the program has "
+                f"{len(program.strata)}; the snapshot matches a different program"
+            )
+        for stratum, (recursive, counts, pinned) in zip(program.strata, triples):
+            expected = bool(stratum.head_relation_names() & stratum.body_relation_names())
+            if bool(recursive) != expected:
+                raise MaintenanceUnsupportedError(
+                    f"support state marks a stratum recursive={bool(recursive)} but "
+                    f"this build classifies it recursive={expected}; the snapshot "
+                    f"matches a different program"
+                )
+            state = _StratumState(expected, frozenset(pinned))
+            if not expected:
+                state.counts = dict(counts or {})
+            states.append(state)
+        if sharding is not None:
+            sharding.attach(materialized)
+        return cls(
+            program, materialized, states, limits, strategy, execution, evaluators, sharding
+        )
+
     @staticmethod
     def _evaluate_counting_stratum(
         stratum: Stratum,

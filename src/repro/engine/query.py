@@ -79,6 +79,7 @@ from repro.engine.reasons import (
     GENERALIZATION_TOO_LARGE,
     GOAL_BUDGET_EXCEEDED,
     REWRITE_UNSUPPORTED,
+    SNAPSHOT_UNSUPPORTED,
     maintenance_reason,
     reason,
 )
@@ -96,6 +97,7 @@ from repro.errors import (
     MagicSetUnsupportedError,
     MaintenanceUnsupportedError,
     ModelError,
+    SnapshotUnsupportedError,
 )
 from repro.model.instance import Fact, Instance
 from repro.model.schema import Schema
@@ -127,6 +129,12 @@ Binding = dict[int, Path]
 #: multiple of the requested slice (see
 #: :meth:`QuerySession._generalization_guard`).  ``None`` disables the model.
 DEFAULT_GENERALIZATION_LIMIT = 256.0
+
+#: Version stamp of :meth:`QuerySession.export_state` documents.  Bumped on
+#: any incompatible change to the state layout; :meth:`QuerySession.restore`
+#: refuses other versions with
+#: :class:`~repro.errors.SnapshotUnsupportedError`.
+SESSION_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -1233,6 +1241,195 @@ class QuerySession:
         it as read-only.
         """
         return self._maintained.materialized if self._maintained is not None else None
+
+    # -- durability (state export / restore) -------------------------------------------
+
+    def export_state(self) -> dict:
+        """The session's full serving state as a JSON-serializable document.
+
+        Everything a :meth:`restore` needs to come back serving without
+        re-evaluating: the pinned EDB, the maintained materialization plus
+        its per-stratum support state (:meth:`MaintainedFixpoint.support_state`),
+        every tabled goal's seed and answers, and — for sharded sessions —
+        the sharding plan (compared on restore as a compatibility
+        handshake).  The document is stamped with
+        :data:`SESSION_STATE_VERSION`.
+        """
+        # Imported lazily: repro.io.serialization depends on this module.
+        from repro.io.serialization import (
+            _answers_to_json,
+            fact_to_json,
+            path_to_text,
+            rows_to_json,
+        )
+
+        state: dict = {
+            "version": SESSION_STATE_VERSION,
+            "edb": {
+                name: rows_to_json(self.instance.relation(name))
+                for name in sorted(self.instance.relation_names)
+            },
+            "materialization": None,
+            "strata": None,
+            "table": [],
+            "sharding": None,
+        }
+        if self._maintained is not None:
+            materialized = self._maintained.materialized
+            state["materialization"] = {
+                name: rows_to_json(materialized.relation(name))
+                for name in sorted(materialized.relation_names)
+            }
+            state["strata"] = [
+                {
+                    "recursive": recursive,
+                    "counts": None
+                    if counts is None
+                    else sorted(
+                        [fact_to_json(fact), count] for fact, count in counts.items()
+                    ),
+                    "pinned": sorted(fact_to_json(fact) for fact in pinned),
+                }
+                for recursive, counts, pinned in self._maintained.support_state()
+            ]
+        for entry in self._tables:
+            state["table"].append(
+                {
+                    "positions": list(entry.positions),
+                    "values": [path_to_text(value) for value in entry.values],
+                    "answers": _answers_to_json(entry.answers),
+                }
+            )
+        if self._shard_plan is not None:
+            state["sharding"] = {
+                "shard_count": self.shards,
+                "plan": self._shard_plan.to_json(),
+            }
+        return state
+
+    @classmethod
+    def restore(
+        cls,
+        query: ProgramQuery,
+        state: "Mapping[str, object]",
+        *,
+        shards: int = 1,
+        executor: "str | ParallelExecutor" = "sequential",
+        table_capacity: "int | None" = None,
+        generalization_limit: "float | None" = DEFAULT_GENERALIZATION_LIMIT,
+    ) -> "QuerySession":
+        """Rebuild a session from an :meth:`export_state` document.
+
+        The restored session serves identically to the one that exported
+        the state — same materialization, same maintenance support, same
+        tabled answers — without evaluating anything, which is what makes
+        restore-from-snapshot fast.  Tabled goals come back as serve-only
+        snapshot entries (their magic rewriting is re-derived from the
+        program; an entry whose adornment this build rewrites differently
+        is dropped rather than restored wrong, and any snapshot entry is
+        evicted by the first update that touches it).  A state written by
+        an incompatible build — different :data:`SESSION_STATE_VERSION`,
+        or a sharding plan this build's planner would not choose — is
+        refused with :class:`~repro.errors.SnapshotUnsupportedError`;
+        *shards*/*executor* themselves may differ freely from the exporting
+        session's (routing is recomputed).
+        """
+        # Imported lazily: repro.io.serialization depends on this module.
+        from repro.io.serialization import (
+            _answers_from_json,
+            fact_from_json,
+            path_from_text,
+            rows_from_json,
+        )
+
+        version = state.get("version")
+        if version != SESSION_STATE_VERSION:
+            raise SnapshotUnsupportedError(
+                reason(
+                    SNAPSHOT_UNSUPPORTED,
+                    f"session state version {version!r} is not readable by this "
+                    f"build (expected {SESSION_STATE_VERSION})",
+                )
+            )
+        instance = Instance()
+        for name, rows in dict(state.get("edb") or {}).items():
+            instance.ensure_relation(name)
+            instance.set_relation_rows(name, rows_from_json(rows))
+        session = cls(
+            query,
+            instance,
+            shards=shards,
+            executor=executor,
+            table_capacity=table_capacity,
+            generalization_limit=generalization_limit,
+        )
+        stored_sharding = state.get("sharding")
+        if session._shard_plan is not None and stored_sharding is not None:
+            if stored_sharding.get("plan") != session._shard_plan.to_json():
+                session.close()
+                raise SnapshotUnsupportedError(
+                    reason(
+                        SNAPSHOT_UNSUPPORTED,
+                        "the snapshot's sharding plan differs from the plan this "
+                        "build chooses for the program",
+                    )
+                )
+        materialization = state.get("materialization")
+        strata = state.get("strata")
+        if materialization is not None and strata is not None:
+            materialized = Instance()
+            for name, rows in dict(materialization).items():
+                materialized.ensure_relation(name)
+                materialized.set_relation_rows(name, rows_from_json(rows))
+            for name in query.program.idb_relation_names():
+                materialized.ensure_relation(name)
+            support = [
+                (
+                    bool(stratum["recursive"]),
+                    None
+                    if stratum.get("counts") is None
+                    else {
+                        fact_from_json(fact): int(count)
+                        for fact, count in stratum["counts"]
+                    },
+                    frozenset(fact_from_json(fact) for fact in stratum.get("pinned", ())),
+                )
+                for stratum in strata
+            ]
+            session._maintained = MaintainedFixpoint.from_support(
+                query.program,
+                materialized,
+                support,
+                query.limits,
+                query.strategy,
+                query.execution,
+                session._evaluators_for(query.program),
+                sharding=session._sharded,
+            )
+        for stored in state.get("table") or ():
+            positions = tuple(int(position) for position in stored["positions"])
+            values = tuple(path_from_text(text) for text in stored["values"])
+            compiled, _refusal = query._goal_program_for_key(positions)
+            if compiled is None:
+                continue
+            if tuple(compiled.adornment.bound_positions) != positions:
+                continue
+            answers = _answers_from_json(stored["answers"])
+            for name in compiled.program.idb_relation_names():
+                answers.ensure_relation(name)
+            seed_binding = dict(zip(positions, values))
+            session._tables.insert(
+                TableEntry(
+                    query.output_relation,
+                    positions,
+                    values,
+                    compiled,
+                    snapshot=answers,
+                    shard_footprint=session._entry_footprint(compiled, seed_binding),
+                )
+            )
+        session._sync_basis()
+        return session
 
     def close(self) -> None:
         """Release sharding workers (idempotent; a no-op for plain sessions).

@@ -38,6 +38,11 @@ Codes
     A snapshot table entry (one whose magic program could not be
     maintained) was reached by an update; snapshots are serve-only, so the
     entry is evicted and re-evaluates on next demand.
+``snapshot_unsupported``
+    A persisted session snapshot parsed but declared a format or version
+    this build does not understand; the restore is refused with
+    :class:`~repro.errors.SnapshotUnsupportedError` instead of silently
+    falling back to older state or crashing in the decoder.
 ``tenant_capacity``
     The service registry evicted the tenant's least-recently-used session
     to admit a new one within the tenant's session budget.
@@ -57,6 +62,7 @@ GENERALIZATION_TOO_LARGE = "generalization_too_large"
 MAINTENANCE_UNSUPPORTED = "maintenance_unsupported"
 MAINTENANCE_BUDGET_EXCEEDED = "maintenance_budget_exceeded"
 SNAPSHOT_NOT_MAINTAINED = "snapshot_not_maintained"
+SNAPSHOT_UNSUPPORTED = "snapshot_unsupported"
 TENANT_CAPACITY = "tenant_capacity"
 SERVICE_CAPACITY = "service_capacity"
 ADMISSION_PRESSURE = "admission_pressure"
@@ -71,6 +77,7 @@ REASON_CODES = frozenset(
         MAINTENANCE_UNSUPPORTED,
         MAINTENANCE_BUDGET_EXCEEDED,
         SNAPSHOT_NOT_MAINTAINED,
+        SNAPSHOT_UNSUPPORTED,
         TENANT_CAPACITY,
         SERVICE_CAPACITY,
         ADMISSION_PRESSURE,

@@ -104,6 +104,19 @@ class SubgoalTableError(EvaluationError):
     not match its adornment's bound positions."""
 
 
+class SnapshotUnsupportedError(SequenceDatalogError):
+    """Raised when a persisted session snapshot cannot be loaded by this build.
+
+    The durability layer (:mod:`repro.io.durability`) writes versioned
+    snapshot documents; a snapshot that parses but declares a format or
+    version this build does not understand is refused with this error —
+    loudly, instead of silently falling back to an older snapshot (which
+    would resurrect stale state) or crashing with a ``KeyError`` deep in
+    the decoder.  The message carries a ``snapshot_unsupported`` reason
+    code (:mod:`repro.engine.reasons`).
+    """
+
+
 class UnificationError(SequenceDatalogError):
     """Raised for invalid inputs to the associative unification engine."""
 

@@ -1,6 +1,14 @@
-"""Plain-text persistence for instances and programs, plus the JSON boundary
-codec shared by the serving layer and its tests."""
+"""Plain-text persistence for instances and programs, the JSON boundary
+codec shared by the serving layer and its tests, and the durability layer
+(write-ahead log + versioned snapshots, :mod:`repro.io.durability`)."""
 
+from repro.io.durability import (
+    FileSystemShim,
+    LogTailer,
+    RecoveredState,
+    SessionDurability,
+    WriteAheadLog,
+)
 from repro.io.serialization import (
     fact_from_json,
     fact_to_json,
@@ -23,6 +31,11 @@ from repro.io.serialization import (
 )
 
 __all__ = [
+    "FileSystemShim",
+    "LogTailer",
+    "RecoveredState",
+    "SessionDurability",
+    "WriteAheadLog",
     "fact_from_json",
     "fact_to_json",
     "instance_from_text",

@@ -20,6 +20,7 @@ the answer slice, not the whole materialization).
 from __future__ import annotations
 
 from dataclasses import fields as dataclass_fields
+from functools import lru_cache
 from pathlib import Path as FilePath
 from typing import Iterable, Mapping
 
@@ -102,8 +103,14 @@ def path_to_text(path: Path) -> str:
     return format_path(path)
 
 
+@lru_cache(maxsize=1 << 16)
 def path_from_text(text: str) -> Path:
-    """Parse a path rendered by :func:`path_to_text` back into a :class:`Path`."""
+    """Parse a path rendered by :func:`path_to_text` back into a :class:`Path`.
+
+    Memoized: decoded documents (snapshots, WAL records, wire rows) repeat
+    the same few node labels across thousands of rows, and paths are
+    immutable values, so re-lexing each occurrence would dominate restore.
+    """
     expression = parse_expression(text)
     if not expression.is_ground():
         raise ParseError(f"path text must be ground (no variables), got {text!r}")

@@ -12,9 +12,15 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description="Serve Sequence Datalog sessions over HTTP")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8734)
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="directory for persisted sessions (write-ahead logs + snapshots); "
+        "sessions already persisted here are restored at startup",
+    )
     args = parser.parse_args(argv)
     try:
-        asyncio.run(run(host=args.host, port=args.port))
+        asyncio.run(run(host=args.host, port=args.port, data_dir=args.data_dir))
     except KeyboardInterrupt:
         pass
     return 0

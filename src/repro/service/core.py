@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import pathlib
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
@@ -57,7 +58,17 @@ from repro.engine.reasons import (
     SERVICE_CAPACITY,
     TENANT_CAPACITY,
 )
-from repro.errors import EvaluationBudgetExceeded, SequenceDatalogError
+from repro.errors import (
+    EvaluationBudgetExceeded,
+    SequenceDatalogError,
+    SnapshotUnsupportedError,
+)
+from repro.io.durability import (
+    DEFAULT_SNAPSHOT_WAL_BYTES,
+    LogTailer,
+    SessionDurability,
+    decode_commit,
+)
 from repro.io.serialization import (
     fact_from_json,
     instance_from_text,
@@ -200,6 +211,38 @@ class _PendingUpdate:
     future: "asyncio.Future"
 
 
+#: How many :class:`CommitRecord` entries a handle keeps in memory.  The log
+#: is a debugging/property-testing artifact, not the durability story (that
+#: is the write-ahead log) — so it is bounded: once it overflows (or a
+#: durable snapshot makes a prefix redundant) the oldest records are folded
+#: into the handle's *base EDB* and dropped, and ``commit_log_truncated`` /
+#: ``commit_log_base`` let replayers start from the folded base instead of
+#: generation zero.
+DEFAULT_COMMIT_LOG_LIMIT = 512
+
+#: Group-commit bound: how many coalesced passes the flusher will commit
+#: (WAL-append without the fsync barrier, acks withheld) before it forces a
+#: ``sync()`` even though the queue is still non-empty.  Appends to one file
+#: are ordered, so the single barrier covers every held record; the bound
+#: keeps ack latency from growing without limit under a saturating writer.
+WAL_GROUP_COMMIT_LIMIT = 8
+
+
+class _WalAppendFailed(Exception):
+    """Internal: the WAL append at the commit point failed.
+
+    Wraps the underlying error so the flusher can distinguish "the update
+    itself failed" (recoverable per-request) from "the update succeeded but
+    could not be made durable" — after which the in-memory state is ahead of
+    the log and the handle must close rather than keep acking writes that a
+    restart would lose.
+    """
+
+    def __init__(self, error: Exception):
+        super().__init__(str(error))
+        self.error = error
+
+
 @dataclass(frozen=True)
 class CommitRecord:
     """One committed maintenance pass, as recorded in the session's log.
@@ -258,6 +301,7 @@ class SessionHandle:
         *,
         admission: "AdmissionLimits | None" = None,
         coalesce: bool = True,
+        commit_log_limit: int = DEFAULT_COMMIT_LOG_LIMIT,
     ):
         self.session_id = session_id
         self.tenant = tenant
@@ -274,6 +318,33 @@ class SessionHandle:
         self.generation = 0
         self.committed: "CommittedView | None" = None
         self.commit_log: "list[CommitRecord]" = []
+        self.commit_log_limit = commit_log_limit
+        #: Generation the bounded commit log replays *from*: records with
+        #: generations ``commit_log_base+1 … generation`` are in
+        #: ``commit_log``; everything older has been folded into
+        #: :meth:`base_edb_facts`.
+        self.commit_log_base = 0
+        #: How many commit records have been folded away so far.
+        self.commit_log_truncated = 0
+        #: The EDB at ``commit_log_base``, as facts — the replay base the
+        #: serializability property tests start from.
+        self._log_base_edb: "set[Fact]" = {
+            Fact(name, row)
+            for name in (
+                session.instance.relation_names & query.input_schema.relation_names
+            )
+            for row in session.instance.relation(name)
+        }
+        #: Durability (attached by the registry's persistence path): the
+        #: write-ahead log + snapshot directory this handle commits through.
+        self.durability: "SessionDurability | None" = None
+        self.persist_config: "dict | None" = None
+        self.persist_name: "str | None" = None
+        #: Warm standby: ``True`` while this handle only *tails* another
+        #: primary's log — writes are refused with 409 ``standby_read_only``
+        #: until :meth:`promote`.
+        self.standby = False
+        self._tailer: "LogTailer | None" = None
         self.closed = False
         self._lock = asyncio.Lock()
         self._pending: "deque[_PendingUpdate]" = deque()
@@ -322,6 +393,8 @@ class SessionHandle:
         if self._flusher is not None:
             self._flusher.cancel()
             self._flusher = None
+        if self.durability is not None:
+            self.durability.close()
         self.session.close()
 
     # -- helpers -----------------------------------------------------------------------
@@ -383,6 +456,13 @@ class SessionHandle:
         how many request batches shared the pass.
         """
         self._ensure_open()
+        if self.standby:
+            raise ServiceError(
+                409,
+                "standby_read_only",
+                f"session {self.session_id} is a warm standby tailing another "
+                f"primary's log; promote it before writing",
+            )
         additions = list(additions)
         retractions = list(retractions)
         if len(self._pending) >= self.admission.max_pending_updates:
@@ -403,7 +483,27 @@ class SessionHandle:
         return await pending.future
 
     async def _flush_loop(self) -> None:
-        """Drain the update queue, one merged maintenance pass at a time."""
+        """Drain the update queue, one merged maintenance pass at a time.
+
+        Durable sessions group-commit: while more passes are queued, WAL
+        records are appended *without* their fsync barrier and the acks are
+        withheld; the first pass that drains the queue (or hits
+        :data:`WAL_GROUP_COMMIT_LIMIT` held passes) appends with the
+        barrier, and — appends to one file being ordered — that single
+        fsync covers every held record, so all the held acks go out
+        together.  "Acked" still implies "durable", at a fraction of the
+        fsyncs under a backlog, and the common drained-queue case stays a
+        single executor hop per pass.
+        """
+        held: "list[tuple[list[_PendingUpdate], dict]]" = []
+
+        def fail_held(error: Exception) -> None:
+            for group, _ack in held:
+                for pending in group:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+            held.clear()
+
         while self._pending and not self.closed:
             if self.coalesce:
                 taken = list(self._pending)
@@ -413,14 +513,42 @@ class SessionHandle:
             additions, retractions, batch_count = _merge_batches(taken)
             try:
                 async with self._lock:
+                    generation = self.generation + 1
+                    # Group commit: with more passes already queued the fsync
+                    # barrier is deferred and the ack withheld; on a drained
+                    # queue (or at the held-pass limit) the append carries
+                    # its own fsync, which — appends to one file being
+                    # ordered — covers every held record at once.
+                    barrier = (
+                        not self._pending or len(held) + 1 >= WAL_GROUP_COMMIT_LIMIT
+                    )
+                    durability = self.durability
+
+                    def commit_pass() -> UpdateResult:
+                        # Redo-log discipline, in one executor hop: the WAL
+                        # record lands right after the update succeeds and
+                        # *before* the pass is committed or acked.  A failed
+                        # update never reaches the append.
+                        result = self.session.update(additions, retractions)
+                        if durability is not None:
+                            try:
+                                durability.log_commit(
+                                    generation,
+                                    additions,
+                                    retractions,
+                                    batch_count,
+                                    sync=barrier,
+                                )
+                            except Exception as error:  # noqa: BLE001 — rewrapped
+                                raise _WalAppendFailed(error) from error
+                        return result
+
                     self.maintenance_in_flight = True
                     try:
-                        result: UpdateResult = await self._run_in_executor(
-                            partial(self.session.update, additions, retractions)
-                        )
+                        result: UpdateResult = await self._run_in_executor(commit_pass)
                     finally:
                         self.maintenance_in_flight = False
-                    self.generation += 1
+                    self.generation = generation
                     self.maintenance_passes += 1
                     self.batches_committed += batch_count
                     self.commit_log.append(
@@ -428,18 +556,37 @@ class SessionHandle:
                             self.generation, tuple(additions), tuple(retractions), batch_count
                         )
                     )
+                    self._truncate_commit_log()
                     self._commit_view()
             except asyncio.CancelledError:
-                # close() cancelled the flusher mid-pass: the taken batch's
-                # futures must not be left dangling for their awaiters.
+                # close() cancelled the flusher mid-pass: neither the taken
+                # batch's futures nor any held acks may be left dangling.
+                evicted = ServiceError(
+                    503, "session_evicted", "session closed before the pass was acked"
+                )
                 for pending in taken:
                     if not pending.future.done():
-                        pending.future.set_exception(
-                            ServiceError(
-                                503, "session_evicted", "session closed before the pass ran"
-                            )
-                        )
+                        pending.future.set_exception(evicted)
+                fail_held(evicted)
                 raise
+            except _WalAppendFailed as failure:
+                # The update is applied in memory but not durable: this
+                # handle's state is now *ahead* of its log, so committing
+                # anything further would ack writes a restart must lose.
+                # Fail the batch (and every held, unsynced pass) unacked and
+                # close; recovery rebuilds from the acked prefix.
+                error = ServiceError(
+                    503,
+                    "wal_append_failed",
+                    f"write-ahead log append failed ({failure.error}); "
+                    f"session closed to protect the acked prefix",
+                )
+                for pending in taken:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                fail_held(error)
+                self.close()
+                return
             except Exception as error:  # noqa: BLE001 — acked per request below
                 for pending in taken:
                     if not pending.future.done():
@@ -450,9 +597,52 @@ class SessionHandle:
                 "coalesced_batches": batch_count,
                 "update": update_result_to_json(result),
             }
-            for pending in taken:
-                if not pending.future.done():
-                    pending.future.set_result(ack)
+            if self.durability is None:
+                for pending in taken:
+                    if not pending.future.done():
+                        pending.future.set_result(ack)
+            else:
+                held.append((taken, ack))
+                if barrier:
+                    # The synced append above is the fsync barrier: appends
+                    # to one file are ordered, so it covers every held pass.
+                    for group, group_ack in held:
+                        for pending in group:
+                            if not pending.future.done():
+                                pending.future.set_result(group_ack)
+                    held.clear()
+            if self.durability is not None and self.durability.should_snapshot():
+                # Snapshot-then-truncate compaction, triggered by log size.
+                # Every acked batch is already durable in the log, so a
+                # snapshot failure only costs availability, never data —
+                # but a half-crashed durability layer must not keep serving.
+                try:
+                    await self.snapshot_now()
+                except asyncio.CancelledError:
+                    fail_held(
+                        ServiceError(
+                            503, "session_evicted", "session closed before the pass was acked"
+                        )
+                    )
+                    raise
+                except Exception:  # noqa: BLE001 — close is the safe response
+                    fail_held(
+                        ServiceError(
+                            503,
+                            "wal_append_failed",
+                            "snapshot failed before the pass was made durable; "
+                            "session closed to protect the acked prefix",
+                        )
+                    )
+                    self.close()
+                    return
+                # The snapshot's atomic fsync'd write covers every held
+                # generation, so it doubles as their group-commit barrier.
+                for group, group_ack in held:
+                    for pending in group:
+                        if not pending.future.done():
+                            pending.future.set_result(group_ack)
+                held.clear()
 
     @staticmethod
     def _update_error(error: Exception) -> Exception:
@@ -465,6 +655,136 @@ class SessionHandle:
         if isinstance(error, SequenceDatalogError):
             return ServiceError(400, "update_rejected", str(error))
         return error
+
+    # -- durability (WAL + snapshots + standby) ----------------------------------------
+
+    async def enable_durability(self, durability: SessionDurability, config: dict) -> None:
+        """Attach a durable directory: write the initial snapshot, open the log.
+
+        Called by the registry's persistence path right after creation (and
+        materialization): the snapshot captures the session's current state
+        at the current generation, so recovery never replays the build.
+        """
+        self._ensure_open()
+        async with self._lock:
+            state = await self._run_in_executor(self.session.export_state)
+            await self._run_in_executor(
+                partial(durability.initialize, dict(config), state, self.generation)
+            )
+            self.durability = durability
+            self.persist_config = dict(config)
+
+    async def snapshot_now(self) -> dict:
+        """Snapshot the full session state and rotate the log (compaction).
+
+        Also folds the in-memory commit log up to the snapshotted generation
+        into the replay base — the snapshot supersedes those records for
+        durability, and :attr:`commit_log_base` / :meth:`base_edb_facts`
+        supersede them for replay-based testing.
+        """
+        self._ensure_open()
+        if self.durability is None:
+            raise ServiceError(
+                409, "not_durable", f"session {self.session_id} has no durability attached"
+            )
+        if self.standby:
+            raise ServiceError(
+                409, "standby_read_only", "a warm standby cannot snapshot; promote it first"
+            )
+        async with self._lock:
+            generation = self.generation
+            state = await self._run_in_executor(self.session.export_state)
+            await self._run_in_executor(
+                partial(
+                    self.durability.snapshot, self.persist_config or {}, state, generation
+                )
+            )
+            self._truncate_commit_log(up_to=generation)
+        return {
+            "generation": generation,
+            "wal_bytes": self.durability.wal_bytes,
+            "snapshots_written": self.durability.snapshots_written,
+        }
+
+    async def refresh_standby(self) -> dict:
+        """Apply every newly durable primary commit (warm-standby catch-up).
+
+        Records are applied through the normal maintenance path, so the
+        standby's materialization, tables, and committed view advance exactly
+        as the primary's did; reads between refreshes are stale-bounded by
+        the refresh cadence.
+        """
+        self._ensure_open()
+        if not self.standby or self._tailer is None:
+            raise ServiceError(
+                409, "not_standby", f"session {self.session_id} is not a warm standby"
+            )
+        applied = 0
+        async with self._lock:
+            records = await self._run_in_executor(self._tailer.poll)
+            for record in records:
+                generation, additions, retractions, batches = decode_commit(record)
+                await self._run_in_executor(
+                    partial(self.session.update, additions, retractions)
+                )
+                self.generation = generation
+                self.maintenance_passes += 1
+                self.batches_committed += batches
+                self.commit_log.append(
+                    CommitRecord(generation, tuple(additions), tuple(retractions), batches)
+                )
+                applied += 1
+            if applied:
+                self._truncate_commit_log()
+                self._commit_view()
+        return {"generation": self.generation, "applied": applied}
+
+    async def promote(self) -> dict:
+        """Promote a warm standby to primary: drain the tail, reopen the log.
+
+        The caller asserts the old primary is dead — nothing here arbitrates
+        two live writers on one directory (single-writer assumption).
+        """
+        await self.refresh_standby()
+        async with self._lock:
+            await self._run_in_executor(self.durability.open_for_append)
+            self.standby = False
+            self._tailer = None
+        return {"generation": self.generation, "promoted": True}
+
+    # -- the bounded commit log --------------------------------------------------------
+
+    def base_edb_facts(self) -> "frozenset[Fact]":
+        """The EDB at :attr:`commit_log_base`, the replay base for the log.
+
+        Applying ``commit_log`` in order to an instance holding exactly these
+        facts reproduces the handle's current EDB — the serializability
+        property tests replay from here instead of generation zero once
+        truncation has folded old records away.
+        """
+        return frozenset(self._log_base_edb)
+
+    def _truncate_commit_log(self, up_to: "int | None" = None) -> None:
+        """Fold away commit records ≤ *up_to* and any overflow past the limit."""
+        drop = 0
+        if up_to is not None:
+            while drop < len(self.commit_log) and self.commit_log[drop].generation <= up_to:
+                drop += 1
+        overflow = len(self.commit_log) - drop - self.commit_log_limit
+        if overflow > 0:
+            drop += overflow
+        if drop <= 0:
+            return
+        for record in self.commit_log[:drop]:
+            # Merged batches keep additions and retractions disjoint, so the
+            # application order within one record does not matter.
+            for fact in record.retractions:
+                self._log_base_edb.discard(fact)
+            for fact in record.additions:
+                self._log_base_edb.add(fact)
+            self.commit_log_base = record.generation
+        del self.commit_log[:drop]
+        self.commit_log_truncated += drop
 
     # -- queries (committed reads, concurrent with maintenance) ------------------------
 
@@ -588,6 +908,19 @@ class SessionHandle:
             "edb_facts": self._edb_size(),
             "table_capacity": self.session.table_capacity,
             "sharding": session_statistics,
+            "persist": self.persist_name,
+            "durable": self.durability is not None,
+            "standby": self.standby,
+            "wal_bytes": self.durability.wal_bytes if self.durability is not None else None,
+            "snapshots_written": (
+                self.durability.snapshots_written if self.durability is not None else None
+            ),
+            "records_logged": (
+                self.durability.records_logged if self.durability is not None else None
+            ),
+            "commit_log_length": len(self.commit_log),
+            "commit_log_base": self.commit_log_base,
+            "commit_log_truncated": self.commit_log_truncated,
         }
 
 
@@ -611,6 +944,9 @@ class SessionRegistry:
         max_sessions: int = 64,
         default_budget: "TenantBudget | None" = None,
         tenant_budgets: "Mapping[str, TenantBudget] | None" = None,
+        persist_root: "pathlib.Path | str | None" = None,
+        fsync: bool = True,
+        snapshot_wal_bytes: int = DEFAULT_SNAPSHOT_WAL_BYTES,
     ):
         self.max_sessions = max_sessions
         self.default_budget = default_budget if default_budget is not None else TenantBudget()
@@ -618,6 +954,19 @@ class SessionRegistry:
         self._sessions: "OrderedDict[str, SessionHandle]" = OrderedDict()
         self._ids = itertools.count(1)
         self.evictions: "list[tuple[str, str]]" = []
+        #: Root directory for persisted sessions (``persist_root/tenant/name``);
+        #: ``None`` disables the ``persist`` creation option.
+        self.persist_root = pathlib.Path(persist_root) if persist_root is not None else None
+        self.fsync = fsync
+        self.snapshot_wal_bytes = snapshot_wal_bytes
+        #: Test seam: a :class:`~repro.io.durability.FileSystemShim` handed to
+        #: every :class:`SessionDurability` this registry builds (the fault-
+        #: injection harness swaps in a crashing shim here).
+        self.durability_shim = None
+        #: ``(directory, message)`` of persisted sessions :meth:`restore_all`
+        #: could not bring back (best-effort startup must not die on one bad
+        #: directory).
+        self.restore_errors: "list[tuple[str, str]]" = []
 
     def budget_for(self, tenant: str) -> TenantBudget:
         return self.tenant_budgets.get(tenant, self.default_budget)
@@ -649,9 +998,24 @@ class SessionRegistry:
         true — build the full fixpoint eagerly so every read is a committed
         view read; pass false to serve goal-mode traffic through the
         subsumption table instead).
+
+        ``persist`` names a durable directory under the registry's
+        ``persist_root``: a fresh session writes its initial snapshot there
+        and write-ahead-logs every committed pass; when the directory
+        *already* holds a snapshot, the session is **restored** from disk
+        instead (snapshot + log-tail replay) and the uploaded program and
+        instance text are ignored — the persisted config is authoritative.
         """
         options = dict(options or {})
         budget = self.budget_for(tenant)
+        persist = options.get("persist")
+        directory: "pathlib.Path | None" = None
+        if persist is not None:
+            persist = str(persist)
+            directory = self._persist_directory(tenant, persist)
+            self._check_persist_free(tenant, persist)
+            if any(directory.glob("snapshot-*.json")):
+                return await self._restore_session(tenant, persist, directory, budget=budget)
         try:
             parsed_program = parse_program(program)
             parsed_instance = (
@@ -668,6 +1032,69 @@ class SessionRegistry:
                     f"pass output_relation to pick one of {idb}",
                 )
             output_relation = idb[0]
+        try:
+            query, session_kwargs = self._build_query(
+                parsed_program, output_relation, options, budget
+            )
+            session = query.session(parsed_instance, **session_kwargs)
+        except SequenceDatalogError as error:
+            raise ServiceError(400, "bad_upload", str(error)) from error
+        session_id = f"s{next(self._ids)}"
+        handle = SessionHandle(
+            session_id,
+            tenant,
+            query,
+            session,
+            admission=budget.admission,
+            coalesce=bool(options.get("coalesce", True)),
+        )
+        self._admit(tenant, budget)
+        self._sessions[session_id] = handle
+        if options.get("materialize", True):
+            try:
+                await handle.ensure_materialized()
+            except SequenceDatalogError as error:
+                self.drop(session_id)
+                if isinstance(error, ServiceError):
+                    raise
+                raise ServiceError(400, "bad_upload", str(error)) from error
+        if persist is not None:
+            assert directory is not None
+            config = {
+                "tenant": tenant,
+                "name": persist,
+                "program": program,
+                "output_relation": output_relation,
+                # Only plain JSON scalars survive into the persisted config;
+                # live objects (a ParallelExecutor, say) cannot be restored
+                # from disk anyway.
+                "options": {
+                    key: value
+                    for key, value in options.items()
+                    if value is None or isinstance(value, (str, int, float, bool))
+                },
+            }
+            handle.persist_name = persist
+            try:
+                await handle.enable_durability(self._durability_for(directory), config)
+            except SequenceDatalogError as error:
+                self.drop(session_id)
+                if isinstance(error, ServiceError):
+                    raise
+                raise ServiceError(500, "persist_failed", str(error)) from error
+            except Exception:
+                self.drop(session_id)
+                raise
+        return handle
+
+    def _build_query(
+        self,
+        parsed_program,
+        output_relation: str,
+        options: "Mapping[str, object]",
+        budget: TenantBudget,
+    ) -> "tuple[ProgramQuery, dict]":
+        """The query + session kwargs shared by :meth:`create` and restore."""
         limits = DEFAULT_LIMITS
         overrides = {
             name: int(options[name])
@@ -692,25 +1119,104 @@ class SessionRegistry:
                 if table_capacity is None
                 else min(int(table_capacity), budget.table_capacity)
             )
+        query = ProgramQuery(
+            parsed_program,
+            schema,
+            output_relation,
+            limits=limits,
+            strategy=options.get("strategy", "seminaive"),
+            execution=options.get("execution", "indexed"),
+            mode=options.get("mode", "full"),
+            require_monadic=False,
+        )
+        session_kwargs = dict(
+            shards=int(options.get("shards", 1)),
+            executor=options.get("executor", "sequential"),
+            table_capacity=None if table_capacity is None else int(table_capacity),
+        )
+        return query, session_kwargs
+
+    # -- persistence (restore, re-attach, warm standby) --------------------------------
+
+    def _persist_directory(self, tenant: str, name: str) -> "pathlib.Path":
+        if self.persist_root is None:
+            raise ServiceError(
+                400,
+                "persistence_disabled",
+                "this registry was built without persist_root; persistence is off",
+            )
+        for part in (tenant, name):
+            if not part or part.startswith(".") or any(sep in part for sep in "/\\"):
+                raise ServiceError(
+                    400, "bad_persist_name", f"invalid persistence path component {part!r}"
+                )
+        return self.persist_root / tenant / name
+
+    def _check_persist_free(self, tenant: str, name: str) -> None:
+        for handle in self._sessions.values():
+            if (
+                handle.tenant == tenant
+                and handle.persist_name == name
+                and not handle.closed
+                and not handle.standby
+            ):
+                raise ServiceError(
+                    409,
+                    "persist_in_use",
+                    f"session {handle.session_id} already serves {tenant}/{name}",
+                )
+
+    def _durability_for(self, directory: "pathlib.Path") -> SessionDurability:
+        return SessionDurability(
+            directory,
+            fsync=self.fsync,
+            snapshot_wal_bytes=self.snapshot_wal_bytes,
+            shim=self.durability_shim,
+        )
+
+    async def _restore_session(
+        self,
+        tenant: str,
+        name: str,
+        directory: "pathlib.Path",
+        *,
+        budget: "TenantBudget | None" = None,
+        standby: bool = False,
+    ) -> SessionHandle:
+        """Bring a persisted session back: snapshot restore + log-tail replay.
+
+        The tail is replayed through the normal maintenance path
+        (:meth:`QuerySession.update`), so the restored handle's generation,
+        commit log, and committed view line up exactly with what the dead
+        primary had acked.  With ``standby=True`` the log is *not* reopened
+        for append — the handle tails it read-only until :meth:`promote`.
+        """
+        budget = budget if budget is not None else self.budget_for(tenant)
+        durability = self._durability_for(directory)
         try:
-            query = ProgramQuery(
-                parsed_program,
-                schema,
-                output_relation,
-                limits=limits,
-                strategy=options.get("strategy", "seminaive"),
-                execution=options.get("execution", "indexed"),
-                mode=options.get("mode", "full"),
-                require_monadic=False,
-            )
-            session = query.session(
-                parsed_instance,
-                shards=int(options.get("shards", 1)),
-                executor=options.get("executor", "sequential"),
-                table_capacity=None if table_capacity is None else int(table_capacity),
-            )
+            recovered = durability.recover()
+        except SnapshotUnsupportedError as error:
+            raise ServiceError(409, "snapshot_unsupported", str(error)) from error
         except SequenceDatalogError as error:
-            raise ServiceError(400, "bad_upload", str(error)) from error
+            raise ServiceError(500, "restore_failed", str(error)) from error
+        if recovered is None:
+            raise ServiceError(
+                404, "nothing_to_restore", f"no snapshot found in {directory}"
+            )
+        config = recovered.config
+        options = dict(config.get("options") or {})
+        try:
+            parsed_program = parse_program(config["program"])
+            query, session_kwargs = self._build_query(
+                parsed_program, config["output_relation"], options, budget
+            )
+            session = QuerySession.restore(query, recovered.state, **session_kwargs)
+        except SnapshotUnsupportedError as error:
+            raise ServiceError(409, "snapshot_unsupported", str(error)) from error
+        except (KeyError, SequenceDatalogError) as error:
+            raise ServiceError(
+                500, "restore_failed", f"cannot restore {directory}: {error}"
+            ) from error
         session_id = f"s{next(self._ids)}"
         handle = SessionHandle(
             session_id,
@@ -720,17 +1226,82 @@ class SessionRegistry:
             admission=budget.admission,
             coalesce=bool(options.get("coalesce", True)),
         )
+        handle.persist_name = name
+        handle.generation = recovered.generation
+        handle.commit_log_base = recovered.generation
+        if recovered.tail:
+            loop = asyncio.get_running_loop()
+            decoded = [decode_commit(record) for record in recovered.tail]
+
+            def replay() -> None:
+                for _generation, additions, retractions, _batches in decoded:
+                    session.update(additions, retractions)
+
+            try:
+                await loop.run_in_executor(None, replay)
+            except SequenceDatalogError as error:
+                session.close()
+                raise ServiceError(
+                    500, "restore_failed", f"log replay failed for {directory}: {error}"
+                ) from error
+            for generation, additions, retractions, batches in decoded:
+                handle.generation = generation
+                handle.maintenance_passes += 1
+                handle.batches_committed += batches
+                handle.commit_log.append(
+                    CommitRecord(generation, tuple(additions), tuple(retractions), batches)
+                )
+            handle._truncate_commit_log()
+        handle._commit_view()
+        handle.durability = durability
+        handle.persist_config = dict(config)
+        if standby:
+            handle.standby = True
+            handle._tailer = LogTailer(directory, generation=handle.generation)
+        else:
+            try:
+                durability.open_for_append()
+            except Exception as error:  # noqa: BLE001 — surfaced as 500
+                session.close()
+                raise ServiceError(
+                    500, "restore_failed", f"cannot reopen the log in {directory}: {error}"
+                ) from error
         self._admit(tenant, budget)
         self._sessions[session_id] = handle
-        if options.get("materialize", True):
-            try:
-                await handle.ensure_materialized()
-            except SequenceDatalogError as error:
-                self.drop(session_id)
-                if isinstance(error, ServiceError):
-                    raise
-                raise ServiceError(400, "bad_upload", str(error)) from error
         return handle
+
+    async def restore_all(self) -> "list[SessionHandle]":
+        """Re-attach every persisted session under ``persist_root`` (startup).
+
+        Best-effort: a directory that fails to restore is recorded in
+        :attr:`restore_errors` and skipped, so one corrupt session cannot
+        keep the rest of the fleet down.
+        """
+        restored: "list[SessionHandle]" = []
+        if self.persist_root is None or not self.persist_root.exists():
+            return restored
+        for tenant_dir in sorted(path for path in self.persist_root.iterdir() if path.is_dir()):
+            for directory in sorted(path for path in tenant_dir.iterdir() if path.is_dir()):
+                if not any(directory.glob("snapshot-*.json")):
+                    continue
+                try:
+                    restored.append(
+                        await self._restore_session(tenant_dir.name, directory.name, directory)
+                    )
+                except (ServiceError, SequenceDatalogError) as error:
+                    self.restore_errors.append((str(directory), str(error)))
+        return restored
+
+    async def attach_standby(self, *, tenant: str = "default", name: str) -> SessionHandle:
+        """Attach a warm standby tailing the persisted session ``tenant/name``.
+
+        The standby serves (stale-bounded) reads from its own restored state,
+        advances via :meth:`SessionHandle.refresh_standby`, and takes over
+        writes after :meth:`SessionHandle.promote` — intended for a *second*
+        registry/process pointing at the same directory as the primary.
+        """
+        directory = self._persist_directory(tenant, name)
+        return await self._restore_session(tenant, name, directory, standby=True)
 
     def _admit(self, tenant: str, budget: TenantBudget) -> None:
         """Evict sessions until the new one fits both scopes.

@@ -51,6 +51,10 @@ def create_fastapi_app(app: "ServiceApp | None" = None):
         "/v1/sessions/{session_id}",
         "/v1/sessions/{session_id}/query",
         "/v1/sessions/{session_id}/update",
+        "/v1/sessions/{session_id}/snapshot",
+        "/v1/sessions/{session_id}/refresh",
+        "/v1/sessions/{session_id}/promote",
+        "/v1/standby",
     ):
         api.add_api_route(
             path, _forward, methods=["GET", "POST", "DELETE"], include_in_schema=True

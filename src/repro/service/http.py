@@ -23,7 +23,16 @@ GET       /v1/sessions/{id}               one session's serving stats
 DELETE    /v1/sessions/{id}               close and forget a session
 POST      /v1/sessions/{id}/query         ``{"binding": {"0": "a"}, "mode": "goal"}``
 POST      /v1/sessions/{id}/update        ``{"add": [["E","a","b"]], "retract": []}``
+POST      /v1/sessions/{id}/snapshot      snapshot + compact now (persisted sessions)
+POST      /v1/sessions/{id}/refresh       apply the primary's new commits (standby)
+POST      /v1/sessions/{id}/promote       promote a warm standby to primary
+POST      /v1/standby                     ``{"tenant": ..., "name": ...}`` — attach a standby
 ========  ==============================  =======================================
+
+Sessions created with ``options.persist`` write-ahead-log every commit and
+snapshot into the registry's ``persist_root``; restarting the server with
+the same ``--data-dir`` restores them (see :meth:`SessionRegistry.restore_all`,
+wired into :func:`serve` via ``data_dir``).
 
 Admission-control refusals surface as status 429 with an ``error.code`` of
 ``too_many_pending_updates`` / ``too_many_concurrent_queries`` /
@@ -108,6 +117,25 @@ class ServiceApp:
                     SessionRegistry.decode_facts(body.get("retract")),
                 )
                 return 200, ack
+            if action == "snapshot" and method == "POST":
+                return 200, await self.registry.get(session_id).snapshot_now()
+            if action == "refresh" and method == "POST":
+                return 200, await self.registry.get(session_id).refresh_standby()
+            if action == "promote" and method == "POST":
+                return 200, await self.registry.get(session_id).promote()
+        if parts == ["standby"] and method == "POST":
+            name = body.get("name")
+            if not isinstance(name, str) or not name:
+                raise ServiceError(400, "bad_persist_name", "a 'name' string is required")
+            handle = await self.registry.attach_standby(
+                tenant=str(body.get("tenant", "default")), name=name
+            )
+            return 201, {
+                "session": handle.session_id,
+                "tenant": handle.tenant,
+                "generation": handle.generation,
+                "standby": True,
+            }
         raise ServiceError(404, "not_found", f"no route for {method} {path}")
 
     async def _create_session(self, body: "Mapping[str, object]") -> "tuple[int, dict]":
@@ -141,6 +169,7 @@ _REASONS = {
     201: "Created",
     400: "Bad Request",
     404: "Not Found",
+    409: "Conflict",
     410: "Gone",
     413: "Payload Too Large",
     429: "Too Many Requests",
@@ -223,20 +252,41 @@ async def _handle_connection(
 
 
 async def serve(
-    app: "ServiceApp | None" = None, *, host: str = "127.0.0.1", port: int = 8734
+    app: "ServiceApp | None" = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    data_dir: "str | None" = None,
 ) -> "tuple[asyncio.base_events.Server, ServiceApp]":
-    """Start the stdlib HTTP server; returns the asyncio server and the app."""
+    """Start the stdlib HTTP server; returns the asyncio server and the app.
+
+    *data_dir* (ignored when an *app* is passed) enables persistence: the
+    registry is built with it as ``persist_root`` and every session already
+    persisted under it is restored before the server accepts connections.
+    """
     if app is None:
-        app = ServiceApp()
+        app = ServiceApp(SessionRegistry(persist_root=data_dir) if data_dir else None)
+        if data_dir:
+            restored = await app.registry.restore_all()
+            for handle in restored:
+                print(
+                    f"restored session {handle.session_id} "
+                    f"({handle.tenant}/{handle.persist_name}) "
+                    f"at generation {handle.generation}"
+                )
+            for directory, message in app.registry.restore_errors:
+                print(f"could not restore {directory}: {message}")
     server = await asyncio.start_server(
         lambda reader, writer: _handle_connection(app, reader, writer), host, port
     )
     return server, app
 
 
-async def run(*, host: str = "127.0.0.1", port: int = 8734) -> None:
+async def run(
+    *, host: str = "127.0.0.1", port: int = 8734, data_dir: "str | None" = None
+) -> None:
     """Run the service until cancelled (the ``python -m repro.service`` entry)."""
-    server, app = await serve(host=host, port=port)
+    server, app = await serve(host=host, port=port, data_dir=data_dir)
     addresses = ", ".join(str(sock.getsockname()) for sock in server.sockets)
     print(f"repro serving on {addresses}")
     try:

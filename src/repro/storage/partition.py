@@ -160,6 +160,23 @@ class ShardingSpec:
                 parts[self.shard_of_fact(fact)].add(fact)
         return parts
 
+    def to_json(self) -> dict:
+        """A JSON-ready routing table (for the durability snapshots)."""
+        return {
+            "shard_count": self.shard_count,
+            "keys": {name: key for name, key in sorted(self.keys.items())},
+            "replicated": sorted(self.replicated),
+        }
+
+    @classmethod
+    def from_json(cls, data: "Mapping[str, object]") -> "ShardingSpec":
+        """Decode a spec encoded by :meth:`to_json`."""
+        keys = {
+            name: (None if key is None else int(key))
+            for name, key in dict(data.get("keys", {})).items()  # type: ignore[arg-type]
+        }
+        return cls(int(data["shard_count"]), keys, data.get("replicated", ()))  # type: ignore[arg-type]
+
     def __repr__(self) -> str:
         keyed = {name: key for name, key in sorted(self.keys.items()) if key is not None}
         if self.replicated:
@@ -347,6 +364,39 @@ class ShardingPlan:
         if 0 <= stratum_index < len(self.modes):
             return self.modes[stratum_index]
         return "replicated"
+
+    def to_json(self) -> dict:
+        """A JSON-ready plan document, stable under ``sort_keys`` encoding.
+
+        The durability layer persists the plan a session was partitioned
+        with and compares it against the restoring build's freshly planned
+        one (:func:`choose_sharding_plan` is deterministic from the
+        program), so a planner change between writer and reader is detected
+        as a version-handshake failure instead of silently re-routing rows.
+        """
+        return {
+            "keys": {name: key for name, key in sorted(self.keys.items())},
+            "replicated": sorted(self.replicated),
+            "modes": list(self.modes),
+            "repartitions": {
+                str(index): {name: key for name, key in sorted(changes.items())}
+                for index, changes in sorted(self.repartitions.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: "Mapping[str, object]") -> "ShardingPlan":
+        """Decode a plan encoded by :meth:`to_json`."""
+        repartitions = {
+            int(index): dict(changes)
+            for index, changes in dict(data.get("repartitions", {})).items()  # type: ignore[arg-type]
+        }
+        return cls(
+            dict(data.get("keys", {})),  # type: ignore[arg-type]
+            data.get("replicated", ()),  # type: ignore[arg-type]
+            tuple(data.get("modes", ())),  # type: ignore[arg-type]
+            repartitions,
+        )
 
     def __repr__(self) -> str:
         keyed = {name: key for name, key in sorted(self.keys.items()) if key is not None}

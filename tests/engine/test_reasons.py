@@ -31,6 +31,7 @@ from repro.engine.reasons import (
     REWRITE_UNSUPPORTED,
     SERVICE_CAPACITY,
     SNAPSHOT_NOT_MAINTAINED,
+    SNAPSHOT_UNSUPPORTED,
     TENANT_CAPACITY,
     maintenance_reason,
     reason,
@@ -159,6 +160,36 @@ class TestEmittedReasonsAreRegistered:
         assert len(evicted) == 1
         assert_registered(evicted[0][1], SNAPSHOT_NOT_MAINTAINED)
         assert_registered(table.evictions[-1][1], SNAPSHOT_NOT_MAINTAINED)
+
+    def test_snapshot_version_refusal(self, tmp_path):
+        """Both version guards — in-memory state and on-disk snapshot —
+        emit the registered ``snapshot_unsupported`` reason."""
+        from repro.engine.query import QuerySession
+        from repro.errors import SnapshotUnsupportedError
+        from repro.io.durability import SessionDurability
+
+        query = pair_query()
+        session = query.session(line_instance())
+        session.run()
+        state = session.export_state()
+        session.close()
+        state["version"] = 99
+        with pytest.raises(SnapshotUnsupportedError) as caught:
+            QuerySession.restore(pair_query(), state)
+        assert_registered(str(caught.value), SNAPSHOT_UNSUPPORTED)
+
+        durability = SessionDurability(tmp_path)
+        durability.initialize({}, {"edb": {}}, generation=0)
+        durability.close()
+        from json import dumps, loads
+
+        (_generation, snap_path) = durability.snapshot_paths()[-1]
+        document = loads(snap_path.read_text())
+        document["version"] = 99
+        snap_path.write_text(dumps(document))
+        with pytest.raises(SnapshotUnsupportedError) as caught:
+            SessionDurability(tmp_path).recover()
+        assert_registered(str(caught.value), SNAPSHOT_UNSUPPORTED)
 
     def test_service_eviction_reasons(self):
         registry = SessionRegistry(

@@ -1,0 +1,228 @@
+"""Fault-injection crash sweep: kill the write path at every durable op.
+
+The durability layer funnels every ordering-bearing filesystem operation —
+buffered writes, fsync barriers, atomic renames — through an injectable
+:class:`~repro.io.durability.FileSystemShim`.  This harness first runs a
+serving scenario (create-with-persist, eight awaited update batches with
+retractions, two explicit snapshot compactions) against a *counting* shim
+to enumerate those operations, then re-runs it once per operation index
+with a shim that crashes there: a mid-write crash leaves a torn frame
+(half the bytes, flushed on close like an OS losing the unsynced rest),
+and every operation after the crash point fails too, modelling a dead
+process.
+
+After each crash the directory is recovered through the normal registry
+path, and the invariant checked is the acked-prefix contract:
+
+* the restored session lands on the seed plus a *contiguous prefix* of the
+  committed batches — never a torn or reordered application;
+* the prefix covers at least every **acked** batch (fsync-before-ack: an
+  ack implies durability) — no acked write is ever lost;
+* the prefix never exceeds the batches actually **attempted** — nothing is
+  invented.  A durable-but-unacked batch (crash after the append's write
+  but before its ack) may legitimately survive: the client never got an
+  ack, so either outcome is correct;
+* the restored answers equal a from-scratch rebuild on that prefix, and
+  the restored session keeps accepting updates.
+"""
+
+import asyncio
+
+from repro.engine import ProgramQuery
+from repro.io.durability import FileSystemShim
+from repro.io.serialization import rows_to_json
+from repro.model import Fact, Instance, path
+from repro.parser import parse_program
+from repro.service import SessionRegistry
+
+REACHABILITY_PAIRS = """
+T(@x, @y) :- E(@x, @y).
+T(@x, @z) :- T(@x, @y), E(@y, @z).
+"""
+
+SEED_EDGES = [("a", "b"), ("b", "c")]
+SEED_TEXT = " ".join(f"E({s}, {t})." for s, t in SEED_EDGES)
+NUM_BATCHES = 8
+SNAPSHOT_AFTER = {3, 5}
+
+
+def edge(source, target):
+    return Fact("E", (path(source), path(target)))
+
+
+def batch_for(generation):
+    """The update batch committed at *generation* (deterministic sweep load)."""
+    additions = [edge(f"u{generation}", "a")]
+    retractions = []
+    if generation == 4:
+        retractions = [edge("u1", "a")]
+    if generation == 6:
+        retractions = [edge("a", "b")]  # a seed edge: exercises retractions
+    return additions, retractions
+
+
+def edb_after(prefix_length):
+    """The exact EDB after the seed plus batches ``1 … prefix_length``."""
+    facts = {edge(s, t) for s, t in SEED_EDGES}
+    for generation in range(1, prefix_length + 1):
+        additions, retractions = batch_for(generation)
+        facts -= set(retractions)
+        facts |= set(additions)
+    return facts
+
+
+def scratch_answers(edb_facts):
+    """The output rows of a from-scratch evaluation over *edb_facts*."""
+    query = ProgramQuery(
+        parse_program(REACHABILITY_PAIRS), {"E": 2}, "T", require_monadic=False
+    )
+    instance = Instance()
+    instance.set_relation_rows("E", [fact.paths for fact in edb_facts])
+    with query.session(instance) as session:
+        return rows_to_json(session.run(mode="full").full_instance.relation("T"))
+
+
+class SimulatedCrash(Exception):
+    """The injected process death."""
+
+
+class CountingShim(FileSystemShim):
+    """Pass-through shim that enumerates the durable operations."""
+
+    def __init__(self):
+        self.ops = 0
+
+    def write(self, handle, data):
+        self.ops += 1
+        super().write(handle, data)
+
+    def fsync(self, handle):
+        self.ops += 1
+        super().fsync(handle)
+
+    def replace(self, source, target):
+        self.ops += 1
+        super().replace(source, target)
+
+
+class CrashShim(FileSystemShim):
+    """Crashes at operation index *crash_at* and stays dead afterwards.
+
+    A crash on ``write`` first writes *half* the data into the (buffered)
+    handle: when the handle is later closed, the torn prefix reaches disk —
+    exactly the partially-persisted frame a real crash can leave.
+    """
+
+    def __init__(self, crash_at):
+        self.crash_at = crash_at
+        self.ops = 0
+        self.crashed = False
+
+    def _tick(self):
+        if self.crashed:
+            raise SimulatedCrash("the process is dead")
+        index = self.ops
+        self.ops += 1
+        if index == self.crash_at:
+            self.crashed = True
+            return True
+        return False
+
+    def write(self, handle, data):
+        if self._tick():
+            handle.write(data[: len(data) // 2])
+            raise SimulatedCrash("crashed mid-write (torn frame)")
+        super().write(handle, data)
+
+    def fsync(self, handle):
+        if self._tick():
+            raise SimulatedCrash("crashed at the fsync barrier")
+        super().fsync(handle)
+
+    def replace(self, source, target):
+        if self._tick():
+            raise SimulatedCrash("crashed before the atomic rename")
+        super().replace(source, target)
+
+
+async def run_scenario(root, shim):
+    """Serve the scripted load until it completes or the shim kills it.
+
+    Returns ``(acked, attempted)``: the highest generation whose ack was
+    delivered, and the highest whose maintenance pass may have started.
+    """
+    registry = SessionRegistry(persist_root=root, snapshot_wal_bytes=1 << 30)
+    registry.durability_shim = shim
+    acked = 0
+    attempted = 0
+    try:
+        handle = await registry.create(
+            program=REACHABILITY_PAIRS,
+            instance=SEED_TEXT,
+            options={"persist": "sweep"},
+        )
+        for generation in range(1, NUM_BATCHES + 1):
+            additions, retractions = batch_for(generation)
+            attempted = generation
+            await handle.enqueue_update(additions, retractions)
+            acked = generation
+            if generation in SNAPSHOT_AFTER:
+                await handle.snapshot_now()
+    except Exception:  # noqa: BLE001 — any failure below is "the process died"
+        pass
+    registry.close_all()  # flushes buffered (possibly torn) bytes, like the OS would
+    return acked, attempted
+
+
+async def recover_and_check(root, acked, attempted, *, context):
+    """Restore the directory and assert the acked-prefix invariant."""
+    registry = SessionRegistry(persist_root=root)
+    restored = await registry.restore_all()
+    assert not registry.restore_errors, f"{context}: {registry.restore_errors}"
+    if not restored:
+        # Nothing ever became durable: only legal before the first ack.
+        assert acked == 0, f"{context}: {acked} acked batches but nothing restored"
+        return
+    handle = restored[0]
+    prefix = handle.generation
+    assert acked <= prefix <= attempted, (
+        f"{context}: restored to generation {prefix}, but {acked} were acked "
+        f"and only {attempted} attempted"
+    )
+    expected_edb = edb_after(prefix)
+    actual_edb = {
+        Fact("E", row) for row in handle.session.instance.relation("E")
+    }
+    assert actual_edb == expected_edb, f"{context}: EDB is not the prefix-{prefix} state"
+    result = await handle.run_query()
+    assert result["answers"]["T"] == scratch_answers(expected_edb), (
+        f"{context}: restored answers differ from a scratch rebuild"
+    )
+    # A recovered primary is a primary: it must keep accepting writes.
+    ack = await handle.enqueue_update([edge("post-recovery", "a")], [])
+    assert ack["generation"] == prefix + 1
+    registry.close_all()
+
+
+def test_clean_run_commits_everything(tmp_path):
+    shim = CountingShim()
+    acked, attempted = asyncio.run(run_scenario(tmp_path / "clean", shim))
+    assert acked == attempted == NUM_BATCHES
+    assert shim.ops > 10
+    asyncio.run(recover_and_check(tmp_path / "clean", acked, attempted, context="clean"))
+
+
+def test_crash_sweep_lands_on_an_acked_prefix(tmp_path):
+    counting = CountingShim()
+    acked, attempted = asyncio.run(run_scenario(tmp_path / "count", counting))
+    assert acked == NUM_BATCHES, "the counting run must complete"
+    total_ops = counting.ops
+    for crash_at in range(total_ops):
+        root = tmp_path / f"crash-{crash_at}"
+        shim = CrashShim(crash_at)
+        acked, attempted = asyncio.run(run_scenario(root, shim))
+        assert shim.crashed, f"operation {crash_at} was never reached"
+        assert acked < NUM_BATCHES or attempted == NUM_BATCHES
+        asyncio.run(
+            recover_and_check(root, acked, attempted, context=f"crash at op {crash_at}")
+        )
